@@ -1,0 +1,169 @@
+//! RGVisNet (Song et al. 2022): hybrid retrieval–generation. The original
+//! retrieves a DVQ *prototype* from a codebase by question similarity, then
+//! revises it with a network trained on nvBench.
+//!
+//! Our reproduction keeps the decision structure and the knowledge budget:
+//!
+//! * **retrieval** — dense top-1 over the training questions with a
+//!   *surface-only* embedder (no synonym knowledge: the model was trained
+//!   on nvBench text alone, unlike GRED's pre-trained embedding model);
+//! * **revision** — the same slot-filling machinery as an in-context
+//!   generator, but restricted to what nvBench teaches: only the explicit
+//!   nvBench phrasings are understood (zero paraphrase coverage) and schema
+//!   linking is lexical, with a strong bias to copy explicitly mentioned
+//!   tokens — the overreliance the paper's §3 analysis demonstrates with
+//!   the "ACC_Percent" case.
+
+use t2v_corpus::{Corpus, Database};
+use t2v_embed::{EmbedConfig, TextEmbedder, VectorIndex};
+use t2v_eval::Text2VisModel;
+use t2v_llm::generate::{generate_dvq, GenContext};
+use t2v_llm::parse::{parse_schema, ParsedExample, ParsedGeneration, ParsedSchema};
+use t2v_llm::patterns::PatternKnowledge;
+
+/// The assembled RGVisNet reproduction.
+pub struct RgVisNet {
+    embedder: TextEmbedder,
+    knowledge: PatternKnowledge,
+    index: VectorIndex,
+    entries: Vec<(String, String)>,
+    seed: u64,
+}
+
+impl RgVisNet {
+    /// Build the retrieval codebase from the corpus training split.
+    pub fn build(corpus: &Corpus) -> Self {
+        // Partially semantic embedder: the original RGVisNet initialises its
+        // encoders from pre-trained word embeddings, so it generalises over
+        // *some* synonym pairs — but far fewer than GRED's
+        // text-embedding-3-large surrogate (coverage 0.88).
+        let embedder = TextEmbedder::new(
+            corpus.lexicon.clone(),
+            EmbedConfig {
+                lexicon_coverage: 0.75,
+                concept_weight: 1.4,
+                seed: 0x59,
+                ..EmbedConfig::default()
+            },
+        );
+        let mut index = VectorIndex::with_capacity(corpus.train.len());
+        let mut entries = Vec::with_capacity(corpus.train.len());
+        for ex in &corpus.train {
+            index.add(embedder.embed(&ex.nlq));
+            entries.push((ex.nlq.clone(), ex.dvq_text.clone()));
+        }
+        RgVisNet {
+            embedder,
+            // Mostly the explicit nvBench phrasings it was trained on, with
+            // limited generalisation to alternative wordings.
+            knowledge: PatternKnowledge::sample(0x59, 0.35),
+            index,
+            entries,
+            seed: 0x59,
+        }
+    }
+}
+
+impl Text2VisModel for RgVisNet {
+    fn name(&self) -> &str {
+        "RGVisNet"
+    }
+
+    fn predict(&self, nlq: &str, db: &Database) -> Option<String> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let qv = self.embedder.embed(nlq);
+        let hit = self.index.top_k(&qv, 1).into_iter().next()?;
+        let (proto_nlq, proto_dvq) = &self.entries[hit.id];
+        let parsed = ParsedGeneration {
+            examples: vec![ParsedExample {
+                schema: ParsedSchema::default(),
+                nlq: proto_nlq.clone(),
+                dvq: proto_dvq.clone(),
+            }],
+            schema: parse_schema(&db.render_prompt_schema()),
+            nlq: nlq.to_string(),
+        };
+        let ctx = GenContext {
+            embedder: &self.embedder,
+            knowledge: &self.knowledge,
+            link_threshold: 0.30,
+            copy_bias: 0.40,
+            recency_bias: 0.0,
+            seed: self.seed,
+        };
+        let answer = generate_dvq(&parsed, &ctx);
+        t2v_llm::extract_dvq(&answer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+    use t2v_dvq::components::ComponentMatch;
+
+    #[test]
+    fn predicts_parseable_dvqs_on_dev() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let model = RgVisNet::build(&corpus);
+        let mut parseable = 0;
+        for ex in corpus.dev.iter().take(30) {
+            if let Some(p) = model.predict(&ex.nlq, &corpus.databases[ex.db]) {
+                if t2v_dvq::parse(&p).is_ok() {
+                    parseable += 1;
+                }
+            }
+        }
+        assert!(parseable >= 28, "{parseable}/30 parseable");
+    }
+
+    #[test]
+    fn performs_well_on_explicit_questions() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let model = RgVisNet::build(&corpus);
+        let mut overall = 0usize;
+        let total = 40usize;
+        for ex in corpus.dev.iter().take(total) {
+            if let Some(p) = model.predict(&ex.nlq, &corpus.databases[ex.db]) {
+                if let Ok(q) = t2v_dvq::parse(&p) {
+                    if ComponentMatch::grade(&q, &ex.dvq).overall {
+                        overall += 1;
+                    }
+                }
+            }
+        }
+        // Retrieval + explicit-phrasing revision should solve a majority of
+        // unperturbed explicit questions (paper: 85.17% at full scale).
+        assert!(overall * 2 >= total, "{overall}/{total} exact");
+    }
+
+    #[test]
+    fn degrades_on_paraphrased_questions() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let rob = t2v_perturb::build_rob(&corpus, 3);
+        let model = RgVisNet::build(&corpus);
+        let mut orig = 0usize;
+        let mut both = 0usize;
+        let n = 40usize;
+        for (o, b) in rob.original.iter().zip(rob.both.iter()).take(n) {
+            let dbo = rob.database(&corpus, o);
+            if let Some(p) = model.predict(&o.nlq, dbo) {
+                if let Ok(q) = t2v_dvq::parse(&p) {
+                    orig += ComponentMatch::grade(&q, &o.target).overall as usize;
+                }
+            }
+            let dbb = rob.database(&corpus, b);
+            if let Some(p) = model.predict(&b.nlq, dbb) {
+                if let Ok(q) = t2v_dvq::parse(&p) {
+                    both += ComponentMatch::grade(&q, &b.target).overall as usize;
+                }
+            }
+        }
+        assert!(
+            both * 2 < orig.max(1) * 2 && both < orig,
+            "dual-variant accuracy ({both}/{n}) must collapse vs original ({orig}/{n})"
+        );
+    }
+}

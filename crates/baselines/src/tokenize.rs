@@ -1,0 +1,99 @@
+//! Tokenisation shared by the trained baselines.
+//!
+//! NLQ tokens keep underscores intact ("hire_date" is one token) so the
+//! pointer-generator can copy explicitly mentioned column names — the
+//! lexical-matching behaviour whose fragility the paper studies.
+
+/// Lowercased NLQ word tokens; underscores are word characters, quoted
+/// values stay single tokens (with their quotes).
+pub fn nlq_tokens(nlq: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = nlq.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\'' {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            let mut tok = String::from("'");
+            for q in chars.by_ref() {
+                tok.push(q);
+                if q == '\'' {
+                    break;
+                }
+            }
+            out.push(tok);
+        } else if c.is_ascii_alphanumeric() || c == '_' {
+            cur.push(c.to_ascii_lowercase());
+        } else {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// DVQ tokens via the DVQ lexer (case-preserving; values keep quotes).
+/// Falls back to whitespace splitting for unlexable text.
+pub fn dvq_tokens(dvq: &str) -> Vec<String> {
+    match t2v_dvq::lexer::lex(dvq) {
+        Ok(toks) => {
+            let mut out = Vec::with_capacity(toks.len() + 1);
+            out.push("Visualize".to_string());
+            // The lexer includes "Visualize" as an Ident already; avoid
+            // duplicating it.
+            out.clear();
+            for t in toks {
+                out.push(t.render());
+            }
+            out
+        }
+        Err(_) => dvq.split_whitespace().map(str::to_string).collect(),
+    }
+}
+
+/// Reassemble DVQ tokens into parseable text.
+pub fn join_dvq_tokens(tokens: &[String]) -> String {
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nlq_keeps_underscored_names_and_values() {
+        let toks = nlq_tokens("Show the HIRE_DATE where city equals to 'New York'.");
+        assert!(toks.contains(&"hire_date".to_string()));
+        assert!(toks.contains(&"'New York'".to_string()));
+    }
+
+    #[test]
+    fn dvq_roundtrips_through_tokens() {
+        let s = "Visualize BAR SELECT JOB_ID , AVG(MANAGER_ID) FROM employees \
+                 WHERE salary BETWEEN 8000 AND 12000 AND commission_pct != \"null\" \
+                 GROUP BY JOB_ID ORDER BY JOB_ID ASC";
+        let toks = dvq_tokens(s);
+        let rejoined = join_dvq_tokens(&toks);
+        let a = t2v_dvq::parse(s).unwrap();
+        let b = t2v_dvq::parse(&rejoined).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dvq_tokens_are_single_units() {
+        let toks = dvq_tokens("Visualize BAR SELECT a , b FROM t WHERE c = 'Finance'");
+        assert!(toks.contains(&"'Finance'".to_string()));
+        assert!(toks.contains(&"(".to_string()) == false);
+    }
+
+    #[test]
+    fn unlexable_text_falls_back() {
+        let toks = dvq_tokens("not ~ lexable");
+        assert_eq!(toks, vec!["not", "~", "lexable"]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Design-choice ablations called out in DESIGN.md §5:
+//!
+//! * retrieval depth K ∈ {1, 5, 10, 20} vs GRED overall accuracy;
+//! * ascending vs descending example order in the generation prompt (§4.2);
+//! * embedder lexicon coverage sweep vs dual-variant accuracy.
+
+use t2v_bench::Ctx;
+use t2v_corpus::Lexicon;
+use t2v_embed::{EmbedConfig, TextEmbedder};
+use t2v_eval::evaluate_set;
+use t2v_gred::{Gred, GredConfig};
+use t2v_llm::{LlmConfig, SimulatedChatModel};
+use t2v_perturb::RobVariant;
+
+fn main() {
+    let ctx = Ctx::from_args();
+    let limit = Some(ctx.limit.unwrap_or(250));
+    let mut csv = Vec::new();
+
+    println!("== Ablation: retrieval depth K (nvBench-Rob(nlq,schema)) ==");
+    for k in [1usize, 5, 10, 20] {
+        let gred = t2v_gred::default_gred(
+            &ctx.corpus,
+            GredConfig {
+                k,
+                ..GredConfig::default()
+            },
+        );
+        let run = evaluate_set(&gred, &ctx.corpus, &ctx.rob, RobVariant::Both, limit);
+        println!("  K = {k:>2}: overall {:.2}%", run.accuracies.overall * 100.0);
+        csv.push(format!("k_sweep,{k},{:.4}", run.accuracies.overall));
+    }
+
+    println!("\n== Ablation: example order in the generation prompt ==");
+    for (label, ascending) in [("ascending (paper)", true), ("descending", false)] {
+        let gred = t2v_gred::default_gred(
+            &ctx.corpus,
+            GredConfig {
+                ascending_order: ascending,
+                ..GredConfig::default()
+            },
+        );
+        let run = evaluate_set(&gred, &ctx.corpus, &ctx.rob, RobVariant::Both, limit);
+        println!("  {label:<20}: overall {:.2}%", run.accuracies.overall * 100.0);
+        csv.push(format!("prompt_order,{ascending},{:.4}", run.accuracies.overall));
+    }
+
+    println!("\n== Ablation: LLM semantic (synonym) coverage ==");
+    for coverage in [0.5f64, 0.7, 0.88, 1.0] {
+        let embedder = TextEmbedder::new(Lexicon::builtin(), EmbedConfig::default());
+        let mut llm_cfg = LlmConfig::default();
+        llm_cfg.embed.lexicon_coverage = coverage;
+        let model = SimulatedChatModel::new(llm_cfg);
+        let gred = Gred::prepare(&ctx.corpus, embedder, model, GredConfig::default());
+        let run = evaluate_set(&gred, &ctx.corpus, &ctx.rob, RobVariant::Both, limit);
+        println!("  coverage {coverage:.2}: overall {:.2}%", run.accuracies.overall * 100.0);
+        csv.push(format!("llm_coverage,{coverage},{:.4}", run.accuracies.overall));
+    }
+
+    println!("\n== Ablation: retrieval-embedder lexicon coverage ==");
+    for coverage in [0.0f64, 0.9] {
+        let embedder = TextEmbedder::new(
+            Lexicon::builtin(),
+            EmbedConfig {
+                lexicon_coverage: coverage,
+                ..EmbedConfig::default()
+            },
+        );
+        let model = SimulatedChatModel::new(LlmConfig::default());
+        let gred = Gred::prepare(&ctx.corpus, embedder, model, GredConfig::default());
+        let run = evaluate_set(&gred, &ctx.corpus, &ctx.rob, RobVariant::Both, limit);
+        println!("  coverage {coverage:.1}: overall {:.2}%", run.accuracies.overall * 100.0);
+        csv.push(format!("embed_coverage,{coverage},{:.4}", run.accuracies.overall));
+    }
+
+    t2v_eval::write_csv(
+        &ctx.results_dir.join("ablations.csv"),
+        "ablation,setting,overall",
+        &csv,
+    )
+    .expect("write results");
+    println!("\nwrote results/ablations.csv");
+}

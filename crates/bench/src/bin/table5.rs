@@ -1,0 +1,70 @@
+//! Table 5 / Figure 5 — case study: the DVQ each model produces for one
+//! schema-renamed question, with chart execution (or "no chart" on failure).
+
+use t2v_bench::{Ctx, ModelKind};
+use t2v_engine::{chart, execute, to_vegalite, Store};
+use t2v_perturb::RobVariant;
+
+fn main() {
+    let mut ctx = Ctx::from_args();
+    // Pick a dual-variant case whose target executes and whose schema was
+    // renamed under the referenced columns (mirrors the paper's
+    // "department_id by first name" histogram case).
+    let pick = {
+        let set = ctx.rob.set(RobVariant::Both);
+        let limit = ctx.limit.unwrap_or(set.len()).min(set.len());
+        (0..limit)
+            .find(|&i| {
+                let ex = &set[i];
+                let orig = &ctx.rob.original[ex.base];
+                ex.target_text != orig.target_text && ex.target.where_clause.is_none()
+            })
+            .unwrap_or(0)
+    };
+    let (nlq, target_text, db_idx, base) = {
+        let ex = &ctx.rob.set(RobVariant::Both)[pick];
+        (ex.nlq.clone(), ex.target_text.clone(), ex.db, ex.base)
+    };
+    let db = ctx.rob.renamed[db_idx].clone();
+    let store = Store::synthesize(&db, ctx.seed, 24);
+
+    println!("== Table 5: case study (dual-variant example #{base}) ==\n");
+    println!("NLQ        : {nlq}");
+    println!("Target DVQ : {target_text}\n");
+    let target = t2v_dvq::parse(&target_text).expect("target parses");
+    match execute(&target, &store) {
+        Ok(rs) => {
+            println!("Target chart:\n{}", chart::render(target.chart, &rs, 40));
+            println!("Vega-Lite spec (target):\n{}\n", to_vegalite(&target, &rs).pretty());
+        }
+        Err(e) => println!("Target failed to execute: {e}\n"),
+    }
+
+    for kind in [
+        ModelKind::Seq2Vis,
+        ModelKind::Transformer,
+        ModelKind::RgVisNet,
+        ModelKind::Gred,
+    ] {
+        let preds = ctx.predictions(kind, RobVariant::Both);
+        let predicted = preds.get(pick).cloned().flatten();
+        println!("--- {} ---", kind.label());
+        match predicted {
+            None => println!("(no output) → ✘ no chart\n"),
+            Some(text) => {
+                println!("DVQ: {text}");
+                match t2v_dvq::parse(&text) {
+                    Err(e) => println!("unparseable ({e}) → ✘ no chart\n"),
+                    Ok(q) => match execute(&q, &store) {
+                        Err(e) => println!("execution failed ({e}) → ✘ no chart\n"),
+                        Ok(rs) => {
+                            let m = t2v_dvq::components::ComponentMatch::grade(&q, &target);
+                            let verdict = if m.overall { "✔" } else { "✘ (chart differs)" };
+                            println!("{}{verdict}\n", chart::render(q.chart, &rs, 40));
+                        }
+                    },
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Shared experiment context: corpus + nvBench-Rob construction, model
+//! training with on-disk prediction caching, and CLI argument handling.
+//!
+//! Every experiment binary accepts:
+//!
+//! * `--seed N` — experiment seed (default 7; all randomness derives from it)
+//! * `--profile paper|small` — corpus scale (default `paper`: the full
+//!   Figure 2 statistics; `small` for quick runs)
+//! * `--fresh` — ignore cached predictions
+//! * `--limit N` — evaluate only the first N examples per set
+
+use std::path::PathBuf;
+use t2v_baselines::{BaselineTrainConfig, RgVisNet, Seq2Vis, TransformerBaseline};
+use t2v_corpus::{generate, Corpus, CorpusConfig};
+use t2v_eval::Text2VisModel;
+use t2v_gred::{default_gred, Gred, GredConfig};
+use t2v_perturb::{build_rob, NvBenchRob, RobVariant};
+
+/// Which system to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    Seq2Vis,
+    Transformer,
+    RgVisNet,
+    Gred,
+    GredNoRtn,
+    GredNoDbg,
+    GredGeneratorOnly,
+}
+
+impl ModelKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelKind::Seq2Vis => "Seq2Vis",
+            ModelKind::Transformer => "Transformer",
+            ModelKind::RgVisNet => "RGVisNet",
+            ModelKind::Gred => "GRED",
+            ModelKind::GredNoRtn => "GRED w/o RTN",
+            ModelKind::GredNoDbg => "GRED w/o DBG",
+            ModelKind::GredGeneratorOnly => "GRED w/o RTN&DBG",
+        }
+    }
+
+    fn cache_tag(&self) -> &'static str {
+        match self {
+            ModelKind::Seq2Vis => "seq2vis",
+            ModelKind::Transformer => "transformer",
+            ModelKind::RgVisNet => "rgvisnet",
+            ModelKind::Gred => "gred",
+            ModelKind::GredNoRtn => "gred_nortn",
+            ModelKind::GredNoDbg => "gred_nodbg",
+            ModelKind::GredGeneratorOnly => "gred_genonly",
+        }
+    }
+}
+
+fn variant_tag(v: RobVariant) -> &'static str {
+    match v {
+        RobVariant::Original => "orig",
+        RobVariant::Nlq => "nlq",
+        RobVariant::Schema => "schema",
+        RobVariant::Both => "both",
+    }
+}
+
+/// The experiment context.
+pub struct Ctx {
+    pub corpus: Corpus,
+    pub rob: NvBenchRob,
+    pub seed: u64,
+    pub profile: String,
+    pub fresh: bool,
+    pub limit: Option<usize>,
+    pub results_dir: PathBuf,
+    seq2vis: Option<Seq2Vis>,
+    transformer: Option<TransformerBaseline>,
+    rgvisnet: Option<RgVisNet>,
+    gred: Vec<(ModelKind, Gred<t2v_llm::SimulatedChatModel>)>,
+}
+
+impl Ctx {
+    /// Parse CLI arguments and build the corpus + robustness sets.
+    pub fn from_args() -> Ctx {
+        let args: Vec<String> = std::env::args().collect();
+        let get = |flag: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        let seed: u64 = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(7);
+        let profile = get("--profile").unwrap_or_else(|| "paper".to_string());
+        let fresh = args.iter().any(|a| a == "--fresh");
+        let limit = get("--limit").and_then(|s| s.parse().ok());
+        Ctx::new(seed, &profile, fresh, limit)
+    }
+
+    pub fn new(seed: u64, profile: &str, fresh: bool, limit: Option<usize>) -> Ctx {
+        let cfg = match profile {
+            "small" => CorpusConfig::small(seed),
+            "tiny" => CorpusConfig::tiny(seed),
+            _ => CorpusConfig::paper(seed),
+        };
+        eprintln!("[ctx] generating corpus (profile={profile}, seed={seed})...");
+        let corpus = generate(&cfg);
+        eprintln!(
+            "[ctx] corpus: {} dbs, {} train, {} dev",
+            corpus.databases.len(),
+            corpus.train.len(),
+            corpus.dev.len()
+        );
+        let rob = build_rob(&corpus, seed ^ 0x0b);
+        Ctx {
+            corpus,
+            rob,
+            seed,
+            profile: profile.to_string(),
+            fresh,
+            limit,
+            results_dir: PathBuf::from("results"),
+            seq2vis: None,
+            transformer: None,
+            rgvisnet: None,
+            gred: Vec::new(),
+        }
+    }
+
+    fn baseline_cfg(&self) -> BaselineTrainConfig {
+        match self.profile.as_str() {
+            "paper" => BaselineTrainConfig {
+                max_train: 2600,
+                epochs: 30,
+                lr: 5e-3,
+                hidden: 64,
+                emb: 48,
+                seed: self.seed,
+                verbose: true,
+                ..BaselineTrainConfig::default()
+            },
+            "small" => BaselineTrainConfig {
+                max_train: 1300,
+                epochs: 30,
+                lr: 5e-3,
+                hidden: 56,
+                emb: 40,
+                seed: self.seed,
+                verbose: true,
+                ..BaselineTrainConfig::default()
+            },
+            _ => BaselineTrainConfig {
+                seed: self.seed,
+                ..BaselineTrainConfig::fast()
+            },
+        }
+    }
+
+    /// Train/build the model if needed (mutating), without borrowing it out.
+    fn ensure_model(&mut self, kind: ModelKind) {
+        let _ = self.model(kind);
+    }
+
+    /// Immutable access to a previously ensured model.
+    fn get_model(&self, kind: ModelKind) -> &dyn Text2VisModel {
+        match kind {
+            ModelKind::Seq2Vis => self.seq2vis.as_ref().expect("ensured"),
+            ModelKind::Transformer => self.transformer.as_ref().expect("ensured"),
+            ModelKind::RgVisNet => self.rgvisnet.as_ref().expect("ensured"),
+            _ => {
+                let (_, g) = self
+                    .gred
+                    .iter()
+                    .find(|(k, _)| *k == kind)
+                    .expect("ensured");
+                g
+            }
+        }
+    }
+
+    fn model(&mut self, kind: ModelKind) -> &dyn Text2VisModel {
+        match kind {
+            ModelKind::Seq2Vis => {
+                if self.seq2vis.is_none() {
+                    eprintln!("[ctx] training Seq2Vis...");
+                    let t = std::time::Instant::now();
+                    self.seq2vis = Some(Seq2Vis::train(&self.corpus, &self.baseline_cfg()));
+                    eprintln!("[ctx] Seq2Vis trained in {:?}", t.elapsed());
+                }
+                self.seq2vis.as_ref().unwrap()
+            }
+            ModelKind::Transformer => {
+                if self.transformer.is_none() {
+                    eprintln!("[ctx] training Transformer...");
+                    let t = std::time::Instant::now();
+                    self.transformer =
+                        Some(TransformerBaseline::train(&self.corpus, &self.baseline_cfg()));
+                    eprintln!("[ctx] Transformer trained in {:?}", t.elapsed());
+                }
+                self.transformer.as_ref().unwrap()
+            }
+            ModelKind::RgVisNet => {
+                if self.rgvisnet.is_none() {
+                    eprintln!("[ctx] building RGVisNet codebase...");
+                    self.rgvisnet = Some(RgVisNet::build(&self.corpus));
+                }
+                self.rgvisnet.as_ref().unwrap()
+            }
+            _ => {
+                if !self.gred.iter().any(|(k, _)| *k == kind) {
+                    let config = match kind {
+                        ModelKind::Gred => GredConfig::default(),
+                        ModelKind::GredNoRtn => GredConfig::default().without_retuner(),
+                        ModelKind::GredNoDbg => GredConfig::default().without_debugger(),
+                        ModelKind::GredGeneratorOnly => GredConfig::default().generator_only(),
+                        _ => unreachable!(),
+                    };
+                    eprintln!("[ctx] preparing {} ...", kind.label());
+                    self.gred.push((kind, default_gred(&self.corpus, config)));
+                }
+                let (_, g) = self
+                    .gred
+                    .iter()
+                    .find(|(k, _)| *k == kind)
+                    .expect("just inserted");
+                g as &dyn Text2VisModel
+            }
+        }
+    }
+
+    fn cache_path(&self, kind: ModelKind, variant: RobVariant) -> PathBuf {
+        self.results_dir.join("cache").join(format!(
+            "{}_s{}_{}_{}.tsv",
+            self.profile,
+            self.seed,
+            kind.cache_tag(),
+            variant_tag(variant)
+        ))
+    }
+
+    /// Predictions of `kind` over a variant's test set, cached on disk.
+    pub fn predictions(&mut self, kind: ModelKind, variant: RobVariant) -> Vec<Option<String>> {
+        let set_len = self.rob.set(variant).len();
+        let n = self.limit.unwrap_or(set_len).min(set_len);
+        let path = self.cache_path(kind, variant);
+        if !self.fresh {
+            if let Some(cached) = load_cache(&path, n) {
+                eprintln!("[ctx] {} / {}: cache hit", kind.label(), variant.label());
+                return cached;
+            }
+        }
+        eprintln!("[ctx] {} / {}: predicting {n} examples...", kind.label(), variant.label());
+        // Resolve inputs before borrowing the model (it may mutate self).
+        let inputs: Vec<(String, usize, bool)> = self.rob.set(variant)[..n]
+            .iter()
+            .map(|e| (e.nlq.clone(), e.db, e.uses_renamed))
+            .collect();
+        let t = std::time::Instant::now();
+        self.ensure_model(kind);
+        let model = self.get_model(kind);
+        let preds: Vec<Option<String>> = {
+            let corpus = &self.corpus;
+            let rob = &self.rob;
+            inputs
+                .iter()
+                .map(|(nlq, db, renamed)| {
+                    let db = if *renamed {
+                        &rob.renamed[*db]
+                    } else {
+                        &corpus.databases[*db]
+                    };
+                    model.predict(nlq, db)
+                })
+                .collect()
+        };
+        eprintln!("[ctx]   done in {:?}", t.elapsed());
+        save_cache(&path, &preds);
+        preds
+    }
+
+    /// Evaluate a model on a variant (with caching) and return the run.
+    pub fn evaluate(&mut self, kind: ModelKind, variant: RobVariant) -> t2v_eval::EvalRun {
+        let preds = self.predictions(kind, variant);
+        let set = &self.rob.set(variant)[..preds.len()];
+        t2v_eval::evaluate_predictions(kind.label(), variant, &preds, set)
+    }
+}
+
+fn load_cache(path: &PathBuf, expect: usize) -> Option<Vec<Option<String>>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        match line.strip_prefix("OK\t") {
+            Some(p) => out.push(Some(p.to_string())),
+            None => out.push(None),
+        }
+    }
+    if out.len() >= expect {
+        out.truncate(expect);
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn save_cache(path: &PathBuf, preds: &[Option<String>]) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut body = String::new();
+    for p in preds {
+        match p {
+            Some(text) => {
+                body.push_str("OK\t");
+                body.push_str(&text.replace(['\n', '\t'], " "));
+            }
+            None => body.push_str("MISS"),
+        }
+        body.push('\n');
+    }
+    let _ = std::fs::write(path, body);
+}

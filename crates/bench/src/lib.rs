@@ -1,0 +1,11 @@
+//! # t2v-bench — experiment harness
+//!
+//! Binaries regenerating every table and figure of the paper's evaluation
+//! (see DESIGN.md's experiment index) plus criterion micro-benchmarks for
+//! the substrate. All binaries accept `--seed`, `--profile paper|small`,
+//! `--fresh` and `--limit`; results append to `results/`.
+
+pub mod context;
+pub mod tables;
+
+pub use context::{Ctx, ModelKind};

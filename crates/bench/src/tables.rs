@@ -1,0 +1,35 @@
+//! Shared driver for Tables 1-3 (per-variant four-metric comparisons).
+
+use crate::{Ctx, ModelKind};
+use t2v_eval::{csv_row, render_table, write_csv};
+use t2v_perturb::RobVariant;
+
+/// Evaluate the four systems on one variant and print the paper-style table.
+pub fn run_table(
+    variant: RobVariant,
+    title: &str,
+    csv_name: &str,
+    paper_overall: &[(&str, f64)],
+) {
+    let mut ctx = Ctx::from_args();
+    let models = [
+        ModelKind::Seq2Vis,
+        ModelKind::Transformer,
+        ModelKind::RgVisNet,
+        ModelKind::Gred,
+    ];
+    let runs: Vec<t2v_eval::EvalRun> = models
+        .iter()
+        .map(|&kind| ctx.evaluate(kind, variant))
+        .collect();
+    let refs: Vec<&t2v_eval::EvalRun> = runs.iter().collect();
+    println!("{}", render_table(title, &refs, paper_overall));
+    let rows: Vec<String> = runs.iter().map(csv_row).collect();
+    write_csv(
+        &ctx.results_dir.join(csv_name),
+        "model,set,n,vis,data,axis,overall",
+        &rows,
+    )
+    .expect("write results");
+    println!("wrote results/{csv_name}");
+}

@@ -1,0 +1,19 @@
+//! # t2v-core — the paper's primary contribution
+//!
+//! Thin alias over [`t2v_gred`], kept so the workspace exposes the paper's
+//! contribution under the canonical `crates/core` path. See `t2v-gred` for
+//! the implementation (NLQ-Retrieval Generator → DVQ-Retrieval Retuner →
+//! Annotation-based Debugger) and `text2vis` for the full-facade crate.
+
+pub use t2v_gred::*;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_the_gred_pipeline() {
+        // The alias exposes the same types as t2v-gred.
+        let cfg = crate::GredConfig::default();
+        assert_eq!(cfg.k, 10);
+        assert!(cfg.ascending_order);
+    }
+}

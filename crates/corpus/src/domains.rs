@@ -1,0 +1,384 @@
+//! Domain blueprints: themed templates from which concrete databases are
+//! instantiated.
+//!
+//! Each domain lists candidate tables; each table lists a pool of candidate
+//! columns (concept + type). The generator selects subsets so that corpus
+//! totals land exactly on the paper's Figure 2 statistics (104 databases,
+//! 552 tables, 3050 columns). Every table automatically receives a primary
+//! key column `<table-concept>_id`, and foreign keys add `<target>_id`
+//! columns to the referencing table.
+
+use crate::schema::ColType;
+
+/// Candidate column: optional prefix word (a concept id if the lexicon knows
+/// it, otherwise a literal), head concept, and type.
+#[derive(Debug, Clone, Copy)]
+pub struct ColBp {
+    pub prefix: &'static str,
+    pub concept: &'static str,
+    pub ctype: ColType,
+}
+
+const fn n(concept: &'static str) -> ColBp {
+    ColBp {
+        prefix: "",
+        concept,
+        ctype: ColType::Number,
+    }
+}
+
+const fn t(concept: &'static str) -> ColBp {
+    ColBp {
+        prefix: "",
+        concept,
+        ctype: ColType::Text,
+    }
+}
+
+const fn d(concept: &'static str) -> ColBp {
+    ColBp {
+        prefix: "",
+        concept,
+        ctype: ColType::Date,
+    }
+}
+
+const fn np(prefix: &'static str, concept: &'static str) -> ColBp {
+    ColBp {
+        prefix,
+        concept,
+        ctype: ColType::Number,
+    }
+}
+
+const fn tp(prefix: &'static str, concept: &'static str) -> ColBp {
+    ColBp {
+        prefix,
+        concept,
+        ctype: ColType::Text,
+    }
+}
+
+/// Candidate table: head concept, optional literal suffix word, column pool.
+#[derive(Debug, Clone, Copy)]
+pub struct TableBp {
+    pub concept: &'static str,
+    pub literal: &'static str,
+    pub cols: &'static [ColBp],
+}
+
+const fn tbl(concept: &'static str, cols: &'static [ColBp]) -> TableBp {
+    TableBp {
+        concept,
+        literal: "",
+        cols,
+    }
+}
+
+const fn tbl_lit(concept: &'static str, literal: &'static str, cols: &'static [ColBp]) -> TableBp {
+    TableBp {
+        concept,
+        literal,
+        cols,
+    }
+}
+
+/// A themed domain: name, candidate tables, candidate foreign keys
+/// (from-table index → to-table index within `tables`).
+#[derive(Debug, Clone, Copy)]
+pub struct DomainBp {
+    pub name: &'static str,
+    pub tables: &'static [TableBp],
+    pub fks: &'static [(usize, usize)],
+}
+
+#[rustfmt::skip]
+pub const DOMAINS: &[DomainBp] = &[
+    DomainBp {
+        name: "hr",
+        tables: &[
+            tbl("employee", &[t("first_name"), t("last_name"), n("salary"), d("hire_date"), n("commission_pct"), n("manager_id"), n("age"), t("email")]),
+            tbl("department", &[t("name"), n("budget"), t("city"), n("manager_id"), t("description")]),
+            tbl("job", &[tp("job", "name"), np("minimum", "salary"), np("maximum", "salary"), t("category"), t("status")]),
+            tbl_lit("job", "history", &[d("start_date"), d("end_date"), t("status"), t("comment"), n("duration")]),
+            tbl("branch", &[t("name"), t("city"), n("budget"), d("open_date"), n("rank")]),
+            tbl("review", &[d("date"), n("rating"), t("comment"), t("status"), n("votes")]),
+        ],
+        fks: &[(0, 1), (0, 2), (3, 0), (3, 2), (5, 0)],
+    },
+    DomainBp {
+        name: "filmdom",
+        tables: &[
+            tbl("cinema", &[t("name"), n("capacity"), n("openning_year"), t("city"), n("rank"), t("status")]),
+            tbl("movie", &[t("name"), d("release_date"), n("rating"), n("duration"), t("category"), n("budget")]),
+            tbl("event", &[d("date"), n("attendance"), n("price"), t("status"), t("description")]),
+            tbl("review", &[d("date"), n("rating"), t("comment"), n("votes")]),
+            tbl("ticket", &[n("price"), d("date"), t("status"), t("code"), n("quantity")]),
+            tbl("customer", &[t("first_name"), t("last_name"), n("age"), t("city"), t("email")]),
+        ],
+        fks: &[(2, 0), (2, 1), (3, 1), (4, 2), (3, 5)],
+    },
+    DomainBp {
+        name: "college",
+        tables: &[
+            tbl("student", &[t("first_name"), t("last_name"), n("age"), t("sex"), t("major"), t("advisor"), tp("city", "code")]),
+            tbl("course", &[t("name"), n("duration"), t("category"), n("price"), t("description")]),
+            tbl("professor", &[t("first_name"), t("last_name"), n("salary"), n("age"), t("email")]),
+            tbl("exam", &[d("date"), n("rating"), n("duration"), t("status")]),
+            tbl("department", &[t("name"), n("budget"), t("city"), n("founded_year")]),
+            tbl("event", &[d("date"), n("attendance"), t("venue"), t("description")]),
+        ],
+        fks: &[(0, 4), (1, 4), (2, 4), (3, 1), (5, 4)],
+    },
+    DomainBp {
+        name: "pets",
+        tables: &[
+            tbl("pet", &[t("name"), t("type"), np("pet", "age"), n("weight"), t("breed"), n("height")]),
+            tbl("owner", &[t("first_name"), t("last_name"), n("age"), t("city"), t("phone")]),
+            tbl("treatment", &[t("name"), n("price"), d("date"), n("duration"), t("status")]),
+            tbl("doctor", &[t("first_name"), t("last_name"), n("salary"), n("age")]),
+            tbl("student", &[t("first_name"), t("last_name"), n("age"), t("sex"), t("major"), tp("city", "code")]),
+            tbl("review", &[d("date"), n("rating"), t("comment")]),
+        ],
+        fks: &[(0, 1), (2, 0), (2, 3), (0, 4), (5, 3)],
+    },
+    DomainBp {
+        name: "retail",
+        tables: &[
+            tbl("store", &[t("name"), t("city"), d("open_date"), n("area_size"), n("rank"), t("status")]),
+            tbl("product", &[t("name"), n("price"), n("stock"), t("category"), t("maker"), n("weight")]),
+            tbl("order_record", &[d("order_date"), n("quantity"), t("status"), n("price"), t("code")]),
+            tbl("customer", &[t("first_name"), t("last_name"), t("email"), t("city"), n("age")]),
+            tbl("employee", &[t("first_name"), n("salary"), d("hire_date"), n("age"), n("bonus")]),
+            tbl("shipment", &[d("date"), n("weight"), n("distance"), t("status")]),
+        ],
+        fks: &[(1, 0), (2, 1), (2, 3), (4, 0), (5, 2)],
+    },
+    DomainBp {
+        name: "aviation",
+        tables: &[
+            tbl("airport", &[t("name"), t("city"), t("country"), n("capacity"), n("rank")]),
+            tbl("flight", &[t("code"), n("distance"), n("duration"), n("price"), d("date"), t("status")]),
+            tbl("aircraft", &[t("model"), n("capacity"), n("speed"), n("age"), t("maker")]),
+            tbl("pilot", &[t("first_name"), t("last_name"), n("age"), n("salary"), n("rank")]),
+            tbl("ticket", &[n("price"), d("date"), t("status"), t("code")]),
+            tbl("employee", &[t("first_name"), n("salary"), d("hire_date"), n("age")]),
+        ],
+        fks: &[(1, 0), (1, 2), (1, 3), (4, 1), (5, 0)],
+    },
+    DomainBp {
+        name: "medcare",
+        tables: &[
+            tbl("hospital", &[t("name"), t("city"), n("capacity"), n("founded_year"), n("rank")]),
+            tbl("doctor", &[t("first_name"), t("last_name"), n("salary"), n("age"), t("email")]),
+            tbl("patient", &[t("first_name"), t("last_name"), n("age"), t("sex"), d("checkin_date")]),
+            tbl("treatment", &[t("name"), n("price"), n("duration"), d("date"), t("status")]),
+            tbl("medication", &[t("name"), n("price"), n("stock"), t("category")]),
+            tbl("nurse", &[t("first_name"), t("last_name"), n("salary"), n("age")]),
+        ],
+        fks: &[(1, 0), (2, 0), (3, 2), (3, 1), (5, 0)],
+    },
+    DomainBp {
+        name: "sports",
+        tables: &[
+            tbl("team", &[t("name"), t("city"), n("founded_year"), n("rank"), n("budget")]),
+            tbl("player", &[t("first_name"), t("last_name"), n("age"), n("height"), n("weight"), n("salary")]),
+            tbl("match_game", &[d("date"), n("attendance"), n("rating"), t("status"), n("votes")]),
+            tbl("stadium", &[t("name"), n("capacity"), t("city"), d("open_date"), n("area_size")]),
+            tbl("coach", &[t("first_name"), t("last_name"), n("age"), n("salary")]),
+            tbl("tournament", &[t("name"), n("year"), t("country"), n("attendance")]),
+        ],
+        fks: &[(1, 0), (2, 3), (4, 0), (2, 6 - 1), (0, 3)],
+    },
+    DomainBp {
+        name: "music",
+        tables: &[
+            tbl("artist", &[t("name"), t("country"), n("age"), t("category"), n("rank")]),
+            tbl("album", &[t("name"), d("release_date"), n("sales"), n("rating"), n("price")]),
+            tbl("song", &[t("name"), n("duration"), n("rating"), d("release_date"), n("sales")]),
+            tbl("event", &[d("date"), n("attendance"), t("venue"), n("price"), t("status")]),
+            tbl("member", &[t("first_name"), n("age"), t("email"), t("city")]),
+            tbl("review", &[d("date"), n("rating"), t("comment"), n("votes")]),
+        ],
+        fks: &[(1, 0), (2, 1), (3, 0), (5, 2), (5, 4)],
+    },
+    DomainBp {
+        name: "library",
+        tables: &[
+            tbl("book", &[t("name"), t("author"), d("release_date"), n("price"), t("category"), n("rating")]),
+            tbl("member", &[t("first_name"), t("last_name"), n("age"), t("email"), t("city")]),
+            tbl("document", &[d("due_date"), t("status"), d("date"), t("comment")]),
+            tbl("branch", &[t("name"), t("city"), n("budget"), n("founded_year")]),
+            tbl("employee", &[t("first_name"), n("salary"), d("hire_date"), n("age")]),
+            tbl("event", &[d("date"), n("attendance"), t("description"), t("venue")]),
+        ],
+        fks: &[(2, 0), (2, 1), (0, 3), (4, 3), (5, 3)],
+    },
+    DomainBp {
+        name: "dining",
+        tables: &[
+            tbl("restaurant", &[t("name"), t("city"), n("rating"), n("capacity"), d("open_date"), t("category")]),
+            tbl("dish", &[t("name"), n("price"), t("category"), n("quantity"), t("description")]),
+            tbl("review", &[d("date"), n("rating"), t("comment"), n("votes")]),
+            tbl("customer", &[t("first_name"), n("age"), t("city"), t("email")]),
+            tbl("employee", &[t("first_name"), n("salary"), d("hire_date"), n("bonus")]),
+            tbl("happy_hour", &[d("date"), n("price"), n("duration"), t("status"), n("quantity")]),
+        ],
+        fks: &[(1, 0), (2, 0), (2, 3), (4, 0), (5, 0)],
+    },
+    DomainBp {
+        name: "banking",
+        tables: &[
+            tbl("account", &[n("balance"), d("open_date"), t("type"), t("status"), n("rating")]),
+            tbl("customer", &[t("first_name"), t("last_name"), n("age"), t("city"), t("email"), t("phone")]),
+            tbl("branch", &[t("name"), t("city"), n("budget"), n("founded_year"), n("rank")]),
+            tbl("payment", &[d("transaction_date"), n("quantity"), n("price"), t("status")]),
+            tbl("employee", &[t("first_name"), n("salary"), d("hire_date"), n("bonus"), n("age")]),
+            tbl("policy", &[n("premium_amount"), d("start_date"), d("end_date"), t("type"), t("status")]),
+        ],
+        fks: &[(0, 1), (0, 2), (3, 0), (4, 2), (5, 1)],
+    },
+    DomainBp {
+        name: "housing",
+        tables: &[
+            tbl("apartment", &[n("area_size"), n("price"), n("quantity"), t("status"), t("type")]),
+            tbl("building", &[t("name"), n("height"), t("city"), n("founded_year"), n("capacity")]),
+            tbl("owner", &[t("first_name"), t("last_name"), n("age"), t("phone"), t("email")]),
+            tbl("event", &[d("date"), n("attendance"), t("description"), t("status")]),
+            tbl("payment", &[d("transaction_date"), n("price"), t("status"), t("code")]),
+            tbl("review", &[d("date"), n("rating"), t("comment")]),
+        ],
+        fks: &[(0, 1), (0, 2), (3, 0), (4, 0), (5, 1)],
+    },
+    DomainBp {
+        name: "broadcast",
+        tables: &[
+            tbl("channel", &[t("name"), t("country"), n("rating"), n("founded_year"), t("owner")]),
+            tbl("program", &[t("name"), n("duration"), t("category"), d("release_date"), n("rating")]),
+            tbl("event", &[d("date"), n("attendance"), t("description"), t("status")]),
+            tbl("host", &[t("first_name"), t("last_name"), n("age"), n("salary")]),
+            tbl("review", &[d("date"), n("rating"), t("comment"), n("votes")]),
+            tbl("device", &[t("name"), t("maker"), n("price"), n("stock")]),
+        ],
+        fks: &[(1, 0), (2, 1), (3, 0), (4, 1), (2, 3)],
+    },
+    DomainBp {
+        name: "logistics",
+        tables: &[
+            tbl("warehouse", &[t("name"), t("city"), n("capacity"), n("area_size"), t("status")]),
+            tbl("shipment", &[d("order_date"), n("weight"), n("distance"), t("status"), n("price")]),
+            tbl("driver", &[t("first_name"), n("age"), n("salary"), n("mileage"), t("phone")]),
+            tbl("route", &[t("name"), n("distance"), n("duration"), t("status")]),
+            tbl("customer", &[t("first_name"), t("last_name"), t("city"), t("email")]),
+            tbl("machine", &[t("name"), n("price"), n("horsepower"), n("age"), t("maker")]),
+        ],
+        fks: &[(1, 0), (1, 2), (1, 3), (1, 4), (5, 0)],
+    },
+    DomainBp {
+        name: "coverage",
+        tables: &[
+            tbl("policy", &[n("premium_amount"), d("start_date"), d("end_date"), t("type"), t("status"), n("acc_percent")]),
+            tbl("claim", &[d("date"), n("price"), t("status"), t("description")]),
+            tbl("customer", &[t("first_name"), t("last_name"), n("age"), t("city"), t("phone")]),
+            tbl("branch", &[t("name"), t("city"), n("budget"), n("rank")]),
+            tbl("employee", &[t("first_name"), n("salary"), n("commission_pct"), d("hire_date"), n("age")]),
+            tbl("payment", &[d("transaction_date"), n("price"), t("status")]),
+        ],
+        fks: &[(0, 2), (1, 0), (4, 3), (5, 1), (0, 3)],
+    },
+    DomainBp {
+        name: "agriculture",
+        tables: &[
+            tbl("farm", &[t("name"), n("area_size"), n("founded_year"), t("city"), t("status")]),
+            tbl("crop", &[t("name"), n("quantity"), n("price"), t("category"), n("weight")]),
+            tbl("machine", &[t("name"), n("price"), n("horsepower"), n("age"), t("maker")]),
+            tbl("employee", &[t("first_name"), n("age"), n("salary"), d("hire_date")]),
+            tbl("shipment", &[d("order_date"), n("weight"), n("distance"), t("status")]),
+            tbl("event", &[d("date"), n("attendance"), t("description")]),
+        ],
+        fks: &[(1, 0), (2, 0), (3, 0), (4, 1), (5, 0)],
+    },
+    DomainBp {
+        name: "heritage",
+        tables: &[
+            tbl("museum", &[t("name"), t("city"), n("founded_year"), n("attendance"), n("rank")]),
+            tbl("exhibition", &[t("theme"), n("year"), n("attendance"), n("price"), t("status")]),
+            tbl("artist", &[t("name"), t("country"), n("age"), t("category")]),
+            tbl("artwork", &[t("name"), n("price"), t("category"), n("year"), n("rating")]),
+            tbl("ticket", &[n("price"), d("date"), t("status"), t("code")]),
+            tbl("review", &[d("date"), n("rating"), t("comment"), n("votes")]),
+        ],
+        fks: &[(1, 0), (3, 2), (4, 1), (5, 1), (3, 0)],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+
+    #[test]
+    fn all_blueprint_concepts_exist_in_lexicon() {
+        let lex = Lexicon::builtin();
+        for dom in DOMAINS {
+            for tb in dom.tables {
+                assert!(
+                    lex.index_of(tb.concept).is_some(),
+                    "table concept {} of domain {} missing",
+                    tb.concept,
+                    dom.name
+                );
+                for cb in tb.cols {
+                    assert!(
+                        lex.index_of(cb.concept).is_some(),
+                        "column concept {} of {}.{} missing",
+                        cb.concept,
+                        dom.name,
+                        tb.concept
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_domain_has_six_tables_and_valid_fks() {
+        for dom in DOMAINS {
+            assert!(
+                dom.tables.len() >= 6,
+                "domain {} has only {} tables",
+                dom.name,
+                dom.tables.len()
+            );
+            for (a, b) in dom.fks {
+                assert!(*a < dom.tables.len() && *b < dom.tables.len() && a != b);
+            }
+        }
+    }
+
+    #[test]
+    fn pools_are_large_enough_and_typed() {
+        for dom in DOMAINS {
+            for tb in dom.tables {
+                assert!(
+                    tb.cols.len() >= 3,
+                    "{}:{} pool too small",
+                    dom.name,
+                    tb.concept
+                );
+                // Column concepts must be unique within a table pool.
+                let mut ids: Vec<(&str, &str)> =
+                    tb.cols.iter().map(|c| (c.prefix, c.concept)).collect();
+                ids.sort_unstable();
+                let before = ids.len();
+                ids.dedup();
+                assert_eq!(before, ids.len(), "{}:{} duplicate concepts", dom.name, tb.concept);
+            }
+        }
+    }
+
+    #[test]
+    fn domain_count_supports_104_databases() {
+        assert!(DOMAINS.len() >= 16);
+    }
+}

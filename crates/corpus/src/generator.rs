@@ -1,0 +1,1026 @@
+//! Corpus generation: databases + (NLQ, DVQ) pairs.
+//!
+//! The generator instantiates concrete databases from the domain blueprints
+//! so that corpus-wide totals land **exactly** on the paper's Figure 2
+//! statistics (104 databases / 552 tables / 3050 columns by default), then
+//! produces train / valid / dev pair splits. The dev split fills the
+//! published chart-type histogram exactly and targets the hardness histogram
+//! by rejection sampling.
+
+use crate::domains::{ColBp, DomainBp, DOMAINS};
+use crate::lexicon::Lexicon;
+use crate::nlq::{render_nlq, NlMode};
+use crate::schema::*;
+use crate::spec::*;
+use crate::values;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use t2v_dvq::ast::*;
+use t2v_dvq::hardness::{classify, Hardness};
+use t2v_dvq::printer::Printer;
+
+/// Corpus sizing parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    pub seed: u64,
+    pub num_dbs: usize,
+    pub total_tables: usize,
+    pub total_columns: usize,
+    /// Dev-set quota per chart type, in [`ChartType::ALL`] order.
+    pub dev_chart_quota: [usize; 7],
+    /// Dev-set hardness targets (Easy, Medium, Hard, Extra Hard).
+    pub dev_hardness_quota: [usize; 4],
+    pub train_pairs: usize,
+    pub valid_pairs: usize,
+}
+
+impl CorpusConfig {
+    /// The paper-scale configuration (Figure 2 statistics).
+    pub fn paper(seed: u64) -> Self {
+        CorpusConfig {
+            seed,
+            num_dbs: 104,
+            total_tables: 552,
+            total_columns: 3050,
+            dev_chart_quota: [891, 88, 51, 48, 60, 11, 33],
+            dev_hardness_quota: [286, 475, 282, 139],
+            train_pairs: 6100,
+            valid_pairs: 344,
+        }
+    }
+
+    /// A small configuration for integration tests and examples.
+    pub fn small(seed: u64) -> Self {
+        CorpusConfig {
+            seed,
+            num_dbs: 24,
+            total_tables: 128,
+            total_columns: 700,
+            dev_chart_quota: [180, 18, 11, 10, 12, 3, 6],
+            dev_hardness_quota: [58, 96, 57, 29],
+            train_pairs: 1300,
+            valid_pairs: 70,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        CorpusConfig {
+            seed,
+            num_dbs: 8,
+            total_tables: 44,
+            total_columns: 240,
+            dev_chart_quota: [60, 6, 4, 4, 4, 2, 2],
+            dev_hardness_quota: [20, 33, 19, 10],
+            train_pairs: 240,
+            valid_pairs: 24,
+        }
+    }
+
+    pub fn dev_total(&self) -> usize {
+        self.dev_chart_quota.iter().sum()
+    }
+}
+
+/// One benchmark pair.
+#[derive(Debug, Clone)]
+pub struct Example {
+    pub id: usize,
+    /// Index into [`Corpus::databases`].
+    pub db: usize,
+    pub spec: QuerySpec,
+    /// Seed for deterministic NLQ frame choices.
+    pub frame_seed: u64,
+    /// NLQ rendered in the original (explicit) style.
+    pub nlq: String,
+    /// Target DVQ against the original schema.
+    pub dvq: Dvq,
+    pub dvq_text: String,
+    pub hardness: Hardness,
+}
+
+/// The generated corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    pub config: CorpusConfig,
+    pub lexicon: Lexicon,
+    pub databases: Vec<Database>,
+    pub train: Vec<Example>,
+    pub valid: Vec<Example>,
+    pub dev: Vec<Example>,
+}
+
+/// Generate the full corpus for `config`.
+pub fn generate(config: &CorpusConfig) -> Corpus {
+    let lexicon = Lexicon::builtin();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let databases = build_databases(config, &lexicon, &mut rng);
+
+    let mut next_id = 0usize;
+    let dev = generate_dev(config, &databases, &lexicon, &mut rng, &mut next_id);
+    let train = generate_pool(
+        config.train_pairs,
+        config,
+        &databases,
+        &lexicon,
+        &mut rng,
+        &mut next_id,
+    );
+    let valid = generate_pool(
+        config.valid_pairs,
+        config,
+        &databases,
+        &lexicon,
+        &mut rng,
+        &mut next_id,
+    );
+
+    Corpus {
+        config: config.clone(),
+        lexicon,
+        databases,
+        train,
+        valid,
+        dev,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Database instantiation
+// ---------------------------------------------------------------------------
+
+fn build_databases(config: &CorpusConfig, lex: &Lexicon, rng: &mut StdRng) -> Vec<Database> {
+    assert!(config.num_dbs > 0);
+    // Bresenham-split the table budget across databases.
+    let table_counts: Vec<usize> = bresenham(config.total_tables, config.num_dbs);
+    let mut dbs = Vec::with_capacity(config.num_dbs);
+    let mut domain_uses = vec![0usize; DOMAINS.len()];
+    let mut col_budget = BudgetSplitter::new(config.total_columns, config.total_tables);
+
+    for (i, &ntables) in table_counts.iter().enumerate() {
+        let dom = &DOMAINS[i % DOMAINS.len()];
+        domain_uses[i % DOMAINS.len()] += 1;
+        let db_id = format!("{}_{}", dom.name, domain_uses[i % DOMAINS.len()]);
+        let db = instantiate_db(db_id, dom, ntables, lex, rng, &mut col_budget);
+        db.validate().unwrap_or_else(|e| panic!("invalid db: {e}"));
+        dbs.push(db);
+    }
+
+    // Second pass: reconcile the exact column total by adding/removing pool
+    // columns where possible.
+    let mut total: isize = dbs.iter().map(|d| d.column_count() as isize).sum();
+    let target = config.total_columns as isize;
+    let mut guard = 0;
+    while total != target && guard < 10_000 {
+        guard += 1;
+        let di = rng.gen_range(0..dbs.len());
+        let db = &mut dbs[di];
+        let ti = rng.gen_range(0..db.tables.len());
+        if total < target {
+            // add a spare pool column if any remains unused
+            let dom = &DOMAINS[di % DOMAINS.len()];
+            if add_spare_column(db, ti, dom, lex).is_some() {
+                total += 1;
+            }
+        } else {
+            // remove a trailing non-key, non-fk column if the table is large
+            let t = &mut db.tables[ti];
+            if t.columns.len() > 4 {
+                let fk_cols: Vec<usize> = db
+                    .foreign_keys
+                    .iter()
+                    .filter(|fk| fk.from_table == ti)
+                    .map(|fk| fk.from_column)
+                    .chain(
+                        db.foreign_keys
+                            .iter()
+                            .filter(|fk| fk.to_table == ti)
+                            .map(|fk| fk.to_column),
+                    )
+                    .collect();
+                let t = &mut db.tables[ti];
+                let last = t.columns.len() - 1;
+                if !t.columns[last].is_key && !fk_cols.contains(&last) {
+                    t.columns.pop();
+                    total -= 1;
+                }
+            }
+        }
+    }
+    assert_eq!(
+        total, target,
+        "could not reconcile column total (got {total}, want {target})"
+    );
+    dbs
+}
+
+/// Split `total` into `parts` near-equal integer chunks.
+fn bresenham(total: usize, parts: usize) -> Vec<usize> {
+    (0..parts)
+        .map(|i| total * (i + 1) / parts - total * i / parts)
+        .collect()
+}
+
+/// Incremental near-equal splitter for the column budget.
+struct BudgetSplitter {
+    remaining: usize,
+    parts_left: usize,
+}
+
+impl BudgetSplitter {
+    fn new(total: usize, parts: usize) -> Self {
+        BudgetSplitter {
+            remaining: total,
+            parts_left: parts,
+        }
+    }
+
+    fn next(&mut self, min: usize, max: usize) -> usize {
+        let ideal = self
+            .remaining
+            .checked_div(self.parts_left)
+            .unwrap_or(min);
+        let take = ideal.clamp(min, max);
+        self.remaining = self.remaining.saturating_sub(take);
+        self.parts_left = self.parts_left.saturating_sub(1);
+        take
+    }
+}
+
+fn make_column(bp: &ColBp, lex: &Lexicon, style: NamingStyle) -> Column {
+    let mut parts = Vec::new();
+    if !bp.prefix.is_empty() {
+        if lex.index_of(bp.prefix).is_some() {
+            parts.push(NamePart::concept(bp.prefix));
+        } else {
+            parts.push(NamePart::literal(bp.prefix));
+        }
+    }
+    parts.push(NamePart::concept(bp.concept));
+    let name = style.render(&render_words(&parts, lex, 0));
+    Column {
+        name,
+        parts,
+        ctype: bp.ctype,
+        is_key: false,
+    }
+}
+
+fn key_column(table_parts: &[NamePart], lex: &Lexicon, style: NamingStyle) -> Column {
+    let mut parts = table_parts.to_vec();
+    parts.push(NamePart::concept("id"));
+    Column {
+        name: style.render(&render_words(&parts, lex, 0)),
+        parts,
+        ctype: ColType::Number,
+        is_key: true,
+    }
+}
+
+fn pick_style(rng: &mut StdRng) -> NamingStyle {
+    let r: f64 = rng.gen();
+    if r < 0.6 {
+        NamingStyle::LowerSnake
+    } else if r < 0.85 {
+        NamingStyle::UpperSnake
+    } else {
+        NamingStyle::CapSnake
+    }
+}
+
+fn instantiate_db(
+    id: String,
+    dom: &DomainBp,
+    ntables: usize,
+    lex: &Lexicon,
+    rng: &mut StdRng,
+    col_budget: &mut BudgetSplitter,
+) -> Database {
+    let ntables = ntables.min(dom.tables.len()).max(2);
+    // Select table subset; force the first FK pair in so joins are possible.
+    let mut idxs: Vec<usize> = (0..dom.tables.len()).collect();
+    idxs.shuffle(rng);
+    idxs.truncate(ntables);
+    if let Some((a, b)) = dom.fks.first() {
+        if !idxs.contains(a) {
+            idxs[0] = *a;
+        }
+        if !idxs.contains(b) {
+            let pos = if idxs[0] == *a { 1 } else { 0 };
+            let pos = pos.min(idxs.len() - 1);
+            idxs[pos] = *b;
+        }
+    }
+    idxs.sort_unstable();
+    idxs.dedup();
+    let remap = |orig: usize| idxs.iter().position(|&i| i == orig);
+
+    // Decide FK edges among selected tables (dedup by from-table/target).
+    let mut fk_edges: Vec<(usize, usize)> = Vec::new();
+    for (a, b) in dom.fks {
+        if let (Some(na), Some(nb)) = (remap(*a), remap(*b)) {
+            if !fk_edges.iter().any(|&(x, y)| x == na && y == nb) {
+                fk_edges.push((na, nb));
+            }
+        }
+    }
+
+    let mut tables = Vec::with_capacity(idxs.len());
+    for (new_i, &orig_i) in idxs.iter().enumerate() {
+        let tb = &dom.tables[orig_i];
+        let style = pick_style(rng);
+        let n_fk_cols = fk_edges.iter().filter(|&&(f, _)| f == new_i).count();
+        let max_cols = 1 + n_fk_cols + tb.cols.len();
+        let min_cols = 1 + n_fk_cols + 2.min(tb.cols.len());
+        let target = col_budget.next(min_cols, max_cols);
+
+        let mut table_parts = vec![NamePart::concept(tb.concept)];
+        if !tb.literal.is_empty() {
+            table_parts.push(NamePart::literal(tb.literal));
+        }
+        let mut columns = vec![key_column(&table_parts, lex, style)];
+        for &(f, to) in &fk_edges {
+            if f == new_i {
+                let target_concept = dom.tables[idxs[to]].concept;
+                let parts = vec![
+                    NamePart::concept(target_concept),
+                    NamePart::concept("id"),
+                ];
+                let col = Column {
+                    name: style.render(&render_words(&parts, lex, 0)),
+                    parts,
+                    ctype: ColType::Number,
+                    is_key: false,
+                };
+                if !columns
+                    .iter()
+                    .any(|c| c.name.eq_ignore_ascii_case(&col.name))
+                {
+                    columns.push(col);
+                }
+            }
+        }
+        // Fill from pool in shuffled order.
+        let mut pool: Vec<&ColBp> = tb.cols.iter().collect();
+        pool.shuffle(rng);
+        for bp in pool {
+            if columns.len() >= target {
+                break;
+            }
+            let col = make_column(bp, lex, style);
+            if columns
+                .iter()
+                .any(|c| c.name.eq_ignore_ascii_case(&col.name))
+            {
+                continue;
+            }
+            columns.push(col);
+        }
+
+        let name = NamingStyle::LowerSnake.render(&render_words(&table_parts, lex, 0));
+        tables.push(Table {
+            name,
+            parts: std::mem::take(&mut table_parts),
+            columns,
+        });
+    }
+
+    // Materialise FK records (from the `<target>_id` column to the target key).
+    let mut foreign_keys = Vec::new();
+    for &(f, to) in &fk_edges {
+        let target_concept = dom.tables[idxs[to]].concept;
+        let expect_head: Vec<NamePart> = vec![
+            NamePart::concept(target_concept),
+            NamePart::concept("id"),
+        ];
+        if let Some(ci) = tables[f].columns.iter().position(|c| c.parts == expect_head) {
+            foreign_keys.push(ForeignKey {
+                from_table: f,
+                from_column: ci,
+                to_table: to,
+                to_column: 0,
+            });
+        }
+    }
+
+    Database {
+        id,
+        tables,
+        foreign_keys,
+    }
+}
+
+fn add_spare_column(db: &mut Database, ti: usize, dom: &DomainBp, lex: &Lexicon) -> Option<()> {
+    // Find the blueprint for this table by matching the head concept.
+    let head = db.tables[ti].parts.iter().find_map(|p| match p {
+        NamePart::Concept(c) => Some(c.clone()),
+        _ => None,
+    })?;
+    let tb = dom.tables.iter().find(|t| t.concept == head)?;
+    // Infer the table's naming style from its key column.
+    let style = infer_style(&db.tables[ti].columns[0].name);
+    for bp in tb.cols {
+        let col = make_column(bp, lex, style);
+        if !db.tables[ti]
+            .columns
+            .iter()
+            .any(|c| c.name.eq_ignore_ascii_case(&col.name))
+        {
+            db.tables[ti].columns.push(col);
+            return Some(());
+        }
+    }
+    None
+}
+
+fn infer_style(name: &str) -> NamingStyle {
+    if name.chars().all(|c| !c.is_ascii_lowercase()) {
+        NamingStyle::UpperSnake
+    } else if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+        NamingStyle::CapSnake
+    } else {
+        NamingStyle::LowerSnake
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pair generation
+// ---------------------------------------------------------------------------
+
+struct TableView {
+    cats: Vec<usize>,
+    nums: Vec<usize>,
+    dates: Vec<usize>,
+}
+
+fn view(table: &Table) -> TableView {
+    let mut v = TableView {
+        cats: vec![],
+        nums: vec![],
+        dates: vec![],
+    };
+    for (i, c) in table.columns.iter().enumerate() {
+        if c.is_key {
+            continue;
+        }
+        match c.ctype {
+            ColType::Text => v.cats.push(i),
+            ColType::Number => v.nums.push(i),
+            ColType::Date => v.dates.push(i),
+        }
+    }
+    v
+}
+
+fn pick_from(rng: &mut StdRng, v: &[usize]) -> Option<usize> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v[rng.gen_range(0..v.len())])
+    }
+}
+
+/// Per-database surface-style habits. Real nvBench inherits SQL habits from
+/// each Spider source database, so style correlates with the schema; GRED's
+/// Retuner exploits exactly that correlation (similar retrieved DVQs come
+/// from the same database and demonstrate its house style).
+#[derive(Debug, Clone, Copy)]
+pub struct StylePrior {
+    pub null_compare_string: bool,
+    pub noteq_bang: bool,
+    pub use_aliases: bool,
+    pub explicit_dir: bool,
+}
+
+impl StylePrior {
+    /// Deterministic prior for a database id, marginally matching the
+    /// corpus-wide style frequencies.
+    pub fn for_db(db_id: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in db_id.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        StylePrior {
+            null_compare_string: rng.gen_bool(0.85),
+            noteq_bang: rng.gen_bool(0.85),
+            use_aliases: rng.gen_bool(0.7),
+            explicit_dir: rng.gen_bool(0.75),
+        }
+    }
+}
+
+/// Try to build a spec for `chart` on `db` with the given complexity budget
+/// (0 = bare, 3 = joins/subqueries/multi-predicate).
+pub fn gen_spec(rng: &mut StdRng, db: &Database, chart: ChartType, budget: u32) -> Option<QuerySpec> {
+    let nt = db.tables.len();
+    let table = rng.gen_range(0..nt);
+    let tv = view(&db.tables[table]);
+    let cid = |t: usize, c: usize| ColumnId { table: t, column: c };
+
+    // Follow the database's style habits with a 10% per-example deviation.
+    let prior = StylePrior::for_db(&db.id);
+    let follow = |rng: &mut StdRng, habit: bool| {
+        if rng.gen_bool(0.9) {
+            habit
+        } else {
+            !habit
+        }
+    };
+    let null_cs = follow(rng, prior.null_compare_string);
+    let style = StyleSpec {
+        null_style: if null_cs {
+            NullStyle::CompareString
+        } else {
+            NullStyle::IsNull
+        },
+        noteq_bang: follow(rng, prior.noteq_bang),
+        use_aliases: follow(rng, prior.use_aliases),
+    };
+    let explicit_dir_habit = follow(rng, prior.explicit_dir);
+
+    let mut spec = QuerySpec {
+        chart,
+        table,
+        x: AxisSpec::Col(cid(table, 0)),
+        y: AxisSpec::Col(cid(table, 0)),
+        color: None,
+        join: None,
+        preds: vec![],
+        group: vec![],
+        order: None,
+        limit: None,
+        bin: None,
+        style,
+    };
+
+    // ----- axes per chart family -----
+    match chart {
+        ChartType::Bar | ChartType::Pie | ChartType::StackedBar => {
+            let x = pick_from(rng, &tv.cats)?;
+            spec.x = AxisSpec::Col(cid(table, x));
+            let roll: f64 = rng.gen();
+            if roll < 0.5 || tv.nums.is_empty() {
+                spec.y = AxisSpec::Agg {
+                    func: AggFunc::Count,
+                    distinct: false,
+                    col: cid(table, x),
+                };
+                spec.group = vec![cid(table, x)];
+            } else if roll < 0.85 {
+                let y = pick_from(rng, &tv.nums)?;
+                let func = [AggFunc::Avg, AggFunc::Sum, AggFunc::Min, AggFunc::Max]
+                    [rng.gen_range(0..4)];
+                spec.y = AxisSpec::Agg {
+                    func,
+                    distinct: false,
+                    col: cid(table, y),
+                };
+                spec.group = vec![cid(table, x)];
+            } else if chart == ChartType::Bar {
+                // Plain bar without grouping (the Table 5 case-study shape).
+                let y = pick_from(rng, &tv.nums)?;
+                spec.y = AxisSpec::Col(cid(table, y));
+            } else {
+                let y = pick_from(rng, &tv.nums)?;
+                spec.y = AxisSpec::Agg {
+                    func: AggFunc::Avg,
+                    distinct: false,
+                    col: cid(table, y),
+                };
+                spec.group = vec![cid(table, x)];
+            }
+            if chart == ChartType::StackedBar {
+                let color = tv
+                    .cats
+                    .iter()
+                    .copied()
+                    .find(|&c| c != spec.x.column().column)?;
+                spec.color = Some(cid(table, color));
+                spec.group = vec![cid(table, color)];
+            }
+        }
+        ChartType::Line | ChartType::GroupingLine => {
+            if let Some(d) = pick_from(rng, &tv.dates) {
+                spec.x = AxisSpec::Col(cid(table, d));
+                spec.bin = Some((
+                    cid(table, d),
+                    [BinUnit::Year, BinUnit::Month, BinUnit::Weekday][rng.gen_range(0..3)],
+                ));
+            } else {
+                // year-like numeric fallback
+                let y = tv.nums.iter().copied().find(|&c| {
+                    db.tables[table].columns[c]
+                        .head_concept()
+                        .is_some_and(|h| h.contains("year"))
+                })?;
+                spec.x = AxisSpec::Col(cid(table, y));
+            }
+            if rng.gen_bool(0.5) || tv.nums.is_empty() {
+                spec.y = AxisSpec::Agg {
+                    func: AggFunc::Count,
+                    distinct: false,
+                    col: spec.x.column(),
+                };
+            } else {
+                let y = pick_from(rng, &tv.nums)?;
+                spec.y = AxisSpec::Agg {
+                    func: [AggFunc::Avg, AggFunc::Sum][rng.gen_range(0..2)],
+                    distinct: false,
+                    col: cid(table, y),
+                };
+            }
+            if chart == ChartType::GroupingLine {
+                let color = pick_from(rng, &tv.cats)?;
+                spec.color = Some(cid(table, color));
+                spec.group = vec![cid(table, color)];
+            }
+        }
+        ChartType::Scatter | ChartType::GroupingScatter => {
+            if tv.nums.len() < 2 {
+                return None;
+            }
+            let xi = rng.gen_range(0..tv.nums.len());
+            let mut yi = rng.gen_range(0..tv.nums.len());
+            if yi == xi {
+                yi = (yi + 1) % tv.nums.len();
+            }
+            spec.x = AxisSpec::Col(cid(table, tv.nums[xi]));
+            spec.y = AxisSpec::Col(cid(table, tv.nums[yi]));
+            if chart == ChartType::GroupingScatter {
+                let color = pick_from(rng, &tv.cats)?;
+                spec.color = Some(cid(table, color));
+                spec.group = vec![cid(table, color)];
+            }
+        }
+    }
+
+    // ----- join (budget >= 2) -----
+    if budget >= 2 && rng.gen_bool(0.45) {
+        if let Some(fk) = db
+            .foreign_keys
+            .iter()
+            .find(|fk| fk.from_table == table)
+        {
+            let to = fk.to_table;
+            let to_view = view(&db.tables[to]);
+            if let Some(filter_col) = pick_from(rng, &to_view.cats) {
+                spec.join = Some(JoinSpec {
+                    table: to,
+                    left: cid(table, fk.from_column),
+                    right: cid(to, fk.to_column),
+                });
+                let concept = db.tables[to].columns[filter_col]
+                    .head_concept()
+                    .unwrap_or("name")
+                    .to_string();
+                let pool = values::text_pool(&concept);
+                spec.preds.push((
+                    BoolOp::And,
+                    PredSpec::Cmp {
+                        col: cid(to, filter_col),
+                        op: CmpOp::Eq,
+                        value: ValSpec::Text(pool[rng.gen_range(0..pool.len())].to_string()),
+                    },
+                ));
+            }
+        }
+    }
+
+    // ----- extra predicates -----
+    let extra_preds = match budget {
+        0 => 0,
+        1 => usize::from(rng.gen_bool(0.6)),
+        2 => rng.gen_range(1..=2),
+        _ => rng.gen_range(2..=3),
+    };
+    for _ in 0..extra_preds {
+        let conn = if rng.gen_bool(0.75) { BoolOp::And } else { BoolOp::Or };
+        let p = gen_pred(rng, db, table, &tv, budget)?;
+        spec.preds.push((conn, p));
+    }
+
+    // ----- ordering / limit -----
+    let orderable = !matches!(chart, ChartType::Pie);
+    if orderable && rng.gen_bool(if budget == 0 { 0.3 } else { 0.55 }) {
+        let target = if spec.y.aggregate().is_some() && rng.gen_bool(0.5) {
+            OrderTarget::Y
+        } else {
+            OrderTarget::X
+        };
+        let dir = if rng.gen_bool(0.5) { SortDir::Asc } else { SortDir::Desc };
+        spec.order = Some(OrderSpec {
+            target,
+            dir,
+            explicit_dir: explicit_dir_habit,
+        });
+        if budget >= 2 && dir == SortDir::Desc && rng.gen_bool(0.3) {
+            spec.limit = Some(rng.gen_range(3..=10));
+        }
+    }
+
+    Some(spec)
+}
+
+fn gen_pred(
+    rng: &mut StdRng,
+    db: &Database,
+    table: usize,
+    tv: &TableView,
+    budget: u32,
+) -> Option<PredSpec> {
+    let cid = |c: usize| ColumnId { table, column: c };
+    let concept_of = |c: usize| {
+        db.tables[table].columns[c]
+            .head_concept()
+            .unwrap_or("value")
+            .to_string()
+    };
+    for _ in 0..8 {
+        let roll: f64 = rng.gen();
+        if roll < 0.30 {
+            let c = pick_from(rng, &tv.nums)?;
+            let (lo, hi) = values::num_range(&concept_of(c));
+            let v = rng.gen_range(lo..=hi);
+            let op = [CmpOp::Gt, CmpOp::Lt, CmpOp::Ge, CmpOp::Le, CmpOp::NotEq]
+                [rng.gen_range(0..5)];
+            return Some(PredSpec::Cmp {
+                col: cid(c),
+                op,
+                value: ValSpec::Num(v),
+            });
+        } else if roll < 0.48 {
+            let c = pick_from(rng, &tv.nums)?;
+            let (lo, hi) = values::num_range(&concept_of(c));
+            let a = rng.gen_range(lo..hi);
+            let b = rng.gen_range(a + 1..=hi);
+            return Some(PredSpec::Between {
+                col: cid(c),
+                lo: a,
+                hi: b,
+            });
+        } else if roll < 0.64 {
+            let c = pick_from(rng, &tv.cats)?;
+            let pool = values::text_pool(&concept_of(c));
+            return Some(PredSpec::Cmp {
+                col: cid(c),
+                op: if rng.gen_bool(0.8) { CmpOp::Eq } else { CmpOp::NotEq },
+                value: ValSpec::Text(pool[rng.gen_range(0..pool.len())].to_string()),
+            });
+        } else if roll < 0.76 {
+            let c = pick_from(rng, &tv.cats)?;
+            let letter = (b'A' + rng.gen_range(0..26u8)) as char;
+            return Some(PredSpec::Like {
+                col: cid(c),
+                pattern: format!("%{letter}%"),
+            });
+        } else if roll < 0.9 {
+            let all: Vec<usize> = tv.nums.iter().chain(tv.cats.iter()).copied().collect();
+            let c = pick_from(rng, &all)?;
+            return Some(PredSpec::NotNull { col: cid(c) });
+        } else if budget >= 3 {
+            // Subquery through a foreign key.
+            let fk = db.foreign_keys.iter().find(|fk| fk.from_table == table)?;
+            let to = fk.to_table;
+            let to_view = view(&db.tables[to]);
+            let filter_col = pick_from(rng, &to_view.cats)?;
+            let concept = db.tables[to].columns[filter_col]
+                .head_concept()
+                .unwrap_or("name")
+                .to_string();
+            let pool = values::text_pool(&concept);
+            let sub = PredSpec::EqSubquery {
+                col: cid(fk.from_column),
+                sub_table: to,
+                sub_select: ColumnId {
+                    table: to,
+                    column: fk.to_column,
+                },
+                filter: Some((
+                    ColumnId {
+                        table: to,
+                        column: filter_col,
+                    },
+                    ValSpec::Text(pool[rng.gen_range(0..pool.len())].to_string()),
+                )),
+            };
+            return Some(sub);
+        }
+    }
+    None
+}
+
+fn budget_roll(rng: &mut StdRng) -> u32 {
+    let r: f64 = rng.gen();
+    if r < 0.28 {
+        0
+    } else if r < 0.65 {
+        1
+    } else if r < 0.89 {
+        2
+    } else {
+        3
+    }
+}
+
+fn make_example(
+    id: usize,
+    db_idx: usize,
+    spec: QuerySpec,
+    databases: &[Database],
+    lex: &Lexicon,
+    rng: &mut StdRng,
+) -> Example {
+    let frame_seed: u64 = rng.gen();
+    let db = &databases[db_idx];
+    let dvq = spec.to_dvq(db);
+    let dvq_text = Printer::default().print(&dvq);
+    let nlq = render_nlq(&spec, db, lex, NlMode::Explicit, frame_seed);
+    let hardness = classify(&dvq);
+    Example {
+        id,
+        db: db_idx,
+        spec,
+        frame_seed,
+        nlq,
+        dvq,
+        dvq_text,
+        hardness,
+    }
+}
+
+fn generate_dev(
+    config: &CorpusConfig,
+    databases: &[Database],
+    lex: &Lexicon,
+    rng: &mut StdRng,
+    next_id: &mut usize,
+) -> Vec<Example> {
+    let mut hardness_left = config.dev_hardness_quota;
+    let mut out = Vec::with_capacity(config.dev_total());
+    for (ci, &quota) in config.dev_chart_quota.iter().enumerate() {
+        let chart = ChartType::ALL[ci];
+        for _ in 0..quota {
+            let mut accepted: Option<(usize, QuerySpec, Hardness)> = None;
+            for attempt in 0..60 {
+                let db_idx = rng.gen_range(0..databases.len());
+                let budget = budget_roll(rng);
+                let Some(spec) = gen_spec(rng, &databases[db_idx], chart, budget) else {
+                    continue;
+                };
+                let h = classify(&spec.to_dvq(&databases[db_idx]));
+                let hi = h as usize;
+                if hardness_left[hi] > 0 || attempt >= 40 {
+                    hardness_left[hi] = hardness_left[hi].saturating_sub(1);
+                    accepted = Some((db_idx, spec, h));
+                    break;
+                }
+            }
+            let (db_idx, spec, _) = accepted.expect("generation never converged");
+            let ex = make_example(*next_id, db_idx, spec, databases, lex, rng);
+            *next_id += 1;
+            out.push(ex);
+        }
+    }
+    out
+}
+
+fn generate_pool(
+    count: usize,
+    config: &CorpusConfig,
+    databases: &[Database],
+    lex: &Lexicon,
+    rng: &mut StdRng,
+    next_id: &mut usize,
+) -> Vec<Example> {
+    let weights = config.dev_chart_quota;
+    let total_w: usize = weights.iter().sum();
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        // Sample a chart type proportionally to the dev distribution.
+        let mut roll = rng.gen_range(0..total_w);
+        let mut chart = ChartType::Bar;
+        for (ci, &w) in weights.iter().enumerate() {
+            if roll < w {
+                chart = ChartType::ALL[ci];
+                break;
+            }
+            roll -= w;
+        }
+        let db_idx = rng.gen_range(0..databases.len());
+        let budget = budget_roll(rng);
+        if let Some(spec) = gen_spec(rng, &databases[db_idx], chart, budget) {
+            let ex = make_example(*next_id, db_idx, spec, databases, lex, rng);
+            *next_id += 1;
+            out.push(ex);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_corpus_hits_exact_structural_totals() {
+        let cfg = CorpusConfig::tiny(7);
+        let corpus = generate(&cfg);
+        assert_eq!(corpus.databases.len(), cfg.num_dbs);
+        let tables: usize = corpus.databases.iter().map(|d| d.tables.len()).sum();
+        let cols: usize = corpus.databases.iter().map(|d| d.column_count()).sum();
+        assert_eq!(tables, cfg.total_tables);
+        assert_eq!(cols, cfg.total_columns);
+    }
+
+    #[test]
+    fn dev_chart_histogram_is_exact() {
+        let cfg = CorpusConfig::tiny(13);
+        let corpus = generate(&cfg);
+        for (ci, &want) in cfg.dev_chart_quota.iter().enumerate() {
+            let got = corpus
+                .dev
+                .iter()
+                .filter(|e| e.spec.chart == ChartType::ALL[ci])
+                .count();
+            assert_eq!(got, want, "chart {:?}", ChartType::ALL[ci]);
+        }
+    }
+
+    #[test]
+    fn all_dvqs_parse_and_roundtrip() {
+        let corpus = generate(&CorpusConfig::tiny(21));
+        for ex in corpus.dev.iter().chain(corpus.train.iter()) {
+            let reparsed = t2v_dvq::parse(&ex.dvq_text)
+                .unwrap_or_else(|e| panic!("bad dvq {}: {e}", ex.dvq_text));
+            assert_eq!(reparsed, ex.dvq);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&CorpusConfig::tiny(5));
+        let b = generate(&CorpusConfig::tiny(5));
+        assert_eq!(a.dev.len(), b.dev.len());
+        for (x, y) in a.dev.iter().zip(b.dev.iter()) {
+            assert_eq!(x.nlq, y.nlq);
+            assert_eq!(x.dvq_text, y.dvq_text);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&CorpusConfig::tiny(5));
+        let b = generate(&CorpusConfig::tiny(6));
+        let same = a
+            .dev
+            .iter()
+            .zip(b.dev.iter())
+            .filter(|(x, y)| x.dvq_text == y.dvq_text)
+            .count();
+        assert!(same < a.dev.len() / 2);
+    }
+
+    #[test]
+    fn train_split_has_requested_size() {
+        let cfg = CorpusConfig::tiny(3);
+        let corpus = generate(&cfg);
+        assert_eq!(corpus.train.len(), cfg.train_pairs);
+        assert_eq!(corpus.valid.len(), cfg.valid_pairs);
+        assert_eq!(corpus.dev.len(), cfg.dev_total());
+    }
+
+    #[test]
+    fn hardness_targets_are_respected_approximately() {
+        let cfg = CorpusConfig::tiny(17);
+        let corpus = generate(&cfg);
+        let mut got = [0usize; 4];
+        for e in &corpus.dev {
+            got[e.hardness as usize] += 1;
+        }
+        // Rejection targeting should land within a tolerance of the quota.
+        for (g, want) in got.iter().zip(cfg.dev_hardness_quota.iter()) {
+            let diff = g.abs_diff(*want);
+            assert!(
+                diff <= cfg.dev_total() / 4,
+                "hardness histogram too far off: got {got:?}, want {:?}",
+                cfg.dev_hardness_quota
+            );
+        }
+    }
+
+    #[test]
+    fn databases_validate_and_have_foreign_keys() {
+        let corpus = generate(&CorpusConfig::tiny(2));
+        let mut with_fk = 0;
+        for db in &corpus.databases {
+            db.validate().unwrap();
+            if !db.foreign_keys.is_empty() {
+                with_fk += 1;
+            }
+        }
+        assert!(with_fk >= corpus.databases.len() / 2);
+    }
+}

@@ -1,0 +1,338 @@
+//! The concept lexicon: the semantic backbone shared by corpus generation,
+//! perturbation and the simulated embedding model.
+//!
+//! A *concept* is an abstract meaning ("salary") with several lexicalisations
+//! (`salary`, `wage`, `pay`, `earnings`). Database columns carry a concept id;
+//! NLQ templates mention concepts; schema perturbation renames a column to a
+//! *different* lexicalisation of the same concept; and the embedding model
+//! maps (a sampled subset of) lexicalisations of one concept onto the same
+//! semantic dimension — which is what makes cross-surface retrieval possible,
+//! just as `text-embedding-3-large` does for the paper.
+
+use std::collections::HashMap;
+
+/// One concept and its alternative word sequences. The first alternative is
+/// the *primary* form used when the original corpus names a column.
+#[derive(Debug, Clone)]
+pub struct Concept {
+    /// Stable id: primary words joined by `_`.
+    pub id: String,
+    /// Alternative lexicalisations, each a sequence of lowercase words.
+    pub alts: Vec<Vec<String>>,
+}
+
+impl Concept {
+    fn new(alts: &[&[&str]]) -> Self {
+        let alts: Vec<Vec<String>> = alts
+            .iter()
+            .map(|ws| ws.iter().map(|w| w.to_string()).collect())
+            .collect();
+        Concept {
+            id: alts[0].join("_"),
+            alts,
+        }
+    }
+
+    /// The primary (original-corpus) word sequence.
+    pub fn primary(&self) -> &[String] {
+        &self.alts[0]
+    }
+
+    /// Natural-language rendering of alternative `i` ("date of hire").
+    pub fn phrase(&self, i: usize) -> String {
+        self.alts[i % self.alts.len()].join(" ")
+    }
+}
+
+/// The full lexicon: concepts plus a word → concept inverted index.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    pub concepts: Vec<Concept>,
+    by_id: HashMap<String, usize>,
+    /// Full lexicalisation (words joined by space) → concept index.
+    by_phrase: HashMap<String, usize>,
+}
+
+impl Lexicon {
+    /// Build the built-in lexicon (deterministic).
+    pub fn builtin() -> Self {
+        let mut concepts = Vec::new();
+        for spec in CONCEPT_SPECS {
+            concepts.push(Concept::new(spec));
+        }
+        let mut by_id = HashMap::new();
+        let mut by_phrase = HashMap::new();
+        for (i, c) in concepts.iter().enumerate() {
+            by_id.insert(c.id.clone(), i);
+            for (ai, alt) in c.alts.iter().enumerate() {
+                // Earlier concepts win phrase collisions; primary forms win
+                // within a concept.
+                by_phrase.entry(alt.join(" ")).or_insert(i);
+                let _ = ai;
+            }
+        }
+        Lexicon {
+            concepts,
+            by_id,
+            by_phrase,
+        }
+    }
+
+    pub fn get(&self, id: &str) -> Option<&Concept> {
+        self.by_id.get(id).map(|&i| &self.concepts[i])
+    }
+
+    /// Index of the concept with the given id (panics in debug on unknown id;
+    /// generation code only uses ids from the lexicon).
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.by_id.get(id).copied()
+    }
+
+    /// Find the concept that a full phrase (words joined by a single space)
+    /// lexicalises, if any.
+    pub fn concept_of_phrase(&self, phrase: &str) -> Option<usize> {
+        self.by_phrase.get(phrase).copied()
+    }
+
+    /// Find the concept whose lexicalisations include this single word.
+    pub fn concept_of_word(&self, word: &str) -> Option<usize> {
+        self.by_phrase.get(word).copied()
+    }
+
+    /// Like [`Lexicon::concept_of_phrase`], but tolerates a simple English
+    /// plural on the final word ("employees" matches "employee").
+    pub fn concept_of_phrase_stemmed(&self, phrase: &str) -> Option<usize> {
+        if let Some(ci) = self.concept_of_phrase(phrase) {
+            return Some(ci);
+        }
+        let mut words: Vec<&str> = phrase.split(' ').collect();
+        let last = words.pop()?;
+        for stripped in [last.strip_suffix("es"), last.strip_suffix('s')]
+            .into_iter()
+            .flatten()
+        {
+            if stripped.len() < 2 || last.ends_with("ss") {
+                continue;
+            }
+            let mut candidate = words.join(" ");
+            if !candidate.is_empty() {
+                candidate.push(' ');
+            }
+            candidate.push_str(stripped);
+            if let Some(ci) = self.concept_of_phrase(&candidate) {
+                return Some(ci);
+            }
+        }
+        None
+    }
+
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+}
+
+/// Static concept data: `&[alt0, alt1, ...]`, each alt a word sequence.
+/// alt0 is the primary form used by original schemas/NLQs.
+#[rustfmt::skip]
+const CONCEPT_SPECS: &[&[&[&str]]] = &[
+    // ----- generic entity attributes -----
+    &[&["id"], &["identifier"], &["key"]],
+    &[&["name"], &["title"], &["label"]],
+    &[&["first", "name"], &["fname"], &["given", "name"]],
+    &[&["last", "name"], &["lname"], &["surname"], &["family", "name"]],
+    &[&["age"], &["years", "old"], &["age", "in", "years"]],
+    &[&["sex"], &["gender"]],
+    &[&["email"], &["mail", "address"], &["email", "address"]],
+    &[&["phone"], &["telephone"], &["contact", "number"]],
+    &[&["address"], &["location"], &["residence"]],
+    &[&["city"], &["town"], &["municipality"]],
+    &[&["country"], &["nation"], &["state"]],
+    &[&["region"], &["area"], &["zone"]],
+    &[&["status"], &["state", "flag"], &["condition"]],
+    &[&["type"], &["kind"], &["category", "code"]],
+    &[&["category"], &["class"], &["genre", "group"]],
+    &[&["description"], &["details"], &["summary", "text"]],
+    &[&["rank"], &["position", "order"], &["standing"]],
+    &[&["rating"], &["score"], &["grade", "points"]],
+    &[&["code"], &["abbreviation"], &["short", "code"]],
+    &[&["comment"], &["note"], &["remark"]],
+    // ----- money / quantity -----
+    &[&["salary"], &["wage"], &["pay"], &["earnings"]],
+    &[&["bonus"], &["premium"], &["incentive"]],
+    &[&["price"], &["cost"], &["amount", "charged"]],
+    &[&["budget"], &["allocated", "funds"], &["spending", "plan"]],
+    &[&["revenue"], &["income"], &["turnover"]],
+    &[&["profit"], &["gain"], &["net", "earnings"]],
+    &[&["balance"], &["remaining", "funds"], &["account", "total"]],
+    &[&["quantity"], &["amount"], &["count", "of", "units"]],
+    &[&["capacity"], &["seating"], &["max", "occupancy"]],
+    &[&["population"], &["inhabitants"], &["residents"]],
+    &[&["weight"], &["mass"], &["heaviness"]],
+    &[&["height"], &["stature"], &["tallness"]],
+    &[&["length"], &["extent"], &["span"]],
+    &[&["distance"], &["mileage"], &["range", "covered"]],
+    &[&["speed"], &["velocity"], &["pace"]],
+    &[&["duration"], &["elapsed", "time"], &["running", "time"]],
+    &[&["area", "size"], &["surface", "area"], &["square", "footage"]],
+    &[&["temperature"], &["degrees"], &["thermal", "reading"]],
+    &[&["stock"], &["inventory"], &["units", "on", "hand"]],
+    &[&["sales"], &["units", "sold"], &["purchases", "made"]],
+    &[&["attendance"], &["audience", "size"], &["turnout"]],
+    &[&["votes"], &["ballots"], &["support", "count"]],
+    &[&["percentage"], &["percent"], &["share", "ratio"]],
+    &[&["acc", "percent"], &["percentage", "of", "acc"], &["acc", "ratio"]],
+    &[&["mileage"], &["miles", "driven"], &["odometer", "reading"]],
+    &[&["horsepower"], &["engine", "power"], &["hp", "rating"]],
+    // ----- dates -----
+    &[&["date"], &["day", "recorded"], &["calendar", "date"]],
+    &[&["hire", "date"], &["date", "of", "hire"], &["hiring", "date"], &["employment", "date"]],
+    &[&["birth", "date"], &["date", "of", "birth"], &["birthday"]],
+    &[&["start", "date"], &["begin", "date"], &["commencement", "date"]],
+    &[&["end", "date"], &["finish", "date"], &["completion", "date"]],
+    &[&["order", "date"], &["date", "ordered"], &["purchase", "date"]],
+    &[&["release", "date"], &["launch", "date"], &["publication", "date"]],
+    &[&["open", "date"], &["opening", "day"], &["inauguration", "date"]],
+    &[&["due", "date"], &["deadline"], &["date", "due"]],
+    &[&["year"], &["calendar", "year"], &["yr"]],
+    &[&["openning", "year"], &["opening", "year"], &["year", "opened"]],
+    &[&["founded", "year"], &["year", "founded"], &["establishment", "year"]],
+    &[&["transaction", "date"], &["date", "of", "transaction"], &["payment", "date"]],
+    &[&["checkin", "date"], &["arrival", "date"], &["date", "of", "checkin"]],
+    // ----- people / org roles -----
+    &[&["employee"], &["staff", "member"], &["worker"]],
+    &[&["manager"], &["supervisor"], &["boss"]],
+    &[&["department"], &["dept"], &["division"], &["unit"]],
+    &[&["job"], &["role"], &["occupation"]],
+    &[&["customer"], &["client"], &["patron"]],
+    &[&["student"], &["pupil"], &["learner"]],
+    &[&["teacher"], &["instructor"], &["tutor"]],
+    &[&["professor"], &["faculty", "member"], &["academic"]],
+    &[&["advisor"], &["mentor"], &["counselor"]],
+    &[&["major"], &["field", "of", "study"], &["specialization"]],
+    &[&["owner"], &["proprietor"], &["holder"]],
+    &[&["driver"], &["chauffeur"], &["operator"]],
+    &[&["pilot"], &["aviator"], &["captain"]],
+    &[&["doctor"], &["physician"], &["medic"]],
+    &[&["patient"], &["case"], &["admitted", "person"]],
+    &[&["nurse"], &["caregiver"], &["medical", "assistant"]],
+    &[&["author"], &["writer"], &["creator"]],
+    &[&["artist"], &["performer"], &["musician"]],
+    &[&["player"], &["athlete"], &["competitor"]],
+    &[&["coach"], &["trainer"], &["team", "manager"]],
+    &[&["member"], &["participant"], &["affiliate"]],
+    &[&["host"], &["organizer"], &["presenter"]],
+    // ----- domain objects -----
+    &[&["movie"], &["film"], &["picture"]],
+    &[&["cinema"], &["theater"], &["movie", "house"]],
+    &[&["song"], &["track"], &["tune"]],
+    &[&["album"], &["record"], &["release"]],
+    &[&["book"], &["volume"], &["publication"]],
+    &[&["course"], &["class", "offering"], &["module"]],
+    &[&["exam"], &["test"], &["assessment"]],
+    &[&["flight"], &["air", "trip"], &["journey"]],
+    &[&["airport"], &["airfield"], &["terminal", "hub"]],
+    &[&["aircraft"], &["airplane"], &["plane"]],
+    &[&["ship"], &["vessel"], &["boat"]],
+    &[&["train"], &["railway", "service"], &["rail", "line"]],
+    &[&["station"], &["stop"], &["depot"]],
+    &[&["car"], &["automobile"], &["vehicle"]],
+    &[&["model"], &["variant"], &["version"]],
+    &[&["maker"], &["manufacturer"], &["producer"]],
+    &[&["product"], &["item"], &["good"]],
+    &[&["order", "record"], &["purchase", "record"], &["sale", "entry"]],
+    &[&["invoice"], &["bill"], &["receipt"]],
+    &[&["payment"], &["settlement"], &["remittance"]],
+    &[&["account"], &["ledger"], &["profile"]],
+    &[&["branch"], &["outlet"], &["local", "office"]],
+    &[&["store"], &["shop"], &["retail", "outlet"]],
+    &[&["warehouse"], &["storehouse"], &["distribution", "center"]],
+    &[&["hotel"], &["inn"], &["lodging"]],
+    &[&["room"], &["chamber"], &["suite"]],
+    &[&["apartment"], &["flat"], &["unit", "dwelling"]],
+    &[&["building"], &["structure"], &["premises"]],
+    &[&["restaurant"], &["diner"], &["eatery"]],
+    &[&["dish"], &["meal"], &["menu", "item"]],
+    &[&["hospital"], &["clinic"], &["medical", "center"]],
+    &[&["treatment"], &["procedure"], &["therapy"]],
+    &[&["medication"], &["drug"], &["prescription"]],
+    &[&["team"], &["squad"], &["club"]],
+    &[&["match", "game"], &["game"], &["fixture"]],
+    &[&["stadium"], &["arena"], &["sports", "ground"]],
+    &[&["tournament"], &["competition"], &["championship"]],
+    &[&["league"], &["division", "tier"], &["conference"]],
+    &[&["exhibition"], &["show"], &["display", "event"]],
+    &[&["theme"], &["topic"], &["subject"]],
+    &[&["museum"], &["gallery"], &["collection", "hall"]],
+    &[&["artwork"], &["piece"], &["work", "of", "art"]],
+    &[&["pet"], &["animal", "companion"], &["domestic", "animal"]],
+    &[&["breed"], &["pedigree"], &["variety"]],
+    &[&["farm"], &["ranch"], &["homestead"]],
+    &[&["crop"], &["produce"], &["harvest", "yield"]],
+    &[&["machine"], &["equipment"], &["apparatus"]],
+    &[&["policy"], &["coverage", "plan"], &["insurance", "contract"]],
+    &[&["claim"], &["filed", "case"], &["settlement", "request"]],
+    &[&["premium", "amount"], &["policy", "cost"], &["coverage", "fee"]],
+    &[&["shipment"], &["delivery"], &["consignment"]],
+    &[&["route"], &["path"], &["itinerary"]],
+    &[&["document"], &["file", "record"], &["paper"]],
+    &[&["project"], &["initiative"], &["undertaking"]],
+    &[&["task"], &["assignment"], &["work", "item"]],
+    &[&["event"], &["happening"], &["occasion"]],
+    &[&["venue"], &["site"], &["place", "held"]],
+    &[&["ticket"], &["pass"], &["admission", "slip"]],
+    &[&["review"], &["critique"], &["evaluation"]],
+    &[&["channel"], &["network", "station"], &["broadcast", "outlet"]],
+    &[&["program"], &["show", "series"], &["broadcast"]],
+    &[&["device"], &["gadget"], &["appliance"]],
+    &[&["browser"], &["web", "client"], &["user", "agent"]],
+    &[&["platform"], &["operating", "system"], &["environment"]],
+    &[&["commission", "pct"], &["commission", "rate"], &["commission", "percentage"]],
+    &[&["manager", "id"], &["supervisor", "id"], &["manager", "identifier"]],
+    &[&["happy", "hour"], &["hh"], &["discount", "hour"]],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lexicon_is_large_and_unique() {
+        let lex = Lexicon::builtin();
+        assert!(lex.len() >= 120, "lexicon too small: {}", lex.len());
+        let mut ids: Vec<&str> = lex.concepts.iter().map(|c| c.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len(), "duplicate concept ids");
+    }
+
+    #[test]
+    fn every_concept_has_at_least_two_alts() {
+        let lex = Lexicon::builtin();
+        for c in &lex.concepts {
+            assert!(c.alts.len() >= 2, "concept {} has no synonyms", c.id);
+        }
+    }
+
+    #[test]
+    fn phrase_lookup_finds_synonyms() {
+        let lex = Lexicon::builtin();
+        let salary = lex.index_of("salary").unwrap();
+        assert_eq!(lex.concept_of_phrase("wage"), Some(salary));
+        assert_eq!(lex.concept_of_phrase("pay"), Some(salary));
+        let hire = lex.index_of("hire_date").unwrap();
+        assert_eq!(lex.concept_of_phrase("date of hire"), Some(hire));
+    }
+
+    #[test]
+    fn primary_form_is_first_alt() {
+        let lex = Lexicon::builtin();
+        let c = lex.get("hire_date").unwrap();
+        assert_eq!(c.primary(), &["hire".to_string(), "date".to_string()][..]);
+        assert_eq!(c.phrase(1), "date of hire");
+    }
+}

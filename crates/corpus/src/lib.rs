@@ -1,0 +1,34 @@
+//! # t2v-corpus — synthetic nvBench
+//!
+//! The paper's benchmark, nvBench, is derived from Spider and is not
+//! redistributable here; this crate builds a *synthetic equivalent* with the
+//! same structure and published statistics (see Figure 2 of the paper):
+//!
+//! * 104 databases / 552 tables / 3050 columns (exactly, by construction);
+//! * a dev split of 1182 (NLQ, DVQ) pairs with the published chart-type
+//!   histogram (891 bar / 88 pie / 51 line / 48 scatter / 60 stacked bar /
+//!   11 grouping line / 33 grouping scatter) and hardness targets;
+//! * NLQs that **explicitly mention** column names and DVQ keywords — the
+//!   lexical-matching trap that makes models trained on nvBench brittle;
+//! * a *no-cross-domain* train/dev relationship (the same databases appear in
+//!   both), matching the split the paper evaluates on.
+//!
+//! Every pair carries its semantic [`spec::QuerySpec`] so downstream crates
+//! can re-render the NLQ in a paraphrased style and rebuild the target DVQ
+//! against a renamed schema — the two perturbation families of nvBench-Rob.
+
+pub mod domains;
+pub mod generator;
+pub mod lexicon;
+pub mod nlq;
+pub mod schema;
+pub mod spec;
+pub mod stats;
+pub mod values;
+
+pub use generator::{gen_spec, generate, Corpus, CorpusConfig, Example};
+pub use lexicon::{Concept, Lexicon};
+pub use nlq::{render_nlq, NlMode};
+pub use schema::{ColType, Column, ColumnId, Database, ForeignKey, NamePart, NamingStyle, Table};
+pub use spec::{AxisSpec, CmpOp, JoinSpec, OrderSpec, OrderTarget, PredSpec, QuerySpec, StyleSpec, ValSpec};
+pub use stats::CorpusStats;

@@ -1,0 +1,554 @@
+//! Natural-language question rendering.
+//!
+//! Every benchmark pair's NLQ is rendered from its [`QuerySpec`] in one of
+//! two modes:
+//!
+//! * [`NlMode::Explicit`] — the original nvBench style: literal column names
+//!   and DVQ keywords appear in the sentence ("group by attribute JOB_ID",
+//!   "bin hire_date by year"). This is the *lexical-matching trap* the paper
+//!   diagnoses.
+//! * [`NlMode::Paraphrased`] — the nvBench-Rob style: concept synonyms
+//!   replace column mentions, sentence frames are rewritten, and DVQ keywords
+//!   are avoided ("on a yearly basis" instead of "bin by year").
+//!
+//! Rendering is deterministic in `(spec, seed, mode)`.
+
+use crate::lexicon::Lexicon;
+use crate::schema::{render_words, ColumnId, Database};
+use crate::spec::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use t2v_dvq::ast::{AggFunc, BinUnit, BoolOp, ChartType, SortDir};
+
+/// NLQ surface mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NlMode {
+    Explicit,
+    Paraphrased,
+}
+
+fn pick<'a>(rng: &mut StdRng, options: &[&'a str]) -> &'a str {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// Mention a column: its literal name (explicit) or a synonym phrase that
+/// avoids the column's current name (paraphrased).
+pub fn column_mention(
+    db: &Database,
+    lex: &Lexicon,
+    id: ColumnId,
+    mode: NlMode,
+    rng: &mut StdRng,
+) -> String {
+    let col = db.column(id);
+    match mode {
+        NlMode::Explicit => col.name.clone(),
+        NlMode::Paraphrased => {
+            let name_words: Vec<String> = col
+                .name
+                .split('_')
+                .map(|w| w.to_ascii_lowercase())
+                .collect();
+            // Try a few alternative lexicalisations; take the first whose
+            // words differ from the current column name.
+            let start = rng.gen_range(0..4usize);
+            for off in 0..6 {
+                let words = render_words(&col.parts, lex, start + off);
+                if words != name_words {
+                    return words.join(" ");
+                }
+            }
+            // All alternatives collide (single-lexicalisation literals):
+            // fall back to a descriptive wrapper so the literal name never
+            // appears verbatim on its own.
+            format!("{} value", name_words.join(" "))
+        }
+    }
+}
+
+fn table_mention(db: &Database, lex: &Lexicon, table: usize, mode: NlMode, rng: &mut StdRng) -> String {
+    let t = &db.tables[table];
+    match mode {
+        NlMode::Explicit => t.name.clone(),
+        NlMode::Paraphrased => {
+            let name_words: Vec<String> = t
+                .name
+                .split('_')
+                .map(|w| w.to_ascii_lowercase())
+                .collect();
+            let start = rng.gen_range(0..4usize);
+            for off in 0..6 {
+                let words = render_words(&t.parts, lex, start + off);
+                if words != name_words {
+                    return words.join(" ");
+                }
+            }
+            format!("{} records", name_words.join(" "))
+        }
+    }
+}
+
+fn chart_phrase(chart: ChartType, mode: NlMode, rng: &mut StdRng) -> &'static str {
+    match (chart, mode) {
+        (ChartType::Bar, NlMode::Explicit) => pick(rng, &["a bar chart", "bar chart"]),
+        (ChartType::Bar, NlMode::Paraphrased) => {
+            pick(rng, &["a histogram", "a bar graph", "a column chart"])
+        }
+        (ChartType::Pie, NlMode::Explicit) => pick(rng, &["a pie chart", "pie chart"]),
+        (ChartType::Pie, NlMode::Paraphrased) => {
+            pick(rng, &["a pie graph", "a circular chart", "a proportional wheel"])
+        }
+        (ChartType::Line, NlMode::Explicit) => pick(rng, &["a line chart", "line chart"]),
+        (ChartType::Line, NlMode::Paraphrased) => {
+            pick(rng, &["a line graph", "a trend curve", "a time-series curve"])
+        }
+        (ChartType::Scatter, NlMode::Explicit) => pick(rng, &["a scatter chart", "scatter chart"]),
+        (ChartType::Scatter, NlMode::Paraphrased) => {
+            pick(rng, &["a scatter plot", "a point cloud", "an x-y plot"])
+        }
+        (ChartType::StackedBar, NlMode::Explicit) => pick(rng, &["a stacked bar chart"]),
+        (ChartType::StackedBar, NlMode::Paraphrased) => {
+            pick(rng, &["a stacked histogram", "a layered bar graph"])
+        }
+        (ChartType::GroupingLine, NlMode::Explicit) => pick(rng, &["a grouping line chart"]),
+        (ChartType::GroupingLine, NlMode::Paraphrased) => {
+            pick(rng, &["a multi-series line graph", "a grouped trend chart"])
+        }
+        (ChartType::GroupingScatter, NlMode::Explicit) => pick(rng, &["a grouping scatter chart"]),
+        (ChartType::GroupingScatter, NlMode::Paraphrased) => {
+            pick(rng, &["a grouped scatter plot", "a categorized point plot"])
+        }
+    }
+}
+
+fn agg_phrase(func: AggFunc, mode: NlMode, rng: &mut StdRng) -> &'static str {
+    match (func, mode) {
+        (AggFunc::Avg, NlMode::Explicit) => "the average of",
+        (AggFunc::Avg, NlMode::Paraphrased) => pick(rng, &["the mean", "the typical", "the average"]),
+        (AggFunc::Sum, NlMode::Explicit) => "the sum of",
+        (AggFunc::Sum, NlMode::Paraphrased) => pick(rng, &["the combined", "the overall total of"]),
+        (AggFunc::Min, NlMode::Explicit) => "the minimum of",
+        (AggFunc::Min, NlMode::Paraphrased) => pick(rng, &["the smallest", "the lowest"]),
+        (AggFunc::Max, NlMode::Explicit) => "the maximum of",
+        (AggFunc::Max, NlMode::Paraphrased) => pick(rng, &["the largest", "the highest"]),
+        (AggFunc::Count, NlMode::Explicit) => "the number of",
+        (AggFunc::Count, NlMode::Paraphrased) => pick(rng, &["how many", "the count of"]),
+    }
+}
+
+fn unit_phrase(unit: BinUnit, mode: NlMode, rng: &mut StdRng) -> &'static str {
+    match (unit, mode) {
+        (BinUnit::Year, NlMode::Explicit) => "year",
+        (BinUnit::Month, NlMode::Explicit) => "month",
+        (BinUnit::Day, NlMode::Explicit) => "day",
+        (BinUnit::Weekday, NlMode::Explicit) => "weekday",
+        (BinUnit::Year, NlMode::Paraphrased) => pick(rng, &["yearly", "annual"]),
+        (BinUnit::Month, NlMode::Paraphrased) => pick(rng, &["monthly", "per-month"]),
+        (BinUnit::Day, NlMode::Paraphrased) => pick(rng, &["daily", "per-day"]),
+        (BinUnit::Weekday, NlMode::Paraphrased) => pick(rng, &["weekday-by-weekday", "per-weekday"]),
+    }
+}
+
+/// Render the NLQ for `spec` against `db` in the requested mode.
+pub fn render_nlq(
+    spec: &QuerySpec,
+    db: &Database,
+    lex: &Lexicon,
+    mode: NlMode,
+    seed: u64,
+) -> String {
+    let mode_salt = match mode {
+        NlMode::Explicit => 0x45u64,
+        NlMode::Paraphrased => 0x52u64,
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ (mode_salt << 56));
+    let chart = chart_phrase(spec.chart, mode, &mut rng);
+    let xm = column_mention(db, lex, spec.x.column(), mode, &mut rng);
+
+    // ----- main clause: chart + axes -----
+    // Like real nvBench questions, the source table is usually named.
+    let tm = table_mention(db, lex, spec.table, mode, &mut rng);
+    let mut s = match (&spec.y, mode) {
+        (AxisSpec::Agg { func: AggFunc::Count, .. }, NlMode::Explicit) => pick(
+            &mut rng,
+            &[
+                "Draw {chart} about the distribution of {x} and the number of {x} from {t}",
+                "Show the number of {x} from {t} in {chart}",
+                "Return {chart} showing {x} and the number of {x} from {t}",
+            ],
+        )
+        .replace("{chart}", chart)
+        .replace("{x}", &xm)
+        .replace("{t}", &tm),
+        (AxisSpec::Agg { func: AggFunc::Count, .. }, NlMode::Paraphrased) => pick(
+            &mut rng,
+            &[
+                "Could you display how many {x} entries there are for each {x} among the {t}, using {chart}?",
+                "Please give me {chart} counting the occurrences of every {x} from the {t}",
+                "I would like to see the frequency of each {x} among the {t} presented as {chart}",
+            ],
+        )
+        .replace("{chart}", chart)
+        .replace("{x}", &xm)
+        .replace("{t}", &tm),
+        (AxisSpec::Agg { func, .. }, NlMode::Explicit) => {
+            let ym = column_mention(db, lex, spec.y.column(), mode, &mut rng);
+            let agg = agg_phrase(*func, mode, &mut rng);
+            pick(
+                &mut rng,
+                &[
+                    "Draw {chart} about the change of {agg} {y} over {x} from {t}",
+                    "Return {chart} about the distribution of {x} and {agg} {y} from {t}",
+                    "Show {x} and {agg} {y} from {t} in {chart}",
+                ],
+            )
+            .replace("{chart}", chart)
+            .replace("{agg}", agg)
+            .replace("{x}", &xm)
+            .replace("{y}", &ym)
+            .replace("{t}", &tm)
+        }
+        (AxisSpec::Agg { func, .. }, NlMode::Paraphrased) => {
+            let ym = column_mention(db, lex, spec.y.column(), mode, &mut rng);
+            let agg = agg_phrase(*func, mode, &mut rng);
+            pick(
+                &mut rng,
+                &[
+                    "Please give me {chart} showing {agg} {y} across the {x} among the {t}",
+                    "Generate {chart} illustrating {agg} {y} for every {x} from the {t}",
+                    "I need {chart} that depicts {agg} {y} against the {x} among the {t}",
+                ],
+            )
+            .replace("{chart}", chart)
+            .replace("{agg}", agg)
+            .replace("{x}", &xm)
+            .replace("{y}", &ym)
+            .replace("{t}", &tm)
+        }
+        (AxisSpec::Col(_), NlMode::Explicit) => {
+            let ym = column_mention(db, lex, spec.y.column(), mode, &mut rng);
+            pick(
+                &mut rng,
+                &[
+                    "Find the {x} and {y} of all {t} and visualize them by {chart}",
+                    "Show the {y} by {x} from {t} in {chart}",
+                    "Draw {chart} about {x} and {y} from {t}",
+                ],
+            )
+            .replace("{chart}", chart)
+            .replace("{x}", &xm)
+            .replace("{y}", &ym)
+            .replace("{t}", &tm)
+        }
+        (AxisSpec::Col(_), NlMode::Paraphrased) => {
+            let ym = column_mention(db, lex, spec.y.column(), mode, &mut rng);
+            pick(
+                &mut rng,
+                &[
+                    "Present the {y} by {x} from the {t} in {chart}, please",
+                    "For all {t}, plot their {x} against the {y} using {chart}",
+                    "Please chart the {y} for every {x} among the {t}",
+                ],
+            )
+            .replace("{chart}", chart)
+            .replace("{x}", &xm)
+            .replace("{y}", &ym)
+            .replace("{t}", &tm)
+        }
+    };
+
+    // ----- colour channel for stacked/grouping charts -----
+    if let Some(color) = spec.color {
+        let cm = column_mention(db, lex, color, mode, &mut rng);
+        let frag = match mode {
+            NlMode::Explicit => pick(&mut rng, &[" colored by {c}", " grouped by {c}"]),
+            NlMode::Paraphrased => pick(
+                &mut rng,
+                &[" broken down by {c}", " separated by {c}", " with one series per {c}"],
+            ),
+        };
+        s.push_str(&frag.replace("{c}", &cm));
+    }
+
+    // ----- filters -----
+    for (i, (conn, p)) in spec.preds.iter().enumerate() {
+        let lead = if i == 0 {
+            match mode {
+                NlMode::Explicit => pick(&mut rng, &[", for those records whose ", ", where "]),
+                NlMode::Paraphrased => {
+                    pick(&mut rng, &[", considering only entries whose ", ", restricted to cases where "])
+                }
+            }
+            .to_string()
+        } else {
+            match conn {
+                BoolOp::And => " and ".to_string(),
+                BoolOp::Or => " or ".to_string(),
+            }
+        };
+        s.push_str(&lead);
+        s.push_str(&pred_phrase(p, db, lex, mode, &mut rng));
+    }
+
+    // ----- grouping mention (explicit mode names the clause) -----
+    if mode == NlMode::Explicit && spec.color.is_none() {
+        if let Some(g) = spec.group.first() {
+            let gm = column_mention(db, lex, *g, mode, &mut rng);
+            s.push_str(
+                &pick(&mut rng, &[", and group by attribute {g}", ", group by {g}"])
+                    .replace("{g}", &gm),
+            );
+        }
+    }
+
+    // ----- binning -----
+    if let Some((c, unit)) = spec.bin {
+        let cm = column_mention(db, lex, c, mode, &mut rng);
+        let frag = match mode {
+            NlMode::Explicit => pick(&mut rng, &[", and bin {c} by {u}", ", bin {c} by {u} interval"])
+                .replace("{u}", unit_phrase(unit, mode, &mut rng)),
+            NlMode::Paraphrased => pick(
+                &mut rng,
+                &[" on a {u} basis", ", aggregated at a {u} granularity"],
+            )
+            .replace("{u}", unit_phrase(unit, mode, &mut rng)),
+        };
+        s.push_str(&frag.replace("{c}", &cm));
+    }
+
+    // ----- ordering -----
+    if let Some(o) = spec.order {
+        let axis_word = match o.target {
+            OrderTarget::X => "X",
+            OrderTarget::Y => "Y",
+        };
+        let frag = match (o.dir, mode) {
+            (SortDir::Asc, NlMode::Explicit) => pick(
+                &mut rng,
+                &[
+                    ", and list in asc by the {a}",
+                    ", sort {a} axis in asc order",
+                    ", in ascending order of the {a}-axis",
+                ],
+            ),
+            (SortDir::Desc, NlMode::Explicit) => pick(
+                &mut rng,
+                &[
+                    ", and list in desc by the {a}",
+                    ", sort {a} axis in desc order",
+                    ", in descending order of the {a}-axis",
+                ],
+            ),
+            (SortDir::Asc, NlMode::Paraphrased) => pick(
+                &mut rng,
+                &[
+                    ", with the {a}-axis organized from low to high",
+                    ", arranged upward along the {a}-axis",
+                    ", in ascending manner on the {a}-axis",
+                ],
+            ),
+            (SortDir::Desc, NlMode::Paraphrased) => pick(
+                &mut rng,
+                &[
+                    ", with the {a}-axis organized in descending order",
+                    ", arranged downward along the {a}-axis",
+                    ", from the highest to the lowest on the {a}-axis",
+                ],
+            ),
+        };
+        s.push_str(&frag.replace("{a}", axis_word));
+    }
+
+    // ----- limit -----
+    if let Some(n) = spec.limit {
+        let frag = match mode {
+            NlMode::Explicit => format!(", and show only the top {n}"),
+            NlMode::Paraphrased => format!(", keeping just the first {n} entries"),
+        };
+        s.push_str(&frag);
+    }
+
+    let closer = match mode {
+        NlMode::Explicit => ".",
+        NlMode::Paraphrased => pick(&mut rng, &[".", ", please."]),
+    };
+    if s.ends_with('?') {
+        // Question frames already closed.
+    } else {
+        s.push_str(closer);
+    }
+    s
+}
+
+fn pred_phrase(
+    p: &PredSpec,
+    db: &Database,
+    lex: &Lexicon,
+    mode: NlMode,
+    rng: &mut StdRng,
+) -> String {
+    let cm = column_mention(db, lex, p.column(), mode, rng);
+    match p {
+        PredSpec::Cmp { op, value, .. } => {
+            let v = match value {
+                ValSpec::Num(n) => n.to_string(),
+                ValSpec::Text(t) => format!("'{t}'"),
+            };
+            let rel = match (op, mode) {
+                (CmpOp::Eq, NlMode::Explicit) => "equals to",
+                (CmpOp::Eq, NlMode::Paraphrased) => pick(rng, &["is exactly", "corresponds to"]),
+                (CmpOp::NotEq, NlMode::Explicit) => "does not equal to",
+                (CmpOp::NotEq, NlMode::Paraphrased) => pick(rng, &["differs from", "is anything but"]),
+                (CmpOp::Lt, NlMode::Explicit) => "is less than",
+                (CmpOp::Lt, NlMode::Paraphrased) => pick(rng, &["stays below", "is under"]),
+                (CmpOp::Le, NlMode::Explicit) => "is at most",
+                (CmpOp::Le, NlMode::Paraphrased) => "does not exceed",
+                (CmpOp::Gt, NlMode::Explicit) => "is greater than",
+                (CmpOp::Gt, NlMode::Paraphrased) => pick(rng, &["exceeds", "is above"]),
+                (CmpOp::Ge, NlMode::Explicit) => "is at least",
+                (CmpOp::Ge, NlMode::Paraphrased) => "reaches at least",
+            };
+            format!("{cm} {rel} {v}")
+        }
+        PredSpec::Between { lo, hi, .. } => match mode {
+            NlMode::Explicit => format!("{cm} is in the range of {lo} and {hi}"),
+            NlMode::Paraphrased => {
+                let f = pick(
+                    rng,
+                    &["{c} falls between {lo} and {hi}", "{c} lies within {lo} to {hi}"],
+                );
+                f.replace("{c}", &cm)
+                    .replace("{lo}", &lo.to_string())
+                    .replace("{hi}", &hi.to_string())
+            }
+        },
+        PredSpec::Like { pattern, .. } => {
+            let core = pattern.trim_matches('%');
+            match mode {
+                NlMode::Explicit => format!("{cm} is like '{pattern}'"),
+                NlMode::Paraphrased => format!("{cm} contains the text '{core}'"),
+            }
+        }
+        PredSpec::NotNull { .. } => match mode {
+            NlMode::Explicit => format!("{cm} is not null"),
+            NlMode::Paraphrased => {
+                pick(rng, &["{c} has a non-empty value", "{c} is recorded"]).replace("{c}", &cm)
+            }
+        },
+        PredSpec::EqSubquery {
+            sub_table,
+            sub_select,
+            filter,
+            ..
+        } => {
+            let tm = table_mention(db, lex, *sub_table, mode, rng);
+            let sm = column_mention(
+                db,
+                lex,
+                *sub_select,
+                mode,
+                rng,
+            );
+            let mut out = match mode {
+                NlMode::Explicit => format!("{cm} equals to the {sm} of {tm}"),
+                NlMode::Paraphrased => format!("{cm} matches the {sm} found in the {tm}"),
+            };
+            if let Some((fc, fv)) = filter {
+                let fcm = column_mention(db, lex, *fc, mode, rng);
+                let v = match fv {
+                    ValSpec::Num(n) => n.to_string(),
+                    ValSpec::Text(t) => format!("'{t}'"),
+                };
+                out.push_str(&match mode {
+                    NlMode::Explicit => format!(" where {fcm} equals to {v}"),
+                    NlMode::Paraphrased => format!(" whose {fcm} is {v}"),
+                });
+            }
+            out
+        }
+        PredSpec::InSubquery {
+            sub_table,
+            sub_select,
+            ..
+        } => {
+            let tm = table_mention(db, lex, *sub_table, mode, rng);
+            let sm = column_mention(db, lex, *sub_select, mode, rng);
+            match mode {
+                NlMode::Explicit => format!("{cm} is in the {sm} of {tm}"),
+                NlMode::Paraphrased => format!("{cm} appears among the {sm} listed in the {tm}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, CorpusConfig};
+
+    #[test]
+    fn explicit_mode_mentions_literal_column_names() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let mut checked = 0;
+        for ex in corpus.dev.iter().take(50) {
+            let db = &corpus.databases[ex.db];
+            let nlq = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Explicit, ex.frame_seed);
+            let xname = db.column_name(ex.spec.x.column());
+            assert!(
+                nlq.contains(xname),
+                "explicit NLQ {nlq:?} should mention {xname}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn paraphrased_mode_avoids_exact_x_column_name() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        for ex in corpus.dev.iter().take(50) {
+            let db = &corpus.databases[ex.db];
+            let nlq = render_nlq(
+                &ex.spec,
+                db,
+                &corpus.lexicon,
+                NlMode::Paraphrased,
+                ex.frame_seed,
+            );
+            let xname = db.column_name(ex.spec.x.column()).to_ascii_lowercase();
+            // Multi-word column names must not appear verbatim with
+            // underscores in a paraphrased question.
+            if xname.contains('_') {
+                assert!(
+                    !nlq.to_ascii_lowercase().contains(&xname),
+                    "paraphrased NLQ {nlq:?} leaks {xname}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let corpus = generate(&CorpusConfig::tiny(9));
+        let ex = &corpus.dev[0];
+        let db = &corpus.databases[ex.db];
+        let a = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Paraphrased, ex.frame_seed);
+        let b = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Paraphrased, ex.frame_seed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modes_produce_different_surfaces() {
+        let corpus = generate(&CorpusConfig::tiny(11));
+        let mut differs = 0;
+        for ex in corpus.dev.iter().take(30) {
+            let db = &corpus.databases[ex.db];
+            let e = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Explicit, ex.frame_seed);
+            let p = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Paraphrased, ex.frame_seed);
+            if e != p {
+                differs += 1;
+            }
+        }
+        assert!(differs >= 25, "only {differs}/30 pairs differ across modes");
+    }
+}

@@ -1,0 +1,436 @@
+//! Relational schema model: databases, tables, columns, foreign keys.
+//!
+//! Every table and column name is built from *name parts* — references into
+//! the concept lexicon plus literal words — so that perturbation can rename
+//! consistently (swap the concept lexicalisation, keep the literals) and the
+//! NLQ renderer can speak about a column without using its literal name.
+
+use crate::lexicon::Lexicon;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Column data types, mirroring the three types nvBench distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    Number,
+    Text,
+    Date,
+}
+
+impl ColType {
+    pub fn display(&self) -> &'static str {
+        match self {
+            ColType::Number => "number",
+            ColType::Text => "text",
+            ColType::Date => "date",
+        }
+    }
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display())
+    }
+}
+
+/// Naming conventions observed in nvBench schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NamingStyle {
+    /// `hire_date`
+    LowerSnake,
+    /// `HIRE_DATE`
+    UpperSnake,
+    /// `Hire_Date`
+    CapSnake,
+}
+
+impl NamingStyle {
+    pub const ALL: [NamingStyle; 3] = [
+        NamingStyle::LowerSnake,
+        NamingStyle::UpperSnake,
+        NamingStyle::CapSnake,
+    ];
+
+    /// Render a word sequence under this convention.
+    pub fn render(&self, words: &[String]) -> String {
+        match self {
+            NamingStyle::LowerSnake => words.join("_"),
+            NamingStyle::UpperSnake => words
+                .iter()
+                .map(|w| w.to_ascii_uppercase())
+                .collect::<Vec<_>>()
+                .join("_"),
+            NamingStyle::CapSnake => words
+                .iter()
+                .map(|w| {
+                    let mut cs = w.chars();
+                    match cs.next() {
+                        Some(f) => f.to_ascii_uppercase().to_string() + cs.as_str(),
+                        None => String::new(),
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("_"),
+        }
+    }
+}
+
+/// One part of a table/column name: either a reference to a lexicon concept
+/// (renameable) or a literal word (stable across perturbation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NamePart {
+    Concept(String),
+    Literal(String),
+}
+
+impl NamePart {
+    pub fn concept(id: &str) -> Self {
+        NamePart::Concept(id.to_string())
+    }
+
+    pub fn literal(w: &str) -> Self {
+        NamePart::Literal(w.to_string())
+    }
+}
+
+/// Expand name parts into words, choosing lexicalisation `alt` for concepts
+/// (0 = primary form).
+pub fn render_words(parts: &[NamePart], lex: &Lexicon, alt: usize) -> Vec<String> {
+    let mut words = Vec::new();
+    for p in parts {
+        match p {
+            NamePart::Concept(id) => {
+                let c = lex.get(id).unwrap_or_else(|| panic!("unknown concept {id}"));
+                let a = &c.alts[alt % c.alts.len()];
+                words.extend(a.iter().cloned());
+            }
+            NamePart::Literal(w) => words.push(w.clone()),
+        }
+    }
+    words
+}
+
+/// Natural-language phrase for the parts ("date of hire").
+pub fn render_phrase(parts: &[NamePart], lex: &Lexicon, alt: usize) -> String {
+    render_words(parts, lex, alt).join(" ")
+}
+
+/// A column: concrete name + name parts + type.
+#[derive(Debug, Clone)]
+pub struct Column {
+    pub name: String,
+    pub parts: Vec<NamePart>,
+    pub ctype: ColType,
+    /// True for identifier columns (never chosen as a chart measure).
+    pub is_key: bool,
+}
+
+impl Column {
+    /// The head concept of the column (the last concept part), used for
+    /// semantic linking priority. `None` for all-literal names.
+    pub fn head_concept(&self) -> Option<&str> {
+        self.parts.iter().rev().find_map(|p| match p {
+            NamePart::Concept(id) => Some(id.as_str()),
+            NamePart::Literal(_) => None,
+        })
+    }
+
+    /// All concept ids referenced by the name.
+    pub fn concepts(&self) -> impl Iterator<Item = &str> {
+        self.parts.iter().filter_map(|p| match p {
+            NamePart::Concept(id) => Some(id.as_str()),
+            NamePart::Literal(_) => None,
+        })
+    }
+}
+
+/// A table: concrete name + name parts + columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub parts: Vec<NamePart>,
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Foreign key: (table, column) → (table, column), by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub from_table: usize,
+    pub from_column: usize,
+    pub to_table: usize,
+    pub to_column: usize,
+}
+
+/// A stable reference to a column that survives renames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColumnId {
+    pub table: usize,
+    pub column: usize,
+}
+
+/// One database.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// Database id, e.g. `hr_1`. Perturbed copies get a `_robust` suffix.
+    pub id: String,
+    pub tables: Vec<Table>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Database {
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn table_index(&self, name: &str) -> Option<usize> {
+        self.tables
+            .iter()
+            .position(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column(&self, id: ColumnId) -> &Column {
+        &self.tables[id.table].columns[id.column]
+    }
+
+    pub fn column_name(&self, id: ColumnId) -> &str {
+        &self.column(id).name
+    }
+
+    /// Total number of columns across tables.
+    pub fn column_count(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+
+    /// Render in the paper's prompt format (Appendix C):
+    ///
+    /// ```text
+    /// # Table employees, columns = [ * , EMPLOYEE_ID , HIRE_DATE ]
+    /// # Foreign_keys = [ job_history.JOB_ID = jobs.JOB_ID ]
+    /// ```
+    pub fn render_prompt_schema(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            out.push_str("# Table ");
+            out.push_str(&t.name);
+            out.push_str(", columns = [ *");
+            for c in &t.columns {
+                out.push_str(" , ");
+                out.push_str(&c.name);
+            }
+            out.push_str(" ]\n");
+        }
+        out.push_str("# Foreign_keys = [ ");
+        let mut first = true;
+        for fk in &self.foreign_keys {
+            if !first {
+                out.push_str(" , ");
+            }
+            first = false;
+            let ft = &self.tables[fk.from_table];
+            let tt = &self.tables[fk.to_table];
+            out.push_str(&format!(
+                "{}.{} = {}.{}",
+                ft.name, ft.columns[fk.from_column].name, tt.name, tt.columns[fk.to_column].name
+            ));
+        }
+        out.push_str(" ]\n");
+        out
+    }
+
+    /// Map every column name (lowercased) to its [`ColumnId`]. Ambiguous
+    /// names map to their first occurrence, matching SQL name resolution for
+    /// the single-table queries that dominate the corpus.
+    pub fn name_index(&self) -> HashMap<String, ColumnId> {
+        let mut idx = HashMap::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for (ci, c) in t.columns.iter().enumerate() {
+                idx.entry(c.name.to_ascii_lowercase())
+                    .or_insert(ColumnId {
+                        table: ti,
+                        column: ci,
+                    });
+            }
+        }
+        idx
+    }
+
+    /// Validate structural invariants (unique names, FK indices in range).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut tnames: Vec<String> = self
+            .tables
+            .iter()
+            .map(|t| t.name.to_ascii_lowercase())
+            .collect();
+        tnames.sort_unstable();
+        let n = tnames.len();
+        tnames.dedup();
+        if tnames.len() != n {
+            return Err(format!("duplicate table names in {}", self.id));
+        }
+        for t in &self.tables {
+            let mut cnames: Vec<String> = t
+                .columns
+                .iter()
+                .map(|c| c.name.to_ascii_lowercase())
+                .collect();
+            cnames.sort_unstable();
+            let n = cnames.len();
+            cnames.dedup();
+            if cnames.len() != n {
+                return Err(format!("duplicate column names in {}.{}", self.id, t.name));
+            }
+        }
+        for fk in &self.foreign_keys {
+            if fk.from_table >= self.tables.len()
+                || fk.to_table >= self.tables.len()
+                || fk.from_column >= self.tables[fk.from_table].columns.len()
+                || fk.to_column >= self.tables[fk.to_table].columns.len()
+            {
+                return Err(format!("foreign key out of range in {}", self.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_db() -> Database {
+        Database {
+            id: "hr_1".into(),
+            tables: vec![
+                Table {
+                    name: "employees".into(),
+                    parts: vec![NamePart::concept("employee")],
+                    columns: vec![
+                        Column {
+                            name: "EMPLOYEE_ID".into(),
+                            parts: vec![NamePart::concept("employee"), NamePart::concept("id")],
+                            ctype: ColType::Number,
+                            is_key: true,
+                        },
+                        Column {
+                            name: "SALARY".into(),
+                            parts: vec![NamePart::concept("salary")],
+                            ctype: ColType::Number,
+                            is_key: false,
+                        },
+                    ],
+                },
+                Table {
+                    name: "jobs".into(),
+                    parts: vec![NamePart::concept("job")],
+                    columns: vec![Column {
+                        name: "JOB_ID".into(),
+                        parts: vec![NamePart::concept("job"), NamePart::concept("id")],
+                        ctype: ColType::Number,
+                        is_key: true,
+                    }],
+                },
+            ],
+            foreign_keys: vec![ForeignKey {
+                from_table: 0,
+                from_column: 0,
+                to_table: 1,
+                to_column: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn naming_styles_render() {
+        let words = vec!["hire".to_string(), "date".to_string()];
+        assert_eq!(NamingStyle::LowerSnake.render(&words), "hire_date");
+        assert_eq!(NamingStyle::UpperSnake.render(&words), "HIRE_DATE");
+        assert_eq!(NamingStyle::CapSnake.render(&words), "Hire_Date");
+    }
+
+    #[test]
+    fn render_words_swaps_lexicalisation() {
+        let lex = Lexicon::builtin();
+        let parts = vec![NamePart::concept("hire_date")];
+        assert_eq!(render_words(&parts, &lex, 0).join("_"), "hire_date");
+        assert_eq!(render_phrase(&parts, &lex, 1), "date of hire");
+    }
+
+    #[test]
+    fn literals_survive_alt_changes() {
+        let lex = Lexicon::builtin();
+        let parts = vec![NamePart::concept("job"), NamePart::literal("history")];
+        assert_eq!(render_words(&parts, &lex, 0).join("_"), "job_history");
+        assert_eq!(render_words(&parts, &lex, 1).join("_"), "role_history");
+    }
+
+    #[test]
+    fn head_concept_is_last_concept_part() {
+        let c = Column {
+            name: "EMPLOYEE_ID".into(),
+            parts: vec![NamePart::concept("employee"), NamePart::concept("id")],
+            ctype: ColType::Number,
+            is_key: true,
+        };
+        assert_eq!(c.head_concept(), Some("id"));
+        assert_eq!(c.concepts().count(), 2);
+    }
+
+    #[test]
+    fn prompt_schema_format_matches_paper() {
+        let s = toy_db().render_prompt_schema();
+        assert!(s.contains("# Table employees, columns = [ * , EMPLOYEE_ID , SALARY ]"));
+        assert!(s.contains("# Foreign_keys = [ employees.EMPLOYEE_ID = jobs.JOB_ID ]"));
+    }
+
+    #[test]
+    fn name_index_is_case_insensitive() {
+        let db = toy_db();
+        let idx = db.name_index();
+        assert_eq!(
+            idx.get("salary"),
+            Some(&ColumnId {
+                table: 0,
+                column: 1
+            })
+        );
+    }
+
+    #[test]
+    fn validate_catches_duplicates() {
+        let mut db = toy_db();
+        assert!(db.validate().is_ok());
+        db.tables[0].columns[1].name = "EMPLOYEE_ID".into();
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let db = toy_db();
+        assert!(db.table("EMPLOYEES").is_some());
+        assert_eq!(db.table_index("jobs"), Some(1));
+        assert_eq!(db.column_count(), 3);
+        assert_eq!(
+            db.column_name(ColumnId {
+                table: 0,
+                column: 1
+            }),
+            "SALARY"
+        );
+    }
+}

@@ -1,0 +1,618 @@
+//! Semantic query specifications.
+//!
+//! A [`QuerySpec`] is the *meaning* of one benchmark pair, independent of any
+//! concrete schema naming: columns are referenced by stable [`ColumnId`]s.
+//! From a spec we can
+//!
+//! * build the target DVQ against the **original** schema (nvBench), and
+//! * rebuild it against a **renamed** schema (nvBench-Rob ground truth),
+//!
+//! which is exactly how the paper derives perturbed targets from the original
+//! benchmark.
+
+use crate::schema::{ColumnId, Database};
+use t2v_dvq::ast::*;
+
+/// An axis: a plain column or an aggregate over a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisSpec {
+    Col(ColumnId),
+    Agg {
+        func: AggFunc,
+        distinct: bool,
+        col: ColumnId,
+    },
+}
+
+impl AxisSpec {
+    pub fn column(&self) -> ColumnId {
+        match self {
+            AxisSpec::Col(c) => *c,
+            AxisSpec::Agg { col, .. } => *col,
+        }
+    }
+
+    pub fn aggregate(&self) -> Option<AggFunc> {
+        match self {
+            AxisSpec::Col(_) => None,
+            AxisSpec::Agg { func, .. } => Some(*func),
+        }
+    }
+}
+
+/// A literal value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValSpec {
+    Num(i64),
+    Text(String),
+}
+
+/// A predicate, schema-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredSpec {
+    /// `col op value` with semantic operator (spelling decided by style).
+    Cmp {
+        col: ColumnId,
+        op: CmpOp,
+        value: ValSpec,
+    },
+    Between {
+        col: ColumnId,
+        lo: i64,
+        hi: i64,
+    },
+    Like {
+        col: ColumnId,
+        pattern: String,
+    },
+    NotNull {
+        col: ColumnId,
+    },
+    /// `col = (SELECT sel FROM <sub_table> WHERE filter_col = value)`
+    EqSubquery {
+        col: ColumnId,
+        sub_table: usize,
+        sub_select: ColumnId,
+        filter: Option<(ColumnId, ValSpec)>,
+    },
+    /// `col IN (SELECT sel FROM <sub_table>)`
+    InSubquery {
+        col: ColumnId,
+        sub_table: usize,
+        sub_select: ColumnId,
+    },
+}
+
+/// Semantic comparison operator (spelling-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl PredSpec {
+    pub fn column(&self) -> ColumnId {
+        match self {
+            PredSpec::Cmp { col, .. }
+            | PredSpec::Between { col, .. }
+            | PredSpec::Like { col, .. }
+            | PredSpec::NotNull { col }
+            | PredSpec::EqSubquery { col, .. }
+            | PredSpec::InSubquery { col, .. } => *col,
+        }
+    }
+}
+
+/// Which axis an ORDER BY refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderTarget {
+    X,
+    Y,
+}
+
+/// Ordering spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderSpec {
+    pub target: OrderTarget,
+    pub dir: SortDir,
+    /// Whether the direction keyword is written (style).
+    pub explicit_dir: bool,
+}
+
+/// Join spec: the joined table plus the FK edge, by column ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinSpec {
+    pub table: usize,
+    pub left: ColumnId,
+    pub right: ColumnId,
+}
+
+/// Per-example surface style (mirrors the style axes the Retuner handles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StyleSpec {
+    pub null_style: NullStyle,
+    pub noteq_bang: bool,
+    pub use_aliases: bool,
+}
+
+impl Default for StyleSpec {
+    fn default() -> Self {
+        StyleSpec {
+            null_style: NullStyle::CompareString,
+            noteq_bang: true,
+            use_aliases: true,
+        }
+    }
+}
+
+/// The full semantic specification of one benchmark pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    pub chart: ChartType,
+    /// Base table index within the database.
+    pub table: usize,
+    pub x: AxisSpec,
+    pub y: AxisSpec,
+    /// Colour channel for stacked/grouping charts.
+    pub color: Option<ColumnId>,
+    pub join: Option<JoinSpec>,
+    /// Predicates with their connective to the *previous* predicate (the
+    /// first connective is ignored).
+    pub preds: Vec<(BoolOp, PredSpec)>,
+    pub group: Vec<ColumnId>,
+    pub order: Option<OrderSpec>,
+    pub limit: Option<u64>,
+    pub bin: Option<(ColumnId, BinUnit)>,
+    pub style: StyleSpec,
+}
+
+impl QuerySpec {
+    /// Build the concrete DVQ against `db`'s current naming.
+    pub fn to_dvq(&self, db: &Database) -> Dvq {
+        let multi_table = self.join.is_some();
+        let use_aliases = multi_table && self.style.use_aliases;
+        let binding = |table: usize| -> Option<String> {
+            if !multi_table {
+                return None;
+            }
+            if use_aliases {
+                Some(if table == self.table {
+                    "T1".to_string()
+                } else {
+                    "T2".to_string()
+                })
+            } else {
+                Some(db.tables[table].name.clone())
+            }
+        };
+        let col = |id: ColumnId| -> ColumnRef {
+            ColumnRef {
+                qualifier: binding(id.table),
+                column: db.column_name(id).to_string(),
+            }
+        };
+        let axis = |a: &AxisSpec| -> SelectExpr {
+            match a {
+                AxisSpec::Col(c) => SelectExpr::Column(col(*c)),
+                AxisSpec::Agg {
+                    func,
+                    distinct,
+                    col: c,
+                } => SelectExpr::Aggregate {
+                    func: *func,
+                    distinct: *distinct,
+                    arg: col(*c),
+                },
+            }
+        };
+
+        let from = TableRef {
+            name: db.tables[self.table].name.clone(),
+            alias: if use_aliases { Some("T1".into()) } else { None },
+        };
+        let joins = self
+            .join
+            .iter()
+            .map(|j| Join {
+                table: TableRef {
+                    name: db.tables[j.table].name.clone(),
+                    alias: if use_aliases { Some("T2".into()) } else { None },
+                },
+                left: col(j.left),
+                right: col(j.right),
+            })
+            .collect();
+
+        let where_clause = if self.preds.is_empty() {
+            None
+        } else {
+            let mut preds = self.preds.iter();
+            let (_, first) = preds.next().expect("non-empty");
+            Some(Condition {
+                first: self.pred_to_ast(first, db, &col),
+                rest: preds
+                    .map(|(op, p)| (*op, self.pred_to_ast(p, db, &col)))
+                    .collect(),
+            })
+        };
+
+        let order_by = self.order.map(|o| OrderKey {
+            expr: match o.target {
+                OrderTarget::X => axis(&self.x),
+                OrderTarget::Y => axis(&self.y),
+            },
+            dir: if o.explicit_dir || o.dir == SortDir::Desc {
+                Some(o.dir)
+            } else {
+                None
+            },
+        });
+
+        Dvq {
+            chart: self.chart,
+            x: axis(&self.x),
+            y: axis(&self.y),
+            from,
+            joins,
+            where_clause,
+            group_by: self.group.iter().map(|g| col(*g)).collect(),
+            order_by,
+            limit: self.limit,
+            bin: self.bin.map(|(c, unit)| Binning { col: col(c), unit }),
+        }
+    }
+
+    fn pred_to_ast(
+        &self,
+        p: &PredSpec,
+        db: &Database,
+        col: &impl Fn(ColumnId) -> ColumnRef,
+    ) -> Predicate {
+        match p {
+            PredSpec::Cmp {
+                col: c,
+                op,
+                value,
+            } => Predicate::Compare {
+                col: col(*c),
+                op: match op {
+                    CmpOp::Eq => CompareOp::Eq,
+                    CmpOp::NotEq => CompareOp::NotEq {
+                        bang: self.style.noteq_bang,
+                    },
+                    CmpOp::Lt => CompareOp::Lt,
+                    CmpOp::Le => CompareOp::Le,
+                    CmpOp::Gt => CompareOp::Gt,
+                    CmpOp::Ge => CompareOp::Ge,
+                },
+                value: match value {
+                    ValSpec::Num(n) => Value::num(n),
+                    ValSpec::Text(t) => Value::text(t.clone()),
+                },
+            },
+            PredSpec::Between { col: c, lo, hi } => Predicate::Between {
+                col: col(*c),
+                lo: Value::num(lo),
+                hi: Value::num(hi),
+            },
+            PredSpec::Like { col: c, pattern } => Predicate::Like {
+                col: col(*c),
+                negated: false,
+                pattern: pattern.clone(),
+            },
+            PredSpec::NotNull { col: c } => Predicate::NullCheck {
+                col: col(*c),
+                negated: true,
+                style: self.style.null_style,
+            },
+            PredSpec::EqSubquery {
+                col: c,
+                sub_table,
+                sub_select,
+                filter,
+            } => Predicate::Compare {
+                col: col(*c),
+                op: CompareOp::Eq,
+                value: Value::Subquery(Box::new(SubQuery {
+                    select: ColumnRef::bare(db.column_name(*sub_select)),
+                    from: db.tables[*sub_table].name.clone(),
+                    where_clause: filter.as_ref().map(|(fc, fv)| {
+                        Condition::single(Predicate::Compare {
+                            col: ColumnRef::bare(db.column_name(*fc)),
+                            op: CompareOp::Eq,
+                            value: match fv {
+                                ValSpec::Num(n) => Value::num(n),
+                                ValSpec::Text(t) => Value::text(t.clone()),
+                            },
+                        })
+                    }),
+                })),
+            },
+            PredSpec::InSubquery {
+                col: c,
+                sub_table,
+                sub_select,
+            } => Predicate::In {
+                col: col(*c),
+                negated: false,
+                subquery: Box::new(SubQuery {
+                    select: ColumnRef::bare(db.column_name(*sub_select)),
+                    from: db.tables[*sub_table].name.clone(),
+                    where_clause: None,
+                }),
+            },
+        }
+    }
+
+    /// Every column id the spec references (for NLQ rendering / linking).
+    pub fn referenced_columns(&self) -> Vec<ColumnId> {
+        let mut out = vec![self.x.column(), self.y.column()];
+        if let Some(c) = self.color {
+            out.push(c);
+        }
+        for (_, p) in &self.preds {
+            out.push(p.column());
+        }
+        for g in &self.group {
+            out.push(*g);
+        }
+        if let Some((c, _)) = self.bin {
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+    use crate::schema::*;
+    use t2v_dvq::printer::Printer;
+
+    fn toy_db() -> Database {
+        let lex = Lexicon::builtin();
+        let mk_col = |concept: &str, ctype: ColType, is_key: bool| {
+            let parts = vec![NamePart::concept(concept)];
+            Column {
+                name: render_words(&parts, &lex, 0).join("_"),
+                parts,
+                ctype,
+                is_key,
+            }
+        };
+        Database {
+            id: "hr_1".into(),
+            tables: vec![
+                Table {
+                    name: "employees".into(),
+                    parts: vec![NamePart::concept("employee")],
+                    columns: vec![
+                        mk_col("id", ColType::Number, true),
+                        mk_col("salary", ColType::Number, false),
+                        mk_col("hire_date", ColType::Date, false),
+                        mk_col("city", ColType::Text, false),
+                    ],
+                },
+                Table {
+                    name: "departments".into(),
+                    parts: vec![NamePart::concept("department")],
+                    columns: vec![
+                        mk_col("id", ColType::Number, true),
+                        mk_col("name", ColType::Text, false),
+                    ],
+                },
+            ],
+            foreign_keys: vec![],
+        }
+    }
+
+    fn cid(t: usize, c: usize) -> ColumnId {
+        ColumnId { table: t, column: c }
+    }
+
+    #[test]
+    fn simple_spec_builds_expected_dvq() {
+        let db = toy_db();
+        let spec = QuerySpec {
+            chart: ChartType::Bar,
+            table: 0,
+            x: AxisSpec::Col(cid(0, 3)),
+            y: AxisSpec::Agg {
+                func: AggFunc::Avg,
+                distinct: false,
+                col: cid(0, 1),
+            },
+            color: None,
+            join: None,
+            preds: vec![(
+                BoolOp::And,
+                PredSpec::Between {
+                    col: cid(0, 1),
+                    lo: 8000,
+                    hi: 12000,
+                },
+            )],
+            group: vec![cid(0, 3)],
+            order: Some(OrderSpec {
+                target: OrderTarget::X,
+                dir: SortDir::Asc,
+                explicit_dir: true,
+            }),
+            limit: None,
+            bin: None,
+            style: StyleSpec::default(),
+        };
+        let dvq = spec.to_dvq(&db);
+        assert_eq!(
+            Printer::default().print(&dvq),
+            "Visualize BAR SELECT city , AVG(salary) FROM employees \
+             WHERE salary BETWEEN 8000 AND 12000 GROUP BY city ORDER BY city ASC"
+        );
+    }
+
+    #[test]
+    fn rename_changes_dvq_consistently() {
+        let mut db = toy_db();
+        let spec = QuerySpec {
+            chart: ChartType::Line,
+            table: 0,
+            x: AxisSpec::Col(cid(0, 2)),
+            y: AxisSpec::Agg {
+                func: AggFunc::Avg,
+                distinct: false,
+                col: cid(0, 1),
+            },
+            color: None,
+            join: None,
+            preds: vec![],
+            group: vec![],
+            order: None,
+            limit: None,
+            bin: Some((cid(0, 2), BinUnit::Year)),
+            style: StyleSpec::default(),
+        };
+        let before = Printer::default().print(&spec.to_dvq(&db));
+        assert!(before.contains("AVG(salary)"));
+        db.tables[0].columns[1].name = "wage".into();
+        let after = Printer::default().print(&spec.to_dvq(&db));
+        assert!(after.contains("AVG(wage)"));
+        assert!(after.contains("BIN hire_date BY YEAR"));
+    }
+
+    #[test]
+    fn join_with_aliases_renders_t1_t2() {
+        let db = toy_db();
+        let spec = QuerySpec {
+            chart: ChartType::Bar,
+            table: 0,
+            x: AxisSpec::Col(cid(0, 3)),
+            y: AxisSpec::Agg {
+                func: AggFunc::Count,
+                distinct: false,
+                col: cid(0, 3),
+            },
+            color: None,
+            join: Some(JoinSpec {
+                table: 1,
+                left: cid(0, 0),
+                right: cid(1, 0),
+            }),
+            preds: vec![(
+                BoolOp::And,
+                PredSpec::Cmp {
+                    col: cid(1, 1),
+                    op: CmpOp::Eq,
+                    value: ValSpec::Text("Finance".into()),
+                },
+            )],
+            group: vec![cid(0, 3)],
+            order: None,
+            limit: None,
+            bin: None,
+            style: StyleSpec::default(),
+        };
+        let s = Printer::default().print(&spec.to_dvq(&db));
+        assert!(s.contains("FROM employees AS T1 JOIN departments AS T2 ON T1.id = T2.id"));
+        assert!(s.contains("WHERE T2.name = 'Finance'"));
+
+        let mut no_alias = spec.clone();
+        no_alias.style.use_aliases = false;
+        let s2 = Printer::default().print(&no_alias.to_dvq(&db));
+        assert!(s2.contains("FROM employees JOIN departments ON employees.id = departments.id"));
+    }
+
+    #[test]
+    fn style_spec_controls_null_and_noteq() {
+        let db = toy_db();
+        let mut spec = QuerySpec {
+            chart: ChartType::Bar,
+            table: 0,
+            x: AxisSpec::Col(cid(0, 3)),
+            y: AxisSpec::Col(cid(0, 1)),
+            color: None,
+            join: None,
+            preds: vec![
+                (BoolOp::And, PredSpec::NotNull { col: cid(0, 1) }),
+                (
+                    BoolOp::Or,
+                    PredSpec::Cmp {
+                        col: cid(0, 0),
+                        op: CmpOp::NotEq,
+                        value: ValSpec::Num(40),
+                    },
+                ),
+            ],
+            group: vec![],
+            order: None,
+            limit: None,
+            bin: None,
+            style: StyleSpec::default(),
+        };
+        let s = Printer::default().print(&spec.to_dvq(&db));
+        assert!(s.contains("salary != \"null\""));
+        assert!(s.contains("id != 40"));
+        spec.style.null_style = NullStyle::IsNull;
+        spec.style.noteq_bang = false;
+        let s2 = Printer::default().print(&spec.to_dvq(&db));
+        assert!(s2.contains("salary IS NOT NULL"));
+        assert!(s2.contains("id <> 40"));
+    }
+
+    #[test]
+    fn implicit_asc_suppresses_keyword() {
+        let db = toy_db();
+        let spec = QuerySpec {
+            chart: ChartType::Scatter,
+            table: 0,
+            x: AxisSpec::Col(cid(0, 1)),
+            y: AxisSpec::Col(cid(0, 0)),
+            color: None,
+            join: None,
+            preds: vec![],
+            group: vec![],
+            order: Some(OrderSpec {
+                target: OrderTarget::X,
+                dir: SortDir::Asc,
+                explicit_dir: false,
+            }),
+            limit: None,
+            bin: None,
+            style: StyleSpec::default(),
+        };
+        let s = Printer::default().print(&spec.to_dvq(&db));
+        assert!(s.ends_with("ORDER BY salary"));
+    }
+
+    #[test]
+    fn referenced_columns_cover_all_slots() {
+        let db = toy_db();
+        let spec = QuerySpec {
+            chart: ChartType::StackedBar,
+            table: 0,
+            x: AxisSpec::Col(cid(0, 3)),
+            y: AxisSpec::Agg {
+                func: AggFunc::Count,
+                distinct: false,
+                col: cid(0, 3),
+            },
+            color: Some(cid(0, 1)),
+            join: None,
+            preds: vec![(BoolOp::And, PredSpec::NotNull { col: cid(0, 2) })],
+            group: vec![cid(0, 1)],
+            order: None,
+            limit: None,
+            bin: None,
+            style: StyleSpec::default(),
+        };
+        let cols = spec.referenced_columns();
+        assert!(cols.contains(&cid(0, 3)));
+        assert!(cols.contains(&cid(0, 1)));
+        assert!(cols.contains(&cid(0, 2)));
+        let _ = db;
+    }
+}

@@ -1,0 +1,98 @@
+//! Corpus statistics — regenerates the paper's Figure 2 tables.
+
+use crate::generator::Corpus;
+use t2v_dvq::ast::ChartType;
+use t2v_dvq::hardness::Hardness;
+
+/// Aggregate statistics of a corpus dev split + databases (Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    pub pairs_per_chart: Vec<(ChartType, usize)>,
+    pub pairs_per_hardness: Vec<(Hardness, usize)>,
+    pub total_pairs: usize,
+    pub databases: usize,
+    pub tables: usize,
+    pub columns: usize,
+    pub avg_tables_per_db: f64,
+    pub avg_columns_per_table: f64,
+}
+
+impl CorpusStats {
+    /// Compute statistics over the dev split of `corpus`.
+    pub fn of(corpus: &Corpus) -> Self {
+        let mut per_chart = Vec::new();
+        for ct in ChartType::ALL {
+            let n = corpus.dev.iter().filter(|e| e.spec.chart == ct).count();
+            per_chart.push((ct, n));
+        }
+        let mut per_hardness = Vec::new();
+        for h in Hardness::ALL {
+            let n = corpus.dev.iter().filter(|e| e.hardness == h).count();
+            per_hardness.push((h, n));
+        }
+        let databases = corpus.databases.len();
+        let tables: usize = corpus.databases.iter().map(|d| d.tables.len()).sum();
+        let columns: usize = corpus.databases.iter().map(|d| d.column_count()).sum();
+        CorpusStats {
+            total_pairs: corpus.dev.len(),
+            pairs_per_chart: per_chart,
+            pairs_per_hardness: per_hardness,
+            databases,
+            tables,
+            columns,
+            avg_tables_per_db: tables as f64 / databases as f64,
+            avg_columns_per_table: columns as f64 / tables as f64,
+        }
+    }
+
+    /// Render the Figure 2 tables as text.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("VIS Types           No. of (NL, Vis)\n");
+        for (ct, n) in &self.pairs_per_chart {
+            s.push_str(&format!("{:<20}{}\n", ct.display_name(), n));
+        }
+        s.push_str(&format!("{:<20}{}\n\n", "All Types", self.total_pairs));
+        s.push_str("Hardness            No. of (NL, Vis)\n");
+        for (h, n) in &self.pairs_per_hardness {
+            s.push_str(&format!("{:<20}{}\n", h.display_name(), n));
+        }
+        s.push_str(&format!("{:<20}{}\n\n", "Total", self.total_pairs));
+        s.push_str(&format!(
+            "Database {}  Table {}  Avg. {:.2}\n",
+            self.databases, self.tables, self.avg_tables_per_db
+        ));
+        s.push_str(&format!(
+            "Table {}  Column {}  Avg. {:.2}\n",
+            self.tables, self.columns, self.avg_columns_per_table
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, CorpusConfig};
+
+    #[test]
+    fn stats_sum_to_totals() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let st = CorpusStats::of(&corpus);
+        let chart_sum: usize = st.pairs_per_chart.iter().map(|(_, n)| n).sum();
+        let hard_sum: usize = st.pairs_per_hardness.iter().map(|(_, n)| n).sum();
+        assert_eq!(chart_sum, st.total_pairs);
+        assert_eq!(hard_sum, st.total_pairs);
+        assert!(st.avg_tables_per_db > 1.0);
+        assert!(st.avg_columns_per_table > 2.0);
+    }
+
+    #[test]
+    fn render_contains_figure2_rows() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let text = CorpusStats::of(&corpus).render();
+        assert!(text.contains("Bar Chart"));
+        assert!(text.contains("Extra Hard"));
+        assert!(text.contains("Database"));
+    }
+}

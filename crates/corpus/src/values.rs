@@ -1,0 +1,109 @@
+//! Plausible value pools per concept, shared by the pair generator (filter
+//! literals) and the execution engine (row synthesis).
+
+/// Text value pool for a column concept. Falls back to a generic pool.
+pub fn text_pool(concept: &str) -> &'static [&'static str] {
+    match concept {
+        "city" => &[
+            "Shenzhen", "Paris", "London", "Austin", "Toronto", "Madrid", "Oslo", "Kyoto",
+        ],
+        "country" => &[
+            "China", "France", "Canada", "Spain", "Norway", "Japan", "Brazil", "Kenya",
+        ],
+        "first_name" => &[
+            "Shelley", "Nancy", "Steven", "John", "Hermann", "Alexander", "Adam", "Susan", "Den",
+            "Michael", "Jennifer",
+        ],
+        "last_name" => &[
+            "Smith", "Chen", "Garcia", "Mueller", "Tanaka", "Okafor", "Rossi", "Novak",
+        ],
+        "name" => &[
+            "Aurora", "Beacon", "Cascade", "Drift", "Ember", "Fable", "Garnet", "Harbor",
+        ],
+        "sex" => &["F", "M"],
+        "status" => &["active", "closed", "pending", "archived"],
+        "type" => &["standard", "premium", "basic", "trial"],
+        "category" => &["Comedy", "Drama", "Action", "Documentary", "Family"],
+        "major" => &["Biology", "Physics", "History", "Economics", "Design"],
+        "advisor" => &["Ward", "Patel", "Kim", "Lopez"],
+        "breed" => &["Beagle", "Husky", "Persian", "Siamese", "Terrier"],
+        "maker" => &["Acme", "Globex", "Initech", "Umbra", "Vertex"],
+        "theme" => &["Nature", "Modern", "Ancient", "Ocean", "Space"],
+        "code" => &["AA1", "BB2", "CC3", "DD4", "EE5"],
+        "email" => &["a@ex.com", "b@ex.com", "c@ex.com", "d@ex.com"],
+        "phone" => &["555-0100", "555-0101", "555-0102"],
+        "model" => &["X100", "Z220", "Q35", "R9"],
+        "author" => &["Austen", "Baldwin", "Calvino", "Dumas"],
+        "venue" => &["Main Hall", "West Wing", "Arena A", "Dome"],
+        "owner" => &["Harper", "Quinn", "Reyes", "Sato"],
+        "description" | "comment" | "details" | "summary_text" => {
+            &["fine", "good", "notable", "flagged"]
+        }
+        _ => &["alpha", "beta", "gamma", "delta", "epsilon"],
+    }
+}
+
+/// Inclusive numeric range for a column concept (used both for generated
+/// filter thresholds and for synthesised rows, so filters are satisfiable).
+pub fn num_range(concept: &str) -> (i64, i64) {
+    match concept {
+        "salary" => (2000, 20000),
+        "bonus" => (100, 5000),
+        "price" => (5, 500),
+        "budget" => (10_000, 900_000),
+        "revenue" | "profit" => (1000, 90_000),
+        "balance" => (0, 50_000),
+        "quantity" | "stock" | "sales" => (1, 400),
+        "capacity" => (50, 2000),
+        "population" => (10_000, 5_000_000),
+        "weight" => (1, 200),
+        "height" => (50, 220),
+        "length" | "distance" | "mileage" => (10, 9000),
+        "speed" => (20, 900),
+        "duration" => (5, 240),
+        "area_size" => (30, 9000),
+        "temperature" => (-20, 45),
+        "attendance" => (100, 80_000),
+        "votes" => (10, 9000),
+        "percentage" | "acc_percent" | "commission_pct" => (1, 99),
+        "horsepower" => (60, 900),
+        "age" | "pet_age" => (1, 80),
+        "rating" | "score" => (1, 10),
+        "rank" => (1, 50),
+        "year" | "openning_year" | "founded_year" => (1950, 2020),
+        "manager_id" | "id" => (1, 200),
+        "premium_amount" => (200, 5000),
+        _ => (1, 1000),
+    }
+}
+
+/// Year span used when synthesising date values for a concept.
+pub fn date_year_range(_concept: &str) -> (i32, i32) {
+    (1995, 2022)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_everywhere() {
+        for c in ["city", "nonexistent_concept", "sex", "theme"] {
+            assert!(!text_pool(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn ranges_are_well_formed() {
+        for c in ["salary", "age", "unknown", "temperature", "year"] {
+            let (lo, hi) = num_range(c);
+            assert!(lo < hi, "bad range for {c}");
+        }
+    }
+
+    #[test]
+    fn salary_range_supports_paper_example() {
+        let (lo, hi) = num_range("salary");
+        assert!(lo <= 8000 && hi >= 12000);
+    }
+}

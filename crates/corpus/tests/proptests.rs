@@ -1,0 +1,60 @@
+//! Property tests for corpus generation.
+
+use proptest::prelude::*;
+use t2v_corpus::{generate, CorpusConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Structural totals are hit exactly for any seed.
+    #[test]
+    fn exact_totals_any_seed(seed in 0u64..10_000) {
+        let cfg = CorpusConfig::tiny(seed);
+        let corpus = generate(&cfg);
+        let tables: usize = corpus.databases.iter().map(|d| d.tables.len()).sum();
+        let cols: usize = corpus.databases.iter().map(|d| d.column_count()).sum();
+        prop_assert_eq!(corpus.databases.len(), cfg.num_dbs);
+        prop_assert_eq!(tables, cfg.total_tables);
+        prop_assert_eq!(cols, cfg.total_columns);
+        for db in &corpus.databases {
+            db.validate().unwrap();
+        }
+    }
+
+    /// Every generated pair's DVQ parses, round-trips, and references only
+    /// columns of its own database.
+    #[test]
+    fn pairs_are_well_formed_any_seed(seed in 0u64..10_000) {
+        let corpus = generate(&CorpusConfig::tiny(seed));
+        for ex in corpus.dev.iter().step_by(9) {
+            let db = &corpus.databases[ex.db];
+            let reparsed = t2v_dvq::parse(&ex.dvq_text).unwrap();
+            prop_assert_eq!(&reparsed, &ex.dvq);
+            let index = db.name_index();
+            let mut ok = true;
+            ex.dvq.visit_columns(&mut |c| {
+                if c.column != "*" && !index.contains_key(&c.column.to_ascii_lowercase()) {
+                    ok = false;
+                }
+            });
+            prop_assert!(ok, "query references unknown column: {}", ex.dvq_text);
+        }
+    }
+
+    /// Explicit NLQs mention their x column's literal name.
+    #[test]
+    fn explicit_questions_echo_schema(seed in 0u64..5_000) {
+        let corpus = generate(&CorpusConfig::tiny(seed));
+        let mut mentioned = 0;
+        let mut total = 0;
+        for ex in corpus.dev.iter().step_by(13) {
+            total += 1;
+            let db = &corpus.databases[ex.db];
+            let xname = db.column_name(ex.spec.x.column());
+            if ex.nlq.contains(xname) {
+                mentioned += 1;
+            }
+        }
+        prop_assert!(mentioned * 10 >= total * 9, "{}/{} mention x", mentioned, total);
+    }
+}

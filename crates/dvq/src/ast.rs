@@ -1,0 +1,821 @@
+//! Typed abstract syntax tree for DVQ.
+//!
+//! The AST is intentionally close to the concrete nvBench grammar: a single
+//! `SELECT x , y`, one base table with optional equi-joins, a flat
+//! AND/OR predicate chain, single-column `GROUP BY`, one `ORDER BY` key,
+//! optional `LIMIT` and an optional temporal `BIN ... BY` clause.
+//!
+//! Stylistic distinctions that matter for the paper's exact-match metric are
+//! represented explicitly: [`NullStyle`] (`IS NOT NULL` vs `!= "null"`),
+//! operator spelling (`!=` vs `<>`) and join aliasing.
+
+use std::fmt;
+
+/// The seven chart types of nvBench (Figure 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChartType {
+    Bar,
+    Pie,
+    Line,
+    Scatter,
+    StackedBar,
+    GroupingLine,
+    GroupingScatter,
+}
+
+impl ChartType {
+    /// All chart types, in the order the paper's Figure 2 lists them.
+    pub const ALL: [ChartType; 7] = [
+        ChartType::Bar,
+        ChartType::Pie,
+        ChartType::Line,
+        ChartType::Scatter,
+        ChartType::StackedBar,
+        ChartType::GroupingLine,
+        ChartType::GroupingScatter,
+    ];
+
+    /// The DVQ keyword(s) for this chart type.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            ChartType::Bar => "BAR",
+            ChartType::Pie => "PIE",
+            ChartType::Line => "LINE",
+            ChartType::Scatter => "SCATTER",
+            ChartType::StackedBar => "STACKED BAR",
+            ChartType::GroupingLine => "GROUPING LINE",
+            ChartType::GroupingScatter => "GROUPING SCATTER",
+        }
+    }
+
+    /// Human-readable name used by dataset statistics (Figure 2).
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ChartType::Bar => "Bar Chart",
+            ChartType::Pie => "Pie Chart",
+            ChartType::Line => "Line Chart",
+            ChartType::Scatter => "Scatter Chart",
+            ChartType::StackedBar => "Stacked Bar",
+            ChartType::GroupingLine => "Grouping Line",
+            ChartType::GroupingScatter => "Grouping Scatter",
+        }
+    }
+
+    /// The underlying Vega-Lite mark.
+    pub fn mark(&self) -> &'static str {
+        match self {
+            ChartType::Bar | ChartType::StackedBar => "bar",
+            ChartType::Pie => "arc",
+            ChartType::Line | ChartType::GroupingLine => "line",
+            ChartType::Scatter | ChartType::GroupingScatter => "point",
+        }
+    }
+
+    /// Whether the chart uses a colour/grouping channel.
+    pub fn is_grouped(&self) -> bool {
+        matches!(
+            self,
+            ChartType::StackedBar | ChartType::GroupingLine | ChartType::GroupingScatter
+        )
+    }
+}
+
+impl fmt::Display for ChartType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Aggregate functions allowed on an axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+        AggFunc::Min,
+        AggFunc::Max,
+    ];
+
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Vega-Lite aggregate name.
+    pub fn vegalite(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "average",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A (possibly qualified) column reference: `salary` or `T1.salary`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier, if written.
+    pub qualifier: Option<String>,
+    /// Column name as written (`*` is represented as the literal `*`).
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: None,
+            column: column.into(),
+        }
+    }
+
+    pub fn qualified(qualifier: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            qualifier: Some(qualifier.into()),
+            column: column.into(),
+        }
+    }
+
+    pub fn star() -> Self {
+        ColumnRef::bare("*")
+    }
+
+    pub fn is_star(&self) -> bool {
+        self.column == "*"
+    }
+
+    /// ASCII-lowercase every identifier (used for case-insensitive matching).
+    pub fn to_lower(&self) -> Self {
+        ColumnRef {
+            qualifier: self.qualifier.as_ref().map(|q| q.to_ascii_lowercase()),
+            column: self.column.to_ascii_lowercase(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => f.write_str(&self.column),
+        }
+    }
+}
+
+/// One of the two `SELECT` expressions (an axis).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectExpr {
+    Column(ColumnRef),
+    Aggregate {
+        func: AggFunc,
+        distinct: bool,
+        arg: ColumnRef,
+    },
+}
+
+impl SelectExpr {
+    pub fn col(name: impl Into<String>) -> Self {
+        SelectExpr::Column(ColumnRef::bare(name))
+    }
+
+    pub fn agg(func: AggFunc, arg: impl Into<String>) -> Self {
+        SelectExpr::Aggregate {
+            func,
+            distinct: false,
+            arg: ColumnRef::bare(arg),
+        }
+    }
+
+    /// The column this expression reads (the aggregate argument for
+    /// aggregates).
+    pub fn column(&self) -> &ColumnRef {
+        match self {
+            SelectExpr::Column(c) => c,
+            SelectExpr::Aggregate { arg, .. } => arg,
+        }
+    }
+
+    pub fn column_mut(&mut self) -> &mut ColumnRef {
+        match self {
+            SelectExpr::Column(c) => c,
+            SelectExpr::Aggregate { arg, .. } => arg,
+        }
+    }
+
+    pub fn aggregate(&self) -> Option<AggFunc> {
+        match self {
+            SelectExpr::Column(_) => None,
+            SelectExpr::Aggregate { func, .. } => Some(*func),
+        }
+    }
+
+    pub fn to_lower(&self) -> Self {
+        match self {
+            SelectExpr::Column(c) => SelectExpr::Column(c.to_lower()),
+            SelectExpr::Aggregate {
+                func,
+                distinct,
+                arg,
+            } => SelectExpr::Aggregate {
+                func: *func,
+                distinct: *distinct,
+                arg: arg.to_lower(),
+            },
+        }
+    }
+}
+
+/// Comparison operators. `NotEq` carries its spelling (`!=` vs `<>`) since
+/// exact-match accuracy is sensitive to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    Eq,
+    /// `bang == true` → `!=`, otherwise `<>`.
+    NotEq { bang: bool },
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CompareOp {
+    pub fn render(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::NotEq { bang: true } => "!=",
+            CompareOp::NotEq { bang: false } => "<>",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+
+    /// Equality ignoring the `!=`/`<>` spelling.
+    pub fn semantic_eq(&self, other: &CompareOp) -> bool {
+        matches!(
+            (self, other),
+            (CompareOp::NotEq { .. }, CompareOp::NotEq { .. })
+        ) || self == other
+    }
+}
+
+/// A literal or scalar-subquery value in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Raw numeric spelling (kept textual so `1.50` round-trips).
+    Number(String),
+    /// String literal plus its quote kind.
+    Text { text: String, double_quoted: bool },
+    /// Scalar subquery, e.g. `(SELECT dept_id FROM departments WHERE ...)`.
+    Subquery(Box<SubQuery>),
+}
+
+impl Value {
+    pub fn num(n: impl fmt::Display) -> Self {
+        Value::Number(n.to_string())
+    }
+
+    pub fn text(t: impl Into<String>) -> Self {
+        Value::Text {
+            text: t.into(),
+            double_quoted: false,
+        }
+    }
+
+    /// Numeric value if this is a number literal.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// The two spellings of a null test that appear in nvBench. GRED's Retuner
+/// exists largely to reconcile these (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NullStyle {
+    /// `col IS [NOT] NULL`
+    IsNull,
+    /// `col != "null"` / `col = "null"`
+    CompareString,
+}
+
+/// A single predicate in the WHERE chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `col op value`
+    Compare {
+        col: ColumnRef,
+        op: CompareOp,
+        value: Value,
+    },
+    /// `col BETWEEN lo AND hi`
+    Between {
+        col: ColumnRef,
+        lo: Value,
+        hi: Value,
+    },
+    /// `col [NOT] LIKE 'pattern'`
+    Like {
+        col: ColumnRef,
+        negated: bool,
+        pattern: String,
+    },
+    /// `col [NOT] IN (subquery)`
+    In {
+        col: ColumnRef,
+        negated: bool,
+        subquery: Box<SubQuery>,
+    },
+    /// A null test, in either spelling.
+    NullCheck {
+        col: ColumnRef,
+        negated: bool,
+        style: NullStyle,
+    },
+}
+
+impl Predicate {
+    pub fn column(&self) -> &ColumnRef {
+        match self {
+            Predicate::Compare { col, .. }
+            | Predicate::Between { col, .. }
+            | Predicate::Like { col, .. }
+            | Predicate::In { col, .. }
+            | Predicate::NullCheck { col, .. } => col,
+        }
+    }
+
+    pub fn column_mut(&mut self) -> &mut ColumnRef {
+        match self {
+            Predicate::Compare { col, .. }
+            | Predicate::Between { col, .. }
+            | Predicate::Like { col, .. }
+            | Predicate::In { col, .. }
+            | Predicate::NullCheck { col, .. } => col,
+        }
+    }
+}
+
+/// Boolean connective in the flat predicate chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolOp {
+    And,
+    Or,
+}
+
+impl BoolOp {
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            BoolOp::And => "AND",
+            BoolOp::Or => "OR",
+        }
+    }
+}
+
+/// A flat WHERE chain: `p1 AND p2 OR p3 ...` evaluated left-to-right with
+/// standard precedence (AND binds tighter than OR), matching SQLite's
+/// evaluation of the original nvBench queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    pub first: Predicate,
+    pub rest: Vec<(BoolOp, Predicate)>,
+}
+
+impl Condition {
+    pub fn single(p: Predicate) -> Self {
+        Condition {
+            first: p,
+            rest: Vec::new(),
+        }
+    }
+
+    /// Iterate over all predicates in the chain.
+    pub fn predicates(&self) -> impl Iterator<Item = &Predicate> {
+        std::iter::once(&self.first).chain(self.rest.iter().map(|(_, p)| p))
+    }
+
+    pub fn predicates_mut(&mut self) -> impl Iterator<Item = &mut Predicate> {
+        std::iter::once(&mut self.first).chain(self.rest.iter_mut().map(|(_, p)| p))
+    }
+
+    pub fn len(&self) -> usize {
+        1 + self.rest.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Base table (or joined table) reference with an optional `AS` alias.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    pub fn new(name: impl Into<String>) -> Self {
+        TableRef {
+            name: name.into(),
+            alias: None,
+        }
+    }
+
+    pub fn aliased(name: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef {
+            name: name.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// The name predicates should use to refer to this table.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// `JOIN table [AS alias] ON left = right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub table: TableRef,
+    pub left: ColumnRef,
+    pub right: ColumnRef,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortDir {
+    Asc,
+    Desc,
+}
+
+impl SortDir {
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            SortDir::Asc => "ASC",
+            SortDir::Desc => "DESC",
+        }
+    }
+}
+
+/// `ORDER BY expr [ASC|DESC]`. `dir == None` means the direction was not
+/// written (SQL default ascending).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: SelectExpr,
+    pub dir: Option<SortDir>,
+}
+
+/// Temporal binning unit for `BIN col BY unit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinUnit {
+    Year,
+    Month,
+    Day,
+    Weekday,
+}
+
+impl BinUnit {
+    pub const ALL: [BinUnit; 4] = [
+        BinUnit::Year,
+        BinUnit::Month,
+        BinUnit::Day,
+        BinUnit::Weekday,
+    ];
+
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            BinUnit::Year => "YEAR",
+            BinUnit::Month => "MONTH",
+            BinUnit::Day => "DAY",
+            BinUnit::Weekday => "WEEKDAY",
+        }
+    }
+}
+
+/// `BIN col BY unit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binning {
+    pub col: ColumnRef,
+    pub unit: BinUnit,
+}
+
+/// Scalar subquery: `SELECT col FROM table [WHERE cond]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubQuery {
+    pub select: ColumnRef,
+    pub from: String,
+    pub where_clause: Option<Condition>,
+}
+
+/// A complete Data Visualization Query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dvq {
+    pub chart: ChartType,
+    pub x: SelectExpr,
+    pub y: SelectExpr,
+    pub from: TableRef,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Condition>,
+    /// nvBench uses at most one grouping column, but a second one appears for
+    /// stacked/grouping charts (the colour channel), hence a vector.
+    pub group_by: Vec<ColumnRef>,
+    pub order_by: Option<OrderKey>,
+    pub limit: Option<u64>,
+    pub bin: Option<Binning>,
+}
+
+impl Dvq {
+    /// Minimal constructor for a bare `Visualize <chart> SELECT x , y FROM t`.
+    pub fn simple(
+        chart: ChartType,
+        x: SelectExpr,
+        y: SelectExpr,
+        table: impl Into<String>,
+    ) -> Self {
+        Dvq {
+            chart,
+            x,
+            y,
+            from: TableRef::new(table),
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            order_by: None,
+            limit: None,
+            bin: None,
+        }
+    }
+
+    /// Visit every column reference in the query (select, joins, predicates,
+    /// group/order/bin), including subqueries.
+    pub fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a ColumnRef)) {
+        f(self.x.column());
+        f(self.y.column());
+        for j in &self.joins {
+            f(&j.left);
+            f(&j.right);
+        }
+        if let Some(w) = &self.where_clause {
+            visit_condition_columns(w, f);
+        }
+        for g in &self.group_by {
+            f(g);
+        }
+        if let Some(o) = &self.order_by {
+            f(o.expr.column());
+        }
+        if let Some(b) = &self.bin {
+            f(&b.col);
+        }
+    }
+
+    /// Mutable variant of [`Dvq::visit_columns`]. Used by schema-repair
+    /// components (GRED's Debugger, perturbation machinery).
+    pub fn visit_columns_mut(&mut self, f: &mut impl FnMut(&mut ColumnRef)) {
+        f(self.x.column_mut());
+        f(self.y.column_mut());
+        for j in &mut self.joins {
+            f(&mut j.left);
+            f(&mut j.right);
+        }
+        if let Some(w) = &mut self.where_clause {
+            visit_condition_columns_mut(w, f);
+        }
+        for g in &mut self.group_by {
+            f(g);
+        }
+        if let Some(o) = &mut self.order_by {
+            f(o.expr.column_mut());
+        }
+        if let Some(b) = &mut self.bin {
+            f(&mut b.col);
+        }
+    }
+
+    /// Every table name mentioned (FROM, JOINs, subqueries).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut out = vec![self.from.name.as_str()];
+        for j in &self.joins {
+            out.push(j.table.name.as_str());
+        }
+        if let Some(w) = &self.where_clause {
+            for p in w.predicates() {
+                match p {
+                    Predicate::In { subquery, .. } => out.push(subquery.from.as_str()),
+                    Predicate::Compare {
+                        value: Value::Subquery(sq),
+                        ..
+                    } => out.push(sq.from.as_str()),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of predicates in the WHERE chain (0 when absent).
+    pub fn predicate_count(&self) -> usize {
+        self.where_clause.as_ref().map_or(0, Condition::len)
+    }
+
+    /// Whether any value is a scalar subquery or any predicate is `IN (...)`.
+    pub fn has_subquery(&self) -> bool {
+        self.where_clause.as_ref().is_some_and(|w| {
+            w.predicates().any(|p| {
+                matches!(p, Predicate::In { .. })
+                    || matches!(
+                        p,
+                        Predicate::Compare {
+                            value: Value::Subquery(_),
+                            ..
+                        }
+                    )
+            })
+        })
+    }
+}
+
+fn visit_condition_columns<'a>(cond: &'a Condition, f: &mut impl FnMut(&'a ColumnRef)) {
+    for p in cond.predicates() {
+        f(p.column());
+        match p {
+            Predicate::In { subquery, .. } => {
+                f(&subquery.select);
+                if let Some(w) = &subquery.where_clause {
+                    visit_condition_columns(w, f);
+                }
+            }
+            Predicate::Compare {
+                value: Value::Subquery(sq),
+                ..
+            } => {
+                f(&sq.select);
+                if let Some(w) = &sq.where_clause {
+                    visit_condition_columns(w, f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn visit_condition_columns_mut(cond: &mut Condition, f: &mut impl FnMut(&mut ColumnRef)) {
+    for p in cond.predicates_mut() {
+        // Visit the subquery parts first so the borrow of `p` is split
+        // cleanly between the head column and the nested structure.
+        match p {
+            Predicate::In { subquery, .. } => {
+                f(&mut subquery.select);
+                if let Some(w) = &mut subquery.where_clause {
+                    visit_condition_columns_mut(w, f);
+                }
+            }
+            Predicate::Compare {
+                value: Value::Subquery(sq),
+                ..
+            } => {
+                f(&mut sq.select);
+                if let Some(w) = &mut sq.where_clause {
+                    visit_condition_columns_mut(w, f);
+                }
+            }
+            _ => {}
+        }
+        f(p.column_mut());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dvq {
+        let mut q = Dvq::simple(
+            ChartType::Bar,
+            SelectExpr::col("job_id"),
+            SelectExpr::agg(AggFunc::Avg, "manager_id"),
+            "employees",
+        );
+        q.where_clause = Some(Condition {
+            first: Predicate::Between {
+                col: ColumnRef::bare("salary"),
+                lo: Value::num(8000),
+                hi: Value::num(12000),
+            },
+            rest: vec![(
+                BoolOp::And,
+                Predicate::NullCheck {
+                    col: ColumnRef::bare("commission_pct"),
+                    negated: true,
+                    style: NullStyle::CompareString,
+                },
+            )],
+        });
+        q.group_by = vec![ColumnRef::bare("job_id")];
+        q.order_by = Some(OrderKey {
+            expr: SelectExpr::col("job_id"),
+            dir: Some(SortDir::Asc),
+        });
+        q
+    }
+
+    #[test]
+    fn visit_columns_sees_everything() {
+        let q = sample();
+        let mut cols = Vec::new();
+        q.visit_columns(&mut |c| cols.push(c.column.clone()));
+        assert_eq!(
+            cols,
+            vec![
+                "job_id",
+                "manager_id",
+                "salary",
+                "commission_pct",
+                "job_id",
+                "job_id"
+            ]
+        );
+    }
+
+    #[test]
+    fn visit_columns_mut_can_rename() {
+        let mut q = sample();
+        q.visit_columns_mut(&mut |c| {
+            if c.column == "salary" {
+                c.column = "wage".into();
+            }
+        });
+        let mut saw_wage = false;
+        q.visit_columns(&mut |c| saw_wage |= c.column == "wage");
+        assert!(saw_wage);
+    }
+
+    #[test]
+    fn chart_type_metadata() {
+        assert_eq!(ChartType::StackedBar.keyword(), "STACKED BAR");
+        assert_eq!(ChartType::Pie.mark(), "arc");
+        assert!(ChartType::GroupingScatter.is_grouped());
+        assert!(!ChartType::Bar.is_grouped());
+        assert_eq!(ChartType::ALL.len(), 7);
+    }
+
+    #[test]
+    fn compare_op_semantics() {
+        assert!(CompareOp::NotEq { bang: true }.semantic_eq(&CompareOp::NotEq { bang: false }));
+        assert!(!CompareOp::Eq.semantic_eq(&CompareOp::Lt));
+        assert_eq!(CompareOp::NotEq { bang: false }.render(), "<>");
+    }
+
+    #[test]
+    fn predicate_count_and_subquery_detection() {
+        let q = sample();
+        assert_eq!(q.predicate_count(), 2);
+        assert!(!q.has_subquery());
+
+        let mut q2 = q.clone();
+        q2.where_clause = Some(Condition::single(Predicate::Compare {
+            col: ColumnRef::bare("dept_id"),
+            op: CompareOp::Eq,
+            value: Value::Subquery(Box::new(SubQuery {
+                select: ColumnRef::bare("dept_id"),
+                from: "departments".into(),
+                where_clause: None,
+            })),
+        }));
+        assert!(q2.has_subquery());
+        assert!(q2.table_names().contains(&"departments"));
+    }
+
+    #[test]
+    fn table_binding_prefers_alias() {
+        let t = TableRef::aliased("employees", "T1");
+        assert_eq!(t.binding(), "T1");
+        assert_eq!(TableRef::new("jobs").binding(), "jobs");
+    }
+}

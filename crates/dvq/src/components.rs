@@ -1,0 +1,264 @@
+//! Decomposition of a DVQ into the three graded components used by the
+//! paper's metrics (Appendix A):
+//!
+//! * **Vis** — the chart type;
+//! * **Axis** — the x/y `SELECT` expressions plus the axis sorting
+//!   (`ORDER BY`), since the paper's case study treats "sort x axis in asc
+//!   order" as an axis property;
+//! * **Data** — the data-transformation part: source table(s), joins,
+//!   filters, grouping, binning and limit.
+//!
+//! Comparison is identifier-case-insensitive but **style sensitive**
+//! (`IS NOT NULL` vs `!= "null"` is a Data mismatch) — mirroring the paper,
+//! where programming-style drift lowers Data accuracy until the Retuner fixes
+//! it. A style-insensitive comparison is available through
+//! [`crate::normalize::semantically_equal`].
+
+use crate::ast::*;
+use crate::normalize::normalize;
+
+/// The extracted components of one query, pre-normalised for comparison
+/// (identifiers lowercased, aliases resolved) while preserving style markers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Components {
+    pub chart: ChartType,
+    pub x: SelectExpr,
+    pub y: SelectExpr,
+    pub order_by: Option<OrderKey>,
+    pub from: String,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Condition>,
+    pub group_by: Vec<ColumnRef>,
+    pub bin: Option<Binning>,
+    pub limit: Option<u64>,
+    /// Style markers that make exact match stricter than component match.
+    pub style_key: StyleKey,
+}
+
+/// The style-bearing facts about a query's surface form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StyleKey {
+    /// Null-test spellings in order of appearance.
+    pub null_styles: Vec<NullStyle>,
+    /// `!=`-vs-`<>` choices in order of appearance.
+    pub noteq_bangs: Vec<bool>,
+    /// Whether ORDER BY wrote an explicit direction.
+    pub explicit_dir: Option<bool>,
+    /// Whether the FROM/JOIN chain used `AS` aliases.
+    pub uses_aliases: bool,
+}
+
+impl Components {
+    /// Extract components from a query.
+    pub fn of(q: &Dvq) -> Self {
+        let style_key = StyleKey::of(q);
+        let n = normalize(q.clone());
+        Components {
+            chart: n.chart,
+            x: n.x.to_lower(),
+            y: n.y.to_lower(),
+            order_by: n.order_by.map(|o| OrderKey {
+                expr: o.expr.to_lower(),
+                dir: o.dir,
+            }),
+            from: n.from.name,
+            joins: n.joins,
+            where_clause: n.where_clause,
+            group_by: n.group_by,
+            bin: n.bin,
+            limit: n.limit,
+            style_key,
+        }
+    }
+
+    /// Vis component equality.
+    pub fn vis_matches(&self, other: &Components) -> bool {
+        self.chart == other.chart
+    }
+
+    /// Axis component equality (x, y, ordering).
+    pub fn axis_matches(&self, other: &Components) -> bool {
+        self.x == other.x && self.y == other.y && self.order_by == other.order_by
+    }
+
+    /// Data component equality (table, joins, filters, grouping, binning,
+    /// limit) — style sensitive through the normalised WHERE *plus* the
+    /// style key of null/inequality spellings.
+    pub fn data_matches(&self, other: &Components) -> bool {
+        self.from == other.from
+            && self.joins == other.joins
+            && self.where_clause == other.where_clause
+            && self.group_by == other.group_by
+            && self.bin == other.bin
+            && self.limit == other.limit
+            && self.style_key.null_styles == other.style_key.null_styles
+            && self.style_key.noteq_bangs == other.style_key.noteq_bangs
+    }
+}
+
+impl StyleKey {
+    /// Collect the style-bearing facts of `q` in source order.
+    pub fn of(q: &Dvq) -> Self {
+        let mut key = StyleKey {
+            uses_aliases: q.from.alias.is_some() || q.joins.iter().any(|j| j.table.alias.is_some()),
+            explicit_dir: q.order_by.as_ref().map(|o| o.dir.is_some()),
+            ..StyleKey::default()
+        };
+        if let Some(w) = &q.where_clause {
+            collect_condition_style(w, &mut key);
+        }
+        key
+    }
+}
+
+fn collect_condition_style(cond: &Condition, key: &mut StyleKey) {
+    for p in cond.predicates() {
+        match p {
+            Predicate::NullCheck { style, .. } => key.null_styles.push(*style),
+            Predicate::Compare { op, value, .. } => {
+                if let CompareOp::NotEq { bang } = op {
+                    key.noteq_bangs.push(*bang);
+                }
+                if let Value::Subquery(sq) = value {
+                    if let Some(w) = &sq.where_clause {
+                        collect_condition_style(w, key);
+                    }
+                }
+            }
+            Predicate::In { subquery, .. } => {
+                if let Some(w) = &subquery.where_clause {
+                    collect_condition_style(w, key);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Result of comparing a predicted query against a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ComponentMatch {
+    pub vis: bool,
+    pub axis: bool,
+    pub data: bool,
+    /// Exact match: all components *and* the full style key.
+    pub overall: bool,
+}
+
+impl ComponentMatch {
+    /// Grade `predicted` against `target`.
+    pub fn grade(predicted: &Dvq, target: &Dvq) -> Self {
+        let p = Components::of(predicted);
+        let t = Components::of(target);
+        let vis = p.vis_matches(&t);
+        let axis = p.axis_matches(&t);
+        let data = p.data_matches(&t);
+        let overall = vis && axis && data && p.style_key == t.style_key;
+        ComponentMatch {
+            vis,
+            axis,
+            data,
+            overall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn grade(p: &str, t: &str) -> ComponentMatch {
+        ComponentMatch::grade(&parse(p).unwrap(), &parse(t).unwrap())
+    }
+
+    #[test]
+    fn identical_queries_match_everywhere() {
+        let s = "Visualize BAR SELECT a , COUNT(a) FROM t WHERE b > 3 GROUP BY a ORDER BY a ASC";
+        let m = grade(s, s);
+        assert!(m.vis && m.axis && m.data && m.overall);
+    }
+
+    #[test]
+    fn chart_mismatch_only_breaks_vis() {
+        let m = grade(
+            "Visualize PIE SELECT a , COUNT(a) FROM t GROUP BY a",
+            "Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a",
+        );
+        assert!(!m.vis && m.axis && m.data && !m.overall);
+    }
+
+    #[test]
+    fn wrong_column_breaks_axis_not_data() {
+        let m = grade(
+            "Visualize BAR SELECT first_name , dept_id FROM employees ORDER BY dept_id DESC",
+            "Visualize BAR SELECT fname , dept_id FROM employees ORDER BY dept_id DESC",
+        );
+        assert!(m.vis && !m.axis && m.data && !m.overall);
+    }
+
+    #[test]
+    fn filter_style_drift_breaks_data() {
+        let m = grade(
+            "Visualize BAR SELECT a , b FROM t WHERE c IS NOT NULL",
+            "Visualize BAR SELECT a , b FROM t WHERE c != \"null\"",
+        );
+        assert!(m.vis && m.axis && !m.data && !m.overall);
+    }
+
+    #[test]
+    fn noteq_spelling_breaks_data_only() {
+        let m = grade(
+            "Visualize BAR SELECT a , b FROM t WHERE c <> 4",
+            "Visualize BAR SELECT a , b FROM t WHERE c != 4",
+        );
+        assert!(m.vis && m.axis && !m.data && !m.overall);
+    }
+
+    #[test]
+    fn ordering_direction_is_an_axis_property() {
+        let m = grade(
+            "Visualize BAR SELECT a , b FROM t ORDER BY b DESC",
+            "Visualize BAR SELECT a , b FROM t ORDER BY b ASC",
+        );
+        assert!(m.vis && !m.axis && m.data && !m.overall);
+    }
+
+    #[test]
+    fn implicit_vs_explicit_asc_breaks_overall_only() {
+        // Semantically the same ordering → axis matches after normalisation,
+        // but the style key differs so overall (exact) fails.
+        let m = grade(
+            "Visualize BAR SELECT a , b FROM t ORDER BY a",
+            "Visualize BAR SELECT a , b FROM t ORDER BY a ASC",
+        );
+        assert!(m.vis && m.axis && m.data && !m.overall);
+    }
+
+    #[test]
+    fn alias_usage_breaks_overall_only() {
+        let m = grade(
+            "Visualize BAR SELECT x , y FROM emp AS T1 JOIN dept AS T2 ON T1.d = T2.d",
+            "Visualize BAR SELECT x , y FROM emp JOIN dept ON emp.d = dept.d",
+        );
+        assert!(m.vis && m.axis && m.data && !m.overall);
+    }
+
+    #[test]
+    fn identifier_case_is_insensitive() {
+        let m = grade(
+            "Visualize BAR SELECT JOB_ID , AVG(SALARY) FROM EMPLOYEES GROUP BY JOB_ID",
+            "Visualize BAR SELECT job_id , avg(salary) FROM employees GROUP BY job_id",
+        );
+        assert!(m.overall);
+    }
+
+    #[test]
+    fn data_mismatch_on_group_by() {
+        let m = grade(
+            "Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a",
+            "Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY b",
+        );
+        assert!(m.vis && m.axis && !m.data && !m.overall);
+    }
+}

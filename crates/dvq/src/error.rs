@@ -1,0 +1,59 @@
+//! Error type shared by the DVQ toolchain.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, DvqError>;
+
+/// Errors raised while lexing or parsing DVQ text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DvqError {
+    /// An unexpected character was encountered at the given byte offset.
+    Lex { offset: usize, found: char },
+    /// A token other than the expected one was found.
+    Unexpected { expected: String, found: String },
+    /// Input ended while more tokens were required.
+    Eof { expected: String },
+    /// A clause appeared twice (e.g. two `GROUP BY`s).
+    DuplicateClause(&'static str),
+    /// Anything else (semantic validation failures).
+    Invalid(String),
+}
+
+impl fmt::Display for DvqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DvqError::Lex { offset, found } => {
+                write!(f, "unexpected character {found:?} at byte {offset}")
+            }
+            DvqError::Unexpected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            DvqError::Eof { expected } => write!(f, "unexpected end of input, expected {expected}"),
+            DvqError::DuplicateClause(c) => write!(f, "duplicate {c} clause"),
+            DvqError::Invalid(msg) => write!(f, "invalid DVQ: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DvqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = DvqError::Unexpected {
+            expected: "SELECT".into(),
+            found: "FROM".into(),
+        };
+        assert_eq!(e.to_string(), "expected SELECT, found FROM");
+        assert!(DvqError::Eof {
+            expected: "value".into()
+        }
+        .to_string()
+        .contains("end of input"));
+        assert!(DvqError::DuplicateClause("GROUP BY").to_string().contains("GROUP BY"));
+    }
+}

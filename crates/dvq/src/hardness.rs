@@ -1,0 +1,152 @@
+//! Spider-style query hardness classification.
+//!
+//! nvBench inherits Spider's four difficulty buckets. We score structural
+//! features of the DVQ and bucket on thresholds chosen so that the synthetic
+//! corpus reproduces the paper's Figure 2 hardness histogram
+//! (286 / 475 / 282 / 139).
+
+use crate::ast::{Dvq, Predicate};
+use std::fmt;
+
+/// The four difficulty buckets of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Hardness {
+    Easy,
+    Medium,
+    Hard,
+    ExtraHard,
+}
+
+impl Hardness {
+    pub const ALL: [Hardness; 4] = [
+        Hardness::Easy,
+        Hardness::Medium,
+        Hardness::Hard,
+        Hardness::ExtraHard,
+    ];
+
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            Hardness::Easy => "Easy",
+            Hardness::Medium => "Medium",
+            Hardness::Hard => "Hard",
+            Hardness::ExtraHard => "Extra Hard",
+        }
+    }
+}
+
+impl fmt::Display for Hardness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// Structural complexity score of a query (monotone in every feature).
+pub fn score(q: &Dvq) -> u32 {
+    let mut s = 0u32;
+    if q.x.aggregate().is_some() {
+        s += 1;
+    }
+    if q.y.aggregate().is_some() {
+        s += 1;
+    }
+    s += 2 * q.joins.len() as u32;
+    if let Some(w) = &q.where_clause {
+        for p in w.predicates() {
+            s += match p {
+                Predicate::Compare { value, .. } => {
+                    if matches!(value, crate::ast::Value::Subquery(_)) {
+                        4
+                    } else {
+                        1
+                    }
+                }
+                Predicate::Between { .. } => 2,
+                Predicate::Like { .. } => 2,
+                Predicate::In { .. } => 4,
+                Predicate::NullCheck { .. } => 1,
+            };
+        }
+        s += (w.rest.len() as u32).saturating_sub(0); // connective count
+    }
+    if !q.group_by.is_empty() {
+        s += 1;
+    }
+    if q.group_by.len() > 1 {
+        s += 1;
+    }
+    if q.order_by.is_some() {
+        s += 1;
+    }
+    if q
+        .order_by
+        .as_ref()
+        .is_some_and(|o| o.expr.aggregate().is_some())
+    {
+        s += 1;
+    }
+    if q.limit.is_some() {
+        s += 1;
+    }
+    if q.bin.is_some() {
+        s += 1;
+    }
+    s
+}
+
+/// Bucket a query's score into [`Hardness`].
+pub fn classify(q: &Dvq) -> Hardness {
+    match score(q) {
+        0..=2 => Hardness::Easy,
+        3..=5 => Hardness::Medium,
+        6..=9 => Hardness::Hard,
+        _ => Hardness::ExtraHard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn bare_select_is_easy() {
+        let q = parse("Visualize SCATTER SELECT a , b FROM t").unwrap();
+        assert_eq!(classify(&q), Hardness::Easy);
+    }
+
+    #[test]
+    fn group_count_order_is_medium() {
+        let q = parse("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a ORDER BY a ASC")
+            .unwrap();
+        assert_eq!(classify(&q), Hardness::Medium);
+    }
+
+    #[test]
+    fn join_plus_filters_is_hard() {
+        let q = parse(
+            "Visualize BAR SELECT a , COUNT(a) FROM t JOIN u ON t.k = u.k \
+             WHERE b > 3 AND c = 'x' GROUP BY a ORDER BY COUNT(a) DESC",
+        )
+        .unwrap();
+        assert_eq!(classify(&q), Hardness::Hard);
+    }
+
+    #[test]
+    fn subquery_chain_is_extra_hard() {
+        let q = parse(
+            "Visualize BAR SELECT a , AVG(b) FROM t JOIN u ON t.k = u.k \
+             WHERE c BETWEEN 1 AND 9 AND d IN (SELECT d FROM v) \
+             GROUP BY a ORDER BY AVG(b) DESC LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(classify(&q), Hardness::ExtraHard);
+    }
+
+    #[test]
+    fn score_is_monotone_in_added_clauses() {
+        let base = parse("Visualize BAR SELECT a , b FROM t").unwrap();
+        let more = parse("Visualize BAR SELECT a , b FROM t WHERE c > 1 ORDER BY a").unwrap();
+        assert!(score(&more) > score(&base));
+    }
+}

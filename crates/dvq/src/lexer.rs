@@ -1,0 +1,278 @@
+//! Tokeniser for DVQ text.
+//!
+//! The lexer is deliberately *style preserving*: `!=` and `<>` are kept as
+//! distinct operator spellings, and string literals remember whether they were
+//! single- or double-quoted (nvBench writes the null sentinel as `"null"` and
+//! ordinary values as `'Finance'`). GRED's Retuner depends on seeing those
+//! differences.
+
+use crate::error::{DvqError, Result};
+
+/// A single DVQ token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Numeric literal, kept in its raw spelling so printing is faithful
+    /// (`1.50` stays `1.50`).
+    Number(String),
+    /// String literal. `double_quoted` remembers the quote kind.
+    Str { text: String, double_quoted: bool },
+    /// Comparison operator in its raw spelling: `=`, `!=`, `<>`, `<`, `<=`,
+    /// `>`, `>=`.
+    Op(String),
+    Comma,
+    LParen,
+    RParen,
+    Star,
+    Dot,
+}
+
+impl Tok {
+    /// Render the token back to text (used by error messages and the
+    /// token-level exact-match metric).
+    pub fn render(&self) -> String {
+        match self {
+            Tok::Ident(s) => s.clone(),
+            Tok::Number(s) => s.clone(),
+            Tok::Str {
+                text,
+                double_quoted: true,
+            } => format!("\"{text}\""),
+            Tok::Str {
+                text,
+                double_quoted: false,
+            } => format!("'{text}'"),
+            Tok::Op(s) => s.clone(),
+            Tok::Comma => ",".into(),
+            Tok::LParen => "(".into(),
+            Tok::RParen => ")".into(),
+            Tok::Star => "*".into(),
+            Tok::Dot => ".".into(),
+        }
+    }
+
+    /// True when this token is the given keyword (ASCII case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenise `input` into a vector of [`Tok`].
+pub fn lex(input: &str) -> Result<Vec<Tok>> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::with_capacity(input.len() / 4);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '.' if i + 1 < bytes.len() && !(bytes[i + 1] as char).is_ascii_digit() => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Op("=".into()));
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Tok::Op("!=".into()));
+                    i += 2;
+                } else {
+                    return Err(DvqError::Lex {
+                        offset: i,
+                        found: '!',
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    toks.push(Tok::Op("<>".into()));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Tok::Op("<=".into()));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Tok::Op(">=".into()));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(DvqError::Eof {
+                        expected: "closing quote".into(),
+                    });
+                }
+                toks.push(Tok::Str {
+                    text: input[start..j].to_string(),
+                    double_quoted: quote == b'"',
+                });
+                i = j + 1;
+            }
+            // `\"null\"` appears verbatim in nvBench exports; treat the
+            // backslash-quote pair as a plain double quote.
+            '\\' if i + 1 < bytes.len() && bytes[i + 1] == b'"' => {
+                let start = i + 2;
+                let mut j = start;
+                while j + 1 < bytes.len() && !(bytes[j] == b'\\' && bytes[j + 1] == b'"') {
+                    j += 1;
+                }
+                if j + 1 >= bytes.len() {
+                    return Err(DvqError::Eof {
+                        expected: "closing \\\"".into(),
+                    });
+                }
+                toks.push(Tok::Str {
+                    text: input[start..j].to_string(),
+                    double_quoted: true,
+                });
+                i = j + 2;
+            }
+            _ if c.is_ascii_digit() || (c == '.' || c == '-') && next_is_digit(bytes, i) => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Number(input[start..i].to_string()));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(input[start..i].to_string()));
+            }
+            _ => {
+                return Err(DvqError::Lex {
+                    offset: i,
+                    found: c,
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_basic_query() {
+        let toks = lex("Visualize BAR SELECT a , AVG(b) FROM t").unwrap();
+        assert_eq!(toks.len(), 11);
+        assert!(toks[0].is_kw("visualize"));
+        assert_eq!(toks[3], Tok::Ident("a".into()));
+        assert_eq!(toks[4], Tok::Comma);
+        assert_eq!(toks[6], Tok::LParen);
+    }
+
+    #[test]
+    fn lex_operators_preserve_spelling() {
+        let toks = lex("a != 1 AND b <> 2 AND c <= 3").unwrap();
+        assert_eq!(toks[1], Tok::Op("!=".into()));
+        assert_eq!(toks[5], Tok::Op("<>".into()));
+        assert_eq!(toks[9], Tok::Op("<=".into()));
+    }
+
+    #[test]
+    fn lex_strings_remember_quotes() {
+        let toks = lex("x = \"null\" OR y = 'Finance'").unwrap();
+        assert_eq!(
+            toks[2],
+            Tok::Str {
+                text: "null".into(),
+                double_quoted: true
+            }
+        );
+        assert_eq!(
+            toks[6],
+            Tok::Str {
+                text: "Finance".into(),
+                double_quoted: false
+            }
+        );
+    }
+
+    #[test]
+    fn lex_escaped_double_quote() {
+        let toks = lex(r#"commission_pct != \"null\""#).unwrap();
+        assert_eq!(
+            toks[2],
+            Tok::Str {
+                text: "null".into(),
+                double_quoted: true
+            }
+        );
+    }
+
+    #[test]
+    fn lex_numbers_keep_raw_form() {
+        let toks = lex("a > 1.50 AND b < -3").unwrap();
+        assert_eq!(toks[2], Tok::Number("1.50".into()));
+        assert_eq!(toks[6], Tok::Number("-3".into()));
+    }
+
+    #[test]
+    fn lex_qualified_column() {
+        let toks = lex("T1.DEPT_ID").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("T1".into()),
+                Tok::Dot,
+                Tok::Ident("DEPT_ID".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_rejects_garbage() {
+        assert!(lex("a ~ b").is_err());
+        assert!(lex("'unterminated").is_err());
+    }
+}

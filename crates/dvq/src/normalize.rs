@@ -1,0 +1,206 @@
+//! Canonicalisation of DVQs for *semantic* comparison.
+//!
+//! Normalisation lowercases identifiers, resolves join aliases back to table
+//! names, canonicalises the null-test spelling and the `!=`/`<>` choice, and
+//! strips numeric formatting noise (`12000.0` → `12000`). Two DVQs that
+//! normalise to the same value denote the same visualization; exact-match
+//! accuracy additionally cares about style, which is why the metric layer
+//! offers both comparisons.
+
+use crate::ast::*;
+use std::collections::HashMap;
+
+/// Normalise a query in place. Returns the same value for convenience.
+pub fn normalize(mut q: Dvq) -> Dvq {
+    // 1. Build alias → table-name map, then drop aliases.
+    let mut aliases: HashMap<String, String> = HashMap::new();
+    if let Some(a) = &q.from.alias {
+        aliases.insert(a.to_ascii_lowercase(), q.from.name.clone());
+    }
+    for j in &q.joins {
+        if let Some(a) = &j.table.alias {
+            aliases.insert(a.to_ascii_lowercase(), j.table.name.clone());
+        }
+    }
+    q.from.alias = None;
+    for j in &mut q.joins {
+        j.table.alias = None;
+    }
+
+    // 2. Rewrite qualifiers through the alias map and lowercase identifiers.
+    q.visit_columns_mut(&mut |c: &mut ColumnRef| {
+        if let Some(qual) = &c.qualifier {
+            let lower = qual.to_ascii_lowercase();
+            c.qualifier = Some(
+                aliases
+                    .get(&lower)
+                    .cloned()
+                    .unwrap_or_else(|| qual.clone())
+                    .to_ascii_lowercase(),
+            );
+        }
+        c.column = c.column.to_ascii_lowercase();
+    });
+    q.from.name = q.from.name.to_ascii_lowercase();
+    for j in &mut q.joins {
+        j.table.name = j.table.name.to_ascii_lowercase();
+    }
+    if let Some(w) = &mut q.where_clause {
+        normalize_condition(w);
+    }
+
+    // 3. Drop redundant qualifiers in single-table queries.
+    if q.joins.is_empty() {
+        let from = q.from.name.clone();
+        q.visit_columns_mut(&mut |c: &mut ColumnRef| {
+            if c.qualifier.as_deref() == Some(from.as_str()) {
+                c.qualifier = None;
+            }
+        });
+    }
+
+    // 4. Canonical ORDER BY direction: explicit ASC.
+    if let Some(o) = &mut q.order_by {
+        if o.dir.is_none() {
+            o.dir = Some(SortDir::Asc);
+        }
+    }
+    q
+}
+
+fn normalize_condition(cond: &mut Condition) {
+    for p in cond.predicates_mut() {
+        match p {
+            Predicate::Compare { op, value, .. } => {
+                if let CompareOp::NotEq { bang } = op {
+                    *bang = true;
+                }
+                normalize_value(value);
+            }
+            Predicate::Between { lo, hi, .. } => {
+                normalize_value(lo);
+                normalize_value(hi);
+            }
+            Predicate::NullCheck { style, .. } => {
+                *style = NullStyle::IsNull;
+            }
+            Predicate::In { subquery, .. } => {
+                subquery.from = subquery.from.to_ascii_lowercase();
+                if let Some(w) = &mut subquery.where_clause {
+                    normalize_condition(w);
+                }
+            }
+            Predicate::Like { .. } => {}
+        }
+    }
+}
+
+fn normalize_value(v: &mut Value) {
+    match v {
+        Value::Number(n) => {
+            if let Ok(f) = n.parse::<f64>() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    *n = format!("{}", f as i64);
+                } else {
+                    *n = format!("{f}");
+                }
+            }
+        }
+        Value::Subquery(sq) => {
+            sq.from = sq.from.to_ascii_lowercase();
+            if let Some(w) = &mut sq.where_clause {
+                normalize_condition(w);
+            }
+        }
+        Value::Text { .. } => {}
+    }
+}
+
+/// Semantic equality: do the two queries denote the same visualization?
+pub fn semantically_equal(a: &Dvq, b: &Dvq) -> bool {
+    let (mut na, mut nb) = (normalize(a.clone()), normalize(b.clone()));
+    // Select-expression identifiers are already lowercased by `normalize`;
+    // lowercase the rest via the shared helper for belt-and-braces symmetry.
+    na.x = na.x.to_lower();
+    na.y = na.y.to_lower();
+    nb.x = nb.x.to_lower();
+    nb.y = nb.y.to_lower();
+    na == nb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn null_style_variants_are_equal() {
+        let a = parse("Visualize BAR SELECT a , b FROM t WHERE c IS NOT NULL").unwrap();
+        let b = parse("Visualize BAR SELECT a , b FROM t WHERE c != \"null\"").unwrap();
+        assert!(semantically_equal(&a, &b));
+    }
+
+    #[test]
+    fn noteq_spellings_are_equal() {
+        let a = parse("Visualize BAR SELECT a , b FROM t WHERE c != 40").unwrap();
+        let b = parse("Visualize BAR SELECT a , b FROM t WHERE c <> 40").unwrap();
+        assert!(semantically_equal(&a, &b));
+    }
+
+    #[test]
+    fn identifier_case_is_ignored() {
+        let a = parse("Visualize BAR SELECT JOB_ID , AVG(MANAGER_ID) FROM EMPLOYEES").unwrap();
+        let b = parse("Visualize BAR SELECT job_id , avg(manager_id) FROM employees").unwrap();
+        assert!(semantically_equal(&a, &b));
+    }
+
+    #[test]
+    fn aliases_resolve_to_table_names() {
+        let a = parse(
+            "Visualize BAR SELECT x , y FROM emp AS T1 JOIN dept AS T2 ON T1.d = T2.d \
+             WHERE T2.name = 'Finance'",
+        )
+        .unwrap();
+        let b = parse(
+            "Visualize BAR SELECT x , y FROM emp JOIN dept ON emp.d = dept.d \
+             WHERE dept.name = 'Finance'",
+        )
+        .unwrap();
+        assert!(semantically_equal(&a, &b));
+    }
+
+    #[test]
+    fn numeric_noise_is_stripped() {
+        let a = parse("Visualize BAR SELECT a , b FROM t WHERE c > 40.0").unwrap();
+        let b = parse("Visualize BAR SELECT a , b FROM t WHERE c > 40").unwrap();
+        assert!(semantically_equal(&a, &b));
+    }
+
+    #[test]
+    fn implicit_asc_equals_explicit() {
+        let a = parse("Visualize BAR SELECT a , b FROM t ORDER BY a").unwrap();
+        let b = parse("Visualize BAR SELECT a , b FROM t ORDER BY a ASC").unwrap();
+        assert!(semantically_equal(&a, &b));
+        let c = parse("Visualize BAR SELECT a , b FROM t ORDER BY a DESC").unwrap();
+        assert!(!semantically_equal(&a, &c));
+    }
+
+    #[test]
+    fn different_columns_are_not_equal() {
+        let a = parse("Visualize BAR SELECT a , b FROM t").unwrap();
+        let b = parse("Visualize BAR SELECT a , c FROM t").unwrap();
+        assert!(!semantically_equal(&a, &b));
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let q = parse(
+            "Visualize BAR SELECT A , COUNT(B) FROM T AS T1 JOIN U AS T2 ON T1.k = T2.k \
+             WHERE T1.c <> 4 AND d IS NULL GROUP BY A ORDER BY COUNT(B)",
+        )
+        .unwrap();
+        let once = normalize(q.clone());
+        let twice = normalize(once.clone());
+        assert_eq!(once, twice);
+    }
+}

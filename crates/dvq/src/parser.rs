@@ -1,0 +1,629 @@
+//! Recursive-descent parser for DVQ text.
+//!
+//! Clause order after `FROM` is tolerant (nvBench occasionally emits
+//! `BIN ... BY` before or after `ORDER BY`), duplicates are rejected.
+
+use crate::ast::*;
+use crate::error::{DvqError, Result};
+use crate::lexer::{lex, Tok};
+
+/// Streaming token cursor + grammar productions.
+pub struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Lex `input` and position the cursor at the first token.
+    pub fn new(input: &str) -> Result<Self> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn next_tok(&mut self) -> Result<Tok> {
+        let t = self.toks.get(self.pos).cloned().ok_or(DvqError::Eof {
+            expected: "more input".into(),
+        })?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.unexpected(kw))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> DvqError {
+        match self.peek() {
+            Some(t) => DvqError::Unexpected {
+                expected: expected.to_string(),
+                found: t.render(),
+            },
+            None => DvqError::Eof {
+                expected: expected.to_string(),
+            },
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.next_tok() {
+            Ok(Tok::Ident(s)) => Ok(s),
+            Ok(t) => Err(DvqError::Unexpected {
+                expected: what.to_string(),
+                found: t.render(),
+            }),
+            Err(_) => Err(DvqError::Eof {
+                expected: what.to_string(),
+            }),
+        }
+    }
+
+    /// Entry point: parse a full `Visualize ... SELECT ...` query and require
+    /// end-of-input.
+    pub fn parse_dvq(&mut self) -> Result<Dvq> {
+        self.expect_kw("VISUALIZE")?;
+        let chart = self.parse_chart_type()?;
+        self.expect_kw("SELECT")?;
+        let x = self.parse_select_expr()?;
+        match self.next_tok()? {
+            Tok::Comma => {}
+            t => {
+                return Err(DvqError::Unexpected {
+                    expected: ",".into(),
+                    found: t.render(),
+                })
+            }
+        }
+        let y = self.parse_select_expr()?;
+        self.expect_kw("FROM")?;
+        let from = self.parse_table_ref()?;
+
+        let mut q = Dvq {
+            chart,
+            x,
+            y,
+            from,
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            order_by: None,
+            limit: None,
+            bin: None,
+        };
+
+        while self.eat_kw("JOIN") {
+            let table = self.parse_table_ref()?;
+            self.expect_kw("ON")?;
+            let left = self.parse_column_ref()?;
+            match self.next_tok()? {
+                Tok::Op(op) if op == "=" => {}
+                t => {
+                    return Err(DvqError::Unexpected {
+                        expected: "= in join condition".into(),
+                        found: t.render(),
+                    })
+                }
+            }
+            let right = self.parse_column_ref()?;
+            q.joins.push(Join { table, left, right });
+        }
+
+        loop {
+            if self.at_kw("WHERE") {
+                if q.where_clause.is_some() {
+                    return Err(DvqError::DuplicateClause("WHERE"));
+                }
+                self.pos += 1;
+                q.where_clause = Some(self.parse_condition()?);
+            } else if self.at_kw("GROUP") {
+                if !q.group_by.is_empty() {
+                    return Err(DvqError::DuplicateClause("GROUP BY"));
+                }
+                self.pos += 1;
+                self.expect_kw("BY")?;
+                q.group_by.push(self.parse_column_ref()?);
+                while matches!(self.peek(), Some(Tok::Comma)) {
+                    self.pos += 1;
+                    q.group_by.push(self.parse_column_ref()?);
+                }
+            } else if self.at_kw("ORDER") {
+                if q.order_by.is_some() {
+                    return Err(DvqError::DuplicateClause("ORDER BY"));
+                }
+                self.pos += 1;
+                self.expect_kw("BY")?;
+                let expr = self.parse_select_expr()?;
+                let dir = if self.eat_kw("ASC") {
+                    Some(SortDir::Asc)
+                } else if self.eat_kw("DESC") {
+                    Some(SortDir::Desc)
+                } else {
+                    None
+                };
+                q.order_by = Some(OrderKey { expr, dir });
+            } else if self.at_kw("LIMIT") {
+                if q.limit.is_some() {
+                    return Err(DvqError::DuplicateClause("LIMIT"));
+                }
+                self.pos += 1;
+                match self.next_tok()? {
+                    Tok::Number(n) => {
+                        q.limit = Some(n.parse().map_err(|_| {
+                            DvqError::Invalid(format!("bad LIMIT value {n}"))
+                        })?);
+                    }
+                    t => {
+                        return Err(DvqError::Unexpected {
+                            expected: "LIMIT count".into(),
+                            found: t.render(),
+                        })
+                    }
+                }
+            } else if self.at_kw("BIN") {
+                if q.bin.is_some() {
+                    return Err(DvqError::DuplicateClause("BIN"));
+                }
+                self.pos += 1;
+                let col = self.parse_column_ref()?;
+                self.expect_kw("BY")?;
+                let unit_word = self.expect_ident("bin unit")?;
+                let unit = BinUnit::ALL
+                    .iter()
+                    .copied()
+                    .find(|u| u.keyword().eq_ignore_ascii_case(&unit_word))
+                    .ok_or_else(|| DvqError::Invalid(format!("unknown bin unit {unit_word}")))?;
+                q.bin = Some(Binning { col, unit });
+            } else {
+                break;
+            }
+        }
+
+        match self.peek() {
+            None => Ok(q),
+            Some(t) => Err(DvqError::Unexpected {
+                expected: "end of query".into(),
+                found: t.render(),
+            }),
+        }
+    }
+
+    fn parse_chart_type(&mut self) -> Result<ChartType> {
+        let word = self.expect_ident("chart type")?;
+        let upper = word.to_ascii_uppercase();
+        match upper.as_str() {
+            "BAR" => Ok(ChartType::Bar),
+            "PIE" => Ok(ChartType::Pie),
+            "LINE" => Ok(ChartType::Line),
+            "SCATTER" => Ok(ChartType::Scatter),
+            "STACKED" => {
+                self.expect_kw("BAR")?;
+                Ok(ChartType::StackedBar)
+            }
+            "GROUPING" => {
+                if self.eat_kw("LINE") {
+                    Ok(ChartType::GroupingLine)
+                } else if self.eat_kw("SCATTER") {
+                    Ok(ChartType::GroupingScatter)
+                } else {
+                    Err(self.unexpected("LINE or SCATTER after GROUPING"))
+                }
+            }
+            _ => Err(DvqError::Invalid(format!("unknown chart type {word}"))),
+        }
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let name = self.expect_ident("table name")?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.expect_ident("table alias")?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    /// `col`, `T1.col`, or `*`.
+    fn parse_column_ref(&mut self) -> Result<ColumnRef> {
+        match self.next_tok()? {
+            Tok::Star => Ok(ColumnRef::star()),
+            Tok::Ident(first) => {
+                if matches!(self.peek(), Some(Tok::Dot)) {
+                    self.pos += 1;
+                    match self.next_tok()? {
+                        Tok::Ident(col) => Ok(ColumnRef::qualified(first, col)),
+                        Tok::Star => Ok(ColumnRef::qualified(first, "*")),
+                        t => Err(DvqError::Unexpected {
+                            expected: "column after '.'".into(),
+                            found: t.render(),
+                        }),
+                    }
+                } else {
+                    Ok(ColumnRef::bare(first))
+                }
+            }
+            t => Err(DvqError::Unexpected {
+                expected: "column reference".into(),
+                found: t.render(),
+            }),
+        }
+    }
+
+    /// Either a bare column or `AGG([DISTINCT] col)`.
+    fn parse_select_expr(&mut self) -> Result<SelectExpr> {
+        if let Some(Tok::Ident(word)) = self.peek() {
+            let upper = word.to_ascii_uppercase();
+            let is_agg = AggFunc::ALL.iter().any(|a| a.keyword() == upper);
+            if is_agg && matches!(self.peek2(), Some(Tok::LParen)) {
+                let func = AggFunc::ALL
+                    .iter()
+                    .copied()
+                    .find(|a| a.keyword() == upper)
+                    .expect("checked above");
+                self.pos += 2; // agg name + '('
+                let distinct = self.eat_kw("DISTINCT");
+                let arg = self.parse_column_ref()?;
+                match self.next_tok()? {
+                    Tok::RParen => {}
+                    t => {
+                        return Err(DvqError::Unexpected {
+                            expected: ")".into(),
+                            found: t.render(),
+                        })
+                    }
+                }
+                return Ok(SelectExpr::Aggregate {
+                    func,
+                    distinct,
+                    arg,
+                });
+            }
+        }
+        Ok(SelectExpr::Column(self.parse_column_ref()?))
+    }
+
+    /// Flat `p (AND|OR p)*` chain.
+    fn parse_condition(&mut self) -> Result<Condition> {
+        let first = self.parse_predicate()?;
+        let mut rest = Vec::new();
+        loop {
+            let op = if self.at_kw("AND") {
+                BoolOp::And
+            } else if self.at_kw("OR") {
+                BoolOp::Or
+            } else {
+                break;
+            };
+            self.pos += 1;
+            rest.push((op, self.parse_predicate()?));
+        }
+        Ok(Condition { first, rest })
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate> {
+        let col = self.parse_column_ref()?;
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Predicate::NullCheck {
+                col,
+                negated,
+                style: NullStyle::IsNull,
+            });
+        }
+        if self.at_kw("BETWEEN") {
+            self.pos += 1;
+            let lo = self.parse_value()?;
+            self.expect_kw("AND")?;
+            let hi = self.parse_value()?;
+            return Ok(Predicate::Between { col, lo, hi });
+        }
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("LIKE") {
+            match self.next_tok()? {
+                Tok::Str { text, .. } => {
+                    return Ok(Predicate::Like {
+                        col,
+                        negated,
+                        pattern: text,
+                    })
+                }
+                t => {
+                    return Err(DvqError::Unexpected {
+                        expected: "LIKE pattern string".into(),
+                        found: t.render(),
+                    })
+                }
+            }
+        }
+        if self.eat_kw("IN") {
+            match self.next_tok()? {
+                Tok::LParen => {}
+                t => {
+                    return Err(DvqError::Unexpected {
+                        expected: "( after IN".into(),
+                        found: t.render(),
+                    })
+                }
+            }
+            let subquery = Box::new(self.parse_subquery()?);
+            match self.next_tok()? {
+                Tok::RParen => {}
+                t => {
+                    return Err(DvqError::Unexpected {
+                        expected: ") closing IN subquery".into(),
+                        found: t.render(),
+                    })
+                }
+            }
+            return Ok(Predicate::In {
+                col,
+                negated,
+                subquery,
+            });
+        }
+        if negated {
+            return Err(self.unexpected("LIKE or IN after NOT"));
+        }
+        // Plain comparison.
+        let op = match self.next_tok()? {
+            Tok::Op(o) => match o.as_str() {
+                "=" => CompareOp::Eq,
+                "!=" => CompareOp::NotEq { bang: true },
+                "<>" => CompareOp::NotEq { bang: false },
+                "<" => CompareOp::Lt,
+                "<=" => CompareOp::Le,
+                ">" => CompareOp::Gt,
+                ">=" => CompareOp::Ge,
+                _ => unreachable!("lexer only emits known operators"),
+            },
+            t => {
+                return Err(DvqError::Unexpected {
+                    expected: "comparison operator".into(),
+                    found: t.render(),
+                })
+            }
+        };
+        let value = self.parse_value()?;
+        // Recognise the nvBench `!= "null"` idiom as a null test so that
+        // normalisation / the Retuner can convert between spellings.
+        if let Value::Text {
+            text,
+            double_quoted: true,
+        } = &value
+        {
+            if text.eq_ignore_ascii_case("null") {
+                let negated = matches!(op, CompareOp::NotEq { .. });
+                if negated || op == CompareOp::Eq {
+                    return Ok(Predicate::NullCheck {
+                        col,
+                        negated,
+                        style: NullStyle::CompareString,
+                    });
+                }
+            }
+        }
+        Ok(Predicate::Compare { col, op, value })
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.next_tok()? {
+            Tok::Number(n) => Ok(Value::Number(n)),
+            Tok::Str {
+                text,
+                double_quoted,
+            } => Ok(Value::Text {
+                text,
+                double_quoted,
+            }),
+            Tok::LParen => {
+                let sq = self.parse_subquery()?;
+                match self.next_tok()? {
+                    Tok::RParen => Ok(Value::Subquery(Box::new(sq))),
+                    t => Err(DvqError::Unexpected {
+                        expected: ") closing subquery".into(),
+                        found: t.render(),
+                    }),
+                }
+            }
+            t => Err(DvqError::Unexpected {
+                expected: "value".into(),
+                found: t.render(),
+            }),
+        }
+    }
+
+    fn parse_subquery(&mut self) -> Result<SubQuery> {
+        self.expect_kw("SELECT")?;
+        let select = self.parse_column_ref()?;
+        self.expect_kw("FROM")?;
+        let from = self.expect_ident("subquery table")?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_condition()?)
+        } else {
+            None
+        };
+        Ok(SubQuery {
+            select,
+            from,
+            where_clause,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn parses_paper_running_example() {
+        let q = parse(
+            "Visualize BAR SELECT JOB_ID , AVG(MANAGER_ID) FROM employees \
+             WHERE salary BETWEEN 8000 AND 12000 AND commission_pct != \"null\" \
+             OR department_id <> 40 GROUP BY JOB_ID ORDER BY JOB_ID ASC",
+        )
+        .unwrap();
+        assert_eq!(q.chart, ChartType::Bar);
+        assert_eq!(q.x, SelectExpr::col("JOB_ID"));
+        assert_eq!(q.y, SelectExpr::agg(AggFunc::Avg, "MANAGER_ID"));
+        assert_eq!(q.from.name, "employees");
+        let w = q.where_clause.as_ref().unwrap();
+        assert_eq!(w.len(), 3);
+        assert!(matches!(w.first, Predicate::Between { .. }));
+        assert!(matches!(
+            w.rest[0].1,
+            Predicate::NullCheck {
+                negated: true,
+                style: NullStyle::CompareString,
+                ..
+            }
+        ));
+        assert_eq!(w.rest[1].0, BoolOp::Or);
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by.as_ref().unwrap().dir, Some(SortDir::Asc));
+    }
+
+    #[test]
+    fn parses_bin_clause() {
+        let q = parse(
+            "Visualize LINE SELECT Openning_year , AVG(Capacity) FROM cinema \
+             BIN Openning_year BY YEAR",
+        )
+        .unwrap();
+        let b = q.bin.unwrap();
+        assert_eq!(b.unit, BinUnit::Year);
+        assert_eq!(b.col.column, "Openning_year");
+    }
+
+    #[test]
+    fn parses_stacked_and_grouping_charts() {
+        let q = parse("Visualize STACKED BAR SELECT Year , COUNT(Year) FROM exhibition GROUP BY Theme , Year")
+            .unwrap();
+        assert_eq!(q.chart, ChartType::StackedBar);
+        assert_eq!(q.group_by.len(), 2);
+        let q = parse("Visualize GROUPING SCATTER SELECT a , b FROM t GROUP BY c").unwrap();
+        assert_eq!(q.chart, ChartType::GroupingScatter);
+    }
+
+    #[test]
+    fn parses_join_with_aliases() {
+        let q = parse(
+            "Visualize BAR SELECT JOB_ID , COUNT(JOB_ID) FROM employees AS T1 \
+             JOIN departments AS T2 ON T1.DEPARTMENT_ID = T2.DEPARTMENT_ID \
+             WHERE T2.DEPARTMENT_NAME = 'Finance' GROUP BY JOB_ID",
+        )
+        .unwrap();
+        assert_eq!(q.from.alias.as_deref(), Some("T1"));
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].table.alias.as_deref(), Some("T2"));
+        assert_eq!(q.joins[0].left.qualifier.as_deref(), Some("T1"));
+    }
+
+    #[test]
+    fn parses_scalar_subquery() {
+        let q = parse(
+            "Visualize BAR SELECT JOB_ID , COUNT(DISTINCT JOB_ID) FROM employees \
+             WHERE DEPARTMENT_ID = (SELECT DEPARTMENT_ID FROM departments \
+             WHERE DEPARTMENT_NAME = 'Finance')",
+        )
+        .unwrap();
+        assert!(q.has_subquery());
+        assert!(matches!(
+            q.y,
+            SelectExpr::Aggregate { distinct: true, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_in_subquery_and_like() {
+        let q = parse(
+            "Visualize PIE SELECT country , COUNT(country) FROM artist \
+             WHERE name LIKE '%a%' AND id IN (SELECT artist_id FROM exhibition) \
+             GROUP BY country",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        assert!(matches!(w.first, Predicate::Like { .. }));
+        assert!(matches!(w.rest[0].1, Predicate::In { .. }));
+    }
+
+    #[test]
+    fn parses_is_not_null_and_limit() {
+        let q = parse(
+            "Visualize SCATTER SELECT weight , pet_age FROM pets \
+             WHERE weight IS NOT NULL ORDER BY weight DESC LIMIT 5",
+        )
+        .unwrap();
+        assert!(matches!(
+            q.where_clause.as_ref().unwrap().first,
+            Predicate::NullCheck {
+                negated: true,
+                style: NullStyle::IsNull,
+                ..
+            }
+        ));
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn rejects_duplicate_clauses() {
+        assert_eq!(
+            parse("Visualize BAR SELECT a , b FROM t GROUP BY a GROUP BY b").unwrap_err(),
+            DvqError::DuplicateClause("GROUP BY")
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse("Visualize BAR SELECT a , b FROM t extra").is_err());
+    }
+
+    #[test]
+    fn order_by_aggregate() {
+        let q = parse(
+            "Visualize BAR SELECT name , COUNT(name) FROM dogs GROUP BY name \
+             ORDER BY COUNT(name) DESC",
+        )
+        .unwrap();
+        let o = q.order_by.unwrap();
+        assert_eq!(o.expr.aggregate(), Some(AggFunc::Count));
+        assert_eq!(o.dir, Some(SortDir::Desc));
+    }
+
+    #[test]
+    fn clause_order_is_tolerant() {
+        // BIN before ORDER BY also parses.
+        let q = parse(
+            "Visualize LINE SELECT d , COUNT(d) FROM t BIN d BY MONTH ORDER BY d ASC",
+        )
+        .unwrap();
+        assert!(q.bin.is_some());
+        assert!(q.order_by.is_some());
+    }
+}

@@ -1,0 +1,326 @@
+//! Style-parameterised pretty printer.
+//!
+//! nvBench's canonical surface form puts a space around commas
+//! (`SELECT a , b`) and uppercases keywords. Beyond that, several stylistic
+//! axes vary across the corpus; [`StyleProfile`] captures the ones the paper's
+//! Retuner reconciles:
+//!
+//! * null-test spelling (`IS NOT NULL` vs `!= "null"`),
+//! * inequality spelling (`!=` vs `<>`),
+//! * whether sort direction defaults (`ASC`) are written out.
+
+use crate::ast::*;
+
+/// Stylistic axes of the DVQ surface form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StyleProfile {
+    /// Preferred null-test spelling. `None` = keep what the AST carries.
+    pub null_style: Option<NullStyle>,
+    /// Preferred not-equals spelling (`true` = `!=`). `None` = keep.
+    pub noteq_bang: Option<bool>,
+    /// Force writing `ASC` when a sort direction is absent.
+    pub explicit_asc: bool,
+}
+
+impl Default for StyleProfile {
+    /// The faithful profile: print exactly what the AST carries.
+    fn default() -> Self {
+        StyleProfile {
+            null_style: None,
+            noteq_bang: None,
+            explicit_asc: false,
+        }
+    }
+}
+
+impl StyleProfile {
+    /// The nvBench training-corpus house style: `!= "null"`, `!=`, explicit
+    /// direction left as-is.
+    pub fn nvbench() -> Self {
+        StyleProfile {
+            null_style: Some(NullStyle::CompareString),
+            noteq_bang: Some(true),
+            explicit_asc: false,
+        }
+    }
+}
+
+/// Pretty printer; construct with a [`StyleProfile`] or use
+/// `Printer::default()` for a faithful rendering.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Printer {
+    pub style: StyleProfile,
+}
+
+impl Printer {
+    pub fn new(style: StyleProfile) -> Self {
+        Printer { style }
+    }
+
+    /// Render a full query to its canonical single-line form.
+    pub fn print(&self, q: &Dvq) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("Visualize ");
+        out.push_str(q.chart.keyword());
+        out.push_str(" SELECT ");
+        self.select_expr(&mut out, &q.x);
+        out.push_str(" , ");
+        self.select_expr(&mut out, &q.y);
+        out.push_str(" FROM ");
+        self.table_ref(&mut out, &q.from);
+        for j in &q.joins {
+            out.push_str(" JOIN ");
+            self.table_ref(&mut out, &j.table);
+            out.push_str(" ON ");
+            self.column(&mut out, &j.left);
+            out.push_str(" = ");
+            self.column(&mut out, &j.right);
+        }
+        if let Some(w) = &q.where_clause {
+            out.push_str(" WHERE ");
+            self.condition(&mut out, w);
+        }
+        if let Some(first) = q.group_by.first() {
+            out.push_str(" GROUP BY ");
+            self.column(&mut out, first);
+            for g in &q.group_by[1..] {
+                out.push_str(" , ");
+                self.column(&mut out, g);
+            }
+        }
+        if let Some(o) = &q.order_by {
+            out.push_str(" ORDER BY ");
+            self.select_expr(&mut out, &o.expr);
+            match o.dir {
+                Some(d) => {
+                    out.push(' ');
+                    out.push_str(d.keyword());
+                }
+                None if self.style.explicit_asc => out.push_str(" ASC"),
+                None => {}
+            }
+        }
+        if let Some(n) = q.limit {
+            out.push_str(" LIMIT ");
+            out.push_str(&n.to_string());
+        }
+        if let Some(b) = &q.bin {
+            out.push_str(" BIN ");
+            self.column(&mut out, &b.col);
+            out.push_str(" BY ");
+            out.push_str(b.unit.keyword());
+        }
+        out
+    }
+
+    fn table_ref(&self, out: &mut String, t: &TableRef) {
+        out.push_str(&t.name);
+        if let Some(a) = &t.alias {
+            out.push_str(" AS ");
+            out.push_str(a);
+        }
+    }
+
+    fn column(&self, out: &mut String, c: &ColumnRef) {
+        if let Some(q) = &c.qualifier {
+            out.push_str(q);
+            out.push('.');
+        }
+        out.push_str(&c.column);
+    }
+
+    fn select_expr(&self, out: &mut String, e: &SelectExpr) {
+        match e {
+            SelectExpr::Column(c) => self.column(out, c),
+            SelectExpr::Aggregate {
+                func,
+                distinct,
+                arg,
+            } => {
+                out.push_str(func.keyword());
+                out.push('(');
+                if *distinct {
+                    out.push_str("DISTINCT ");
+                }
+                self.column(out, arg);
+                out.push(')');
+            }
+        }
+    }
+
+    fn condition(&self, out: &mut String, cond: &Condition) {
+        self.predicate(out, &cond.first);
+        for (op, p) in &cond.rest {
+            out.push(' ');
+            out.push_str(op.keyword());
+            out.push(' ');
+            self.predicate(out, p);
+        }
+    }
+
+    fn predicate(&self, out: &mut String, p: &Predicate) {
+        match p {
+            Predicate::Compare { col, op, value } => {
+                self.column(out, col);
+                out.push(' ');
+                out.push_str(self.render_op(op));
+                out.push(' ');
+                self.value(out, value);
+            }
+            Predicate::Between { col, lo, hi } => {
+                self.column(out, col);
+                out.push_str(" BETWEEN ");
+                self.value(out, lo);
+                out.push_str(" AND ");
+                self.value(out, hi);
+            }
+            Predicate::Like {
+                col,
+                negated,
+                pattern,
+            } => {
+                self.column(out, col);
+                out.push_str(if *negated { " NOT LIKE '" } else { " LIKE '" });
+                out.push_str(pattern);
+                out.push('\'');
+            }
+            Predicate::In {
+                col,
+                negated,
+                subquery,
+            } => {
+                self.column(out, col);
+                out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+                self.subquery(out, subquery);
+                out.push(')');
+            }
+            Predicate::NullCheck {
+                col,
+                negated,
+                style,
+            } => {
+                let style = self.style.null_style.unwrap_or(*style);
+                self.column(out, col);
+                match style {
+                    NullStyle::IsNull => {
+                        out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" })
+                    }
+                    NullStyle::CompareString => {
+                        if *negated {
+                            out.push(' ');
+                            out.push_str(self.render_op(&CompareOp::NotEq {
+                                bang: self.style.noteq_bang.unwrap_or(true),
+                            }));
+                            out.push_str(" \"null\"");
+                        } else {
+                            out.push_str(" = \"null\"");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn render_op(&self, op: &CompareOp) -> &'static str {
+        match (op, self.style.noteq_bang) {
+            (CompareOp::NotEq { .. }, Some(bang)) => CompareOp::NotEq { bang }.render(),
+            _ => op.render(),
+        }
+    }
+
+    fn value(&self, out: &mut String, v: &Value) {
+        match v {
+            Value::Number(n) => out.push_str(n),
+            Value::Text {
+                text,
+                double_quoted,
+            } => {
+                let q = if *double_quoted { '"' } else { '\'' };
+                out.push(q);
+                out.push_str(text);
+                out.push(q);
+            }
+            Value::Subquery(sq) => {
+                out.push('(');
+                self.subquery(out, sq);
+                out.push(')');
+            }
+        }
+    }
+
+    fn subquery(&self, out: &mut String, sq: &SubQuery) {
+        out.push_str("SELECT ");
+        self.column(out, &sq.select);
+        out.push_str(" FROM ");
+        out.push_str(&sq.from);
+        if let Some(w) = &sq.where_clause {
+            out.push_str(" WHERE ");
+            self.condition(out, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn roundtrip_complex_query() {
+        let s = "Visualize BAR SELECT JOB_ID , AVG(MANAGER_ID) FROM employees \
+                 WHERE salary BETWEEN 8000 AND 12000 AND commission_pct != \"null\" \
+                 OR department_id <> 40 GROUP BY JOB_ID ORDER BY JOB_ID ASC";
+        let q = parse(s).unwrap();
+        let printed = Printer::default().print(&q);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(q, reparsed);
+        // Faithful printing preserves both inequality spellings.
+        assert!(printed.contains("!= \"null\""));
+        assert!(printed.contains("<> 40"));
+    }
+
+    #[test]
+    fn style_override_rewrites_null_tests() {
+        let q = parse("Visualize BAR SELECT a , b FROM t WHERE c IS NOT NULL").unwrap();
+        let styled = Printer::new(StyleProfile::nvbench()).print(&q);
+        assert!(styled.contains("c != \"null\""), "{styled}");
+        // And the reverse direction.
+        let q2 = parse("Visualize BAR SELECT a , b FROM t WHERE c != \"null\"").unwrap();
+        let styled2 = Printer::new(StyleProfile {
+            null_style: Some(NullStyle::IsNull),
+            noteq_bang: None,
+            explicit_asc: false,
+        })
+        .print(&q2);
+        assert!(styled2.contains("c IS NOT NULL"), "{styled2}");
+    }
+
+    #[test]
+    fn style_override_rewrites_noteq_spelling() {
+        let q = parse("Visualize BAR SELECT a , b FROM t WHERE c <> 40").unwrap();
+        let styled = Printer::new(StyleProfile::nvbench()).print(&q);
+        assert!(styled.contains("c != 40"));
+    }
+
+    #[test]
+    fn explicit_asc_is_added_when_requested() {
+        let q = parse("Visualize BAR SELECT a , b FROM t ORDER BY a").unwrap();
+        let styled = Printer::new(StyleProfile {
+            explicit_asc: true,
+            ..StyleProfile::default()
+        })
+        .print(&q);
+        assert!(styled.ends_with("ORDER BY a ASC"));
+        let faithful = Printer::default().print(&q);
+        assert!(faithful.ends_with("ORDER BY a"));
+    }
+
+    #[test]
+    fn prints_subqueries_joins_limit_bin() {
+        let s = "Visualize BAR SELECT JOB_ID , COUNT(JOB_ID) FROM employees AS T1 \
+                 JOIN departments AS T2 ON T1.DEPT_ID = T2.DEPT_ID \
+                 WHERE T2.DEPT_NAME = 'Finance' AND id IN (SELECT eid FROM history) \
+                 GROUP BY JOB_ID ORDER BY COUNT(JOB_ID) DESC LIMIT 3 BIN HIRE_DATE BY YEAR";
+        assert_eq!(crate::reprint(s).unwrap(), s);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the DVQ toolchain: AST generation, print/parse
+//! round-trips, normalisation idempotence and metric reflexivity.
+
+use proptest::prelude::*;
+use t2v_dvq::components::ComponentMatch;
+use t2v_dvq::normalize::{normalize, semantically_equal};
+use t2v_dvq::printer::Printer;
+use t2v_dvq::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,11}".prop_map(|s| s)
+}
+
+fn chart_type() -> impl Strategy<Value = ChartType> {
+    prop::sample::select(ChartType::ALL.to_vec())
+}
+
+fn agg_func() -> impl Strategy<Value = AggFunc> {
+    prop::sample::select(AggFunc::ALL.to_vec())
+}
+
+fn column_ref() -> impl Strategy<Value = ColumnRef> {
+    ident().prop_map(ColumnRef::bare)
+}
+
+fn select_expr() -> impl Strategy<Value = SelectExpr> {
+    prop_oneof![
+        column_ref().prop_map(SelectExpr::Column),
+        (agg_func(), any::<bool>(), column_ref()).prop_map(|(func, distinct, arg)| {
+            SelectExpr::Aggregate {
+                func,
+                distinct,
+                arg,
+            }
+        }),
+    ]
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..100_000).prop_map(|n| Value::Number(n.to_string())),
+        "[A-Za-z][A-Za-z0-9 ]{0,8}".prop_map(Value::text),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (column_ref(), value()).prop_map(|(col, value)| Predicate::Compare {
+            col,
+            op: CompareOp::Gt,
+            value,
+        }),
+        (column_ref(), value()).prop_map(|(col, value)| Predicate::Compare {
+            col,
+            op: CompareOp::NotEq { bang: true },
+            value,
+        }),
+        (column_ref(), 0i64..100, 100i64..1000).prop_map(|(col, lo, hi)| Predicate::Between {
+            col,
+            lo: Value::num(lo),
+            hi: Value::num(hi),
+        }),
+        (column_ref(), any::<bool>(), "[a-z]{1,6}").prop_map(|(col, negated, mid)| {
+            Predicate::Like {
+                col,
+                negated,
+                pattern: format!("%{mid}%"),
+            }
+        }),
+        (column_ref(), any::<bool>(), any::<bool>()).prop_map(|(col, negated, is_null_style)| {
+            Predicate::NullCheck {
+                col,
+                negated,
+                style: if is_null_style {
+                    NullStyle::IsNull
+                } else {
+                    NullStyle::CompareString
+                },
+            }
+        }),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    (
+        predicate(),
+        prop::collection::vec(
+            (prop::sample::select(vec![BoolOp::And, BoolOp::Or]), predicate()),
+            0..3,
+        ),
+    )
+        .prop_map(|(first, rest)| Condition { first, rest })
+}
+
+prop_compose! {
+    fn dvq()(
+        chart in chart_type(),
+        x in select_expr(),
+        y in select_expr(),
+        table in ident(),
+        wc in prop::option::of(condition()),
+        group in prop::collection::vec(column_ref(), 0..2),
+        order in prop::option::of((select_expr(), prop::option::of(prop::sample::select(vec![SortDir::Asc, SortDir::Desc])))),
+        limit in prop::option::of(1u64..50),
+        bin in prop::option::of((column_ref(), prop::sample::select(BinUnit::ALL.to_vec()))),
+    ) -> Dvq {
+        let mut q = Dvq::simple(chart, x, y, table);
+        q.where_clause = wc;
+        q.group_by = group;
+        q.order_by = order.map(|(expr, dir)| OrderKey { expr, dir });
+        q.limit = limit;
+        q.bin = bin.map(|(col, unit)| Binning { col, unit });
+        q
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print ∘ parse == identity on generated ASTs.
+    #[test]
+    fn print_parse_roundtrip(q in dvq()) {
+        let printed = Printer::default().print(&q);
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// Printing is deterministic.
+    #[test]
+    fn printing_is_stable(q in dvq()) {
+        let a = Printer::default().print(&q);
+        let b = Printer::default().print(&q);
+        prop_assert_eq!(a, b);
+    }
+
+    /// normalize is idempotent.
+    #[test]
+    fn normalize_idempotent(q in dvq()) {
+        let once = normalize(q.clone());
+        let twice = normalize(once.clone());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Every query is semantically equal to itself and exactly matches itself.
+    #[test]
+    fn metric_reflexive(q in dvq()) {
+        prop_assert!(semantically_equal(&q, &q));
+        let m = ComponentMatch::grade(&q, &q);
+        prop_assert!(m.vis && m.axis && m.data && m.overall);
+    }
+
+    /// Overall match implies every component matches.
+    #[test]
+    fn overall_implies_components(a in dvq(), b in dvq()) {
+        let m = ComponentMatch::grade(&a, &b);
+        if m.overall {
+            prop_assert!(m.vis && m.axis && m.data);
+        }
+    }
+
+    /// Uppercasing identifiers never changes the component grade.
+    #[test]
+    fn case_insensitivity(q in dvq()) {
+        let mut upper = q.clone();
+        upper.visit_columns_mut(&mut |c| c.column = c.column.to_ascii_uppercase());
+        upper.from.name = upper.from.name.to_ascii_uppercase();
+        let m = ComponentMatch::grade(&upper, &q);
+        prop_assert!(m.vis && m.axis && m.data && m.overall);
+    }
+
+    /// Hardness classification never panics and scores stay bounded.
+    #[test]
+    fn hardness_total(q in dvq()) {
+        let _ = t2v_dvq::hardness::classify(&q);
+        prop_assert!(t2v_dvq::hardness::score(&q) < 100);
+    }
+}

@@ -1,0 +1,296 @@
+//! The deterministic text embedder.
+//!
+//! Substitutes for OpenAI's `text-embedding-3-large` (paper §4.1): texts are
+//! mapped to fixed-size L2-normalised vectors such that
+//!
+//! * surface overlap raises cosine similarity (word + character-trigram
+//!   features), and
+//! * *semantic* overlap raises it too: lexicalisations of the same lexicon
+//!   concept ("salary" / "wage") project onto a shared feature — but only
+//!   for the subset of lexicalisations the embedder *knows*, sampled at
+//!   construction with [`EmbedConfig::lexicon_coverage`]. Coverage < 1.0
+//!   models the imperfect synonym knowledge of a real embedding model and is
+//!   the main quality knob exercised by the ablation benches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use t2v_corpus::lexicon::Lexicon;
+
+/// Embedder configuration.
+#[derive(Debug, Clone)]
+pub struct EmbedConfig {
+    /// Vector dimensionality.
+    pub dims: usize,
+    /// Fraction of non-primary lexicalisations the embedder knows map to
+    /// their concept (primary forms are always known).
+    pub lexicon_coverage: f64,
+    /// Seed for the coverage sample.
+    pub seed: u64,
+    /// Feature weights.
+    pub word_weight: f32,
+    pub concept_weight: f32,
+    pub trigram_weight: f32,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        EmbedConfig {
+            dims: 256,
+            lexicon_coverage: 0.9,
+            seed: 0x7e37,
+            word_weight: 1.0,
+            concept_weight: 1.6,
+            trigram_weight: 0.25,
+        }
+    }
+}
+
+/// Deterministic concept-aware text embedder.
+#[derive(Debug, Clone)]
+pub struct TextEmbedder {
+    cfg: EmbedConfig,
+    lexicon: Lexicon,
+    /// Known (concept index, alt index) lexicalisations.
+    known: HashSet<(usize, usize)>,
+}
+
+impl TextEmbedder {
+    pub fn new(lexicon: Lexicon, cfg: EmbedConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut known = HashSet::new();
+        for (ci, c) in lexicon.concepts.iter().enumerate() {
+            for ai in 0..c.alts.len() {
+                if ai == 0 || rng.gen_bool(cfg.lexicon_coverage) {
+                    known.insert((ci, ai));
+                }
+            }
+        }
+        TextEmbedder {
+            cfg,
+            lexicon,
+            known,
+        }
+    }
+
+    /// Build with the default configuration over the builtin lexicon.
+    pub fn default_model() -> Self {
+        TextEmbedder::new(Lexicon::builtin(), EmbedConfig::default())
+    }
+
+    pub fn dims(&self) -> usize {
+        self.cfg.dims
+    }
+
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Lowercase alphanumeric word tokens (underscores split words).
+    pub fn tokenize(text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        for ch in text.chars() {
+            if ch.is_ascii_alphanumeric() {
+                cur.push(ch.to_ascii_lowercase());
+            } else if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out
+    }
+
+    /// Embed `text` into an L2-normalised vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let words = Self::tokenize(text);
+        let mut v = vec![0f32; self.cfg.dims];
+
+        // Word and trigram features.
+        for w in &words {
+            add_feature(&mut v, b"w:", w.as_bytes(), self.cfg.word_weight);
+            let bytes = w.as_bytes();
+            if bytes.len() >= 3 {
+                for tri in bytes.windows(3) {
+                    add_feature(&mut v, b"t:", tri, self.cfg.trigram_weight);
+                }
+            }
+        }
+
+        // Concept features: greedy longest-match of word n-grams (length 3
+        // down to 1) against known lexicalisations.
+        let mut i = 0usize;
+        while i < words.len() {
+            let mut matched = 0usize;
+            for len in (1..=3usize).rev() {
+                if i + len > words.len() {
+                    continue;
+                }
+                let phrase = words[i..i + len].join(" ");
+                if let Some(ci) = self.lexicon.concept_of_phrase_stemmed(&phrase) {
+                    let alt = self.lexicon.concepts[ci]
+                        .alts
+                        .iter()
+                        .position(|a| a.join(" ") == phrase)
+                        .unwrap_or(0);
+                    if self.known.contains(&(ci, alt)) {
+                        add_feature(
+                            &mut v,
+                            b"c:",
+                            self.lexicon.concepts[ci].id.as_bytes(),
+                            self.cfg.concept_weight,
+                        );
+                        matched = len;
+                        break;
+                    }
+                }
+            }
+            i += matched.max(1);
+        }
+
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Whether the embedder knows this (concept, alt) lexicalisation — used
+    /// by diagnostics and coverage benches.
+    pub fn knows(&self, concept: usize, alt: usize) -> bool {
+        self.known.contains(&(concept, alt))
+    }
+}
+
+/// FNV-1a over a tagged byte string, mapped to (dimension, sign).
+fn add_feature(v: &mut [f32], tag: &[u8], bytes: &[u8], weight: f32) {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in tag.iter().chain(bytes.iter()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let dim = (h % v.len() as u64) as usize;
+    let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+    v[dim] += sign * weight;
+}
+
+/// Normalise to unit length (no-op for the zero vector).
+pub fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Cosine similarity between two equal-length vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let dot: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(coverage: f64) -> TextEmbedder {
+        TextEmbedder::new(
+            Lexicon::builtin(),
+            EmbedConfig {
+                lexicon_coverage: coverage,
+                ..EmbedConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn identical_texts_have_cosine_one() {
+        let m = model(1.0);
+        let a = m.embed("show the average salary per department");
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn synonyms_are_closer_than_unrelated_words() {
+        let m = model(1.0);
+        let salary = m.embed("salary");
+        let wage = m.embed("wage");
+        let cinema = m.embed("cinema");
+        assert!(
+            cosine(&salary, &wage) > cosine(&salary, &cinema) + 0.2,
+            "syn={} unrel={}",
+            cosine(&salary, &wage),
+            cosine(&salary, &cinema)
+        );
+    }
+
+    #[test]
+    fn multiword_synonyms_match() {
+        let m = model(1.0);
+        let a = m.embed("hire_date");
+        let b = m.embed("date of hire");
+        let c = m.embed("openning year");
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn zero_coverage_kills_synonym_signal() {
+        let full = model(1.0);
+        let none = TextEmbedder::new(
+            Lexicon::builtin(),
+            EmbedConfig {
+                lexicon_coverage: 0.0,
+                concept_weight: 1.6,
+                ..EmbedConfig::default()
+            },
+        );
+        let s_full = cosine(&full.embed("salary"), &full.embed("wage"));
+        let s_none = cosine(&none.embed("salary"), &none.embed("wage"));
+        assert!(s_full > s_none + 0.2, "full={s_full} none={s_none}");
+    }
+
+    #[test]
+    fn sentence_similarity_prefers_paraphrase_over_different_question() {
+        let m = model(1.0);
+        let q = m.embed("Please give me a histogram showing the change in wage over the date of hire.");
+        let same = m.embed("Draw a bar chart about the change of salary over hire_date.");
+        let other = m.embed("Show all countries with a pie chart.");
+        assert!(cosine(&q, &same) > cosine(&q, &other) + 0.1);
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let m = model(0.8);
+        assert_eq!(m.embed("abc def"), m.embed("abc def"));
+    }
+
+    #[test]
+    fn tokenize_splits_on_underscores_and_case() {
+        assert_eq!(
+            TextEmbedder::tokenize("HIRE_DATE, salary!"),
+            vec!["hire", "date", "salary"]
+        );
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let m = model(0.9);
+        let v = m.embed("some nontrivial text with words");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let z = vec![0.0; 8];
+        let o = vec![1.0; 8];
+        assert_eq!(cosine(&z, &o), 0.0);
+    }
+}

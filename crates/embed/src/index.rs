@@ -1,0 +1,166 @@
+//! Brute-force top-K cosine retrieval over a vector collection.
+//!
+//! The embedding library of GRED holds a few thousand vectors, for which an
+//! exact linear scan with a bounded min-heap is both simplest and fastest
+//! (see `bench_retrieval` for the measurement backing this choice).
+
+use crate::embedder::cosine;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scored hit returned by [`VectorIndex::top_k`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    pub id: usize,
+    pub score: f32,
+}
+
+// Min-heap ordering by score (ties broken by id for determinism).
+#[derive(Debug, PartialEq)]
+struct HeapItem(Hit);
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the *worst* on top —
+        // lowest score first, and among ties the *largest* id (so lower ids
+        // survive eviction).
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.id.cmp(&other.0.id))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An append-only exact cosine index.
+#[derive(Debug, Clone, Default)]
+pub struct VectorIndex {
+    vectors: Vec<Vec<f32>>,
+}
+
+impl VectorIndex {
+    pub fn new() -> Self {
+        VectorIndex::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        VectorIndex {
+            vectors: Vec::with_capacity(n),
+        }
+    }
+
+    /// Add a vector; returns its id.
+    pub fn add(&mut self, v: Vec<f32>) -> usize {
+        self.vectors.push(v);
+        self.vectors.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    pub fn get(&self, id: usize) -> Option<&[f32]> {
+        self.vectors.get(id).map(Vec::as_slice)
+    }
+
+    /// The `k` nearest vectors by cosine similarity, best first. Ties break
+    /// toward lower ids, so results are deterministic.
+    pub fn top_k(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        if k == 0 || self.vectors.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        for (id, v) in self.vectors.iter().enumerate() {
+            let score = cosine(query, v);
+            heap.push(HeapItem(Hit { id, score }));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut hits: Vec<Hit> = heap.into_iter().map(|h| h.0).collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dir: usize, dims: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dims];
+        v[dir] = 1.0;
+        v
+    }
+
+    #[test]
+    fn top_k_orders_by_similarity() {
+        let mut idx = VectorIndex::new();
+        idx.add(unit(0, 4)); // id 0
+        idx.add(unit(1, 4)); // id 1
+        idx.add(vec![0.9, 0.1, 0.0, 0.0]); // id 2, close to e0
+        let hits = idx.top_k(&unit(0, 4), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 2);
+    }
+
+    #[test]
+    fn top_k_larger_than_len_returns_all() {
+        let mut idx = VectorIndex::new();
+        idx.add(unit(0, 3));
+        idx.add(unit(1, 3));
+        let hits = idx.top_k(&unit(0, 3), 10);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        let mut idx = VectorIndex::new();
+        idx.add(unit(0, 3));
+        assert!(idx.top_k(&unit(0, 3), 0).is_empty());
+        assert!(VectorIndex::new().top_k(&unit(0, 3), 3).is_empty());
+    }
+
+    #[test]
+    fn ties_break_toward_lower_ids() {
+        let mut idx = VectorIndex::new();
+        idx.add(unit(1, 4));
+        idx.add(unit(1, 4));
+        idx.add(unit(1, 4));
+        let hits = idx.top_k(&unit(1, 4), 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 1);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let mut idx = VectorIndex::new();
+        for i in 0..20 {
+            let mut v = vec![0.1f32; 8];
+            v[i % 8] += i as f32 * 0.05;
+            idx.add(v);
+        }
+        let q = vec![1.0; 8];
+        let a = idx.top_k(&q, 3);
+        let b = idx.top_k(&q, 6);
+        assert_eq!(&b[..3], &a[..]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # t2v-embed — embedding substrate
+//!
+//! Substitutes for the pre-trained text embedding model GRED uses in its
+//! preparatory phase (paper §4.1, OpenAI `text-embedding-3-large`): a
+//! deterministic concept-aware hashed embedder plus an exact top-K cosine
+//! index. See [`embedder::TextEmbedder`] for the semantics-fidelity knob
+//! (`lexicon_coverage`) used in ablations.
+
+pub mod embedder;
+pub mod index;
+
+pub use embedder::{cosine, l2_normalize, EmbedConfig, TextEmbedder};
+pub use index::{Hit, VectorIndex};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Cosine stays within [-1, 1] for arbitrary inputs.
+        #[test]
+        fn cosine_bounds(a in prop::collection::vec(-10f32..10.0, 16),
+                         b in prop::collection::vec(-10f32..10.0, 16)) {
+            let c = cosine(&a, &b);
+            prop_assert!((-1.0..=1.0).contains(&c));
+        }
+
+        /// Embeddings are unit-norm (or zero) and deterministic.
+        #[test]
+        fn embed_norm_and_determinism(words in prop::collection::vec("[a-z]{1,8}", 1..6)) {
+            let m = TextEmbedder::default_model();
+            let text = words.join(" ");
+            let v1 = m.embed(&text);
+            let v2 = m.embed(&text);
+            prop_assert_eq!(&v1, &v2);
+            let norm: f32 = v1.iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-3);
+        }
+
+        /// top_k results are sorted by descending score.
+        #[test]
+        fn topk_sorted(vectors in prop::collection::vec(prop::collection::vec(-1f32..1.0, 8), 1..30),
+                       k in 1usize..10) {
+            let mut idx = VectorIndex::new();
+            for v in vectors { idx.add(v); }
+            let q = vec![0.5f32; 8];
+            let hits = idx.top_k(&q, k);
+            for w in hits.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+            prop_assert!(hits.len() <= k);
+        }
+    }
+}

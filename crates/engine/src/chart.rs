@@ -1,0 +1,193 @@
+//! Terminal chart rendering for the case-study binaries (Table 5 / Figure 5
+//! of the paper show the charts each model's DVQ produces — or the "no
+//! chart" failure).
+
+use crate::exec::ResultSet;
+use t2v_dvq::ast::ChartType;
+
+/// Render a result set as ASCII art. `width` bounds the bar area.
+pub fn render(chart: ChartType, rs: &ResultSet, width: usize) -> String {
+    if rs.points.is_empty() {
+        return "(empty result)\n".to_string();
+    }
+    match chart {
+        ChartType::Pie => render_pie(rs),
+        ChartType::Scatter | ChartType::GroupingScatter => render_scatter(rs, width),
+        _ => render_bars(rs, width),
+    }
+}
+
+fn label_of(p: &crate::exec::Point) -> String {
+    match &p.color {
+        Some(c) => format!("{} [{}]", p.x.display(), c),
+        None => p.x.display(),
+    }
+}
+
+fn render_bars(rs: &ResultSet, width: usize) -> String {
+    let max = rs
+        .points
+        .iter()
+        .map(|p| p.y.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = rs
+        .points
+        .iter()
+        .map(|p| label_of(p).len())
+        .max()
+        .unwrap_or(4)
+        .min(28);
+    let mut out = String::new();
+    out.push_str(&format!("{} vs {}\n", rs.y_label, rs.x_label));
+    for p in &rs.points {
+        let mut label = label_of(p);
+        label.truncate(label_w);
+        let bars = ((p.y.abs() / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {}\n",
+            "█".repeat(bars.max(1)),
+            trim_num(p.y)
+        ));
+    }
+    out
+}
+
+fn render_pie(rs: &ResultSet) -> String {
+    let total: f64 = rs.points.iter().map(|p| p.y.max(0.0)).sum();
+    let mut out = format!("{} share by {}\n", rs.y_label, rs.x_label);
+    for p in &rs.points {
+        let pct = if total > 0.0 { p.y / total * 100.0 } else { 0.0 };
+        let slices = (pct / 5.0).round() as usize;
+        out.push_str(&format!(
+            "{:<20} {:>5.1}% {}\n",
+            p.x.display(),
+            pct,
+            "●".repeat(slices.max(1))
+        ));
+    }
+    out
+}
+
+fn render_scatter(rs: &ResultSet, width: usize) -> String {
+    let height = 12usize;
+    let xs: Vec<f64> = rs
+        .points
+        .iter()
+        .map(|p| p.x.as_num().unwrap_or(0.0))
+        .collect();
+    let ys: Vec<f64> = rs.points.iter().map(|p| p.y).collect();
+    let (xmin, xmax) = bounds(&xs);
+    let (ymin, ymax) = bounds(&ys);
+    let mut grid = vec![vec![' '; width]; height];
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let cx = scale(*x, xmin, xmax, width - 1);
+        let cy = height - 1 - scale(*y, ymin, ymax, height - 1);
+        grid[cy][cx] = '•';
+    }
+    let mut out = format!("{} vs {}\n", rs.y_label, rs.x_label);
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if lo == hi {
+        hi = lo + 1.0;
+    }
+    (lo, hi)
+}
+
+fn scale(v: f64, lo: f64, hi: f64, max: usize) -> usize {
+    (((v - lo) / (hi - lo)) * max as f64).round() as usize
+}
+
+fn trim_num(n: f64) -> String {
+    if n.fract() == 0.0 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Point;
+    use crate::store::Cell;
+
+    fn rs() -> ResultSet {
+        ResultSet {
+            x_label: "city".into(),
+            y_label: "AVG(salary)".into(),
+            color_label: None,
+            points: vec![
+                Point {
+                    x: Cell::Text("Oslo".into()),
+                    y: 15.0,
+                    color: None,
+                },
+                Point {
+                    x: Cell::Text("Rome".into()),
+                    y: 5.0,
+                    color: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let out = render(ChartType::Bar, &rs(), 20);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].matches('█').count() > lines[2].matches('█').count());
+    }
+
+    #[test]
+    fn pie_chart_shows_percentages() {
+        let out = render(ChartType::Pie, &rs(), 20);
+        assert!(out.contains("75.0%"));
+        assert!(out.contains("25.0%"));
+    }
+
+    #[test]
+    fn empty_result_is_flagged() {
+        let empty = ResultSet {
+            x_label: "x".into(),
+            y_label: "y".into(),
+            color_label: None,
+            points: vec![],
+        };
+        assert_eq!(render(ChartType::Bar, &empty, 10), "(empty result)\n");
+    }
+
+    #[test]
+    fn scatter_renders_grid() {
+        let mut r = rs();
+        r.points = vec![
+            Point {
+                x: Cell::Num(1.0),
+                y: 1.0,
+                color: None,
+            },
+            Point {
+                x: Cell::Num(2.0),
+                y: 2.0,
+                color: None,
+            },
+        ];
+        let out = render(ChartType::Scatter, &r, 20);
+        assert_eq!(out.matches('•').count(), 2);
+    }
+}

@@ -1,0 +1,657 @@
+//! DVQ evaluation against a [`Store`].
+//!
+//! The evaluator implements the full DVQ surface: scans, equi-joins, the
+//! flat AND/OR predicate chain (AND binds tighter than OR), scalar and IN
+//! subqueries, temporal binning, grouping, the five aggregates, ordering and
+//! LIMIT. A DVQ that references a column absent from the schema fails with
+//! [`ExecError::UnknownColumn`] — the "no chart" outcome of the paper's
+//! Figure 1 and Table 5 case study.
+
+use crate::store::{Cell, Store};
+use std::collections::BTreeMap;
+use std::fmt;
+use t2v_dvq::ast::*;
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    UnknownTable(String),
+    UnknownColumn(String),
+    TypeMismatch(String),
+    EmptySubquery(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            ExecError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            ExecError::EmptySubquery(s) => write!(f, "scalar subquery returned no rows: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// One output point: x value, y value, optional colour series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    pub x: Cell,
+    pub y: f64,
+    pub color: Option<String>,
+}
+
+/// Evaluated result of a DVQ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub x_label: String,
+    pub y_label: String,
+    pub color_label: Option<String>,
+    pub points: Vec<Point>,
+}
+
+/// A bound row: cells addressable by (binding, column) names.
+struct Env<'a> {
+    /// (binding name lowercased, table data index, row index)
+    bindings: Vec<(String, usize, usize)>,
+    store: &'a Store,
+}
+
+impl<'a> Env<'a> {
+    fn lookup(&self, col: &ColumnRef) -> Result<&'a Cell, ExecError> {
+        for (binding, ti, ri) in &self.bindings {
+            if let Some(q) = &col.qualifier {
+                if !q.eq_ignore_ascii_case(binding) {
+                    continue;
+                }
+            }
+            let table = &self.store.tables[*ti];
+            if let Some(ci) = table.column_index(&col.column) {
+                return Ok(&table.rows[*ri][ci]);
+            }
+            if col.qualifier.is_some() {
+                return Err(ExecError::UnknownColumn(col.to_string()));
+            }
+        }
+        Err(ExecError::UnknownColumn(col.to_string()))
+    }
+}
+
+/// Evaluate `q` against `store`.
+pub fn execute(q: &Dvq, store: &Store) -> Result<ResultSet, ExecError> {
+    // Resolve tables.
+    let base_ti = table_index(store, &q.from.name)?;
+    let mut bindings = vec![(q.from.binding().to_ascii_lowercase(), base_ti)];
+    let mut join_tis = Vec::new();
+    for j in &q.joins {
+        let ti = table_index(store, &j.table.name)?;
+        bindings.push((j.table.binding().to_ascii_lowercase(), ti));
+        join_tis.push(ti);
+    }
+
+    // Enumerate joined row tuples (nested-loop equi-join; stores are small).
+    let mut tuples: Vec<Vec<usize>> = (0..store.tables[base_ti].rows.len())
+        .map(|r| vec![r])
+        .collect();
+    for (ji, j) in q.joins.iter().enumerate() {
+        let ti = join_tis[ji];
+        let mut next = Vec::new();
+        for tuple in &tuples {
+            for r2 in 0..store.tables[ti].rows.len() {
+                let mut t = tuple.clone();
+                t.push(r2);
+                let env = env_for(&bindings, &t, store);
+                let l = env.lookup(&j.left)?;
+                let r = env.lookup(&j.right)?;
+                if cells_equal(l, r) {
+                    next.push(t);
+                }
+            }
+        }
+        tuples = next;
+    }
+
+    // Filter.
+    let mut kept = Vec::new();
+    for tuple in tuples {
+        let env = env_for(&bindings, &tuple, store);
+        let pass = match &q.where_clause {
+            Some(cond) => eval_condition(cond, &env, store)?,
+            None => true,
+        };
+        if pass {
+            kept.push(tuple);
+        }
+    }
+
+    // Validate axis columns even if there are no rows.
+    let x_label = axis_label(&q.x);
+    let y_label = axis_label(&q.y);
+    let color_col: Option<&ColumnRef> = if q.chart.is_grouped() {
+        q.group_by.first()
+    } else {
+        None
+    };
+
+    // Build output points.
+    let grouping = q.bin.is_some()
+        || !q.group_by.is_empty()
+        || (q.x.aggregate().is_none() && q.y.aggregate().is_some());
+    let mut points: Vec<Point> = if grouping && q.y.aggregate().is_some() {
+        // Group rows by (x key, colour key).
+        let mut groups: BTreeMap<(String, Option<String>), Vec<&Vec<usize>>> = BTreeMap::new();
+        let mut reprs: BTreeMap<(String, Option<String>), Cell> = BTreeMap::new();
+        for tuple in &kept {
+            let env = env_for(&bindings, tuple, store);
+            let (key_cell, key) = x_key(q, &env)?;
+            let color = match color_col {
+                Some(c) => Some(env.lookup(c)?.display()),
+                None => None,
+            };
+            groups.entry((key.clone(), color.clone())).or_default().push(tuple);
+            reprs.entry((key, color)).or_insert(key_cell);
+        }
+        let mut out = Vec::with_capacity(groups.len());
+        for ((key, color), members) in groups {
+            let mut values = Vec::with_capacity(members.len());
+            for tuple in &members {
+                let env = env_for(&bindings, tuple, store);
+                values.push(axis_value(&q.y, &env)?);
+            }
+            let y = aggregate(q.y.aggregate().expect("grouping requires aggregate"), &values);
+            out.push(Point {
+                x: reprs.remove(&(key, color.clone())).expect("repr recorded"),
+                y,
+                color,
+            });
+        }
+        out
+    } else {
+        // Row-per-point (scatter / plain bar).
+        let mut out = Vec::with_capacity(kept.len());
+        for tuple in &kept {
+            let env = env_for(&bindings, tuple, store);
+            let x = env.lookup(q.x.column())?.clone();
+            let yv = axis_value(&q.y, &env)?;
+            let y = match yv {
+                Some(Cell::Num(n)) => n,
+                Some(Cell::Null) | None => continue,
+                Some(other) => {
+                    return Err(ExecError::TypeMismatch(format!(
+                        "y axis must be numeric, got {}",
+                        other.display()
+                    )))
+                }
+            };
+            let color = match color_col {
+                Some(c) => Some(env.lookup(c)?.display()),
+                None => None,
+            };
+            out.push(Point { x, y, color });
+        }
+        out
+    };
+
+    // Ordering.
+    if let Some(o) = &q.order_by {
+        let dir = o.dir.unwrap_or(SortDir::Asc);
+        let by_y = o.expr == q.y || o.expr.aggregate().is_some();
+        points.sort_by(|a, b| {
+            let ord = if by_y {
+                a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal)
+            } else {
+                compare_cells(&a.x, &b.x)
+            };
+            if dir == SortDir::Desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    } else {
+        // Deterministic default ordering by x.
+        points.sort_by(|a, b| compare_cells(&a.x, &b.x));
+    }
+
+    if let Some(n) = q.limit {
+        points.truncate(n as usize);
+    }
+
+    Ok(ResultSet {
+        x_label,
+        y_label,
+        color_label: color_col.map(|c| c.to_string()),
+        points,
+    })
+}
+
+fn table_index(store: &Store, name: &str) -> Result<usize, ExecError> {
+    store
+        .tables
+        .iter()
+        .position(|t| t.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| ExecError::UnknownTable(name.to_string()))
+}
+
+fn env_for<'a>(
+    bindings: &[(String, usize)],
+    tuple: &[usize],
+    store: &'a Store,
+) -> Env<'a> {
+    Env {
+        bindings: bindings
+            .iter()
+            .zip(tuple.iter())
+            .map(|((b, ti), ri)| (b.clone(), *ti, *ri))
+            .collect(),
+        store,
+    }
+}
+
+fn axis_label(e: &SelectExpr) -> String {
+    match e {
+        SelectExpr::Column(c) => c.column.clone(),
+        SelectExpr::Aggregate { func, arg, .. } => format!("{}({})", func.keyword(), arg.column),
+    }
+}
+
+/// The x grouping key for one row (bin-aware).
+fn x_key(q: &Dvq, env: &Env) -> Result<(Cell, String), ExecError> {
+    if let Some(b) = &q.bin {
+        let cell = env.lookup(&b.col)?;
+        let binned = match cell {
+            Cell::Date(d) => match b.unit {
+                BinUnit::Year => Cell::Num(d.year as f64),
+                BinUnit::Month => Cell::Text(d.month_name().to_string()),
+                BinUnit::Day => Cell::Num(d.day as f64),
+                BinUnit::Weekday => Cell::Text(d.weekday_name().to_string()),
+            },
+            Cell::Num(n) => Cell::Num(*n),
+            Cell::Null => Cell::Null,
+            Cell::Text(_) => {
+                return Err(ExecError::TypeMismatch(format!(
+                    "cannot bin text column {}",
+                    b.col
+                )))
+            }
+        };
+        let key = sort_key(&binned);
+        return Ok((binned, key));
+    }
+    let cell = env.lookup(q.x.column())?.clone();
+    let key = sort_key(&cell);
+    Ok((cell, key))
+}
+
+/// Sortable textual key for grouping (numbers padded for natural order).
+fn sort_key(c: &Cell) -> String {
+    match c {
+        Cell::Num(n) => format!("n{:020.4}", n + 1e9),
+        Cell::Text(s) => format!("t{s}"),
+        Cell::Date(d) => format!("d{d}"),
+        Cell::Null => "z".into(),
+    }
+}
+
+fn compare_cells(a: &Cell, b: &Cell) -> std::cmp::Ordering {
+    sort_key(a).cmp(&sort_key(b))
+}
+
+/// Evaluate the y expression for one row; `None` means COUNT-style presence.
+fn axis_value(e: &SelectExpr, env: &Env) -> Result<Option<Cell>, ExecError> {
+    Ok(Some(env.lookup(e.column())?.clone()))
+}
+
+fn aggregate(func: AggFunc, values: &[Option<Cell>]) -> f64 {
+    let nums: Vec<f64> = values
+        .iter()
+        .filter_map(|v| v.as_ref().and_then(Cell::as_num))
+        .collect();
+    match func {
+        AggFunc::Count => values.iter().filter(|v| {
+            !matches!(v, Some(Cell::Null) | None)
+        }).count() as f64,
+        AggFunc::Sum => nums.iter().sum(),
+        AggFunc::Avg => {
+            if nums.is_empty() {
+                0.0
+            } else {
+                nums.iter().sum::<f64>() / nums.len() as f64
+            }
+        }
+        AggFunc::Min => nums.iter().copied().fold(f64::INFINITY, f64::min),
+        AggFunc::Max => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+fn cells_equal(a: &Cell, b: &Cell) -> bool {
+    match (a, b) {
+        (Cell::Num(x), Cell::Num(y)) => (x - y).abs() < 1e-9,
+        (Cell::Text(x), Cell::Text(y)) => x.eq_ignore_ascii_case(y),
+        (Cell::Date(x), Cell::Date(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// AND binds tighter than OR: split the flat chain on OR, conjoin within.
+fn eval_condition(cond: &Condition, env: &Env, store: &Store) -> Result<bool, ExecError> {
+    let mut or_result = false;
+    let mut and_result = eval_predicate(&cond.first, env, store)?;
+    for (op, p) in &cond.rest {
+        match op {
+            BoolOp::And => {
+                let v = eval_predicate(p, env, store)?;
+                and_result = and_result && v;
+            }
+            BoolOp::Or => {
+                or_result = or_result || and_result;
+                and_result = eval_predicate(p, env, store)?;
+            }
+        }
+    }
+    Ok(or_result || and_result)
+}
+
+fn eval_predicate(p: &Predicate, env: &Env, store: &Store) -> Result<bool, ExecError> {
+    match p {
+        Predicate::Compare { col, op, value } => {
+            let cell = env.lookup(col)?;
+            let rhs = resolve_value(value, store)?;
+            Ok(compare(cell, *op, &rhs))
+        }
+        Predicate::Between { col, lo, hi } => {
+            let cell = env.lookup(col)?;
+            let lo = resolve_value(lo, store)?;
+            let hi = resolve_value(hi, store)?;
+            Ok(compare(cell, CompareOp::Ge, &lo) && compare(cell, CompareOp::Le, &hi))
+        }
+        Predicate::Like {
+            col,
+            negated,
+            pattern,
+        } => {
+            let cell = env.lookup(col)?;
+            let matched = match cell {
+                Cell::Text(s) => like_match(s, pattern),
+                _ => false,
+            };
+            Ok(matched != *negated)
+        }
+        Predicate::In {
+            col,
+            negated,
+            subquery,
+        } => {
+            let cell = env.lookup(col)?;
+            let values = eval_subquery(subquery, store)?;
+            let found = values.iter().any(|v| cells_equal(cell, v));
+            Ok(found != *negated)
+        }
+        Predicate::NullCheck { col, negated, .. } => {
+            let is_null = env.lookup(col)?.is_null();
+            Ok(is_null != *negated)
+        }
+    }
+}
+
+fn resolve_value(v: &Value, store: &Store) -> Result<Cell, ExecError> {
+    match v {
+        Value::Number(n) => n
+            .parse::<f64>()
+            .map(Cell::Num)
+            .map_err(|_| ExecError::TypeMismatch(format!("bad number {n}"))),
+        Value::Text { text, .. } => Ok(Cell::Text(text.clone())),
+        Value::Subquery(sq) => {
+            let values = eval_subquery(sq, store)?;
+            values
+                .into_iter()
+                .next()
+                .ok_or_else(|| ExecError::EmptySubquery(sq.from.clone()))
+        }
+    }
+}
+
+fn eval_subquery(sq: &SubQuery, store: &Store) -> Result<Vec<Cell>, ExecError> {
+    let ti = table_index(store, &sq.from)?;
+    let table = &store.tables[ti];
+    let ci = table
+        .column_index(&sq.select.column)
+        .ok_or_else(|| ExecError::UnknownColumn(sq.select.to_string()))?;
+    let bindings = vec![(sq.from.to_ascii_lowercase(), ti)];
+    let mut out = Vec::new();
+    for r in 0..table.rows.len() {
+        let env = env_for(&bindings, &[r], store);
+        let pass = match &sq.where_clause {
+            Some(c) => eval_condition(c, &env, store)?,
+            None => true,
+        };
+        if pass {
+            out.push(table.rows[r][ci].clone());
+        }
+    }
+    Ok(out)
+}
+
+fn compare(cell: &Cell, op: CompareOp, rhs: &Cell) -> bool {
+    use std::cmp::Ordering::*;
+    let ord = match (cell, rhs) {
+        (Cell::Num(a), Cell::Num(b)) => a.partial_cmp(b),
+        (Cell::Text(a), Cell::Text(b)) => {
+            Some(a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()))
+        }
+        (Cell::Date(a), Cell::Date(b)) => Some(a.cmp(b)),
+        _ => None,
+    };
+    let Some(ord) = ord else { return false };
+    match op {
+        CompareOp::Eq => ord == Equal,
+        CompareOp::NotEq { .. } => ord != Equal,
+        CompareOp::Lt => ord == Less,
+        CompareOp::Le => ord != Greater,
+        CompareOp::Gt => ord == Greater,
+        CompareOp::Ge => ord != Less,
+    }
+}
+
+/// SQL LIKE with `%` wildcards only (the corpus uses `%x%`, `x%`, `%x`).
+fn like_match(s: &str, pattern: &str) -> bool {
+    let s = s.to_ascii_lowercase();
+    let p = pattern.to_ascii_lowercase();
+    let starts = !p.starts_with('%');
+    let ends = !p.ends_with('%');
+    let core = p.trim_matches('%');
+    if core.is_empty() {
+        return true;
+    }
+    match (starts, ends) {
+        (true, true) => s == core,
+        (true, false) => s.starts_with(core),
+        (false, true) => s.ends_with(core),
+        (false, false) => s.contains(core),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Date, TableData};
+    use t2v_dvq::parse;
+
+    fn toy_store() -> Store {
+        Store {
+            db_id: "hr_1".into(),
+            tables: vec![
+                TableData {
+                    name: "employees".into(),
+                    columns: vec![
+                        "id".into(),
+                        "salary".into(),
+                        "city".into(),
+                        "hire_date".into(),
+                        "dept_id".into(),
+                    ],
+                    rows: vec![
+                        vec![
+                            Cell::Num(1.0),
+                            Cell::Num(9000.0),
+                            Cell::Text("Paris".into()),
+                            Cell::Date(Date::new(2018, 3, 5)),
+                            Cell::Num(1.0),
+                        ],
+                        vec![
+                            Cell::Num(2.0),
+                            Cell::Num(11000.0),
+                            Cell::Text("Paris".into()),
+                            Cell::Date(Date::new(2018, 7, 1)),
+                            Cell::Num(2.0),
+                        ],
+                        vec![
+                            Cell::Num(3.0),
+                            Cell::Num(5000.0),
+                            Cell::Text("Oslo".into()),
+                            Cell::Date(Date::new(2020, 1, 15)),
+                            Cell::Num(1.0),
+                        ],
+                        vec![
+                            Cell::Num(4.0),
+                            Cell::Null,
+                            Cell::Text("Oslo".into()),
+                            Cell::Date(Date::new(2020, 9, 9)),
+                            Cell::Num(2.0),
+                        ],
+                    ],
+                },
+                TableData {
+                    name: "departments".into(),
+                    columns: vec!["id".into(), "name".into()],
+                    rows: vec![
+                        vec![Cell::Num(1.0), Cell::Text("Finance".into())],
+                        vec![Cell::Num(2.0), Cell::Text("Design".into())],
+                    ],
+                },
+            ],
+        }
+    }
+
+    fn run(q: &str) -> ResultSet {
+        execute(&parse(q).unwrap(), &toy_store()).unwrap()
+    }
+
+    #[test]
+    fn group_count_works() {
+        let rs = run("Visualize BAR SELECT city , COUNT(city) FROM employees GROUP BY city");
+        assert_eq!(rs.points.len(), 2);
+        let oslo = rs.points.iter().find(|p| p.x == Cell::Text("Oslo".into())).unwrap();
+        assert_eq!(oslo.y, 2.0);
+    }
+
+    #[test]
+    fn avg_ignores_nulls() {
+        let rs = run("Visualize BAR SELECT city , AVG(salary) FROM employees GROUP BY city");
+        let oslo = rs.points.iter().find(|p| p.x == Cell::Text("Oslo".into())).unwrap();
+        assert_eq!(oslo.y, 5000.0);
+        let paris = rs.points.iter().find(|p| p.x == Cell::Text("Paris".into())).unwrap();
+        assert_eq!(paris.y, 10000.0);
+    }
+
+    #[test]
+    fn where_between_and_or_precedence() {
+        // salary BETWEEN 8000 AND 12000 (2 rows) OR city = 'Oslo' (2 rows, one overlapping? no)
+        let rs = run(
+            "Visualize BAR SELECT city , COUNT(city) FROM employees \
+             WHERE salary BETWEEN 8000 AND 12000 OR city = 'Oslo' GROUP BY city",
+        );
+        let total: f64 = rs.points.iter().map(|p| p.y).sum();
+        assert_eq!(total, 4.0);
+    }
+
+    #[test]
+    fn null_checks_filter() {
+        let rs = run(
+            "Visualize BAR SELECT city , COUNT(city) FROM employees \
+             WHERE salary != \"null\" GROUP BY city",
+        );
+        let total: f64 = rs.points.iter().map(|p| p.y).sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn bin_by_year_counts() {
+        let rs = run(
+            "Visualize LINE SELECT hire_date , COUNT(hire_date) FROM employees \
+             BIN hire_date BY YEAR",
+        );
+        assert_eq!(rs.points.len(), 2);
+        assert_eq!(rs.points[0].x, Cell::Num(2018.0));
+        assert_eq!(rs.points[0].y, 2.0);
+    }
+
+    #[test]
+    fn join_filters_via_dimension_table() {
+        let rs = run(
+            "Visualize BAR SELECT city , COUNT(city) FROM employees AS T1 \
+             JOIN departments AS T2 ON T1.dept_id = T2.id \
+             WHERE T2.name = 'Finance' GROUP BY city",
+        );
+        let total: f64 = rs.points.iter().map(|p| p.y).sum();
+        assert_eq!(total, 2.0);
+    }
+
+    #[test]
+    fn scalar_subquery_resolves() {
+        let rs = run(
+            "Visualize BAR SELECT city , COUNT(city) FROM employees \
+             WHERE dept_id = (SELECT id FROM departments WHERE name = 'Design') GROUP BY city",
+        );
+        let total: f64 = rs.points.iter().map(|p| p.y).sum();
+        assert_eq!(total, 2.0);
+    }
+
+    #[test]
+    fn order_desc_and_limit() {
+        let rs = run(
+            "Visualize BAR SELECT city , AVG(salary) FROM employees GROUP BY city \
+             ORDER BY AVG(salary) DESC LIMIT 1",
+        );
+        assert_eq!(rs.points.len(), 1);
+        assert_eq!(rs.points[0].x, Cell::Text("Paris".into()));
+    }
+
+    #[test]
+    fn unknown_column_fails_like_the_paper_case_study() {
+        let err = execute(
+            &parse("Visualize BAR SELECT wage , COUNT(wage) FROM employees GROUP BY wage").unwrap(),
+            &toy_store(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::UnknownColumn("wage".into()));
+    }
+
+    #[test]
+    fn unknown_table_fails() {
+        let err = execute(
+            &parse("Visualize BAR SELECT a , COUNT(a) FROM nope GROUP BY a").unwrap(),
+            &toy_store(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::UnknownTable("nope".into()));
+    }
+
+    #[test]
+    fn plain_bar_without_grouping_emits_rows() {
+        let rs = run("Visualize BAR SELECT city , salary FROM employees ORDER BY salary DESC");
+        // Null salary row is skipped.
+        assert_eq!(rs.points.len(), 3);
+        assert_eq!(rs.points[0].y, 11000.0);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("Paris", "%ari%"));
+        assert!(like_match("Paris", "Par%"));
+        assert!(like_match("Paris", "%ris"));
+        assert!(!like_match("Paris", "%zz%"));
+        assert!(like_match("anything", "%%"));
+    }
+}

@@ -1,0 +1,256 @@
+//! In-memory column store with synthetic row generation.
+//!
+//! Rows are synthesised per database from the corpus value pools so that
+//! generated filters are satisfiable, foreign keys reference real target
+//! rows, and nullable numeric columns contain some NULLs (so `IS NOT NULL`
+//! filters do something).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use t2v_corpus::schema::{ColType, Database};
+use t2v_corpus::values;
+
+/// A calendar date (no time component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    pub year: i32,
+    pub month: u32,
+    pub day: u32,
+}
+
+impl Date {
+    pub fn new(year: i32, month: u32, day: u32) -> Self {
+        Date { year, month, day }
+    }
+
+    /// Day of week, 0 = Sunday (Sakamoto's method).
+    pub fn weekday(&self) -> u32 {
+        const T: [i32; 12] = [0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4];
+        let mut y = self.year;
+        if self.month < 3 {
+            y -= 1;
+        }
+        let w = (y + y / 4 - y / 100 + y / 400 + T[(self.month - 1) as usize] + self.day as i32)
+            % 7;
+        w.rem_euclid(7) as u32
+    }
+
+    pub fn weekday_name(&self) -> &'static str {
+        ["Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"][self.weekday() as usize]
+    }
+
+    pub fn month_name(&self) -> &'static str {
+        [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ][(self.month - 1) as usize]
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// One cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    Num(f64),
+    Text(String),
+    Date(Date),
+    Null,
+}
+
+impl Cell {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Cell::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Render for chart labels / JSON.
+    pub fn display(&self) -> String {
+        match self {
+            Cell::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Cell::Text(s) => s.clone(),
+            Cell::Date(d) => d.to_string(),
+            Cell::Null => "null".into(),
+        }
+    }
+}
+
+/// Rows for one table (row-major; the store is small by construction).
+#[derive(Debug, Clone)]
+pub struct TableData {
+    pub name: String,
+    /// Column names, aligned with the schema's column order.
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl TableData {
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+}
+
+/// All rows of one database.
+#[derive(Debug, Clone)]
+pub struct Store {
+    pub db_id: String,
+    pub tables: Vec<TableData>,
+}
+
+impl Store {
+    pub fn table(&self, name: &str) -> Option<&TableData> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Synthesise `rows_per_table` rows for every table of `db`.
+    ///
+    /// Keys are `1..=n`; foreign-key columns draw from the target table's key
+    /// range so joins always hit; ~12% of non-key numeric cells are NULL.
+    pub fn synthesize(db: &Database, seed: u64, rows_per_table: usize) -> Store {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a);
+        let mut tables = Vec::with_capacity(db.tables.len());
+        for (ti, t) in db.tables.iter().enumerate() {
+            let mut rows = Vec::with_capacity(rows_per_table);
+            for r in 0..rows_per_table {
+                let mut row = Vec::with_capacity(t.columns.len());
+                for (ci, c) in t.columns.iter().enumerate() {
+                    let concept = c.head_concept().unwrap_or("value");
+                    // FK columns point at a valid target key.
+                    let is_fk = db
+                        .foreign_keys
+                        .iter()
+                        .any(|fk| fk.from_table == ti && fk.from_column == ci);
+                    let cell = if c.is_key {
+                        Cell::Num((r + 1) as f64)
+                    } else if is_fk {
+                        Cell::Num(rng.gen_range(1..=rows_per_table) as f64)
+                    } else {
+                        match c.ctype {
+                            ColType::Number => {
+                                if rng.gen_bool(0.12) {
+                                    Cell::Null
+                                } else {
+                                    let (lo, hi) = values::num_range(concept);
+                                    Cell::Num(rng.gen_range(lo..=hi) as f64)
+                                }
+                            }
+                            ColType::Text => {
+                                let pool = values::text_pool(concept);
+                                Cell::Text(pool[rng.gen_range(0..pool.len())].to_string())
+                            }
+                            ColType::Date => {
+                                let (ylo, yhi) = values::date_year_range(concept);
+                                Cell::Date(Date::new(
+                                    rng.gen_range(ylo..=yhi),
+                                    rng.gen_range(1..=12),
+                                    rng.gen_range(1..=28),
+                                ))
+                            }
+                        }
+                    };
+                    row.push(cell);
+                }
+                rows.push(row);
+            }
+            tables.push(TableData {
+                name: t.name.clone(),
+                columns: t.columns.iter().map(|c| c.name.clone()).collect(),
+                rows,
+            });
+        }
+        Store {
+            db_id: db.id.clone(),
+            tables,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+
+    #[test]
+    fn weekday_is_correct_for_known_dates() {
+        assert_eq!(Date::new(2024, 4, 11).weekday_name(), "Thu");
+        assert_eq!(Date::new(2000, 1, 1).weekday_name(), "Sat");
+        assert_eq!(Date::new(1970, 1, 1).weekday_name(), "Thu");
+    }
+
+    #[test]
+    fn synthesize_respects_schema_shape() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let db = &corpus.databases[0];
+        let store = Store::synthesize(db, 1, 25);
+        assert_eq!(store.tables.len(), db.tables.len());
+        for (t, s) in db.tables.iter().zip(store.tables.iter()) {
+            assert_eq!(t.columns.len(), s.columns.len());
+            assert_eq!(s.rows.len(), 25);
+        }
+    }
+
+    #[test]
+    fn keys_are_sequential_and_fks_hit_targets() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let db = &corpus.databases[0];
+        let store = Store::synthesize(db, 2, 10);
+        for fk in &db.foreign_keys {
+            let from = &store.tables[fk.from_table];
+            for row in &from.rows {
+                let v = row[fk.from_column].as_num().unwrap();
+                assert!((1.0..=10.0).contains(&v));
+            }
+        }
+        // Key column of table 0 is 1..=10.
+        let keys: Vec<f64> = store.tables[0]
+            .rows
+            .iter()
+            .map(|r| r[0].as_num().unwrap())
+            .collect();
+        assert_eq!(keys, (1..=10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn some_numeric_nulls_exist() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let db = &corpus.databases[0];
+        let store = Store::synthesize(db, 3, 200);
+        let nulls = store
+            .tables
+            .iter()
+            .flat_map(|t| t.rows.iter())
+            .flat_map(|r| r.iter())
+            .filter(|c| c.is_null())
+            .count();
+        assert!(nulls > 0);
+    }
+
+    #[test]
+    fn cell_display_formats() {
+        assert_eq!(Cell::Num(40.0).display(), "40");
+        assert_eq!(Cell::Num(1.5).display(), "1.5");
+        assert_eq!(Cell::Text("hi".into()).display(), "hi");
+        assert_eq!(Cell::Date(Date::new(2020, 2, 3)).display(), "2020-02-03");
+        assert_eq!(Cell::Null.display(), "null");
+    }
+}

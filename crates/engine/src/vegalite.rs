@@ -1,0 +1,135 @@
+//! DVQ → Vega-Lite specification (the final DVL rendering step of Figure 1).
+
+use crate::exec::ResultSet;
+use crate::json::Json;
+use std::collections::BTreeMap;
+use t2v_dvq::ast::{ChartType, Dvq, SortDir};
+
+/// Build the Vega-Lite spec for an executed query.
+pub fn to_vegalite(q: &Dvq, rs: &ResultSet) -> Json {
+    let mut values = Vec::with_capacity(rs.points.len());
+    for p in &rs.points {
+        let mut row = BTreeMap::new();
+        row.insert(rs.x_label.clone(), cell_json(&p.x));
+        row.insert(rs.y_label.clone(), Json::Num(p.y));
+        if let (Some(label), Some(color)) = (&rs.color_label, &p.color) {
+            row.insert(label.clone(), Json::str(color.clone()));
+        }
+        values.push(Json::Obj(row));
+    }
+
+    let mut x_enc = BTreeMap::new();
+    x_enc.insert("field".to_string(), Json::str(rs.x_label.clone()));
+    x_enc.insert("type".to_string(), Json::str(x_type(rs)));
+    if let Some(o) = &q.order_by {
+        let dir = match o.dir.unwrap_or(SortDir::Asc) {
+            SortDir::Asc => "ascending",
+            SortDir::Desc => "descending",
+        };
+        x_enc.insert("sort".to_string(), Json::str(dir));
+    }
+
+    let mut y_enc = BTreeMap::new();
+    y_enc.insert("field".to_string(), Json::str(rs.y_label.clone()));
+    y_enc.insert("type".to_string(), Json::str("quantitative"));
+    if let Some(agg) = q.y.aggregate() {
+        y_enc.insert("aggregate".to_string(), Json::str(agg.vegalite()));
+    }
+
+    let mut encoding = BTreeMap::new();
+    match q.chart {
+        ChartType::Pie => {
+            encoding.insert("theta".to_string(), Json::Obj(y_enc));
+            encoding.insert(
+                "color".to_string(),
+                Json::obj([
+                    ("field", Json::str(rs.x_label.clone())),
+                    ("type", Json::str("nominal")),
+                ]),
+            );
+        }
+        _ => {
+            encoding.insert("x".to_string(), Json::Obj(x_enc));
+            encoding.insert("y".to_string(), Json::Obj(y_enc));
+            if let Some(color) = &rs.color_label {
+                encoding.insert(
+                    "color".to_string(),
+                    Json::obj([
+                        ("field", Json::str(color.clone())),
+                        ("type", Json::str("nominal")),
+                    ]),
+                );
+            }
+        }
+    }
+
+    Json::obj([
+        (
+            "$schema",
+            Json::str("https://vega.github.io/schema/vega-lite/v5.json"),
+        ),
+        ("data", Json::obj([("values", Json::Arr(values))])),
+        ("mark", Json::str(q.chart.mark())),
+        ("encoding", Json::Obj(encoding)),
+    ])
+}
+
+fn x_type(rs: &ResultSet) -> &'static str {
+    match rs.points.first().map(|p| &p.x) {
+        Some(crate::store::Cell::Num(_)) => "quantitative",
+        Some(crate::store::Cell::Date(_)) => "temporal",
+        _ => "nominal",
+    }
+}
+
+fn cell_json(c: &crate::store::Cell) -> Json {
+    match c {
+        crate::store::Cell::Num(n) => Json::Num(*n),
+        crate::store::Cell::Text(s) => Json::str(s.clone()),
+        crate::store::Cell::Date(d) => Json::str(d.to_string()),
+        crate::store::Cell::Null => Json::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::store::{Cell, Store, TableData};
+    use t2v_dvq::parse;
+
+    fn store() -> Store {
+        Store {
+            db_id: "t".into(),
+            tables: vec![TableData {
+                name: "emp".into(),
+                columns: vec!["city".into(), "salary".into()],
+                rows: vec![
+                    vec![Cell::Text("Oslo".into()), Cell::Num(10.0)],
+                    vec![Cell::Text("Oslo".into()), Cell::Num(20.0)],
+                    vec![Cell::Text("Rome".into()), Cell::Num(5.0)],
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn bar_spec_has_mark_and_fields() {
+        let q = parse("Visualize BAR SELECT city , AVG(salary) FROM emp GROUP BY city ORDER BY city ASC").unwrap();
+        let rs = execute(&q, &store()).unwrap();
+        let spec = to_vegalite(&q, &rs).pretty();
+        assert!(spec.contains("\"mark\": \"bar\""));
+        assert!(spec.contains("\"aggregate\": \"average\""));
+        assert!(spec.contains("\"sort\": \"ascending\""));
+        assert!(spec.contains("\"city\": \"Oslo\""));
+    }
+
+    #[test]
+    fn pie_uses_theta_channel() {
+        let q = parse("Visualize PIE SELECT city , COUNT(city) FROM emp GROUP BY city").unwrap();
+        let rs = execute(&q, &store()).unwrap();
+        let spec = to_vegalite(&q, &rs).pretty();
+        assert!(spec.contains("\"mark\": \"arc\""));
+        assert!(spec.contains("\"theta\""));
+    }
+}

@@ -1,0 +1,130 @@
+//! Failure-injection tests: the executor must fail *gracefully* (typed
+//! errors, no panics) on every malformed query we can construct — this is
+//! the "no chart" behaviour of the paper's Figure 1, and it must be a
+//! recoverable error, never a crash.
+
+use t2v_corpus::{generate, CorpusConfig};
+use t2v_engine::{execute, ExecError, Store};
+
+fn fixture() -> (t2v_corpus::Corpus, Store) {
+    let corpus = generate(&CorpusConfig::tiny(7));
+    let store = Store::synthesize(&corpus.databases[0], 1, 20);
+    (corpus, store)
+}
+
+#[test]
+fn unknown_identifiers_yield_typed_errors() {
+    let (corpus, store) = fixture();
+    let table = corpus.databases[0].tables[0].name.clone();
+    let cases = [
+        (
+            format!("Visualize BAR SELECT nope_col , COUNT(nope_col) FROM {table} GROUP BY nope_col"),
+            "column",
+        ),
+        (
+            "Visualize BAR SELECT a , b FROM totally_missing_table".to_string(),
+            "table",
+        ),
+        (
+            format!("Visualize BAR SELECT ghost , COUNT(ghost) FROM {table} WHERE ghost > 1 GROUP BY ghost"),
+            "column",
+        ),
+    ];
+    for (text, kind) in cases {
+        let q = t2v_dvq::parse(&text).unwrap();
+        match execute(&q, &store) {
+            Err(ExecError::UnknownColumn(_)) => assert_eq!(kind, "column", "{text}"),
+            Err(ExecError::UnknownTable(_)) => assert_eq!(kind, "table", "{text}"),
+            other => panic!("expected typed failure for {text}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn perturbed_stale_queries_fail_like_the_paper() {
+    // The canonical paper failure: run the ORIGINAL target against the
+    // RENAMED database. If the rename touched its columns it must produce
+    // UnknownColumn/UnknownTable — never a panic, never silent success with
+    // wrong data.
+    let corpus = generate(&CorpusConfig::tiny(7));
+    let rob = t2v_perturb::build_rob(&corpus, 5);
+    let mut failed = 0;
+    let mut total = 0;
+    for (o, s) in rob.original.iter().zip(rob.schema.iter()).take(60) {
+        if o.target_text == s.target_text {
+            continue; // rename did not touch this query
+        }
+        total += 1;
+        let renamed_db = &rob.renamed[s.db];
+        let store = Store::synthesize(renamed_db, 1, 10);
+        match execute(&o.target, &store) {
+            Err(ExecError::UnknownColumn(_)) | Err(ExecError::UnknownTable(_)) => failed += 1,
+            Ok(_) => {} // possible when only *other* tables were renamed
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+    assert!(
+        failed * 10 >= total * 8,
+        "stale queries should mostly fail on renamed schemas: {failed}/{total}"
+    );
+}
+
+#[test]
+fn empty_store_is_not_an_error() {
+    let (corpus, _) = fixture();
+    let db = &corpus.databases[0];
+    let empty = Store::synthesize(db, 1, 0);
+    let table = &db.tables[0];
+    let col = &table.columns[1].name;
+    let q = t2v_dvq::parse(&format!(
+        "Visualize BAR SELECT {col} , COUNT({col}) FROM {} GROUP BY {col}",
+        table.name
+    ))
+    .unwrap();
+    let rs = execute(&q, &empty).unwrap();
+    assert!(rs.points.is_empty());
+}
+
+#[test]
+fn scalar_subquery_with_no_match_is_a_typed_error() {
+    let (corpus, store) = fixture();
+    let db = &corpus.databases[0];
+    // Find an FK to build a syntactically valid subquery with an impossible
+    // filter value.
+    let Some(fk) = db.foreign_keys.first() else {
+        return;
+    };
+    let from = &db.tables[fk.from_table];
+    let to = &db.tables[fk.to_table];
+    let text_col = to
+        .columns
+        .iter()
+        .find(|c| c.ctype == t2v_corpus::ColType::Text);
+    let Some(text_col) = text_col else { return };
+    let q = t2v_dvq::parse(&format!(
+        "Visualize BAR SELECT {c} , COUNT({c}) FROM {f} WHERE {fkc} = \
+         (SELECT {key} FROM {t} WHERE {tc} = 'no_such_value_anywhere') GROUP BY {c}",
+        c = from.columns[1].name,
+        f = from.name,
+        fkc = from.columns[fk.from_column].name,
+        key = to.columns[fk.to_column].name,
+        t = to.name,
+        tc = text_col.name,
+    ))
+    .unwrap();
+    match execute(&q, &store) {
+        Err(ExecError::EmptySubquery(_)) => {}
+        other => panic!("expected EmptySubquery, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_generated_query_never_panics_even_on_wrong_store() {
+    // Cross-execute queries against a *different* database's store: any
+    // result is acceptable except a panic or a non-typed error.
+    let corpus = generate(&CorpusConfig::tiny(7));
+    let store = Store::synthesize(&corpus.databases[1], 2, 12);
+    for ex in corpus.dev.iter().take(60) {
+        let _ = execute(&ex.dvq, &store);
+    }
+}

@@ -1,0 +1,175 @@
+//! Evaluation harness: run any text-to-vis model over an nvBench-Rob test
+//! set and compute the paper's metrics.
+
+use crate::metrics::{Accuracies, Tally};
+use t2v_corpus::{Corpus, Database};
+use t2v_perturb::{NvBenchRob, RobExample, RobVariant};
+
+/// A text-to-vis system under evaluation: NLQ + database → DVQ text.
+pub trait Text2VisModel {
+    fn name(&self) -> &str;
+
+    /// Translate; `None` means the model produced no usable output.
+    fn predict(&self, nlq: &str, db: &Database) -> Option<String>;
+}
+
+/// Per-example record kept for case studies and error analysis.
+#[derive(Debug, Clone)]
+pub struct PredictionRecord {
+    pub base: usize,
+    pub nlq: String,
+    pub predicted: Option<String>,
+    pub target: String,
+    pub overall_match: bool,
+}
+
+/// Result of one (model, test set) evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalRun {
+    pub model: String,
+    pub variant: RobVariant,
+    pub accuracies: Accuracies,
+    pub records: Vec<PredictionRecord>,
+}
+
+/// Evaluate `model` on one variant's test set.
+pub fn evaluate_set(
+    model: &dyn Text2VisModel,
+    corpus: &Corpus,
+    rob: &NvBenchRob,
+    variant: RobVariant,
+    limit: Option<usize>,
+) -> EvalRun {
+    let set = rob.set(variant);
+    let n = limit.unwrap_or(set.len()).min(set.len());
+    let mut tally = Tally::default();
+    let mut records = Vec::with_capacity(n);
+    for ex in &set[..n] {
+        let db = rob.database(corpus, ex);
+        let predicted = model.predict(&ex.nlq, db);
+        let parsed = predicted.as_deref().and_then(|t| t2v_dvq::parse(t).ok());
+        let overall = parsed
+            .as_ref()
+            .map(|p| t2v_dvq::components::ComponentMatch::grade(p, &ex.target).overall)
+            .unwrap_or(false);
+        tally.add(parsed.as_ref(), &ex.target);
+        records.push(PredictionRecord {
+            base: ex.base,
+            nlq: ex.nlq.clone(),
+            predicted,
+            target: ex.target_text.clone(),
+            overall_match: overall,
+        });
+    }
+    EvalRun {
+        model: model.name().to_string(),
+        variant,
+        accuracies: tally.accuracies(),
+        records,
+    }
+}
+
+/// Evaluate a model from pre-computed predictions (used when predictions are
+/// cached on disk between experiment binaries).
+pub fn evaluate_predictions(
+    model_name: &str,
+    variant: RobVariant,
+    predictions: &[Option<String>],
+    set: &[RobExample],
+) -> EvalRun {
+    assert_eq!(predictions.len(), set.len(), "prediction/target length mismatch");
+    let mut tally = Tally::default();
+    let mut records = Vec::with_capacity(set.len());
+    for (p, ex) in predictions.iter().zip(set.iter()) {
+        let parsed = p.as_deref().and_then(|t| t2v_dvq::parse(t).ok());
+        let overall = parsed
+            .as_ref()
+            .map(|q| t2v_dvq::components::ComponentMatch::grade(q, &ex.target).overall)
+            .unwrap_or(false);
+        tally.add(parsed.as_ref(), &ex.target);
+        records.push(PredictionRecord {
+            base: ex.base,
+            nlq: ex.nlq.clone(),
+            predicted: p.clone(),
+            target: ex.target_text.clone(),
+            overall_match: overall,
+        });
+    }
+    EvalRun {
+        model: model_name.to_string(),
+        variant,
+        accuracies: tally.accuracies(),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+    use t2v_perturb::build_rob;
+
+    /// An oracle that always answers with the gold DVQ.
+    struct Oracle<'a> {
+        rob: &'a NvBenchRob,
+        variant: RobVariant,
+    }
+
+    impl<'a> Text2VisModel for Oracle<'a> {
+        fn name(&self) -> &str {
+            "oracle"
+        }
+        fn predict(&self, nlq: &str, _db: &Database) -> Option<String> {
+            self.rob
+                .set(self.variant)
+                .iter()
+                .find(|e| e.nlq == nlq)
+                .map(|e| e.target_text.clone())
+        }
+    }
+
+    /// A model that always fails.
+    struct Mute;
+
+    impl Text2VisModel for Mute {
+        fn name(&self) -> &str {
+            "mute"
+        }
+        fn predict(&self, _nlq: &str, _db: &Database) -> Option<String> {
+            None
+        }
+    }
+
+    #[test]
+    fn oracle_scores_hundred_percent() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let rob = build_rob(&corpus, 1);
+        let oracle = Oracle {
+            rob: &rob,
+            variant: RobVariant::Both,
+        };
+        let run = evaluate_set(&oracle, &corpus, &rob, RobVariant::Both, Some(25));
+        assert_eq!(run.accuracies.overall, 1.0);
+        assert_eq!(run.accuracies.n, 25);
+    }
+
+    #[test]
+    fn mute_scores_zero() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let rob = build_rob(&corpus, 1);
+        let run = evaluate_set(&Mute, &corpus, &rob, RobVariant::Nlq, Some(10));
+        assert_eq!(run.accuracies.overall, 0.0);
+        assert_eq!(run.records.len(), 10);
+        assert!(run.records.iter().all(|r| !r.overall_match));
+    }
+
+    #[test]
+    fn cached_predictions_match_live_run() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let rob = build_rob(&corpus, 1);
+        let set = &rob.set(RobVariant::Schema)[..10];
+        let preds: Vec<Option<String>> = set.iter().map(|e| Some(e.target_text.clone())).collect();
+        let run = evaluate_predictions("cached", RobVariant::Schema, &preds, set);
+        assert_eq!(run.accuracies.overall, 1.0);
+    }
+}

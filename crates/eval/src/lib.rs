@@ -1,0 +1,18 @@
+//! # t2v-eval — metrics and evaluation harness
+//!
+//! Implements the paper's four metrics (Appendix A): **Vis Accuracy** (chart
+//! type), **Axis Accuracy** (x/y expressions + axis sorting), **Data
+//! Accuracy** (tables, joins, filters, grouping, binning, limits — style
+//! sensitive) and **Overall Accuracy** (exact match). Plus the
+//! [`harness::Text2VisModel`] trait every evaluated system implements, and
+//! paper-style table/CSV reporting.
+
+pub mod breakdown;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+
+pub use breakdown::{by_chart, by_hardness, error_profile, Breakdown, ErrorProfile};
+pub use harness::{evaluate_predictions, evaluate_set, EvalRun, PredictionRecord, Text2VisModel};
+pub use metrics::{Accuracies, Tally};
+pub use report::{csv_row, render_overall_table, render_table, write_csv};

@@ -1,0 +1,29 @@
+//! Quick diagnostic: prints GRED stage outputs vs gold for the first
+//! mismatching dev examples (tiny corpus).
+
+use t2v_corpus::{generate, CorpusConfig};
+use t2v_gred::{default_gred, GredConfig};
+use t2v_dvq::components::ComponentMatch;
+
+fn main() {
+    let corpus = generate(&CorpusConfig::tiny(7));
+    let gred = default_gred(&corpus, GredConfig::default());
+    let mut exact = 0;
+    let mut shown = 0;
+    for (i, ex) in corpus.dev.iter().take(30).enumerate() {
+        let out = gred.translate(&ex.nlq, &corpus.databases[ex.db]);
+        let f = out.final_dvq().unwrap_or("<none>");
+        let m = t2v_dvq::parse(f).ok().map(|p| ComponentMatch::grade(&p, &ex.dvq));
+        let ok = m.map_or(false, |m| m.overall);
+        if ok { exact += 1; } else if shown < 8 {
+            shown += 1;
+            println!("--- #{i} [{:?}]", m);
+            println!("NLQ : {}", ex.nlq);
+            println!("GOLD: {}", ex.dvq_text);
+            println!("GEN : {}", out.dvq_gen.as_deref().unwrap_or("-"));
+            println!("RTN : {}", out.dvq_rtn.as_deref().unwrap_or("-"));
+            println!("DBG : {}", out.dvq_dbg.as_deref().unwrap_or("-"));
+        }
+    }
+    println!("exact: {exact}/30");
+}

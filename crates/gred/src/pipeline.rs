@@ -1,0 +1,273 @@
+//! The GRED pipeline (paper §4.2): NLQ-Retrieval Generator → DVQ-Retrieval
+//! Retuner → Annotation-based Debugger.
+
+use crate::library::{AnnotationStore, EmbeddingLibrary};
+use t2v_corpus::{Corpus, Database};
+use t2v_embed::TextEmbedder;
+use t2v_llm::api::{ChatModel, ChatParams};
+use t2v_llm::{extract_dvq, prompts, GenExample};
+
+/// GRED hyperparameters. `k = 10` per §5.1; the ablation switches map to
+/// Table 4's rows (`w/o RTN`, `w/o DBG`, `w/o RTN&DBG`).
+#[derive(Debug, Clone)]
+pub struct GredConfig {
+    /// Retrieval depth for both NLQ and DVQ retrieval.
+    pub k: usize,
+    /// Order examples by ascending similarity (most similar nearest the
+    /// question) — the paper's choice. `false` gives the reversed ordering
+    /// exercised by the prompt-order ablation bench.
+    pub ascending_order: bool,
+    pub use_retuner: bool,
+    pub use_debugger: bool,
+}
+
+impl Default for GredConfig {
+    fn default() -> Self {
+        GredConfig {
+            k: 10,
+            ascending_order: true,
+            use_retuner: true,
+            use_debugger: true,
+        }
+    }
+}
+
+impl GredConfig {
+    pub fn without_retuner(mut self) -> Self {
+        self.use_retuner = false;
+        self
+    }
+
+    pub fn without_debugger(mut self) -> Self {
+        self.use_debugger = false;
+        self
+    }
+
+    /// Generator-only configuration (`w/o RTN&DBG`).
+    pub fn generator_only(self) -> Self {
+        self.without_retuner().without_debugger()
+    }
+}
+
+/// Intermediate and final outputs of one translation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GredOutput {
+    pub dvq_gen: Option<String>,
+    pub dvq_rtn: Option<String>,
+    pub dvq_dbg: Option<String>,
+}
+
+impl GredOutput {
+    /// The last stage that produced a DVQ.
+    pub fn final_dvq(&self) -> Option<&str> {
+        self.dvq_dbg
+            .as_deref()
+            .or(self.dvq_rtn.as_deref())
+            .or(self.dvq_gen.as_deref())
+    }
+}
+
+/// The assembled GRED system.
+pub struct Gred<M: ChatModel> {
+    pub config: GredConfig,
+    embedder: TextEmbedder,
+    library: EmbeddingLibrary,
+    annotations: AnnotationStore,
+    model: M,
+}
+
+impl<M: ChatModel> Gred<M> {
+    /// Preparatory phase: build the embedding library over `corpus.train`
+    /// with `embedder` (the pre-trained text embedding model).
+    pub fn prepare(corpus: &Corpus, embedder: TextEmbedder, model: M, config: GredConfig) -> Self {
+        let library = EmbeddingLibrary::build(corpus, &embedder);
+        Gred {
+            config,
+            embedder,
+            library,
+            annotations: AnnotationStore::new(),
+            model,
+        }
+    }
+
+    pub fn library(&self) -> &EmbeddingLibrary {
+        &self.library
+    }
+
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Translate one NLQ against `db`, reporting every stage's output.
+    pub fn translate(&self, nlq: &str, db: &Database) -> GredOutput {
+        let schema_text = db.render_prompt_schema();
+
+        // ----- stage 1: NLQ-Retrieval Generator -----
+        let qv = self.embedder.embed(nlq);
+        let mut hits = self.library.nlq_index.top_k(&qv, self.config.k);
+        // `top_k` returns best-first (descending similarity); the paper
+        // assembles the prompt in ascending order of similarity so the most
+        // similar example lands next to the question.
+        if self.config.ascending_order {
+            hits.reverse();
+        }
+        let examples: Vec<GenExample> = hits
+            .iter()
+            .map(|h| {
+                let e = &self.library.entries[h.id];
+                GenExample {
+                    db_id: e.db_id.clone(),
+                    schema_text: e.schema_text.clone(),
+                    nlq: e.nlq.clone(),
+                    dvq: e.dvq.clone(),
+                }
+            })
+            .collect();
+        let gen_answer = self.model.complete(
+            &prompts::generation_prompt(&examples, &schema_text, nlq),
+            &ChatParams::working(),
+        );
+        let dvq_gen = extract_dvq(&gen_answer);
+        let Some(dvq_gen) = dvq_gen else {
+            return GredOutput {
+                dvq_gen: None,
+                dvq_rtn: None,
+                dvq_dbg: None,
+            };
+        };
+
+        // ----- stage 2: DVQ-Retrieval Retuner -----
+        let dvq_rtn = if self.config.use_retuner {
+            let dv = self.embedder.embed(&dvq_gen);
+            let refs: Vec<String> = self
+                .library
+                .dvq_index
+                .top_k(&dv, self.config.k)
+                .iter()
+                .map(|h| self.library.entries[h.id].dvq.clone())
+                .collect();
+            let answer = self.model.complete(
+                &prompts::retune_prompt(&refs, &dvq_gen),
+                &ChatParams::working(),
+            );
+            extract_dvq(&answer)
+        } else {
+            None
+        };
+
+        // ----- stage 3: Annotation-based Debugger -----
+        let current = dvq_rtn.clone().unwrap_or_else(|| dvq_gen.clone());
+        let dvq_dbg = if self.config.use_debugger {
+            let annotations = self.annotations.annotation_for(db, &self.model);
+            let answer = self.model.complete(
+                &prompts::debug_prompt(&schema_text, &annotations, &current),
+                &ChatParams::working(),
+            );
+            extract_dvq(&answer)
+        } else {
+            None
+        };
+
+        GredOutput {
+            dvq_gen: Some(dvq_gen),
+            dvq_rtn,
+            dvq_dbg,
+        }
+    }
+
+    /// Convenience: translate and return only the final DVQ text.
+    pub fn translate_final(&self, nlq: &str, db: &Database) -> Option<String> {
+        self.translate(nlq, db).final_dvq().map(str::to_string)
+    }
+}
+
+impl<M: ChatModel> t2v_eval::Text2VisModel for Gred<M> {
+    fn name(&self) -> &str {
+        match (self.config.use_retuner, self.config.use_debugger) {
+            (true, true) => "GRED",
+            (false, true) => "GRED w/o RTN",
+            (true, false) => "GRED w/o DBG",
+            (false, false) => "GRED w/o RTN&DBG",
+        }
+    }
+
+    fn predict(&self, nlq: &str, db: &Database) -> Option<String> {
+        self.translate_final(nlq, db)
+    }
+}
+
+/// Build the default GRED over a corpus with the simulated LLM.
+pub fn default_gred(
+    corpus: &Corpus,
+    config: GredConfig,
+) -> Gred<t2v_llm::SimulatedChatModel> {
+    let embedder = TextEmbedder::default_model();
+    let model = t2v_llm::SimulatedChatModel::new(t2v_llm::LlmConfig::default());
+    Gred::prepare(corpus, embedder, model, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+
+    fn fixture() -> (Corpus, Gred<t2v_llm::SimulatedChatModel>) {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let gred = default_gred(&corpus, GredConfig::default());
+        (corpus, gred)
+    }
+
+    #[test]
+    fn translate_produces_parseable_stages() {
+        let (corpus, gred) = fixture();
+        let ex = &corpus.dev[0];
+        let out = gred.translate(&ex.nlq, &corpus.databases[ex.db]);
+        let final_dvq = out.final_dvq().expect("pipeline must produce a DVQ");
+        t2v_dvq::parse(final_dvq).unwrap();
+        assert!(out.dvq_gen.is_some());
+        assert!(out.dvq_rtn.is_some());
+        assert!(out.dvq_dbg.is_some());
+    }
+
+    #[test]
+    fn ablation_switches_suppress_stages() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let gred = default_gred(&corpus, GredConfig::default().generator_only());
+        let ex = &corpus.dev[1];
+        let out = gred.translate(&ex.nlq, &corpus.databases[ex.db]);
+        assert!(out.dvq_gen.is_some());
+        assert!(out.dvq_rtn.is_none());
+        assert!(out.dvq_dbg.is_none());
+        assert_eq!(out.final_dvq(), out.dvq_gen.as_deref());
+    }
+
+    #[test]
+    fn explicit_questions_on_original_schema_mostly_roundtrip() {
+        let (corpus, gred) = fixture();
+        let mut exact = 0;
+        let total = 30usize;
+        for ex in corpus.dev.iter().take(total) {
+            if let Some(out) = gred.translate_final(&ex.nlq, &corpus.databases[ex.db]) {
+                if let Ok(q) = t2v_dvq::parse(&out) {
+                    let m = t2v_dvq::components::ComponentMatch::grade(&q, &ex.dvq);
+                    if m.overall {
+                        exact += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            exact * 2 >= total,
+            "GRED should solve most unperturbed explicit questions, got {exact}/{total}"
+        );
+    }
+
+    #[test]
+    fn translation_is_deterministic() {
+        let (corpus, gred) = fixture();
+        let ex = &corpus.dev[2];
+        let a = gred.translate(&ex.nlq, &corpus.databases[ex.db]);
+        let b = gred.translate(&ex.nlq, &corpus.databases[ex.db]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,98 @@
+//! Chat-completion API surface, mirroring the OpenAI interface the paper
+//! calls (`openai.ChatCompletion.create`) closely enough that GRED's
+//! pipeline code reads like the paper's.
+
+/// Message role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    System,
+    User,
+    Assistant,
+}
+
+/// One chat message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatMessage {
+    pub role: Role,
+    pub content: String,
+}
+
+impl ChatMessage {
+    pub fn system(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::System,
+            content: content.into(),
+        }
+    }
+
+    pub fn user(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::User,
+            content: content.into(),
+        }
+    }
+
+    pub fn assistant(content: impl Into<String>) -> Self {
+        ChatMessage {
+            role: Role::Assistant,
+            content: content.into(),
+        }
+    }
+}
+
+/// Sampling parameters (paper §5.1 "Implementation Details").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChatParams {
+    pub temperature: f32,
+    pub frequency_penalty: f32,
+    pub presence_penalty: f32,
+}
+
+impl ChatParams {
+    /// Parameters used for database annotation generation:
+    /// `temperature=0.0, frequency_penalty=0.0, presence_penalty=0.0`.
+    pub fn annotation() -> Self {
+        ChatParams {
+            temperature: 0.0,
+            frequency_penalty: 0.0,
+            presence_penalty: 0.0,
+        }
+    }
+
+    /// Parameters used in GRED's working phase:
+    /// `temperature=0.0, frequency_penalty=-0.5, presence_penalty=-0.5`.
+    pub fn working() -> Self {
+        ChatParams {
+            temperature: 0.0,
+            frequency_penalty: -0.5,
+            presence_penalty: -0.5,
+        }
+    }
+}
+
+/// A chat model: prompt in, completion text out.
+pub trait ChatModel {
+    fn complete(&self, messages: &[ChatMessage], params: &ChatParams) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_paper_settings() {
+        let a = ChatParams::annotation();
+        assert_eq!(a.temperature, 0.0);
+        assert_eq!(a.frequency_penalty, 0.0);
+        let w = ChatParams::working();
+        assert_eq!(w.frequency_penalty, -0.5);
+        assert_eq!(w.presence_penalty, -0.5);
+    }
+
+    #[test]
+    fn message_constructors_set_roles() {
+        assert_eq!(ChatMessage::system("x").role, Role::System);
+        assert_eq!(ChatMessage::user("x").role, Role::User);
+        assert_eq!(ChatMessage::assistant("x").role, Role::Assistant);
+    }
+}

@@ -1,0 +1,294 @@
+//! Annotation-based debugging (the behaviour behind Appendix C.4 prompts).
+//!
+//! Every column in the original DVQ that does **not** exist in the schema is
+//! replaced by the schema column whose name-plus-annotation is most similar
+//! (annotations anchor canonical synonyms, see [`crate::annotate`]). Unknown
+//! table references are repaired the same way. With probability
+//! `overcorrect` the model additionally "fixes" one column that was already
+//! valid — the over-eagerness that makes full GRED slightly *worse* than
+//! `w/o DBG` on the NLQ-only variant (paper Table 4).
+
+use crate::linker::EmbedCache;
+use crate::parse::{parse_annotations, ParsedSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use t2v_dvq::ast::{ColumnRef, Dvq, Predicate, Value};
+use t2v_dvq::printer::Printer;
+use t2v_embed::{cosine, TextEmbedder};
+
+/// Debug `original` against `schema` + `annotations`.
+pub fn debug_dvq(
+    schema: &ParsedSchema,
+    annotations: &str,
+    original: &str,
+    embedder: &TextEmbedder,
+    overcorrect: f64,
+    seed: u64,
+) -> String {
+    let Ok(mut q) = t2v_dvq::parse(original) else {
+        return format!("### Revised DVQ:\n# {original}");
+    };
+    let mut cache = EmbedCache::new(embedder);
+    let ann: Vec<(String, String)> = parse_annotations(annotations);
+    let ann_of = |col: &str| -> Option<&str> {
+        ann.iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(col))
+            .map(|(_, d)| d.as_str())
+    };
+
+    // Candidate descriptor per schema column: "name words + annotation".
+    let columns: Vec<String> = schema.all_columns().map(|(_, c)| c.to_string()).collect();
+    let descriptors: Vec<String> = columns
+        .iter()
+        .map(|c| match ann_of(c) {
+            Some(d) => format!("{c} {d}"),
+            None => c.clone(),
+        })
+        .collect();
+
+    let best_for = |cache: &mut EmbedCache, bad: &str| -> Option<(usize, f32)> {
+        if columns.is_empty() {
+            return None;
+        }
+        let bv = cache.get(bad);
+        let mut best = (0usize, f32::MIN);
+        for (i, (name, desc)) in columns.iter().zip(descriptors.iter()).enumerate() {
+            let s = cosine(&bv, &cache.get(name)).max(cosine(&bv, &cache.get(desc)));
+            if s > best.1 {
+                best = (i, s);
+            }
+        }
+        Some(best)
+    };
+
+    // Consistent replacement per distinct bad name.
+    let mut memo: HashMap<String, String> = HashMap::new();
+    let aliases = alias_names(&q);
+    let mut fix_column = |cache: &mut EmbedCache, c: &mut ColumnRef| {
+        if schema.has_column(&c.column) || c.column == "*" {
+            return;
+        }
+        let key = c.column.to_ascii_lowercase();
+        if let Some(fixed) = memo.get(&key) {
+            c.column = fixed.clone();
+            return;
+        }
+        if let Some((i, _)) = best_for(cache, &c.column) {
+            memo.insert(key, columns[i].clone());
+            c.column = columns[i].clone();
+        }
+    };
+    q.visit_columns_mut(&mut |c: &mut ColumnRef| fix_column(&mut cache, c));
+
+    // Repair unknown table references (FROM, JOIN, subqueries).
+    let table_names: Vec<String> = schema.tables.iter().map(|t| t.name.clone()).collect();
+    let fix_table = |cache: &mut EmbedCache, name: &mut String| {
+        if schema.has_table(name) || table_names.is_empty() {
+            return;
+        }
+        let bv = cache.get(name);
+        let mut best = (0usize, f32::MIN);
+        for (i, t) in table_names.iter().enumerate() {
+            let s = cosine(&bv, &cache.get(t));
+            if s > best.1 {
+                best = (i, s);
+            }
+        }
+        *name = table_names[best.0].clone();
+    };
+    fix_table(&mut cache, &mut q.from.name);
+    for j in &mut q.joins {
+        fix_table(&mut cache, &mut j.table.name);
+    }
+    if let Some(w) = &mut q.where_clause {
+        for p in w.predicates_mut() {
+            match p {
+                Predicate::In { subquery, .. } => fix_table(&mut cache, &mut subquery.from),
+                Predicate::Compare {
+                    value: Value::Subquery(sq),
+                    ..
+                } => fix_table(&mut cache, &mut sq.from),
+                _ => {}
+            }
+        }
+    }
+
+    // Repair stale table-name qualifiers (aliases are left alone).
+    q.visit_columns_mut(&mut |c: &mut ColumnRef| {
+        if let Some(qual) = &c.qualifier {
+            let lower = qual.to_ascii_lowercase();
+            if !aliases.contains(&lower) && !schema.has_table(qual) {
+                let mut name = qual.clone();
+                fix_table(&mut cache, &mut name);
+                c.qualifier = Some(name);
+            }
+        }
+    });
+
+    // Over-correction: occasionally "improve" a valid column.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdb6);
+    if rng.gen_bool(overcorrect) {
+        let mut valid_refs: Vec<String> = Vec::new();
+        q.visit_columns(&mut |c: &ColumnRef| {
+            if schema.has_column(&c.column) && c.column != "*" {
+                valid_refs.push(c.column.clone());
+            }
+        });
+        if !valid_refs.is_empty() {
+            let victim = valid_refs[rng.gen_range(0..valid_refs.len())].clone();
+            // Second-best candidate for the victim name.
+            let vv = cache.get(&victim);
+            let mut scored: Vec<(usize, f32)> = columns
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let s = cosine(&vv, &cache.get(name))
+                        .max(cosine(&vv, &cache.get(&descriptors[i])));
+                    (i, s)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((second, score)) = scored.get(1).copied() {
+                if score > 0.0 && !columns[second].eq_ignore_ascii_case(&victim) {
+                    q.visit_columns_mut(&mut |c: &mut ColumnRef| {
+                        if c.column.eq_ignore_ascii_case(&victim) {
+                            c.column = columns[second].clone();
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    format!("### Revised DVQ:\n# {}", Printer::default().print(&q))
+}
+
+fn alias_names(q: &Dvq) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(a) = &q.from.alias {
+        out.push(a.to_ascii_lowercase());
+    }
+    for j in &q.joins {
+        if let Some(a) = &j.table.alias {
+            out.push(a.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::annotate_schema;
+    use crate::parse::SchemaTable;
+    use t2v_corpus::Lexicon;
+    use t2v_embed::EmbedConfig;
+
+    fn embedder() -> TextEmbedder {
+        TextEmbedder::new(
+            Lexicon::builtin(),
+            EmbedConfig {
+                lexicon_coverage: 1.0,
+                ..EmbedConfig::default()
+            },
+        )
+    }
+
+    fn schema() -> ParsedSchema {
+        ParsedSchema {
+            tables: vec![SchemaTable {
+                name: "staff_member".into(),
+                columns: vec!["wage".into(), "Dept_ID".into(), "town".into()],
+            }],
+            foreign_keys: vec![],
+        }
+    }
+
+    fn extract(answer: &str) -> String {
+        answer
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("# ").map(str::to_string))
+            .unwrap()
+    }
+
+    #[test]
+    fn stale_columns_are_replaced_via_annotations() {
+        let e = embedder();
+        let ann = annotate_schema(&schema(), &e, 0.0, 1);
+        let out = extract(&debug_dvq(
+            &schema(),
+            &ann,
+            "Visualize BAR SELECT SALARY , COUNT(SALARY) FROM staff_member GROUP BY SALARY",
+            &e,
+            0.0,
+            1,
+        ));
+        assert_eq!(
+            out,
+            "Visualize BAR SELECT wage , COUNT(wage) FROM staff_member GROUP BY wage"
+        );
+    }
+
+    #[test]
+    fn valid_columns_are_untouched() {
+        let e = embedder();
+        let ann = annotate_schema(&schema(), &e, 0.0, 1);
+        let original = "Visualize BAR SELECT town , COUNT(town) FROM staff_member GROUP BY town";
+        let out = extract(&debug_dvq(&schema(), &ann, original, &e, 0.0, 1));
+        assert_eq!(out, original);
+    }
+
+    #[test]
+    fn unknown_tables_are_repaired() {
+        let e = embedder();
+        let ann = annotate_schema(&schema(), &e, 0.0, 1);
+        let out = extract(&debug_dvq(
+            &schema(),
+            &ann,
+            "Visualize BAR SELECT town , COUNT(town) FROM employees GROUP BY town",
+            &e,
+            0.0,
+            1,
+        ));
+        assert!(out.contains("FROM staff_member"), "{out}");
+    }
+
+    #[test]
+    fn consistent_replacement_across_occurrences() {
+        let e = embedder();
+        let ann = annotate_schema(&schema(), &e, 0.0, 1);
+        let out = extract(&debug_dvq(
+            &schema(),
+            &ann,
+            "Visualize BAR SELECT department_id , COUNT(department_id) FROM staff_member \
+             ORDER BY department_id DESC",
+            &e,
+            0.0,
+            1,
+        ));
+        assert_eq!(out.matches("Dept_ID").count(), 3, "{out}");
+    }
+
+    #[test]
+    fn overcorrection_changes_a_valid_column_sometimes() {
+        let e = embedder();
+        let ann = annotate_schema(&schema(), &e, 0.0, 1);
+        let original = "Visualize BAR SELECT town , COUNT(town) FROM staff_member GROUP BY town";
+        let mut changed = 0;
+        for seed in 0..20 {
+            let out = extract(&debug_dvq(&schema(), &ann, original, &e, 1.0, seed));
+            if out != original {
+                changed += 1;
+            }
+        }
+        assert!(changed > 0, "overcorrection never fired");
+    }
+
+    #[test]
+    fn unparseable_input_passes_through() {
+        let e = embedder();
+        let out = debug_dvq(&schema(), "", "garbage input", &e, 0.0, 1);
+        assert!(out.contains("garbage input"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Semantic schema linking: mapping a *slot* (a column name from a template
+//! DVQ, or a noun phrase from the question) onto a column of the target
+//! schema.
+//!
+//! Scores combine two signals:
+//!
+//! * **direct** — embedding similarity between the slot and the candidate
+//!   column name (synonym renames bridge through the concept feature);
+//! * **bridged** — the best question phrase that is simultaneously similar
+//!   to the slot *and* to the candidate (`max_P sim(P, slot) · sim(P, cand)`),
+//!   which aligns each slot with "its" phrase and keeps different slots from
+//!   all collapsing onto the single best-matching column.
+
+use std::collections::HashMap;
+use t2v_embed::{cosine, TextEmbedder};
+
+/// Embedding cache so repeated phrases are embedded once per query.
+pub struct EmbedCache<'a> {
+    embedder: &'a TextEmbedder,
+    cache: HashMap<String, Vec<f32>>,
+}
+
+impl<'a> EmbedCache<'a> {
+    pub fn new(embedder: &'a TextEmbedder) -> Self {
+        EmbedCache {
+            embedder,
+            cache: HashMap::new(),
+        }
+    }
+
+    pub fn get(&mut self, text: &str) -> Vec<f32> {
+        if let Some(v) = self.cache.get(text) {
+            return v.clone();
+        }
+        let v = self.embedder.embed(text);
+        self.cache.insert(text.to_string(), v.clone());
+        v
+    }
+}
+
+/// Word n-grams (n = 1..=3) of a text, lowercased.
+pub fn phrases(text: &str) -> Vec<String> {
+    let words = TextEmbedder::tokenize(text);
+    let mut out = Vec::with_capacity(words.len() * 3);
+    for n in 1..=3usize {
+        for w in words.windows(n) {
+            out.push(w.join(" "));
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// A linking outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkResult {
+    pub candidate: usize,
+    pub score: f32,
+}
+
+/// Link `slot` to the best of `candidates` using the question phrases as
+/// bridges. Returns `None` for an empty candidate list.
+pub fn link_slot(
+    cache: &mut EmbedCache,
+    slot: &str,
+    question_phrases: &[String],
+    candidates: &[String],
+) -> Option<LinkResult> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let slot_vec = cache.get(slot);
+    // Precompute phrase similarities to the slot, keep the promising ones.
+    let mut bridge_phrases: Vec<(Vec<f32>, f32)> = Vec::new();
+    for p in question_phrases {
+        let pv = cache.get(p);
+        let s = cosine(&pv, &slot_vec);
+        if s > 0.25 {
+            bridge_phrases.push((pv, s));
+        }
+    }
+    let mut best = LinkResult {
+        candidate: 0,
+        score: f32::MIN,
+    };
+    for (i, cand) in candidates.iter().enumerate() {
+        let cv = cache.get(cand);
+        let direct = cosine(&cv, &slot_vec);
+        let mut bridged = 0.0f32;
+        for (pv, ps) in &bridge_phrases {
+            let pc = cosine(pv, &cv);
+            bridged = bridged.max(ps * pc);
+        }
+        let score = direct.max(bridged);
+        if score > best.score {
+            best = LinkResult {
+                candidate: i,
+                score,
+            };
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_embed::{EmbedConfig, TextEmbedder};
+
+    fn embedder() -> TextEmbedder {
+        TextEmbedder::new(
+            t2v_corpus::Lexicon::builtin(),
+            EmbedConfig {
+                lexicon_coverage: 1.0,
+                ..EmbedConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn exact_name_links_directly() {
+        let e = embedder();
+        let mut cache = EmbedCache::new(&e);
+        let candidates = vec!["SALARY".to_string(), "CITY".to_string()];
+        let r = link_slot(&mut cache, "salary", &[], &candidates).unwrap();
+        assert_eq!(r.candidate, 0);
+        assert!(r.score > 0.9);
+    }
+
+    #[test]
+    fn synonym_rename_links_through_concept() {
+        let e = embedder();
+        let mut cache = EmbedCache::new(&e);
+        let candidates = vec!["wage".to_string(), "town".to_string()];
+        let r = link_slot(&mut cache, "SALARY", &[], &candidates).unwrap();
+        assert_eq!(r.candidate, 0, "salary should link to wage");
+    }
+
+    #[test]
+    fn bridging_disambiguates_slots() {
+        let e = embedder();
+        let mut cache = EmbedCache::new(&e);
+        let q = phrases("show the mean pay for every municipality");
+        // Slot "salary" should land on "wage", slot "city" on "town".
+        let candidates = vec!["wage".to_string(), "town".to_string()];
+        let r1 = link_slot(&mut cache, "salary", &q, &candidates).unwrap();
+        let r2 = link_slot(&mut cache, "city", &q, &candidates).unwrap();
+        assert_eq!(r1.candidate, 0);
+        assert_eq!(r2.candidate, 1);
+    }
+
+    #[test]
+    fn phrases_builds_unique_ngrams() {
+        let p = phrases("a b a b");
+        assert!(p.contains(&"a".to_string()));
+        assert!(p.contains(&"a b".to_string()));
+        assert!(p.contains(&"a b a".to_string()));
+        let unique: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(unique.len(), p.len());
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let e = embedder();
+        let mut cache = EmbedCache::new(&e);
+        assert!(link_slot(&mut cache, "x", &[], &[]).is_none());
+    }
+}

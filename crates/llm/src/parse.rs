@@ -1,0 +1,284 @@
+//! Prompt parsing — how the simulated LLM "reads" its input.
+//!
+//! The model receives only the rendered prompt text (exactly what GPT-3.5
+//! would see) and recovers structure from the Appendix C layouts.
+
+/// A table as read from a prompt schema block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaTable {
+    pub name: String,
+    pub columns: Vec<String>,
+}
+
+/// A parsed `### Database Schemas:` block.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedSchema {
+    pub tables: Vec<SchemaTable>,
+    /// (from_table, from_column, to_table, to_column)
+    pub foreign_keys: Vec<(String, String, String, String)>,
+}
+
+impl ParsedSchema {
+    /// All column names across tables.
+    pub fn all_columns(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.tables
+            .iter()
+            .flat_map(|t| t.columns.iter().map(move |c| (t.name.as_str(), c.as_str())))
+    }
+
+    pub fn has_column(&self, name: &str) -> bool {
+        self.all_columns()
+            .any(|(_, c)| c.eq_ignore_ascii_case(name))
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables
+            .iter()
+            .any(|t| t.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Parse schema lines (`# Table X, columns = [ * , A , B ]`).
+pub fn parse_schema(text: &str) -> ParsedSchema {
+    let mut out = ParsedSchema::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("# Table ") {
+            if let Some((name, cols)) = rest.split_once(", columns = [") {
+                let cols = cols.trim_end_matches(']');
+                let columns: Vec<String> = cols
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|c| !c.is_empty() && *c != "*")
+                    .map(str::to_string)
+                    .collect();
+                out.tables.push(SchemaTable {
+                    name: name.trim().to_string(),
+                    columns,
+                });
+            }
+        } else if let Some(rest) = line.strip_prefix("# Foreign_keys = [") {
+            let body = rest.trim_end_matches(']');
+            for pair in body.split(',') {
+                if let Some((l, r)) = pair.split_once('=') {
+                    let parse_ref = |s: &str| -> Option<(String, String)> {
+                        let (t, c) = s.trim().split_once('.')?;
+                        Some((t.to_string(), c.to_string()))
+                    };
+                    if let (Some((lt, lc)), Some((rt, rc))) = (parse_ref(l), parse_ref(r)) {
+                        out.foreign_keys.push((lt, lc, rt, rc));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One in-context example of a generation prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedExample {
+    pub schema: ParsedSchema,
+    pub nlq: String,
+    pub dvq: String,
+}
+
+/// A parsed C.2 generation prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedGeneration {
+    pub examples: Vec<ParsedExample>,
+    pub schema: ParsedSchema,
+    pub nlq: String,
+}
+
+/// Parse the generation prompt body.
+pub fn parse_generation(text: &str) -> Option<ParsedGeneration> {
+    let mut examples = Vec::new();
+    let mut final_block: Option<(ParsedSchema, String)> = None;
+    for block in text.split("### Database Schemas:").skip(1) {
+        let schema = parse_schema(block);
+        let nlq = between(block, "### Natural Language Question:", "### Data Visualization Query:")
+            .map(|s| s.trim().trim_start_matches('#').trim().trim_matches('"').to_string())?;
+        if let Some(answer) = block.split("### Data Visualization Query:").nth(1) {
+            let answer = answer.trim();
+            if let Some(dvq) = answer.strip_prefix("A:") {
+                let dvq_line = dvq.trim().lines().next().unwrap_or("").trim().to_string();
+                examples.push(ParsedExample {
+                    schema,
+                    nlq,
+                    dvq: dvq_line,
+                });
+                continue;
+            }
+        }
+        final_block = Some((schema, nlq));
+    }
+    let (schema, nlq) = final_block?;
+    Some(ParsedGeneration {
+        examples,
+        schema,
+        nlq,
+    })
+}
+
+/// Parse the C.3 retune prompt: reference DVQs + original DVQ.
+pub fn parse_retune(text: &str) -> Option<(Vec<String>, String)> {
+    let refs_block = between(text, "### Reference DVQs:", "####")?;
+    let mut refs = Vec::new();
+    for line in refs_block.lines() {
+        let line = line.trim();
+        if let Some(pos) = line.find(" - ") {
+            let candidate = &line[pos + 3..];
+            if candidate.starts_with("Visualize") {
+                refs.push(candidate.trim().to_string());
+            }
+        }
+    }
+    let original = original_dvq(text)?;
+    Some((refs, original))
+}
+
+/// Parse the C.4 debug prompt: schema, annotations, original DVQ.
+pub fn parse_debug(text: &str) -> Option<(ParsedSchema, String, String)> {
+    let schema_block = between(text, "### Database Schemas:", "### Natural Language Annotations:")?;
+    let schema = parse_schema(&schema_block);
+    let annotations = between(
+        text,
+        "### Natural Language Annotations:",
+        "#### Given Database Schemas",
+    )?;
+    let original = original_dvq(text)?;
+    Some((schema, annotations, original))
+}
+
+/// Parse the C.1 annotation prompt: just the schema block.
+pub fn parse_annotation_request(text: &str) -> Option<ParsedSchema> {
+    let block = between(text, "### Database Schemas:", "### Natural Language Annotations:")?;
+    let schema = parse_schema(&block);
+    if schema.tables.is_empty() {
+        None
+    } else {
+        Some(schema)
+    }
+}
+
+fn original_dvq(text: &str) -> Option<String> {
+    let pos = text.rfind("### Original DVQ:")?;
+    let rest = &text[pos..];
+    for line in rest.lines().skip(1) {
+        let line = line.trim();
+        if let Some(stripped) = line.strip_prefix('#') {
+            let s = stripped.trim();
+            if !s.is_empty() {
+                return Some(s.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn between(text: &str, start: &str, end: &str) -> Option<String> {
+    let s = text.find(start)? + start.len();
+    let rest = &text[s..];
+    let e = rest.find(end).unwrap_or(rest.len());
+    Some(rest[..e].to_string())
+}
+
+/// Annotation lookup: column name (lowercased) → description text.
+pub fn parse_annotations(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("- ") {
+            if let Some((name, desc)) = rest.split_once(':') {
+                let name = name.trim();
+                // Skip table-level bullets ("Stores data related to ...").
+                if !name.contains(' ') && !desc.trim().is_empty() {
+                    out.push((name.to_ascii_lowercase(), desc.trim().to_string()));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts;
+    use t2v_corpus::{generate, CorpusConfig};
+
+    #[test]
+    fn schema_roundtrip_through_prompt_format() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let db = &corpus.databases[0];
+        let parsed = parse_schema(&db.render_prompt_schema());
+        assert_eq!(parsed.tables.len(), db.tables.len());
+        for (t, pt) in db.tables.iter().zip(parsed.tables.iter()) {
+            assert_eq!(t.name, pt.name);
+            assert_eq!(
+                t.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>(),
+                pt.columns
+            );
+        }
+        assert_eq!(parsed.foreign_keys.len(), db.foreign_keys.len());
+    }
+
+    #[test]
+    fn generation_prompt_roundtrip() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let db = &corpus.databases[0];
+        let examples: Vec<prompts::GenExample> = corpus.train[..3]
+            .iter()
+            .map(|e| prompts::GenExample {
+                db_id: corpus.databases[e.db].id.clone(),
+                schema_text: corpus.databases[e.db].render_prompt_schema(),
+                nlq: e.nlq.clone(),
+                dvq: e.dvq_text.clone(),
+            })
+            .collect();
+        let msgs = prompts::generation_prompt(&examples, &db.render_prompt_schema(), "Show things.");
+        let parsed = parse_generation(&msgs[1].content).unwrap();
+        assert_eq!(parsed.examples.len(), 3);
+        assert_eq!(parsed.examples[0].nlq, corpus.train[0].nlq);
+        assert_eq!(parsed.examples[2].dvq, corpus.train[2].dvq_text);
+        assert_eq!(parsed.nlq, "Show things.");
+        assert!(!parsed.schema.tables.is_empty());
+    }
+
+    #[test]
+    fn retune_prompt_roundtrip() {
+        let refs = vec![
+            "Visualize BAR SELECT a , b FROM t".to_string(),
+            "Visualize PIE SELECT c , COUNT(c) FROM u GROUP BY c".to_string(),
+        ];
+        let msgs = prompts::retune_prompt(&refs, "Visualize BAR SELECT a , b FROM t WHERE x <> 1");
+        let (parsed_refs, original) = parse_retune(&msgs[1].content).unwrap();
+        assert_eq!(parsed_refs, refs);
+        assert_eq!(original, "Visualize BAR SELECT a , b FROM t WHERE x <> 1");
+    }
+
+    #[test]
+    fn debug_prompt_roundtrip() {
+        let msgs = prompts::debug_prompt(
+            "# Table t, columns = [ * , wage , city ]\n# Foreign_keys = [  ]\n",
+            "Table t:\n- Columns:\n  - wage: The wage (salary).\n  - city: The city.\n",
+            "Visualize BAR SELECT salary , COUNT(salary) FROM t GROUP BY salary",
+        );
+        let (schema, ann, original) = parse_debug(&msgs[1].content).unwrap();
+        assert!(schema.has_column("wage"));
+        assert!(ann.contains("The wage (salary)"));
+        assert!(original.starts_with("Visualize BAR SELECT salary"));
+        let lookup = parse_annotations(&ann);
+        assert_eq!(lookup.len(), 2);
+        assert_eq!(lookup[0].0, "wage");
+    }
+
+    #[test]
+    fn annotation_request_roundtrip() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let msgs = prompts::annotation_prompt(&corpus.databases[1]);
+        let parsed = parse_annotation_request(&msgs[1].content).unwrap();
+        assert_eq!(parsed.tables.len(), corpus.databases[1].tables.len());
+    }
+}

@@ -1,0 +1,925 @@
+//! NLQ intent detection — the simulated LLM's language understanding.
+//!
+//! A real GPT-3.5 understands both nvBench's explicit phrasing and the
+//! paraphrased Rob phrasing, with occasional gaps. We model that as a
+//! pattern library over the corpus's NL surface forms: explicit markers are
+//! always known (they appear in the in-context examples), while a seeded
+//! fraction of *paraphrase* markers is unknown
+//! (sampled by [`PatternKnowledge::sample`]) — unknown phrasings degrade
+//! into best-guess interpretations, producing the realistic error mass that
+//! GRED's components then partially recover.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use t2v_dvq::ast::{AggFunc, BinUnit, ChartType, SortDir};
+
+/// A detected filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterKind {
+    Cmp { op: CmpIntent, value: LitValue },
+    Between { lo: i64, hi: i64 },
+    Like { pattern: String },
+    NotNull,
+    EqSub { select_phrase: String, table_phrase: String, filter: Option<(String, LitValue)> },
+    InSub { select_phrase: String, table_phrase: String },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpIntent {
+    Eq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum LitValue {
+    Num(i64),
+    Text(String),
+}
+
+/// One filter with its column phrase and connective to the previous filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterIntent {
+    pub or_connective: bool,
+    pub col_phrase: String,
+    pub kind: FilterKind,
+}
+
+/// Everything the model could read off the question.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Intents {
+    pub chart: Option<ChartType>,
+    pub count_y: bool,
+    pub agg: Option<AggFunc>,
+    pub order_dir: Option<SortDir>,
+    /// true = Y axis, false = X axis (when the question names one).
+    pub order_on_y: Option<bool>,
+    pub limit: Option<u64>,
+    pub bin_unit: Option<BinUnit>,
+    pub bin_col_phrase: Option<String>,
+    pub color_phrase: Option<String>,
+    pub group_phrase: Option<String>,
+    pub filters: Vec<FilterIntent>,
+    /// Noun phrase describing the x axis, if the frame exposes one.
+    pub x_phrase: Option<String>,
+    /// Noun phrase describing the y axis (aggregate argument or plain).
+    pub y_phrase: Option<String>,
+    /// Noun phrase describing the source table.
+    pub table_phrase: Option<String>,
+}
+
+/// Which paraphrase markers this model instance knows.
+#[derive(Debug, Clone)]
+pub struct PatternKnowledge {
+    unknown: HashSet<&'static str>,
+}
+
+/// Paraphrase-mode relation markers that may be unknown to the model.
+const PARAPHRASE_MARKERS: &[&str] = &[
+    "falls between",
+    "lies within",
+    "exceeds",
+    "is above",
+    "stays below",
+    "is under",
+    "does not exceed",
+    "reaches at least",
+    "is exactly",
+    "corresponds to",
+    "differs from",
+    "is anything but",
+    "has a non-empty value",
+    "is recorded",
+    "contains the text",
+    "matches the",
+    "appears among the",
+];
+
+impl PatternKnowledge {
+    /// Everything known (used in unit tests and the upper-bound ablation).
+    pub fn full() -> Self {
+        PatternKnowledge {
+            unknown: HashSet::new(),
+        }
+    }
+
+    /// Sample knowledge: each paraphrase marker is known with probability
+    /// `paraphrase_coverage`.
+    pub fn sample(seed: u64, paraphrase_coverage: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9a77e2);
+        let mut unknown = HashSet::new();
+        for m in PARAPHRASE_MARKERS {
+            if !rng.gen_bool(paraphrase_coverage) {
+                unknown.insert(*m);
+            }
+        }
+        PatternKnowledge { unknown }
+    }
+
+    fn knows(&self, marker: &'static str) -> bool {
+        !self.unknown.contains(marker)
+    }
+}
+
+/// Detect all intents in `nlq`.
+pub fn detect(nlq: &str, knowledge: &PatternKnowledge) -> Intents {
+    let text = nlq.to_ascii_lowercase();
+    let mut out = Intents {
+        chart: detect_chart(&text),
+        ..Intents::default()
+    };
+
+    // Aggregation over y.
+    if contains_any(
+        &text,
+        &[
+            "number of",
+            "how many",
+            "counting the occurrences",
+            "frequency of",
+            "count of",
+        ],
+    ) {
+        out.count_y = true;
+        out.agg = Some(AggFunc::Count);
+    } else if contains_any(&text, &["average", "mean ", "the typical"]) {
+        out.agg = Some(AggFunc::Avg);
+    } else if contains_any(&text, &["sum of", "the combined", "overall total"]) {
+        out.agg = Some(AggFunc::Sum);
+    } else if contains_any(&text, &["minimum", "smallest", "the lowest "]) {
+        out.agg = Some(AggFunc::Min);
+    } else if contains_any(&text, &["maximum", "largest", "the highest "]) {
+        out.agg = Some(AggFunc::Max);
+    }
+
+    // Ordering. The short keywords ("asc"/"desc") must match whole words —
+    // "Description" contains "desc"!
+    if contains_word(&text, "asc")
+        || contains_word(&text, "ascending")
+        || contains_any(&text, &["low to high", "arranged upward", "from low to high"])
+    {
+        out.order_dir = Some(SortDir::Asc);
+    }
+    if contains_word(&text, "desc")
+        || contains_word(&text, "descending")
+        || contains_any(
+            &text,
+            &["arranged downward", "highest to the lowest", "high to low"],
+        )
+    {
+        out.order_dir = Some(SortDir::Desc);
+    }
+    if out.order_dir.is_some() {
+        if contains_any(&text, &["by the y", "y axis", "y-axis"]) {
+            out.order_on_y = Some(true);
+        } else if contains_any(&text, &["by the x", "x axis", "x-axis"]) {
+            out.order_on_y = Some(false);
+        }
+    }
+
+    // Limit.
+    if let Some(n) = number_after(&text, "top ") {
+        out.limit = Some(n as u64);
+    } else if let Some(n) = number_after(&text, "first ") {
+        out.limit = Some(n as u64);
+    }
+
+    // Binning.
+    for (marker, unit) in [
+        ("by year", BinUnit::Year),
+        ("by month", BinUnit::Month),
+        ("by day", BinUnit::Day),
+        ("by weekday", BinUnit::Weekday),
+    ] {
+        if let Some(pos) = text.find("bin ") {
+            if text[pos..].contains(marker) {
+                out.bin_unit = Some(unit);
+                // "bin {col} by {unit}"
+                let after_bin = &text[pos + 4..];
+                if let Some(by) = after_bin.find(" by ") {
+                    out.bin_col_phrase = Some(after_bin[..by].trim().to_string());
+                }
+            }
+        }
+    }
+    if out.bin_unit.is_none() {
+        for (marker, unit) in [
+            ("yearly", BinUnit::Year),
+            ("annual", BinUnit::Year),
+            ("monthly", BinUnit::Month),
+            ("per-month", BinUnit::Month),
+            ("daily", BinUnit::Day),
+            ("per-day", BinUnit::Day),
+            ("weekday-by-weekday", BinUnit::Weekday),
+            ("per-weekday", BinUnit::Weekday),
+        ] {
+            if text.contains(marker) {
+                out.bin_unit = Some(unit);
+                break;
+            }
+        }
+    }
+
+    // Colour channel.
+    for marker in [
+        "colored by ",
+        "broken down by ",
+        "separated by ",
+        "one series per ",
+        "grouped by ",
+    ] {
+        if let Some(pos) = text.find(marker) {
+            let rest = &text[pos + marker.len()..];
+            out.color_phrase = Some(clause_head(rest));
+            break;
+        }
+    }
+
+    // Explicit group-by attribute.
+    for marker in ["group by attribute ", "group by "] {
+        if let Some(pos) = text.find(marker) {
+            let rest = &text[pos + marker.len()..];
+            let head = clause_head(rest);
+            if out.color_phrase.as_deref() != Some(head.as_str()) {
+                out.group_phrase = Some(head);
+            }
+            break;
+        }
+    }
+
+    // Filters.
+    out.filters = detect_filters(&text, knowledge);
+
+    // Axis and table phrases.
+    let (x, y) = detect_axes(&text, &out);
+    out.x_phrase = x;
+    out.y_phrase = y;
+    out.table_phrase = detect_table(&text);
+    out
+}
+
+/// Stop markers that terminate a noun phrase inside the main clause.
+const PHRASE_STOPS: &[&str] = &[
+    " from the ", " from ", " among the ", " in ", " using ", " presented ", " there ",
+    " entries", " of all ", " and ", " over ", " across ", " against ", " for every ",
+    " by ", " as ", ",", ".", "?",
+];
+
+fn head_until(rest: &str, extra_stops: &[&str]) -> String {
+    let mut end = rest.len();
+    for stop in PHRASE_STOPS.iter().copied().chain(extra_stops.iter().copied()) {
+        if let Some(p) = rest.find(stop) {
+            end = end.min(p);
+        }
+    }
+    rest[..end]
+        .trim()
+        .trim_end_matches(['.', ',', '?'])
+        .to_string()
+}
+
+fn after<'a>(text: &'a str, marker: &str) -> Option<&'a str> {
+    text.find(marker).map(|p| &text[p + marker.len()..])
+}
+
+/// Extract x / y noun phrases depending on the frame family.
+fn detect_axes(text: &str, out: &Intents) -> (Option<String>, Option<String>) {
+    // Count frames: the counted column is x.
+    if out.count_y {
+        for m in [
+            "the number of ",
+            "number of ",
+            "how many ",
+            "occurrences of every ",
+            "frequency of each ",
+            "count of ",
+        ] {
+            if let Some(rest) = after(text, m) {
+                let head = head_until(rest, &[]);
+                if !head.is_empty() {
+                    return (Some(head), None);
+                }
+            }
+        }
+        return (None, None);
+    }
+
+    // Aggregate frames: "... {agg} {y} over/across/against/for every {x} ...".
+    if out.agg.is_some() {
+        const AGG_MARKERS: &[&str] = &[
+            "average of ", "sum of ", "minimum of ", "maximum of ",
+            "the mean ", "the typical ", "the average ", "the combined ",
+            "overall total of ", "the smallest ", "the lowest ", "the largest ",
+            "the highest ",
+        ];
+        for m in AGG_MARKERS {
+            if let Some(rest) = after(text, m) {
+                let y = head_until(rest, &[]);
+                let mut x = [" over the ", " over ", " across the ", " against the ", " for every "]
+                    .iter()
+                    .find_map(|xm| after(rest, xm))
+                    .map(|r| head_until(r, &[]));
+                if x.is_none() {
+                    // Frames that name x before the aggregate:
+                    // "distribution of {x} and {agg} {y}" / "Show {x} and ...".
+                    x = after(text, "distribution of ")
+                        .or_else(|| after(text, "show "))
+                        .map(|r| head_until(r, &[]));
+                }
+                if !y.is_empty() {
+                    return (x.filter(|s| !s.is_empty()), Some(y));
+                }
+            }
+        }
+        return (None, None);
+    }
+
+    // Plain-column frames.
+    if let Some(rest) = after(text, "plot their ") {
+        let x = head_until(rest, &[]);
+        let y = after(rest, "against the ").map(|r| head_until(r, &[]));
+        return (Some(x), y);
+    }
+    if let Some(rest) = after(text, "chart the ") {
+        let y = head_until(rest, &[]);
+        let x = after(rest, "for every ").map(|r| head_until(r, &[]));
+        return (x, Some(y));
+    }
+    if let Some(rest) = after(text, "find the ") {
+        let x = head_until(rest, &[]);
+        let y = after(rest, " and ").map(|r| head_until(r, &[]));
+        return (Some(x), y);
+    }
+    for m in ["show the ", "present the "] {
+        if let Some(rest) = after(text, m) {
+            let y = head_until(rest, &[]);
+            let x = after(rest, " by ").map(|r| head_until(r, &[]));
+            if x.is_some() {
+                return (x, Some(y));
+            }
+        }
+    }
+    if let Some(rest) = after(text, " about ") {
+        // "about {x} and {y} from {t}"
+        let x = head_until(rest, &[]);
+        let y = after(rest, " and ").map(|r| head_until(r, &[]));
+        if y.as_deref().is_some_and(|s| !s.is_empty()) && !x.is_empty() {
+            return (Some(x), y);
+        }
+    }
+    (None, None)
+}
+
+/// Extract the table phrase ("from {t}", "among the {t}", "of all {t}",
+/// "for all {t}").
+fn detect_table(text: &str) -> Option<String> {
+    for m in [" from the ", " from ", " among the ", " of all ", "for all "] {
+        if let Some(rest) = after(text, m) {
+            let head = head_until(rest, &[" data", " records"]);
+            if head.is_empty()
+                || head.starts_with("low")
+                || head.starts_with("the highest")
+                || head.starts_with("high")
+            {
+                continue;
+            }
+            return Some(head);
+        }
+    }
+    None
+}
+
+fn detect_chart(text: &str) -> Option<ChartType> {
+    const TABLE: &[(&str, ChartType)] = &[
+        ("stacked bar", ChartType::StackedBar),
+        ("stacked histogram", ChartType::StackedBar),
+        ("layered bar", ChartType::StackedBar),
+        ("grouping line", ChartType::GroupingLine),
+        ("multi-series line", ChartType::GroupingLine),
+        ("grouped trend", ChartType::GroupingLine),
+        ("grouping scatter", ChartType::GroupingScatter),
+        ("grouped scatter", ChartType::GroupingScatter),
+        ("categorized point", ChartType::GroupingScatter),
+        ("bar chart", ChartType::Bar),
+        ("bar graph", ChartType::Bar),
+        ("histogram", ChartType::Bar),
+        ("column chart", ChartType::Bar),
+        ("pie", ChartType::Pie),
+        ("circular chart", ChartType::Pie),
+        ("proportional wheel", ChartType::Pie),
+        ("line chart", ChartType::Line),
+        ("line graph", ChartType::Line),
+        ("trend curve", ChartType::Line),
+        ("time-series curve", ChartType::Line),
+        ("scatter", ChartType::Scatter),
+        ("point cloud", ChartType::Scatter),
+        ("x-y plot", ChartType::Scatter),
+    ];
+    for (marker, chart) in TABLE {
+        if text.contains(marker) {
+            return Some(*chart);
+        }
+    }
+    None
+}
+
+fn contains_any(text: &str, markers: &[&str]) -> bool {
+    markers.iter().any(|m| text.contains(m))
+}
+
+/// Whole-word containment (letters only count as word characters).
+fn contains_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    while let Some(pos) = text[start..].find(word) {
+        let p = start + pos;
+        let before_ok = p == 0 || !(bytes[p - 1] as char).is_ascii_alphanumeric();
+        let end = p + word.len();
+        let after_ok = end >= bytes.len() || !(bytes[end] as char).is_ascii_alphanumeric();
+        if before_ok && after_ok {
+            return true;
+        }
+        start = p + 1;
+    }
+    false
+}
+
+fn number_after(text: &str, marker: &str) -> Option<i64> {
+    let pos = text.find(marker)?;
+    let rest = &text[pos + marker.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// First words of a clause up to punctuation/clause markers.
+fn clause_head(rest: &str) -> String {
+    let stop = rest
+        .find([',', '.', '?'])
+        .unwrap_or(rest.len());
+    let head = &rest[..stop];
+    // Keep at most 4 words.
+    head.split_whitespace()
+        .take(4)
+        .collect::<Vec<_>>()
+        .join(" ")
+        .trim_end_matches(" and")
+        .to_string()
+}
+
+const FILTER_LEADS: &[&str] = &[
+    "for those records whose ",
+    "for those whose ",
+    ", where ",
+    "considering only entries whose ",
+    "restricted to cases where ",
+];
+
+const CLAUSE_STOPS: &[&str] = &[
+    ", and group by",
+    ", group by",
+    ", and bin",
+    ", bin ",
+    ", sort",
+    ", and list",
+    ", in ascending",
+    ", in descending",
+    ", with the",
+    ", arranged",
+    ", from the highest",
+    ", keeping just",
+    ", and show only",
+    " on a ",
+    ", aggregated at",
+    ", please.",
+];
+
+fn detect_filters(text: &str, knowledge: &PatternKnowledge) -> Vec<FilterIntent> {
+    // Locate the filter region.
+    let Some((lead_pos, lead)) = FILTER_LEADS
+        .iter()
+        .filter_map(|l| text.find(l).map(|p| (p, *l)))
+        .min_by_key(|(p, _)| *p)
+    else {
+        return Vec::new();
+    };
+    let start = lead_pos + lead.len();
+    let mut end = text.len();
+    for stop in CLAUSE_STOPS {
+        if let Some(p) = text[start..].find(stop) {
+            end = end.min(start + p);
+        }
+    }
+    let region = text[start..end].trim_end_matches(['.', '?']).to_string();
+
+    // Split into segments on and/or, re-joining range connectives.
+    let mut segments: Vec<(bool, String)> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_or = false;
+    let words: Vec<&str> = region.split_whitespace().collect();
+    let mut i = 0;
+    while i < words.len() {
+        let w = words[i];
+        if (w == "and" || w == "or") && !cur.is_empty() {
+            // Is this "and" part of a range phrase?
+            let lower = cur.to_ascii_lowercase();
+            let is_range = w == "and"
+                && (ends_with_range_marker(&lower));
+            if !is_range {
+                segments.push((cur_or, std::mem::take(&mut cur)));
+                cur_or = w == "or";
+                i += 1;
+                continue;
+            }
+        }
+        if !cur.is_empty() {
+            cur.push(' ');
+        }
+        cur.push_str(w);
+        i += 1;
+    }
+    if !cur.is_empty() {
+        segments.push((cur_or, cur));
+    }
+
+    segments
+        .into_iter()
+        .filter_map(|(or, seg)| parse_segment(&seg, knowledge).map(|(col, kind)| FilterIntent {
+            or_connective: or,
+            col_phrase: col,
+            kind,
+        }))
+        .collect()
+}
+
+/// Does the accumulated text end in "range of <num>" / "between <num>" /
+/// "within <num> to"? Then the following "and" belongs to the range.
+fn ends_with_range_marker(s: &str) -> bool {
+    let words: Vec<&str> = s.split_whitespace().collect();
+    if words.len() < 2 {
+        return false;
+    }
+    let last = words[words.len() - 1];
+    if last.chars().all(|c| c.is_ascii_digit()) {
+        let prev = words[words.len() - 2];
+        return prev == "of" || prev == "between" || prev == "within";
+    }
+    false
+}
+
+fn parse_segment(seg: &str, knowledge: &PatternKnowledge) -> Option<(String, FilterKind)> {
+    type Handler = fn(&str, &str) -> Option<FilterKind>;
+    // (marker, always_known, handler)
+    let rules: &[(&'static str, Handler)] = &[
+        ("is in the range of ", |_before, after| {
+            let nums = numbers_in(after);
+            Some(FilterKind::Between {
+                lo: *nums.first()?,
+                hi: *nums.get(1)?,
+            })
+        }),
+        ("falls between ", |_b, after| {
+            let nums = numbers_in(after);
+            Some(FilterKind::Between {
+                lo: *nums.first()?,
+                hi: *nums.get(1)?,
+            })
+        }),
+        ("lies within ", |_b, after| {
+            let nums = numbers_in(after);
+            Some(FilterKind::Between {
+                lo: *nums.first()?,
+                hi: *nums.get(1)?,
+            })
+        }),
+        ("is not null", |_b, _a| Some(FilterKind::NotNull)),
+        ("has a non-empty value", |_b, _a| Some(FilterKind::NotNull)),
+        ("is recorded", |_b, _a| Some(FilterKind::NotNull)),
+        ("is like '", |_b, after| {
+            let end = after.find('\'')?;
+            Some(FilterKind::Like {
+                pattern: after[..end].to_string(),
+            })
+        }),
+        ("contains the text '", |_b, after| {
+            let end = after.find('\'')?;
+            Some(FilterKind::Like {
+                pattern: format!("%{}%", &after[..end]),
+            })
+        }),
+        // Subqueries (before plain "equals to").
+        ("equals to the ", |_b, after| parse_subquery(after, false)),
+        ("matches the ", |_b, after| parse_subquery(after, false)),
+        ("is in the ", |_b, after| parse_subquery(after, true)),
+        ("appears among the ", |_b, after| parse_subquery(after, true)),
+        ("does not equal to ", |_b, after| cmp(CmpIntent::NotEq, after)),
+        ("differs from ", |_b, after| cmp(CmpIntent::NotEq, after)),
+        ("is anything but ", |_b, after| cmp(CmpIntent::NotEq, after)),
+        ("equals to ", |_b, after| cmp(CmpIntent::Eq, after)),
+        ("is exactly ", |_b, after| cmp(CmpIntent::Eq, after)),
+        ("corresponds to ", |_b, after| cmp(CmpIntent::Eq, after)),
+        ("is greater than ", |_b, after| cmp(CmpIntent::Gt, after)),
+        ("exceeds ", |_b, after| cmp(CmpIntent::Gt, after)),
+        ("is above ", |_b, after| cmp(CmpIntent::Gt, after)),
+        ("is less than ", |_b, after| cmp(CmpIntent::Lt, after)),
+        ("stays below ", |_b, after| cmp(CmpIntent::Lt, after)),
+        ("is under ", |_b, after| cmp(CmpIntent::Lt, after)),
+        ("is at most ", |_b, after| cmp(CmpIntent::Le, after)),
+        ("does not exceed ", |_b, after| cmp(CmpIntent::Le, after)),
+        ("is at least ", |_b, after| cmp(CmpIntent::Ge, after)),
+        ("reaches at least ", |_b, after| cmp(CmpIntent::Ge, after)),
+        ("is ", |_b, after| cmp(CmpIntent::Eq, after)),
+    ];
+    for (marker, handler) in rules {
+        if let Some(pos) = seg.find(marker) {
+            // Unknown paraphrase markers degrade to a best guess.
+            let trimmed_marker = marker.trim();
+            let known = PARAPHRASE_MARKERS
+                .iter()
+                .find(|m| **m == trimmed_marker || marker.starts_with(**m))
+                .is_none_or(|m| knowledge.knows(m));
+            let col = seg[..pos].trim().trim_start_matches("whose ").to_string();
+            if col.is_empty() {
+                continue;
+            }
+            if !known {
+                return Some((col, best_guess(&seg[pos..])));
+            }
+            if let Some(kind) = handler(&seg[..pos], &seg[pos + marker.len()..]) {
+                return Some((col, kind));
+            }
+        }
+    }
+    None
+}
+
+fn cmp(op: CmpIntent, after: &str) -> Option<FilterKind> {
+    let after = after.trim();
+    if let Some(stripped) = after.strip_prefix('\'') {
+        let end = stripped.find('\'')?;
+        return Some(FilterKind::Cmp {
+            op,
+            value: LitValue::Text(stripped[..end].to_string()),
+        });
+    }
+    let nums = numbers_in(after);
+    nums.first().map(|n| FilterKind::Cmp {
+        op,
+        value: LitValue::Num(*n),
+    })
+}
+
+/// `{select} of {table} [where {col} equals to {v} | whose {col} is {v}]`
+/// or (IN form) `{select} listed in the {table}`.
+fn parse_subquery(after: &str, is_in: bool) -> Option<FilterKind> {
+    let (sel, rest) = if let Some(p) = after.find(" found in the ") {
+        (&after[..p], &after[p + 14..])
+    } else if let Some(p) = after.find(" listed in the ") {
+        (&after[..p], &after[p + 15..])
+    } else if let Some(p) = after.find(" of ") {
+        (&after[..p], &after[p + 4..])
+    } else {
+        return None;
+    };
+    let (tbl, filter_text) = if let Some(p) = rest.find(" where ") {
+        (&rest[..p], Some(&rest[p + 7..]))
+    } else if let Some(p) = rest.find(" whose ") {
+        (&rest[..p], Some(&rest[p + 7..]))
+    } else {
+        (rest, None)
+    };
+    let table_phrase = tbl.trim().trim_end_matches(['.', ',']).to_string();
+    let select_phrase = sel.trim().to_string();
+    if is_in {
+        return Some(FilterKind::InSub {
+            select_phrase,
+            table_phrase,
+        });
+    }
+    let filter = filter_text.and_then(|ft| {
+        // "{col} equals to {v}" or "{col} is {v}"
+        for marker in [" equals to ", " is "] {
+            if let Some(p) = ft.find(marker) {
+                let col = ft[..p].trim().to_string();
+                let vtext = &ft[p + marker.len()..];
+                if let Some(stripped) = vtext.trim().strip_prefix('\'') {
+                    if let Some(end) = stripped.find('\'') {
+                        return Some((col, LitValue::Text(stripped[..end].to_string())));
+                    }
+                }
+                if let Some(n) = numbers_in(vtext).first() {
+                    return Some((col, LitValue::Num(*n)));
+                }
+            }
+        }
+        None
+    });
+    Some(FilterKind::EqSub {
+        select_phrase,
+        table_phrase,
+        filter,
+    })
+}
+
+fn best_guess(tail: &str) -> FilterKind {
+    let nums = numbers_in(tail);
+    if nums.len() >= 2 {
+        FilterKind::Between {
+            lo: nums[0],
+            hi: nums[1],
+        }
+    } else if let Some(n) = nums.first() {
+        FilterKind::Cmp {
+            op: CmpIntent::Gt,
+            value: LitValue::Num(*n),
+        }
+    } else if let Some(start) = tail.find('\'') {
+        let rest = &tail[start + 1..];
+        let end = rest.find('\'').unwrap_or(rest.len());
+        FilterKind::Cmp {
+            op: CmpIntent::Eq,
+            value: LitValue::Text(rest[..end].to_string()),
+        }
+    } else {
+        FilterKind::NotNull
+    }
+}
+
+fn numbers_in(text: &str) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut neg = false;
+    for c in text.chars() {
+        if c.is_ascii_digit() {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                let v: i64 = cur.parse().unwrap_or(0);
+                out.push(if neg { -v } else { v });
+                cur.clear();
+            }
+            neg = c == '-';
+        }
+    }
+    if !cur.is_empty() {
+        let v: i64 = cur.parse().unwrap_or(0);
+        out.push(if neg { -v } else { v });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full(nlq: &str) -> Intents {
+        detect(nlq, &PatternKnowledge::full())
+    }
+
+    #[test]
+    fn detects_chart_synonyms() {
+        assert_eq!(full("Please give me a histogram of x.").chart, Some(ChartType::Bar));
+        assert_eq!(full("Draw a stacked bar chart.").chart, Some(ChartType::StackedBar));
+        assert_eq!(full("a multi-series line graph please").chart, Some(ChartType::GroupingLine));
+        assert_eq!(full("show a point cloud").chart, Some(ChartType::Scatter));
+    }
+
+    #[test]
+    fn detects_count_and_agg() {
+        assert!(full("show the number of pets").count_y);
+        assert_eq!(full("the mean weight across cities").agg, Some(AggFunc::Avg));
+        assert_eq!(full("the combined revenue per region").agg, Some(AggFunc::Sum));
+    }
+
+    #[test]
+    fn detects_order_and_axis() {
+        let i = full("a bar chart, sort X axis in desc order.");
+        assert_eq!(i.order_dir, Some(SortDir::Desc));
+        assert_eq!(i.order_on_y, Some(false));
+        let i = full("with the Y-axis organized from low to high");
+        assert_eq!(i.order_dir, Some(SortDir::Asc));
+        assert_eq!(i.order_on_y, Some(true));
+    }
+
+    #[test]
+    fn detects_limit_and_bin() {
+        assert_eq!(full("and show only the top 5").limit, Some(5));
+        assert_eq!(full("keeping just the first 3 entries").limit, Some(3));
+        let i = full("and bin hire_date by year interval");
+        assert_eq!(i.bin_unit, Some(BinUnit::Year));
+        assert_eq!(i.bin_col_phrase.as_deref(), Some("hire_date"));
+        assert_eq!(full("on a monthly basis").bin_unit, Some(BinUnit::Month));
+    }
+
+    #[test]
+    fn detects_between_filter_with_and_inside() {
+        let i = full(
+            "Draw a bar chart, for those records whose salary is in the range of 8000 and 12000 \
+             and commission_pct is not null, group by job_id.",
+        );
+        assert_eq!(i.filters.len(), 2);
+        assert_eq!(
+            i.filters[0].kind,
+            FilterKind::Between { lo: 8000, hi: 12000 }
+        );
+        assert_eq!(i.filters[0].col_phrase, "salary");
+        assert_eq!(i.filters[1].kind, FilterKind::NotNull);
+        assert!(!i.filters[1].or_connective);
+    }
+
+    #[test]
+    fn detects_or_connective_and_noteq() {
+        let i = full(
+            "a bar chart, where commission_pct is not null or department_id does not equal to 40.",
+        );
+        assert_eq!(i.filters.len(), 2);
+        assert!(i.filters[1].or_connective);
+        assert_eq!(
+            i.filters[1].kind,
+            FilterKind::Cmp {
+                op: CmpIntent::NotEq,
+                value: LitValue::Num(40)
+            }
+        );
+    }
+
+    #[test]
+    fn detects_text_equality_and_like() {
+        // Detection works over the lowercased question; original casing is
+        // restored downstream by the generator (`restore_case`).
+        let i = full("a pie chart, where city equals to 'Paris' and name is like '%a%'.");
+        assert_eq!(
+            i.filters[0].kind,
+            FilterKind::Cmp {
+                op: CmpIntent::Eq,
+                value: LitValue::Text("paris".into())
+            }
+        );
+        assert_eq!(
+            i.filters[1].kind,
+            FilterKind::Like {
+                pattern: "%a%".into()
+            }
+        );
+    }
+
+    #[test]
+    fn detects_subqueries() {
+        let i = full(
+            "a bar chart, where dept_id equals to the department_id of departments where name equals to 'Finance'.",
+        );
+        match &i.filters[0].kind {
+            FilterKind::EqSub {
+                select_phrase,
+                table_phrase,
+                filter,
+            } => {
+                assert_eq!(select_phrase, "department_id");
+                assert_eq!(table_phrase, "departments");
+                assert_eq!(
+                    filter.as_ref().unwrap().1,
+                    LitValue::Text("finance".into())
+                );
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+        let i = full("a bar chart, where id appears among the pet_id listed in the treatments.");
+        assert!(matches!(i.filters[0].kind, FilterKind::InSub { .. }));
+    }
+
+    #[test]
+    fn paraphrase_gaps_degrade_gracefully() {
+        let mut k = PatternKnowledge::full();
+        k.unknown.insert("exceeds");
+        let i = detect("a histogram, considering only entries whose wage exceeds 9000.", &k);
+        // Unknown marker still produces a numeric guess.
+        assert_eq!(i.filters.len(), 1);
+        assert!(matches!(
+            i.filters[0].kind,
+            FilterKind::Cmp {
+                value: LitValue::Num(9000),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn knowledge_sampling_is_deterministic() {
+        let a = PatternKnowledge::sample(5, 0.5);
+        let b = PatternKnowledge::sample(5, 0.5);
+        assert_eq!(a.unknown, b.unknown);
+        assert!(!PatternKnowledge::sample(5, 0.0).unknown.is_empty());
+        assert!(PatternKnowledge::sample(5, 1.0).unknown.is_empty());
+    }
+
+    #[test]
+    fn detects_color_and_group_phrases() {
+        let i = full("Stacked bar of year and the number of year colored by theme.");
+        assert_eq!(i.color_phrase.as_deref(), Some("theme"));
+        let i = full("a bar chart, and group by attribute job_id, and list in asc by the X.");
+        assert_eq!(i.group_phrase.as_deref(), Some("job_id"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Prompt construction, following the paper's Appendix C formats verbatim:
+//! C.1 database annotation, C.2 NLQ-Retrieval Generator, C.3 DVQ-Retrieval
+//! Retuner, C.4 Annotation-based Debugger.
+
+use crate::api::ChatMessage;
+use t2v_corpus::Database;
+
+/// One in-context example for the generation prompt.
+#[derive(Debug, Clone)]
+pub struct GenExample {
+    pub db_id: String,
+    pub schema_text: String,
+    pub nlq: String,
+    pub dvq: String,
+}
+
+/// C.1 — database annotation prompt.
+pub fn annotation_prompt(db: &Database) -> Vec<ChatMessage> {
+    let system = "You are a data mining engineer with ten years of experience in data visualization.";
+    let mut user = String::new();
+    user.push_str(
+        "#### Please generate detailed natural language annotations to the following database schemas.\n",
+    );
+    user.push_str("### Database Schemas:\n");
+    user.push_str(&db.render_prompt_schema());
+    user.push_str("### Natural Language Annotations:\nA:\n");
+    vec![ChatMessage::system(system), ChatMessage::user(user)]
+}
+
+/// C.2 — NLQ-Retrieval Generator prompt. `examples` must already be in the
+/// desired order (GRED sorts them by *ascending* similarity so the most
+/// similar example sits next to the question).
+pub fn generation_prompt(
+    examples: &[GenExample],
+    schema_text: &str,
+    nlq: &str,
+) -> Vec<ChatMessage> {
+    let system = "Please follow the syntax in the examples instead of SQL syntax.";
+    let mut user = String::new();
+    user.push_str(
+        "#### Given Natural Language Questions, Generate DVQs based on their correspoding Database Schemas.\n\n",
+    );
+    for ex in examples {
+        user.push_str("### Database Schemas:\n");
+        user.push_str(&ex.schema_text);
+        user.push_str("#\n### Chart Type: [ BAR , PIE , LINE , SCATTER ]\n");
+        user.push_str("### Natural Language Question:\n");
+        user.push_str(&format!("# \"{}\"\n", ex.nlq));
+        user.push_str("### Data Visualization Query:\n");
+        user.push_str(&format!("A: {}\n\n", ex.dvq));
+    }
+    user.push_str("### Database Schemas:\n");
+    user.push_str(schema_text);
+    user.push_str("#\n### Chart Type: [ BAR , PIE , LINE , SCATTER ]\n");
+    user.push_str("### Natural Language Question:\n");
+    user.push_str(&format!("# \"{nlq}\"\n"));
+    user.push_str("### Data Visualization Query:\n");
+    vec![ChatMessage::system(system), ChatMessage::user(user)]
+}
+
+/// C.3 — DVQ-Retrieval Retuner prompt.
+pub fn retune_prompt(reference_dvqs: &[String], original_dvq: &str) -> Vec<ChatMessage> {
+    let system = "The Reference Data Visualization Queries(DVQs) all comply with the syntax of DVQ. \
+                  Please follow the syntax of the referenced DVQ to modify the Original DVQ.";
+    let mut user = String::new();
+    user.push_str("### Reference DVQs:\n");
+    for (i, dvq) in reference_dvqs.iter().enumerate() {
+        user.push_str(&format!("{} - {}\n", i + 1, dvq));
+    }
+    user.push_str(
+        "\n#### Given the Reference DVQs, please modify the Original DVQ to mimic the style of the Reference DVQs.\n",
+    );
+    user.push_str(
+        "#### NOTE: Do not Modify the column name in Original DVQ. Especially do not Modify the column names in the ORDER clause!\n",
+    );
+    user.push_str("### Original DVQ:\n");
+    user.push_str(&format!("# {original_dvq}\n"));
+    user.push_str("A: Let's think step by step!\n");
+    vec![ChatMessage::system(system), ChatMessage::user(user)]
+}
+
+/// C.4 — Annotation-based Debugger prompt.
+pub fn debug_prompt(
+    schema_text: &str,
+    annotations: &str,
+    original_dvq: &str,
+) -> Vec<ChatMessage> {
+    let system = "#### NOTE: Don't replace column names in Original DVQ that already exist in the \
+                  database schemas, especially column names in GROUP BY Clause!";
+    let mut user = String::new();
+    user.push_str(
+        "#### Please generate detailed natural language annotations to the following database schemas.\n",
+    );
+    user.push_str("### Database Schemas:\n");
+    user.push_str(schema_text);
+    user.push_str("### Natural Language Annotations:\n");
+    user.push_str(annotations);
+    user.push_str(
+        "\n#### Given Database Schemas and their corresponding Natural Language Annotations, \
+         Please replace the column names in the Data Visualization Query(DVQ, a new Programming \
+         Language abstracted from Vega-Zero) that do not exist in the database.\n",
+    );
+    user.push_str(
+        "#### NOTE: Don't replace column names in Original DVQ that already exist in the database \
+         schemas, especially column names in GROUP BY Clause!\n",
+    );
+    user.push_str("### Original DVQ:\n");
+    user.push_str(&format!("# {original_dvq}\n"));
+    user.push_str("A: Let's think step by step!\n");
+    vec![ChatMessage::system(system), ChatMessage::user(user)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+
+    #[test]
+    fn annotation_prompt_contains_schema_block() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let msgs = annotation_prompt(&corpus.databases[0]);
+        assert_eq!(msgs.len(), 2);
+        assert!(msgs[1].content.contains("### Database Schemas:"));
+        assert!(msgs[1].content.contains("# Table "));
+        assert!(msgs[1].content.contains("Foreign_keys"));
+    }
+
+    #[test]
+    fn generation_prompt_lists_examples_then_question() {
+        let ex = GenExample {
+            db_id: "hr_1".into(),
+            schema_text: "# Table employees, columns = [ * , SALARY ]\n# Foreign_keys = [  ]\n"
+                .into(),
+            nlq: "Show salaries.".into(),
+            dvq: "Visualize BAR SELECT SALARY , COUNT(SALARY) FROM employees GROUP BY SALARY"
+                .into(),
+        };
+        let msgs = generation_prompt(
+            &[ex],
+            "# Table pets, columns = [ * , weight ]\n# Foreign_keys = [  ]\n",
+            "Show pet weights.",
+        );
+        let body = &msgs[1].content;
+        let ex_pos = body.find("Show salaries.").unwrap();
+        let q_pos = body.find("Show pet weights.").unwrap();
+        assert!(ex_pos < q_pos, "examples must precede the question");
+        assert!(body.ends_with("### Data Visualization Query:\n"));
+    }
+
+    #[test]
+    fn retune_prompt_numbers_references() {
+        let msgs = retune_prompt(
+            &["Visualize BAR SELECT a , b FROM t".into(), "Visualize PIE SELECT c , d FROM u".into()],
+            "Visualize BAR SELECT a , b FROM t WHERE c IS NOT NULL",
+        );
+        assert!(msgs[1].content.contains("1 - Visualize BAR"));
+        assert!(msgs[1].content.contains("2 - Visualize PIE"));
+        assert!(msgs[1].content.contains("Do not Modify the column name"));
+    }
+
+    #[test]
+    fn debug_prompt_contains_annotations_and_dvq() {
+        let msgs = debug_prompt(
+            "# Table t, columns = [ * , a ]\n# Foreign_keys = [  ]\n",
+            "Table t:\n- Columns:\n  - a: something\n",
+            "Visualize BAR SELECT z , COUNT(z) FROM t GROUP BY z",
+        );
+        assert!(msgs[1].content.contains("Natural Language Annotations"));
+        assert!(msgs[1].content.contains("SELECT z"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the simulated LLM: totality (never panics, always
+//! answers in-format) and determinism across arbitrary questions.
+
+use proptest::prelude::*;
+use t2v_corpus::{generate, CorpusConfig};
+use t2v_llm::api::{ChatModel, ChatParams};
+use t2v_llm::{extract_dvq, prompts, GenExample, LlmConfig, SimulatedChatModel};
+
+fn fixture() -> (t2v_corpus::Corpus, SimulatedChatModel) {
+    let corpus = generate(&CorpusConfig::tiny(7));
+    let model = SimulatedChatModel::new(LlmConfig::default());
+    (corpus, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generation answers a parseable DVQ for arbitrary question text.
+    #[test]
+    fn generation_is_total(words in prop::collection::vec("[a-zA-Z0-9_]{1,10}", 1..12)) {
+        let (corpus, model) = fixture();
+        let ex = &corpus.train[0];
+        let gen_ex = GenExample {
+            db_id: corpus.databases[ex.db].id.clone(),
+            schema_text: corpus.databases[ex.db].render_prompt_schema(),
+            nlq: ex.nlq.clone(),
+            dvq: ex.dvq_text.clone(),
+        };
+        let nlq = words.join(" ");
+        let msgs = prompts::generation_prompt(
+            &[gen_ex],
+            &corpus.databases[0].render_prompt_schema(),
+            &nlq,
+        );
+        let out = model.complete(&msgs, &ChatParams::working());
+        let dvq = extract_dvq(&out).expect("always answers");
+        prop_assert!(t2v_dvq::parse(&dvq).is_ok(), "unparseable: {}", dvq);
+    }
+
+    /// Retuning never changes column names, whatever the reference mix.
+    #[test]
+    fn retune_never_renames(picks in prop::collection::vec(0usize..200, 1..10)) {
+        let (corpus, model) = fixture();
+        let refs: Vec<String> = picks
+            .iter()
+            .map(|&i| corpus.train[i % corpus.train.len()].dvq_text.clone())
+            .collect();
+        let original = &corpus.dev[3].dvq_text;
+        let msgs = prompts::retune_prompt(&refs, original);
+        let out = model.complete(&msgs, &ChatParams::working());
+        let retuned = extract_dvq(&out).expect("answers");
+        let a = t2v_dvq::parse(original).unwrap();
+        let b = t2v_dvq::parse(&retuned).unwrap();
+        let mut cols_a = Vec::new();
+        let mut cols_b = Vec::new();
+        a.visit_columns(&mut |c| cols_a.push(c.column.to_ascii_lowercase()));
+        b.visit_columns(&mut |c| cols_b.push(c.column.to_ascii_lowercase()));
+        cols_a.sort();
+        cols_b.sort();
+        prop_assert_eq!(cols_a, cols_b);
+    }
+
+    /// Debugging output always parses, for any (database, query) pairing.
+    #[test]
+    fn debug_is_total(db_i in 0usize..8, ex_i in 0usize..60) {
+        let (corpus, model) = fixture();
+        let db = &corpus.databases[db_i % corpus.databases.len()];
+        let original = &corpus.dev[ex_i % corpus.dev.len()].dvq_text;
+        let ann_msgs = prompts::annotation_prompt(db);
+        let ann = model.complete(&ann_msgs, &ChatParams::annotation());
+        let msgs = prompts::debug_prompt(&db.render_prompt_schema(), &ann, original);
+        let out = model.complete(&msgs, &ChatParams::working());
+        let fixed = extract_dvq(&out).expect("answers");
+        prop_assert!(t2v_dvq::parse(&fixed).is_ok(), "unparseable: {}", fixed);
+    }
+}

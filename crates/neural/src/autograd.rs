@@ -1,0 +1,760 @@
+//! Tape-based reverse-mode autodiff over [`Matrix`] values.
+//!
+//! A [`Graph`] is a per-example arena of nodes; operations append nodes and
+//! return [`Var`] handles. `backward` walks the tape in reverse. Parameters
+//! live outside the graph in a [`ParamStore`]; graphs copy parameter values
+//! in as tagged leaves and [`Graph::accumulate_param_grads`] reduces their
+//! gradients back — which is what makes data-parallel training trivial
+//! (each worker thread owns its graphs, gradients are summed afterwards).
+
+use crate::matrix::Matrix;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // `Affine.1` is read in forward paths only
+enum Op {
+    Leaf { param: Option<usize> },
+    MatMul(Var, Var),
+    MatMulNT(Var, Var),
+    Add(Var, Var),
+    AddRow(Var, Var),
+    Mul(Var, Var),
+    MulScalar(Var, Var),
+    Affine(Var, f32, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    SoftmaxRows(Var),
+    AddConst(Var),
+    ConcatCols(Var, Var),
+    SliceCols(Var, usize),
+    StackRows(Vec<Var>),
+    Gather { weight: Var, ids: Vec<usize> },
+    ScatterCols { dist: Var, ids: Vec<usize> },
+    LayerNorm { x: Var, gain: Var, bias: Var },
+    CeLossLogits { logits: Var, targets: Vec<usize> },
+    PickNegLog { probs: Var, target: usize },
+    SumVars(Vec<Var>),
+}
+
+/// Learnable parameters, shared across graphs.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    pub values: Vec<Matrix>,
+    pub grads: Vec<Matrix>,
+    pub names: Vec<String>,
+}
+
+impl ParamStore {
+    pub fn add(&mut self, name: &str, value: Matrix) -> usize {
+        let (r, c) = value.shape();
+        self.values.push(value);
+        self.grads.push(Matrix::zeros(r, c));
+        self.names.push(name.to_string());
+        self.values.len() - 1
+    }
+
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill(0.0);
+        }
+    }
+
+    pub fn num_parameters(&self) -> usize {
+        self.values.iter().map(|v| v.data.len()).sum()
+    }
+}
+
+const EPS_LN: f32 = 1e-5;
+
+/// The tape.
+pub struct Graph {
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+    ops: Vec<Op>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph {
+            values: Vec::with_capacity(256),
+            grads: Vec::with_capacity(256),
+            ops: Vec::with_capacity(256),
+        }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        let (r, c) = value.shape();
+        self.values.push(value);
+        self.grads.push(Matrix::zeros(r, c));
+        self.ops.push(op);
+        Var(self.values.len() - 1)
+    }
+
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.values[v.0]
+    }
+
+    pub fn grad(&self, v: Var) -> &Matrix {
+        &self.grads[v.0]
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    // ---- node constructors -------------------------------------------------
+
+    pub fn leaf(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Leaf { param: None })
+    }
+
+    /// Copy a parameter in as a tagged leaf.
+    pub fn param(&mut self, store: &ParamStore, id: usize) -> Var {
+        self.push(store.values[id].clone(), Op::Leaf { param: Some(id) })
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].matmul(&self.values[b.0]);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// `a · bᵀ`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].matmul_nt(&self.values[b.0]);
+        self.push(v, Op::MatMulNT(a, b))
+    }
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let mut v = self.values[a.0].clone();
+        v.add_assign(&self.values[b.0]);
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// `a (m×n) + row (1×n)` broadcast.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let bias = &self.values[row.0];
+        let src = &self.values[a.0];
+        let mut v = src.clone();
+        for r in 0..v.rows {
+            for (x, b) in v.row_mut(r).iter_mut().zip(bias.row(0).iter()) {
+                *x += b;
+            }
+        }
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let x = &self.values[a.0];
+        let y = &self.values[b.0];
+        debug_assert_eq!(x.shape(), y.shape());
+        let v = Matrix {
+            rows: x.rows,
+            cols: x.cols,
+            data: x.data.iter().zip(y.data.iter()).map(|(p, q)| p * q).collect(),
+        };
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// `a * s` where `s` is 1×1.
+    pub fn mul_scalar(&mut self, a: Var, s: Var) -> Var {
+        let sv = self.values[s.0].data[0];
+        let v = self.values[a.0].map(|x| x * sv);
+        self.push(v, Op::MulScalar(a, s))
+    }
+
+    /// `a * mul + add` elementwise with constants.
+    pub fn affine(&mut self, a: Var, mul: f32, add: f32) -> Var {
+        let v = self.values[a.0].map(|x| x * mul + add);
+        self.push(v, Op::Affine(a, mul, add))
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let x = &self.values[a.0];
+        let mut v = x.clone();
+        for r in 0..v.rows {
+            softmax_in_place(v.row_mut(r));
+        }
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// `a + constant` (no gradient through the constant — used for masks and
+    /// positional encodings).
+    pub fn add_const(&mut self, a: Var, c: &Matrix) -> Var {
+        let mut v = self.values[a.0].clone();
+        v.add_assign(c);
+        self.push(v, Op::AddConst(a))
+    }
+
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let x = &self.values[a.0];
+        let y = &self.values[b.0];
+        assert_eq!(x.rows, y.rows);
+        let mut v = Matrix::zeros(x.rows, x.cols + y.cols);
+        for r in 0..x.rows {
+            v.row_mut(r)[..x.cols].copy_from_slice(x.row(r));
+            v.row_mut(r)[x.cols..].copy_from_slice(y.row(r));
+        }
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Columns `[start, start+len)` of `a`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let x = &self.values[a.0];
+        let mut v = Matrix::zeros(x.rows, len);
+        for r in 0..x.rows {
+            v.row_mut(r).copy_from_slice(&x.row(r)[start..start + len]);
+        }
+        self.push(v, Op::SliceCols(a, start))
+    }
+
+    /// Stack 1×n rows into an m×n matrix.
+    pub fn stack_rows(&mut self, rows: &[Var]) -> Var {
+        assert!(!rows.is_empty());
+        let n = self.values[rows[0].0].cols;
+        let mut v = Matrix::zeros(rows.len(), n);
+        for (r, var) in rows.iter().enumerate() {
+            v.row_mut(r).copy_from_slice(self.values[var.0].row(0));
+        }
+        self.push(v, Op::StackRows(rows.to_vec()))
+    }
+
+    /// Gather rows of an embedding table.
+    pub fn gather(&mut self, weight: Var, ids: &[usize]) -> Var {
+        let w = &self.values[weight.0];
+        let mut v = Matrix::zeros(ids.len(), w.cols);
+        for (r, &id) in ids.iter().enumerate() {
+            v.row_mut(r).copy_from_slice(w.row(id));
+        }
+        self.push(
+            v,
+            Op::Gather {
+                weight,
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Scatter a 1×S attention distribution into a 1×V vocabulary
+    /// distribution through source-token ids (pointer-generator copy head).
+    pub fn scatter_cols(&mut self, dist: Var, ids: &[usize], vocab: usize) -> Var {
+        let d = &self.values[dist.0];
+        assert_eq!(d.rows, 1);
+        assert_eq!(d.cols, ids.len());
+        let mut v = Matrix::zeros(1, vocab);
+        for (j, &id) in ids.iter().enumerate() {
+            v.data[id] += d.data[j];
+        }
+        self.push(
+            v,
+            Op::ScatterCols {
+                dist,
+                ids: ids.to_vec(),
+            },
+        )
+    }
+
+    /// Per-row layer normalisation with learnable gain/bias (1×n).
+    pub fn layer_norm(&mut self, x: Var, gain: Var, bias: Var) -> Var {
+        let xv = &self.values[x.0];
+        let g = &self.values[gain.0];
+        let b = &self.values[bias.0];
+        let mut v = xv.clone();
+        for r in 0..v.rows {
+            let row = v.row_mut(r);
+            let n = row.len() as f32;
+            let mean: f32 = row.iter().sum::<f32>() / n;
+            let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+            let inv = 1.0 / (var + EPS_LN).sqrt();
+            for (i, val) in row.iter_mut().enumerate() {
+                *val = (*val - mean) * inv * g.data[i] + b.data[i];
+            }
+        }
+        self.push(v, Op::LayerNorm { x, gain, bias })
+    }
+
+    /// Mean token-level cross entropy of `logits` (T×V) against `targets`.
+    pub fn ce_loss(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let l = &self.values[logits.0];
+        assert_eq!(l.rows, targets.len());
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            let row = l.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let logsum: f32 = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+            loss += logsum - row[t];
+        }
+        loss /= targets.len() as f32;
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::CeLossLogits {
+                logits,
+                targets: targets.to_vec(),
+            },
+        )
+    }
+
+    /// `-ln(p[target] + ε)` over a 1×V probability row.
+    pub fn pick_neg_log(&mut self, probs: Var, target: usize) -> Var {
+        let p = self.values[probs.0].data[target];
+        self.push(
+            Matrix::from_vec(1, 1, vec![-(p + 1e-9).ln()]),
+            Op::PickNegLog { probs, target },
+        )
+    }
+
+    /// Sum of 1×1 scalars, scaled by `1/denominator`.
+    pub fn mean_scalars(&mut self, vars: &[Var]) -> Var {
+        assert!(!vars.is_empty());
+        let sum: f32 = vars.iter().map(|v| self.values[v.0].data[0]).sum();
+        let n = vars.len() as f32;
+        let sumvar = self.push(Matrix::from_vec(1, 1, vec![sum]), Op::SumVars(vars.to_vec()));
+        self.affine(sumvar, 1.0 / n, 0.0)
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Backpropagate from `loss` (seeding its gradient with 1).
+    pub fn backward(&mut self, loss: Var) {
+        self.grads[loss.0].fill(1.0);
+        for i in (0..self.ops.len()).rev() {
+            if self.grads[i].data.iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let g = std::mem::replace(&mut self.grads[i], Matrix::zeros(0, 0));
+            let op = self.ops[i].clone();
+            match op {
+                Op::Leaf { .. } => {}
+                Op::MatMul(a, b) => {
+                    let da = g.matmul_nt(&self.values[b.0]);
+                    let db = self.values[a.0].matmul_tn(&g);
+                    self.grads[a.0].add_assign(&da);
+                    self.grads[b.0].add_assign(&db);
+                }
+                Op::MatMulNT(a, b) => {
+                    // v = a·bᵀ; da = g·b; db = gᵀ·a
+                    let da = g.matmul(&self.values[b.0]);
+                    let db = g.matmul_tn(&self.values[a.0]);
+                    self.grads[a.0].add_assign(&da);
+                    self.grads[b.0].add_assign(&db);
+                }
+                Op::Add(a, b) => {
+                    self.grads[a.0].add_assign(&g);
+                    self.grads[b.0].add_assign(&g);
+                }
+                Op::AddRow(a, row) => {
+                    self.grads[a.0].add_assign(&g);
+                    let cols = g.cols;
+                    let gr = &mut self.grads[row.0];
+                    for r in 0..g.rows {
+                        for c in 0..cols {
+                            gr.data[c] += g.at(r, c);
+                        }
+                    }
+                }
+                Op::Mul(a, b) => {
+                    for idx in 0..g.data.len() {
+                        let gv = g.data[idx];
+                        let av = self.values[a.0].data[idx];
+                        let bv = self.values[b.0].data[idx];
+                        self.grads[a.0].data[idx] += gv * bv;
+                        self.grads[b.0].data[idx] += gv * av;
+                    }
+                }
+                Op::MulScalar(a, s) => {
+                    let sv = self.values[s.0].data[0];
+                    let mut ds = 0.0f32;
+                    for idx in 0..g.data.len() {
+                        self.grads[a.0].data[idx] += g.data[idx] * sv;
+                        ds += g.data[idx] * self.values[a.0].data[idx];
+                    }
+                    self.grads[s.0].data[0] += ds;
+                }
+                Op::Affine(a, mul, _) => {
+                    for idx in 0..g.data.len() {
+                        self.grads[a.0].data[idx] += g.data[idx] * mul;
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    for idx in 0..g.data.len() {
+                        let y = self.values[i].data[idx];
+                        self.grads[a.0].data[idx] += g.data[idx] * y * (1.0 - y);
+                    }
+                }
+                Op::Tanh(a) => {
+                    for idx in 0..g.data.len() {
+                        let y = self.values[i].data[idx];
+                        self.grads[a.0].data[idx] += g.data[idx] * (1.0 - y * y);
+                    }
+                }
+                Op::Relu(a) => {
+                    for idx in 0..g.data.len() {
+                        if self.values[a.0].data[idx] > 0.0 {
+                            self.grads[a.0].data[idx] += g.data[idx];
+                        }
+                    }
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.values[i];
+                    let ga = &mut self.grads[a.0];
+                    for r in 0..y.rows {
+                        let yr = y.row(r);
+                        let gr = g.row(r);
+                        let dot: f32 = yr.iter().zip(gr.iter()).map(|(p, q)| p * q).sum();
+                        for c in 0..y.cols {
+                            ga.data[r * y.cols + c] += yr[c] * (gr[c] - dot);
+                        }
+                    }
+                }
+                Op::AddConst(a) => {
+                    self.grads[a.0].add_assign(&g);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ac = self.values[a.0].cols;
+                    for r in 0..g.rows {
+                        for c in 0..g.cols {
+                            if c < ac {
+                                *self.grads[a.0].at_mut(r, c) += g.at(r, c);
+                            } else {
+                                *self.grads[b.0].at_mut(r, c - ac) += g.at(r, c);
+                            }
+                        }
+                    }
+                }
+                Op::SliceCols(a, start) => {
+                    for r in 0..g.rows {
+                        for c in 0..g.cols {
+                            *self.grads[a.0].at_mut(r, start + c) += g.at(r, c);
+                        }
+                    }
+                }
+                Op::StackRows(rows) => {
+                    for (r, var) in rows.iter().enumerate() {
+                        for c in 0..g.cols {
+                            self.grads[var.0].data[c] += g.at(r, c);
+                        }
+                    }
+                }
+                Op::Gather { weight, ids } => {
+                    for (r, &id) in ids.iter().enumerate() {
+                        for c in 0..g.cols {
+                            *self.grads[weight.0].at_mut(id, c) += g.at(r, c);
+                        }
+                    }
+                }
+                Op::ScatterCols { dist, ids } => {
+                    for (j, &id) in ids.iter().enumerate() {
+                        self.grads[dist.0].data[j] += g.data[id];
+                    }
+                }
+                Op::LayerNorm { x, gain, bias } => {
+                    let xv = self.values[x.0].clone();
+                    let gv = self.values[gain.0].clone();
+                    let n = xv.cols as f32;
+                    for r in 0..xv.rows {
+                        let row = xv.row(r);
+                        let mean: f32 = row.iter().sum::<f32>() / n;
+                        let var: f32 =
+                            row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+                        let inv = 1.0 / (var + EPS_LN).sqrt();
+                        let xhat: Vec<f32> = row.iter().map(|&x| (x - mean) * inv).collect();
+                        let gr = g.row(r);
+                        // dbias, dgain
+                        for c in 0..xv.cols {
+                            self.grads[bias.0].data[c] += gr[c];
+                            self.grads[gain.0].data[c] += gr[c] * xhat[c];
+                        }
+                        // dx
+                        let dxhat: Vec<f32> =
+                            (0..xv.cols).map(|c| gr[c] * gv.data[c]).collect();
+                        let sum_dxhat: f32 = dxhat.iter().sum();
+                        let sum_dxhat_xhat: f32 =
+                            dxhat.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum();
+                        for c in 0..xv.cols {
+                            let d = inv / n
+                                * (n * dxhat[c] - sum_dxhat - xhat[c] * sum_dxhat_xhat);
+                            *self.grads[x.0].at_mut(r, c) += d;
+                        }
+                    }
+                }
+                Op::CeLossLogits { logits, targets } => {
+                    let scale = g.data[0] / targets.len() as f32;
+                    let l = self.values[logits.0].clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        let mut row = l.row(r).to_vec();
+                        softmax_in_place(&mut row);
+                        for (c, &p) in row.iter().enumerate() {
+                            let delta = if c == t { 1.0 } else { 0.0 };
+                            *self.grads[logits.0].at_mut(r, c) += scale * (p - delta);
+                        }
+                    }
+                }
+                Op::PickNegLog { probs, target } => {
+                    let p = self.values[probs.0].data[target];
+                    self.grads[probs.0].data[target] += g.data[0] * (-1.0 / (p + 1e-9));
+                }
+                Op::SumVars(vars) => {
+                    for v in vars {
+                        self.grads[v.0].data[0] += g.data[0];
+                    }
+                }
+            }
+            self.grads[i] = g;
+        }
+    }
+
+    /// Reduce tagged-leaf gradients into the parameter store.
+    pub fn accumulate_param_grads(&self, store: &mut ParamStore) {
+        for (id, grad) in self.param_grad_pairs() {
+            store.grads[id].add_assign(grad);
+        }
+    }
+
+    /// Tagged-leaf gradient pairs (param id, gradient).
+    pub fn param_grad_pairs(&self) -> Vec<(usize, &Matrix)> {
+        let mut out = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            if let Op::Leaf { param: Some(id) } = op {
+                out.push((*id, &self.grads[i]));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in row.iter_mut() {
+        *x /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check for a scalar-valued function of one
+    /// leaf matrix.
+    fn grad_check(
+        input: Matrix,
+        f: impl Fn(&mut Graph, Var) -> Var,
+        tol: f32,
+    ) {
+        let mut g = Graph::new();
+        let x = g.leaf(input.clone());
+        let loss = f(&mut g, x);
+        assert_eq!(g.value(loss).shape(), (1, 1), "loss must be scalar");
+        g.backward(loss);
+        let analytic = g.grad(x).clone();
+
+        let eps = 1e-3f32;
+        for idx in 0..input.data.len() {
+            let mut plus = input.clone();
+            plus.data[idx] += eps;
+            let mut minus = input.clone();
+            minus.data[idx] -= eps;
+            let fp = {
+                let mut g = Graph::new();
+                let x = g.leaf(plus);
+                let l = f(&mut g, x);
+                g.value(l).data[0]
+            };
+            let fm = {
+                let mut g = Graph::new();
+                let x = g.leaf(minus);
+                let l = f(&mut g, x);
+                g.value(l).data[0]
+            };
+            let numeric = (fp - fm) / (2.0 * eps);
+            let a = analytic.data[idx];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "grad mismatch at {idx}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    fn sum_all(g: &mut Graph, v: Var) -> Var {
+        // Reduce to scalar with a matmul against ones.
+        let (r, c) = g.value(v).shape();
+        let ones_r = g.leaf(Matrix::from_vec(1, r, vec![1.0; r]));
+        let ones_c = g.leaf(Matrix::from_vec(c, 1, vec![1.0; c]));
+        let t = g.matmul(ones_r, v);
+        g.matmul(t, ones_c)
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let w = Matrix::from_vec(3, 2, vec![0.5, -0.2, 0.1, 0.7, -0.4, 0.3]);
+        grad_check(
+            Matrix::from_vec(2, 3, vec![1.0, -2.0, 0.5, 0.3, 0.9, -1.1]),
+            move |g, x| {
+                let wv = g.leaf(w.clone());
+                let y = g.matmul(x, wv);
+                let y = g.tanh(y);
+                sum_all(g, y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_sigmoid_mul_add() {
+        let b = Matrix::from_vec(2, 2, vec![0.1, 0.2, -0.3, 0.4]);
+        grad_check(
+            Matrix::from_vec(2, 2, vec![0.3, -0.5, 0.8, -0.1]),
+            move |g, x| {
+                let bv = g.leaf(b.clone());
+                let s = g.sigmoid(x);
+                let m = g.mul(s, bv);
+                let a = g.add(m, s);
+                sum_all(g, a)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_pick() {
+        grad_check(
+            Matrix::from_vec(1, 4, vec![0.2, -0.4, 1.0, 0.1]),
+            |g, x| {
+                let p = g.softmax_rows(x);
+                g.pick_neg_log(p, 2)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_ce_loss() {
+        grad_check(
+            Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.9, -1.0, 0.3, 0.2]),
+            |g, x| g.ce_loss(x, &[2, 1]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_concat_slice_stack() {
+        grad_check(
+            Matrix::from_vec(1, 4, vec![0.1, 0.2, 0.3, 0.4]),
+            |g, x| {
+                let left = g.slice_cols(x, 0, 2);
+                let right = g.slice_cols(x, 2, 2);
+                let cat = g.concat_cols(right, left);
+                let stacked = g.stack_rows(&[cat, cat]);
+                let t = g.tanh(stacked);
+                sum_all(g, t)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        grad_check(
+            Matrix::from_vec(3, 2, vec![0.5, -0.1, 0.2, 0.7, -0.3, 0.4]),
+            |g, x| {
+                // Gather rows [2, 0], softmax a projection, scatter into 5.
+                let got = g.gather(x, &[2, 0]);
+                let flat = g.slice_cols(got, 0, 2); // (2×2)
+                let ones = g.leaf(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+                let row = g.matmul(ones, flat); // 1×2
+                let p = g.softmax_rows(row);
+                let scattered = g.scatter_cols(p, &[3, 1], 5);
+                g.pick_neg_log(scattered, 3)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        let gain = Matrix::from_vec(1, 3, vec![1.2, 0.8, 1.0]);
+        let bias = Matrix::from_vec(1, 3, vec![0.0, 0.1, -0.1]);
+        grad_check(
+            Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.9, 0.1, 0.4, -0.6]),
+            move |g, x| {
+                let gv = g.leaf(gain.clone());
+                let bv = g.leaf(bias.clone());
+                let y = g.layer_norm(x, gv, bv);
+                let t = g.tanh(y);
+                sum_all(g, t)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_mul_scalar_and_affine() {
+        grad_check(
+            Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.5]),
+            |g, x| {
+                let s = g.leaf(Matrix::from_vec(1, 1, vec![0.7]));
+                let y = g.mul_scalar(x, s);
+                let y = g.affine(y, 2.0, 0.1);
+                sum_all(g, y)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn param_grads_accumulate() {
+        let mut store = ParamStore::default();
+        let w = store.add("w", Matrix::from_vec(1, 2, vec![0.5, -0.5]));
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let x = g.leaf(Matrix::from_vec(2, 1, vec![1.0, 2.0]));
+        let y = g.matmul(wv, x); // 1×1
+        g.backward(y);
+        g.accumulate_param_grads(&mut store);
+        assert_eq!(store.grads[w].data, vec![1.0, 2.0]);
+        assert_eq!(store.num_parameters(), 2);
+    }
+
+    #[test]
+    fn mean_scalars_averages() {
+        let mut g = Graph::new();
+        let a = g.leaf(Matrix::from_vec(1, 1, vec![2.0]));
+        let b = g.leaf(Matrix::from_vec(1, 1, vec![4.0]));
+        let m = g.mean_scalars(&[a, b]);
+        assert!((g.value(m).data[0] - 3.0).abs() < 1e-6);
+        g.backward(m);
+        assert!((g.grad(a).data[0] - 0.5).abs() < 1e-6);
+    }
+}

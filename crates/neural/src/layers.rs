@@ -1,0 +1,202 @@
+//! Reusable layers on top of the autograd tape: linear projections,
+//! embeddings, an LSTM cell, and dot-product attention.
+
+use crate::autograd::{Graph, ParamStore, Var};
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+
+/// `y = x·W + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    pub w: usize,
+    pub b: usize,
+    pub input: usize,
+    pub output: usize,
+}
+
+impl Linear {
+    pub fn new(store: &mut ParamStore, name: &str, input: usize, output: usize, rng: &mut StdRng) -> Self {
+        Linear {
+            w: store.add(&format!("{name}.w"), Matrix::randn(input, output, rng)),
+            b: store.add(&format!("{name}.b"), Matrix::zeros(1, output)),
+            input,
+            output,
+        }
+    }
+
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let y = g.matmul(x, w);
+        g.add_row(y, b)
+    }
+}
+
+/// Token embedding table.
+#[derive(Debug, Clone, Copy)]
+pub struct Embedding {
+    pub table: usize,
+    pub vocab: usize,
+    pub dim: usize,
+}
+
+impl Embedding {
+    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        Embedding {
+            table: store.add(name, Matrix::randn(vocab, dim, rng)),
+            vocab,
+            dim,
+        }
+    }
+
+    pub fn lookup(&self, g: &mut Graph, store: &ParamStore, ids: &[usize]) -> Var {
+        let t = g.param(store, self.table);
+        g.gather(t, ids)
+    }
+}
+
+/// Single LSTM cell; weights fused into one `(input+hidden) × 4·hidden`
+/// matrix (gate order: input, forget, output, candidate).
+#[derive(Debug, Clone, Copy)]
+pub struct LstmCell {
+    pub w: usize,
+    pub b: usize,
+    pub input: usize,
+    pub hidden: usize,
+}
+
+/// Hidden state pair.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    pub h: Var,
+    pub c: Var,
+}
+
+impl LstmCell {
+    pub fn new(store: &mut ParamStore, name: &str, input: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let mut b = Matrix::zeros(1, 4 * hidden);
+        // Forget-gate bias starts at 1 (standard trick for gradient flow).
+        for c in hidden..2 * hidden {
+            b.data[c] = 1.0;
+        }
+        LstmCell {
+            w: store.add(&format!("{name}.w"), Matrix::randn(input + hidden, 4 * hidden, rng)),
+            b: store.add(&format!("{name}.b"), b),
+            input,
+            hidden,
+        }
+    }
+
+    /// Zero initial state.
+    pub fn init_state(&self, g: &mut Graph) -> LstmState {
+        LstmState {
+            h: g.leaf(Matrix::zeros(1, self.hidden)),
+            c: g.leaf(Matrix::zeros(1, self.hidden)),
+        }
+    }
+
+    /// One step: `x` is 1×input.
+    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: Var, state: LstmState) -> LstmState {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let z = g.concat_cols(x, state.h);
+        let gates = g.matmul(z, w);
+        let gates = g.add_row(gates, b);
+        let h = self.hidden;
+        let i_g = g.slice_cols(gates, 0, h);
+        let f_g = g.slice_cols(gates, h, h);
+        let o_g = g.slice_cols(gates, 2 * h, h);
+        let c_g = g.slice_cols(gates, 3 * h, h);
+        let i_g = g.sigmoid(i_g);
+        let f_g = g.sigmoid(f_g);
+        let o_g = g.sigmoid(o_g);
+        let c_g = g.tanh(c_g);
+        let fc = g.mul(f_g, state.c);
+        let ic = g.mul(i_g, c_g);
+        let c_new = g.add(fc, ic);
+        let c_act = g.tanh(c_new);
+        let h_new = g.mul(o_g, c_act);
+        LstmState { h: h_new, c: c_new }
+    }
+}
+
+/// Dot-product attention of a 1×H query over S×H memory. Returns
+/// `(context 1×H, weights 1×S)`.
+pub fn attention(g: &mut Graph, memory: Var, query: Var) -> (Var, Var) {
+    let scores = g.matmul_nt(query, memory); // 1×S
+    let dim = g.value(memory).cols as f32;
+    let scaled = g.affine(scores, 1.0 / dim.sqrt(), 0.0);
+    let weights = g.softmax_rows(scaled);
+    let context = g.matmul(weights, memory); // 1×H
+    (context, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut store = ParamStore::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.leaf(Matrix::from_vec(2, 3, vec![1.0; 6]));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (2, 2));
+    }
+
+    #[test]
+    fn lstm_step_changes_state_and_learns() {
+        let mut store = ParamStore::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cell = LstmCell::new(&mut store, "lstm", 4, 8, &mut rng);
+        let mut g = Graph::new();
+        let s0 = cell.init_state(&mut g);
+        let x = g.leaf(Matrix::from_vec(1, 4, vec![0.5, -0.5, 0.2, 0.8]));
+        let s1 = cell.step(&mut g, &store, x, s0);
+        assert_eq!(g.value(s1.h).shape(), (1, 8));
+        assert!(g.value(s1.h).norm() > 0.0);
+
+        // Gradients flow back to the weights.
+        let ones = g.leaf(Matrix::from_vec(8, 1, vec![1.0; 8]));
+        let loss = g.matmul(s1.h, ones);
+        g.backward(loss);
+        g.accumulate_param_grads(&mut store);
+        assert!(store.grads[cell.w].norm() > 0.0);
+        assert!(store.grads[cell.b].norm() > 0.0);
+    }
+
+    #[test]
+    fn attention_weights_sum_to_one_and_peak_correctly() {
+        let mut g = Graph::new();
+        let memory = g.leaf(Matrix::from_vec(
+            3,
+            2,
+            vec![1.0, 0.0, 0.0, 1.0, 5.0, 0.0],
+        ));
+        let query = g.leaf(Matrix::from_vec(1, 2, vec![1.0, 0.0]));
+        let (ctx, w) = attention(&mut g, memory, query);
+        let weights = g.value(w);
+        let sum: f32 = weights.data.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        // Row 2 (value 5.0 aligned with the query) dominates.
+        assert!(weights.data[2] > weights.data[0]);
+        assert!(weights.data[2] > weights.data[1]);
+        assert_eq!(g.value(ctx).shape(), (1, 2));
+    }
+
+    #[test]
+    fn embedding_lookup_gathers_rows() {
+        let mut store = ParamStore::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        let mut g = Graph::new();
+        let v = emb.lookup(&mut g, &store, &[3, 3, 7]);
+        let m = g.value(v);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.row(0), m.row(1));
+        assert_ne!(m.row(0), m.row(2));
+    }
+}

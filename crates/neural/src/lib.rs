@@ -1,0 +1,28 @@
+//! # t2v-neural — from-scratch neural substrate
+//!
+//! A minimal but complete deep-learning stack: dense matrices, tape-based
+//! reverse-mode autodiff (validated against finite differences), LSTM cells,
+//! dot-product attention, pre-norm transformer blocks, Adam with gradient
+//! clipping, and data-parallel seq2seq training with greedy decoding.
+//!
+//! Built to train the paper's neural baselines (Seq2Vis, Transformer)
+//! without external ML frameworks — candle/burn are not yet mature enough
+//! for this seq2seq fine-tuning pipeline, so the substrate is implemented
+//! from first principles (see DESIGN.md, substitution table).
+
+pub mod autograd;
+pub mod layers;
+pub mod matrix;
+pub mod optim;
+pub mod seq2seq;
+pub mod trainer;
+pub mod transformer;
+pub mod vocab;
+
+pub use autograd::{Graph, ParamStore, Var};
+pub use matrix::Matrix;
+pub use optim::Adam;
+pub use seq2seq::{Seq2Seq, Seq2SeqConfig, SeqExample};
+pub use trainer::{train_loop, TrainConfig};
+pub use transformer::{Transformer, TransformerConfig};
+pub use vocab::{Vocab, BOS, EOS, PAD, UNK};

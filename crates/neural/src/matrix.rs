@@ -1,0 +1,220 @@
+//! Dense row-major `f32` matrix with the handful of kernels the autograd
+//! layer needs. Kernels are written as straight loops over slices so the
+//! compiler can autovectorise them (see the perf-book guidance followed
+//! throughout this workspace: measure, keep inner loops allocation-free).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(rows * cols, data.len(), "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier-ish initialisation.
+    pub fn randn(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / (rows + cols) as f32).sqrt();
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            // Box-Muller from two uniforms.
+            let u1: f32 = rng.gen_range(1e-6f32..1.0);
+            let u2: f32 = rng.gen_range(0.0f32..1.0);
+            let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            data.push(n * scale);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// `self · other` (m×k · k×n).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (m×k · n×k → m×n).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *out.at_mut(i, j) = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (k×m · k×n → m×n).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    pub fn add_assign(&mut self, other: &Matrix) {
+        debug_assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    pub fn scale_assign(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Frobenius norm (used by gradient clipping).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_nt_is_a_bt() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(2, 3, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        let c = a.matmul_nt(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.at(0, 0), 4.0); // 1+3
+        assert_eq!(c.at(1, 1), 5.0);
+    }
+
+    #[test]
+    fn matmul_tn_is_at_b() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let c = a.matmul_tn(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.at(0, 0), 9.0); // 1+3+5
+        assert_eq!(c.at(1, 0), 12.0);
+    }
+
+    #[test]
+    fn randn_is_seeded_and_scaled() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let a = Matrix::randn(4, 4, &mut r1);
+        let b = Matrix::randn(4, 4, &mut r2);
+        assert_eq!(a, b);
+        assert!(a.norm() > 0.0 && a.norm() < 10.0);
+    }
+
+    #[test]
+    fn helpers_behave() {
+        let mut m = Matrix::zeros(2, 2);
+        *m.at_mut(1, 0) = 5.0;
+        assert_eq!(m.at(1, 0), 5.0);
+        m.add_assign(&Matrix::from_vec(2, 2, vec![1.0; 4]));
+        assert_eq!(m.at(1, 0), 6.0);
+        m.scale_assign(0.5);
+        assert_eq!(m.at(1, 0), 3.0);
+        assert_eq!(m.map(|x| x * 2.0).at(1, 0), 6.0);
+    }
+}

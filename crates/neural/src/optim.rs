@@ -1,0 +1,129 @@
+//! Adam optimiser with global-norm gradient clipping.
+
+use crate::autograd::ParamStore;
+use crate::matrix::Matrix;
+
+/// Adam state + hyperparameters.
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub clip: f32,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    t: u64,
+}
+
+impl Adam {
+    pub fn new(store: &ParamStore, lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: 5.0,
+            m: store
+                .values
+                .iter()
+                .map(|p| Matrix::zeros(p.rows, p.cols))
+                .collect(),
+            v: store
+                .values
+                .iter()
+                .map(|p| Matrix::zeros(p.rows, p.cols))
+                .collect(),
+            t: 0,
+        }
+    }
+
+    /// Apply one update from the accumulated gradients (scaled by
+    /// `1/batch_size`), then zero them.
+    pub fn step(&mut self, store: &mut ParamStore, batch_size: usize) {
+        self.t += 1;
+        let scale = 1.0 / batch_size.max(1) as f32;
+
+        // Global-norm clipping.
+        let mut norm_sq = 0.0f32;
+        for gr in &store.grads {
+            for g in &gr.data {
+                let g = g * scale;
+                norm_sq += g * g;
+            }
+        }
+        let norm = norm_sq.sqrt();
+        let clip_scale = if norm > self.clip {
+            self.clip / norm
+        } else {
+            1.0
+        } * scale;
+
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in store.values.iter_mut().enumerate() {
+            let grad = &store.grads[i];
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for j in 0..p.data.len() {
+                let g = grad.data[j] * clip_scale;
+                m.data[j] = self.beta1 * m.data[j] + (1.0 - self.beta1) * g;
+                v.data[j] = self.beta2 * v.data[j] + (1.0 - self.beta2) * g * g;
+                let mhat = m.data[j] / bc1;
+                let vhat = v.data[j] / bc2;
+                p.data[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::Graph;
+
+    /// Adam minimises a small quadratic: loss = Σ (w - target)².
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::default();
+        let w = store.add("w", Matrix::from_vec(1, 3, vec![5.0, -3.0, 2.0]));
+        let target = [1.0f32, 1.0, 1.0];
+        let mut opt = Adam::new(&store, 0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let wv = g.param(&store, w);
+            let t = g.leaf(Matrix::from_vec(1, 3, target.to_vec()));
+            let negt = g.affine(t, -1.0, 0.0);
+            let diff = g.add(wv, negt);
+            let sq = g.mul(diff, diff);
+            let ones = g.leaf(Matrix::from_vec(3, 1, vec![1.0; 3]));
+            let loss = g.matmul(sq, ones);
+            g.backward(loss);
+            g.accumulate_param_grads(&mut store);
+            opt.step(&mut store, 1);
+            last = g.value(loss).data[0];
+        }
+        assert!(last < 1e-3, "loss did not converge: {last}");
+        for (a, b) in store.values[w].data.iter().zip(target.iter()) {
+            assert!((a - b).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut store = ParamStore::default();
+        let w = store.add("w", Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+        store.grads[w] = Matrix::from_vec(1, 2, vec![1e6, -1e6]);
+        let before = store.values[w].clone();
+        let mut opt = Adam::new(&store, 0.01);
+        opt.step(&mut store, 1);
+        let delta: f32 = store.values[w]
+            .data
+            .iter()
+            .zip(before.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(delta < 1.0, "clipped update should be small: {delta}");
+    }
+}

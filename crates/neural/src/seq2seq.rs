@@ -1,0 +1,414 @@
+//! Attention seq2seq with an optional pointer-generator copy head — the
+//! architecture class of the paper's Seq2Vis baseline (Luo et al. 2021a).
+//!
+//! The copy head is what gives the baseline its *lexical matching* character:
+//! column names explicitly present in the question are copied into the
+//! output through attention, which works perfectly on nvBench and collapses
+//! when questions stop echoing schema tokens (nvBench-Rob).
+
+use crate::autograd::{Graph, ParamStore, Var};
+use crate::layers::{attention, Embedding, Linear, LstmCell};
+use crate::matrix::Matrix;
+use crate::vocab::{BOS, EOS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Model hyperparameters.
+#[derive(Debug, Clone)]
+pub struct Seq2SeqConfig {
+    pub src_vocab: usize,
+    pub tgt_vocab: usize,
+    pub emb: usize,
+    pub hidden: usize,
+    /// Enable the pointer-generator copy head.
+    pub copy: bool,
+    pub max_decode: usize,
+}
+
+impl Default for Seq2SeqConfig {
+    fn default() -> Self {
+        Seq2SeqConfig {
+            src_vocab: 0,
+            tgt_vocab: 0,
+            emb: 48,
+            hidden: 64,
+            copy: true,
+            max_decode: 70,
+        }
+    }
+}
+
+/// One training / inference example.
+///
+/// The copy head uses an *extended* vocabulary (See et al. 2017): ids in
+/// `[0, tgt_vocab)` are ordinary tokens; id `tgt_vocab + j` means "source
+/// token at position j". `src_as_tgt[j]` is the extended id a copy of
+/// position j produces (its in-vocab id when the token is known, else
+/// `tgt_vocab + j`), and `tgt` may contain extended ids for OOV targets
+/// that appear in the source.
+#[derive(Debug, Clone)]
+pub struct SeqExample {
+    /// Source ids (no framing).
+    pub src: Vec<usize>,
+    /// Extended id each source position yields when copied.
+    pub src_as_tgt: Vec<usize>,
+    /// Target ids framed with BOS/EOS (extended ids allowed).
+    pub tgt: Vec<usize>,
+}
+
+/// The seq2seq network.
+pub struct Seq2Seq {
+    pub cfg: Seq2SeqConfig,
+    pub store: ParamStore,
+    enc_emb: Embedding,
+    dec_emb: Embedding,
+    enc: LstmCell,
+    dec: LstmCell,
+    combine: Linear,
+    out: Linear,
+    copy_gate: Linear,
+}
+
+impl Seq2Seq {
+    pub fn new(cfg: Seq2SeqConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::default();
+        let enc_emb = Embedding::new(&mut store, "enc_emb", cfg.src_vocab, cfg.emb, &mut rng);
+        let dec_emb = Embedding::new(&mut store, "dec_emb", cfg.tgt_vocab, cfg.emb, &mut rng);
+        let enc = LstmCell::new(&mut store, "enc", cfg.emb, cfg.hidden, &mut rng);
+        let dec = LstmCell::new(&mut store, "dec", cfg.emb, cfg.hidden, &mut rng);
+        let combine = Linear::new(&mut store, "combine", cfg.hidden * 2, cfg.hidden, &mut rng);
+        let out = Linear::new(&mut store, "out", cfg.hidden, cfg.tgt_vocab, &mut rng);
+        let copy_gate = Linear::new(&mut store, "copy_gate", cfg.hidden * 2, 1, &mut rng);
+        Seq2Seq {
+            cfg,
+            store,
+            enc_emb,
+            dec_emb,
+            enc,
+            dec,
+            combine,
+            out,
+            copy_gate,
+        }
+    }
+
+    /// Encode source tokens into an S×H memory and the final state.
+    fn encode(&self, g: &mut Graph, src: &[usize]) -> (Var, crate::layers::LstmState) {
+        let embs = self.enc_emb.lookup(g, &self.store, src);
+        let mut state = self.enc.init_state(g);
+        let mut hs = Vec::with_capacity(src.len());
+        for t in 0..src.len() {
+            let x = g.slice_cols_row(embs, t);
+            state = self.enc.step(g, &self.store, x, state);
+            hs.push(state.h);
+        }
+        let memory = g.stack_rows(&hs);
+        (memory, state)
+    }
+
+    /// One decoder step: returns the output distribution over the extended
+    /// vocabulary (`tgt_vocab + src_len` when the copy head is enabled).
+    fn step_dist(
+        &self,
+        g: &mut Graph,
+        memory: Var,
+        state: &mut crate::layers::LstmState,
+        prev_token: usize,
+        src_as_tgt: &[usize],
+    ) -> Var {
+        // Extended previous tokens embed as their source word is unknown to
+        // the decoder; use the shared <unk> row.
+        let prev = if prev_token >= self.cfg.tgt_vocab {
+            crate::vocab::UNK
+        } else {
+            prev_token
+        };
+        let x = self.dec_emb.lookup(g, &self.store, &[prev]);
+        *state = self.dec.step(g, &self.store, x, *state);
+        let (ctx, attn) = attention(g, memory, state.h);
+        let cat = g.concat_cols(state.h, ctx);
+        let comb = self.combine.forward(g, &self.store, cat);
+        let comb = g.tanh(comb);
+        let logits = self.out.forward(g, &self.store, comb);
+        let pvocab = g.softmax_rows(logits);
+        if !self.cfg.copy {
+            return pvocab;
+        }
+        let extended = self.cfg.tgt_vocab + src_as_tgt.len();
+        let zeros = g.leaf(Matrix::zeros(1, extended - self.cfg.tgt_vocab));
+        let pvocab_ext = g.concat_cols(pvocab, zeros);
+        let gate_logit = self.copy_gate.forward(g, &self.store, cat);
+        let gate = g.sigmoid(gate_logit); // 1×1
+        let one_minus = g.affine(gate, -1.0, 1.0);
+        let pcopy = g.scatter_cols(attn, src_as_tgt, extended);
+        let a = g.mul_scalar(pvocab_ext, one_minus);
+        let b = g.mul_scalar(pcopy, gate);
+        g.add(a, b)
+    }
+
+    /// Teacher-forced mean negative log-likelihood.
+    pub fn loss(&self, g: &mut Graph, ex: &SeqExample) -> Var {
+        let (memory, final_state) = self.encode(g, &ex.src);
+        let mut state = final_state;
+        let mut losses = Vec::with_capacity(ex.tgt.len() - 1);
+        for t in 0..ex.tgt.len() - 1 {
+            let dist = self.step_dist(g, memory, &mut state, ex.tgt[t], &ex.src_as_tgt);
+            losses.push(g.pick_neg_log(dist, ex.tgt[t + 1]));
+        }
+        g.mean_scalars(&losses)
+    }
+
+    /// Beam-search decode; returns the best hypothesis's ids without
+    /// framing. `beam = 1` degenerates to greedy.
+    pub fn beam(&self, src: &[usize], src_as_tgt: &[usize], beam: usize) -> Vec<usize> {
+        if beam <= 1 {
+            return self.greedy(src, src_as_tgt);
+        }
+        #[derive(Clone)]
+        struct Hyp {
+            tokens: Vec<usize>,
+            state: crate::layers::LstmState,
+            score: f32,
+            done: bool,
+        }
+        let mut g = Graph::new();
+        let (memory, init) = self.encode(&mut g, src);
+        let mut hyps = vec![Hyp {
+            tokens: vec![BOS],
+            state: init,
+            score: 0.0,
+            done: false,
+        }];
+        for _ in 0..self.cfg.max_decode {
+            if hyps.iter().all(|h| h.done) {
+                break;
+            }
+            let mut next: Vec<Hyp> = Vec::new();
+            for h in &hyps {
+                if h.done {
+                    next.push(h.clone());
+                    continue;
+                }
+                let mut state = h.state;
+                let prev = *h.tokens.last().expect("BOS framed");
+                let dist = self.step_dist(&mut g, memory, &mut state, prev, src_as_tgt);
+                let row = g.value(dist);
+                // Top-`beam` continuations of this hypothesis.
+                let mut scored: Vec<(usize, f32)> = row
+                    .data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| (i, (p + 1e-9).ln()))
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                for &(tok, logp) in scored.iter().take(beam) {
+                    let mut tokens = h.tokens.clone();
+                    let done = tok == EOS;
+                    if !done {
+                        tokens.push(tok);
+                    }
+                    next.push(Hyp {
+                        tokens,
+                        state,
+                        score: h.score + logp,
+                        done,
+                    });
+                }
+            }
+            // Keep the best `beam` by length-normalised score.
+            next.sort_by(|a, b| {
+                let an = a.score / a.tokens.len() as f32;
+                let bn = b.score / b.tokens.len() as f32;
+                bn.partial_cmp(&an).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            next.truncate(beam);
+            hyps = next;
+        }
+        let best = hyps
+            .into_iter()
+            .max_by(|a, b| {
+                let an = a.score / a.tokens.len() as f32;
+                let bn = b.score / b.tokens.len() as f32;
+                an.partial_cmp(&bn).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one hypothesis");
+        best.tokens[1..].to_vec()
+    }
+
+    /// Greedy decode; returns target ids without framing.
+    pub fn greedy(&self, src: &[usize], src_as_tgt: &[usize]) -> Vec<usize> {
+        let mut g = Graph::new();
+        let (memory, final_state) = self.encode(&mut g, src);
+        let mut state = final_state;
+        let mut out = Vec::new();
+        let mut prev = BOS;
+        for _ in 0..self.cfg.max_decode {
+            let dist = self.step_dist(&mut g, memory, &mut state, prev, src_as_tgt);
+            let row = g.value(dist);
+            let (best, _) = row
+                .data
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty distribution");
+            if best == EOS {
+                break;
+            }
+            out.push(best);
+            prev = best;
+        }
+        out
+    }
+}
+
+impl Graph {
+    /// Row `r` of a matrix as a 1×n var (helper for per-step consumption of
+    /// an embedded sequence).
+    pub fn slice_cols_row(&mut self, m: Var, r: usize) -> Var {
+        let cols = self.value(m).cols;
+        let rows = self.value(m).rows;
+        // Select the row with a 1×rows one-hot matmul (differentiable).
+        let mut sel = Matrix::zeros(1, rows);
+        sel.data[r] = 1.0;
+        let sel = self.leaf(sel);
+        let _ = cols;
+        self.matmul(sel, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    fn toy_model(copy: bool) -> Seq2Seq {
+        Seq2Seq::new(
+            Seq2SeqConfig {
+                src_vocab: 12,
+                tgt_vocab: 12,
+                emb: 12,
+                hidden: 16,
+                copy,
+                max_decode: 8,
+            },
+            7,
+        )
+    }
+
+    fn toy_examples() -> Vec<SeqExample> {
+        // Task: copy the (2-token) source to the target, reversed.
+        let mut out = Vec::new();
+        for a in 4..8usize {
+            for b in 4..8usize {
+                out.push(SeqExample {
+                    src: vec![a, b],
+                    src_as_tgt: vec![a, b],
+                    tgt: vec![BOS, b, a, EOS],
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let mut model = toy_model(true);
+        let examples = toy_examples();
+        let mut opt = Adam::new(&model.store, 0.01);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..30 {
+            let mut total = 0.0;
+            for ex in &examples {
+                let mut g = Graph::new();
+                let loss = model.loss(&mut g, ex);
+                total += g.value(loss).data[0];
+                g.backward(loss);
+                g.accumulate_param_grads(&mut model.store);
+            }
+            opt.step(&mut model.store, examples.len());
+            if epoch == 0 {
+                first = total;
+            }
+            last = total;
+        }
+        assert!(
+            last < first * 0.5,
+            "training must reduce loss: {first} → {last}"
+        );
+    }
+
+    #[test]
+    fn greedy_learns_the_toy_task() {
+        let mut model = toy_model(true);
+        let examples = toy_examples();
+        let mut opt = Adam::new(&model.store, 0.02);
+        for _ in 0..120 {
+            for ex in &examples {
+                let mut g = Graph::new();
+                let loss = model.loss(&mut g, ex);
+                g.backward(loss);
+                g.accumulate_param_grads(&mut model.store);
+            }
+            opt.step(&mut model.store, examples.len());
+        }
+        let mut correct = 0;
+        for ex in &examples {
+            if model.greedy(&ex.src, &ex.src_as_tgt) == vec![ex.src[1], ex.src[0]] {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct >= examples.len() * 3 / 4,
+            "greedy should solve most of the toy task: {correct}/{}",
+            examples.len()
+        );
+    }
+
+    #[test]
+    fn beam_search_matches_or_beats_greedy_on_toy_task() {
+        let mut model = toy_model(true);
+        let examples = toy_examples();
+        let mut opt = Adam::new(&model.store, 0.02);
+        for _ in 0..60 {
+            for ex in &examples {
+                let mut g = Graph::new();
+                let loss = model.loss(&mut g, ex);
+                g.backward(loss);
+                g.accumulate_param_grads(&mut model.store);
+            }
+            opt.step(&mut model.store, examples.len());
+        }
+        let mut greedy_ok = 0;
+        let mut beam_ok = 0;
+        for ex in &examples {
+            let want = vec![ex.src[1], ex.src[0]];
+            if model.greedy(&ex.src, &ex.src_as_tgt) == want {
+                greedy_ok += 1;
+            }
+            if model.beam(&ex.src, &ex.src_as_tgt, 4) == want {
+                beam_ok += 1;
+            }
+        }
+        assert!(beam_ok >= greedy_ok, "beam {beam_ok} < greedy {greedy_ok}");
+    }
+
+    #[test]
+    fn beam_one_equals_greedy() {
+        let model = toy_model(true);
+        assert_eq!(
+            model.beam(&[4, 5], &[4, 5], 1),
+            model.greedy(&[4, 5], &[4, 5])
+        );
+    }
+
+    #[test]
+    fn decode_is_deterministic_and_bounded() {
+        let model = toy_model(false);
+        let a = model.greedy(&[4, 5], &[4, 5]);
+        let b = model.greedy(&[4, 5], &[4, 5]);
+        assert_eq!(a, b);
+        assert!(a.len() <= model.cfg.max_decode);
+    }
+}

@@ -1,0 +1,372 @@
+//! A small encoder–decoder transformer (Vaswani et al. 2017) — the paper's
+//! "Transformer" baseline. Closed output vocabulary, sinusoidal positions,
+//! pre-norm blocks, greedy decoding.
+
+use crate::autograd::{Graph, ParamStore, Var};
+use crate::layers::{Embedding, Linear};
+use crate::matrix::Matrix;
+use crate::vocab::{BOS, EOS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Model hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TransformerConfig {
+    pub src_vocab: usize,
+    pub tgt_vocab: usize,
+    pub dim: usize,
+    pub heads: usize,
+    pub layers: usize,
+    pub ff: usize,
+    pub max_len: usize,
+    pub max_decode: usize,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        TransformerConfig {
+            src_vocab: 0,
+            tgt_vocab: 0,
+            dim: 48,
+            heads: 4,
+            layers: 2,
+            ff: 96,
+            max_len: 160,
+            max_decode: 70,
+        }
+    }
+}
+
+struct AttnBlock {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+}
+
+impl AttnBlock {
+    fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut StdRng) -> Self {
+        AttnBlock {
+            wq: Linear::new(store, &format!("{name}.q"), dim, dim, rng),
+            wk: Linear::new(store, &format!("{name}.k"), dim, dim, rng),
+            wv: Linear::new(store, &format!("{name}.v"), dim, dim, rng),
+            wo: Linear::new(store, &format!("{name}.o"), dim, dim, rng),
+        }
+    }
+
+    /// Multi-head attention of `x` (T×D) over `memory` (S×D).
+    fn forward(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Var,
+        memory: Var,
+        heads: usize,
+        causal: bool,
+    ) -> Var {
+        let q = self.wq.forward(g, store, x);
+        let k = self.wk.forward(g, store, memory);
+        let v = self.wv.forward(g, store, memory);
+        let dim = g.value(q).cols;
+        let dh = dim / heads;
+        let t_len = g.value(q).rows;
+        let s_len = g.value(k).rows;
+        let mask = if causal {
+            let mut m = Matrix::zeros(t_len, s_len);
+            for r in 0..t_len {
+                for c in 0..s_len {
+                    if c > r {
+                        *m.at_mut(r, c) = -1e9;
+                    }
+                }
+            }
+            Some(m)
+        } else {
+            None
+        };
+        let mut head_outs = Vec::with_capacity(heads);
+        for h in 0..heads {
+            let qh = g.slice_cols(q, h * dh, dh);
+            let kh = g.slice_cols(k, h * dh, dh);
+            let vh = g.slice_cols(v, h * dh, dh);
+            let scores = g.matmul_nt(qh, kh);
+            let scaled = g.affine(scores, 1.0 / (dh as f32).sqrt(), 0.0);
+            let masked = match &mask {
+                Some(m) => g.add_const(scaled, m),
+                None => scaled,
+            };
+            let attn = g.softmax_rows(masked);
+            head_outs.push(g.matmul(attn, vh));
+        }
+        let mut cat = head_outs[0];
+        for &h in &head_outs[1..] {
+            cat = g.concat_cols(cat, h);
+        }
+        self.wo.forward(g, store, cat)
+    }
+}
+
+struct Norm {
+    gain: usize,
+    bias: usize,
+}
+
+impl Norm {
+    fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        Norm {
+            gain: store.add(&format!("{name}.gain"), Matrix::from_vec(1, dim, vec![1.0; dim])),
+            bias: store.add(&format!("{name}.bias"), Matrix::zeros(1, dim)),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let gain = g.param(store, self.gain);
+        let bias = g.param(store, self.bias);
+        g.layer_norm(x, gain, bias)
+    }
+}
+
+struct FeedForward {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl FeedForward {
+    fn new(store: &mut ParamStore, name: &str, dim: usize, ff: usize, rng: &mut StdRng) -> Self {
+        FeedForward {
+            l1: Linear::new(store, &format!("{name}.1"), dim, ff, rng),
+            l2: Linear::new(store, &format!("{name}.2"), ff, dim, rng),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let h = self.l1.forward(g, store, x);
+        let h = g.relu(h);
+        self.l2.forward(g, store, h)
+    }
+}
+
+struct EncLayer {
+    attn: AttnBlock,
+    n1: Norm,
+    ff: FeedForward,
+    n2: Norm,
+}
+
+struct DecLayer {
+    self_attn: AttnBlock,
+    n1: Norm,
+    cross: AttnBlock,
+    n2: Norm,
+    ff: FeedForward,
+    n3: Norm,
+}
+
+/// The transformer network.
+pub struct Transformer {
+    pub cfg: TransformerConfig,
+    pub store: ParamStore,
+    src_emb: Embedding,
+    tgt_emb: Embedding,
+    pos: Matrix,
+    enc_layers: Vec<EncLayer>,
+    dec_layers: Vec<DecLayer>,
+    out: Linear,
+}
+
+impl Transformer {
+    pub fn new(cfg: TransformerConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::default();
+        let src_emb = Embedding::new(&mut store, "src_emb", cfg.src_vocab, cfg.dim, &mut rng);
+        let tgt_emb = Embedding::new(&mut store, "tgt_emb", cfg.tgt_vocab, cfg.dim, &mut rng);
+        let pos = sinusoidal(cfg.max_len, cfg.dim);
+        let enc_layers = (0..cfg.layers)
+            .map(|i| EncLayer {
+                attn: AttnBlock::new(&mut store, &format!("enc{i}.attn"), cfg.dim, &mut rng),
+                n1: Norm::new(&mut store, &format!("enc{i}.n1"), cfg.dim),
+                ff: FeedForward::new(&mut store, &format!("enc{i}.ff"), cfg.dim, cfg.ff, &mut rng),
+                n2: Norm::new(&mut store, &format!("enc{i}.n2"), cfg.dim),
+            })
+            .collect();
+        let dec_layers = (0..cfg.layers)
+            .map(|i| DecLayer {
+                self_attn: AttnBlock::new(&mut store, &format!("dec{i}.self"), cfg.dim, &mut rng),
+                n1: Norm::new(&mut store, &format!("dec{i}.n1"), cfg.dim),
+                cross: AttnBlock::new(&mut store, &format!("dec{i}.cross"), cfg.dim, &mut rng),
+                n2: Norm::new(&mut store, &format!("dec{i}.n2"), cfg.dim),
+                ff: FeedForward::new(&mut store, &format!("dec{i}.ff"), cfg.dim, cfg.ff, &mut rng),
+                n3: Norm::new(&mut store, &format!("dec{i}.n3"), cfg.dim),
+            })
+            .collect();
+        let out = Linear::new(&mut store, "out", cfg.dim, cfg.tgt_vocab, &mut rng);
+        Transformer {
+            cfg,
+            store,
+            src_emb,
+            tgt_emb,
+            pos,
+            enc_layers,
+            dec_layers,
+            out,
+        }
+    }
+
+    fn embed(&self, g: &mut Graph, emb: &Embedding, ids: &[usize]) -> Var {
+        let e = emb.lookup(g, &self.store, ids);
+        let scaled = g.affine(e, (self.cfg.dim as f32).sqrt(), 0.0);
+        let mut pos = Matrix::zeros(ids.len(), self.cfg.dim);
+        for r in 0..ids.len().min(self.pos.rows) {
+            pos.row_mut(r).copy_from_slice(self.pos.row(r));
+        }
+        g.add_const(scaled, &pos)
+    }
+
+    fn encode(&self, g: &mut Graph, src: &[usize]) -> Var {
+        let mut x = self.embed(g, &self.src_emb, src);
+        for layer in &self.enc_layers {
+            let normed = layer.n1.forward(g, &self.store, x);
+            let a = layer
+                .attn
+                .forward(g, &self.store, normed, normed, self.cfg.heads, false);
+            x = g.add(x, a);
+            let normed = layer.n2.forward(g, &self.store, x);
+            let f = layer.ff.forward(g, &self.store, normed);
+            x = g.add(x, f);
+        }
+        x
+    }
+
+    fn decode_states(&self, g: &mut Graph, memory: Var, tgt_in: &[usize]) -> Var {
+        let mut x = self.embed(g, &self.tgt_emb, tgt_in);
+        for layer in &self.dec_layers {
+            let normed = layer.n1.forward(g, &self.store, x);
+            let a = layer
+                .self_attn
+                .forward(g, &self.store, normed, normed, self.cfg.heads, true);
+            x = g.add(x, a);
+            let normed = layer.n2.forward(g, &self.store, x);
+            let c = layer
+                .cross
+                .forward(g, &self.store, normed, memory, self.cfg.heads, false);
+            x = g.add(x, c);
+            let normed = layer.n3.forward(g, &self.store, x);
+            let f = layer.ff.forward(g, &self.store, normed);
+            x = g.add(x, f);
+        }
+        x
+    }
+
+    /// Teacher-forced mean cross entropy. `tgt` is BOS..EOS framed.
+    pub fn loss(&self, g: &mut Graph, src: &[usize], tgt: &[usize]) -> Var {
+        let memory = self.encode(g, src);
+        let tgt_in = &tgt[..tgt.len() - 1];
+        let tgt_out = &tgt[1..];
+        let states = self.decode_states(g, memory, tgt_in);
+        let logits = self.out.forward(g, &self.store, states);
+        g.ce_loss(logits, tgt_out)
+    }
+
+    /// Greedy decode (re-runs the decoder per step; sequences are short).
+    pub fn greedy(&self, src: &[usize]) -> Vec<usize> {
+        let mut g = Graph::new();
+        let memory = self.encode(&mut g, src);
+        let mut tokens = vec![BOS];
+        for _ in 0..self.cfg.max_decode {
+            let states = self.decode_states(&mut g, memory, &tokens);
+            let logits = self.out.forward(&mut g, &self.store, states);
+            let l = g.value(logits);
+            let last = l.row(l.rows - 1);
+            let (best, _) = last
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty logits");
+            if best == EOS {
+                break;
+            }
+            tokens.push(best);
+        }
+        tokens[1..].to_vec()
+    }
+}
+
+/// Sinusoidal positional encodings.
+fn sinusoidal(max_len: usize, dim: usize) -> Matrix {
+    Matrix::from_fn(max_len, dim, |pos, i| {
+        let exponent = (2 * (i / 2)) as f32 / dim as f32;
+        let rate = 1.0 / 10000f32.powf(exponent);
+        let angle = pos as f32 * rate;
+        if i % 2 == 0 {
+            angle.sin()
+        } else {
+            angle.cos()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    fn toy() -> Transformer {
+        Transformer::new(
+            TransformerConfig {
+                src_vocab: 12,
+                tgt_vocab: 12,
+                dim: 16,
+                heads: 2,
+                layers: 1,
+                ff: 32,
+                max_len: 16,
+                max_decode: 6,
+            },
+            11,
+        )
+    }
+
+    #[test]
+    fn loss_is_finite_and_decreases() {
+        let mut model = toy();
+        let data: Vec<(Vec<usize>, Vec<usize>)> = (4..9)
+            .map(|a| (vec![a, a + 1], vec![BOS, a + 1, a, EOS]))
+            .collect();
+        let mut opt = Adam::new(&model.store, 0.01);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for epoch in 0..40 {
+            let mut total = 0.0;
+            for (src, tgt) in &data {
+                let mut g = Graph::new();
+                let loss = model.loss(&mut g, src, tgt);
+                total += g.value(loss).data[0];
+                assert!(total.is_finite());
+                g.backward(loss);
+                g.accumulate_param_grads(&mut model.store);
+            }
+            opt.step(&mut model.store, data.len());
+            if epoch == 0 {
+                first = total;
+            }
+            last = total;
+        }
+        assert!(last < first * 0.6, "transformer loss: {first} → {last}");
+    }
+
+    #[test]
+    fn greedy_emits_bounded_sequences() {
+        let model = toy();
+        let out = model.greedy(&[4, 5]);
+        assert!(out.len() <= model.cfg.max_decode);
+        let again = model.greedy(&[4, 5]);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn positional_encoding_rows_differ() {
+        let p = sinusoidal(8, 16);
+        assert_ne!(p.row(0), p.row(1));
+        assert!((p.at(0, 1) - 1.0).abs() < 1e-6); // cos(0) = 1
+    }
+}

@@ -1,0 +1,123 @@
+//! Token vocabulary with the specials seq2seq needs.
+
+use std::collections::HashMap;
+
+/// Special token ids (fixed positions).
+pub const PAD: usize = 0;
+pub const BOS: usize = 1;
+pub const EOS: usize = 2;
+pub const UNK: usize = 3;
+
+/// String ↔ id vocabulary.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Vocab {
+    /// Build from an iterator of tokens; order of first occurrence after the
+    /// four specials.
+    pub fn build<'a>(tokens: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut v = Vocab {
+            tokens: vec![
+                "<pad>".into(),
+                "<s>".into(),
+                "</s>".into(),
+                "<unk>".into(),
+            ],
+            index: HashMap::new(),
+        };
+        for (i, t) in v.tokens.iter().enumerate() {
+            v.index.insert(t.clone(), i);
+        }
+        for t in tokens {
+            v.intern(t);
+        }
+        v
+    }
+
+    /// Add a token if absent; returns its id.
+    pub fn intern(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.index.get(token) {
+            return id;
+        }
+        let id = self.tokens.len();
+        self.tokens.push(token.to_string());
+        self.index.insert(token.to_string(), id);
+        id
+    }
+
+    pub fn id(&self, token: &str) -> usize {
+        self.index.get(token).copied().unwrap_or(UNK)
+    }
+
+    pub fn token(&self, id: usize) -> &str {
+        self.tokens.get(id).map_or("<unk>", String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Encode with BOS/EOS framing.
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(tokens.len() + 2);
+        out.push(BOS);
+        out.extend(tokens.iter().map(|t| self.id(t)));
+        out.push(EOS);
+        out
+    }
+
+    /// Decode ids, dropping specials.
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        ids.iter()
+            .filter(|&&id| id > UNK)
+            .map(|&id| self.token(id).to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::build(["a", "b"].into_iter());
+        assert_eq!(v.id("<pad>"), PAD);
+        assert_eq!(v.id("<s>"), BOS);
+        assert_eq!(v.id("</s>"), EOS);
+        assert_eq!(v.id("<unk>"), UNK);
+        assert_eq!(v.id("a"), 4);
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let v = Vocab::build(["a"].into_iter());
+        assert_eq!(v.id("zzz"), UNK);
+        assert_eq!(v.token(999), "<unk>");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let v = Vocab::build(["select", "bar"].into_iter());
+        let ids = v.encode(&["select".into(), "bar".into()]);
+        assert_eq!(ids[0], BOS);
+        assert_eq!(*ids.last().unwrap(), EOS);
+        assert_eq!(v.decode(&ids), vec!["select", "bar"]);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocab::build([].into_iter());
+        let a = v.intern("x");
+        let b = v.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 5);
+    }
+}

@@ -1,0 +1,22 @@
+//! # t2v-perturb — nvBench-Rob construction
+//!
+//! Implements the two perturbation families of the paper's robustness
+//! benchmark (§2):
+//!
+//! * **NLQ reconstruction** — questions are re-rendered in a paraphrased
+//!   style that never echoes the schema's literal column names and avoids
+//!   DVQ keywords (the paper used ChatGPT + manual correction; we re-render
+//!   from the stored semantic spec, which guarantees meaning preservation —
+//!   the property the paper's human pass was enforcing).
+//! * **Schema synonymous substitution** — consistent per-database renames
+//!   of tables and columns to different lexicalisations of the same concept,
+//!   plus naming-convention changes (`DEPARTMENT_ID` → `Dept_ID`).
+//!
+//! The result is [`NvBenchRob`] with the paper's three test sets
+//! (`nlq`, `schema`, `both`) plus the unperturbed `original` baseline set.
+
+pub mod rename;
+pub mod rob;
+
+pub use rename::{rename_database, RenamePlan};
+pub use rob::{build_rob, NvBenchRob, RobExample, RobVariant};

@@ -1,0 +1,220 @@
+//! Schema synonymous substitution (paper §2.2, "Schema Synonymous
+//! Substitution").
+//!
+//! For every database we build a *consistent* rename: one lexicalisation
+//! choice per concept, applied across every table and column that mentions
+//! it — the property the paper's human annotators enforced manually. Naming
+//! conventions are re-rolled too (`DEPARTMENT_ID` → `Dept_ID` style changes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use t2v_corpus::lexicon::Lexicon;
+use t2v_corpus::schema::{render_words, Database, NamePart, NamingStyle};
+
+/// A consistent per-database rename plan: concept id → lexicalisation index.
+#[derive(Debug, Clone, Default)]
+pub struct RenamePlan {
+    pub concept_alt: HashMap<String, usize>,
+    pub table_styles: Vec<NamingStyle>,
+}
+
+/// Rename `db` consistently; the result has id `<db.id>_robust`.
+///
+/// Every concept that appears in the database is mapped to a *different*
+/// lexicalisation than its primary one, and per-table naming conventions are
+/// re-rolled. Collisions (two columns rendering to the same name) are
+/// resolved by bumping the colliding concept's choice and retrying, keeping
+/// the plan database-consistent.
+pub fn rename_database(db: &Database, lex: &Lexicon, seed: u64) -> (Database, RenamePlan) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_c0de);
+
+    // Collect every concept used anywhere in this database.
+    let mut concepts: Vec<String> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut collect = |parts: &Vec<NamePart>| {
+        for p in parts {
+            if let NamePart::Concept(id) = p {
+                if seen.insert(id.clone()) {
+                    concepts.push(id.clone());
+                }
+            }
+        }
+    };
+    for t in &db.tables {
+        collect(&t.parts);
+        for c in &t.columns {
+            collect(&c.parts);
+        }
+    }
+
+    let mut plan = RenamePlan::default();
+    for id in &concepts {
+        let n = lex.get(id).map_or(1, |c| c.alts.len());
+        // Choose a non-primary lexicalisation when one exists.
+        let alt = if n > 1 { rng.gen_range(1..n) } else { 0 };
+        plan.concept_alt.insert(id.clone(), alt);
+    }
+    plan.table_styles = (0..db.tables.len())
+        .map(|_| NamingStyle::ALL[rng.gen_range(0..NamingStyle::ALL.len())])
+        .collect();
+
+    // Apply, retrying with bumped choices on collisions.
+    for _attempt in 0..32 {
+        match apply_plan(db, lex, &plan) {
+            Ok(renamed) => return (renamed, plan),
+            Err(concept) => {
+                let n = lex.get(&concept).map_or(1, |c| c.alts.len());
+                let cur = plan.concept_alt.get(&concept).copied().unwrap_or(0);
+                plan.concept_alt.insert(concept, (cur + 1) % n.max(1));
+            }
+        }
+    }
+    panic!("rename of {} failed to converge", db.id);
+}
+
+/// Render the word sequence for `parts` under `plan`.
+fn plan_words(parts: &[NamePart], lex: &Lexicon, plan: &RenamePlan) -> Vec<String> {
+    let mut words = Vec::new();
+    for p in parts {
+        match p {
+            NamePart::Concept(id) => {
+                let alt = plan.concept_alt.get(id).copied().unwrap_or(0);
+                words.extend(render_words(std::slice::from_ref(p), lex, alt));
+            }
+            NamePart::Literal(w) => words.push(w.clone()),
+        }
+    }
+    words
+}
+
+fn apply_plan(db: &Database, lex: &Lexicon, plan: &RenamePlan) -> Result<Database, String> {
+    let mut out = db.clone();
+    out.id = format!("{}_robust", db.id);
+    for (ti, t) in out.tables.iter_mut().enumerate() {
+        let style = plan.table_styles[ti];
+        // Table names stay lower_snake (nvBench convention) but swap words.
+        t.name = NamingStyle::LowerSnake.render(&plan_words(&t.parts, lex, plan));
+        let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for c in t.columns.iter_mut() {
+            c.name = style.render(&plan_words(&c.parts, lex, plan));
+            if !used.insert(c.name.to_ascii_lowercase()) {
+                // Report the head concept as the collision culprit.
+                let culprit = c
+                    .parts
+                    .iter()
+                    .rev()
+                    .find_map(|p| match p {
+                        NamePart::Concept(id) => Some(id.clone()),
+                        NamePart::Literal(_) => None,
+                    })
+                    .unwrap_or_default();
+                return Err(culprit);
+            }
+        }
+    }
+    // Table-name uniqueness across the database.
+    let mut tnames = std::collections::HashSet::new();
+    for t in &out.tables {
+        if !tnames.insert(t.name.to_ascii_lowercase()) {
+            let culprit = t
+                .parts
+                .iter()
+                .find_map(|p| match p {
+                    NamePart::Concept(id) => Some(id.clone()),
+                    NamePart::Literal(_) => None,
+                })
+                .unwrap_or_default();
+            return Err(culprit);
+        }
+    }
+    out.validate()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+
+    #[test]
+    fn renamed_databases_validate_and_change_names() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let lex = &corpus.lexicon;
+        for (i, db) in corpus.databases.iter().enumerate() {
+            let (renamed, _) = rename_database(db, lex, 1000 + i as u64);
+            renamed.validate().unwrap();
+            assert_eq!(renamed.id, format!("{}_robust", db.id));
+            // A healthy majority of column names must actually change.
+            let mut changed = 0;
+            let mut total = 0;
+            for (t_old, t_new) in db.tables.iter().zip(renamed.tables.iter()) {
+                for (c_old, c_new) in t_old.columns.iter().zip(t_new.columns.iter()) {
+                    total += 1;
+                    if !c_old.name.eq_ignore_ascii_case(&c_new.name) {
+                        changed += 1;
+                    }
+                }
+            }
+            assert!(
+                changed * 10 >= total * 8,
+                "{}: only {changed}/{total} columns renamed",
+                db.id
+            );
+        }
+    }
+
+    #[test]
+    fn rename_is_concept_consistent_across_tables() {
+        let corpus = generate(&CorpusConfig::tiny(11));
+        let lex = &corpus.lexicon;
+        let db = &corpus.databases[0];
+        let (renamed, plan) = rename_database(db, lex, 42);
+        // Every concept maps to exactly one alt; re-rendering any column with
+        // the plan reproduces its new name.
+        for (ti, t) in renamed.tables.iter().enumerate() {
+            let style = plan.table_styles[ti];
+            for c in &t.columns {
+                let words = super::plan_words(&c.parts, lex, &plan);
+                assert_eq!(c.name, style.render(&words));
+            }
+        }
+    }
+
+    #[test]
+    fn rename_is_deterministic_in_seed() {
+        let corpus = generate(&CorpusConfig::tiny(3));
+        let db = &corpus.databases[1];
+        let (a, _) = rename_database(db, &corpus.lexicon, 9);
+        let (b, _) = rename_database(db, &corpus.lexicon, 9);
+        for (x, y) in a.tables.iter().zip(b.tables.iter()) {
+            assert_eq!(x.name, y.name);
+            for (cx, cy) in x.columns.iter().zip(y.columns.iter()) {
+                assert_eq!(cx.name, cy.name);
+            }
+        }
+        let (c, _) = rename_database(db, &corpus.lexicon, 10);
+        let differs = a
+            .tables
+            .iter()
+            .zip(c.tables.iter())
+            .any(|(x, y)| x.columns.iter().zip(y.columns.iter()).any(|(cx, cy)| cx.name != cy.name));
+        assert!(differs);
+    }
+
+    #[test]
+    fn structure_is_preserved() {
+        let corpus = generate(&CorpusConfig::tiny(5));
+        let db = &corpus.databases[2];
+        let (renamed, _) = rename_database(db, &corpus.lexicon, 77);
+        assert_eq!(db.tables.len(), renamed.tables.len());
+        assert_eq!(db.foreign_keys, renamed.foreign_keys);
+        for (t_old, t_new) in db.tables.iter().zip(renamed.tables.iter()) {
+            assert_eq!(t_old.columns.len(), t_new.columns.len());
+            for (c_old, c_new) in t_old.columns.iter().zip(t_new.columns.iter()) {
+                assert_eq!(c_old.ctype, c_new.ctype);
+                assert_eq!(c_old.parts, c_new.parts);
+            }
+        }
+    }
+}

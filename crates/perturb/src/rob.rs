@@ -1,0 +1,272 @@
+//! Construction of the three nvBench-Rob test sets (paper §2).
+//!
+//! * `nvBench-Rob_nlq` — NLQ reconstruction only: paraphrased questions over
+//!   the **original** schemas; targets are the original DVQs.
+//! * `nvBench-Rob_schema` — schema substitution only: the **original
+//!   explicit** questions (which still mention the *old* column names!) over
+//!   the **renamed** schemas; targets are rebuilt against the new names.
+//! * `nvBench-Rob_(nlq,schema)` — both perturbations combined.
+//!
+//! The unperturbed dev split is exposed in the same shape (the `original`
+//! set), used as the nvBench baseline column of Figure 3.
+
+use crate::rename::rename_database;
+use t2v_corpus::nlq::{render_nlq, NlMode};
+use t2v_corpus::{Corpus, Database};
+use t2v_dvq::ast::Dvq;
+use t2v_dvq::printer::Printer;
+
+/// Which perturbation family a test set applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RobVariant {
+    /// No perturbation (the original nvBench dev split).
+    Original,
+    /// NLQ reconstruction only.
+    Nlq,
+    /// Schema synonymous substitution only.
+    Schema,
+    /// Both.
+    Both,
+}
+
+impl RobVariant {
+    pub fn label(&self) -> &'static str {
+        match self {
+            RobVariant::Original => "nvBench",
+            RobVariant::Nlq => "nvBench-Rob(nlq)",
+            RobVariant::Schema => "nvBench-Rob(schema)",
+            RobVariant::Both => "nvBench-Rob(nlq,schema)",
+        }
+    }
+}
+
+/// One perturbed evaluation item.
+#[derive(Debug, Clone)]
+pub struct RobExample {
+    /// Index of the source pair in `corpus.dev`.
+    pub base: usize,
+    /// Database index (into original or renamed vector, per `uses_renamed`).
+    pub db: usize,
+    /// Whether `db` indexes the renamed database collection.
+    pub uses_renamed: bool,
+    pub nlq: String,
+    pub target: Dvq,
+    pub target_text: String,
+}
+
+/// The assembled robustness benchmark.
+#[derive(Debug, Clone)]
+pub struct NvBenchRob {
+    /// Renamed copy of every corpus database (index-aligned).
+    pub renamed: Vec<Database>,
+    pub original: Vec<RobExample>,
+    pub nlq: Vec<RobExample>,
+    pub schema: Vec<RobExample>,
+    pub both: Vec<RobExample>,
+}
+
+impl NvBenchRob {
+    /// The test set for a variant.
+    pub fn set(&self, variant: RobVariant) -> &[RobExample] {
+        match variant {
+            RobVariant::Original => &self.original,
+            RobVariant::Nlq => &self.nlq,
+            RobVariant::Schema => &self.schema,
+            RobVariant::Both => &self.both,
+        }
+    }
+
+    /// Resolve the database an example runs against.
+    pub fn database<'a>(&'a self, corpus: &'a Corpus, ex: &RobExample) -> &'a Database {
+        if ex.uses_renamed {
+            &self.renamed[ex.db]
+        } else {
+            &corpus.databases[ex.db]
+        }
+    }
+}
+
+/// Build nvBench-Rob from a generated corpus. `seed` controls the rename
+/// plans and paraphrase frame choices, independent of the corpus seed.
+pub fn build_rob(corpus: &Corpus, seed: u64) -> NvBenchRob {
+    let lex = &corpus.lexicon;
+    let printer = Printer::default();
+
+    let renamed: Vec<Database> = corpus
+        .databases
+        .iter()
+        .enumerate()
+        .map(|(i, db)| rename_database(db, lex, seed.wrapping_add(i as u64)).0)
+        .collect();
+
+    let mut original = Vec::with_capacity(corpus.dev.len());
+    let mut nlq_set = Vec::with_capacity(corpus.dev.len());
+    let mut schema_set = Vec::with_capacity(corpus.dev.len());
+    let mut both_set = Vec::with_capacity(corpus.dev.len());
+
+    for (i, ex) in corpus.dev.iter().enumerate() {
+        let db_orig = &corpus.databases[ex.db];
+        let db_new = &renamed[ex.db];
+
+        original.push(RobExample {
+            base: i,
+            db: ex.db,
+            uses_renamed: false,
+            nlq: ex.nlq.clone(),
+            target: ex.dvq.clone(),
+            target_text: ex.dvq_text.clone(),
+        });
+
+        // NLQ-only: paraphrase against the original schema.
+        let para_orig = render_nlq(
+            &ex.spec,
+            db_orig,
+            lex,
+            NlMode::Paraphrased,
+            ex.frame_seed ^ seed,
+        );
+        nlq_set.push(RobExample {
+            base: i,
+            db: ex.db,
+            uses_renamed: false,
+            nlq: para_orig,
+            target: ex.dvq.clone(),
+            target_text: ex.dvq_text.clone(),
+        });
+
+        // Schema-only: original question, renamed schema, rebuilt target.
+        let target_new = ex.spec.to_dvq(db_new);
+        let target_new_text = printer.print(&target_new);
+        schema_set.push(RobExample {
+            base: i,
+            db: ex.db,
+            uses_renamed: true,
+            nlq: ex.nlq.clone(),
+            target: target_new.clone(),
+            target_text: target_new_text.clone(),
+        });
+
+        // Both: paraphrase against the renamed schema (so neither naming is
+        // echoed) plus the renamed-schema target.
+        let para_new = render_nlq(
+            &ex.spec,
+            db_new,
+            lex,
+            NlMode::Paraphrased,
+            ex.frame_seed ^ seed.rotate_left(17),
+        );
+        both_set.push(RobExample {
+            base: i,
+            db: ex.db,
+            uses_renamed: true,
+            nlq: para_new,
+            target: target_new,
+            target_text: target_new_text,
+        });
+    }
+
+    NvBenchRob {
+        renamed,
+        original,
+        nlq: nlq_set,
+        schema: schema_set,
+        both: both_set,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+    use t2v_dvq::components::ComponentMatch;
+
+    fn fixture() -> (Corpus, NvBenchRob) {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let rob = build_rob(&corpus, 99);
+        (corpus, rob)
+    }
+
+    #[test]
+    fn all_sets_have_dev_size() {
+        let (corpus, rob) = fixture();
+        assert_eq!(rob.original.len(), corpus.dev.len());
+        assert_eq!(rob.nlq.len(), corpus.dev.len());
+        assert_eq!(rob.schema.len(), corpus.dev.len());
+        assert_eq!(rob.both.len(), corpus.dev.len());
+        assert_eq!(rob.renamed.len(), corpus.databases.len());
+    }
+
+    #[test]
+    fn targets_parse_and_match_rendered_text() {
+        let (_, rob) = fixture();
+        for set in [&rob.original, &rob.nlq, &rob.schema, &rob.both] {
+            for ex in set.iter() {
+                let parsed = t2v_dvq::parse(&ex.target_text).unwrap();
+                assert_eq!(parsed, ex.target);
+            }
+        }
+    }
+
+    #[test]
+    fn schema_variant_changes_targets_but_not_structure() {
+        let (_, rob) = fixture();
+        let mut changed = 0;
+        for (o, s) in rob.original.iter().zip(rob.schema.iter()) {
+            // Same structural skeleton (chart type, clause shapes)...
+            let m = ComponentMatch::grade(&s.target, &o.target);
+            assert!(m.vis, "chart type must be untouched by renaming");
+            // ...but most targets mention different column names.
+            if s.target_text != o.target_text {
+                changed += 1;
+            }
+        }
+        assert!(changed * 10 >= rob.original.len() * 9);
+    }
+
+    #[test]
+    fn nlq_variant_keeps_targets_but_rewrites_questions() {
+        let (_, rob) = fixture();
+        let mut rewritten = 0;
+        for (o, n) in rob.original.iter().zip(rob.nlq.iter()) {
+            assert_eq!(o.target_text, n.target_text);
+            if o.nlq != n.nlq {
+                rewritten += 1;
+            }
+        }
+        assert!(rewritten * 10 >= rob.original.len() * 9);
+    }
+
+    #[test]
+    fn both_variant_composes_the_two() {
+        let (_, rob) = fixture();
+        for ((b, s), n) in rob.both.iter().zip(rob.schema.iter()).zip(rob.nlq.iter()) {
+            assert_eq!(b.target_text, s.target_text);
+            assert!(b.uses_renamed);
+            // The dual-variant NLQ should differ from the schema-set NLQ
+            // (which is still explicit) for nearly every example.
+            let _ = n;
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let corpus = generate(&CorpusConfig::tiny(5));
+        let a = build_rob(&corpus, 1);
+        let b = build_rob(&corpus, 1);
+        for (x, y) in a.both.iter().zip(b.both.iter()) {
+            assert_eq!(x.nlq, y.nlq);
+            assert_eq!(x.target_text, y.target_text);
+        }
+    }
+
+    #[test]
+    fn database_resolution_follows_variant() {
+        let (corpus, rob) = fixture();
+        let ex = &rob.schema[0];
+        let db = rob.database(&corpus, ex);
+        assert!(db.id.ends_with("_robust"));
+        let ex0 = &rob.nlq[0];
+        let db0 = rob.database(&corpus, ex0);
+        assert!(!db0.id.ends_with("_robust"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests for the perturbation machinery.
+
+use proptest::prelude::*;
+use t2v_corpus::{generate, CorpusConfig};
+use t2v_perturb::{build_rob, rename_database};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Renaming is valid, consistent and deterministic for any seed.
+    #[test]
+    fn rename_valid_for_any_seed(seed in 0u64..10_000) {
+        let corpus = generate(&CorpusConfig::tiny(5));
+        let db = &corpus.databases[(seed % corpus.databases.len() as u64) as usize];
+        let (renamed, _) = rename_database(db, &corpus.lexicon, seed);
+        renamed.validate().unwrap();
+        let (again, _) = rename_database(db, &corpus.lexicon, seed);
+        for (a, b) in renamed.tables.iter().zip(again.tables.iter()) {
+            prop_assert_eq!(&a.name, &b.name);
+        }
+    }
+
+    /// The Rob builder keeps every target parseable and every set aligned,
+    /// for any build seed.
+    #[test]
+    fn rob_targets_parse_for_any_seed(seed in 0u64..1_000) {
+        let corpus = generate(&CorpusConfig::tiny(9));
+        let rob = build_rob(&corpus, seed);
+        for i in (0..corpus.dev.len()).step_by(7) {
+            prop_assert!(t2v_dvq::parse(&rob.nlq[i].target_text).is_ok());
+            prop_assert!(t2v_dvq::parse(&rob.schema[i].target_text).is_ok());
+            prop_assert_eq!(&rob.schema[i].target_text, &rob.both[i].target_text);
+        }
+    }
+
+    /// Paraphrased questions never contain multiword schema column names
+    /// verbatim (underscored), for any build seed.
+    #[test]
+    fn paraphrases_avoid_underscored_names(seed in 0u64..500) {
+        let corpus = generate(&CorpusConfig::tiny(13));
+        let rob = build_rob(&corpus, seed);
+        for ex in rob.nlq.iter().step_by(11) {
+            let db = &corpus.databases[ex.db];
+            let lower = ex.nlq.to_ascii_lowercase();
+            let mut cols = Vec::new();
+            db.tables.iter().for_each(|t| {
+                t.columns.iter().for_each(|c| cols.push(c.name.to_ascii_lowercase()))
+            });
+            for c in cols.iter().filter(|c| c.contains('_')) {
+                prop_assert!(
+                    !lower.contains(c.as_str()),
+                    "paraphrase leaked column {}: {}", c, lower
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # text2vis — robust text-to-visualization translation
+//!
+//! Facade over the full reproduction of *"Towards Robustness of
+//! Text-to-Visualization Translation against Lexical and Phrasal
+//! Variability"* (ICDE 2025): the DVQ language, a synthetic nvBench corpus,
+//! the nvBench-Rob perturbation suite, an execution engine, embedding and
+//! LLM substrates, the neural baselines, the GRED framework and the
+//! evaluation harness.
+//!
+//! ```
+//! use text2vis::prelude::*;
+//!
+//! let corpus = generate(&CorpusConfig::tiny(7));
+//! let gred = default_gred(&corpus, GredConfig::default());
+//! let ex = &corpus.dev[0];
+//! let dvq = gred
+//!     .translate_final(&ex.nlq, &corpus.databases[ex.db])
+//!     .expect("a DVQ");
+//! assert!(dvq.starts_with("Visualize"));
+//! ```
+
+pub use t2v_baselines as baselines;
+pub use t2v_corpus as corpus;
+pub use t2v_dvq as dvq;
+pub use t2v_embed as embed;
+pub use t2v_engine as engine;
+pub use t2v_eval as eval;
+pub use t2v_gred as gred;
+pub use t2v_llm as llm;
+pub use t2v_neural as neural;
+pub use t2v_perturb as perturb;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use t2v_corpus::{generate, Corpus, CorpusConfig, Database};
+    pub use t2v_dvq::{parse, Dvq, Printer};
+    pub use t2v_engine::{execute, Store};
+    pub use t2v_eval::{evaluate_set, Text2VisModel};
+    pub use t2v_gred::{default_gred, Gred, GredConfig};
+    pub use t2v_perturb::{build_rob, NvBenchRob, RobVariant};
+}

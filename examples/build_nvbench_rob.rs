@@ -1,0 +1,52 @@
+//! Build nvBench-Rob from scratch and show what the two perturbation
+//! families do to one example: NLQ reconstruction and schema synonymous
+//! substitution (paper §2).
+//!
+//! ```sh
+//! cargo run --release -p text2vis --example build_nvbench_rob
+//! ```
+
+use text2vis::prelude::*;
+
+fn main() {
+    let corpus = generate(&CorpusConfig::small(7));
+    let rob = build_rob(&corpus, 99);
+
+    // Pick an example whose schema rename touched the query.
+    let idx = rob
+        .both
+        .iter()
+        .position(|b| b.target_text != rob.original[b.base].target_text)
+        .unwrap_or(0);
+
+    let orig = &rob.original[idx];
+    let nlq_var = &rob.nlq[idx];
+    let schema_var = &rob.schema[idx];
+    let both_var = &rob.both[idx];
+
+    println!("=== original (nvBench) ===");
+    println!("NLQ   : {}", orig.nlq);
+    println!("target: {}\n", orig.target_text);
+
+    println!("=== nvBench-Rob(nlq): NLQ reconstruction ===");
+    println!("NLQ   : {}", nlq_var.nlq);
+    println!("target: {} (unchanged)\n", nlq_var.target_text);
+
+    println!("=== nvBench-Rob(schema): synonymous substitution ===");
+    println!("NLQ   : {} (unchanged)", schema_var.nlq);
+    println!("target: {}\n", schema_var.target_text);
+
+    let db_old = &corpus.databases[orig.db];
+    let db_new = &rob.renamed[orig.db];
+    println!("schema rename ({} → {}):", db_old.id, db_new.id);
+    for (t_old, t_new) in db_old.tables.iter().zip(db_new.tables.iter()).take(2) {
+        println!("  table {} → {}", t_old.name, t_new.name);
+        for (c_old, c_new) in t_old.columns.iter().zip(t_new.columns.iter()) {
+            println!("    {} → {}", c_old.name, c_new.name);
+        }
+    }
+
+    println!("\n=== nvBench-Rob(nlq,schema): both ===");
+    println!("NLQ   : {}", both_var.nlq);
+    println!("target: {}", both_var.target_text);
+}

@@ -1,0 +1,45 @@
+//! Quickstart: generate a corpus, prepare GRED, translate a question, and
+//! execute the result into a chart.
+//!
+//! ```sh
+//! cargo run --release -p text2vis --example quickstart
+//! ```
+
+use text2vis::prelude::*;
+use text2vis::engine::{chart, to_vegalite};
+
+fn main() {
+    // 1. A synthetic nvBench corpus (small profile for a fast start).
+    let corpus = generate(&CorpusConfig::small(7));
+    println!(
+        "corpus: {} databases, {} training pairs, {} dev pairs\n",
+        corpus.databases.len(),
+        corpus.train.len(),
+        corpus.dev.len()
+    );
+
+    // 2. Prepare GRED (embedding library + simulated GPT-3.5).
+    let gred = default_gred(&corpus, GredConfig::default());
+
+    // 3. Translate a dev question.
+    let ex = &corpus.dev[0];
+    let db = &corpus.databases[ex.db];
+    println!("NLQ   : {}", ex.nlq);
+    let out = gred.translate(&ex.nlq, db);
+    println!("DVQgen: {}", out.dvq_gen.as_deref().unwrap_or("-"));
+    println!("DVQrtn: {}", out.dvq_rtn.as_deref().unwrap_or("-"));
+    println!("DVQdbg: {}", out.dvq_dbg.as_deref().unwrap_or("-"));
+    println!("target: {}\n", ex.dvq_text);
+
+    // 4. Execute the final DVQ against synthetic rows and draw the chart.
+    let final_dvq = out.final_dvq().expect("GRED produced a DVQ");
+    let q = parse(final_dvq).expect("GRED output parses");
+    let store = Store::synthesize(db, 7, 30);
+    match execute(&q, &store) {
+        Ok(rs) => {
+            println!("{}", chart::render(q.chart, &rs, 40));
+            println!("Vega-Lite spec:\n{}", to_vegalite(&q, &rs).pretty());
+        }
+        Err(e) => println!("execution failed: {e} → no chart"),
+    }
+}

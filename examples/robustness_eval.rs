@@ -1,0 +1,38 @@
+//! Evaluate GRED and its ablations across all nvBench-Rob variants with the
+//! paper's four metrics — a compact version of the Tables 1-4 pipeline.
+//!
+//! ```sh
+//! cargo run --release -p text2vis --example robustness_eval
+//! ```
+
+use text2vis::prelude::*;
+
+fn main() {
+    let corpus = generate(&CorpusConfig::small(7));
+    let rob = build_rob(&corpus, 99);
+    let configs = [
+        ("GRED", GredConfig::default()),
+        ("GRED w/o RTN", GredConfig::default().without_retuner()),
+        ("GRED w/o DBG", GredConfig::default().without_debugger()),
+        ("GRED w/o RTN&DBG", GredConfig::default().generator_only()),
+    ];
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "model", "orig", "nlq", "schema", "both"
+    );
+    for (name, cfg) in configs {
+        let gred = default_gred(&corpus, cfg);
+        let mut row = format!("{name:<18}");
+        for variant in [
+            RobVariant::Original,
+            RobVariant::Nlq,
+            RobVariant::Schema,
+            RobVariant::Both,
+        ] {
+            let run = evaluate_set(&gred, &corpus, &rob, variant, Some(150));
+            row += &format!(" {:>11.2}%", run.accuracies.overall * 100.0);
+        }
+        println!("{row}");
+    }
+    println!("\n(overall accuracy on 150 examples per set; see crates/bench for full tables)");
+}
