@@ -189,13 +189,20 @@ pub fn encode_example(
         }
         // OOV target: reachable only by copying a matching source token.
         let lower = tok.to_ascii_lowercase();
-        match src_toks.iter().position(|s| s.to_ascii_lowercase() == lower) {
+        match src_toks
+            .iter()
+            .position(|s| s.to_ascii_lowercase() == lower)
+        {
             Some(j) => tgt.push(v + j),
             None => tgt.push(t2v_neural::UNK),
         }
     }
     tgt.push(t2v_neural::EOS);
-    SeqExample { src, src_as_tgt, tgt }
+    SeqExample {
+        src,
+        src_as_tgt,
+        tgt,
+    }
 }
 
 impl Text2VisModel for Seq2Vis {
@@ -265,7 +272,7 @@ mod tests {
 
     #[test]
     fn copy_target_id_tries_casings() {
-        let v = Vocab::build(["HIRE_DATE", "Dept_Id", "salary"].into_iter());
+        let v = Vocab::build(["HIRE_DATE", "Dept_Id", "salary"]);
         assert_eq!(copy_target_id(&v, "hire_date"), v.id("HIRE_DATE"));
         assert_eq!(copy_target_id(&v, "dept_id"), v.id("Dept_Id"));
         assert_eq!(copy_target_id(&v, "salary"), v.id("salary"));

@@ -88,7 +88,7 @@ mod tests {
     fn dvq_tokens_are_single_units() {
         let toks = dvq_tokens("Visualize BAR SELECT a , b FROM t WHERE c = 'Finance'");
         assert!(toks.contains(&"'Finance'".to_string()));
-        assert!(toks.contains(&"(".to_string()) == false);
+        assert!(!toks.contains(&"(".to_string()));
     }
 
     #[test]

@@ -23,14 +23,18 @@ fn bench_dvq(c: &mut Criterion) {
         b.iter(|| t2v_dvq::Printer::default().print(black_box(&parsed)))
     });
     c.bench_function("dvq/grade", |b| {
-        b.iter(|| t2v_dvq::components::ComponentMatch::grade(black_box(&parsed), black_box(&parsed)))
+        b.iter(|| {
+            t2v_dvq::components::ComponentMatch::grade(black_box(&parsed), black_box(&parsed))
+        })
     });
 }
 
 fn bench_embed(c: &mut Criterion) {
     let model = TextEmbedder::default_model();
     let text = "Please give me a histogram showing the change in wage over the date of hire in ascending manner.";
-    c.bench_function("embed/sentence", |b| b.iter(|| model.embed(black_box(text))));
+    c.bench_function("embed/sentence", |b| {
+        b.iter(|| model.embed(black_box(text)))
+    });
 }
 
 fn bench_retrieval(c: &mut Criterion) {
@@ -39,7 +43,9 @@ fn bench_retrieval(c: &mut Criterion) {
     for &n in &[1_000usize, 6_000] {
         let mut index = VectorIndex::with_capacity(n);
         for i in 0..n {
-            index.add(model.embed(&format!("training question number {i} about salaries and cities")));
+            index.add(model.embed(&format!(
+                "training question number {i} about salaries and cities"
+            )));
         }
         let q = model.embed("question about wages in each town");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -47,6 +53,40 @@ fn bench_retrieval(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_retrieval_batch(c: &mut Criterion) {
+    let model = TextEmbedder::default_model();
+    let n = 6_000usize;
+    let mut index = VectorIndex::with_capacity(n);
+    for i in 0..n {
+        index.add(model.embed(&format!(
+            "training question number {i} about salaries and cities"
+        )));
+    }
+    let queries: Vec<Vec<f32>> = (0..64)
+        .map(|i| model.embed(&format!("question {i} about wages in each town")))
+        .collect();
+    c.bench_function("retrieval/top10_batch64_6000", |b| {
+        b.iter(|| index.top_k_batch(black_box(&queries), 10))
+    });
+}
+
+fn bench_embed_into(c: &mut Criterion) {
+    let model = TextEmbedder::default_model();
+    let text = "Please give me a histogram showing the change in wage over the date of hire in ascending manner.";
+    let mut buf = vec![0f32; model.dims()];
+    c.bench_function("embed/sentence_into", |b| {
+        b.iter(|| model.embed_into(black_box(text), black_box(&mut buf)))
+    });
+}
+
+fn bench_library_build(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig::tiny(7));
+    let model = TextEmbedder::default_model();
+    c.bench_function("library/build_tiny", |b| {
+        b.iter(|| t2v_gred::EmbeddingLibrary::build(black_box(&corpus), black_box(&model)))
+    });
 }
 
 fn bench_engine(c: &mut Criterion) {
@@ -85,6 +125,7 @@ fn bench_gred(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_dvq, bench_embed, bench_retrieval, bench_engine, bench_perturb, bench_gred
+    targets = bench_dvq, bench_embed, bench_embed_into, bench_retrieval, bench_retrieval_batch,
+              bench_library_build, bench_engine, bench_perturb, bench_gred
 }
 criterion_main!(benches);

@@ -27,7 +27,10 @@ fn main() {
             },
         );
         let run = evaluate_set(&gred, &ctx.corpus, &ctx.rob, RobVariant::Both, limit);
-        println!("  K = {k:>2}: overall {:.2}%", run.accuracies.overall * 100.0);
+        println!(
+            "  K = {k:>2}: overall {:.2}%",
+            run.accuracies.overall * 100.0
+        );
         csv.push(format!("k_sweep,{k},{:.4}", run.accuracies.overall));
     }
 
@@ -41,8 +44,14 @@ fn main() {
             },
         );
         let run = evaluate_set(&gred, &ctx.corpus, &ctx.rob, RobVariant::Both, limit);
-        println!("  {label:<20}: overall {:.2}%", run.accuracies.overall * 100.0);
-        csv.push(format!("prompt_order,{ascending},{:.4}", run.accuracies.overall));
+        println!(
+            "  {label:<20}: overall {:.2}%",
+            run.accuracies.overall * 100.0
+        );
+        csv.push(format!(
+            "prompt_order,{ascending},{:.4}",
+            run.accuracies.overall
+        ));
     }
 
     println!("\n== Ablation: LLM semantic (synonym) coverage ==");
@@ -53,8 +62,14 @@ fn main() {
         let model = SimulatedChatModel::new(llm_cfg);
         let gred = Gred::prepare(&ctx.corpus, embedder, model, GredConfig::default());
         let run = evaluate_set(&gred, &ctx.corpus, &ctx.rob, RobVariant::Both, limit);
-        println!("  coverage {coverage:.2}: overall {:.2}%", run.accuracies.overall * 100.0);
-        csv.push(format!("llm_coverage,{coverage},{:.4}", run.accuracies.overall));
+        println!(
+            "  coverage {coverage:.2}: overall {:.2}%",
+            run.accuracies.overall * 100.0
+        );
+        csv.push(format!(
+            "llm_coverage,{coverage},{:.4}",
+            run.accuracies.overall
+        ));
     }
 
     println!("\n== Ablation: retrieval-embedder lexicon coverage ==");
@@ -69,8 +84,14 @@ fn main() {
         let model = SimulatedChatModel::new(LlmConfig::default());
         let gred = Gred::prepare(&ctx.corpus, embedder, model, GredConfig::default());
         let run = evaluate_set(&gred, &ctx.corpus, &ctx.rob, RobVariant::Both, limit);
-        println!("  coverage {coverage:.1}: overall {:.2}%", run.accuracies.overall * 100.0);
-        csv.push(format!("embed_coverage,{coverage},{:.4}", run.accuracies.overall));
+        println!(
+            "  coverage {coverage:.1}: overall {:.2}%",
+            run.accuracies.overall * 100.0
+        );
+        csv.push(format!(
+            "embed_coverage,{coverage},{:.4}",
+            run.accuracies.overall
+        ));
     }
 
     t2v_eval::write_csv(

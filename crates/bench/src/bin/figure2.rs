@@ -7,7 +7,10 @@ use t2v_corpus::CorpusStats;
 fn main() {
     let ctx = Ctx::from_args();
     let stats = CorpusStats::of(&ctx.corpus);
-    println!("== Figure 2: nvBench-Rob statistics (profile={}, seed={}) ==\n", ctx.profile, ctx.seed);
+    println!(
+        "== Figure 2: nvBench-Rob statistics (profile={}, seed={}) ==\n",
+        ctx.profile, ctx.seed
+    );
     println!("{}", stats.render());
     println!("paper reference: Bar 891, Pie 88, Line 51, Scatter 48, Stacked 60,");
     println!("  GroupLine 11, GroupScatter 33; hardness 286/475/282/139;");

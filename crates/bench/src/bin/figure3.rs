@@ -7,7 +7,11 @@ use t2v_perturb::RobVariant;
 
 fn main() {
     let mut ctx = Ctx::from_args();
-    let models = [ModelKind::RgVisNet, ModelKind::Transformer, ModelKind::Seq2Vis];
+    let models = [
+        ModelKind::RgVisNet,
+        ModelKind::Transformer,
+        ModelKind::Seq2Vis,
+    ];
     let paper: &[(&str, [f64; 2])] = &[
         ("RGVisNet", [85.17, 24.81]),
         ("Transformer", [68.69, 12.77]),
@@ -24,7 +28,11 @@ fn main() {
             .iter()
             .find(|(m, _)| *m == kind.label())
             .map(|(_, v)| v.to_vec());
-        rows.push((kind.label(), vec![orig.accuracies, both.accuracies], reference));
+        rows.push((
+            kind.label(),
+            vec![orig.accuracies, both.accuracies],
+            reference,
+        ));
     }
     let table = render_overall_table(
         "Figure 3: accuracy collapse nvBench → nvBench-Rob(nlq,schema)",

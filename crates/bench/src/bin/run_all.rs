@@ -22,19 +22,34 @@ fn main() {
             RobVariant::Nlq,
             "Table 1: nvBench-Rob(nlq)",
             "table1.csv",
-            vec![("Seq2Vis", 34.52), ("Transformer", 36.04), ("RGVisNet", 45.87), ("GRED", 59.98)],
+            vec![
+                ("Seq2Vis", 34.52),
+                ("Transformer", 36.04),
+                ("RGVisNet", 45.87),
+                ("GRED", 59.98),
+            ],
         ),
         (
             RobVariant::Schema,
             "Table 2: nvBench-Rob(schema)",
             "table2.csv",
-            vec![("Seq2Vis", 14.55), ("Transformer", 29.61), ("RGVisNet", 44.91), ("GRED", 61.93)],
+            vec![
+                ("Seq2Vis", 14.55),
+                ("Transformer", 29.61),
+                ("RGVisNet", 44.91),
+                ("GRED", 61.93),
+            ],
         ),
         (
             RobVariant::Both,
             "Table 3: nvBench-Rob(nlq,schema)",
             "table3.csv",
-            vec![("Seq2Vis", 5.50), ("Transformer", 12.77), ("RGVisNet", 24.81), ("GRED", 54.85)],
+            vec![
+                ("Seq2Vis", 5.50),
+                ("Transformer", 12.77),
+                ("RGVisNet", 24.81),
+                ("GRED", 54.85),
+            ],
         ),
     ] {
         let runs: Vec<t2v_eval::EvalRun> = models
@@ -61,7 +76,11 @@ fn main() {
     ] {
         let orig = ctx.evaluate(kind, RobVariant::Original);
         let both = ctx.evaluate(kind, RobVariant::Both);
-        rows.push((kind.label(), vec![orig.accuracies, both.accuracies], Some(paper.to_vec())));
+        rows.push((
+            kind.label(),
+            vec![orig.accuracies, both.accuracies],
+            Some(paper.to_vec()),
+        ));
     }
     println!(
         "{}",

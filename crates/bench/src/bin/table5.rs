@@ -35,7 +35,10 @@ fn main() {
     match execute(&target, &store) {
         Ok(rs) => {
             println!("Target chart:\n{}", chart::render(target.chart, &rs, 40));
-            println!("Vega-Lite spec (target):\n{}\n", to_vegalite(&target, &rs).pretty());
+            println!(
+                "Vega-Lite spec (target):\n{}\n",
+                to_vegalite(&target, &rs).pretty()
+            );
         }
         Err(e) => println!("Target failed to execute: {e}\n"),
     }
@@ -59,7 +62,11 @@ fn main() {
                         Err(e) => println!("execution failed ({e}) → ✘ no chart\n"),
                         Ok(rs) => {
                             let m = t2v_dvq::components::ComponentMatch::grade(&q, &target);
-                            let verdict = if m.overall { "✔" } else { "✘ (chart differs)" };
+                            let verdict = if m.overall {
+                                "✔"
+                            } else {
+                                "✘ (chart differs)"
+                            };
                             println!("{}{verdict}\n", chart::render(q.chart, &rs, 40));
                         }
                     },

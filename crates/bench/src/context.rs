@@ -165,11 +165,7 @@ impl Ctx {
             ModelKind::Transformer => self.transformer.as_ref().expect("ensured"),
             ModelKind::RgVisNet => self.rgvisnet.as_ref().expect("ensured"),
             _ => {
-                let (_, g) = self
-                    .gred
-                    .iter()
-                    .find(|(k, _)| *k == kind)
-                    .expect("ensured");
+                let (_, g) = self.gred.iter().find(|(k, _)| *k == kind).expect("ensured");
                 g
             }
         }
@@ -190,8 +186,10 @@ impl Ctx {
                 if self.transformer.is_none() {
                     eprintln!("[ctx] training Transformer...");
                     let t = std::time::Instant::now();
-                    self.transformer =
-                        Some(TransformerBaseline::train(&self.corpus, &self.baseline_cfg()));
+                    self.transformer = Some(TransformerBaseline::train(
+                        &self.corpus,
+                        &self.baseline_cfg(),
+                    ));
                     eprintln!("[ctx] Transformer trained in {:?}", t.elapsed());
                 }
                 self.transformer.as_ref().unwrap()
@@ -246,7 +244,11 @@ impl Ctx {
                 return cached;
             }
         }
-        eprintln!("[ctx] {} / {}: predicting {n} examples...", kind.label(), variant.label());
+        eprintln!(
+            "[ctx] {} / {}: predicting {n} examples...",
+            kind.label(),
+            variant.label()
+        );
         // Resolve inputs before borrowing the model (it may mutate self).
         let inputs: Vec<(String, usize, bool)> = self.rob.set(variant)[..n]
             .iter()
@@ -279,7 +281,11 @@ impl Ctx {
     pub fn evaluate(&mut self, kind: ModelKind, variant: RobVariant) -> t2v_eval::EvalRun {
         let preds = self.predictions(kind, variant);
         let set = &self.rob.set(variant)[..preds.len()];
+        // The set is sliced to the prediction count, so a mismatch can only
+        // mean a bug in the caching layer — surface it instead of grading
+        // misaligned pairs.
         t2v_eval::evaluate_predictions(kind.label(), variant, &preds, set)
+            .expect("predictions sliced to set length")
     }
 }
 

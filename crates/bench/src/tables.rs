@@ -5,12 +5,7 @@ use t2v_eval::{csv_row, render_table, write_csv};
 use t2v_perturb::RobVariant;
 
 /// Evaluate the four systems on one variant and print the paper-style table.
-pub fn run_table(
-    variant: RobVariant,
-    title: &str,
-    csv_name: &str,
-    paper_overall: &[(&str, f64)],
-) {
+pub fn run_table(variant: RobVariant, title: &str, csv_name: &str, paper_overall: &[(&str, f64)]) {
     let mut ctx = Ctx::from_args();
     let models = [
         ModelKind::Seq2Vis,

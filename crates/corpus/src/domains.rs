@@ -372,7 +372,13 @@ mod tests {
                 ids.sort_unstable();
                 let before = ids.len();
                 ids.dedup();
-                assert_eq!(before, ids.len(), "{}:{} duplicate concepts", dom.name, tb.concept);
+                assert_eq!(
+                    before,
+                    ids.len(),
+                    "{}:{} duplicate concepts",
+                    dom.name,
+                    tb.concept
+                );
             }
         }
     }

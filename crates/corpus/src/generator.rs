@@ -237,10 +237,7 @@ impl BudgetSplitter {
     }
 
     fn next(&mut self, min: usize, max: usize) -> usize {
-        let ideal = self
-            .remaining
-            .checked_div(self.parts_left)
-            .unwrap_or(min);
+        let ideal = self.remaining.checked_div(self.parts_left).unwrap_or(min);
         let take = ideal.clamp(min, max);
         self.remaining = self.remaining.saturating_sub(take);
         self.parts_left = self.parts_left.saturating_sub(1);
@@ -343,10 +340,7 @@ fn instantiate_db(
         for &(f, to) in &fk_edges {
             if f == new_i {
                 let target_concept = dom.tables[idxs[to]].concept;
-                let parts = vec![
-                    NamePart::concept(target_concept),
-                    NamePart::concept("id"),
-                ];
+                let parts = vec![NamePart::concept(target_concept), NamePart::concept("id")];
                 let col = Column {
                     name: style.render(&render_words(&parts, lex, 0)),
                     parts,
@@ -390,11 +384,13 @@ fn instantiate_db(
     let mut foreign_keys = Vec::new();
     for &(f, to) in &fk_edges {
         let target_concept = dom.tables[idxs[to]].concept;
-        let expect_head: Vec<NamePart> = vec![
-            NamePart::concept(target_concept),
-            NamePart::concept("id"),
-        ];
-        if let Some(ci) = tables[f].columns.iter().position(|c| c.parts == expect_head) {
+        let expect_head: Vec<NamePart> =
+            vec![NamePart::concept(target_concept), NamePart::concept("id")];
+        if let Some(ci) = tables[f]
+            .columns
+            .iter()
+            .position(|c| c.parts == expect_head)
+        {
             foreign_keys.push(ForeignKey {
                 from_table: f,
                 from_column: ci,
@@ -514,11 +510,19 @@ impl StylePrior {
 
 /// Try to build a spec for `chart` on `db` with the given complexity budget
 /// (0 = bare, 3 = joins/subqueries/multi-predicate).
-pub fn gen_spec(rng: &mut StdRng, db: &Database, chart: ChartType, budget: u32) -> Option<QuerySpec> {
+pub fn gen_spec(
+    rng: &mut StdRng,
+    db: &Database,
+    chart: ChartType,
+    budget: u32,
+) -> Option<QuerySpec> {
     let nt = db.tables.len();
     let table = rng.gen_range(0..nt);
     let tv = view(&db.tables[table]);
-    let cid = |t: usize, c: usize| ColumnId { table: t, column: c };
+    let cid = |t: usize, c: usize| ColumnId {
+        table: t,
+        column: c,
+    };
 
     // Follow the database's style habits with a 10% per-example deviation.
     let prior = StylePrior::for_db(&db.id);
@@ -572,7 +576,7 @@ pub fn gen_spec(rng: &mut StdRng, db: &Database, chart: ChartType, budget: u32) 
             } else if roll < 0.85 {
                 let y = pick_from(rng, &tv.nums)?;
                 let func = [AggFunc::Avg, AggFunc::Sum, AggFunc::Min, AggFunc::Max]
-                    [rng.gen_range(0..4)];
+                    [rng.gen_range(0..4usize)];
                 spec.y = AxisSpec::Agg {
                     func,
                     distinct: false,
@@ -607,7 +611,7 @@ pub fn gen_spec(rng: &mut StdRng, db: &Database, chart: ChartType, budget: u32) 
                 spec.x = AxisSpec::Col(cid(table, d));
                 spec.bin = Some((
                     cid(table, d),
-                    [BinUnit::Year, BinUnit::Month, BinUnit::Weekday][rng.gen_range(0..3)],
+                    [BinUnit::Year, BinUnit::Month, BinUnit::Weekday][rng.gen_range(0..3usize)],
                 ));
             } else {
                 // year-like numeric fallback
@@ -627,7 +631,7 @@ pub fn gen_spec(rng: &mut StdRng, db: &Database, chart: ChartType, budget: u32) 
             } else {
                 let y = pick_from(rng, &tv.nums)?;
                 spec.y = AxisSpec::Agg {
-                    func: [AggFunc::Avg, AggFunc::Sum][rng.gen_range(0..2)],
+                    func: [AggFunc::Avg, AggFunc::Sum][rng.gen_range(0..2usize)],
                     distinct: false,
                     col: cid(table, y),
                 };
@@ -659,11 +663,7 @@ pub fn gen_spec(rng: &mut StdRng, db: &Database, chart: ChartType, budget: u32) 
 
     // ----- join (budget >= 2) -----
     if budget >= 2 && rng.gen_bool(0.45) {
-        if let Some(fk) = db
-            .foreign_keys
-            .iter()
-            .find(|fk| fk.from_table == table)
-        {
+        if let Some(fk) = db.foreign_keys.iter().find(|fk| fk.from_table == table) {
             let to = fk.to_table;
             let to_view = view(&db.tables[to]);
             if let Some(filter_col) = pick_from(rng, &to_view.cats) {
@@ -697,7 +697,11 @@ pub fn gen_spec(rng: &mut StdRng, db: &Database, chart: ChartType, budget: u32) 
         _ => rng.gen_range(2..=3),
     };
     for _ in 0..extra_preds {
-        let conn = if rng.gen_bool(0.75) { BoolOp::And } else { BoolOp::Or };
+        let conn = if rng.gen_bool(0.75) {
+            BoolOp::And
+        } else {
+            BoolOp::Or
+        };
         let p = gen_pred(rng, db, table, &tv, budget)?;
         spec.preds.push((conn, p));
     }
@@ -710,7 +714,11 @@ pub fn gen_spec(rng: &mut StdRng, db: &Database, chart: ChartType, budget: u32) 
         } else {
             OrderTarget::X
         };
-        let dir = if rng.gen_bool(0.5) { SortDir::Asc } else { SortDir::Desc };
+        let dir = if rng.gen_bool(0.5) {
+            SortDir::Asc
+        } else {
+            SortDir::Desc
+        };
         spec.order = Some(OrderSpec {
             target,
             dir,
@@ -745,7 +753,7 @@ fn gen_pred(
             let (lo, hi) = values::num_range(&concept_of(c));
             let v = rng.gen_range(lo..=hi);
             let op = [CmpOp::Gt, CmpOp::Lt, CmpOp::Ge, CmpOp::Le, CmpOp::NotEq]
-                [rng.gen_range(0..5)];
+                [rng.gen_range(0..5usize)];
             return Some(PredSpec::Cmp {
                 col: cid(c),
                 op,
@@ -766,7 +774,11 @@ fn gen_pred(
             let pool = values::text_pool(&concept_of(c));
             return Some(PredSpec::Cmp {
                 col: cid(c),
-                op: if rng.gen_bool(0.8) { CmpOp::Eq } else { CmpOp::NotEq },
+                op: if rng.gen_bool(0.8) {
+                    CmpOp::Eq
+                } else {
+                    CmpOp::NotEq
+                },
                 value: ValSpec::Text(pool[rng.gen_range(0..pool.len())].to_string()),
             });
         } else if roll < 0.76 {

@@ -30,5 +30,7 @@ pub use generator::{gen_spec, generate, Corpus, CorpusConfig, Example};
 pub use lexicon::{Concept, Lexicon};
 pub use nlq::{render_nlq, NlMode};
 pub use schema::{ColType, Column, ColumnId, Database, ForeignKey, NamePart, NamingStyle, Table};
-pub use spec::{AxisSpec, CmpOp, JoinSpec, OrderSpec, OrderTarget, PredSpec, QuerySpec, StyleSpec, ValSpec};
+pub use spec::{
+    AxisSpec, CmpOp, JoinSpec, OrderSpec, OrderTarget, PredSpec, QuerySpec, StyleSpec, ValSpec,
+};
 pub use stats::CorpusStats;

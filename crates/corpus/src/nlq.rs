@@ -66,16 +66,19 @@ pub fn column_mention(
     }
 }
 
-fn table_mention(db: &Database, lex: &Lexicon, table: usize, mode: NlMode, rng: &mut StdRng) -> String {
+fn table_mention(
+    db: &Database,
+    lex: &Lexicon,
+    table: usize,
+    mode: NlMode,
+    rng: &mut StdRng,
+) -> String {
     let t = &db.tables[table];
     match mode {
         NlMode::Explicit => t.name.clone(),
         NlMode::Paraphrased => {
-            let name_words: Vec<String> = t
-                .name
-                .split('_')
-                .map(|w| w.to_ascii_lowercase())
-                .collect();
+            let name_words: Vec<String> =
+                t.name.split('_').map(|w| w.to_ascii_lowercase()).collect();
             let start = rng.gen_range(0..4usize);
             for off in 0..6 {
                 let words = render_words(&t.parts, lex, start + off);
@@ -95,13 +98,15 @@ fn chart_phrase(chart: ChartType, mode: NlMode, rng: &mut StdRng) -> &'static st
             pick(rng, &["a histogram", "a bar graph", "a column chart"])
         }
         (ChartType::Pie, NlMode::Explicit) => pick(rng, &["a pie chart", "pie chart"]),
-        (ChartType::Pie, NlMode::Paraphrased) => {
-            pick(rng, &["a pie graph", "a circular chart", "a proportional wheel"])
-        }
+        (ChartType::Pie, NlMode::Paraphrased) => pick(
+            rng,
+            &["a pie graph", "a circular chart", "a proportional wheel"],
+        ),
         (ChartType::Line, NlMode::Explicit) => pick(rng, &["a line chart", "line chart"]),
-        (ChartType::Line, NlMode::Paraphrased) => {
-            pick(rng, &["a line graph", "a trend curve", "a time-series curve"])
-        }
+        (ChartType::Line, NlMode::Paraphrased) => pick(
+            rng,
+            &["a line graph", "a trend curve", "a time-series curve"],
+        ),
         (ChartType::Scatter, NlMode::Explicit) => pick(rng, &["a scatter chart", "scatter chart"]),
         (ChartType::Scatter, NlMode::Paraphrased) => {
             pick(rng, &["a scatter plot", "a point cloud", "an x-y plot"])
@@ -124,7 +129,9 @@ fn chart_phrase(chart: ChartType, mode: NlMode, rng: &mut StdRng) -> &'static st
 fn agg_phrase(func: AggFunc, mode: NlMode, rng: &mut StdRng) -> &'static str {
     match (func, mode) {
         (AggFunc::Avg, NlMode::Explicit) => "the average of",
-        (AggFunc::Avg, NlMode::Paraphrased) => pick(rng, &["the mean", "the typical", "the average"]),
+        (AggFunc::Avg, NlMode::Paraphrased) => {
+            pick(rng, &["the mean", "the typical", "the average"])
+        }
         (AggFunc::Sum, NlMode::Explicit) => "the sum of",
         (AggFunc::Sum, NlMode::Paraphrased) => pick(rng, &["the combined", "the overall total of"]),
         (AggFunc::Min, NlMode::Explicit) => "the minimum of",
@@ -145,7 +152,9 @@ fn unit_phrase(unit: BinUnit, mode: NlMode, rng: &mut StdRng) -> &'static str {
         (BinUnit::Year, NlMode::Paraphrased) => pick(rng, &["yearly", "annual"]),
         (BinUnit::Month, NlMode::Paraphrased) => pick(rng, &["monthly", "per-month"]),
         (BinUnit::Day, NlMode::Paraphrased) => pick(rng, &["daily", "per-day"]),
-        (BinUnit::Weekday, NlMode::Paraphrased) => pick(rng, &["weekday-by-weekday", "per-weekday"]),
+        (BinUnit::Weekday, NlMode::Paraphrased) => {
+            pick(rng, &["weekday-by-weekday", "per-weekday"])
+        }
     }
 }
 
@@ -264,7 +273,11 @@ pub fn render_nlq(
             NlMode::Explicit => pick(&mut rng, &[" colored by {c}", " grouped by {c}"]),
             NlMode::Paraphrased => pick(
                 &mut rng,
-                &[" broken down by {c}", " separated by {c}", " with one series per {c}"],
+                &[
+                    " broken down by {c}",
+                    " separated by {c}",
+                    " with one series per {c}",
+                ],
             ),
         };
         s.push_str(&frag.replace("{c}", &cm));
@@ -275,9 +288,13 @@ pub fn render_nlq(
         let lead = if i == 0 {
             match mode {
                 NlMode::Explicit => pick(&mut rng, &[", for those records whose ", ", where "]),
-                NlMode::Paraphrased => {
-                    pick(&mut rng, &[", considering only entries whose ", ", restricted to cases where "])
-                }
+                NlMode::Paraphrased => pick(
+                    &mut rng,
+                    &[
+                        ", considering only entries whose ",
+                        ", restricted to cases where ",
+                    ],
+                ),
             }
             .to_string()
         } else {
@@ -295,8 +312,11 @@ pub fn render_nlq(
         if let Some(g) = spec.group.first() {
             let gm = column_mention(db, lex, *g, mode, &mut rng);
             s.push_str(
-                &pick(&mut rng, &[", and group by attribute {g}", ", group by {g}"])
-                    .replace("{g}", &gm),
+                &pick(
+                    &mut rng,
+                    &[", and group by attribute {g}", ", group by {g}"],
+                )
+                .replace("{g}", &gm),
             );
         }
     }
@@ -305,8 +325,11 @@ pub fn render_nlq(
     if let Some((c, unit)) = spec.bin {
         let cm = column_mention(db, lex, c, mode, &mut rng);
         let frag = match mode {
-            NlMode::Explicit => pick(&mut rng, &[", and bin {c} by {u}", ", bin {c} by {u} interval"])
-                .replace("{u}", unit_phrase(unit, mode, &mut rng)),
+            NlMode::Explicit => pick(
+                &mut rng,
+                &[", and bin {c} by {u}", ", bin {c} by {u} interval"],
+            )
+            .replace("{u}", unit_phrase(unit, mode, &mut rng)),
             NlMode::Paraphrased => pick(
                 &mut rng,
                 &[" on a {u} basis", ", aggregated at a {u} granularity"],
@@ -398,7 +421,9 @@ fn pred_phrase(
                 (CmpOp::Eq, NlMode::Explicit) => "equals to",
                 (CmpOp::Eq, NlMode::Paraphrased) => pick(rng, &["is exactly", "corresponds to"]),
                 (CmpOp::NotEq, NlMode::Explicit) => "does not equal to",
-                (CmpOp::NotEq, NlMode::Paraphrased) => pick(rng, &["differs from", "is anything but"]),
+                (CmpOp::NotEq, NlMode::Paraphrased) => {
+                    pick(rng, &["differs from", "is anything but"])
+                }
                 (CmpOp::Lt, NlMode::Explicit) => "is less than",
                 (CmpOp::Lt, NlMode::Paraphrased) => pick(rng, &["stays below", "is under"]),
                 (CmpOp::Le, NlMode::Explicit) => "is at most",
@@ -415,7 +440,10 @@ fn pred_phrase(
             NlMode::Paraphrased => {
                 let f = pick(
                     rng,
-                    &["{c} falls between {lo} and {hi}", "{c} lies within {lo} to {hi}"],
+                    &[
+                        "{c} falls between {lo} and {hi}",
+                        "{c} lies within {lo} to {hi}",
+                    ],
                 );
                 f.replace("{c}", &cm)
                     .replace("{lo}", &lo.to_string())
@@ -442,13 +470,7 @@ fn pred_phrase(
             ..
         } => {
             let tm = table_mention(db, lex, *sub_table, mode, rng);
-            let sm = column_mention(
-                db,
-                lex,
-                *sub_select,
-                mode,
-                rng,
-            );
+            let sm = column_mention(db, lex, *sub_select, mode, rng);
             let mut out = match mode {
                 NlMode::Explicit => format!("{cm} equals to the {sm} of {tm}"),
                 NlMode::Paraphrased => format!("{cm} matches the {sm} found in the {tm}"),
@@ -492,7 +514,13 @@ mod tests {
         let mut checked = 0;
         for ex in corpus.dev.iter().take(50) {
             let db = &corpus.databases[ex.db];
-            let nlq = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Explicit, ex.frame_seed);
+            let nlq = render_nlq(
+                &ex.spec,
+                db,
+                &corpus.lexicon,
+                NlMode::Explicit,
+                ex.frame_seed,
+            );
             let xname = db.column_name(ex.spec.x.column());
             assert!(
                 nlq.contains(xname),
@@ -532,8 +560,20 @@ mod tests {
         let corpus = generate(&CorpusConfig::tiny(9));
         let ex = &corpus.dev[0];
         let db = &corpus.databases[ex.db];
-        let a = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Paraphrased, ex.frame_seed);
-        let b = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Paraphrased, ex.frame_seed);
+        let a = render_nlq(
+            &ex.spec,
+            db,
+            &corpus.lexicon,
+            NlMode::Paraphrased,
+            ex.frame_seed,
+        );
+        let b = render_nlq(
+            &ex.spec,
+            db,
+            &corpus.lexicon,
+            NlMode::Paraphrased,
+            ex.frame_seed,
+        );
         assert_eq!(a, b);
     }
 
@@ -543,8 +583,20 @@ mod tests {
         let mut differs = 0;
         for ex in corpus.dev.iter().take(30) {
             let db = &corpus.databases[ex.db];
-            let e = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Explicit, ex.frame_seed);
-            let p = render_nlq(&ex.spec, db, &corpus.lexicon, NlMode::Paraphrased, ex.frame_seed);
+            let e = render_nlq(
+                &ex.spec,
+                db,
+                &corpus.lexicon,
+                NlMode::Explicit,
+                ex.frame_seed,
+            );
+            let p = render_nlq(
+                &ex.spec,
+                db,
+                &corpus.lexicon,
+                NlMode::Paraphrased,
+                ex.frame_seed,
+            );
             if e != p {
                 differs += 1;
             }

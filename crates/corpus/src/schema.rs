@@ -100,7 +100,9 @@ pub fn render_words(parts: &[NamePart], lex: &Lexicon, alt: usize) -> Vec<String
     for p in parts {
         match p {
             NamePart::Concept(id) => {
-                let c = lex.get(id).unwrap_or_else(|| panic!("unknown concept {id}"));
+                let c = lex
+                    .get(id)
+                    .unwrap_or_else(|| panic!("unknown concept {id}"));
                 let a = &c.alts[alt % c.alts.len()];
                 words.extend(a.iter().cloned());
             }
@@ -260,11 +262,10 @@ impl Database {
         let mut idx = HashMap::new();
         for (ti, t) in self.tables.iter().enumerate() {
             for (ci, c) in t.columns.iter().enumerate() {
-                idx.entry(c.name.to_ascii_lowercase())
-                    .or_insert(ColumnId {
-                        table: ti,
-                        column: ci,
-                    });
+                idx.entry(c.name.to_ascii_lowercase()).or_insert(ColumnId {
+                    table: ti,
+                    column: ci,
+                });
             }
         }
         idx

@@ -273,11 +273,7 @@ impl QuerySpec {
         col: &impl Fn(ColumnId) -> ColumnRef,
     ) -> Predicate {
         match p {
-            PredSpec::Cmp {
-                col: c,
-                op,
-                value,
-            } => Predicate::Compare {
+            PredSpec::Cmp { col: c, op, value } => Predicate::Compare {
                 col: col(*c),
                 op: match op {
                     CmpOp::Eq => CompareOp::Eq,
@@ -412,7 +408,10 @@ mod tests {
     }
 
     fn cid(t: usize, c: usize) -> ColumnId {
-        ColumnId { table: t, column: c }
+        ColumnId {
+            table: t,
+            column: c,
+        }
     }
 
     #[test]

@@ -10,9 +10,20 @@ pub fn text_pool(concept: &str) -> &'static [&'static str] {
         "country" => &[
             "China", "France", "Canada", "Spain", "Norway", "Japan", "Brazil", "Kenya",
         ],
+        // Pools stay ≤ 10 entries so a 10-row synthesized store can cover a
+        // whole pool (Store::synthesize cycles the prefix), keeping generated
+        // equality filters satisfiable.
         "first_name" => &[
-            "Shelley", "Nancy", "Steven", "John", "Hermann", "Alexander", "Adam", "Susan", "Den",
-            "Michael", "Jennifer",
+            "Shelley",
+            "Nancy",
+            "Steven",
+            "John",
+            "Hermann",
+            "Alexander",
+            "Adam",
+            "Susan",
+            "Den",
+            "Michael",
         ],
         "last_name" => &[
             "Smith", "Chen", "Garcia", "Mueller", "Tanaka", "Okafor", "Rossi", "Novak",

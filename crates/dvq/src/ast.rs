@@ -252,7 +252,9 @@ impl SelectExpr {
 pub enum CompareOp {
     Eq,
     /// `bang == true` → `!=`, otherwise `<>`.
-    NotEq { bang: bool },
+    NotEq {
+        bang: bool,
+    },
     Lt,
     Le,
     Gt,

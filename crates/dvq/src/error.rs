@@ -54,6 +54,8 @@ mod tests {
         }
         .to_string()
         .contains("end of input"));
-        assert!(DvqError::DuplicateClause("GROUP BY").to_string().contains("GROUP BY"));
+        assert!(DvqError::DuplicateClause("GROUP BY")
+            .to_string()
+            .contains("GROUP BY"));
     }
 }

@@ -78,8 +78,7 @@ pub fn score(q: &Dvq) -> u32 {
     if q.order_by.is_some() {
         s += 1;
     }
-    if q
-        .order_by
+    if q.order_by
         .as_ref()
         .is_some_and(|o| o.expr.aggregate().is_some())
     {
@@ -117,8 +116,8 @@ mod tests {
 
     #[test]
     fn group_count_order_is_medium() {
-        let q = parse("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a ORDER BY a ASC")
-            .unwrap();
+        let q =
+            parse("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a ORDER BY a ASC").unwrap();
         assert_eq!(classify(&q), Hardness::Medium);
     }
 

@@ -18,7 +18,10 @@ pub enum Tok {
     /// (`1.50` stays `1.50`).
     Number(String),
     /// String literal. `double_quoted` remembers the quote kind.
-    Str { text: String, double_quoted: bool },
+    Str {
+        text: String,
+        double_quoted: bool,
+    },
     /// Comparison operator in its raw spelling: `=`, `!=`, `<>`, `<`, `<=`,
     /// `>`, `>=`.
     Op(String),
@@ -166,9 +169,7 @@ pub fn lex(input: &str) -> Result<Vec<Tok>> {
                 if c == '-' {
                     i += 1;
                 }
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 toks.push(Tok::Number(input[start..i].to_string()));

@@ -174,9 +174,10 @@ impl Parser {
                 self.pos += 1;
                 match self.next_tok()? {
                     Tok::Number(n) => {
-                        q.limit = Some(n.parse().map_err(|_| {
-                            DvqError::Invalid(format!("bad LIMIT value {n}"))
-                        })?);
+                        q.limit = Some(
+                            n.parse()
+                                .map_err(|_| DvqError::Invalid(format!("bad LIMIT value {n}")))?,
+                        );
                     }
                     t => {
                         return Err(DvqError::Unexpected {
@@ -523,8 +524,10 @@ mod tests {
 
     #[test]
     fn parses_stacked_and_grouping_charts() {
-        let q = parse("Visualize STACKED BAR SELECT Year , COUNT(Year) FROM exhibition GROUP BY Theme , Year")
-            .unwrap();
+        let q = parse(
+            "Visualize STACKED BAR SELECT Year , COUNT(Year) FROM exhibition GROUP BY Theme , Year",
+        )
+        .unwrap();
         assert_eq!(q.chart, ChartType::StackedBar);
         assert_eq!(q.group_by.len(), 2);
         let q = parse("Visualize GROUPING SCATTER SELECT a , b FROM t GROUP BY c").unwrap();
@@ -554,10 +557,7 @@ mod tests {
         )
         .unwrap();
         assert!(q.has_subquery());
-        assert!(matches!(
-            q.y,
-            SelectExpr::Aggregate { distinct: true, .. }
-        ));
+        assert!(matches!(q.y, SelectExpr::Aggregate { distinct: true, .. }));
     }
 
     #[test]
@@ -619,10 +619,8 @@ mod tests {
     #[test]
     fn clause_order_is_tolerant() {
         // BIN before ORDER BY also parses.
-        let q = parse(
-            "Visualize LINE SELECT d , COUNT(d) FROM t BIN d BY MONTH ORDER BY d ASC",
-        )
-        .unwrap();
+        let q = parse("Visualize LINE SELECT d , COUNT(d) FROM t BIN d BY MONTH ORDER BY d ASC")
+            .unwrap();
         assert!(q.bin.is_some());
         assert!(q.order_by.is_some());
     }

@@ -85,7 +85,10 @@ fn condition() -> impl Strategy<Value = Condition> {
     (
         predicate(),
         prop::collection::vec(
-            (prop::sample::select(vec![BoolOp::And, BoolOp::Or]), predicate()),
+            (
+                prop::sample::select(vec![BoolOp::And, BoolOp::Or]),
+                predicate(),
+            ),
             0..3,
         ),
     )

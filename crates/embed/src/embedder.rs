@@ -11,10 +11,19 @@
 //!   construction with [`EmbedConfig::lexicon_coverage`]. Coverage < 1.0
 //!   models the imperfect synonym knowledge of a real embedding model and is
 //!   the main quality knob exercised by the ablation benches.
+//!
+//! This is the hottest code in the repository (it runs once per library
+//! entry at prepare time and three times per translation), so the hot path
+//! is allocation-free: [`TextEmbedder::embed_into`] tokenizes over byte
+//! ranges of a reused thread-local scratch buffer, hashes features
+//! incrementally, and resolves concept phrases against a hash map
+//! precomputed at construction (including plural-stemmed forms) instead of
+//! re-joining phrase strings per probe. See DESIGN.md §5.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use t2v_corpus::lexicon::Lexicon;
 
 /// Embedder configuration.
@@ -46,6 +55,26 @@ impl Default for EmbedConfig {
     }
 }
 
+/// One resolvable phrase in the precomputed concept-lookup table.
+///
+/// The table mirrors `Lexicon::concept_of_phrase_stemmed` exactly: it is
+/// keyed by an FNV hash of the phrase, holds the canonical phrase text for
+/// collision verification, and contains *stemmed* (plural) forms alongside
+/// exact lexicalisations so probes never rebuild candidate strings.
+#[derive(Debug, Clone)]
+struct PhraseEntry {
+    /// Canonical probe text: words joined by single spaces.
+    phrase: Box<str>,
+    /// (concept, alt) this phrase resolves to under seed semantics.
+    concept: usize,
+    alt: usize,
+    /// Whether the coverage sample knows this (concept, alt).
+    known: bool,
+    /// Precomputed feature slot for the concept id (dim, signed weight).
+    dim: u32,
+    signed_weight: f32,
+}
+
 /// Deterministic concept-aware text embedder.
 #[derive(Debug, Clone)]
 pub struct TextEmbedder {
@@ -53,6 +82,21 @@ pub struct TextEmbedder {
     lexicon: Lexicon,
     /// Known (concept index, alt index) lexicalisations.
     known: HashSet<(usize, usize)>,
+    /// Phrase-hash → entries (Vec only for the astronomically unlikely hash
+    /// collision; the stored phrase disambiguates).
+    phrases: HashMap<u64, Vec<PhraseEntry>>,
+}
+
+/// Reused per-thread tokenizer state: a lowercase byte buffer plus the word
+/// ranges into it. Embedding allocates nothing after thread warm-up.
+#[derive(Default)]
+struct Scratch {
+    buf: Vec<u8>,
+    words: Vec<(u32, u32)>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
 }
 
 impl TextEmbedder {
@@ -66,10 +110,85 @@ impl TextEmbedder {
                 }
             }
         }
-        TextEmbedder {
+        let mut e = TextEmbedder {
             cfg,
             lexicon,
             known,
+            phrases: HashMap::new(),
+        };
+        e.build_phrase_table();
+        e
+    }
+
+    /// Precompute every phrase `concept_of_phrase_stemmed` can resolve.
+    ///
+    /// Insertion happens in three priority rounds matching the seed lookup
+    /// order — exact phrases, then plural forms stripped by `es`, then by
+    /// `s` — with first-wins semantics per phrase (earlier concepts claim
+    /// shared phrases, exact forms beat stemmed ones).
+    fn build_phrase_table(&mut self) {
+        let mut by_phrase: HashMap<String, (usize, usize)> = HashMap::new();
+
+        // Round 0: exact lexicalisations (concept order, first wins).
+        for (ci, c) in self.lexicon.concepts.iter().enumerate() {
+            for alt in &c.alts {
+                let phrase = alt.join(" ");
+                by_phrase.entry(phrase).or_insert_with(|| {
+                    let ai = c
+                        .alts
+                        .iter()
+                        .position(|a| a == alt)
+                        .expect("alt is from this concept");
+                    (ci, ai)
+                });
+            }
+        }
+
+        // Rounds 1–2: inputs whose stemmed form hits a round-0 phrase.
+        // An input `X` resolves by trying `strip("es")` then `strip("s")`,
+        // so `…es` derivations are inserted before `…s` ones. Derived inputs
+        // are never themselves exact lexicalisations (those were claimed in
+        // round 0), so they resolve to alt 0 — which is always known.
+        // Snapshot the exact phrases (derivation inserts into the same map).
+        // Iteration order within a round is irrelevant: `phrase + suffix` is
+        // injective per suffix, so no two sources compete for one derived key
+        // in the same round, and cross-round priority is the loop order.
+        let exact: Vec<(String, usize)> = by_phrase
+            .iter()
+            .map(|(p, &(ci, _))| (p.clone(), ci))
+            .collect();
+        for suffix in ["es", "s"] {
+            for (phrase, ci) in &exact {
+                let last = phrase.rsplit(' ').next().expect("phrases are non-empty");
+                if last.len() < 2 || (suffix == "s" && last.ends_with('s')) {
+                    // Seed lookup rejects stems shorter than 2 chars and
+                    // plural inputs ending in "ss".
+                    continue;
+                }
+                let derived = format!("{phrase}{suffix}");
+                by_phrase.entry(derived).or_insert((*ci, 0));
+            }
+        }
+
+        for (phrase, (ci, ai)) in by_phrase {
+            let (dim, signed_weight) = feature_slot(
+                b"c:",
+                self.lexicon.concepts[ci].id.as_bytes(),
+                self.cfg.dims,
+                self.cfg.concept_weight,
+            );
+            let entry = PhraseEntry {
+                phrase: phrase.into_boxed_str(),
+                concept: ci,
+                alt: ai,
+                known: self.known.contains(&(ci, ai)),
+                dim,
+                signed_weight,
+            };
+            self.phrases
+                .entry(fnv_str(&entry.phrase))
+                .or_default()
+                .push(entry);
         }
     }
 
@@ -88,70 +207,90 @@ impl TextEmbedder {
 
     /// Lowercase alphanumeric word tokens (underscores split words).
     pub fn tokenize(text: &str) -> Vec<String> {
-        let mut out = Vec::new();
-        let mut cur = String::new();
-        for ch in text.chars() {
-            if ch.is_ascii_alphanumeric() {
-                cur.push(ch.to_ascii_lowercase());
-            } else if !cur.is_empty() {
-                out.push(std::mem::take(&mut cur));
-            }
-        }
-        if !cur.is_empty() {
-            out.push(cur);
-        }
-        out
+        let mut scratch = Scratch::default();
+        tokenize_into(text, &mut scratch);
+        scratch
+            .words
+            .iter()
+            .map(|&(s, e)| {
+                String::from_utf8(scratch.buf[s as usize..e as usize].to_vec())
+                    .expect("buffer is pure ASCII")
+            })
+            .collect()
     }
 
     /// Embed `text` into an L2-normalised vector.
     pub fn embed(&self, text: &str) -> Vec<f32> {
-        let words = Self::tokenize(text);
         let mut v = vec![0f32; self.cfg.dims];
+        self.embed_into(text, &mut v);
+        v
+    }
 
-        // Word and trigram features.
-        for w in &words {
-            add_feature(&mut v, b"w:", w.as_bytes(), self.cfg.word_weight);
-            let bytes = w.as_bytes();
-            if bytes.len() >= 3 {
-                for tri in bytes.windows(3) {
-                    add_feature(&mut v, b"t:", tri, self.cfg.trigram_weight);
-                }
-            }
-        }
+    /// Embed `text` into a caller-provided buffer of length
+    /// [`TextEmbedder::dims`], overwriting it. Allocation-free after
+    /// per-thread warm-up; byte-identical to [`TextEmbedder::embed`].
+    pub fn embed_into(&self, text: &str, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cfg.dims, "output buffer length mismatch");
+        out.fill(0.0);
 
-        // Concept features: greedy longest-match of word n-grams (length 3
-        // down to 1) against known lexicalisations.
-        let mut i = 0usize;
-        while i < words.len() {
-            let mut matched = 0usize;
-            for len in (1..=3usize).rev() {
-                if i + len > words.len() {
-                    continue;
-                }
-                let phrase = words[i..i + len].join(" ");
-                if let Some(ci) = self.lexicon.concept_of_phrase_stemmed(&phrase) {
-                    let alt = self.lexicon.concepts[ci]
-                        .alts
-                        .iter()
-                        .position(|a| a.join(" ") == phrase)
-                        .unwrap_or(0);
-                    if self.known.contains(&(ci, alt)) {
-                        add_feature(
-                            &mut v,
-                            b"c:",
-                            self.lexicon.concepts[ci].id.as_bytes(),
-                            self.cfg.concept_weight,
-                        );
-                        matched = len;
-                        break;
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            tokenize_into(text, scratch);
+            let Scratch { buf, words } = scratch;
+
+            // Word and trigram features.
+            for &(s, e) in words.iter() {
+                let w = &buf[s as usize..e as usize];
+                add_feature(out, b"w:", w, self.cfg.word_weight);
+                if w.len() >= 3 {
+                    for tri in w.windows(3) {
+                        add_feature(out, b"t:", tri, self.cfg.trigram_weight);
                     }
                 }
             }
-            i += matched.max(1);
-        }
 
-        l2_normalize(&mut v);
-        v
+            // Concept features: greedy longest-match of word n-grams (length
+            // 3 down to 1) against the precomputed phrase table.
+            let mut i = 0usize;
+            while i < words.len() {
+                let mut matched = 0usize;
+                for len in (1..=3usize).rev() {
+                    if i + len > words.len() {
+                        continue;
+                    }
+                    if let Some(entry) = self.probe_phrase(buf, &words[i..i + len]) {
+                        if entry.known {
+                            out[entry.dim as usize] += entry.signed_weight;
+                            matched = len;
+                            break;
+                        }
+                    }
+                }
+                i += matched.max(1);
+            }
+        });
+
+        l2_normalize(out);
+    }
+
+    /// Look up the n-gram `words` (ranges into `buf`) in the phrase table
+    /// without materialising the joined phrase: the FNV state is fed word by
+    /// word with a space separator, and candidate entries verify against the
+    /// stored canonical phrase to rule out hash collisions.
+    fn probe_phrase(&self, buf: &[u8], words: &[(u32, u32)]) -> Option<&PhraseEntry> {
+        let mut h: u64 = FNV_OFFSET;
+        for (wi, &(s, e)) in words.iter().enumerate() {
+            if wi > 0 {
+                h = fnv_step(h, b' ');
+            }
+            for &b in &buf[s as usize..e as usize] {
+                h = fnv_step(h, b);
+            }
+        }
+        self.phrases
+            .get(&h)?
+            .iter()
+            .find(|entry| phrase_matches(&entry.phrase, buf, words))
     }
 
     /// Whether the embedder knows this (concept, alt) lexicalisation — used
@@ -159,18 +298,91 @@ impl TextEmbedder {
     pub fn knows(&self, concept: usize, alt: usize) -> bool {
         self.known.contains(&(concept, alt))
     }
+
+    /// Which (concept, alt) an n-gram phrase resolves to, if any — the
+    /// precomputed equivalent of `Lexicon::concept_of_phrase_stemmed` plus
+    /// the alt-position rule. Exposed for the equivalence property tests.
+    #[doc(hidden)]
+    pub fn resolve_phrase(&self, phrase: &str) -> Option<(usize, usize)> {
+        self.phrases
+            .get(&fnv_str(phrase))?
+            .iter()
+            .find(|e| &*e.phrase == phrase)
+            .map(|e| (e.concept, e.alt))
+    }
 }
 
-/// FNV-1a over a tagged byte string, mapped to (dimension, sign).
-fn add_feature(v: &mut [f32], tag: &[u8], bytes: &[u8], weight: f32) {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in tag.iter().chain(bytes.iter()) {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
+/// Fill `scratch` with the lowercase words of `text`: `buf` holds the
+/// lowercased alphanumeric bytes back to back, `words` the (start, end)
+/// byte ranges. Equivalent to the old `Vec<String>` tokenizer (multi-byte
+/// UTF-8 sequences are non-alphanumeric bytes, i.e. separators).
+fn tokenize_into(text: &str, scratch: &mut Scratch) {
+    scratch.buf.clear();
+    scratch.words.clear();
+    let mut start: Option<u32> = None;
+    for &b in text.as_bytes() {
+        if b.is_ascii_alphanumeric() {
+            if start.is_none() {
+                start = Some(scratch.buf.len() as u32);
+            }
+            scratch.buf.push(b.to_ascii_lowercase());
+        } else if let Some(s) = start.take() {
+            scratch.words.push((s, scratch.buf.len() as u32));
+        }
     }
-    let dim = (h % v.len() as u64) as usize;
+    if let Some(s) = start {
+        scratch.words.push((s, scratch.buf.len() as u32));
+    }
+}
+
+/// Does `phrase` equal the words joined by single spaces?
+fn phrase_matches(phrase: &str, buf: &[u8], words: &[(u32, u32)]) -> bool {
+    let p = phrase.as_bytes();
+    let mut pos = 0usize;
+    for (wi, &(s, e)) in words.iter().enumerate() {
+        if wi > 0 {
+            if p.get(pos) != Some(&b' ') {
+                return false;
+            }
+            pos += 1;
+        }
+        let w = &buf[s as usize..e as usize];
+        if p.len() < pos + w.len() || &p[pos..pos + w.len()] != w {
+            return false;
+        }
+        pos += w.len();
+    }
+    pos == p.len()
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+#[inline]
+fn fnv_step(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+}
+
+fn fnv_str(s: &str) -> u64 {
+    s.bytes().fold(FNV_OFFSET, fnv_step)
+}
+
+/// FNV-1a over a tagged byte string, mapped to (dimension, signed weight).
+#[inline]
+fn feature_slot(tag: &[u8], bytes: &[u8], dims: usize, weight: f32) -> (u32, f32) {
+    let mut h: u64 = FNV_OFFSET;
+    for &b in tag.iter().chain(bytes.iter()) {
+        h = fnv_step(h, b);
+    }
+    let dim = (h % dims as u64) as u32;
     let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
-    v[dim] += sign * weight;
+    (dim, sign * weight)
+}
+
+/// FNV-1a over a tagged byte string, accumulated into the feature vector.
+#[inline]
+fn add_feature(v: &mut [f32], tag: &[u8], bytes: &[u8], weight: f32) {
+    let (dim, w) = feature_slot(tag, bytes, v.len(), weight);
+    v[dim as usize] += w;
 }
 
 /// Normalise to unit length (no-op for the zero vector).
@@ -186,9 +398,9 @@ pub fn l2_normalize(v: &mut [f32]) {
 /// Cosine similarity between two equal-length vectors.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let dot: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
-    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
-    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let dot: f32 = crate::index::dot(a, b);
+    let na: f32 = crate::index::dot(a, a).sqrt();
+    let nb: f32 = crate::index::dot(b, b).sqrt();
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {
@@ -259,7 +471,8 @@ mod tests {
     #[test]
     fn sentence_similarity_prefers_paraphrase_over_different_question() {
         let m = model(1.0);
-        let q = m.embed("Please give me a histogram showing the change in wage over the date of hire.");
+        let q =
+            m.embed("Please give me a histogram showing the change in wage over the date of hire.");
         let same = m.embed("Draw a bar chart about the change of salary over hire_date.");
         let other = m.embed("Show all countries with a pie chart.");
         assert!(cosine(&q, &same) > cosine(&q, &other) + 0.1);
@@ -292,5 +505,48 @@ mod tests {
         let z = vec![0.0; 8];
         let o = vec![1.0; 8];
         assert_eq!(cosine(&z, &o), 0.0);
+    }
+
+    #[test]
+    fn embed_into_reuses_buffer_and_matches_embed() {
+        let m = model(0.9);
+        let mut buf = vec![7.0f32; m.dims()];
+        m.embed_into("show the average salary per city", &mut buf);
+        assert_eq!(buf, m.embed("show the average salary per city"));
+        // Reuse without clearing: embed_into overwrites.
+        m.embed_into("different text entirely", &mut buf);
+        assert_eq!(buf, m.embed("different text entirely"));
+    }
+
+    #[test]
+    fn phrase_table_matches_lexicon_stemmed_lookup() {
+        let m = model(1.0);
+        let lex = m.lexicon();
+        // Exact, plural-s, plural-es, multiword, and miss cases.
+        for probe in [
+            "salary",
+            "salaries",
+            "wages",
+            "date of hire",
+            "dates of hire",
+            "wage",
+            "zzz unknown phrase",
+            "employees",
+            "glass",
+        ] {
+            let expected = lex.concept_of_phrase_stemmed(probe);
+            let got = m.resolve_phrase(probe).map(|(ci, _)| ci);
+            assert_eq!(got, expected, "probe {probe:?}");
+        }
+    }
+
+    #[test]
+    fn plural_last_word_still_finds_concept_feature() {
+        let m = model(1.0);
+        // "departments" only resolves through the stemmed table.
+        let plural = m.embed("departments");
+        let singular = m.embed("department");
+        let unrelated = m.embed("cinema");
+        assert!(cosine(&plural, &singular) > cosine(&plural, &unrelated));
     }
 }

@@ -1,10 +1,18 @@
-//! Brute-force top-K cosine retrieval over a vector collection.
+//! Flat, SIMD-friendly top-K cosine retrieval.
 //!
-//! The embedding library of GRED holds a few thousand vectors, for which an
-//! exact linear scan with a bounded min-heap is both simplest and fastest
-//! (see `bench_retrieval` for the measurement backing this choice).
+//! Vectors live in one contiguous row-major `Vec<f32>` with a fixed `dims`
+//! stride and are **L2-normalised on insert**, so scoring a pair is a single
+//! fused dot product (cosine of the normalised pair) instead of the three
+//! passes a naive `dot / (|a|·|b|)` costs per comparison. The scan is
+//! exact — a linear pass with a bounded min-heap — and goes wide over
+//! row chunks once the index is large enough to amortise thread spawn
+//! (see DESIGN.md §5 for layout notes and measurements).
+//!
+//! Determinism: scores are bit-exact regardless of thread count because each
+//! row's dot product is computed identically and chunk results are merged in
+//! chunk order; ties break toward lower ids everywhere.
 
-use crate::embedder::cosine;
+use crate::embedder::l2_normalize;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -25,12 +33,12 @@ impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the *worst* on top —
         // lowest score first, and among ties the *largest* id (so lower ids
-        // survive eviction).
+        // survive eviction). `total_cmp` keeps the order coherent even for
+        // NaN scores (possible only if callers insert non-finite vectors).
         other
             .0
             .score
-            .partial_cmp(&self.0.score)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.0.score)
             .then_with(|| self.0.id.cmp(&other.0.id))
     }
 }
@@ -41,10 +49,144 @@ impl PartialOrd for HeapItem {
     }
 }
 
-/// An append-only exact cosine index.
+/// Best-first ordering shared by every sort in this module.
+#[inline]
+fn best_first(a: &Hit, b: &Hit) -> Ordering {
+    b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id))
+}
+
+/// Fused dot product over the x86-64 baseline SIMD (SSE2), eight independent
+/// 4-lane accumulators.
+///
+/// Written with intrinsics rather than a hand-unrolled scalar loop because
+/// LLVM's auto-vectorisation of the latter is fragile across inlining
+/// contexts — in release builds of downstream crates it kept the packed
+/// arithmetic but scalarised the *loads* (element `movss` + shuffle soup),
+/// halving throughput. The eight accumulators break the FP-add dependency
+/// chain so the loop retires multiple multiply-adds per cycle.
+///
+/// Safety: `_mm_loadu_ps` tolerates unaligned pointers, and every load is
+/// bounds-limited by `n` below.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let blocks = n / 32;
+    unsafe {
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm_setzero_ps();
+        let mut acc1 = _mm_setzero_ps();
+        let mut acc2 = _mm_setzero_ps();
+        let mut acc3 = _mm_setzero_ps();
+        let mut acc4 = _mm_setzero_ps();
+        let mut acc5 = _mm_setzero_ps();
+        let mut acc6 = _mm_setzero_ps();
+        let mut acc7 = _mm_setzero_ps();
+        for blk in 0..blocks {
+            let i = blk * 32;
+            acc0 = _mm_add_ps(
+                acc0,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i)), _mm_loadu_ps(pb.add(i))),
+            );
+            acc1 = _mm_add_ps(
+                acc1,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i + 4)), _mm_loadu_ps(pb.add(i + 4))),
+            );
+            acc2 = _mm_add_ps(
+                acc2,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i + 8)), _mm_loadu_ps(pb.add(i + 8))),
+            );
+            acc3 = _mm_add_ps(
+                acc3,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i + 12)), _mm_loadu_ps(pb.add(i + 12))),
+            );
+            acc4 = _mm_add_ps(
+                acc4,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i + 16)), _mm_loadu_ps(pb.add(i + 16))),
+            );
+            acc5 = _mm_add_ps(
+                acc5,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i + 20)), _mm_loadu_ps(pb.add(i + 20))),
+            );
+            acc6 = _mm_add_ps(
+                acc6,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i + 24)), _mm_loadu_ps(pb.add(i + 24))),
+            );
+            acc7 = _mm_add_ps(
+                acc7,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i + 28)), _mm_loadu_ps(pb.add(i + 28))),
+            );
+        }
+        let mut i = blocks * 32;
+        while i + 4 <= n {
+            acc0 = _mm_add_ps(
+                acc0,
+                _mm_mul_ps(_mm_loadu_ps(pa.add(i)), _mm_loadu_ps(pb.add(i))),
+            );
+            i += 4;
+        }
+        let s01 = _mm_add_ps(_mm_add_ps(acc0, acc4), _mm_add_ps(acc1, acc5));
+        let s23 = _mm_add_ps(_mm_add_ps(acc2, acc6), _mm_add_ps(acc3, acc7));
+        let s = _mm_add_ps(s01, s23);
+        let hi = _mm_movehl_ps(s, s);
+        let pair = _mm_add_ps(s, hi);
+        let one = _mm_add_ss(pair, _mm_shuffle_ps(pair, pair, 1));
+        let mut sum = _mm_cvtss_f32(one);
+        while i < n {
+            sum += a[i] * b[i];
+            i += 1;
+        }
+        sum
+    }
+}
+
+/// Portable fallback: 4 independent 8-lane accumulator blocks, shaped for
+/// auto-vectorisation.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [[0.0f32; 8]; 4];
+    let mut ca = a.chunks_exact(32);
+    let mut cb = b.chunks_exact(32);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for (block, (ba, bb)) in xa.chunks_exact(8).zip(xb.chunks_exact(8)).enumerate() {
+            for lane in 0..8 {
+                acc[block][lane] += ba[lane] * bb[lane];
+            }
+        }
+    }
+    let mut sum = 0.0;
+    for block in acc {
+        for lane in block {
+            sum += lane;
+        }
+    }
+    for (xa, xb) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += xa * xb;
+    }
+    sum
+}
+
+/// Row count below which a scan stays on the calling thread: spawn + join
+/// overhead (~tens of µs) only pays for itself past a few thousand rows.
+const PAR_SCAN_THRESHOLD: usize = 4096;
+
+/// An append-only exact cosine index over a contiguous row-major store.
+///
+/// Rows are L2-normalised copies of the inserted vectors; [`VectorIndex::get`]
+/// therefore returns the *normalised* row. Scores returned by `top_k` equal
+/// the cosine similarity of the original pair (clamped to `[-1, 1]`), with
+/// the zero vector scoring `0.0` against everything, matching
+/// [`crate::embedder::cosine`].
 #[derive(Debug, Clone, Default)]
 pub struct VectorIndex {
-    vectors: Vec<Vec<f32>>,
+    /// Row stride; fixed by the first inserted vector.
+    dims: usize,
+    /// Row-major normalised vectors, `len / dims` rows.
+    data: Vec<f32>,
 }
 
 impl VectorIndex {
@@ -52,53 +194,186 @@ impl VectorIndex {
         VectorIndex::default()
     }
 
+    /// Reserve for `n` vectors of the default [`crate::EmbedConfig`] width.
+    /// Prefer [`VectorIndex::with_capacity_dims`] when the stride is known —
+    /// this guess over-reserves for narrow configs and regrows for wide ones.
     pub fn with_capacity(n: usize) -> Self {
+        VectorIndex::with_capacity_dims(n, crate::EmbedConfig::default().dims)
+    }
+
+    /// Reserve for `n` vectors of `dims` elements each.
+    pub fn with_capacity_dims(n: usize, dims: usize) -> Self {
         VectorIndex {
-            vectors: Vec::with_capacity(n),
+            dims: 0,
+            data: Vec::with_capacity(n.saturating_mul(dims)),
         }
     }
 
-    /// Add a vector; returns its id.
+    /// Add a vector; returns its id. The vector is stored L2-normalised.
+    ///
+    /// # Panics
+    /// If `v`'s length differs from previously inserted vectors'.
     pub fn add(&mut self, v: Vec<f32>) -> usize {
-        self.vectors.push(v);
-        self.vectors.len() - 1
+        self.add_slice(&v)
+    }
+
+    /// [`VectorIndex::add`] without taking ownership (callers can reuse a
+    /// scratch buffer filled by `embed_into`).
+    pub fn add_slice(&mut self, v: &[f32]) -> usize {
+        if self.data.is_empty() {
+            assert!(!v.is_empty(), "cannot index zero-dimensional vectors");
+            self.dims = v.len();
+        } else {
+            assert_eq!(v.len(), self.dims, "inconsistent vector dimensionality");
+        }
+        let start = self.data.len();
+        self.data.extend_from_slice(v);
+        l2_normalize(&mut self.data[start..]);
+        start / self.dims
     }
 
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.data.len().checked_div(self.dims).unwrap_or(0)
     }
 
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.data.is_empty()
     }
 
+    /// The vector dimensionality (0 until the first insert).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The stored (L2-normalised) row for `id`.
     pub fn get(&self, id: usize) -> Option<&[f32]> {
-        self.vectors.get(id).map(Vec::as_slice)
+        if id < self.len() {
+            Some(&self.data[id * self.dims..(id + 1) * self.dims])
+        } else {
+            None
+        }
     }
 
     /// The `k` nearest vectors by cosine similarity, best first. Ties break
     /// toward lower ids, so results are deterministic.
     pub fn top_k(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        if k == 0 || self.vectors.is_empty() {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        assert_eq!(query.len(), self.dims, "query dimensionality mismatch");
+        let mut q = query.to_vec();
+        l2_normalize(&mut q);
+        self.top_k_prenormalized(&q, k)
+    }
+
+    /// Batch retrieval: one `top_k` per query, fanned across threads.
+    /// Results are returned in query order.
+    pub fn top_k_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
+        if queries.len() <= 1 || self.len() * queries.len() < PAR_SCAN_THRESHOLD {
+            return queries.iter().map(|q| self.top_k(q, k)).collect();
+        }
+        // Each worker runs a *sequential* scan: parallelising across queries
+        // dominates (no merge step) when there are many of them, and nesting
+        // the parallel scan inside the fan-out would spawn threads².
+        t2v_parallel::par_map(queries, |q| {
+            assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
+            let mut qn = q.to_vec();
+            l2_normalize(&mut qn);
+            self.scan(0, &self.data, &qn, k)
+        })
+    }
+
+    /// `top_k` for a query that is already L2-normalised (the embedder's
+    /// output invariant) — skips the defensive copy + renormalisation.
+    pub fn top_k_prenormalized(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.top_k_prenormalized_in(t2v_parallel::thread_count(), query, k)
+    }
+
+    /// [`VectorIndex::top_k_prenormalized`] with an explicit worker count —
+    /// a test seam for exercising multi-threaded chunking on any host.
+    #[doc(hidden)]
+    pub fn top_k_prenormalized_in(&self, threads: usize, query: &[f32], k: usize) -> Vec<Hit> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        assert_eq!(query.len(), self.dims, "query dimensionality mismatch");
+        let rows = self.len();
+        if rows < PAR_SCAN_THRESHOLD {
+            return self.scan(0, &self.data, query, k);
+        }
+        // min_chunk in *elements*; granularity = the row stride, so chunk
+        // boundaries always fall between rows, never through one.
+        t2v_parallel::par_chunk_reduce_in(
+            threads,
+            &self.data,
+            PAR_SCAN_THRESHOLD / 2 * self.dims,
+            self.dims,
+            |offset, chunk| {
+                debug_assert_eq!(offset % self.dims, 0);
+                debug_assert_eq!(chunk.len() % self.dims, 0);
+                self.scan(offset / self.dims, chunk, query, k)
+            },
+            |a, b| merge_topk(a, b, k),
+        )
+        .unwrap_or_default()
+    }
+
+    /// Sequential heap scan over `chunk` (rows starting at `first_id`),
+    /// returning up to `k` hits sorted best-first.
+    fn scan(&self, first_id: usize, chunk: &[f32], query: &[f32], k: usize) -> Vec<Hit> {
+        if k == 0 {
+            // Callers mostly guard this, but the floor bookkeeping below
+            // would peek an empty heap for k = 0.
             return Vec::new();
         }
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
-        for (id, v) in self.vectors.iter().enumerate() {
-            let score = cosine(query, v);
-            heap.push(HeapItem(Hit { id, score }));
+        // Score below which a row cannot enter the heap. Ids grow with the
+        // scan, so a row that merely *ties* the current k-th best loses the
+        // lower-id-wins tie-break and can be skipped without heap traffic —
+        // the common case once the heap is warm.
+        let mut floor = f32::NEG_INFINITY;
+        for (row, v) in chunk.chunks_exact(self.dims).enumerate() {
+            let score = dot(query, v).clamp(-1.0, 1.0);
+            if score <= floor && heap.len() >= k {
+                continue;
+            }
+            heap.push(HeapItem(Hit {
+                id: first_id + row,
+                score,
+            }));
             if heap.len() > k {
                 heap.pop();
             }
+            if heap.len() >= k {
+                floor = heap.peek().expect("heap is non-empty").0.score;
+            }
         }
         let mut hits: Vec<Hit> = heap.into_iter().map(|h| h.0).collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.id.cmp(&b.id))
-        });
+        hits.sort_unstable_by(best_first);
         hits
     }
+}
+
+/// Merge two best-first hit lists, keeping the best `k` (ties toward lower
+/// ids). Deterministic for any chunking because scores are bit-exact.
+fn merge_topk(a: Vec<Hit>, b: Vec<Hit>, k: usize) -> Vec<Hit> {
+    let mut out = Vec::with_capacity((a.len() + b.len()).min(k));
+    let (mut ia, mut ib) = (0, 0);
+    while out.len() < k && (ia < a.len() || ib < b.len()) {
+        let take_a = match (a.get(ia), b.get(ib)) {
+            (Some(x), Some(y)) => best_first(x, y) != Ordering::Greater,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_a {
+            out.push(a[ia]);
+            ia += 1;
+        } else {
+            out.push(b[ib]);
+            ib += 1;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -162,5 +437,150 @@ mod tests {
         let a = idx.top_k(&q, 3);
         let b = idx.top_k(&q, 6);
         assert_eq!(&b[..3], &a[..]);
+    }
+
+    #[test]
+    fn stored_rows_are_normalized() {
+        let mut idx = VectorIndex::new();
+        idx.add(vec![3.0, 4.0]);
+        let row = idx.get(0).unwrap();
+        assert!((row[0] - 0.6).abs() < 1e-6);
+        assert!((row[1] - 0.8).abs() < 1e-6);
+        assert!(idx.get(1).is_none());
+    }
+
+    #[test]
+    fn zero_query_scores_zero_everywhere() {
+        // Regression: NaN-unsafe `partial_cmp(..).unwrap_or(Equal)` used to
+        // corrupt ordering silently for edge-case queries. With pre-normalised
+        // storage a zero query yields exact 0.0 scores and id-ordered hits.
+        let mut idx = VectorIndex::new();
+        for i in 0..5 {
+            idx.add(unit(i % 3, 3));
+        }
+        let hits = idx.top_k(&[0.0, 0.0, 0.0], 3);
+        assert_eq!(hits.len(), 3);
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.score, 0.0);
+            assert_eq!(h.id, i, "ties on a zero query must break by id");
+        }
+    }
+
+    #[test]
+    fn zero_stored_vector_scores_zero() {
+        let mut idx = VectorIndex::new();
+        idx.add(vec![0.0, 0.0]);
+        idx.add(vec![1.0, 0.0]);
+        let hits = idx.top_k(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 0);
+        assert_eq!(hits[1].score, 0.0);
+    }
+
+    #[test]
+    fn heap_item_order_is_total_with_nan() {
+        let nan = HeapItem(Hit {
+            id: 0,
+            score: f32::NAN,
+        });
+        let one = HeapItem(Hit { id: 1, score: 1.0 });
+        // total_cmp puts +NaN above +1.0; reversed ordering puts it below.
+        assert_eq!(nan.cmp(&one), Ordering::Less);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let mut idx = VectorIndex::new();
+        for i in 0..300 {
+            let mut v = vec![0.05f32; 16];
+            v[i % 16] += 1.0 + (i as f32) * 1e-3;
+            idx.add(v);
+        }
+        let queries: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                let mut q = vec![0.01f32; 16];
+                q[i % 16] = 1.0;
+                q
+            })
+            .collect();
+        let batch = idx.top_k_batch(&queries, 7);
+        for (q, hits) in queries.iter().zip(&batch) {
+            assert_eq!(hits, &idx.top_k(q, 7));
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        let mut idx = VectorIndex::new();
+        // Large enough to cross PAR_SCAN_THRESHOLD.
+        for i in 0..(PAR_SCAN_THRESHOLD + 1000) {
+            let mut v = vec![0.0f32; 8];
+            v[i % 8] = 1.0;
+            v[(i + 3) % 8] = (i % 17) as f32 * 0.1;
+            idx.add(v);
+        }
+        let q = vec![0.3, 0.1, 0.9, 0.0, 0.2, 0.0, 0.4, 0.6];
+        let wide = idx.top_k(&q, 12);
+        // Force a single-threaded scan of the same data for comparison.
+        let seq = idx.scan(
+            0,
+            &idx.data,
+            &{
+                let mut qq = q.clone();
+                l2_normalize(&mut qq);
+                qq
+            },
+            12,
+        );
+        assert_eq!(wide, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent vector dimensionality")]
+    fn mismatched_dims_panic() {
+        let mut idx = VectorIndex::new();
+        idx.add(vec![1.0, 0.0]);
+        idx.add(vec![1.0, 0.0, 0.0]);
+    }
+
+    /// Regression: with a worker count that doesn't divide the element count
+    /// into row-aligned chunks (e.g. 3 workers × stride 12), the parallel
+    /// scan used to split rows across chunk boundaries and return garbage
+    /// ids/scores. The explicit-threads seam forces multi-threaded chunking
+    /// even on 1-CPU hosts (no process-global state touched).
+    #[test]
+    fn forced_parallel_scan_is_row_aligned() {
+        let dims = 12usize;
+        let rows = PAR_SCAN_THRESHOLD + 1303; // odd size, crosses threshold
+        let mut idx = VectorIndex::with_capacity_dims(rows, dims);
+        for i in 0..rows {
+            let mut v = vec![0.02f32; dims];
+            v[i % dims] = 1.0 + (i % 23) as f32 * 0.01;
+            idx.add(v);
+        }
+        let q: Vec<f32> = (0..dims).map(|i| 0.1 + (i as f32) * 0.05).collect();
+        let mut qn = q.clone();
+        l2_normalize(&mut qn);
+        let seq = idx.scan(0, &idx.data, &qn, 10);
+        for threads in [2, 3, 5, 7] {
+            let par = idx.top_k_prenormalized_in(threads, &qn, 10);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty_on_every_path() {
+        let mut idx = VectorIndex::new();
+        for i in 0..3000 {
+            idx.add(unit(i % 3, 3));
+        }
+        // Sequential, forced-parallel, and batch (2 queries × 3000 rows
+        // crosses the batch threshold) must all return empty hit lists.
+        assert!(idx.top_k(&unit(0, 3), 0).is_empty());
+        assert!(idx.top_k_prenormalized_in(3, &unit(0, 3), 0).is_empty());
+        let batch = idx.top_k_batch(&[unit(0, 3), unit(1, 3)], 0);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(Vec::is_empty));
     }
 }

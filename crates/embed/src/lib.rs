@@ -17,6 +17,30 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Reference top-k: score every row with the same fused dot the index
+    /// uses (bit-identical scores), then fully sort with the documented
+    /// tie-break. Any difference from `VectorIndex` output is a bug in the
+    /// flat store's heap / chunking / merge logic.
+    fn reference_topk(vectors: &[Vec<f32>], query: &[f32], k: usize) -> Vec<Hit> {
+        let mut q = query.to_vec();
+        l2_normalize(&mut q);
+        let mut scored: Vec<Hit> = vectors
+            .iter()
+            .enumerate()
+            .map(|(id, v)| {
+                let mut row = v.clone();
+                l2_normalize(&mut row);
+                Hit {
+                    id,
+                    score: crate::index::dot(&q, &row).clamp(-1.0, 1.0),
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
+        scored.truncate(k);
+        scored
+    }
+
     proptest! {
         /// Cosine stays within [-1, 1] for arbitrary inputs.
         #[test]
@@ -50,6 +74,74 @@ mod proptests {
                 prop_assert!(w[0].score >= w[1].score);
             }
             prop_assert!(hits.len() <= k);
+        }
+
+        /// The flat store returns identical ids, order, and scores to the
+        /// reference brute-force scan — including k > len and duplicate
+        /// vectors (exact ties must break toward lower ids).
+        #[test]
+        fn flat_store_matches_reference(
+            vectors in prop::collection::vec(prop::collection::vec(-1f32..1.0, 12), 1..40),
+            query in prop::collection::vec(-1f32..1.0, 12),
+            k in 1usize..50,
+            dup_from in prop::collection::vec(0usize..1000, 0..6),
+        ) {
+            // Plant exact duplicates to force score ties.
+            let mut vectors = vectors;
+            for d in dup_from {
+                let src = vectors[d % vectors.len()].clone();
+                vectors.push(src);
+            }
+            let mut idx = VectorIndex::new();
+            for v in &vectors { idx.add(v.clone()); }
+            let got = idx.top_k(&query, k);
+            let want = reference_topk(&vectors, &query, k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.id, w.id);
+                prop_assert!(g.score == w.score, "score mismatch: {:?} vs {:?}", g, w);
+            }
+        }
+
+        /// Batched retrieval equals per-query retrieval, in query order.
+        #[test]
+        fn batch_matches_reference(
+            vectors in prop::collection::vec(prop::collection::vec(-1f32..1.0, 8), 1..25),
+            queries in prop::collection::vec(prop::collection::vec(-1f32..1.0, 8), 1..8),
+            k in 1usize..6,
+        ) {
+            let mut idx = VectorIndex::new();
+            for v in &vectors { idx.add(v.clone()); }
+            let batch = idx.top_k_batch(&queries, k);
+            prop_assert_eq!(batch.len(), queries.len());
+            for (q, hits) in queries.iter().zip(&batch) {
+                prop_assert_eq!(hits, &idx.top_k(q, k));
+            }
+        }
+
+        /// `embed_into` is byte-for-byte identical to `embed`, regardless of
+        /// what the reused buffer previously held.
+        #[test]
+        fn embed_into_matches_embed(
+            words in prop::collection::vec("[a-zA-Z0-9_]{1,10}", 0..12),
+            stale in -2f32..2.0,
+        ) {
+            let m = TextEmbedder::default_model();
+            let text = words.join(" ");
+            let mut buf = vec![stale; m.dims()];
+            m.embed_into(&text, &mut buf);
+            prop_assert_eq!(&buf, &m.embed(&text));
+        }
+
+        /// The precomputed phrase table agrees with the lexicon's stemmed
+        /// lookup for arbitrary word n-grams.
+        #[test]
+        fn phrase_table_matches_lexicon(words in prop::collection::vec("[a-z]{1,9}", 1..4)) {
+            let m = TextEmbedder::default_model();
+            let phrase = words.join(" ");
+            let via_table = m.resolve_phrase(&phrase).map(|(ci, _)| ci);
+            let via_lexicon = m.lexicon().concept_of_phrase_stemmed(&phrase);
+            prop_assert_eq!(via_table, via_lexicon, "phrase {:?}", phrase);
         }
     }
 }

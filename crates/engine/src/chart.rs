@@ -56,7 +56,11 @@ fn render_pie(rs: &ResultSet) -> String {
     let total: f64 = rs.points.iter().map(|p| p.y.max(0.0)).sum();
     let mut out = format!("{} share by {}\n", rs.y_label, rs.x_label);
     for p in &rs.points {
-        let pct = if total > 0.0 { p.y / total * 100.0 } else { 0.0 };
+        let pct = if total > 0.0 {
+            p.y / total * 100.0
+        } else {
+            0.0
+        };
         let slices = (pct / 5.0).round() as usize;
         out.push_str(&format!(
             "{:<20} {:>5.1}% {}\n",

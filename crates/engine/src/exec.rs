@@ -149,7 +149,10 @@ pub fn execute(q: &Dvq, store: &Store) -> Result<ResultSet, ExecError> {
                 Some(c) => Some(env.lookup(c)?.display()),
                 None => None,
             };
-            groups.entry((key.clone(), color.clone())).or_default().push(tuple);
+            groups
+                .entry((key.clone(), color.clone()))
+                .or_default()
+                .push(tuple);
             reprs.entry((key, color)).or_insert(key_cell);
         }
         let mut out = Vec::with_capacity(groups.len());
@@ -159,7 +162,10 @@ pub fn execute(q: &Dvq, store: &Store) -> Result<ResultSet, ExecError> {
                 let env = env_for(&bindings, tuple, store);
                 values.push(axis_value(&q.y, &env)?);
             }
-            let y = aggregate(q.y.aggregate().expect("grouping requires aggregate"), &values);
+            let y = aggregate(
+                q.y.aggregate().expect("grouping requires aggregate"),
+                &values,
+            );
             out.push(Point {
                 x: reprs.remove(&(key, color.clone())).expect("repr recorded"),
                 y,
@@ -234,11 +240,7 @@ fn table_index(store: &Store, name: &str) -> Result<usize, ExecError> {
         .ok_or_else(|| ExecError::UnknownTable(name.to_string()))
 }
 
-fn env_for<'a>(
-    bindings: &[(String, usize)],
-    tuple: &[usize],
-    store: &'a Store,
-) -> Env<'a> {
+fn env_for<'a>(bindings: &[(String, usize)], tuple: &[usize], store: &'a Store) -> Env<'a> {
     Env {
         bindings: bindings
             .iter()
@@ -309,9 +311,10 @@ fn aggregate(func: AggFunc, values: &[Option<Cell>]) -> f64 {
         .filter_map(|v| v.as_ref().and_then(Cell::as_num))
         .collect();
     match func {
-        AggFunc::Count => values.iter().filter(|v| {
-            !matches!(v, Some(Cell::Null) | None)
-        }).count() as f64,
+        AggFunc::Count => values
+            .iter()
+            .filter(|v| !matches!(v, Some(Cell::Null) | None))
+            .count() as f64,
         AggFunc::Sum => nums.iter().sum(),
         AggFunc::Avg => {
             if nums.is_empty() {
@@ -437,9 +440,7 @@ fn compare(cell: &Cell, op: CompareOp, rhs: &Cell) -> bool {
     use std::cmp::Ordering::*;
     let ord = match (cell, rhs) {
         (Cell::Num(a), Cell::Num(b)) => a.partial_cmp(b),
-        (Cell::Text(a), Cell::Text(b)) => {
-            Some(a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()))
-        }
+        (Cell::Text(a), Cell::Text(b)) => Some(a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase())),
         (Cell::Date(a), Cell::Date(b)) => Some(a.cmp(b)),
         _ => None,
     };
@@ -542,36 +543,44 @@ mod tests {
     fn group_count_works() {
         let rs = run("Visualize BAR SELECT city , COUNT(city) FROM employees GROUP BY city");
         assert_eq!(rs.points.len(), 2);
-        let oslo = rs.points.iter().find(|p| p.x == Cell::Text("Oslo".into())).unwrap();
+        let oslo = rs
+            .points
+            .iter()
+            .find(|p| p.x == Cell::Text("Oslo".into()))
+            .unwrap();
         assert_eq!(oslo.y, 2.0);
     }
 
     #[test]
     fn avg_ignores_nulls() {
         let rs = run("Visualize BAR SELECT city , AVG(salary) FROM employees GROUP BY city");
-        let oslo = rs.points.iter().find(|p| p.x == Cell::Text("Oslo".into())).unwrap();
+        let oslo = rs
+            .points
+            .iter()
+            .find(|p| p.x == Cell::Text("Oslo".into()))
+            .unwrap();
         assert_eq!(oslo.y, 5000.0);
-        let paris = rs.points.iter().find(|p| p.x == Cell::Text("Paris".into())).unwrap();
+        let paris = rs
+            .points
+            .iter()
+            .find(|p| p.x == Cell::Text("Paris".into()))
+            .unwrap();
         assert_eq!(paris.y, 10000.0);
     }
 
     #[test]
     fn where_between_and_or_precedence() {
         // salary BETWEEN 8000 AND 12000 (2 rows) OR city = 'Oslo' (2 rows, one overlapping? no)
-        let rs = run(
-            "Visualize BAR SELECT city , COUNT(city) FROM employees \
-             WHERE salary BETWEEN 8000 AND 12000 OR city = 'Oslo' GROUP BY city",
-        );
+        let rs = run("Visualize BAR SELECT city , COUNT(city) FROM employees \
+             WHERE salary BETWEEN 8000 AND 12000 OR city = 'Oslo' GROUP BY city");
         let total: f64 = rs.points.iter().map(|p| p.y).sum();
         assert_eq!(total, 4.0);
     }
 
     #[test]
     fn null_checks_filter() {
-        let rs = run(
-            "Visualize BAR SELECT city , COUNT(city) FROM employees \
-             WHERE salary != \"null\" GROUP BY city",
-        );
+        let rs = run("Visualize BAR SELECT city , COUNT(city) FROM employees \
+             WHERE salary != \"null\" GROUP BY city");
         let total: f64 = rs.points.iter().map(|p| p.y).sum();
         assert_eq!(total, 3.0);
     }
@@ -600,10 +609,8 @@ mod tests {
 
     #[test]
     fn scalar_subquery_resolves() {
-        let rs = run(
-            "Visualize BAR SELECT city , COUNT(city) FROM employees \
-             WHERE dept_id = (SELECT id FROM departments WHERE name = 'Design') GROUP BY city",
-        );
+        let rs = run("Visualize BAR SELECT city , COUNT(city) FROM employees \
+             WHERE dept_id = (SELECT id FROM departments WHERE name = 'Design') GROUP BY city");
         let total: f64 = rs.points.iter().map(|p| p.y).sum();
         assert_eq!(total, 2.0);
     }

@@ -31,8 +31,8 @@ impl Date {
         if self.month < 3 {
             y -= 1;
         }
-        let w = (y + y / 4 - y / 100 + y / 400 + T[(self.month - 1) as usize] + self.day as i32)
-            % 7;
+        let w =
+            (y + y / 4 - y / 100 + y / 400 + T[(self.month - 1) as usize] + self.day as i32) % 7;
         w.rem_euclid(7) as u32
     }
 
@@ -155,8 +155,17 @@ impl Store {
                                 }
                             }
                             ColType::Text => {
+                                // Cover the pool prefix deterministically so
+                                // equality filters drawn from the same pool
+                                // (values.rs) are satisfiable even in small
+                                // stores; the tail stays random.
                                 let pool = values::text_pool(concept);
-                                Cell::Text(pool[rng.gen_range(0..pool.len())].to_string())
+                                let pick = if r < pool.len() {
+                                    pool[r]
+                                } else {
+                                    pool[rng.gen_range(0..pool.len())]
+                                };
+                                Cell::Text(pick.to_string())
                             }
                             ColType::Date => {
                                 let (ylo, yhi) = values::date_year_range(concept);

@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn bar_spec_has_mark_and_fields() {
-        let q = parse("Visualize BAR SELECT city , AVG(salary) FROM emp GROUP BY city ORDER BY city ASC").unwrap();
+        let q = parse(
+            "Visualize BAR SELECT city , AVG(salary) FROM emp GROUP BY city ORDER BY city ASC",
+        )
+        .unwrap();
         let rs = execute(&q, &store()).unwrap();
         let spec = to_vegalite(&q, &rs).pretty();
         assert!(spec.contains("\"mark\": \"bar\""));

@@ -161,9 +161,9 @@ mod tests {
         let rob = build_rob(&corpus, 1);
         let set = &rob.original[..4];
         let preds = vec![
-            Some(set[0].target_text.clone()), // exact
-            None,                             // no output
-            Some("garbage".to_string()),      // unparseable
+            Some(set[0].target_text.clone()),                      // exact
+            None,                                                  // no output
+            Some("garbage".to_string()),                           // unparseable
             Some("Visualize PIE SELECT a , b FROM t".to_string()), // structural miss
         ];
         let p = error_profile(set, &preds);

@@ -2,6 +2,7 @@
 //! set and compute the paper's metrics.
 
 use crate::metrics::{Accuracies, Tally};
+use std::fmt;
 use t2v_corpus::{Corpus, Database};
 use t2v_perturb::{NvBenchRob, RobExample, RobVariant};
 
@@ -32,6 +33,68 @@ pub struct EvalRun {
     pub records: Vec<PredictionRecord>,
 }
 
+/// Recoverable evaluation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A cached prediction file did not line up with the test set (e.g. a
+    /// truncated run left fewer rows than targets).
+    LengthMismatch { predictions: usize, targets: usize },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::LengthMismatch {
+                predictions,
+                targets,
+            } => write!(
+                f,
+                "prediction/target length mismatch: {predictions} predictions vs {targets} targets"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Grade one prediction against its gold example.
+fn grade(predicted: Option<String>, ex: &RobExample) -> (Option<t2v_dvq::Dvq>, PredictionRecord) {
+    let parsed = predicted.as_deref().and_then(|t| t2v_dvq::parse(t).ok());
+    let overall = parsed
+        .as_ref()
+        .map(|p| t2v_dvq::components::ComponentMatch::grade(p, &ex.target).overall)
+        .unwrap_or(false);
+    let record = PredictionRecord {
+        base: ex.base,
+        nlq: ex.nlq.clone(),
+        predicted,
+        target: ex.target_text.clone(),
+        overall_match: overall,
+    };
+    (parsed, record)
+}
+
+/// Fold graded examples into an [`EvalRun`] (input order preserved).
+fn collect_run(
+    model: String,
+    variant: RobVariant,
+    graded: Vec<(Option<t2v_dvq::Dvq>, PredictionRecord)>,
+    set: &[RobExample],
+) -> EvalRun {
+    let mut tally = Tally::default();
+    let mut records = Vec::with_capacity(graded.len());
+    for ((parsed, record), ex) in graded.into_iter().zip(set) {
+        tally.add(parsed.as_ref(), &ex.target);
+        records.push(record);
+    }
+    EvalRun {
+        model,
+        variant,
+        accuracies: tally.accuracies(),
+        records,
+    }
+}
+
 /// Evaluate `model` on one variant's test set.
 pub fn evaluate_set(
     model: &dyn Text2VisModel,
@@ -42,65 +105,56 @@ pub fn evaluate_set(
 ) -> EvalRun {
     let set = rob.set(variant);
     let n = limit.unwrap_or(set.len()).min(set.len());
-    let mut tally = Tally::default();
-    let mut records = Vec::with_capacity(n);
-    for ex in &set[..n] {
-        let db = rob.database(corpus, ex);
-        let predicted = model.predict(&ex.nlq, db);
-        let parsed = predicted.as_deref().and_then(|t| t2v_dvq::parse(t).ok());
-        let overall = parsed
-            .as_ref()
-            .map(|p| t2v_dvq::components::ComponentMatch::grade(p, &ex.target).overall)
-            .unwrap_or(false);
-        tally.add(parsed.as_ref(), &ex.target);
-        records.push(PredictionRecord {
-            base: ex.base,
-            nlq: ex.nlq.clone(),
-            predicted,
-            target: ex.target_text.clone(),
-            overall_match: overall,
-        });
-    }
-    EvalRun {
-        model: model.name().to_string(),
-        variant,
-        accuracies: tally.accuracies(),
-        records,
-    }
+    let graded = set[..n]
+        .iter()
+        .map(|ex| grade(model.predict(&ex.nlq, rob.database(corpus, ex)), ex))
+        .collect();
+    collect_run(model.name().to_string(), variant, graded, &set[..n])
+}
+
+/// [`evaluate_set`] with predictions fanned across threads.
+///
+/// Records and tallies are produced in test-set order regardless of thread
+/// scheduling, so the result is identical to the sequential harness for any
+/// deterministic model.
+pub fn evaluate_set_parallel(
+    model: &(dyn Text2VisModel + Sync),
+    corpus: &Corpus,
+    rob: &NvBenchRob,
+    variant: RobVariant,
+    limit: Option<usize>,
+) -> EvalRun {
+    let set = rob.set(variant);
+    let n = limit.unwrap_or(set.len()).min(set.len());
+    let graded = t2v_parallel::par_map(&set[..n], |ex| {
+        grade(model.predict(&ex.nlq, rob.database(corpus, ex)), ex)
+    });
+    collect_run(model.name().to_string(), variant, graded, &set[..n])
 }
 
 /// Evaluate a model from pre-computed predictions (used when predictions are
 /// cached on disk between experiment binaries).
+///
+/// Returns [`EvalError::LengthMismatch`] instead of panicking when a cached
+/// prediction file has been truncated or padded relative to the test set.
 pub fn evaluate_predictions(
     model_name: &str,
     variant: RobVariant,
     predictions: &[Option<String>],
     set: &[RobExample],
-) -> EvalRun {
-    assert_eq!(predictions.len(), set.len(), "prediction/target length mismatch");
-    let mut tally = Tally::default();
-    let mut records = Vec::with_capacity(set.len());
-    for (p, ex) in predictions.iter().zip(set.iter()) {
-        let parsed = p.as_deref().and_then(|t| t2v_dvq::parse(t).ok());
-        let overall = parsed
-            .as_ref()
-            .map(|q| t2v_dvq::components::ComponentMatch::grade(q, &ex.target).overall)
-            .unwrap_or(false);
-        tally.add(parsed.as_ref(), &ex.target);
-        records.push(PredictionRecord {
-            base: ex.base,
-            nlq: ex.nlq.clone(),
-            predicted: p.clone(),
-            target: ex.target_text.clone(),
-            overall_match: overall,
+) -> Result<EvalRun, EvalError> {
+    if predictions.len() != set.len() {
+        return Err(EvalError::LengthMismatch {
+            predictions: predictions.len(),
+            targets: set.len(),
         });
     }
-    EvalRun {
-        model: model_name.to_string(),
-        variant,
-        accuracies: tally.accuracies(),
-        records,
-    }
+    let graded = predictions
+        .iter()
+        .zip(set)
+        .map(|(p, ex)| grade(p.clone(), ex))
+        .collect();
+    Ok(collect_run(model_name.to_string(), variant, graded, set))
 }
 
 #[cfg(test)]
@@ -169,7 +223,47 @@ mod tests {
         let rob = build_rob(&corpus, 1);
         let set = &rob.set(RobVariant::Schema)[..10];
         let preds: Vec<Option<String>> = set.iter().map(|e| Some(e.target_text.clone())).collect();
-        let run = evaluate_predictions("cached", RobVariant::Schema, &preds, set);
+        let run = evaluate_predictions("cached", RobVariant::Schema, &preds, set).unwrap();
         assert_eq!(run.accuracies.overall, 1.0);
+    }
+
+    #[test]
+    fn truncated_prediction_file_fails_gracefully() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let rob = build_rob(&corpus, 1);
+        let set = &rob.set(RobVariant::Schema)[..10];
+        let preds: Vec<Option<String>> = set
+            .iter()
+            .take(6)
+            .map(|e| Some(e.target_text.clone()))
+            .collect();
+        let err = evaluate_predictions("cached", RobVariant::Schema, &preds, set).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::LengthMismatch {
+                predictions: 6,
+                targets: 10
+            }
+        );
+        assert!(err.to_string().contains("length mismatch"));
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let rob = build_rob(&corpus, 1);
+        let oracle = Oracle {
+            rob: &rob,
+            variant: RobVariant::Nlq,
+        };
+        let seq = evaluate_set(&oracle, &corpus, &rob, RobVariant::Nlq, Some(30));
+        let par = evaluate_set_parallel(&oracle, &corpus, &rob, RobVariant::Nlq, Some(30));
+        assert_eq!(seq.accuracies, par.accuracies);
+        assert_eq!(seq.records.len(), par.records.len());
+        for (a, b) in seq.records.iter().zip(&par.records) {
+            assert_eq!(a.base, b.base);
+            assert_eq!(a.predicted, b.predicted);
+            assert_eq!(a.overall_match, b.overall_match);
+        }
     }
 }

@@ -13,6 +13,9 @@ pub mod metrics;
 pub mod report;
 
 pub use breakdown::{by_chart, by_hardness, error_profile, Breakdown, ErrorProfile};
-pub use harness::{evaluate_predictions, evaluate_set, EvalRun, PredictionRecord, Text2VisModel};
+pub use harness::{
+    evaluate_predictions, evaluate_set, evaluate_set_parallel, EvalError, EvalRun,
+    PredictionRecord, Text2VisModel,
+};
 pub use metrics::{Accuracies, Tally};
 pub use report::{csv_row, render_overall_table, render_table, write_csv};

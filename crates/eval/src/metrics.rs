@@ -121,7 +121,10 @@ mod tests {
         let t = parse("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a").unwrap();
         let mut tally = Tally::default();
         tally.add_text(Some("not a dvq"), &t);
-        tally.add_text(Some("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a"), &t);
+        tally.add_text(
+            Some("Visualize BAR SELECT a , COUNT(a) FROM t GROUP BY a"),
+            &t,
+        );
         let acc = tally.accuracies();
         assert_eq!(acc.n, 2);
         assert_eq!(acc.overall, 0.5);

@@ -7,11 +7,7 @@ use std::path::Path;
 
 /// Render one of the paper's Tables 1-3: rows = models, columns = the four
 /// metrics, with an optional `paper=` reference column for comparison.
-pub fn render_table(
-    title: &str,
-    runs: &[&EvalRun],
-    paper_reference: &[(&str, f64)],
-) -> String {
+pub fn render_table(title: &str, runs: &[&EvalRun], paper_reference: &[(&str, f64)]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "== {title} ==");
     let _ = writeln!(

@@ -2,8 +2,8 @@
 //! mismatching dev examples (tiny corpus).
 
 use t2v_corpus::{generate, CorpusConfig};
-use t2v_gred::{default_gred, GredConfig};
 use t2v_dvq::components::ComponentMatch;
+use t2v_gred::{default_gred, GredConfig};
 
 fn main() {
     let corpus = generate(&CorpusConfig::tiny(7));
@@ -13,9 +13,13 @@ fn main() {
     for (i, ex) in corpus.dev.iter().take(30).enumerate() {
         let out = gred.translate(&ex.nlq, &corpus.databases[ex.db]);
         let f = out.final_dvq().unwrap_or("<none>");
-        let m = t2v_dvq::parse(f).ok().map(|p| ComponentMatch::grade(&p, &ex.dvq));
-        let ok = m.map_or(false, |m| m.overall);
-        if ok { exact += 1; } else if shown < 8 {
+        let m = t2v_dvq::parse(f)
+            .ok()
+            .map(|p| ComponentMatch::grade(&p, &ex.dvq));
+        let ok = m.is_some_and(|m| m.overall);
+        if ok {
+            exact += 1;
+        } else if shown < 8 {
             shown += 1;
             println!("--- #{i} [{:?}]", m);
             println!("NLQ : {}", ex.nlq);

@@ -1,15 +1,17 @@
 //! Quick overall-accuracy shape check across all four variants for the
 //! GRED ablation configurations (small corpus, 120 examples per set).
 
-use t2v_corpus::{generate, CorpusConfig};
-use t2v_gred::{default_gred, GredConfig};
-use t2v_eval::{evaluate_set, Text2VisModel};
-use t2v_perturb::{build_rob, RobVariant};
 use t2v_corpus::Database;
+use t2v_corpus::{generate, CorpusConfig};
+use t2v_eval::{evaluate_set, Text2VisModel};
+use t2v_gred::{default_gred, GredConfig};
+use t2v_perturb::{build_rob, RobVariant};
 
 struct GredModel(t2v_gred::Gred<t2v_llm::SimulatedChatModel>, &'static str);
 impl Text2VisModel for GredModel {
-    fn name(&self) -> &str { self.1 }
+    fn name(&self) -> &str {
+        self.1
+    }
     fn predict(&self, nlq: &str, db: &Database) -> Option<String> {
         self.0.translate_final(nlq, db)
     }
@@ -25,11 +27,19 @@ fn main() {
         ("GRED w/o RTN", GredConfig::default().without_retuner()),
         ("GRED w/o DBG", GredConfig::default().without_debugger()),
     ];
-    println!("{:<18} {:>9} {:>9} {:>9} {:>9}", "model", "orig", "nlq", "schema", "both");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9}",
+        "model", "orig", "nlq", "schema", "both"
+    );
     for (name, cfg) in configs {
         let m = GredModel(default_gred(&corpus, cfg), name);
         let mut row = format!("{name:<18}");
-        for v in [RobVariant::Original, RobVariant::Nlq, RobVariant::Schema, RobVariant::Both] {
+        for v in [
+            RobVariant::Original,
+            RobVariant::Nlq,
+            RobVariant::Schema,
+            RobVariant::Both,
+        ] {
             let run = evaluate_set(&m, &corpus, &rob, v, Some(120));
             row += &format!(" {:>8.2}%", run.accuracies.overall * 100.0);
         }

@@ -103,23 +103,29 @@ impl<M: ChatModel> Gred<M> {
         let schema_text = db.render_prompt_schema();
 
         // ----- stage 1: NLQ-Retrieval Generator -----
+        // The embedder's output is already L2-normalised, so the index can
+        // skip its defensive renormalisation copy.
         let qv = self.embedder.embed(nlq);
-        let mut hits = self.library.nlq_index.top_k(&qv, self.config.k);
+        let mut hits = self
+            .library
+            .nlq_index
+            .top_k_prenormalized(&qv, self.config.k);
         // `top_k` returns best-first (descending similarity); the paper
         // assembles the prompt in ascending order of similarity so the most
         // similar example lands next to the question.
         if self.config.ascending_order {
             hits.reverse();
         }
-        let examples: Vec<GenExample> = hits
+        // Borrow straight out of the library: no per-hit string clones.
+        let examples: Vec<GenExample<'_>> = hits
             .iter()
             .map(|h| {
                 let e = &self.library.entries[h.id];
                 GenExample {
-                    db_id: e.db_id.clone(),
-                    schema_text: e.schema_text.clone(),
-                    nlq: e.nlq.clone(),
-                    dvq: e.dvq.clone(),
+                    db_id: (&*e.db_id).into(),
+                    schema_text: (&*e.schema_text).into(),
+                    nlq: (&*e.nlq).into(),
+                    dvq: (&*e.dvq).into(),
                 }
             })
             .collect();
@@ -139,12 +145,12 @@ impl<M: ChatModel> Gred<M> {
         // ----- stage 2: DVQ-Retrieval Retuner -----
         let dvq_rtn = if self.config.use_retuner {
             let dv = self.embedder.embed(&dvq_gen);
-            let refs: Vec<String> = self
+            let refs: Vec<&str> = self
                 .library
                 .dvq_index
-                .top_k(&dv, self.config.k)
+                .top_k_prenormalized(&dv, self.config.k)
                 .iter()
-                .map(|h| self.library.entries[h.id].dvq.clone())
+                .map(|h| self.library.entries[h.id].dvq.as_str())
                 .collect();
             let answer = self.model.complete(
                 &prompts::retune_prompt(&refs, &dvq_gen),
@@ -197,10 +203,7 @@ impl<M: ChatModel> t2v_eval::Text2VisModel for Gred<M> {
 }
 
 /// Build the default GRED over a corpus with the simulated LLM.
-pub fn default_gred(
-    corpus: &Corpus,
-    config: GredConfig,
-) -> Gred<t2v_llm::SimulatedChatModel> {
+pub fn default_gred(corpus: &Corpus, config: GredConfig) -> Gred<t2v_llm::SimulatedChatModel> {
     let embedder = TextEmbedder::default_model();
     let model = t2v_llm::SimulatedChatModel::new(t2v_llm::LlmConfig::default());
     Gred::prepare(corpus, embedder, model, config)

@@ -135,7 +135,10 @@ mod tests {
     fn unknown_words_get_bland_gloss() {
         let text = annotate_schema(&schema(), &embedder(), 0.0, 1);
         // CITY is a primary form; gloss adds nothing beyond itself.
-        assert!(text.contains("CITY: The city value of the record.") || text.contains("CITY: The city ("));
+        assert!(
+            text.contains("CITY: The city value of the record.")
+                || text.contains("CITY: The city (")
+        );
     }
 
     #[test]

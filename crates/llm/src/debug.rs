@@ -143,8 +143,8 @@ pub fn debug_dvq(
                 .iter()
                 .enumerate()
                 .map(|(i, name)| {
-                    let s = cosine(&vv, &cache.get(name))
-                        .max(cosine(&vv, &cache.get(&descriptors[i])));
+                    let s =
+                        cosine(&vv, &cache.get(name)).max(cosine(&vv, &cache.get(&descriptors[i])));
                     (i, s)
                 })
                 .collect();

@@ -49,7 +49,11 @@ pub fn generate_dvq(parsed: &ParsedGeneration, ctx: &GenContext) -> String {
         let mut best: Option<(f32, &str)> = None;
         for (i, ex) in parsed.examples.iter().enumerate() {
             let ev = cache.get(&ex.nlq);
-            let frac = if n > 1 { i as f32 / (n - 1) as f32 } else { 1.0 };
+            let frac = if n > 1 {
+                i as f32 / (n - 1) as f32
+            } else {
+                1.0
+            };
             let weight = 1.0 + ctx.recency_bias * frac;
             let score = cosine(&qv, &ev) * weight;
             if best.is_none_or(|(b, _)| score > b) {
@@ -58,7 +62,9 @@ pub fn generate_dvq(parsed: &ParsedGeneration, ctx: &GenContext) -> String {
         }
         best.map(|(_, d)| d.to_string())
     };
-    let template = template_text.as_deref().and_then(|t| t2v_dvq::parse(t).ok());
+    let template = template_text
+        .as_deref()
+        .and_then(|t| t2v_dvq::parse(t).ok());
 
     // ----- 2. intent reading -----
     let intents = crate::patterns::detect(&parsed.nlq, ctx.knowledge);
@@ -145,7 +151,7 @@ impl<'a> LinkState<'a> {
     }
 
     fn resolve_column(&self, cache: &mut EmbedCache, slot: &str) -> String {
-        let normalized = slot.replace(' ', "_");
+        let normalized = identify(slot);
         for c in &self.columns {
             if c.eq_ignore_ascii_case(&normalized) {
                 return c.clone();
@@ -156,8 +162,10 @@ impl<'a> LinkState<'a> {
         // copied verbatim instead of linked — the stale-name failure mode the
         // Debugger exists to fix. Paraphrased multi-word phrases ("date of
         // hire") are NOT explicit; the underscore test uses the raw slot.
-        let explicit =
-            slot.contains('_') || self.template_tokens.contains(&normalized.to_ascii_lowercase());
+        let explicit = slot.contains('_')
+            || self
+                .template_tokens
+                .contains(&normalized.to_ascii_lowercase());
         if explicit && self.copies(&normalized) {
             return normalized;
         }
@@ -176,7 +184,7 @@ impl<'a> LinkState<'a> {
         }
         match link_slot(cache, slot, &self.question_phrases, &self.tables) {
             Some(r) if r.score >= self.threshold => self.tables[r.candidate].clone(),
-            _ => slot.replace(' ', "_"),
+            _ => identify(slot),
         }
     }
 
@@ -191,13 +199,13 @@ impl<'a> LinkState<'a> {
             return self.resolve_column(cache, slot);
         };
         for c in &t.columns {
-            if c.eq_ignore_ascii_case(&slot.replace(' ', "_")) {
+            if c.eq_ignore_ascii_case(&identify(slot)) {
                 return c.clone();
             }
         }
         match link_slot(cache, slot, &self.question_phrases, &t.columns) {
             Some(r) if r.score >= self.threshold => t.columns[r.candidate].clone(),
-            _ => slot.replace(' ', "_"),
+            _ => identify(slot),
         }
     }
 
@@ -219,9 +227,18 @@ struct TableChoice {
     join: Option<(String, String)>,
 }
 
+/// Render a phrase as a syntactically valid DVQ identifier: every
+/// non-alphanumeric character becomes `_`. Hallucinated (stale) names stay
+/// wrong semantically but must never break the DVQ grammar.
+fn identify(slot: &str) -> String {
+    slot.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
 /// Direct link score of a slot against one candidate name.
 fn slot_col_score(cache: &mut EmbedCache, slot: &str, cand: &str) -> f32 {
-    if cand.eq_ignore_ascii_case(&slot.replace(' ', "_")) {
+    if cand.eq_ignore_ascii_case(&identify(slot)) {
         return 1.0;
     }
     cosine(&cache.get(slot), &cache.get(cand))
@@ -251,8 +268,14 @@ fn choose_tables(
         .collect();
     for (ft, fc, tt, tc) in &schema.foreign_keys {
         let (Some(fi), Some(ti)) = (
-            schema.tables.iter().position(|t| t.name.eq_ignore_ascii_case(ft)),
-            schema.tables.iter().position(|t| t.name.eq_ignore_ascii_case(tt)),
+            schema
+                .tables
+                .iter()
+                .position(|t| t.name.eq_ignore_ascii_case(ft)),
+            schema
+                .tables
+                .iter()
+                .position(|t| t.name.eq_ignore_ascii_case(tt)),
         ) else {
             continue;
         };
@@ -477,7 +500,11 @@ fn assemble(
             .unwrap_or_default();
         let mut preds: Vec<(BoolOp, Predicate)> = Vec::new();
         for (fi, f) in intents.filters.iter().enumerate() {
-            let conn = if f.or_connective { BoolOp::Or } else { BoolOp::And };
+            let conn = if f.or_connective {
+                BoolOp::Or
+            } else {
+                BoolOp::And
+            };
             let col = ColumnRef::bare(resolve_with_fallback(
                 &mut link,
                 cache,
@@ -775,7 +802,7 @@ mod tests {
         out.strip_prefix("A: ").unwrap().to_string()
     }
 
-    fn hr_example() -> GenExample {
+    fn hr_example() -> GenExample<'static> {
         GenExample {
             db_id: "hr_1".into(),
             schema_text: "# Table employees, columns = [ * , EMPLOYEE_ID , SALARY , CITY , HIRE_DATE ]\n# Foreign_keys = [  ]\n".into(),

@@ -193,10 +193,10 @@ mod tests {
         // Generation.
         let ex = &corpus.train[0];
         let gen_ex = prompts::GenExample {
-            db_id: corpus.databases[ex.db].id.clone(),
-            schema_text: corpus.databases[ex.db].render_prompt_schema(),
-            nlq: ex.nlq.clone(),
-            dvq: ex.dvq_text.clone(),
+            db_id: corpus.databases[ex.db].id.clone().into(),
+            schema_text: corpus.databases[ex.db].render_prompt_schema().into(),
+            nlq: ex.nlq.clone().into(),
+            dvq: ex.dvq_text.clone().into(),
         };
         let gen = model.complete(
             &prompts::generation_prompt(&[gen_ex], &db.render_prompt_schema(), &corpus.dev[0].nlq),
@@ -217,11 +217,7 @@ mod tests {
 
         // Debug.
         let dbg = model.complete(
-            &prompts::debug_prompt(
-                &db.render_prompt_schema(),
-                &ann,
-                &corpus.train[3].dvq_text,
-            ),
+            &prompts::debug_prompt(&db.render_prompt_schema(), &ann, &corpus.train[3].dvq_text),
             &ChatParams::working(),
         );
         assert!(extract_dvq(&dbg).is_some());

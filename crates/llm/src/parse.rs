@@ -97,8 +97,18 @@ pub fn parse_generation(text: &str) -> Option<ParsedGeneration> {
     let mut final_block: Option<(ParsedSchema, String)> = None;
     for block in text.split("### Database Schemas:").skip(1) {
         let schema = parse_schema(block);
-        let nlq = between(block, "### Natural Language Question:", "### Data Visualization Query:")
-            .map(|s| s.trim().trim_start_matches('#').trim().trim_matches('"').to_string())?;
+        let nlq = between(
+            block,
+            "### Natural Language Question:",
+            "### Data Visualization Query:",
+        )
+        .map(|s| {
+            s.trim()
+                .trim_start_matches('#')
+                .trim()
+                .trim_matches('"')
+                .to_string()
+        })?;
         if let Some(answer) = block.split("### Data Visualization Query:").nth(1) {
             let answer = answer.trim();
             if let Some(dvq) = answer.strip_prefix("A:") {
@@ -140,7 +150,11 @@ pub fn parse_retune(text: &str) -> Option<(Vec<String>, String)> {
 
 /// Parse the C.4 debug prompt: schema, annotations, original DVQ.
 pub fn parse_debug(text: &str) -> Option<(ParsedSchema, String, String)> {
-    let schema_block = between(text, "### Database Schemas:", "### Natural Language Annotations:")?;
+    let schema_block = between(
+        text,
+        "### Database Schemas:",
+        "### Natural Language Annotations:",
+    )?;
     let schema = parse_schema(&schema_block);
     let annotations = between(
         text,
@@ -153,7 +167,11 @@ pub fn parse_debug(text: &str) -> Option<(ParsedSchema, String, String)> {
 
 /// Parse the C.1 annotation prompt: just the schema block.
 pub fn parse_annotation_request(text: &str) -> Option<ParsedSchema> {
-    let block = between(text, "### Database Schemas:", "### Natural Language Annotations:")?;
+    let block = between(
+        text,
+        "### Database Schemas:",
+        "### Natural Language Annotations:",
+    )?;
     let schema = parse_schema(&block);
     if schema.tables.is_empty() {
         None
@@ -231,13 +249,14 @@ mod tests {
         let examples: Vec<prompts::GenExample> = corpus.train[..3]
             .iter()
             .map(|e| prompts::GenExample {
-                db_id: corpus.databases[e.db].id.clone(),
-                schema_text: corpus.databases[e.db].render_prompt_schema(),
-                nlq: e.nlq.clone(),
-                dvq: e.dvq_text.clone(),
+                db_id: corpus.databases[e.db].id.clone().into(),
+                schema_text: corpus.databases[e.db].render_prompt_schema().into(),
+                nlq: e.nlq.clone().into(),
+                dvq: e.dvq_text.clone().into(),
             })
             .collect();
-        let msgs = prompts::generation_prompt(&examples, &db.render_prompt_schema(), "Show things.");
+        let msgs =
+            prompts::generation_prompt(&examples, &db.render_prompt_schema(), "Show things.");
         let parsed = parse_generation(&msgs[1].content).unwrap();
         assert_eq!(parsed.examples.len(), 3);
         assert_eq!(parsed.examples[0].nlq, corpus.train[0].nlq);

@@ -17,12 +17,27 @@ use t2v_dvq::ast::{AggFunc, BinUnit, ChartType, SortDir};
 /// A detected filter.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FilterKind {
-    Cmp { op: CmpIntent, value: LitValue },
-    Between { lo: i64, hi: i64 },
-    Like { pattern: String },
+    Cmp {
+        op: CmpIntent,
+        value: LitValue,
+    },
+    Between {
+        lo: i64,
+        hi: i64,
+    },
+    Like {
+        pattern: String,
+    },
     NotNull,
-    EqSub { select_phrase: String, table_phrase: String, filter: Option<(String, LitValue)> },
-    InSub { select_phrase: String, table_phrase: String },
+    EqSub {
+        select_phrase: String,
+        table_phrase: String,
+        filter: Option<(String, LitValue)>,
+    },
+    InSub {
+        select_phrase: String,
+        table_phrase: String,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,7 +175,10 @@ pub fn detect(nlq: &str, knowledge: &PatternKnowledge) -> Intents {
     // "Description" contains "desc"!
     if contains_word(&text, "asc")
         || contains_word(&text, "ascending")
-        || contains_any(&text, &["low to high", "arranged upward", "from low to high"])
+        || contains_any(
+            &text,
+            &["low to high", "arranged upward", "from low to high"],
+        )
     {
         out.order_dir = Some(SortDir::Asc);
     }
@@ -264,14 +282,34 @@ pub fn detect(nlq: &str, knowledge: &PatternKnowledge) -> Intents {
 
 /// Stop markers that terminate a noun phrase inside the main clause.
 const PHRASE_STOPS: &[&str] = &[
-    " from the ", " from ", " among the ", " in ", " using ", " presented ", " there ",
-    " entries", " of all ", " and ", " over ", " across ", " against ", " for every ",
-    " by ", " as ", ",", ".", "?",
+    " from the ",
+    " from ",
+    " among the ",
+    " in ",
+    " using ",
+    " presented ",
+    " there ",
+    " entries",
+    " of all ",
+    " and ",
+    " over ",
+    " across ",
+    " against ",
+    " for every ",
+    " by ",
+    " as ",
+    ",",
+    ".",
+    "?",
 ];
 
 fn head_until(rest: &str, extra_stops: &[&str]) -> String {
     let mut end = rest.len();
-    for stop in PHRASE_STOPS.iter().copied().chain(extra_stops.iter().copied()) {
+    for stop in PHRASE_STOPS
+        .iter()
+        .copied()
+        .chain(extra_stops.iter().copied())
+    {
         if let Some(p) = rest.find(stop) {
             end = end.min(p);
         }
@@ -311,18 +349,33 @@ fn detect_axes(text: &str, out: &Intents) -> (Option<String>, Option<String>) {
     // Aggregate frames: "... {agg} {y} over/across/against/for every {x} ...".
     if out.agg.is_some() {
         const AGG_MARKERS: &[&str] = &[
-            "average of ", "sum of ", "minimum of ", "maximum of ",
-            "the mean ", "the typical ", "the average ", "the combined ",
-            "overall total of ", "the smallest ", "the lowest ", "the largest ",
+            "average of ",
+            "sum of ",
+            "minimum of ",
+            "maximum of ",
+            "the mean ",
+            "the typical ",
+            "the average ",
+            "the combined ",
+            "overall total of ",
+            "the smallest ",
+            "the lowest ",
+            "the largest ",
             "the highest ",
         ];
         for m in AGG_MARKERS {
             if let Some(rest) = after(text, m) {
                 let y = head_until(rest, &[]);
-                let mut x = [" over the ", " over ", " across the ", " against the ", " for every "]
-                    .iter()
-                    .find_map(|xm| after(rest, xm))
-                    .map(|r| head_until(r, &[]));
+                let mut x = [
+                    " over the ",
+                    " over ",
+                    " across the ",
+                    " against the ",
+                    " for every ",
+                ]
+                .iter()
+                .find_map(|xm| after(rest, xm))
+                .map(|r| head_until(r, &[]));
                 if x.is_none() {
                     // Frames that name x before the aggregate:
                     // "distribution of {x} and {agg} {y}" / "Show {x} and ...".
@@ -377,7 +430,13 @@ fn detect_axes(text: &str, out: &Intents) -> (Option<String>, Option<String>) {
 /// Extract the table phrase ("from {t}", "among the {t}", "of all {t}",
 /// "for all {t}").
 fn detect_table(text: &str) -> Option<String> {
-    for m in [" from the ", " from ", " among the ", " of all ", "for all "] {
+    for m in [
+        " from the ",
+        " from ",
+        " among the ",
+        " of all ",
+        "for all ",
+    ] {
         if let Some(rest) = after(text, m) {
             let head = head_until(rest, &[" data", " records"]);
             if head.is_empty()
@@ -457,9 +516,7 @@ fn number_after(text: &str, marker: &str) -> Option<i64> {
 
 /// First words of a clause up to punctuation/clause markers.
 fn clause_head(rest: &str) -> String {
-    let stop = rest
-        .find([',', '.', '?'])
-        .unwrap_or(rest.len());
+    let stop = rest.find([',', '.', '?']).unwrap_or(rest.len());
     let head = &rest[..stop];
     // Keep at most 4 words.
     head.split_whitespace()
@@ -526,8 +583,7 @@ fn detect_filters(text: &str, knowledge: &PatternKnowledge) -> Vec<FilterIntent>
         if (w == "and" || w == "or") && !cur.is_empty() {
             // Is this "and" part of a range phrase?
             let lower = cur.to_ascii_lowercase();
-            let is_range = w == "and"
-                && (ends_with_range_marker(&lower));
+            let is_range = w == "and" && (ends_with_range_marker(&lower));
             if !is_range {
                 segments.push((cur_or, std::mem::take(&mut cur)));
                 cur_or = w == "or";
@@ -547,11 +603,13 @@ fn detect_filters(text: &str, knowledge: &PatternKnowledge) -> Vec<FilterIntent>
 
     segments
         .into_iter()
-        .filter_map(|(or, seg)| parse_segment(&seg, knowledge).map(|(col, kind)| FilterIntent {
-            or_connective: or,
-            col_phrase: col,
-            kind,
-        }))
+        .filter_map(|(or, seg)| {
+            parse_segment(&seg, knowledge).map(|(col, kind)| FilterIntent {
+                or_connective: or,
+                col_phrase: col,
+                kind,
+            })
+        })
         .collect()
 }
 
@@ -614,8 +672,12 @@ fn parse_segment(seg: &str, knowledge: &PatternKnowledge) -> Option<(String, Fil
         ("equals to the ", |_b, after| parse_subquery(after, false)),
         ("matches the ", |_b, after| parse_subquery(after, false)),
         ("is in the ", |_b, after| parse_subquery(after, true)),
-        ("appears among the ", |_b, after| parse_subquery(after, true)),
-        ("does not equal to ", |_b, after| cmp(CmpIntent::NotEq, after)),
+        ("appears among the ", |_b, after| {
+            parse_subquery(after, true)
+        }),
+        ("does not equal to ", |_b, after| {
+            cmp(CmpIntent::NotEq, after)
+        }),
         ("differs from ", |_b, after| cmp(CmpIntent::NotEq, after)),
         ("is anything but ", |_b, after| cmp(CmpIntent::NotEq, after)),
         ("equals to ", |_b, after| cmp(CmpIntent::Eq, after)),
@@ -781,17 +843,32 @@ mod tests {
 
     #[test]
     fn detects_chart_synonyms() {
-        assert_eq!(full("Please give me a histogram of x.").chart, Some(ChartType::Bar));
-        assert_eq!(full("Draw a stacked bar chart.").chart, Some(ChartType::StackedBar));
-        assert_eq!(full("a multi-series line graph please").chart, Some(ChartType::GroupingLine));
+        assert_eq!(
+            full("Please give me a histogram of x.").chart,
+            Some(ChartType::Bar)
+        );
+        assert_eq!(
+            full("Draw a stacked bar chart.").chart,
+            Some(ChartType::StackedBar)
+        );
+        assert_eq!(
+            full("a multi-series line graph please").chart,
+            Some(ChartType::GroupingLine)
+        );
         assert_eq!(full("show a point cloud").chart, Some(ChartType::Scatter));
     }
 
     #[test]
     fn detects_count_and_agg() {
         assert!(full("show the number of pets").count_y);
-        assert_eq!(full("the mean weight across cities").agg, Some(AggFunc::Avg));
-        assert_eq!(full("the combined revenue per region").agg, Some(AggFunc::Sum));
+        assert_eq!(
+            full("the mean weight across cities").agg,
+            Some(AggFunc::Avg)
+        );
+        assert_eq!(
+            full("the combined revenue per region").agg,
+            Some(AggFunc::Sum)
+        );
     }
 
     #[test]
@@ -823,7 +900,10 @@ mod tests {
         assert_eq!(i.filters.len(), 2);
         assert_eq!(
             i.filters[0].kind,
-            FilterKind::Between { lo: 8000, hi: 12000 }
+            FilterKind::Between {
+                lo: 8000,
+                hi: 12000
+            }
         );
         assert_eq!(i.filters[0].col_phrase, "salary");
         assert_eq!(i.filters[1].kind, FilterKind::NotNull);
@@ -879,10 +959,7 @@ mod tests {
             } => {
                 assert_eq!(select_phrase, "department_id");
                 assert_eq!(table_phrase, "departments");
-                assert_eq!(
-                    filter.as_ref().unwrap().1,
-                    LitValue::Text("finance".into())
-                );
+                assert_eq!(filter.as_ref().unwrap().1, LitValue::Text("finance".into()));
             }
             other => panic!("wrong kind {other:?}"),
         }
@@ -894,7 +971,10 @@ mod tests {
     fn paraphrase_gaps_degrade_gracefully() {
         let mut k = PatternKnowledge::full();
         k.unknown.insert("exceeds");
-        let i = detect("a histogram, considering only entries whose wage exceeds 9000.", &k);
+        let i = detect(
+            "a histogram, considering only entries whose wage exceeds 9000.",
+            &k,
+        );
         // Unknown marker still produces a numeric guess.
         assert_eq!(i.filters.len(), 1);
         assert!(matches!(

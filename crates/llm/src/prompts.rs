@@ -3,20 +3,27 @@
 //! Retuner, C.4 Annotation-based Debugger.
 
 use crate::api::ChatMessage;
+use std::borrow::Cow;
 use t2v_corpus::Database;
 
 /// One in-context example for the generation prompt.
+///
+/// Fields are `Cow` so the GRED pipeline can assemble its prompt from
+/// borrowed library entries without cloning four strings per retrieved hit;
+/// owned construction (`String` / `&'static str` via `.into()`) still works
+/// everywhere else.
 #[derive(Debug, Clone)]
-pub struct GenExample {
-    pub db_id: String,
-    pub schema_text: String,
-    pub nlq: String,
-    pub dvq: String,
+pub struct GenExample<'a> {
+    pub db_id: Cow<'a, str>,
+    pub schema_text: Cow<'a, str>,
+    pub nlq: Cow<'a, str>,
+    pub dvq: Cow<'a, str>,
 }
 
 /// C.1 — database annotation prompt.
 pub fn annotation_prompt(db: &Database) -> Vec<ChatMessage> {
-    let system = "You are a data mining engineer with ten years of experience in data visualization.";
+    let system =
+        "You are a data mining engineer with ten years of experience in data visualization.";
     let mut user = String::new();
     user.push_str(
         "#### Please generate detailed natural language annotations to the following database schemas.\n",
@@ -31,7 +38,7 @@ pub fn annotation_prompt(db: &Database) -> Vec<ChatMessage> {
 /// desired order (GRED sorts them by *ascending* similarity so the most
 /// similar example sits next to the question).
 pub fn generation_prompt(
-    examples: &[GenExample],
+    examples: &[GenExample<'_>],
     schema_text: &str,
     nlq: &str,
 ) -> Vec<ChatMessage> {
@@ -59,13 +66,14 @@ pub fn generation_prompt(
 }
 
 /// C.3 — DVQ-Retrieval Retuner prompt.
-pub fn retune_prompt(reference_dvqs: &[String], original_dvq: &str) -> Vec<ChatMessage> {
-    let system = "The Reference Data Visualization Queries(DVQs) all comply with the syntax of DVQ. \
+pub fn retune_prompt<S: AsRef<str>>(reference_dvqs: &[S], original_dvq: &str) -> Vec<ChatMessage> {
+    let system =
+        "The Reference Data Visualization Queries(DVQs) all comply with the syntax of DVQ. \
                   Please follow the syntax of the referenced DVQ to modify the Original DVQ.";
     let mut user = String::new();
     user.push_str("### Reference DVQs:\n");
     for (i, dvq) in reference_dvqs.iter().enumerate() {
-        user.push_str(&format!("{} - {}\n", i + 1, dvq));
+        user.push_str(&format!("{} - {}\n", i + 1, dvq.as_ref()));
     }
     user.push_str(
         "\n#### Given the Reference DVQs, please modify the Original DVQ to mimic the style of the Reference DVQs.\n",
@@ -80,11 +88,7 @@ pub fn retune_prompt(reference_dvqs: &[String], original_dvq: &str) -> Vec<ChatM
 }
 
 /// C.4 — Annotation-based Debugger prompt.
-pub fn debug_prompt(
-    schema_text: &str,
-    annotations: &str,
-    original_dvq: &str,
-) -> Vec<ChatMessage> {
+pub fn debug_prompt(schema_text: &str, annotations: &str, original_dvq: &str) -> Vec<ChatMessage> {
     let system = "#### NOTE: Don't replace column names in Original DVQ that already exist in the \
                   database schemas, especially column names in GROUP BY Clause!";
     let mut user = String::new();
@@ -150,7 +154,10 @@ mod tests {
     #[test]
     fn retune_prompt_numbers_references() {
         let msgs = retune_prompt(
-            &["Visualize BAR SELECT a , b FROM t".into(), "Visualize PIE SELECT c , d FROM u".into()],
+            &[
+                "Visualize BAR SELECT a , b FROM t",
+                "Visualize PIE SELECT c , d FROM u",
+            ],
             "Visualize BAR SELECT a , b FROM t WHERE c IS NOT NULL",
         );
         assert!(msgs[1].content.contains("1 - Visualize BAR"));

@@ -197,16 +197,18 @@ mod tests {
 
     #[test]
     fn alias_style_is_adopted() {
-        let refs = vec![
-            "Visualize BAR SELECT x , y FROM m AS T1 JOIN n AS T2 ON T1.k = T2.k".to_string(),
-        ];
+        let refs =
+            vec!["Visualize BAR SELECT x , y FROM m AS T1 JOIN n AS T2 ON T1.k = T2.k".to_string()];
         let out = extract(&retune_dvq(
             &refs,
             "Visualize BAR SELECT x , y FROM emp JOIN dept ON emp.k = dept.k WHERE dept.name = 'A'",
             1.0,
             1,
         ));
-        assert!(out.contains("FROM emp AS T1 JOIN dept AS T2 ON T1.k = T2.k"), "{out}");
+        assert!(
+            out.contains("FROM emp AS T1 JOIN dept AS T2 ON T1.k = T2.k"),
+            "{out}"
+        );
         assert!(out.contains("T2.name = 'A'"), "{out}");
     }
 

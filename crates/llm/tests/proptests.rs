@@ -21,10 +21,10 @@ proptest! {
         let (corpus, model) = fixture();
         let ex = &corpus.train[0];
         let gen_ex = GenExample {
-            db_id: corpus.databases[ex.db].id.clone(),
-            schema_text: corpus.databases[ex.db].render_prompt_schema(),
-            nlq: ex.nlq.clone(),
-            dvq: ex.dvq_text.clone(),
+            db_id: corpus.databases[ex.db].id.clone().into(),
+            schema_text: corpus.databases[ex.db].render_prompt_schema().into(),
+            nlq: ex.nlq.clone().into(),
+            dvq: ex.dvq_text.clone().into(),
         };
         let nlq = words.join(" ");
         let msgs = prompts::generation_prompt(

@@ -158,7 +158,12 @@ impl Graph {
         let v = Matrix {
             rows: x.rows,
             cols: x.cols,
-            data: x.data.iter().zip(y.data.iter()).map(|(p, q)| p * q).collect(),
+            data: x
+                .data
+                .iter()
+                .zip(y.data.iter())
+                .map(|(p, q)| p * q)
+                .collect(),
         };
         self.push(v, Op::Mul(a, b))
     }
@@ -330,7 +335,10 @@ impl Graph {
         assert!(!vars.is_empty());
         let sum: f32 = vars.iter().map(|v| self.values[v.0].data[0]).sum();
         let n = vars.len() as f32;
-        let sumvar = self.push(Matrix::from_vec(1, 1, vec![sum]), Op::SumVars(vars.to_vec()));
+        let sumvar = self.push(
+            Matrix::from_vec(1, 1, vec![sum]),
+            Op::SumVars(vars.to_vec()),
+        );
         self.affine(sumvar, 1.0 / n, 0.0)
     }
 
@@ -476,8 +484,7 @@ impl Graph {
                     for r in 0..xv.rows {
                         let row = xv.row(r);
                         let mean: f32 = row.iter().sum::<f32>() / n;
-                        let var: f32 =
-                            row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+                        let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
                         let inv = 1.0 / (var + EPS_LN).sqrt();
                         let xhat: Vec<f32> = row.iter().map(|&x| (x - mean) * inv).collect();
                         let gr = g.row(r);
@@ -487,14 +494,12 @@ impl Graph {
                             self.grads[gain.0].data[c] += gr[c] * xhat[c];
                         }
                         // dx
-                        let dxhat: Vec<f32> =
-                            (0..xv.cols).map(|c| gr[c] * gv.data[c]).collect();
+                        let dxhat: Vec<f32> = (0..xv.cols).map(|c| gr[c] * gv.data[c]).collect();
                         let sum_dxhat: f32 = dxhat.iter().sum();
                         let sum_dxhat_xhat: f32 =
                             dxhat.iter().zip(xhat.iter()).map(|(a, b)| a * b).sum();
                         for c in 0..xv.cols {
-                            let d = inv / n
-                                * (n * dxhat[c] - sum_dxhat - xhat[c] * sum_dxhat_xhat);
+                            let d = inv / n * (n * dxhat[c] - sum_dxhat - xhat[c] * sum_dxhat_xhat);
                             *self.grads[x.0].at_mut(r, c) += d;
                         }
                     }
@@ -568,11 +573,7 @@ mod tests {
 
     /// Finite-difference gradient check for a scalar-valued function of one
     /// leaf matrix.
-    fn grad_check(
-        input: Matrix,
-        f: impl Fn(&mut Graph, Var) -> Var,
-        tol: f32,
-    ) {
+    fn grad_check(input: Matrix, f: impl Fn(&mut Graph, Var) -> Var, tol: f32) {
         let mut g = Graph::new();
         let x = g.leaf(input.clone());
         let loss = f(&mut g, x);

@@ -15,7 +15,13 @@ pub struct Linear {
 }
 
 impl Linear {
-    pub fn new(store: &mut ParamStore, name: &str, input: usize, output: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        output: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         Linear {
             w: store.add(&format!("{name}.w"), Matrix::randn(input, output, rng)),
             b: store.add(&format!("{name}.b"), Matrix::zeros(1, output)),
@@ -41,7 +47,13 @@ pub struct Embedding {
 }
 
 impl Embedding {
-    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         Embedding {
             table: store.add(name, Matrix::randn(vocab, dim, rng)),
             vocab,
@@ -73,14 +85,23 @@ pub struct LstmState {
 }
 
 impl LstmCell {
-    pub fn new(store: &mut ParamStore, name: &str, input: usize, hidden: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let mut b = Matrix::zeros(1, 4 * hidden);
         // Forget-gate bias starts at 1 (standard trick for gradient flow).
         for c in hidden..2 * hidden {
             b.data[c] = 1.0;
         }
         LstmCell {
-            w: store.add(&format!("{name}.w"), Matrix::randn(input + hidden, 4 * hidden, rng)),
+            w: store.add(
+                &format!("{name}.w"),
+                Matrix::randn(input + hidden, 4 * hidden, rng),
+            ),
             b: store.add(&format!("{name}.b"), b),
             input,
             hidden,
@@ -171,11 +192,7 @@ mod tests {
     #[test]
     fn attention_weights_sum_to_one_and_peak_correctly() {
         let mut g = Graph::new();
-        let memory = g.leaf(Matrix::from_vec(
-            3,
-            2,
-            vec![1.0, 0.0, 0.0, 1.0, 5.0, 0.0],
-        ));
+        let memory = g.leaf(Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 5.0, 0.0]));
         let query = g.leaf(Matrix::from_vec(1, 2, vec![1.0, 0.0]));
         let (ctx, w) = attention(&mut g, memory, query);
         let weights = g.value(w);

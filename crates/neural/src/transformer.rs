@@ -114,7 +114,10 @@ struct Norm {
 impl Norm {
     fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
         Norm {
-            gain: store.add(&format!("{name}.gain"), Matrix::from_vec(1, dim, vec![1.0; dim])),
+            gain: store.add(
+                &format!("{name}.gain"),
+                Matrix::from_vec(1, dim, vec![1.0; dim]),
+            ),
             bias: store.add(&format!("{name}.bias"), Matrix::zeros(1, dim)),
         }
     }

@@ -20,12 +20,7 @@ impl Vocab {
     /// four specials.
     pub fn build<'a>(tokens: impl IntoIterator<Item = &'a str>) -> Self {
         let mut v = Vocab {
-            tokens: vec![
-                "<pad>".into(),
-                "<s>".into(),
-                "</s>".into(),
-                "<unk>".into(),
-            ],
+            tokens: vec!["<pad>".into(), "<s>".into(), "</s>".into(), "<unk>".into()],
             index: HashMap::new(),
         };
         for (i, t) in v.tokens.iter().enumerate() {
@@ -88,7 +83,7 @@ mod tests {
 
     #[test]
     fn specials_have_fixed_ids() {
-        let v = Vocab::build(["a", "b"].into_iter());
+        let v = Vocab::build(["a", "b"]);
         assert_eq!(v.id("<pad>"), PAD);
         assert_eq!(v.id("<s>"), BOS);
         assert_eq!(v.id("</s>"), EOS);
@@ -98,14 +93,14 @@ mod tests {
 
     #[test]
     fn unknown_maps_to_unk() {
-        let v = Vocab::build(["a"].into_iter());
+        let v = Vocab::build(["a"]);
         assert_eq!(v.id("zzz"), UNK);
         assert_eq!(v.token(999), "<unk>");
     }
 
     #[test]
     fn encode_decode_roundtrip() {
-        let v = Vocab::build(["select", "bar"].into_iter());
+        let v = Vocab::build(["select", "bar"]);
         let ids = v.encode(&["select".into(), "bar".into()]);
         assert_eq!(ids[0], BOS);
         assert_eq!(*ids.last().unwrap(), EOS);
@@ -114,7 +109,7 @@ mod tests {
 
     #[test]
     fn intern_is_idempotent() {
-        let mut v = Vocab::build([].into_iter());
+        let mut v = Vocab::build([]);
         let a = v.intern("x");
         let b = v.intern("x");
         assert_eq!(a, b);

@@ -194,11 +194,12 @@ mod tests {
             }
         }
         let (c, _) = rename_database(db, &corpus.lexicon, 10);
-        let differs = a
-            .tables
-            .iter()
-            .zip(c.tables.iter())
-            .any(|(x, y)| x.columns.iter().zip(y.columns.iter()).any(|(cx, cy)| cx.name != cy.name));
+        let differs = a.tables.iter().zip(c.tables.iter()).any(|(x, y)| {
+            x.columns
+                .iter()
+                .zip(y.columns.iter())
+                .any(|(cx, cy)| cx.name != cy.name)
+        });
         assert!(differs);
     }
 

@@ -34,21 +34,31 @@ fn main() {
     println!("=== (a) Text-to-Vis without lexical and phrasal variability ===\n");
     println!("NL : {}", orig.nlq);
     println!("DB : {}\n", db_orig.id);
-    run_model("RGVisNet", rgvisnet.predict(&orig.nlq, db_orig), &orig.target, db_orig);
+    run_model(
+        "RGVisNet",
+        rgvisnet.predict(&orig.nlq, db_orig),
+        &orig.target,
+        db_orig,
+    );
 
     println!("\n=== (b) With lexical and phrasal variability ===\n");
     println!("NL : {}", both.nlq);
     println!("DB : {} (schema synonym-renamed)\n", db_new.id);
-    run_model("RGVisNet", rgvisnet.predict(&both.nlq, db_new), &both.target, db_new);
-    run_model("GRED", gred.translate_final(&both.nlq, db_new), &both.target, db_new);
+    run_model(
+        "RGVisNet",
+        rgvisnet.predict(&both.nlq, db_new),
+        &both.target,
+        db_new,
+    );
+    run_model(
+        "GRED",
+        gred.translate_final(&both.nlq, db_new),
+        &both.target,
+        db_new,
+    );
 }
 
-fn run_model(
-    name: &str,
-    predicted: Option<String>,
-    target: &text2vis::dvq::Dvq,
-    db: &Database,
-) {
+fn run_model(name: &str, predicted: Option<String>, target: &text2vis::dvq::Dvq, db: &Database) {
     println!("--- {name} ---");
     let Some(text) = predicted else {
         println!("(no output) → ✘ no chart\n");
@@ -62,7 +72,11 @@ fn run_model(
             Err(e) => println!("✘ {e} → no chart\n"),
             Ok(rs) => {
                 let m = text2vis::dvq::components::ComponentMatch::grade(&q, target);
-                let mark = if m.overall { "✔ matches target" } else { "△ renders but differs" };
+                let mark = if m.overall {
+                    "✔ matches target"
+                } else {
+                    "△ renders but differs"
+                };
                 println!("{}{mark}\n", chart::render(q.chart, &rs, 36));
             }
         },

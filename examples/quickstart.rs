@@ -5,8 +5,8 @@
 //! cargo run --release -p text2vis --example quickstart
 //! ```
 
-use text2vis::prelude::*;
 use text2vis::engine::{chart, to_vegalite};
+use text2vis::prelude::*;
 
 fn main() {
     // 1. A synthetic nvBench corpus (small profile for a fast start).

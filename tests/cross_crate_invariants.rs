@@ -30,9 +30,8 @@ fn every_dev_target_is_well_formed_and_executable() {
         let reparsed = parse(&ex.dvq_text).expect("target parses");
         assert!(semantically_equal(&reparsed, &ex.dvq));
         let store = Store::synthesize(db, 1, 15);
-        execute(&ex.dvq, &store).unwrap_or_else(|e| {
-            panic!("target must execute: {} ({e})", ex.dvq_text)
-        });
+        execute(&ex.dvq, &store)
+            .unwrap_or_else(|e| panic!("target must execute: {} ({e})", ex.dvq_text));
     }
 }
 
@@ -66,7 +65,10 @@ fn annotations_anchor_primary_forms() {
     let db = &rob.renamed[0];
     let ann = model.complete(&prompts::annotation_prompt(db), &ChatParams::annotation());
     // At least half of the renamed columns carry a parenthesised gloss.
-    let glossed = ann.lines().filter(|l| l.contains('(') && l.contains(':')).count();
+    let glossed = ann
+        .lines()
+        .filter(|l| l.contains('(') && l.contains(':'))
+        .count();
     let total: usize = db.tables.iter().map(|t| t.columns.len()).sum();
     assert!(
         glossed * 2 >= total,
