@@ -277,7 +277,19 @@ fn main() {
         time_ns(samples.min(7), || gred.translate(&ex.nlq, db)),
     );
 
-    let json = report.to_json();
+    let mut json = report.to_json();
+    // `servebench` owns the report's `serving` section; carry it over so
+    // re-running perfsnap never erases serving numbers (and vice versa).
+    if let Some(serving) = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|t| t2v_engine::Json::parse(&t).ok())
+        .and_then(|doc| doc.get("serving").cloned())
+    {
+        let mut doc = t2v_engine::Json::parse(&json).expect("perfsnap emits valid JSON");
+        doc.set("serving", serving);
+        json = doc.pretty();
+        json.push('\n');
+    }
     std::fs::write(&out_path, &json).expect("write BENCH_perf.json");
     println!("wrote {out_path}");
 }

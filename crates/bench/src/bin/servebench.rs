@@ -1,0 +1,295 @@
+//! `servebench` — closed-loop load generator for `t2v-serve`.
+//!
+//! Spawns the service on a loopback port, then drives it with N concurrent
+//! keep-alive clients for a fixed duration, twice:
+//!
+//! * **hot** — default config; clients cycle a working set of distinct
+//!   queries, so steady state is mostly cache hits (the "millions of users
+//!   asking popular questions" shape);
+//! * **cold** — cache disabled; every request runs the full GRED pipeline
+//!   (the worst-case all-unique-traffic shape).
+//!
+//! Reports throughput and a client-side latency distribution (p50/p95/p99),
+//! and merges a `serving` section into `BENCH_perf.json` without disturbing
+//! the sections `perfsnap` owns.
+//!
+//! Usage: `cargo run --release -p t2v-bench --bin servebench
+//!         [--quick] [--clients N] [--secs S] [--out PATH]`
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use t2v_corpus::{generate, CorpusConfig};
+use t2v_engine::Json;
+use t2v_serve::{ServeConfig, Server, ServerState};
+
+struct ClientStats {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    cache_hits: u64,
+    rejected: u64,
+    other: u64,
+}
+
+struct Scenario {
+    name: &'static str,
+    requests: u64,
+    rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    cache_hit_rate: f64,
+    rejected: u64,
+    other_errors: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let clients: usize = flag(&args, "--clients").unwrap_or(8);
+    let secs: u64 = flag(&args, "--secs").unwrap_or(if quick { 1 } else { 4 });
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_perf.json".to_string());
+
+    println!(
+        "servebench: {clients} closed-loop clients × {secs}s per scenario ({} threads)",
+        t2v_parallel::thread_count()
+    );
+    let corpus = generate(&CorpusConfig::tiny(7));
+
+    let scenarios = [("hot", true), ("cold", false)].map(|(name, cache)| {
+        let mut config = ServeConfig::default();
+        config.set("addr", "127.0.0.1:0").unwrap();
+        if !cache {
+            config.set("cache_capacity", "0").unwrap();
+        }
+        let state = Arc::new(ServerState::from_corpus(&corpus, config));
+        let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
+        let result = run_scenario(name, &corpus, &server, clients, Duration::from_secs(secs));
+        server.shutdown();
+        result
+    });
+
+    for s in &scenarios {
+        println!(
+            "  {:<5} {:>8.0} req/s  p50 {:>8.1} µs  p95 {:>8.1} µs  p99 {:>8.1} µs  mean {:>8.1} µs  hits {:>5.1}%  503s {}  errors {}",
+            s.name, s.rps, s.p50_us, s.p95_us, s.p99_us, s.mean_us, s.cache_hit_rate * 100.0, s.rejected, s.other_errors
+        );
+    }
+
+    merge_report(&out_path, clients, secs, &scenarios);
+    println!("merged serving section into {out_path}");
+}
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn run_scenario(
+    name: &str,
+    corpus: &t2v_corpus::Corpus,
+    server: &Server,
+    clients: usize,
+    duration: Duration,
+) -> Scenario {
+    let addr = server.addr();
+    // Working set: enough distinct queries that the prompt cache key space
+    // is realistic, few enough that the hot scenario actually re-hits them.
+    let requests: Vec<Vec<u8>> = corpus
+        .dev
+        .iter()
+        .take(64)
+        .map(|ex| {
+            let body = Json::obj([
+                ("nlq", Json::str(ex.nlq.as_str())),
+                ("db", Json::str(corpus.databases[ex.db].id.as_str())),
+            ])
+            .compact();
+            format!(
+                "POST /translate HTTP/1.1\r\nHost: servebench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+            .into_bytes()
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let all: Vec<ClientStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let requests = &requests;
+                let stop = &stop;
+                let total = &total;
+                s.spawn(move || client_loop(addr, requests, c, stop, total))
+            })
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Release);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut ok, mut hits, mut rejected, mut other) = (0u64, 0u64, 0u64, 0u64);
+    for c in all {
+        latencies.extend(c.latencies_ns);
+        ok += c.ok;
+        hits += c.cache_hits;
+        rejected += c.rejected;
+        other += c.other;
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx] as f64 / 1e3
+    };
+    let mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e3
+    };
+    let n = total.load(Ordering::Relaxed);
+    Scenario {
+        name: if name == "hot" { "hot" } else { "cold" },
+        requests: n,
+        rps: n as f64 / duration.as_secs_f64(),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mean_us,
+        cache_hit_rate: if ok == 0 {
+            0.0
+        } else {
+            hits as f64 / ok as f64
+        },
+        rejected,
+        other_errors: other,
+    }
+}
+
+fn client_loop(
+    addr: std::net::SocketAddr,
+    requests: &[Vec<u8>],
+    client_id: usize,
+    stop: &AtomicBool,
+    total: &AtomicU64,
+) -> ClientStats {
+    let mut stats = ClientStats {
+        latencies_ns: Vec::with_capacity(16 * 1024),
+        ok: 0,
+        cache_hits: 0,
+        rejected: 0,
+        other: 0,
+    };
+    let stream = TcpStream::connect(addr).expect("connect to server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(70)))
+        .unwrap();
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    // Offset each client so they don't march through the working set in
+    // lockstep (which would serialise on identical cache keys).
+    let mut i = client_id * 7;
+    while !stop.load(Ordering::Acquire) {
+        let req = &requests[i % requests.len()];
+        i += 1;
+        let t0 = Instant::now();
+        if writer.write_all(req).is_err() {
+            break;
+        }
+        let Some((status, cache_hit)) = read_response(&mut reader) else {
+            break;
+        };
+        stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        total.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200 => {
+                stats.ok += 1;
+                if cache_hit {
+                    stats.cache_hits += 1;
+                }
+            }
+            503 => stats.rejected += 1,
+            _ => stats.other += 1,
+        }
+    }
+    stats
+}
+
+/// Read one HTTP/1.1 response; returns (status, x-t2v-cache==hit).
+fn read_response(reader: &mut BufReader<TcpStream>) -> Option<(u16, bool)> {
+    let mut line = String::new();
+    if reader.read_line(&mut line).ok()? == 0 {
+        return None;
+    }
+    let status: u16 = line.split(' ').nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    let mut cache_hit = false;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).ok()?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        let (name, value) = trimmed.split_once(':')?;
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.trim().parse().ok()?;
+        } else if name.eq_ignore_ascii_case("x-t2v-cache") {
+            cache_hit = value.trim() == "hit";
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((status, cache_hit))
+}
+
+/// Merge the `serving` section into the perf report, leaving everything else
+/// (perfsnap's sections) untouched.
+fn merge_report(out_path: &str, clients: usize, secs: u64, scenarios: &[Scenario; 2]) {
+    let mut doc = std::fs::read_to_string(out_path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .unwrap_or_else(|| Json::Obj(Default::default()));
+    let round1 = |x: f64| (x * 10.0).round() / 10.0;
+    let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
+    let mut serving = Json::obj([
+        ("clients", Json::Num(clients as f64)),
+        ("secs_per_scenario", Json::Num(secs as f64)),
+        ("threads", Json::Num(t2v_parallel::thread_count() as f64)),
+    ]);
+    for s in scenarios {
+        serving.set(
+            s.name,
+            Json::obj([
+                ("requests", Json::Num(s.requests as f64)),
+                ("rps", Json::Num(round1(s.rps))),
+                ("p50_us", Json::Num(round1(s.p50_us))),
+                ("p95_us", Json::Num(round1(s.p95_us))),
+                ("p99_us", Json::Num(round1(s.p99_us))),
+                ("mean_us", Json::Num(round1(s.mean_us))),
+                ("cache_hit_rate", Json::Num(round3(s.cache_hit_rate))),
+                ("rejected_503", Json::Num(s.rejected as f64)),
+                ("other_errors", Json::Num(s.other_errors as f64)),
+            ]),
+        );
+    }
+    doc.set("serving", serving);
+    let mut text = doc.pretty();
+    text.push('\n');
+    std::fs::write(out_path, text).expect("write perf report");
+}

@@ -283,6 +283,25 @@ impl VectorIndex {
         })
     }
 
+    /// [`VectorIndex::top_k_batch`] for queries that are already
+    /// L2-normalised. Each query runs the same sequential scan as
+    /// [`VectorIndex::top_k_prenormalized`] on a sub-threshold index, so the
+    /// hits are bit-identical to per-query retrieval — the serving layer's
+    /// micro-batcher relies on that to keep batched and unbatched
+    /// translations byte-identical.
+    pub fn top_k_batch_prenormalized(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
+        if queries.len() <= 1 || self.len() * queries.len() < PAR_SCAN_THRESHOLD {
+            return queries
+                .iter()
+                .map(|q| self.top_k_prenormalized(q, k))
+                .collect();
+        }
+        t2v_parallel::par_map(queries, |q| {
+            assert_eq!(q.len(), self.dims, "query dimensionality mismatch");
+            self.scan(0, &self.data, q, k)
+        })
+    }
+
     /// `top_k` for a query that is already L2-normalised (the embedder's
     /// output invariant) — skips the defensive copy + renormalisation.
     pub fn top_k_prenormalized(&self, query: &[f32], k: usize) -> Vec<Hit> {

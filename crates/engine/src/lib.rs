@@ -18,7 +18,7 @@ pub mod store;
 pub mod vegalite;
 
 pub use exec::{execute, ExecError, Point, ResultSet};
-pub use json::Json;
+pub use json::{Json, JsonError};
 pub use store::{Cell, Date, Store, TableData};
 pub use vegalite::to_vegalite;
 

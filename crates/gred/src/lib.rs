@@ -24,4 +24,4 @@ pub mod library;
 pub mod pipeline;
 
 pub use library::{AnnotationStore, EmbeddingLibrary, LibEntry};
-pub use pipeline::{default_gred, Gred, GredConfig, GredOutput};
+pub use pipeline::{default_gred, DirectRetriever, Gred, GredConfig, GredOutput, Retrieve};

@@ -2,8 +2,9 @@
 //! Retuner → Annotation-based Debugger.
 
 use crate::library::{AnnotationStore, EmbeddingLibrary};
+use std::sync::Arc;
 use t2v_corpus::{Corpus, Database};
-use t2v_embed::TextEmbedder;
+use t2v_embed::{Hit, TextEmbedder};
 use t2v_llm::api::{ChatModel, ChatParams};
 use t2v_llm::{extract_dvq, prompts, GenExample};
 
@@ -67,13 +68,59 @@ impl GredOutput {
     }
 }
 
+/// The retrieval seam between the pipeline and the embedding library.
+///
+/// [`Gred::translate`] resolves its two top-k lookups through this trait so
+/// a serving layer can interpose — `t2v-serve`'s micro-batcher coalesces the
+/// lookups of many concurrent translations into one
+/// [`t2v_embed::VectorIndex::top_k_batch_prenormalized`] call. Queries are
+/// the embedder's output and therefore already L2-normalised; impls must
+/// return exactly what `top_k_prenormalized` would (the direct and batched
+/// scans are bit-identical, property-tested in `t2v-embed`).
+pub trait Retrieve {
+    /// Top-k over the library's NLQ index.
+    fn retrieve_nlq(&self, query: &[f32], k: usize) -> Vec<Hit>;
+    /// Top-k over the library's DVQ index.
+    fn retrieve_dvq(&self, query: &[f32], k: usize) -> Vec<Hit>;
+}
+
+/// The default retriever: unbatched lookups straight into the library.
+pub struct DirectRetriever<'a>(pub &'a EmbeddingLibrary);
+
+impl Retrieve for DirectRetriever<'_> {
+    fn retrieve_nlq(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.0.nlq_index.top_k_prenormalized(query, k)
+    }
+
+    fn retrieve_dvq(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.0.dvq_index.top_k_prenormalized(query, k)
+    }
+}
+
 /// The assembled GRED system.
+///
+/// The heavyweight shared state (embedding library, annotation cache) sits
+/// behind `Arc`s, so a `Gred` is a cheap shareable handle: `Clone` it into
+/// every worker thread of a serving pool and they all read one library.
+/// `Gred<M>` is `Send + Sync` whenever the model is (the simulated LLM is).
 pub struct Gred<M: ChatModel> {
     pub config: GredConfig,
-    embedder: TextEmbedder,
-    library: EmbeddingLibrary,
-    annotations: AnnotationStore,
+    embedder: Arc<TextEmbedder>,
+    library: Arc<EmbeddingLibrary>,
+    annotations: Arc<AnnotationStore>,
     model: M,
+}
+
+impl<M: ChatModel + Clone> Clone for Gred<M> {
+    fn clone(&self) -> Self {
+        Gred {
+            config: self.config.clone(),
+            embedder: Arc::clone(&self.embedder),
+            library: Arc::clone(&self.library),
+            annotations: Arc::clone(&self.annotations),
+            model: self.model.clone(),
+        }
+    }
 }
 
 impl<M: ChatModel> Gred<M> {
@@ -83,9 +130,9 @@ impl<M: ChatModel> Gred<M> {
         let library = EmbeddingLibrary::build(corpus, &embedder);
         Gred {
             config,
-            embedder,
-            library,
-            annotations: AnnotationStore::new(),
+            embedder: Arc::new(embedder),
+            library: Arc::new(library),
+            annotations: Arc::new(AnnotationStore::new()),
             model,
         }
     }
@@ -94,22 +141,39 @@ impl<M: ChatModel> Gred<M> {
         &self.library
     }
 
+    /// A shared handle to the library, for threads that outlive `&self`
+    /// borrows (e.g. a serving layer's batch-retrieval thread).
+    pub fn shared_library(&self) -> Arc<EmbeddingLibrary> {
+        Arc::clone(&self.library)
+    }
+
+    pub fn embedder(&self) -> &TextEmbedder {
+        &self.embedder
+    }
+
     pub fn model(&self) -> &M {
         &self.model
     }
 
     /// Translate one NLQ against `db`, reporting every stage's output.
     pub fn translate(&self, nlq: &str, db: &Database) -> GredOutput {
+        self.translate_with(nlq, db, &DirectRetriever(&self.library))
+    }
+
+    /// [`Gred::translate`] with retrieval routed through `retriever`.
+    pub fn translate_with(
+        &self,
+        nlq: &str,
+        db: &Database,
+        retriever: &impl Retrieve,
+    ) -> GredOutput {
         let schema_text = db.render_prompt_schema();
 
         // ----- stage 1: NLQ-Retrieval Generator -----
-        // The embedder's output is already L2-normalised, so the index can
+        // The embedder's output is already L2-normalised, so retrieval can
         // skip its defensive renormalisation copy.
         let qv = self.embedder.embed(nlq);
-        let mut hits = self
-            .library
-            .nlq_index
-            .top_k_prenormalized(&qv, self.config.k);
+        let mut hits = retriever.retrieve_nlq(&qv, self.config.k);
         // `top_k` returns best-first (descending similarity); the paper
         // assembles the prompt in ascending order of similarity so the most
         // similar example lands next to the question.
@@ -145,10 +209,8 @@ impl<M: ChatModel> Gred<M> {
         // ----- stage 2: DVQ-Retrieval Retuner -----
         let dvq_rtn = if self.config.use_retuner {
             let dv = self.embedder.embed(&dvq_gen);
-            let refs: Vec<&str> = self
-                .library
-                .dvq_index
-                .top_k_prenormalized(&dv, self.config.k)
+            let refs: Vec<&str> = retriever
+                .retrieve_dvq(&dv, self.config.k)
                 .iter()
                 .map(|h| self.library.entries[h.id].dvq.as_str())
                 .collect();
@@ -262,6 +324,69 @@ mod tests {
         assert!(
             exact * 2 >= total,
             "GRED should solve most unperturbed explicit questions, got {exact}/{total}"
+        );
+    }
+
+    #[test]
+    fn gred_handles_are_send_sync_and_cheap_to_clone() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Gred<t2v_llm::SimulatedChatModel>>();
+        assert_send_sync::<EmbeddingLibrary>();
+
+        let (corpus, gred) = fixture();
+        let copy = gred.clone();
+        // Clones share one library allocation, not a rebuilt copy.
+        assert!(Arc::ptr_eq(&gred.library, &copy.library));
+        assert!(Arc::ptr_eq(&gred.annotations, &copy.annotations));
+        // And clones translate identically across threads.
+        let ex = &corpus.dev[0];
+        let db = &corpus.databases[ex.db];
+        let want = gred.translate(&ex.nlq, db);
+        let got = std::thread::scope(|s| s.spawn(|| copy.translate(&ex.nlq, db)).join().unwrap());
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn translate_with_custom_retriever_matches_direct() {
+        struct Counting<'a> {
+            inner: DirectRetriever<'a>,
+            nlq_calls: std::sync::atomic::AtomicUsize,
+            dvq_calls: std::sync::atomic::AtomicUsize,
+        }
+        impl Retrieve for Counting<'_> {
+            fn retrieve_nlq(&self, q: &[f32], k: usize) -> Vec<Hit> {
+                self.nlq_calls
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.inner.retrieve_nlq(q, k)
+            }
+            fn retrieve_dvq(&self, q: &[f32], k: usize) -> Vec<Hit> {
+                self.dvq_calls
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.inner.retrieve_dvq(q, k)
+            }
+        }
+
+        let (corpus, gred) = fixture();
+        let ex = &corpus.dev[3];
+        let db = &corpus.databases[ex.db];
+        let counting = Counting {
+            inner: DirectRetriever(gred.library()),
+            nlq_calls: Default::default(),
+            dvq_calls: Default::default(),
+        };
+        let via_seam = gred.translate_with(&ex.nlq, db, &counting);
+        assert_eq!(via_seam, gred.translate(&ex.nlq, db));
+        assert_eq!(
+            counting
+                .nlq_calls
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            counting
+                .dvq_calls
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
         );
     }
 

@@ -61,7 +61,10 @@ impl Default for LlmConfig {
     }
 }
 
-/// The simulated GPT-3.5-Turbo.
+/// The simulated GPT-3.5-Turbo. `Clone` is cheap enough to hand one copy to
+/// each worker thread of a serving pool; completions are pure functions of
+/// `(messages, params)` so clones are interchangeable.
+#[derive(Debug, Clone)]
 pub struct SimulatedChatModel {
     config: LlmConfig,
     embedder: TextEmbedder,

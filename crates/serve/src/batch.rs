@@ -1,0 +1,306 @@
+//! Micro-batched retrieval: coalesce the top-k lookups of concurrent
+//! translations into single `VectorIndex::top_k_batch_prenormalized` calls.
+//!
+//! Worker threads block inside [`BatchRetriever::retrieve_nlq`]/`_dvq` while
+//! a dedicated flusher thread drains whatever accumulated, runs one batched
+//! scan per index, and hands the hits back through per-request rendezvous
+//! slots. Batching is *natural* by default: the flusher takes everything
+//! queued the moment it wakes, so a lone request pays no artificial delay
+//! (batch of one ≡ direct lookup) while a burst gets coalesced for free. An
+//! optional window (`batch_window_us`) makes the flusher linger after the
+//! first request to gather more — worth it only above one core, where the
+//! batched scan fans across threads.
+//!
+//! Correctness contract: batched hits are bit-identical to direct
+//! `top_k_prenormalized` hits (property-tested in `t2v-embed`), so turning
+//! batching on or off never changes a translation.
+
+use crate::metrics::Metrics;
+use crate::pool::OneShot;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use t2v_embed::Hit;
+use t2v_gred::{EmbeddingLibrary, Retrieve};
+
+/// Which of the library's two indexes a lookup targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IndexKind {
+    Nlq,
+    Dvq,
+}
+
+struct Pending {
+    kind: IndexKind,
+    k: usize,
+    query: Vec<f32>,
+    slot: OneShot<Vec<Hit>>,
+}
+
+struct BatchShared {
+    queue: Mutex<Vec<Pending>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The flusher thread plus its submission queue. Create once per server;
+/// hand every worker a [`BatchRetriever`] handle.
+pub struct Batcher {
+    shared: Arc<BatchShared>,
+    flusher: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    pub fn spawn(
+        library: Arc<EmbeddingLibrary>,
+        window: Duration,
+        metrics: Arc<Metrics>,
+    ) -> Batcher {
+        let shared = Arc::new(BatchShared {
+            queue: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("t2v-batcher".to_string())
+                .spawn(move || flusher_loop(&shared, &library, window, &metrics))
+                .expect("spawn batcher thread")
+        };
+        Batcher {
+            shared,
+            flusher: Some(flusher),
+        }
+    }
+
+    pub fn retriever(&self) -> BatchRetriever {
+        BatchRetriever {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn flusher_loop(
+    shared: &BatchShared,
+    library: &EmbeddingLibrary,
+    window: Duration,
+    metrics: &Metrics,
+) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !queue.is_empty() {
+                    break;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+            if !window.is_zero() {
+                // Linger briefly so near-simultaneous arrivals share a scan.
+                drop(queue);
+                std::thread::sleep(window);
+                queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            }
+            std::mem::take(&mut *queue)
+        };
+
+        metrics.record_batch(batch.len() as u64);
+        run_batch(library, batch);
+    }
+}
+
+/// Execute one drained batch: group by (index, k) to keep each
+/// `top_k_batch_prenormalized` call homogeneous, then distribute results.
+fn run_batch(library: &EmbeddingLibrary, mut batch: Vec<Pending>) {
+    while !batch.is_empty() {
+        let kind = batch[0].kind;
+        let k = batch[0].k;
+        let group: Vec<Pending> = {
+            let (members, rest) = batch.into_iter().partition(|p| p.kind == kind && p.k == k);
+            batch = rest;
+            members
+        };
+        let queries: Vec<Vec<f32>> = group.iter().map(|p| p.query.clone()).collect();
+        let index = match kind {
+            IndexKind::Nlq => &library.nlq_index,
+            IndexKind::Dvq => &library.dvq_index,
+        };
+        let results = index.top_k_batch_prenormalized(&queries, k);
+        for (p, hits) in group.into_iter().zip(results) {
+            p.slot.send(hits);
+        }
+    }
+}
+
+/// The per-worker handle; implements the pipeline's [`Retrieve`] seam.
+#[derive(Clone)]
+pub struct BatchRetriever {
+    shared: Arc<BatchShared>,
+}
+
+impl BatchRetriever {
+    fn lookup(&self, kind: IndexKind, query: &[f32], k: usize) -> Vec<Hit> {
+        let slot = OneShot::new();
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push(Pending {
+                kind,
+                k,
+                query: query.to_vec(),
+                slot: slot.clone(),
+            });
+        }
+        self.shared.cv.notify_one();
+        // The flusher can only be gone after shutdown, when no worker is
+        // submitting; a generous timeout keeps a logic bug from deadlocking
+        // the whole pool.
+        slot.recv_timeout(Duration::from_secs(60))
+            .expect("batch flusher dropped a lookup")
+    }
+}
+
+impl Retrieve for BatchRetriever {
+    fn retrieve_nlq(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.lookup(IndexKind::Nlq, query, k)
+    }
+
+    fn retrieve_dvq(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.lookup(IndexKind::Dvq, query, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+    use t2v_embed::TextEmbedder;
+    use t2v_gred::DirectRetriever;
+
+    fn library() -> (Arc<EmbeddingLibrary>, TextEmbedder) {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let embedder = TextEmbedder::default_model();
+        let lib = Arc::new(EmbeddingLibrary::build(&corpus, &embedder));
+        (lib, embedder)
+    }
+
+    #[test]
+    fn batched_hits_match_direct_hits() {
+        let (lib, embedder) = library();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::spawn(Arc::clone(&lib), Duration::ZERO, Arc::clone(&metrics));
+        let retriever = batcher.retriever();
+        let direct = DirectRetriever(&lib);
+        for (i, text) in ["count of wages by city", "show all salaries", "a bar chart"]
+            .iter()
+            .enumerate()
+        {
+            let q = embedder.embed(text);
+            assert_eq!(
+                retriever.retrieve_nlq(&q, 5 + i),
+                direct.retrieve_nlq(&q, 5 + i),
+            );
+            assert_eq!(retriever.retrieve_dvq(&q, 3), direct.retrieve_dvq(&q, 3),);
+        }
+        assert!(metrics.batches.load(Ordering::Relaxed) >= 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn concurrent_lookups_coalesce_and_stay_correct() {
+        let (lib, embedder) = library();
+        let metrics = Arc::new(Metrics::new());
+        // A 300 µs window forces the burst below into shared flushes.
+        let batcher = Batcher::spawn(
+            Arc::clone(&lib),
+            Duration::from_micros(300),
+            Arc::clone(&metrics),
+        );
+        let queries: Vec<Vec<f32>> = (0..24)
+            .map(|i| embedder.embed(&format!("question {i} about salaries")))
+            .collect();
+        let direct = DirectRetriever(&lib);
+        let expect: Vec<Vec<Hit>> = queries.iter().map(|q| direct.retrieve_nlq(q, 10)).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    let r = batcher.retriever();
+                    s.spawn(move || r.retrieve_nlq(q, 10))
+                })
+                .collect();
+            for (h, want) in handles.into_iter().zip(&expect) {
+                assert_eq!(&h.join().unwrap(), want);
+            }
+        });
+        let batches = metrics.batches.load(Ordering::Relaxed);
+        let lookups = metrics.batched_lookups.load(Ordering::Relaxed);
+        assert_eq!(lookups, 24);
+        assert!(
+            batches < 24,
+            "24 concurrent lookups should share at least one flush (got {batches} batches)"
+        );
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn mixed_kinds_and_ks_are_grouped_correctly() {
+        let (lib, embedder) = library();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::spawn(
+            Arc::clone(&lib),
+            Duration::from_micros(300),
+            Arc::clone(&metrics),
+        );
+        let direct = DirectRetriever(&lib);
+        let q1 = embedder.embed("salary by department");
+        let q2 = embedder.embed("pie of cities");
+        std::thread::scope(|s| {
+            let r1 = batcher.retriever();
+            let r2 = batcher.retriever();
+            let r3 = batcher.retriever();
+            let a = s.spawn({
+                let q1 = &q1;
+                move || r1.retrieve_nlq(q1, 4)
+            });
+            let b = s.spawn({
+                let q2 = &q2;
+                move || r2.retrieve_dvq(q2, 7)
+            });
+            let c = s.spawn({
+                let q2 = &q2;
+                move || r3.retrieve_nlq(q2, 7)
+            });
+            assert_eq!(a.join().unwrap(), direct.retrieve_nlq(&q1, 4));
+            assert_eq!(b.join().unwrap(), direct.retrieve_dvq(&q2, 7));
+            assert_eq!(c.join().unwrap(), direct.retrieve_nlq(&q2, 7));
+        });
+        batcher.shutdown();
+    }
+}

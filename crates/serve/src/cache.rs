@@ -1,0 +1,396 @@
+//! A thread-safe LRU + TTL cache for finished translations.
+//!
+//! One `Mutex` around an intrusive doubly-linked list threaded through a
+//! slot arena (`Vec`), with a `HashMap` from key to slot index. Every
+//! operation is O(1); the critical section is a handful of pointer swaps, so
+//! contention stays negligible next to a ~300 µs translation.
+//!
+//! Time is injected (`get_at` / `insert_at`) so TTL semantics are
+//! property-testable without sleeping; the public `get`/`insert` use
+//! `Instant::now()`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Sentinel for "no slot" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    stamp: Instant,
+    prev: usize,
+    next: usize,
+}
+
+struct Core<K, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    /// Most-recently used slot.
+    head: usize,
+    /// Least-recently used slot — the eviction candidate.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    expired: u64,
+    evicted: u64,
+}
+
+/// Cache statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub len: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub expired: u64,
+    pub evicted: u64,
+}
+
+/// The cache proper. `capacity == 0` disables caching entirely;
+/// `ttl == None` means entries never expire (LRU eviction only).
+pub struct TtlLruCache<K, V> {
+    capacity: usize,
+    ttl: Option<Duration>,
+    core: Mutex<Core<K, V>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> TtlLruCache<K, V> {
+    pub fn new(capacity: usize, ttl: Option<Duration>) -> Self {
+        TtlLruCache {
+            capacity,
+            ttl,
+            core: Mutex::new(Core {
+                map: HashMap::with_capacity(capacity.min(4096)),
+                slots: Vec::with_capacity(capacity.min(4096)),
+                free: Vec::new(),
+                head: NIL,
+                tail: NIL,
+                hits: 0,
+                misses: 0,
+                expired: 0,
+                evicted: 0,
+            }),
+        }
+    }
+
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.get_at(key, Instant::now())
+    }
+
+    pub fn insert(&self, key: K, value: V) {
+        self.insert_at(key, value, Instant::now())
+    }
+
+    /// `get` with an explicit clock (test seam).
+    pub fn get_at(&self, key: &K, now: Instant) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut core = self.lock();
+        let Some(&i) = core.map.get(key) else {
+            core.misses += 1;
+            return None;
+        };
+        if let Some(ttl) = self.ttl {
+            // `checked_duration_since` tolerates a test clock behind the
+            // entry's stamp (age 0, never expired).
+            let age = now
+                .checked_duration_since(core.slots[i].stamp)
+                .unwrap_or(Duration::ZERO);
+            if age >= ttl {
+                core.remove_slot(i);
+                core.expired += 1;
+                core.misses += 1;
+                return None;
+            }
+        }
+        core.unlink(i);
+        core.push_front(i);
+        core.hits += 1;
+        Some(core.slots[i].value.clone())
+    }
+
+    /// `insert` with an explicit clock (test seam). Re-inserting an existing
+    /// key refreshes its value, its TTL stamp, and its recency.
+    pub fn insert_at(&self, key: K, value: V, now: Instant) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut core = self.lock();
+        if let Some(&i) = core.map.get(&key) {
+            core.slots[i].value = value;
+            core.slots[i].stamp = now;
+            core.unlink(i);
+            core.push_front(i);
+            return;
+        }
+        if core.map.len() >= self.capacity {
+            let tail = core.tail;
+            debug_assert_ne!(tail, NIL);
+            core.remove_slot(tail);
+            core.evicted += 1;
+        }
+        let slot = Slot {
+            key: key.clone(),
+            value,
+            stamp: now,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match core.free.pop() {
+            Some(i) => {
+                core.slots[i] = slot;
+                i
+            }
+            None => {
+                core.slots.push(slot);
+                core.slots.len() - 1
+            }
+        };
+        core.map.insert(key, i);
+        core.push_front(i);
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let core = self.lock();
+        CacheStats {
+            len: core.map.len(),
+            hits: core.hits,
+            misses: core.misses,
+            expired: core.expired,
+            evicted: core.evicted,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Core<K, V>> {
+        // A panic while holding this lock only ever means a panicking V
+        // clone; the structure itself is consistent, so ride through poison.
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> Core<K, V> {
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[i].prev = NIL;
+        self.slots[i].next = NIL;
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn remove_slot(&mut self, i: usize) {
+        self.unlink(i);
+        self.map.remove(&self.slots[i].key);
+        self.free.push(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = TtlLruCache::new(2, None);
+        let now = t0();
+        c.insert_at("a", 1, now);
+        c.insert_at("b", 2, now);
+        assert_eq!(c.get_at(&"a", now), Some(1)); // refresh a's recency
+        c.insert_at("c", 3, now); // evicts b
+        assert_eq!(c.get_at(&"b", now), None);
+        assert_eq!(c.get_at(&"a", now), Some(1));
+        assert_eq!(c.get_at(&"c", now), Some(3));
+        assert_eq!(c.stats().evicted, 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let c = TtlLruCache::new(8, Some(Duration::from_secs(10)));
+        let now = t0();
+        c.insert_at("a", 1, now);
+        assert_eq!(c.get_at(&"a", now + Duration::from_secs(9)), Some(1));
+        assert_eq!(c.get_at(&"a", now + Duration::from_secs(10)), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_ttl() {
+        let c = TtlLruCache::new(8, Some(Duration::from_secs(10)));
+        let now = t0();
+        c.insert_at("a", 1, now);
+        c.insert_at("a", 2, now + Duration::from_secs(8));
+        assert_eq!(c.get_at(&"a", now + Duration::from_secs(15)), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = TtlLruCache::new(0, None);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn slots_are_recycled_after_expiry_and_eviction() {
+        let c = TtlLruCache::new(2, Some(Duration::from_secs(1)));
+        let now = t0();
+        for round in 0..100u64 {
+            let at = now + Duration::from_secs(2 * round);
+            c.insert_at(round, round, at);
+            assert_eq!(c.get_at(&round, at), Some(round));
+        }
+        // 2 live slots + at most a couple recycled: the arena must not have
+        // grown linearly with insert count.
+        assert!(c.lock().slots.len() <= 4, "arena leaked slots");
+    }
+
+    #[test]
+    fn concurrent_access_keeps_capacity_invariant() {
+        let c = std::sync::Arc::new(TtlLruCache::new(16, Some(Duration::from_millis(5))));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = (t * 7 + i) % 40;
+                        c.insert(k, i);
+                        c.get(&((k + 1) % 40));
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 16);
+        let stats = c.stats();
+        assert_eq!(stats.len, c.len());
+        assert!(stats.hits + stats.misses > 0);
+    }
+}
+
+/// Property tests: the cache must agree with a brute-force reference model
+/// under arbitrary interleavings of insert / get / time advance.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// O(n)-per-op reference: a Vec ordered most-recent-first.
+    struct ModelCache {
+        capacity: usize,
+        ttl: Option<Duration>,
+        entries: Vec<(u8, u16, Instant)>,
+    }
+
+    impl ModelCache {
+        fn get(&mut self, key: u8, now: Instant) -> Option<u16> {
+            let i = self.entries.iter().position(|(k, _, _)| *k == key)?;
+            if let Some(ttl) = self.ttl {
+                let age = now
+                    .checked_duration_since(self.entries[i].2)
+                    .unwrap_or(Duration::ZERO);
+                if age >= ttl {
+                    self.entries.remove(i);
+                    return None;
+                }
+            }
+            let e = self.entries.remove(i);
+            let v = e.1;
+            self.entries.insert(0, e);
+            Some(v)
+        }
+
+        fn insert(&mut self, key: u8, value: u16, now: Instant) {
+            if self.capacity == 0 {
+                return;
+            }
+            if let Some(i) = self.entries.iter().position(|(k, _, _)| *k == key) {
+                self.entries.remove(i);
+            } else if self.entries.len() >= self.capacity {
+                self.entries.pop();
+            }
+            self.entries.insert(0, (key, value, now));
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u8, u16),
+        Get(u8),
+        Advance(u16),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..12, any::<u16>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            (0u8..12).prop_map(Op::Get),
+            (1u16..2000).prop_map(Op::Advance),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_model(
+            capacity in 1usize..6,
+            ttl_ms in prop_oneof![Just(None), (1u64..1500).prop_map(Some)],
+            ops in prop::collection::vec(op_strategy(), 1..120),
+        ) {
+            let ttl = ttl_ms.map(Duration::from_millis);
+            let cache = TtlLruCache::new(capacity, ttl);
+            let mut model = ModelCache { capacity, ttl, entries: Vec::new() };
+            let mut now = Instant::now();
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        cache.insert_at(k, v, now);
+                        model.insert(k, v, now);
+                    }
+                    Op::Get(k) => {
+                        prop_assert_eq!(cache.get_at(&k, now), model.get(k, now), "key {}", k);
+                    }
+                    Op::Advance(ms) => now += Duration::from_millis(ms as u64),
+                }
+                prop_assert!(cache.len() <= capacity);
+            }
+            // Drain every key: residual state must agree too.
+            for k in 0u8..12 {
+                prop_assert_eq!(cache.get_at(&k, now), model.get(k, now), "drain key {}", k);
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Server configuration: `key=value` file, environment overrides, sane
+//! defaults. Precedence is defaults < file < `T2V_SERVE_*` environment, so a
+//! deployment can ship one config file and still tweak a knob per-instance
+//! without recompiling. Every knob is documented in DESIGN.md §7.
+
+use std::time::Duration;
+use t2v_gred::GredConfig;
+
+/// Which synthetic corpus the server prepares GRED over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusProfile {
+    /// `CorpusConfig::tiny(seed)` — sub-second startup; tests and demos.
+    Tiny(u64),
+    /// `CorpusConfig::paper(seed)` — the full Figure-2-scale corpus.
+    Paper(u64),
+}
+
+impl CorpusProfile {
+    pub fn corpus_config(&self) -> t2v_corpus::CorpusConfig {
+        match *self {
+            CorpusProfile::Tiny(seed) => t2v_corpus::CorpusConfig::tiny(seed),
+            CorpusProfile::Paper(seed) => t2v_corpus::CorpusConfig::paper(seed),
+        }
+    }
+}
+
+/// Every tunable of the serving subsystem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Bind address. Port 0 lets the OS pick (loopback tests do this).
+    pub addr: String,
+    /// Worker threads for the translation pool. 0 ⇒ derive from
+    /// `t2v_parallel::thread_count()` (`available_parallelism`, itself
+    /// overridable with `T2V_THREADS`).
+    pub workers: usize,
+    /// Queue shards. 0 ⇒ one shard per 4 workers (min 1).
+    pub shards: usize,
+    /// Bounded queue capacity *per shard*; a full pool answers 503.
+    pub queue_capacity: usize,
+    /// Max simultaneously open sockets; excess connections get an immediate
+    /// canned 503.
+    pub max_connections: usize,
+    /// Idle keep-alive connections are dropped after this many seconds.
+    pub keep_alive_secs: u64,
+    /// Request bodies above this many bytes get 413.
+    pub max_body_bytes: usize,
+    /// Translation cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Cache TTL in seconds (0 ⇒ entries never expire).
+    pub cache_ttl_secs: u64,
+    /// Route worker retrieval through the micro-batcher?
+    pub batch: bool,
+    /// Linger this many µs after the first queued lookup before flushing
+    /// (0 ⇒ natural batching: take whatever is queued, never wait).
+    pub batch_window_us: u64,
+    /// Synthetic rows per table for the execution stores.
+    pub store_rows: usize,
+    pub store_seed: u64,
+    /// Corpus the embedding library is prepared over.
+    pub corpus: CorpusProfile,
+    /// GRED knobs (paper defaults).
+    pub gred_k: usize,
+    pub gred_retuner: bool,
+    pub gred_debugger: bool,
+    /// Test-only throttle: artificial per-translation sleep, for forcing
+    /// overload deterministically in integration tests.
+    pub debug_translate_sleep_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7890".to_string(),
+            workers: 0,
+            shards: 0,
+            queue_capacity: 64,
+            max_connections: 256,
+            keep_alive_secs: 30,
+            max_body_bytes: 64 * 1024,
+            cache_capacity: 4096,
+            cache_ttl_secs: 600,
+            batch: true,
+            batch_window_us: 0,
+            store_rows: 30,
+            store_seed: 7,
+            corpus: CorpusProfile::Tiny(7),
+            gred_k: 10,
+            gred_retuner: true,
+            gred_debugger: true,
+            debug_translate_sleep_ms: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        message: message.into(),
+    }
+}
+
+impl ServeConfig {
+    /// Defaults + optional file + environment, in that precedence order.
+    pub fn load(path: Option<&str>) -> Result<ServeConfig, ConfigError> {
+        let mut cfg = ServeConfig::default();
+        if let Some(path) = path {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| err(format!("cannot read config {path}: {e}")))?;
+            cfg.apply_kv_text(&text)?;
+        }
+        cfg.apply_env()?;
+        Ok(cfg)
+    }
+
+    /// Apply `key=value` lines. `#`-prefixed lines and blanks are comments.
+    /// Unknown keys are hard errors — silent typos are worse than restarts.
+    pub fn apply_kv_text(&mut self, text: &str) -> Result<(), ConfigError> {
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(format!("line {}: expected key=value", lineno + 1)))?;
+            self.set(key.trim(), value.trim())
+                .map_err(|e| err(format!("line {}: {}", lineno + 1, e.message)))?;
+        }
+        Ok(())
+    }
+
+    /// Apply `T2V_SERVE_<KEY>` environment overrides for every knob.
+    pub fn apply_env(&mut self) -> Result<(), ConfigError> {
+        for key in KEYS {
+            let var = format!("T2V_SERVE_{}", key.to_uppercase());
+            if let Ok(value) = std::env::var(&var) {
+                self.set(key, &value)
+                    .map_err(|e| err(format!("{var}: {}", e.message)))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Set one knob from its string form.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), ConfigError> {
+        match key {
+            "addr" => self.addr = value.to_string(),
+            "workers" => self.workers = parse_usize(key, value)?,
+            "shards" => self.shards = parse_usize(key, value)?,
+            "queue_capacity" => self.queue_capacity = parse_usize(key, value)?,
+            "max_connections" => self.max_connections = parse_usize(key, value)?,
+            "keep_alive_secs" => self.keep_alive_secs = parse_u64(key, value)?,
+            "max_body_bytes" => self.max_body_bytes = parse_usize(key, value)?,
+            "cache_capacity" => self.cache_capacity = parse_usize(key, value)?,
+            "cache_ttl_secs" => self.cache_ttl_secs = parse_u64(key, value)?,
+            "batch" => self.batch = parse_bool(key, value)?,
+            "batch_window_us" => self.batch_window_us = parse_u64(key, value)?,
+            "store_rows" => self.store_rows = parse_usize(key, value)?,
+            "store_seed" => self.store_seed = parse_u64(key, value)?,
+            "corpus" => self.corpus = parse_corpus(value)?,
+            "gred_k" => self.gred_k = parse_usize(key, value)?,
+            "gred_retuner" => self.gred_retuner = parse_bool(key, value)?,
+            "gred_debugger" => self.gred_debugger = parse_bool(key, value)?,
+            "debug_translate_sleep_ms" => self.debug_translate_sleep_ms = parse_u64(key, value)?,
+            _ => return Err(err(format!("unknown config key '{key}'"))),
+        }
+        Ok(())
+    }
+
+    /// Resolved worker count: explicit, or the machine's parallelism.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            t2v_parallel::thread_count()
+        }
+    }
+
+    /// Resolved shard count: explicit, or one shard per 4 workers.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            self.effective_workers().div_ceil(4)
+        }
+    }
+
+    pub fn cache_ttl(&self) -> Option<Duration> {
+        if self.cache_ttl_secs == 0 {
+            None
+        } else {
+            Some(Duration::from_secs(self.cache_ttl_secs))
+        }
+    }
+
+    pub fn gred_config(&self) -> GredConfig {
+        GredConfig {
+            k: self.gred_k,
+            ascending_order: true,
+            use_retuner: self.gred_retuner,
+            use_debugger: self.gred_debugger,
+        }
+    }
+}
+
+/// All settable keys, for env scanning and documentation tests.
+pub const KEYS: &[&str] = &[
+    "addr",
+    "workers",
+    "shards",
+    "queue_capacity",
+    "max_connections",
+    "keep_alive_secs",
+    "max_body_bytes",
+    "cache_capacity",
+    "cache_ttl_secs",
+    "batch",
+    "batch_window_us",
+    "store_rows",
+    "store_seed",
+    "corpus",
+    "gred_k",
+    "gred_retuner",
+    "gred_debugger",
+    "debug_translate_sleep_ms",
+];
+
+fn parse_usize(key: &str, value: &str) -> Result<usize, ConfigError> {
+    value
+        .parse()
+        .map_err(|_| err(format!("{key}: '{value}' is not a non-negative integer")))
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, ConfigError> {
+    value
+        .parse()
+        .map_err(|_| err(format!("{key}: '{value}' is not a non-negative integer")))
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, ConfigError> {
+    match value.to_ascii_lowercase().as_str() {
+        "true" | "1" | "on" | "yes" => Ok(true),
+        "false" | "0" | "off" | "no" => Ok(false),
+        _ => Err(err(format!("{key}: '{value}' is not a boolean"))),
+    }
+}
+
+/// `tiny:SEED` or `paper:SEED` (seed optional, default 7).
+fn parse_corpus(value: &str) -> Result<CorpusProfile, ConfigError> {
+    let (name, seed) = match value.split_once(':') {
+        Some((n, s)) => (
+            n,
+            s.parse::<u64>()
+                .map_err(|_| err(format!("corpus: bad seed '{s}'")))?,
+        ),
+        None => (value, 7),
+    };
+    match name {
+        "tiny" => Ok(CorpusProfile::Tiny(seed)),
+        "paper" => Ok(CorpusProfile::Paper(seed)),
+        _ => Err(err(format!(
+            "corpus: '{name}' is not a profile (tiny|paper)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_text_overrides_defaults() {
+        let mut cfg = ServeConfig::default();
+        cfg.apply_kv_text(
+            "# serving knobs\n\
+             addr = 0.0.0.0:9000\n\
+             workers=8\n\
+             \n\
+             cache_ttl_secs = 0\n\
+             batch = off\n\
+             corpus = paper:42\n\
+             gred_k = 6\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.addr, "0.0.0.0:9000");
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.effective_workers(), 8);
+        assert_eq!(cfg.cache_ttl(), None);
+        assert!(!cfg.batch);
+        assert_eq!(cfg.corpus, CorpusProfile::Paper(42));
+        assert_eq!(cfg.gred_config().k, 6);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_errors() {
+        let mut cfg = ServeConfig::default();
+        assert!(cfg.apply_kv_text("wrokers=4").is_err());
+        assert!(cfg.apply_kv_text("workers=four").is_err());
+        assert!(cfg.apply_kv_text("batch=maybe").is_err());
+        assert!(cfg.apply_kv_text("corpus=huge").is_err());
+        assert!(cfg.apply_kv_text("no_equals_sign").is_err());
+    }
+
+    #[test]
+    fn every_documented_key_is_settable() {
+        let mut cfg = ServeConfig::default();
+        for key in KEYS {
+            let value = match *key {
+                "addr" => "127.0.0.1:0",
+                "corpus" => "tiny:3",
+                "batch" | "gred_retuner" | "gred_debugger" => "true",
+                _ => "5",
+            };
+            cfg.set(key, value)
+                .unwrap_or_else(|e| panic!("key {key}: {e}"));
+        }
+    }
+
+    #[test]
+    fn zero_workers_defers_to_machine_parallelism() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.workers, 0);
+        assert_eq!(cfg.effective_workers(), t2v_parallel::thread_count());
+        assert!(cfg.effective_shards() >= 1);
+    }
+
+    #[test]
+    fn env_overrides_apply_and_win_over_file() {
+        // Serialised by env-var choice: a key no other test uses.
+        std::env::set_var("T2V_SERVE_QUEUE_CAPACITY", "9");
+        let mut cfg = ServeConfig::default();
+        cfg.apply_kv_text("queue_capacity=100").unwrap();
+        cfg.apply_env().unwrap();
+        assert_eq!(cfg.queue_capacity, 9);
+        std::env::set_var("T2V_SERVE_QUEUE_CAPACITY", "bogus");
+        assert!(cfg.apply_env().is_err());
+        std::env::remove_var("T2V_SERVE_QUEUE_CAPACITY");
+    }
+}

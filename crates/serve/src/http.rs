@@ -1,0 +1,410 @@
+//! Minimal HTTP/1.1 framing over blocking sockets — just enough protocol for
+//! the translation service: request-line + headers + `Content-Length` bodies
+//! on the way in, keep-alive-aware responses on the way out. No chunked
+//! transfer, no TLS, no HTTP/2; `servebench` and every browser/cURL speak
+//! this subset.
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+/// Hard cap on the request head (request line + headers). Oversized heads are
+/// rejected before any allocation proportional to the claimed size.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request. `path` excludes the query string (`query` keeps it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask to drop the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Clean end of stream before any request bytes — a keep-alive
+    /// connection the peer closed. Not an error worth a response.
+    Closed,
+    /// Transport failure (including read timeouts) mid-request.
+    Io(io::Error),
+    /// Syntactically broken request; respond 400 and close.
+    Malformed(&'static str),
+    /// Body larger than the configured limit; respond 413 and close.
+    BodyTooLarge,
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Read one request off `reader`. Blocks until a full request arrives, the
+/// peer closes, or the socket's read timeout fires.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
+    let mut line = Vec::with_capacity(256);
+    let mut head_bytes = 0usize;
+    let n = read_line(reader, &mut line, &mut head_bytes)?;
+    if n == 0 {
+        return Err(ReadError::Closed);
+    }
+    let request_line =
+        std::str::from_utf8(&line).map_err(|_| ReadError::Malformed("non-UTF-8 request line"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(ReadError::Malformed("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or(ReadError::Malformed("missing target"))?;
+    let version = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return Err(ReadError::Malformed("bad HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        if read_line(reader, &mut line, &mut head_bytes)? == 0 {
+            // EOF before the blank line: a half-delivered head, not a
+            // complete request.
+            return Err(ReadError::Malformed("truncated request head"));
+        }
+        if line.is_empty() {
+            break;
+        }
+        let text =
+            std::str::from_utf8(&line).map_err(|_| ReadError::Malformed("non-UTF-8 header"))?;
+        let (name, value) = text
+            .split_once(':')
+            .ok_or(ReadError::Malformed("header missing ':'"))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line into `buf` (terminator
+/// stripped), enforcing the total head budget. Returns bytes consumed.
+fn read_line(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    head_bytes: &mut usize,
+) -> Result<usize, ReadError> {
+    buf.clear();
+    // UFCS so `take` borrows the reader instead of consuming it (method
+    // resolution would auto-deref to the owned type otherwise).
+    let n = std::io::Read::take(&mut *reader, (MAX_HEAD_BYTES - *head_bytes) as u64 + 1)
+        .read_until(b'\n', buf)?;
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(ReadError::Malformed("request head too large"));
+    }
+    if n > 0 && buf.last() != Some(&b'\n') {
+        return Err(ReadError::Malformed("truncated request"));
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    Ok(n)
+}
+
+/// Response payload: owned bytes, or a shared handle straight out of the
+/// translation cache — a hit is served without copying the body (the hot
+/// path at tens of thousands of hits per second).
+#[derive(Debug, Clone)]
+pub enum Body {
+    Owned(Vec<u8>),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Body {
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(v) => v,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+}
+
+/// Equality is over the bytes, not the ownership mode.
+impl PartialEq for Body {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Body {}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Owned(v)
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body::Owned(s.into_bytes())
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Body {
+        Body::Owned(s.as_bytes().to_vec())
+    }
+}
+
+impl From<Arc<Vec<u8>>> for Body {
+    fn from(v: Arc<Vec<u8>>) -> Body {
+        Body::Shared(v)
+    }
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    /// Extra headers beyond Content-Type/Content-Length/Connection.
+    pub headers: Vec<(&'static str, String)>,
+    pub body: Body,
+}
+
+impl Response {
+    pub fn json(status: u16, body: impl Into<Body>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<Body>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let mut body = String::from("{\"error\": ");
+        t2v_engine::Json::str(message).write_compact_into(&mut body);
+        body.push('}');
+        Response::json(status, body)
+    }
+
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(self.body.as_slice())?;
+        w.flush()
+    }
+}
+
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// The canned overload response, as raw bytes so the acceptor can shed a
+/// connection without allocating or parsing anything.
+pub fn overload_response_bytes() -> &'static [u8] {
+    b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 21\r\nConnection: close\r\nRetry-After: 1\r\n\r\n{\"error\": \"overload\"}"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            b"POST /translate?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\nabcd",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/translate");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("HOST"), Some("localhost"));
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_connection_close() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_malformed() {
+        assert!(matches!(parse(b""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            b"GARBAGE\r\n\r\n".as_slice(),
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            // EOF mid-head (no terminating blank line) is truncation, not a
+            // complete header block.
+            b"GET /x HTTP/1.1\r\nHost: x\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(ReadError::Malformed(_))),
+                "should be malformed: {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_allocating_them() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+        assert!(matches!(parse(raw), Err(ReadError::BodyTooLarge)));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(parse(raw), Err(ReadError::Io(_))));
+    }
+
+    #[test]
+    fn response_roundtrips_through_parser_shape() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\": true}")
+            .with_header("x-t2v-cache", "hit")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("x-t2v-cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+    }
+
+    #[test]
+    fn overload_bytes_announce_their_length_correctly() {
+        let raw = overload_response_bytes();
+        let text = std::str::from_utf8(raw).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        let announced: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(body.len(), announced);
+        t2v_engine::Json::parse(body).unwrap();
+    }
+
+    #[test]
+    fn multiple_requests_stream_off_one_reader() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_slice());
+        assert_eq!(read_request(&mut reader, 64).unwrap().path, "/a");
+        let b = read_request(&mut reader, 64).unwrap();
+        assert_eq!(b.path, "/b");
+        assert_eq!(b.body, b"hi");
+        assert_eq!(read_request(&mut reader, 64).unwrap().path, "/c");
+        assert!(matches!(
+            read_request(&mut reader, 64),
+            Err(ReadError::Closed)
+        ));
+    }
+}

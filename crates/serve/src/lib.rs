@@ -1,0 +1,46 @@
+//! # t2v-serve — the concurrent translation service
+//!
+//! Turns the GRED pipeline into a network service (DESIGN.md §7): a
+//! std-only HTTP/1.1 server exposing
+//!
+//! * `POST /translate` — `{"nlq": "...", "db": "...", "vegalite": bool}` →
+//!   the staged DVQ outputs (plus an executed Vega-Lite spec on request),
+//! * `GET /healthz` — liveness + library/database counts,
+//! * `GET /metrics` — Prometheus text exposition of the serving counters,
+//!
+//! backed by a sharded bounded worker pool (503 on overload, never an
+//! unbounded queue), an LRU+TTL cache keyed by
+//! `(normalised NLQ, db fingerprint, response shape)` whose hits are
+//! byte-identical to cold translations, and a micro-batching retrieval
+//! stage that coalesces concurrent top-k lookups into single
+//! `VectorIndex::top_k_batch_prenormalized` scans.
+//!
+//! ```no_run
+//! use t2v_serve::{serve, ServeConfig};
+//!
+//! let mut config = ServeConfig::default();
+//! config.set("addr", "127.0.0.1:7890").unwrap();
+//! let server = serve(config).unwrap();
+//! println!("listening on {}", server.addr());
+//! ```
+//!
+//! Every knob is a `key=value` line (file) or `T2V_SERVE_*` variable (env);
+//! see [`ServeConfig`] and DESIGN.md §7.
+
+pub mod batch;
+pub mod cache;
+pub mod config;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use batch::{BatchRetriever, Batcher};
+pub use cache::{CacheStats, TtlLruCache};
+pub use config::{ConfigError, CorpusProfile, ServeConfig};
+pub use http::{Body, Request, Response};
+pub use metrics::{Metrics, Route};
+pub use pool::{OneShot, SubmitError, WorkerPool};
+pub use server::{
+    db_fingerprint, normalize_nlq, serve, translate_body, CacheKey, DbEntry, Server, ServerState,
+};

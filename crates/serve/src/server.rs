@@ -1,0 +1,547 @@
+//! The service itself: state construction, request handling, and the
+//! TCP transport.
+//!
+//! Thread model (DESIGN.md §7): one acceptor thread hands each socket to a
+//! lightweight connection thread (blocking reads, keep-alive); connection
+//! threads answer health/metrics/cache-hits inline and push translation
+//! jobs into the sharded [`WorkerPool`], which bounds CPU-stage concurrency
+//! regardless of how many sockets are open. Overload — full queues or too
+//! many sockets — answers 503 immediately instead of queueing unboundedly.
+
+use crate::batch::{BatchRetriever, Batcher};
+use crate::cache::TtlLruCache;
+use crate::config::ServeConfig;
+use crate::http::{self, Request, Response};
+use crate::metrics::{Metrics, Route};
+use crate::pool::{OneShot, SubmitError, WorkerPool};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use t2v_corpus::{generate, Corpus, Database};
+use t2v_engine::{execute, Json, Store};
+use t2v_gred::{DirectRetriever, Gred, Retrieve};
+use t2v_llm::{LlmConfig, SimulatedChatModel};
+
+/// One servable database: schema, synthesized rows, and the fingerprint that
+/// scopes cache entries to exactly this (schema, data) pair.
+pub struct DbEntry {
+    pub db: Database,
+    pub store: Store,
+    pub fingerprint: u64,
+}
+
+/// Cache key: normalised NLQ × database fingerprint × response shape.
+pub type CacheKey = (Box<str>, u64, bool);
+
+/// Everything the request path reads. Shared read-only across all threads.
+pub struct ServerState {
+    pub config: ServeConfig,
+    pub gred: Gred<SimulatedChatModel>,
+    pub dbs: HashMap<String, Arc<DbEntry>>,
+    pub cache: TtlLruCache<CacheKey, Arc<Vec<u8>>>,
+    pub metrics: Arc<Metrics>,
+}
+
+impl ServerState {
+    /// Generate the configured corpus, prepare GRED over it, synthesize the
+    /// execution stores. The expensive part of startup.
+    pub fn build(config: ServeConfig) -> ServerState {
+        let corpus = generate(&config.corpus.corpus_config());
+        ServerState::from_corpus(&corpus, config)
+    }
+
+    /// Like [`ServerState::build`] for an already-generated corpus (tests
+    /// and benches reuse one corpus across servers).
+    pub fn from_corpus(corpus: &Corpus, config: ServeConfig) -> ServerState {
+        let gred = Gred::prepare(
+            corpus,
+            t2v_embed::TextEmbedder::default_model(),
+            SimulatedChatModel::new(LlmConfig::default()),
+            config.gred_config(),
+        );
+        let dbs = corpus
+            .databases
+            .iter()
+            .map(|db| {
+                let store = Store::synthesize(db, config.store_seed, config.store_rows);
+                let fingerprint = db_fingerprint(db, config.store_seed, config.store_rows);
+                (
+                    db.id.clone(),
+                    Arc::new(DbEntry {
+                        db: db.clone(),
+                        store,
+                        fingerprint,
+                    }),
+                )
+            })
+            .collect();
+        let cache = TtlLruCache::new(config.cache_capacity, config.cache_ttl());
+        ServerState {
+            config,
+            gred,
+            dbs,
+            cache,
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+}
+
+/// FNV-1a over everything that determines a translation + execution result
+/// for a database: id, rendered schema, and the store synthesis parameters.
+pub fn db_fingerprint(db: &Database, store_seed: u64, store_rows: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(db.id.as_bytes());
+    eat(&[0xff]);
+    eat(db.render_prompt_schema().as_bytes());
+    eat(&store_seed.to_le_bytes());
+    eat(&(store_rows as u64).to_le_bytes());
+    h
+}
+
+/// Lowercase + collapse runs of whitespace: the embedder tokenizes
+/// case-insensitively on non-alphanumerics, so NLQs that normalise equal
+/// translate identically and may share a cache entry.
+pub fn normalize_nlq(nlq: &str) -> String {
+    let mut out = String::with_capacity(nlq.len());
+    let mut pending_space = false;
+    for c in nlq.chars() {
+        if c.is_whitespace() {
+            pending_space = !out.is_empty();
+        } else {
+            if pending_space {
+                out.push(' ');
+                pending_space = false;
+            }
+            out.extend(c.to_lowercase());
+        }
+    }
+    out
+}
+
+/// The translation body for one request, as compact JSON bytes. Pure: the
+/// same inputs always serialise the same bytes, which is what makes cache
+/// hits bit-identical to cold translations.
+pub fn translate_body(
+    state: &ServerState,
+    retriever: &dyn Retrieve,
+    nlq_normalized: &str,
+    entry: &DbEntry,
+    want_vegalite: bool,
+) -> Vec<u8> {
+    let out = state
+        .gred
+        .translate_with(nlq_normalized, &entry.db, &DynRetrieve(retriever));
+    let mut body = Json::obj([
+        ("db", Json::str(entry.db.id.as_str())),
+        ("nlq", Json::str(nlq_normalized)),
+        (
+            "stages",
+            Json::obj([
+                ("generator", opt_str(&out.dvq_gen)),
+                ("retuner", opt_str(&out.dvq_rtn)),
+                ("debugger", opt_str(&out.dvq_dbg)),
+            ]),
+        ),
+    ]);
+    match out.final_dvq() {
+        Some(dvq) => {
+            body.set("dvq", Json::str(dvq));
+            if want_vegalite {
+                match t2v_dvq::parse(dvq) {
+                    Ok(q) => match execute(&q, &entry.store) {
+                        Ok(rs) => body.set("vegalite", t2v_engine::to_vegalite(&q, &rs)),
+                        Err(e) => {
+                            body.set("vegalite", Json::Null);
+                            body.set("vegalite_error", Json::str(format!("{e:?}")));
+                        }
+                    },
+                    Err(e) => {
+                        body.set("vegalite", Json::Null);
+                        body.set("vegalite_error", Json::str(format!("{e}")));
+                    }
+                }
+            }
+        }
+        None => {
+            body.set("dvq", Json::Null);
+            body.set("error", Json::str("translation produced no DVQ"));
+        }
+    }
+    body.compact().into_bytes()
+}
+
+fn opt_str(s: &Option<String>) -> Json {
+    match s {
+        Some(s) => Json::str(s.as_str()),
+        None => Json::Null,
+    }
+}
+
+/// Adapter: `&dyn Retrieve` where `translate_with` wants `&impl Retrieve`.
+struct DynRetrieve<'a>(&'a dyn Retrieve);
+
+impl Retrieve for DynRetrieve<'_> {
+    fn retrieve_nlq(&self, query: &[f32], k: usize) -> Vec<t2v_embed::Hit> {
+        self.0.retrieve_nlq(query, k)
+    }
+
+    fn retrieve_dvq(&self, query: &[f32], k: usize) -> Vec<t2v_embed::Hit> {
+        self.0.retrieve_dvq(query, k)
+    }
+}
+
+/// What connection threads share.
+struct Shared {
+    state: Arc<ServerState>,
+    pool: WorkerPool,
+    retriever: Option<BatchRetriever>,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Bind with [`Server::spawn`]; stop with
+/// [`Server::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<Batcher>,
+    acceptor: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind `state.config.addr` and start serving.
+    pub fn spawn(state: Arc<ServerState>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&state.config.addr)?;
+        let addr = listener.local_addr()?;
+        let config = &state.config;
+        let batcher = if config.batch {
+            Some(Batcher::spawn(
+                state.gred.shared_library(),
+                Duration::from_micros(config.batch_window_us),
+                Arc::clone(&state.metrics),
+            ))
+        } else {
+            None
+        };
+        let pool = WorkerPool::new(
+            config.effective_workers(),
+            config.effective_shards(),
+            config.queue_capacity,
+            Arc::clone(&state.metrics),
+        );
+        let shared = Arc::new(Shared {
+            retriever: batcher.as_ref().map(Batcher::retriever),
+            state,
+            pool,
+            shutdown: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("t2v-acceptor".to_string())
+                .spawn(move || accept_loop(&shared, listener))
+                .expect("spawn acceptor thread")
+        };
+        Ok(Server {
+            shared,
+            batcher,
+            acceptor: Some(acceptor),
+            addr,
+        })
+    }
+
+    /// The bound address (useful with `addr = 127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn state(&self) -> &ServerState {
+        &self.shared.state
+    }
+
+    /// Orderly stop: close the listener, drain the pool, stop the batcher.
+    /// Open keep-alive connections die on their next read timeout.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Poke the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.shared.pool.shutdown();
+        if let Some(b) = self.batcher.take() {
+            b.shutdown();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let metrics = &shared.state.metrics;
+        metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+        let active = metrics.connections_active.fetch_add(1, Ordering::AcqRel) + 1;
+        if active as usize > shared.state.config.max_connections {
+            // Shed before spawning anything: canned bytes, no allocation.
+            let mut s = stream;
+            let _ = s.write_all(http::overload_response_bytes());
+            metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        let shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("t2v-conn".to_string())
+            .spawn(move || {
+                connection_loop(&shared, stream);
+                shared
+                    .state
+                    .metrics
+                    .connections_active
+                    .fetch_sub(1, Ordering::AcqRel);
+            });
+        if spawned.is_err() {
+            metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+fn connection_loop(shared: &Shared, stream: TcpStream) {
+    let keep_alive = Duration::from_secs(shared.state.config.keep_alive_secs.max(1));
+    if stream.set_read_timeout(Some(keep_alive)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let max_body = shared.state.config.max_body_bytes;
+
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let req = match http::read_request(&mut reader, max_body) {
+            Ok(req) => req,
+            Err(http::ReadError::Closed) | Err(http::ReadError::Io(_)) => return,
+            Err(http::ReadError::Malformed(why)) => {
+                let resp = Response::error(400, why);
+                shared.state.metrics.record_request(Route::Other, 400);
+                let _ = resp.write_to(&mut writer, false);
+                return;
+            }
+            Err(http::ReadError::BodyTooLarge) => {
+                let resp = Response::error(413, "request body too large");
+                shared.state.metrics.record_request(Route::Other, 413);
+                let _ = resp.write_to(&mut writer, false);
+                return;
+            }
+        };
+        let keep = !req.wants_close();
+        let (route, resp) = respond(shared, &req);
+        shared.state.metrics.record_request(route, resp.status);
+        if resp.write_to(&mut writer, keep).is_err() || !keep {
+            return;
+        }
+    }
+}
+
+/// Route one request. Health, metrics, and cache hits are answered on the
+/// connection thread; translation misses go through the worker pool.
+fn respond(shared: &Shared, req: &Request) -> (Route, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (Route::Healthz, healthz(&shared.state)),
+        ("GET", "/metrics") => (
+            Route::Metrics,
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                headers: Vec::new(),
+                body: shared.state.metrics.render_prometheus().into(),
+            },
+        ),
+        ("POST", "/translate") => (Route::Translate, translate_endpoint(shared, req)),
+        (_, "/healthz" | "/metrics" | "/translate") => {
+            (Route::Other, Response::error(405, "method not allowed"))
+        }
+        _ => (Route::Other, Response::error(404, "no such route")),
+    }
+}
+
+fn healthz(state: &ServerState) -> Response {
+    let body = Json::obj([
+        ("status", Json::str("ok")),
+        ("databases", Json::Num(state.dbs.len() as f64)),
+        ("library", Json::Num(state.gred.library().len() as f64)),
+    ]);
+    Response::json(200, body.compact())
+}
+
+fn translate_endpoint(shared: &Shared, req: &Request) -> Response {
+    let started = Instant::now();
+    let state = &shared.state;
+
+    // ---- parse + validate ----
+    let body_text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let parsed = match Json::parse(body_text) {
+        Ok(j) => j,
+        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+    };
+    let Some(nlq) = parsed.get("nlq").and_then(Json::as_str) else {
+        return Response::error(400, "missing string field 'nlq'");
+    };
+    let Some(db_id) = parsed.get("db").and_then(Json::as_str) else {
+        return Response::error(400, "missing string field 'db'");
+    };
+    let want_vegalite = match parsed.get("vegalite") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return Response::error(400, "field 'vegalite' must be a boolean"),
+        },
+    };
+    let nlq_normalized = normalize_nlq(nlq);
+    if nlq_normalized.is_empty() {
+        return Response::error(400, "'nlq' is empty");
+    }
+    let Some(entry) = state.dbs.get(db_id) else {
+        return Response::error(404, &format!("unknown database '{db_id}'"));
+    };
+
+    // ---- cache fast path (connection thread, no queueing) ----
+    let key: CacheKey = (
+        nlq_normalized.clone().into_boxed_str(),
+        entry.fingerprint,
+        want_vegalite,
+    );
+    if let Some(hit) = state.cache.get(&key) {
+        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        state
+            .metrics
+            .request_total_latency
+            .observe_ns(started.elapsed().as_nanos() as u64);
+        // The Arc goes straight into the response — no body copy on a hit.
+        return Response::json(200, hit).with_header("x-t2v-cache", "hit");
+    }
+    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    // ---- CPU stage through the bounded pool ----
+    let slot: OneShot<Arc<Vec<u8>>> = OneShot::new();
+    let submitted = {
+        let slot = slot.clone();
+        let state = Arc::clone(&shared.state);
+        let retriever = shared.retriever.clone();
+        let entry = Arc::clone(entry);
+        let enqueued = Instant::now();
+        shared.pool.submit(move || {
+            state
+                .metrics
+                .queue_wait
+                .observe_ns(enqueued.elapsed().as_nanos() as u64);
+            if state.config.debug_translate_sleep_ms > 0 {
+                std::thread::sleep(Duration::from_millis(state.config.debug_translate_sleep_ms));
+            }
+            let t0 = Instant::now();
+            let body = match &retriever {
+                Some(r) => translate_body(&state, r, &key.0, &entry, want_vegalite),
+                None => translate_body(
+                    &state,
+                    &DirectRetriever(state.gred.library()),
+                    &key.0,
+                    &entry,
+                    want_vegalite,
+                ),
+            };
+            state
+                .metrics
+                .translate
+                .observe_ns(t0.elapsed().as_nanos() as u64);
+            let body = Arc::new(body);
+            state.cache.insert(key, Arc::clone(&body));
+            slot.send(body);
+        })
+    };
+    match submitted {
+        Ok(()) => {}
+        Err(SubmitError::Overloaded) | Err(SubmitError::ShuttingDown) => {
+            state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Response::error(503, "overload").with_header("Retry-After", "1");
+        }
+    }
+    let Some(body) = slot.recv_timeout(Duration::from_secs(60)) else {
+        return Response::error(500, "translation timed out");
+    };
+    state
+        .metrics
+        .request_total_latency
+        .observe_ns(started.elapsed().as_nanos() as u64);
+    Response::json(200, body).with_header("x-t2v-cache", "miss")
+}
+
+/// Convenience: build state from config and spawn, one call.
+pub fn serve(config: ServeConfig) -> std::io::Result<Server> {
+    Server::spawn(Arc::new(ServerState::build(config)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_lowercases_and_collapses_whitespace() {
+        assert_eq!(
+            normalize_nlq("  Show   ME\tthe  Wages "),
+            "show me the wages"
+        );
+        assert_eq!(normalize_nlq(""), "");
+        assert_eq!(normalize_nlq("   "), "");
+        assert_eq!(normalize_nlq("É é"), "é é");
+    }
+
+    #[test]
+    fn fingerprints_separate_dbs_and_store_params() {
+        let corpus = generate(&t2v_corpus::CorpusConfig::tiny(7));
+        let a = db_fingerprint(&corpus.databases[0], 7, 30);
+        let b = db_fingerprint(&corpus.databases[1], 7, 30);
+        let a_rows = db_fingerprint(&corpus.databases[0], 7, 31);
+        let a_seed = db_fingerprint(&corpus.databases[0], 8, 30);
+        assert_ne!(a, b);
+        assert_ne!(a, a_rows);
+        assert_ne!(a, a_seed);
+        assert_eq!(a, db_fingerprint(&corpus.databases[0], 7, 30));
+    }
+
+    #[test]
+    fn translate_body_is_deterministic_and_parses() {
+        let corpus = generate(&t2v_corpus::CorpusConfig::tiny(7));
+        let state = ServerState::from_corpus(&corpus, ServeConfig::default());
+        let ex = &corpus.dev[0];
+        let entry = state.dbs.get(&corpus.databases[ex.db].id).unwrap();
+        let retriever = DirectRetriever(state.gred.library());
+        let nlq = normalize_nlq(&ex.nlq);
+        let a = translate_body(&state, &retriever, &nlq, entry, true);
+        let b = translate_body(&state, &retriever, &nlq, entry, true);
+        assert_eq!(a, b, "same inputs must serialise identical bytes");
+        let doc = Json::parse(std::str::from_utf8(&a).unwrap()).unwrap();
+        let dvq = doc.get("dvq").and_then(Json::as_str).expect("a DVQ");
+        t2v_dvq::parse(dvq).unwrap();
+        assert!(doc.get("vegalite").is_some());
+    }
+}

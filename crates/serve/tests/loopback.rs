@@ -1,0 +1,364 @@
+//! Loopback integration tests: spawn the real server on an OS-assigned port
+//! and drive it over real sockets — concurrency, caching byte-identity,
+//! malformed input, and deterministic overload.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use t2v_corpus::{generate, CorpusConfig};
+use t2v_engine::Json;
+use t2v_serve::{ServeConfig, Server, ServerState};
+
+// ---------------------------------------------------------------------------
+// tiny test client
+// ---------------------------------------------------------------------------
+
+struct Reply {
+    status: u16,
+    headers: HashMap<String, String>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn json(&self) -> Json {
+        Json::parse(std::str::from_utf8(&self.body).expect("UTF-8 body")).expect("JSON body")
+    }
+
+    fn cache(&self) -> Option<&str> {
+        self.headers.get("x-t2v-cache").map(String::as_str)
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send_raw(&mut self, raw: &[u8]) -> Reply {
+        self.writer.write_all(raw).expect("write request");
+        self.read_reply().expect("read response")
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Reply {
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.send_raw(raw.as_bytes())
+    }
+
+    fn translate(&mut self, nlq: &str, db: &str) -> Reply {
+        let body = Json::obj([("nlq", Json::str(nlq)), ("db", Json::str(db))]).compact();
+        self.request("POST", "/translate", &body)
+    }
+
+    fn read_reply(&mut self) -> Option<Reply> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        let status: u16 = line.split(' ').nth(1)?.parse().ok()?;
+        let mut headers = HashMap::new();
+        loop {
+            line.clear();
+            self.reader.read_line(&mut line).ok()?;
+            let t = line.trim_end();
+            if t.is_empty() {
+                break;
+            }
+            let (k, v) = t.split_once(':')?;
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        }
+        let len: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body).ok()?;
+        Some(Reply {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn spawn_server(tweaks: &[(&str, &str)]) -> (t2v_corpus::Corpus, Server) {
+    let corpus = generate(&CorpusConfig::tiny(7));
+    let mut config = ServeConfig::default();
+    config.set("addr", "127.0.0.1:0").unwrap();
+    for (k, v) in tweaks {
+        config.set(k, v).unwrap();
+    }
+    let state = Arc::new(ServerState::from_corpus(&corpus, config));
+    let server = Server::spawn(state).expect("bind loopback");
+    (corpus, server)
+}
+
+// ---------------------------------------------------------------------------
+// the tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_clients_get_parseable_dvqs_and_byte_identical_cache_hits() {
+    let (corpus, server) = spawn_server(&[]);
+    let examples: Vec<(String, String)> = corpus
+        .dev
+        .iter()
+        .take(12)
+        .map(|ex| (ex.nlq.clone(), corpus.databases[ex.db].id.clone()))
+        .collect();
+
+    // Fan 6 clients over the examples concurrently; each asks every query
+    // twice on a keep-alive connection.
+    type KeyedBodies = Vec<(String, Vec<u8>, Vec<u8>)>;
+    let outputs: Vec<KeyedBodies> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|c| {
+                let examples = &examples;
+                let server = &server;
+                s.spawn(move || {
+                    let mut client = Client::connect(server);
+                    let mut seen = Vec::new();
+                    for (nlq, db) in examples
+                        .iter()
+                        .skip(c * 2)
+                        .chain(examples.iter().take(c * 2))
+                    {
+                        let first = client.translate(nlq, db);
+                        assert_eq!(first.status, 200, "body: {:?}", first.json());
+                        let second = client.translate(nlq, db);
+                        assert_eq!(second.status, 200);
+                        // The repeat is served from cache…
+                        assert_eq!(second.cache(), Some("hit"));
+                        seen.push((format!("{db}/{nlq}"), first.body, second.body));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // …and cache hits are byte-identical to the translation that filled the
+    // entry — across *all* clients, not just within one connection.
+    let mut canonical: HashMap<String, Vec<u8>> = HashMap::new();
+    for per_client in outputs {
+        for (key, first, second) in per_client {
+            assert_eq!(first, second, "hit differs from miss for {key}");
+            let entry = canonical
+                .entry(key.clone())
+                .or_insert_with(|| first.clone());
+            assert_eq!(*entry, first, "clients disagree for {key}");
+            // Every response carries a parseable DVQ (or an explicit error).
+            let doc = Json::parse(std::str::from_utf8(&first).unwrap()).unwrap();
+            match doc.get("dvq") {
+                Some(Json::Str(dvq)) => {
+                    t2v_dvq::parse(dvq).expect("served DVQ must parse");
+                }
+                _ => {
+                    doc.get("error").expect("null dvq must carry an error");
+                }
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_and_the_server_survives() {
+    let (corpus, server) = spawn_server(&[]);
+    let db = corpus.databases[0].id.clone();
+    let mut c = Client::connect(&server);
+
+    // Bad JSON → 400 (connection stays usable: these are clean requests).
+    let r = c.request("POST", "/translate", "{\"nlq\": ");
+    assert_eq!(r.status, 400);
+    assert!(r.json().get("error").is_some());
+    // Missing fields → 400.
+    assert_eq!(c.request("POST", "/translate", "{}").status, 400);
+    assert_eq!(
+        c.request("POST", "/translate", "{\"nlq\": \"show wages\"}")
+            .status,
+        400
+    );
+    // Wrong types → 400.
+    let bad_veg = format!("{{\"nlq\": \"x\", \"db\": \"{db}\", \"vegalite\": \"yes\"}}");
+    assert_eq!(c.request("POST", "/translate", &bad_veg).status, 400);
+    // Whitespace-only NLQ → 400.
+    let blank = format!("{{\"nlq\": \"  \", \"db\": \"{db}\"}}");
+    assert_eq!(c.request("POST", "/translate", &blank).status, 400);
+    // Unknown database → 404 with a useful message.
+    let r = c.translate("show wages", "no_such_db");
+    assert_eq!(r.status, 404);
+    assert!(r
+        .json()
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("no_such_db"));
+    // Unknown route → 404; wrong method on a real route → 405.
+    assert_eq!(c.request("GET", "/nope", "").status, 404);
+    assert_eq!(c.request("GET", "/translate", "").status, 405);
+    assert_eq!(c.request("POST", "/healthz", "").status, 405);
+
+    // Broken HTTP framing → 400, server closes that connection only.
+    let mut broken = Client::connect(&server);
+    let r = broken.send_raw(b"NONSENSE\r\n\r\n");
+    assert_eq!(r.status, 400);
+    // Oversized body → 413 (body never allocated).
+    let mut big = Client::connect(&server);
+    let r = big.send_raw(b"POST /translate HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+    assert_eq!(r.status, 413);
+
+    // After all of that, the server still translates and reports healthy.
+    let mut fresh = Client::connect(&server);
+    assert_eq!(fresh.request("GET", "/healthz", "").status, 200);
+    let ok = fresh.translate(&corpus.dev[0].nlq, &corpus.databases[corpus.dev[0].db].id);
+    assert_eq!(ok.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_503_instead_of_queueing() {
+    // One throttled worker (150 ms per translation), a queue of one, no
+    // cache: with 8 simultaneous requests, at most 2 can be in the system —
+    // the rest MUST see 503 + Retry-After.
+    let (corpus, server) = spawn_server(&[
+        ("workers", "1"),
+        ("shards", "1"),
+        ("queue_capacity", "1"),
+        ("cache_capacity", "0"),
+        ("batch", "off"),
+        ("debug_translate_sleep_ms", "150"),
+    ]);
+    let statuses: Vec<(u16, bool)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let corpus = &corpus;
+                let server = &server;
+                s.spawn(move || {
+                    let mut client = Client::connect(server);
+                    let ex = &corpus.dev[i % 4];
+                    let r = client.translate(&ex.nlq, &corpus.databases[ex.db].id);
+                    let retry_after = r.headers.contains_key("retry-after");
+                    (r.status, retry_after)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ok = statuses.iter().filter(|(s, _)| *s == 200).count();
+    let shed = statuses.iter().filter(|(s, _)| *s == 503).count();
+    assert_eq!(ok + shed, 8, "only 200s and 503s expected: {statuses:?}");
+    assert!(ok >= 1, "at least one request must be served");
+    assert!(shed >= 1, "overload must shed at least one request");
+    for (status, retry_after) in &statuses {
+        if *status == 503 {
+            assert!(retry_after, "503 must carry Retry-After");
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_reflect_traffic() {
+    let (corpus, server) = spawn_server(&[]);
+    let mut c = Client::connect(&server);
+
+    let health = c.request("GET", "/healthz", "");
+    assert_eq!(health.status, 200);
+    let doc = health.json();
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        doc.get("databases").and_then(Json::as_f64),
+        Some(corpus.databases.len() as f64)
+    );
+    assert_eq!(
+        doc.get("library").and_then(Json::as_f64),
+        Some(corpus.train.len() as f64)
+    );
+
+    let ex = &corpus.dev[0];
+    let db = &corpus.databases[ex.db].id;
+    assert_eq!(c.translate(&ex.nlq, db).cache(), Some("miss"));
+    assert_eq!(c.translate(&ex.nlq, db).cache(), Some("hit"));
+    assert_eq!(c.translate("", "").status, 400);
+
+    let metrics = c.request("GET", "/metrics", "");
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8(metrics.body).unwrap();
+    assert!(text.contains("t2v_http_requests_total{route=\"translate\",status=\"2xx\"} 2"));
+    assert!(text.contains("t2v_http_requests_total{route=\"translate\",status=\"4xx\"} 1"));
+    assert!(text.contains("t2v_cache_hits_total 1"));
+    assert!(text.contains("t2v_cache_misses_total 1"));
+    assert!(text.contains("t2v_translate_seconds_count 1"));
+    assert!(text.contains("t2v_connections_active 1"));
+    server.shutdown();
+}
+
+#[test]
+fn vegalite_responses_execute_and_cache_separately() {
+    let (corpus, server) = spawn_server(&[]);
+    let ex = &corpus.dev[0];
+    let db = corpus.databases[ex.db].id.clone();
+    let mut c = Client::connect(&server);
+    let body = Json::obj([
+        ("nlq", Json::str(ex.nlq.as_str())),
+        ("db", Json::str(db.as_str())),
+        ("vegalite", Json::Bool(true)),
+    ])
+    .compact();
+    let with_spec = c.request("POST", "/translate", &body);
+    assert_eq!(with_spec.status, 200);
+    let doc = with_spec.json();
+    let spec = doc.get("vegalite").expect("vegalite requested");
+    if !matches!(spec, Json::Null) {
+        assert!(spec.get("mark").is_some(), "spec has a mark: {spec:?}");
+    } else {
+        doc.get("vegalite_error").expect("null spec carries why");
+    }
+    // The plain variant is a *different* cache entry (response shape is part
+    // of the key) and must still be a miss.
+    let plain = c.translate(&ex.nlq, &db);
+    assert_eq!(plain.cache(), Some("miss"));
+    assert!(plain.json().get("vegalite").is_none());
+    // And repeating the vegalite request hits its own entry byte-for-byte.
+    let again = c.request("POST", "/translate", &body);
+    assert_eq!(again.cache(), Some("hit"));
+    assert_eq!(again.body, with_spec.body);
+    server.shutdown();
+}
+
+#[test]
+fn normalized_nlq_variants_share_one_cache_entry() {
+    let (corpus, server) = spawn_server(&[]);
+    let ex = &corpus.dev[1];
+    let db = corpus.databases[ex.db].id.clone();
+    let mut c = Client::connect(&server);
+    let first = c.translate(&ex.nlq, &db);
+    assert_eq!(first.cache(), Some("miss"));
+    let shouty = format!("  {}  ", ex.nlq.to_uppercase());
+    let second = c.translate(&shouty, &db);
+    assert_eq!(
+        second.cache(),
+        Some("hit"),
+        "case/whitespace variants normalise to one key"
+    );
+    assert_eq!(second.body, first.body);
+    server.shutdown();
+}

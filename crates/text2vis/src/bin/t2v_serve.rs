@@ -1,0 +1,77 @@
+//! `t2v-serve` — run the translation service from the command line.
+//!
+//! ```text
+//! t2v-serve [--config PATH] [key=value ...]
+//! ```
+//!
+//! Configuration precedence: defaults < `--config` file < `T2V_SERVE_*`
+//! environment < trailing `key=value` arguments. `t2v-serve --help` lists
+//! every knob; DESIGN.md §7 documents them.
+
+use text2vis::serve::{config::KEYS, serve, ServeConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: t2v-serve [--config PATH] [key=value ...]\n\nknobs:");
+        for key in KEYS {
+            println!("  {key}");
+        }
+        println!(
+            "\nenvironment: T2V_SERVE_<KEY> overrides the file; key=value args override both."
+        );
+        return;
+    }
+
+    let config_path = args.iter().position(|a| a == "--config").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| die("--config needs a path"))
+    });
+    let mut config = ServeConfig::load(config_path.as_deref()).unwrap_or_else(|e| die(&e.message));
+
+    let mut skip = false;
+    for arg in args.iter() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if arg == "--config" {
+            skip = true;
+            continue;
+        }
+        let Some((key, value)) = arg.split_once('=') else {
+            die(&format!(
+                "unrecognised argument '{arg}' (expected key=value)"
+            ));
+        };
+        config
+            .set(key.trim(), value.trim())
+            .unwrap_or_else(|e| die(&e.message));
+    }
+
+    eprintln!(
+        "t2v-serve: preparing GRED over the {:?} corpus ({} workers, {} shards, queue {} per shard, cache {} entries/ttl {}s, batching {})...",
+        config.corpus,
+        config.effective_workers(),
+        config.effective_shards(),
+        config.queue_capacity,
+        config.cache_capacity,
+        config.cache_ttl_secs,
+        if config.batch { "on" } else { "off" },
+    );
+    let server = serve(config).unwrap_or_else(|e| die(&format!("cannot bind: {e}")));
+    eprintln!(
+        "t2v-serve: listening on http://{} (POST /translate, GET /healthz, GET /metrics)",
+        server.addr()
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("t2v-serve: {message}");
+    std::process::exit(2)
+}

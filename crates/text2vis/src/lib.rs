@@ -29,6 +29,7 @@ pub use t2v_gred as gred;
 pub use t2v_llm as llm;
 pub use t2v_neural as neural;
 pub use t2v_perturb as perturb;
+pub use t2v_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -38,4 +39,5 @@ pub mod prelude {
     pub use t2v_eval::{evaluate_set, Text2VisModel};
     pub use t2v_gred::{default_gred, Gred, GredConfig};
     pub use t2v_perturb::{build_rob, NvBenchRob, RobVariant};
+    pub use t2v_serve::{serve, ServeConfig, Server, ServerState};
 }
