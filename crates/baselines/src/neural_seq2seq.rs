@@ -1,0 +1,173 @@
+//! A plain attention seq2seq with a *closed* vocabulary — Seq2Vis without
+//! the pointer-generator copy head (the Data2Vis line: Dibia & Demiralp
+//! 2018 frame text-to-vis as vanilla seq2seq translation).
+//!
+//! With no copy mechanism, column names are reachable only through the
+//! trained output vocabulary, so the model is the weakest of the neural
+//! baselines under schema renaming — a useful lower anchor for the
+//! multi-backend serving surface and the robustness sweeps.
+
+use crate::seq2vis::BaselineTrainConfig;
+use crate::tokenize::{dvq_tokens, join_dvq_tokens, nlq_tokens};
+use t2v_core::{
+    validated_single_stage_response, BackendInfo, BackendKind, TranslateError, TranslateRequest,
+    TranslateResponse, Translator,
+};
+use t2v_corpus::Corpus;
+use t2v_neural::{train_loop, Seq2Seq, Seq2SeqConfig, SeqExample, TrainConfig, Vocab};
+
+/// The trained closed-vocabulary seq2seq backend.
+pub struct NeuralSeq2Seq {
+    src_vocab: Vocab,
+    tgt_vocab: Vocab,
+    net: Seq2Seq,
+}
+
+impl NeuralSeq2Seq {
+    /// Train on the corpus training split. Same vocabulary policy as
+    /// Seq2Vis (frequency ≥ 2) but out-of-vocabulary target tokens fall
+    /// back to `<unk>` instead of extended copy ids.
+    pub fn train(corpus: &Corpus, cfg: &BaselineTrainConfig) -> Self {
+        let train = &corpus.train[..corpus.train.len().min(cfg.max_train)];
+        let mut src_counts: std::collections::HashMap<String, usize> = Default::default();
+        let mut tgt_counts: std::collections::HashMap<String, usize> = Default::default();
+        for ex in train {
+            for t in nlq_tokens(&ex.nlq) {
+                *src_counts.entry(t).or_default() += 1;
+            }
+            for t in dvq_tokens(&ex.dvq_text) {
+                *tgt_counts.entry(t).or_default() += 1;
+            }
+        }
+        let mut src_vocab = Vocab::build([]);
+        let mut tgt_vocab = Vocab::build([]);
+        for ex in train {
+            for t in nlq_tokens(&ex.nlq) {
+                if src_counts[&t] >= 2 {
+                    src_vocab.intern(&t);
+                }
+            }
+            for t in dvq_tokens(&ex.dvq_text) {
+                if tgt_counts[&t] >= 2 {
+                    tgt_vocab.intern(&t);
+                }
+            }
+        }
+        let examples: Vec<SeqExample> = train
+            .iter()
+            .map(|ex| {
+                let src_toks = nlq_tokens(&ex.nlq);
+                let src: Vec<usize> = src_toks.iter().map(|t| src_vocab.id(t)).collect();
+                // Copy head disabled: `src_as_tgt` is never consulted, and
+                // targets stay inside the closed vocabulary (OOV ⇒ <unk>).
+                let src_as_tgt = vec![t2v_neural::UNK; src.len()];
+                let tgt = tgt_vocab.encode(&dvq_tokens(&ex.dvq_text));
+                SeqExample {
+                    src,
+                    src_as_tgt,
+                    tgt,
+                }
+            })
+            .collect();
+        let mut net = Seq2Seq::new(
+            Seq2SeqConfig {
+                src_vocab: src_vocab.len(),
+                tgt_vocab: tgt_vocab.len(),
+                emb: cfg.emb,
+                hidden: cfg.hidden,
+                copy: false,
+                max_decode: 70,
+            },
+            cfg.seed ^ 0x2d,
+        );
+        train_loop(
+            &mut net,
+            &examples,
+            &TrainConfig {
+                epochs: cfg.epochs,
+                lr: cfg.lr,
+                batch: 32,
+                threads: cfg.threads,
+                seed: cfg.seed,
+                verbose: cfg.verbose,
+            },
+            |m| &mut m.store,
+            |m, ex, g| m.loss(g, ex),
+        );
+        NeuralSeq2Seq {
+            src_vocab,
+            tgt_vocab,
+            net,
+        }
+    }
+
+    /// Greedy-decode one NLQ to DVQ-shaped text (no parse validation — the
+    /// [`Translator`] impl validates before serving).
+    pub fn decode(&self, nlq: &str) -> Option<String> {
+        let toks = nlq_tokens(nlq);
+        if toks.is_empty() {
+            return None;
+        }
+        let src: Vec<usize> = toks.iter().map(|t| self.src_vocab.id(t)).collect();
+        let src_as_tgt = vec![t2v_neural::UNK; src.len()];
+        let ids = self.net.greedy(&src, &src_as_tgt);
+        let tokens = self.tgt_vocab.decode(&ids);
+        if tokens.is_empty() {
+            return None;
+        }
+        Some(join_dvq_tokens(&tokens))
+    }
+}
+
+impl Translator for NeuralSeq2Seq {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: "NeuralSeq2Seq".to_string(),
+            kind: BackendKind::Seq2Seq,
+            stages: vec!["seq2seq"],
+            deterministic: true,
+            description: "closed-vocabulary attention seq2seq (Seq2Vis without the copy head)"
+                .to_string(),
+        }
+    }
+
+    fn translate(&self, req: &TranslateRequest<'_>) -> Result<TranslateResponse, TranslateError> {
+        req.validate()?;
+        let t0 = std::time::Instant::now();
+        let out = self.decode(req.nlq);
+        validated_single_stage_response(
+            "NeuralSeq2Seq",
+            "seq2seq",
+            out,
+            t0.elapsed().as_micros() as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+
+    #[test]
+    fn trains_without_copy_head_and_emits_bounded_output() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let mut cfg = BaselineTrainConfig::fast();
+        cfg.epochs = 4;
+        cfg.max_train = 80;
+        let model = NeuralSeq2Seq::train(&corpus, &cfg);
+        let mut produced = 0;
+        for ex in corpus.dev.iter().take(10) {
+            if let Some(p) = model.decode(&ex.nlq) {
+                assert!(p.split_whitespace().count() <= 75);
+                produced += 1;
+            }
+        }
+        assert!(produced >= 5, "only {produced}/10 produced output");
+        // The backend API validates: any Ok response carries a parseable DVQ.
+        let req = TranslateRequest::new(&corpus.dev[0].nlq, &corpus.databases[corpus.dev[0].db]);
+        if let Ok(resp) = model.translate(&req) {
+            t2v_dvq::parse(&resp.dvq).unwrap();
+        }
+    }
+}

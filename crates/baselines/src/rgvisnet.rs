@@ -14,9 +14,12 @@
 //!   tokens — the overreliance the paper's §3 analysis demonstrates with
 //!   the "ACC_Percent" case.
 
+use t2v_core::{
+    BackendInfo, BackendKind, StageRecord, StageSink, TranslateError, TranslateRequest,
+    TranslateResponse, Translator,
+};
 use t2v_corpus::{Corpus, Database};
 use t2v_embed::{EmbedConfig, TextEmbedder, VectorIndex};
-use t2v_eval::Text2VisModel;
 use t2v_llm::generate::{generate_dvq, GenContext};
 use t2v_llm::parse::{parse_schema, ParsedExample, ParsedGeneration, ParsedSchema};
 use t2v_llm::patterns::PatternKnowledge;
@@ -64,23 +67,25 @@ impl RgVisNet {
     }
 }
 
-impl Text2VisModel for RgVisNet {
-    fn name(&self) -> &str {
-        "RGVisNet"
-    }
-
-    fn predict(&self, nlq: &str, db: &Database) -> Option<String> {
+impl RgVisNet {
+    /// Stage 1: retrieve the DVQ prototype for `nlq` (top-1 over the
+    /// training questions).
+    fn prototype(&self, nlq: &str) -> Option<&(String, String)> {
         if self.entries.is_empty() {
             return None;
         }
         let qv = self.embedder.embed(nlq);
         let hit = self.index.top_k(&qv, 1).into_iter().next()?;
-        let (proto_nlq, proto_dvq) = &self.entries[hit.id];
+        Some(&self.entries[hit.id])
+    }
+
+    /// Stage 2: revise a prototype against the target schema.
+    fn revise(&self, nlq: &str, db: &Database, proto_nlq: &str, proto_dvq: &str) -> Option<String> {
         let parsed = ParsedGeneration {
             examples: vec![ParsedExample {
                 schema: ParsedSchema::default(),
-                nlq: proto_nlq.clone(),
-                dvq: proto_dvq.clone(),
+                nlq: proto_nlq.to_string(),
+                dvq: proto_dvq.to_string(),
             }],
             schema: parse_schema(&db.render_prompt_schema()),
             nlq: nlq.to_string(),
@@ -95,6 +100,92 @@ impl Text2VisModel for RgVisNet {
         };
         let answer = generate_dvq(&parsed, &ctx);
         t2v_llm::extract_dvq(&answer)
+    }
+
+    /// Retrieval + revision as one call (the pre-backend-API entry point).
+    pub fn retrieve_and_revise(&self, nlq: &str, db: &Database) -> Option<String> {
+        let (proto_nlq, proto_dvq) = self.prototype(nlq)?;
+        self.revise(nlq, db, proto_nlq, proto_dvq)
+    }
+
+    fn staged(
+        &self,
+        req: &TranslateRequest<'_>,
+        mut sink: Option<&mut dyn StageSink>,
+    ) -> Result<TranslateResponse, TranslateError> {
+        req.validate()?;
+        let mut emit = |stage: StageRecord, stages: &mut Vec<StageRecord>| {
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.stage(&stage);
+            }
+            stages.push(stage);
+        };
+        let mut stages = Vec::with_capacity(2);
+        let t0 = std::time::Instant::now();
+        let proto = self.prototype(req.nlq).cloned();
+        emit(
+            StageRecord::new(
+                "prototype",
+                proto.as_ref().map(|(_, dvq)| dvq.clone()),
+                t0.elapsed().as_micros() as u64,
+            ),
+            &mut stages,
+        );
+        let Some((proto_nlq, proto_dvq)) = proto else {
+            return Err(TranslateError::NoOutput {
+                backend: "RGVisNet".to_string(),
+                stages,
+            });
+        };
+        let t1 = std::time::Instant::now();
+        let revised = self.revise(req.nlq, req.db, &proto_nlq, &proto_dvq);
+        emit(
+            StageRecord::new("revision", revised.clone(), t1.elapsed().as_micros() as u64),
+            &mut stages,
+        );
+        match revised {
+            Some(dvq) => match t2v_dvq::parse(&dvq) {
+                Ok(_) => Ok(TranslateResponse {
+                    backend: "RGVisNet".to_string(),
+                    stages,
+                    dvq,
+                }),
+                Err(e) => Err(TranslateError::InvalidOutput {
+                    backend: "RGVisNet".to_string(),
+                    text: dvq,
+                    reason: e.to_string(),
+                    stages,
+                }),
+            },
+            None => Err(TranslateError::NoOutput {
+                backend: "RGVisNet".to_string(),
+                stages,
+            }),
+        }
+    }
+}
+
+impl Translator for RgVisNet {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: "RGVisNet".to_string(),
+            kind: BackendKind::RetrievalRevision,
+            stages: vec!["prototype", "revision"],
+            deterministic: true,
+            description: "prototype retrieval + lexical revision (Song et al. 2022)".to_string(),
+        }
+    }
+
+    fn translate(&self, req: &TranslateRequest<'_>) -> Result<TranslateResponse, TranslateError> {
+        self.staged(req, None)
+    }
+
+    fn translate_streamed(
+        &self,
+        req: &TranslateRequest<'_>,
+        sink: &mut dyn StageSink,
+    ) -> Result<TranslateResponse, TranslateError> {
+        self.staged(req, Some(sink))
     }
 }
 

@@ -6,8 +6,11 @@
 //! hardest on the dual-variant set (paper Figure 3: 79.73 → 5.50).
 
 use crate::tokenize::{dvq_tokens, join_dvq_tokens, nlq_tokens};
-use t2v_corpus::{Corpus, Database};
-use t2v_eval::Text2VisModel;
+use t2v_core::{
+    validated_single_stage_response, BackendInfo, BackendKind, TranslateError, TranslateRequest,
+    TranslateResponse, Translator,
+};
+use t2v_corpus::Corpus;
 use t2v_neural::{train_loop, Seq2Seq, Seq2SeqConfig, SeqExample, TrainConfig, Vocab};
 
 /// Training knobs for the neural baselines.
@@ -205,12 +208,10 @@ pub fn encode_example(
     }
 }
 
-impl Text2VisModel for Seq2Vis {
-    fn name(&self) -> &str {
-        "Seq2Vis"
-    }
-
-    fn predict(&self, nlq: &str, _db: &Database) -> Option<String> {
+impl Seq2Vis {
+    /// Greedy-decode one NLQ to DVQ-shaped text (no parse validation — the
+    /// [`Translator`] impl validates before serving).
+    pub fn decode(&self, nlq: &str) -> Option<String> {
         let toks = nlq_tokens(nlq);
         if toks.is_empty() {
             return None;
@@ -245,6 +246,27 @@ impl Text2VisModel for Seq2Vis {
     }
 }
 
+impl Translator for Seq2Vis {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: "Seq2Vis".to_string(),
+            kind: BackendKind::Seq2Seq,
+            stages: vec!["seq2seq"],
+            deterministic: true,
+            description:
+                "pointer-generator attention seq2seq (Luo et al. 2021a), trained NLQ → DVQ"
+                    .to_string(),
+        }
+    }
+
+    fn translate(&self, req: &TranslateRequest<'_>) -> Result<TranslateResponse, TranslateError> {
+        req.validate()?;
+        let t0 = std::time::Instant::now();
+        let out = self.decode(req.nlq);
+        validated_single_stage_response("Seq2Vis", "seq2seq", out, t0.elapsed().as_micros() as u64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,7 +284,7 @@ mod tests {
         let model = Seq2Vis::train(&corpus, &cfg);
         let mut produced = 0;
         for ex in corpus.dev.iter().take(10) {
-            if let Some(p) = model.predict(&ex.nlq, &corpus.databases[ex.db]) {
+            if let Some(p) = model.decode(&ex.nlq) {
                 assert!(p.split_whitespace().count() <= 75);
                 produced += 1;
             }

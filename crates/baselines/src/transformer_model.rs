@@ -8,8 +8,11 @@
 
 use crate::seq2vis::BaselineTrainConfig;
 use crate::tokenize::{dvq_tokens, join_dvq_tokens, nlq_tokens};
+use t2v_core::{
+    validated_single_stage_response, BackendInfo, BackendKind, TranslateError, TranslateRequest,
+    TranslateResponse, Translator,
+};
 use t2v_corpus::{Corpus, Database};
-use t2v_eval::Text2VisModel;
 use t2v_neural::{train_loop, TrainConfig, Transformer, TransformerConfig, Vocab};
 
 /// The trained Transformer baseline.
@@ -102,12 +105,10 @@ impl TransformerBaseline {
     }
 }
 
-impl Text2VisModel for TransformerBaseline {
-    fn name(&self) -> &str {
-        "Transformer"
-    }
-
-    fn predict(&self, nlq: &str, db: &Database) -> Option<String> {
+impl TransformerBaseline {
+    /// Greedy-decode one (NLQ, schema) input to DVQ-shaped text (no parse
+    /// validation — the [`Translator`] impl validates before serving).
+    pub fn decode(&self, nlq: &str, db: &Database) -> Option<String> {
         let toks = input_tokens(nlq, db, self.max_src);
         if toks.is_empty() {
             return None;
@@ -119,6 +120,31 @@ impl Text2VisModel for TransformerBaseline {
             return None;
         }
         Some(join_dvq_tokens(&tokens))
+    }
+}
+
+impl Translator for TransformerBaseline {
+    fn info(&self) -> BackendInfo {
+        BackendInfo {
+            name: "Transformer".to_string(),
+            kind: BackendKind::Transformer,
+            stages: vec!["transformer"],
+            deterministic: true,
+            description: "schema-aware encoder–decoder transformer with a closed output vocabulary"
+                .to_string(),
+        }
+    }
+
+    fn translate(&self, req: &TranslateRequest<'_>) -> Result<TranslateResponse, TranslateError> {
+        req.validate()?;
+        let t0 = std::time::Instant::now();
+        let out = self.decode(req.nlq, req.db);
+        validated_single_stage_response(
+            "Transformer",
+            "transformer",
+            out,
+            t0.elapsed().as_micros() as u64,
+        )
     }
 }
 
@@ -135,7 +161,7 @@ mod tests {
         cfg.max_train = 100;
         let model = TransformerBaseline::train(&corpus, &cfg);
         let ex = &corpus.dev[0];
-        let out = model.predict(&ex.nlq, &corpus.databases[ex.db]);
+        let out = model.decode(&ex.nlq, &corpus.databases[ex.db]);
         // Even undertrained, the model must produce *something* bounded.
         let text = out.unwrap_or_default();
         assert!(text.split_whitespace().count() <= 75);

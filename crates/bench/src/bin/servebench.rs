@@ -1,20 +1,25 @@
 //! `servebench` — closed-loop load generator for `t2v-serve`.
 //!
-//! Spawns the service on a loopback port, then drives it with N concurrent
-//! keep-alive clients for a fixed duration, twice:
+//! Spawns the service on a loopback port, then drives `POST /v1/translate`
+//! with N concurrent keep-alive clients for a fixed duration, across two
+//! scenario axes:
 //!
-//! * **hot** — default config; clients cycle a working set of distinct
-//!   queries, so steady state is mostly cache hits (the "millions of users
-//!   asking popular questions" shape);
-//! * **cold** — cache disabled; every request runs the full GRED pipeline
-//!   (the worst-case all-unique-traffic shape).
+//! * **backend** (`--backends gred,rgvisnet,...`) — which registered
+//!   translator serves the traffic (backend selection on every request);
+//! * **cache mode** — *hot* (default config; clients cycle a working set of
+//!   distinct queries, so steady state is mostly cache hits — the "millions
+//!   of users asking popular questions" shape) vs *cold* (cache disabled;
+//!   every request runs the full model — the worst-case all-unique-traffic
+//!   shape).
 //!
 //! Reports throughput and a client-side latency distribution (p50/p95/p99),
-//! and merges a `serving` section into `BENCH_perf.json` without disturbing
-//! the sections `perfsnap` owns.
+//! and merges a `serving` section into `BENCH_perf.json` — top-level
+//! `hot`/`cold` rows for the first backend (GRED, the reference numbers)
+//! plus per-backend rows under `serving.backends` — without disturbing the
+//! sections `perfsnap` owns.
 //!
 //! Usage: `cargo run --release -p t2v-bench --bin servebench
-//!         [--quick] [--clients N] [--secs S] [--out PATH]`
+//!         [--quick] [--clients N] [--secs S] [--backends a,b] [--out PATH]`
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -34,7 +39,8 @@ struct ClientStats {
 }
 
 struct Scenario {
-    name: &'static str,
+    backend: String,
+    mode: &'static str,
     requests: u64,
     rps: f64,
     p50_us: f64,
@@ -51,35 +57,59 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let clients: usize = flag(&args, "--clients").unwrap_or(8);
     let secs: u64 = flag(&args, "--secs").unwrap_or(if quick { 1 } else { 4 });
+    let backends_arg = args
+        .iter()
+        .position(|a| a == "--backends")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "gred,rgvisnet".to_string());
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let backend_ids: Vec<String> = {
+        // Borrow the config parser for validation + ordering.
+        let mut probe = ServeConfig::default();
+        probe
+            .set("backends", &backends_arg)
+            .unwrap_or_else(|e| panic!("--backends: {}", e.message));
+        probe.backend_ids().iter().map(|s| s.to_string()).collect()
+    };
 
     println!(
-        "servebench: {clients} closed-loop clients × {secs}s per scenario ({} threads)",
+        "servebench: {clients} closed-loop clients × {secs}s per scenario, backends [{}] ({} threads)",
+        backend_ids.join(", "),
         t2v_parallel::thread_count()
     );
     let corpus = generate(&CorpusConfig::tiny(7));
 
-    let scenarios = [("hot", true), ("cold", false)].map(|(name, cache)| {
-        let mut config = ServeConfig::default();
-        config.set("addr", "127.0.0.1:0").unwrap();
-        if !cache {
-            config.set("cache_capacity", "0").unwrap();
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for id in &backend_ids {
+        for (mode, cache) in [("hot", true), ("cold", false)] {
+            let mut config = ServeConfig::default();
+            config.set("addr", "127.0.0.1:0").unwrap();
+            config.set("backends", id).unwrap();
+            if !cache {
+                config.set("cache_capacity", "0").unwrap();
+            }
+            let state = Arc::new(ServerState::from_corpus(&corpus, config));
+            let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
+            scenarios.push(run_scenario(
+                id,
+                mode,
+                &corpus,
+                &server,
+                clients,
+                Duration::from_secs(secs),
+            ));
+            server.shutdown();
         }
-        let state = Arc::new(ServerState::from_corpus(&corpus, config));
-        let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
-        let result = run_scenario(name, &corpus, &server, clients, Duration::from_secs(secs));
-        server.shutdown();
-        result
-    });
+    }
 
     for s in &scenarios {
         println!(
-            "  {:<5} {:>8.0} req/s  p50 {:>8.1} µs  p95 {:>8.1} µs  p99 {:>8.1} µs  mean {:>8.1} µs  hits {:>5.1}%  503s {}  errors {}",
-            s.name, s.rps, s.p50_us, s.p95_us, s.p99_us, s.mean_us, s.cache_hit_rate * 100.0, s.rejected, s.other_errors
+            "  {:<12}/{:<4} {:>8.0} req/s  p50 {:>8.1} µs  p95 {:>8.1} µs  p99 {:>8.1} µs  mean {:>8.1} µs  hits {:>5.1}%  503s {}  errors {}",
+            s.backend, s.mode, s.rps, s.p50_us, s.p95_us, s.p99_us, s.mean_us, s.cache_hit_rate * 100.0, s.rejected, s.other_errors
         );
     }
 
@@ -95,7 +125,8 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
 }
 
 fn run_scenario(
-    name: &str,
+    backend: &str,
+    mode: &'static str,
     corpus: &t2v_corpus::Corpus,
     server: &Server,
     clients: usize,
@@ -104,6 +135,8 @@ fn run_scenario(
     let addr = server.addr();
     // Working set: enough distinct queries that the prompt cache key space
     // is realistic, few enough that the hot scenario actually re-hits them.
+    // Every request names its backend explicitly, exercising the /v1
+    // selection path.
     let requests: Vec<Vec<u8>> = corpus
         .dev
         .iter()
@@ -112,10 +145,11 @@ fn run_scenario(
             let body = Json::obj([
                 ("nlq", Json::str(ex.nlq.as_str())),
                 ("db", Json::str(corpus.databases[ex.db].id.as_str())),
+                ("backend", Json::str(backend)),
             ])
             .compact();
             format!(
-                "POST /translate HTTP/1.1\r\nHost: servebench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                "POST /v1/translate HTTP/1.1\r\nHost: servebench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
                 body.len(),
                 body
             )
@@ -163,7 +197,8 @@ fn run_scenario(
     };
     let n = total.load(Ordering::Relaxed);
     Scenario {
-        name: if name == "hot" { "hot" } else { "cold" },
+        backend: backend.to_string(),
+        mode,
         requests: n,
         rps: n as f64 / duration.as_secs_f64(),
         p50_us: pct(0.50),
@@ -258,36 +293,51 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> Option<(u16, bool)> {
     Some((status, cache_hit))
 }
 
+fn scenario_json(s: &Scenario) -> Json {
+    let round1 = |x: f64| (x * 10.0).round() / 10.0;
+    let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
+    Json::obj([
+        ("requests", Json::Num(s.requests as f64)),
+        ("rps", Json::Num(round1(s.rps))),
+        ("p50_us", Json::Num(round1(s.p50_us))),
+        ("p95_us", Json::Num(round1(s.p95_us))),
+        ("p99_us", Json::Num(round1(s.p99_us))),
+        ("mean_us", Json::Num(round1(s.mean_us))),
+        ("cache_hit_rate", Json::Num(round3(s.cache_hit_rate))),
+        ("rejected_503", Json::Num(s.rejected as f64)),
+        ("other_errors", Json::Num(s.other_errors as f64)),
+    ])
+}
+
 /// Merge the `serving` section into the perf report, leaving everything else
-/// (perfsnap's sections) untouched.
-fn merge_report(out_path: &str, clients: usize, secs: u64, scenarios: &[Scenario; 2]) {
+/// (perfsnap's sections) untouched. The first benched backend's hot/cold
+/// rows keep the original top-level layout (the ROADMAP reference numbers);
+/// every backend additionally gets a row under `serving.backends.<id>`.
+fn merge_report(out_path: &str, clients: usize, secs: u64, scenarios: &[Scenario]) {
     let mut doc = std::fs::read_to_string(out_path)
         .ok()
         .and_then(|t| Json::parse(&t).ok())
         .unwrap_or_else(|| Json::Obj(Default::default()));
-    let round1 = |x: f64| (x * 10.0).round() / 10.0;
-    let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
     let mut serving = Json::obj([
         ("clients", Json::Num(clients as f64)),
         ("secs_per_scenario", Json::Num(secs as f64)),
         ("threads", Json::Num(t2v_parallel::thread_count() as f64)),
     ]);
-    for s in scenarios {
-        serving.set(
-            s.name,
-            Json::obj([
-                ("requests", Json::Num(s.requests as f64)),
-                ("rps", Json::Num(round1(s.rps))),
-                ("p50_us", Json::Num(round1(s.p50_us))),
-                ("p95_us", Json::Num(round1(s.p95_us))),
-                ("p99_us", Json::Num(round1(s.p99_us))),
-                ("mean_us", Json::Num(round1(s.mean_us))),
-                ("cache_hit_rate", Json::Num(round3(s.cache_hit_rate))),
-                ("rejected_503", Json::Num(s.rejected as f64)),
-                ("other_errors", Json::Num(s.other_errors as f64)),
-            ]),
-        );
+    if let Some(first) = scenarios.first() {
+        for s in scenarios.iter().filter(|s| s.backend == first.backend) {
+            serving.set(s.mode, scenario_json(s));
+        }
     }
+    let mut backends = Json::Obj(Default::default());
+    for s in scenarios {
+        let mut row = match backends.get(&s.backend) {
+            Some(existing) => existing.clone(),
+            None => Json::Obj(Default::default()),
+        };
+        row.set(s.mode, scenario_json(s));
+        backends.set(&s.backend, row);
+    }
+    serving.set("backends", backends);
     doc.set("serving", serving);
     let mut text = doc.pretty();
     text.push('\n');

@@ -11,8 +11,8 @@
 
 use std::path::PathBuf;
 use t2v_baselines::{BaselineTrainConfig, RgVisNet, Seq2Vis, TransformerBaseline};
+use t2v_core::Translator;
 use t2v_corpus::{generate, Corpus, CorpusConfig};
-use t2v_eval::Text2VisModel;
 use t2v_gred::{default_gred, Gred, GredConfig};
 use t2v_perturb::{build_rob, NvBenchRob, RobVariant};
 
@@ -159,7 +159,7 @@ impl Ctx {
     }
 
     /// Immutable access to a previously ensured model.
-    fn get_model(&self, kind: ModelKind) -> &dyn Text2VisModel {
+    fn get_model(&self, kind: ModelKind) -> &dyn Translator {
         match kind {
             ModelKind::Seq2Vis => self.seq2vis.as_ref().expect("ensured"),
             ModelKind::Transformer => self.transformer.as_ref().expect("ensured"),
@@ -171,7 +171,7 @@ impl Ctx {
         }
     }
 
-    fn model(&mut self, kind: ModelKind) -> &dyn Text2VisModel {
+    fn model(&mut self, kind: ModelKind) -> &dyn Translator {
         match kind {
             ModelKind::Seq2Vis => {
                 if self.seq2vis.is_none() {
@@ -218,7 +218,7 @@ impl Ctx {
                     .iter()
                     .find(|(k, _)| *k == kind)
                     .expect("just inserted");
-                g as &dyn Text2VisModel
+                g as &dyn Translator
             }
         }
     }

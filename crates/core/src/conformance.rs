@@ -1,0 +1,249 @@
+//! The trait-conformance suite: property checks every registered backend
+//! must pass, independent of what it translates *to*. Run it from any test
+//! that can build a backend:
+//!
+//! ```ignore
+//! let problems = conformance::check_backend("gred", &gred, &requests);
+//! assert!(problems.is_empty(), "{problems:?}");
+//! ```
+//!
+//! Checks, per request:
+//!
+//! 1. **Determinism / byte-stability** — two calls return the same result,
+//!    output-wise (timings excluded): same DVQ, same stages, or the same
+//!    structured error.
+//! 2. **Valid staged response** — on success the stage list is non-empty,
+//!    every stage name is declared in [`BackendInfo::stages`] in pipeline
+//!    order, and the final DVQ equals the last stage that produced one.
+//! 3. **Parseable output** — the final DVQ parses as a DVQ.
+//! 4. **Streaming agreement** — `translate_streamed` delivers exactly the
+//!    response's stages, in order.
+//! 5. **Input validation** — an empty/whitespace NLQ is
+//!    [`TranslateError::EmptyQuery`], never a panic or a success.
+
+use crate::api::{StageRecord, TranslateError, TranslateRequest, TranslateResponse, Translator};
+
+/// Strip timings so errors compare output-wise.
+fn scrub_err(mut e: TranslateError) -> TranslateError {
+    if let TranslateError::NoOutput { stages, .. } | TranslateError::InvalidOutput { stages, .. } =
+        &mut e
+    {
+        for s in stages {
+            s.micros = 0;
+        }
+    }
+    e
+}
+
+fn same_result(
+    a: &Result<TranslateResponse, TranslateError>,
+    b: &Result<TranslateResponse, TranslateError>,
+) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => x.same_output(y),
+        (Err(x), Err(y)) => scrub_err(x.clone()) == scrub_err(y.clone()),
+        _ => false,
+    }
+}
+
+/// Check one successful response's internal consistency.
+fn check_response(id: &str, t: &dyn Translator, resp: &TranslateResponse, out: &mut Vec<String>) {
+    let info = t.info();
+    if resp.backend != info.name {
+        out.push(format!(
+            "[{id}] response backend '{}' != info().name '{}'",
+            resp.backend, info.name
+        ));
+    }
+    if resp.stages.is_empty() {
+        out.push(format!("[{id}] successful response has no stages"));
+    }
+    // Stage names must be declared, and appear in declaration order.
+    let mut cursor = 0usize;
+    for s in &resp.stages {
+        match info.stages[cursor..].iter().position(|n| *n == s.name) {
+            Some(offset) => cursor += offset + 1,
+            None => out.push(format!(
+                "[{id}] stage '{}' not declared (in order) in info().stages {:?}",
+                s.name, info.stages
+            )),
+        }
+    }
+    match resp.stages.iter().rev().find_map(|s| s.dvq.as_deref()) {
+        Some(last) => {
+            if last != resp.dvq {
+                out.push(format!(
+                    "[{id}] final dvq differs from last stage output: {:?} vs {:?}",
+                    resp.dvq, last
+                ));
+            }
+        }
+        None => out.push(format!("[{id}] success but no stage carries a DVQ")),
+    }
+    if let Err(e) = t2v_dvq::parse(&resp.dvq) {
+        out.push(format!(
+            "[{id}] final DVQ does not parse ({e}): {}",
+            resp.dvq
+        ));
+    }
+}
+
+/// Run the whole suite over `requests`. Returns every violation found
+/// (empty ⇒ conformant).
+pub fn check_backend(
+    id: &str,
+    t: &dyn Translator,
+    requests: &[TranslateRequest<'_>],
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let info = t.info();
+    if info.name.trim().is_empty() {
+        out.push(format!("[{id}] info().name is empty"));
+    }
+    if info.stages.is_empty() {
+        out.push(format!("[{id}] info().stages is empty"));
+    }
+
+    for (i, req) in requests.iter().enumerate() {
+        let first = t.translate(req);
+        let second = t.translate(req);
+        if info.deterministic && !same_result(&first, &second) {
+            out.push(format!(
+                "[{id}] request #{i} is not byte-stable across repeated calls"
+            ));
+        }
+        if let Ok(resp) = &first {
+            check_response(id, t, resp, &mut out);
+        }
+
+        // Streaming must agree with the response it returns.
+        let mut streamed: Vec<StageRecord> = Vec::new();
+        let via_stream = t.translate_streamed(req, &mut |s: &StageRecord| streamed.push(s.clone()));
+        match (&first, &via_stream) {
+            (Ok(a), Ok(b)) => {
+                if info.deterministic && !a.same_output(b) {
+                    out.push(format!("[{id}] request #{i}: streamed result differs"));
+                }
+                if streamed.len() != b.stages.len()
+                    || !streamed
+                        .iter()
+                        .zip(&b.stages)
+                        .all(|(x, y)| x.same_output(y))
+                {
+                    out.push(format!(
+                        "[{id}] request #{i}: sink saw {} stages, response has {}",
+                        streamed.len(),
+                        b.stages.len()
+                    ));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ if info.deterministic => {
+                out.push(format!(
+                    "[{id}] request #{i}: translate and translate_streamed disagree on success"
+                ));
+            }
+            _ => {}
+        }
+
+        // Empty input is a structured error.
+        let empty = TranslateRequest::new("   ", req.db);
+        match t.translate(&empty) {
+            Err(TranslateError::EmptyQuery) => {}
+            other => out.push(format!(
+                "[{id}] empty NLQ must be EmptyQuery, got {other:?}"
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{FnBackend, Translator};
+    use t2v_corpus::{generate, CorpusConfig, Database};
+
+    #[test]
+    fn a_well_behaved_backend_passes() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let db = &corpus.databases[0];
+        // Answer with a gold DVQ from the corpus: parseable by construction.
+        let gold = corpus.train[0].dvq_text.clone();
+        let oracle = FnBackend::new("oracle", move |_: &str, _: &Database| Some(gold.clone()));
+        let reqs = [
+            TranslateRequest::new("show wages by city", db),
+            TranslateRequest::new("a bar chart of salaries", db),
+        ];
+        let problems = check_backend("oracle", &oracle, &reqs);
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn unparseable_output_and_bad_validation_are_flagged() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let db = &corpus.databases[0];
+        let garbage = FnBackend::new("garbage", |_: &str, _: &Database| {
+            Some("this is not a DVQ".to_string())
+        });
+        let reqs = [TranslateRequest::new("anything", db)];
+        let problems = check_backend("garbage", &garbage, &reqs);
+        assert!(
+            problems.iter().any(|p| p.contains("does not parse")),
+            "{problems:?}"
+        );
+
+        // A backend that "succeeds" on empty input violates validation.
+        struct NoValidate;
+        impl Translator for NoValidate {
+            fn info(&self) -> crate::api::BackendInfo {
+                crate::api::BackendInfo {
+                    name: "novalidate".into(),
+                    kind: crate::api::BackendKind::Other,
+                    stages: vec!["model"],
+                    deterministic: true,
+                    description: String::new(),
+                }
+            }
+            fn translate(
+                &self,
+                _req: &TranslateRequest<'_>,
+            ) -> Result<crate::api::TranslateResponse, TranslateError> {
+                crate::api::single_stage_response(
+                    "novalidate",
+                    "model",
+                    Some("Visualize BAR SELECT a , b FROM t".into()),
+                    0,
+                )
+            }
+        }
+        let problems = check_backend("novalidate", &NoValidate, &reqs);
+        assert!(
+            problems.iter().any(|p| p.contains("EmptyQuery")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn nondeterminism_is_flagged_for_deterministic_backends() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let db = &corpus.databases[0];
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let gold_a = corpus.train[0].dvq_text.clone();
+        let gold_b = corpus.train[1].dvq_text.clone();
+        let flaky = FnBackend::new("flaky", move |_: &str, _: &Database| {
+            let n = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Some(if n.is_multiple_of(2) {
+                gold_a.clone()
+            } else {
+                gold_b.clone()
+            })
+        });
+        let reqs = [TranslateRequest::new("anything", db)];
+        let problems = check_backend("flaky", &flaky, &reqs);
+        assert!(
+            problems.iter().any(|p| p.contains("byte-stable")),
+            "{problems:?}"
+        );
+    }
+}

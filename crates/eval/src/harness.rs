@@ -3,16 +3,9 @@
 
 use crate::metrics::{Accuracies, Tally};
 use std::fmt;
-use t2v_corpus::{Corpus, Database};
+use t2v_core::Translator;
+use t2v_corpus::Corpus;
 use t2v_perturb::{NvBenchRob, RobExample, RobVariant};
-
-/// A text-to-vis system under evaluation: NLQ + database → DVQ text.
-pub trait Text2VisModel {
-    fn name(&self) -> &str;
-
-    /// Translate; `None` means the model produced no usable output.
-    fn predict(&self, nlq: &str, db: &Database) -> Option<String>;
-}
 
 /// Per-example record kept for case studies and error analysis.
 #[derive(Debug, Clone)]
@@ -95,9 +88,13 @@ fn collect_run(
     }
 }
 
-/// Evaluate `model` on one variant's test set.
+/// Evaluate a backend on one variant's test set.
+///
+/// Any [`Translator`] works — `Gred`, a baseline, or an ad-hoc
+/// [`t2v_core::FnBackend`]; predictions are the final DVQ of a successful
+/// translation (`None` on any [`t2v_core::TranslateError`]).
 pub fn evaluate_set(
-    model: &dyn Text2VisModel,
+    model: &dyn Translator,
     corpus: &Corpus,
     rob: &NvBenchRob,
     variant: RobVariant,
@@ -109,16 +106,17 @@ pub fn evaluate_set(
         .iter()
         .map(|ex| grade(model.predict(&ex.nlq, rob.database(corpus, ex)), ex))
         .collect();
-    collect_run(model.name().to_string(), variant, graded, &set[..n])
+    collect_run(model.info().name, variant, graded, &set[..n])
 }
 
 /// [`evaluate_set`] with predictions fanned across threads.
 ///
 /// Records and tallies are produced in test-set order regardless of thread
 /// scheduling, so the result is identical to the sequential harness for any
-/// deterministic model.
+/// deterministic model. ([`Translator`] is `Send + Sync` by contract, so
+/// any backend fans out.)
 pub fn evaluate_set_parallel(
-    model: &(dyn Text2VisModel + Sync),
+    model: &dyn Translator,
     corpus: &Corpus,
     rob: &NvBenchRob,
     variant: RobVariant,
@@ -129,7 +127,7 @@ pub fn evaluate_set_parallel(
     let graded = t2v_parallel::par_map(&set[..n], |ex| {
         grade(model.predict(&ex.nlq, rob.database(corpus, ex)), ex)
     });
-    collect_run(model.name().to_string(), variant, graded, &set[..n])
+    collect_run(model.info().name, variant, graded, &set[..n])
 }
 
 /// Evaluate a model from pre-computed predictions (used when predictions are
@@ -160,48 +158,30 @@ pub fn evaluate_predictions(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use t2v_corpus::{generate, CorpusConfig};
+    use t2v_core::FnBackend;
+    use t2v_corpus::{generate, CorpusConfig, Database};
     use t2v_perturb::build_rob;
 
     /// An oracle that always answers with the gold DVQ.
-    struct Oracle<'a> {
-        rob: &'a NvBenchRob,
-        variant: RobVariant,
-    }
-
-    impl<'a> Text2VisModel for Oracle<'a> {
-        fn name(&self) -> &str {
-            "oracle"
-        }
-        fn predict(&self, nlq: &str, _db: &Database) -> Option<String> {
-            self.rob
-                .set(self.variant)
+    fn oracle(rob: &NvBenchRob, variant: RobVariant) -> impl Translator + '_ {
+        FnBackend::new("oracle", move |nlq: &str, _db: &Database| {
+            rob.set(variant)
                 .iter()
                 .find(|e| e.nlq == nlq)
                 .map(|e| e.target_text.clone())
-        }
+        })
     }
 
     /// A model that always fails.
-    struct Mute;
-
-    impl Text2VisModel for Mute {
-        fn name(&self) -> &str {
-            "mute"
-        }
-        fn predict(&self, _nlq: &str, _db: &Database) -> Option<String> {
-            None
-        }
+    fn mute() -> impl Translator {
+        FnBackend::new("mute", |_: &str, _: &Database| None)
     }
 
     #[test]
     fn oracle_scores_hundred_percent() {
         let corpus = generate(&CorpusConfig::tiny(7));
         let rob = build_rob(&corpus, 1);
-        let oracle = Oracle {
-            rob: &rob,
-            variant: RobVariant::Both,
-        };
+        let oracle = oracle(&rob, RobVariant::Both);
         let run = evaluate_set(&oracle, &corpus, &rob, RobVariant::Both, Some(25));
         assert_eq!(run.accuracies.overall, 1.0);
         assert_eq!(run.accuracies.n, 25);
@@ -211,7 +191,7 @@ mod tests {
     fn mute_scores_zero() {
         let corpus = generate(&CorpusConfig::tiny(7));
         let rob = build_rob(&corpus, 1);
-        let run = evaluate_set(&Mute, &corpus, &rob, RobVariant::Nlq, Some(10));
+        let run = evaluate_set(&mute(), &corpus, &rob, RobVariant::Nlq, Some(10));
         assert_eq!(run.accuracies.overall, 0.0);
         assert_eq!(run.records.len(), 10);
         assert!(run.records.iter().all(|r| !r.overall_match));
@@ -252,10 +232,7 @@ mod tests {
     fn parallel_evaluation_matches_sequential() {
         let corpus = generate(&CorpusConfig::tiny(7));
         let rob = build_rob(&corpus, 1);
-        let oracle = Oracle {
-            rob: &rob,
-            variant: RobVariant::Nlq,
-        };
+        let oracle = oracle(&rob, RobVariant::Nlq);
         let seq = evaluate_set(&oracle, &corpus, &rob, RobVariant::Nlq, Some(30));
         let par = evaluate_set_parallel(&oracle, &corpus, &rob, RobVariant::Nlq, Some(30));
         assert_eq!(seq.accuracies, par.accuracies);

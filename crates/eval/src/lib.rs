@@ -3,9 +3,11 @@
 //! Implements the paper's four metrics (Appendix A): **Vis Accuracy** (chart
 //! type), **Axis Accuracy** (x/y expressions + axis sorting), **Data
 //! Accuracy** (tables, joins, filters, grouping, binning, limits — style
-//! sensitive) and **Overall Accuracy** (exact match). Plus the
-//! [`harness::Text2VisModel`] trait every evaluated system implements, and
-//! paper-style table/CSV reporting.
+//! sensitive) and **Overall Accuracy** (exact match). Every evaluated
+//! system implements the [`t2v_core::Translator`] backend trait (the former
+//! eval-only `Text2VisModel` trait is retired in its favour); the harness
+//! consumes `&dyn Translator`, so the same backend objects serve traffic,
+//! run benches, and get graded. Plus paper-style table/CSV reporting.
 
 pub mod breakdown;
 pub mod harness;
@@ -14,8 +16,9 @@ pub mod report;
 
 pub use breakdown::{by_chart, by_hardness, error_profile, Breakdown, ErrorProfile};
 pub use harness::{
-    evaluate_predictions, evaluate_set, evaluate_set_parallel, EvalError, EvalRun,
-    PredictionRecord, Text2VisModel,
+    evaluate_predictions, evaluate_set, evaluate_set_parallel, EvalError, EvalRun, PredictionRecord,
 };
+// Re-exported so downstream crates can name the backend API through eval.
 pub use metrics::{Accuracies, Tally};
 pub use report::{csv_row, render_overall_table, render_table, write_csv};
+pub use t2v_core::{TranslateRequest, TranslateResponse, Translator};

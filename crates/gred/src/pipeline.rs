@@ -3,6 +3,11 @@
 
 use crate::library::{AnnotationStore, EmbeddingLibrary};
 use std::sync::Arc;
+use std::time::Instant;
+use t2v_core::{
+    BackendInfo, BackendKind, StageRecord, StageSink, TranslateError, TranslateRequest,
+    TranslateResponse, Translator,
+};
 use t2v_corpus::{Corpus, Database};
 use t2v_embed::{Hit, TextEmbedder};
 use t2v_llm::api::{ChatModel, ChatParams};
@@ -167,11 +172,27 @@ impl<M: ChatModel> Gred<M> {
         db: &Database,
         retriever: &impl Retrieve,
     ) -> GredOutput {
+        self.translate_observed(nlq, db, retriever, &mut |_: &StageRecord| {})
+    }
+
+    /// The pipeline proper, delivering each stage's [`StageRecord`] (output
+    /// and wall-clock micros) to `observe` the moment the stage completes —
+    /// the seam behind both the [`Translator`] impl and `t2v-serve`'s
+    /// NDJSON stage streaming. Identical translation behaviour to
+    /// [`Gred::translate_with`]; observation adds timing only.
+    pub fn translate_observed(
+        &self,
+        nlq: &str,
+        db: &Database,
+        retriever: &impl Retrieve,
+        observe: &mut dyn FnMut(&StageRecord),
+    ) -> GredOutput {
         let schema_text = db.render_prompt_schema();
 
         // ----- stage 1: NLQ-Retrieval Generator -----
         // The embedder's output is already L2-normalised, so retrieval can
         // skip its defensive renormalisation copy.
+        let t0 = Instant::now();
         let qv = self.embedder.embed(nlq);
         let mut hits = retriever.retrieve_nlq(&qv, self.config.k);
         // `top_k` returns best-first (descending similarity); the paper
@@ -198,6 +219,11 @@ impl<M: ChatModel> Gred<M> {
             &ChatParams::working(),
         );
         let dvq_gen = extract_dvq(&gen_answer);
+        observe(&StageRecord::new(
+            "generator",
+            dvq_gen.clone(),
+            t0.elapsed().as_micros() as u64,
+        ));
         let Some(dvq_gen) = dvq_gen else {
             return GredOutput {
                 dvq_gen: None,
@@ -208,6 +234,7 @@ impl<M: ChatModel> Gred<M> {
 
         // ----- stage 2: DVQ-Retrieval Retuner -----
         let dvq_rtn = if self.config.use_retuner {
+            let t1 = Instant::now();
             let dv = self.embedder.embed(&dvq_gen);
             let refs: Vec<&str> = retriever
                 .retrieve_dvq(&dv, self.config.k)
@@ -218,7 +245,13 @@ impl<M: ChatModel> Gred<M> {
                 &prompts::retune_prompt(&refs, &dvq_gen),
                 &ChatParams::working(),
             );
-            extract_dvq(&answer)
+            let dvq_rtn = extract_dvq(&answer);
+            observe(&StageRecord::new(
+                "retuner",
+                dvq_rtn.clone(),
+                t1.elapsed().as_micros() as u64,
+            ));
+            dvq_rtn
         } else {
             None
         };
@@ -226,12 +259,19 @@ impl<M: ChatModel> Gred<M> {
         // ----- stage 3: Annotation-based Debugger -----
         let current = dvq_rtn.clone().unwrap_or_else(|| dvq_gen.clone());
         let dvq_dbg = if self.config.use_debugger {
+            let t2 = Instant::now();
             let annotations = self.annotations.annotation_for(db, &self.model);
             let answer = self.model.complete(
                 &prompts::debug_prompt(&schema_text, &annotations, &current),
                 &ChatParams::working(),
             );
-            extract_dvq(&answer)
+            let dvq_dbg = extract_dvq(&answer);
+            observe(&StageRecord::new(
+                "debugger",
+                dvq_dbg.clone(),
+                t2.elapsed().as_micros() as u64,
+            ));
+            dvq_dbg
         } else {
             None
         };
@@ -243,14 +283,8 @@ impl<M: ChatModel> Gred<M> {
         }
     }
 
-    /// Convenience: translate and return only the final DVQ text.
-    pub fn translate_final(&self, nlq: &str, db: &Database) -> Option<String> {
-        self.translate(nlq, db).final_dvq().map(str::to_string)
-    }
-}
-
-impl<M: ChatModel> t2v_eval::Text2VisModel for Gred<M> {
-    fn name(&self) -> &str {
+    /// The display name the evaluation tables use (ablation-aware).
+    pub fn display_name(&self) -> &'static str {
         match (self.config.use_retuner, self.config.use_debugger) {
             (true, true) => "GRED",
             (false, true) => "GRED w/o RTN",
@@ -259,8 +293,78 @@ impl<M: ChatModel> t2v_eval::Text2VisModel for Gred<M> {
         }
     }
 
-    fn predict(&self, nlq: &str, db: &Database) -> Option<String> {
-        self.translate_final(nlq, db)
+    /// Backend-API translation with a caller-supplied retriever — the seam
+    /// `t2v-serve` uses to route the two top-k lookups through its
+    /// micro-batcher while still speaking [`Translator`] types. Pass a sink
+    /// to receive stages as they complete.
+    pub fn translate_api(
+        &self,
+        req: &TranslateRequest<'_>,
+        retriever: &impl Retrieve,
+        mut sink: Option<&mut dyn StageSink>,
+    ) -> Result<TranslateResponse, TranslateError> {
+        req.validate()?;
+        let mut stages: Vec<StageRecord> = Vec::new();
+        let out = self.translate_observed(req.nlq, req.db, retriever, &mut |s: &StageRecord| {
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.stage(s);
+            }
+            stages.push(s.clone());
+        });
+        match out.final_dvq() {
+            Some(dvq) => Ok(TranslateResponse {
+                backend: self.display_name().to_string(),
+                dvq: dvq.to_string(),
+                stages,
+            }),
+            None => Err(TranslateError::NoOutput {
+                backend: self.display_name().to_string(),
+                stages,
+            }),
+        }
+    }
+
+    /// Convenience: translate and return only the final DVQ text.
+    pub fn translate_final(&self, nlq: &str, db: &Database) -> Option<String> {
+        self.translate(nlq, db).final_dvq().map(str::to_string)
+    }
+}
+
+/// The paper's contribution as a [`Translator`] backend: staged responses
+/// report generator/retuner/debugger outputs with per-stage timings, and
+/// streaming delivers each stage as the pipeline produces it.
+impl<M: ChatModel + Send + Sync> Translator for Gred<M> {
+    fn info(&self) -> BackendInfo {
+        let mut stages = vec!["generator"];
+        if self.config.use_retuner {
+            stages.push("retuner");
+        }
+        if self.config.use_debugger {
+            stages.push("debugger");
+        }
+        BackendInfo {
+            name: self.display_name().to_string(),
+            kind: BackendKind::RetrievalAugmentedLlm,
+            stages,
+            deterministic: true,
+            description: format!(
+                "retrieval-augmented LLM pipeline (k={}) over a {}-example embedding library",
+                self.config.k,
+                self.library.len()
+            ),
+        }
+    }
+
+    fn translate(&self, req: &TranslateRequest<'_>) -> Result<TranslateResponse, TranslateError> {
+        self.translate_api(req, &DirectRetriever(&self.library), None)
+    }
+
+    fn translate_streamed(
+        &self,
+        req: &TranslateRequest<'_>,
+        sink: &mut dyn StageSink,
+    ) -> Result<TranslateResponse, TranslateError> {
+        self.translate_api(req, &DirectRetriever(&self.library), Some(sink))
     }
 }
 
@@ -388,6 +492,52 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed),
             1
         );
+    }
+
+    #[test]
+    fn translator_api_is_byte_identical_to_legacy_pipeline() {
+        let (corpus, gred) = fixture();
+        for ex in corpus.dev.iter().take(8) {
+            let db = &corpus.databases[ex.db];
+            let legacy = gred.translate(&ex.nlq, db);
+            let req = TranslateRequest::new(&ex.nlq, db);
+            let resp = Translator::translate(&gred, &req).expect("GRED output");
+            // The final DVQ and every stage output mirror GredOutput exactly.
+            assert_eq!(Some(resp.dvq.as_str()), legacy.final_dvq());
+            let stage = |name: &str| {
+                resp.stages
+                    .iter()
+                    .find(|s| s.name == name)
+                    .and_then(|s| s.dvq.clone())
+            };
+            assert_eq!(stage("generator"), legacy.dvq_gen);
+            assert_eq!(stage("retuner"), legacy.dvq_rtn);
+            assert_eq!(stage("debugger"), legacy.dvq_dbg);
+            assert_eq!(resp.stages.len(), 3);
+
+            // Streaming delivers exactly those stages, in pipeline order.
+            let mut streamed: Vec<StageRecord> = Vec::new();
+            let via_stream = gred
+                .translate_streamed(&req, &mut |s: &StageRecord| streamed.push(s.clone()))
+                .unwrap();
+            assert!(via_stream.same_output(&resp));
+            assert_eq!(streamed.len(), 3);
+            assert!(streamed
+                .iter()
+                .zip(&via_stream.stages)
+                .all(|(a, b)| a.same_output(b)));
+        }
+        // Ablations shrink the declared and emitted stage lists together.
+        let gen_only = default_gred(&corpus, GredConfig::default().generator_only());
+        assert_eq!(gen_only.info().stages, vec!["generator"]);
+        let ex = &corpus.dev[0];
+        let resp = Translator::translate(
+            &gen_only,
+            &TranslateRequest::new(&ex.nlq, &corpus.databases[ex.db]),
+        )
+        .unwrap();
+        assert_eq!(resp.stages.len(), 1);
+        assert_eq!(resp.backend, "GRED w/o RTN&DBG");
     }
 
     #[test]

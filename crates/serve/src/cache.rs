@@ -216,6 +216,88 @@ impl<K: Hash + Eq + Clone, V> Core<K, V> {
     }
 }
 
+/// [`TtlLruCache`] sharded into N independently-locked sub-caches, keyed by
+/// the request hash. Under concurrent load each insert/get contends only on
+/// its own shard's mutex, so the cache scales with cores instead of
+/// serialising every hit on one lock. Total capacity is split evenly
+/// (rounded up) across shards; a key always maps to the same shard, so all
+/// single-shard semantics (TTL, LRU order, hit byte-identity) carry over.
+pub struct ShardedTtlLruCache<K, V> {
+    shards: Vec<TtlLruCache<K, V>>,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedTtlLruCache<K, V> {
+    /// `capacity` is the *total* across shards (0 disables caching).
+    pub fn new(capacity: usize, ttl: Option<Duration>, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedTtlLruCache {
+            shards: (0..shards)
+                .map(|_| TtlLruCache::new(per_shard, ttl))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &TtlLruCache<K, V> {
+        use std::hash::Hasher as _;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).get(key)
+    }
+
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).insert(key, value)
+    }
+
+    pub fn get_at(&self, key: &K, now: Instant) -> Option<V> {
+        self.shard(key).get_at(key, now)
+    }
+
+    pub fn insert_at(&self, key: K, value: V, now: Instant) {
+        self.shard(&key).insert_at(key, value, now)
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(TtlLruCache::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate statistics across every shard.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            len: 0,
+            hits: 0,
+            misses: 0,
+            expired: 0,
+            evicted: 0,
+        };
+        for s in &self.shards {
+            let st = s.stats();
+            total.len += st.len;
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.expired += st.expired;
+            total.evicted += st.evicted;
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +361,62 @@ mod tests {
         // 2 live slots + at most a couple recycled: the arena must not have
         // grown linearly with insert count.
         assert!(c.lock().slots.len() <= 4, "arena leaked slots");
+    }
+
+    #[test]
+    fn sharded_cache_routes_keys_stably_and_respects_ttl() {
+        let c: ShardedTtlLruCache<u64, u64> =
+            ShardedTtlLruCache::new(64, Some(Duration::from_secs(10)), 8);
+        assert_eq!(c.shard_count(), 8);
+        let now = t0();
+        for k in 0..40u64 {
+            c.insert_at(k, k * 10, now);
+        }
+        // Every key is retrievable (routing is stable) and TTL still works.
+        for k in 0..40u64 {
+            assert_eq!(c.get_at(&k, now), Some(k * 10));
+            assert_eq!(c.get_at(&k, now + Duration::from_secs(10)), None);
+        }
+        let stats = c.stats();
+        assert_eq!(stats.hits, 40);
+        assert_eq!(stats.expired, 40);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_zero_capacity_disables_and_splits_capacity() {
+        let off: ShardedTtlLruCache<u64, u64> = ShardedTtlLruCache::new(0, None, 4);
+        off.insert(1, 1);
+        assert_eq!(off.get(&1), None);
+
+        // Total capacity bounds the aggregate size (per-shard split may
+        // round up, so allow the documented ceiling).
+        let c: ShardedTtlLruCache<u64, u64> = ShardedTtlLruCache::new(16, None, 4);
+        for k in 0..1000u64 {
+            c.insert(k, k);
+        }
+        assert!(c.len() <= 16, "len {} exceeds total capacity", c.len());
+        assert!(c.stats().evicted > 0);
+    }
+
+    #[test]
+    fn sharded_cache_concurrent_access_is_consistent() {
+        let c = std::sync::Arc::new(ShardedTtlLruCache::new(64, None, 8));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        let k = (t * 13 + i) % 80;
+                        c.insert(k, k);
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(v, k, "a key must only ever map to its own value");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 64);
     }
 
     #[test]

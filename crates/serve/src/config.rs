@@ -24,6 +24,18 @@ impl CorpusProfile {
     }
 }
 
+/// What the deprecated unversioned `POST /translate` route answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegacyRoute {
+    /// `308 Permanent Redirect` + `Location: /v1/translate` (default).
+    Redirect,
+    /// `410 Gone`.
+    Gone,
+}
+
+/// The backend ids `t2v-serve` knows how to construct.
+pub const KNOWN_BACKENDS: &[&str] = &["gred", "seq2vis", "transformer", "rgvisnet", "neural"];
+
 /// Every tunable of the serving subsystem.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -44,10 +56,13 @@ pub struct ServeConfig {
     pub keep_alive_secs: u64,
     /// Request bodies above this many bytes get 413.
     pub max_body_bytes: usize,
-    /// Translation cache entries (0 disables the cache).
+    /// Translation cache entries across all shards (0 disables the cache).
     pub cache_capacity: usize,
     /// Cache TTL in seconds (0 ⇒ entries never expire).
     pub cache_ttl_secs: u64,
+    /// Independently-locked cache shards. 0 ⇒ derive from the worker count
+    /// (next power of two, capped at 64).
+    pub cache_shards: usize,
     /// Route worker retrieval through the micro-batcher?
     pub batch: bool,
     /// Linger this many µs after the first queued lookup before flushing
@@ -58,6 +73,14 @@ pub struct ServeConfig {
     pub store_seed: u64,
     /// Corpus the embedding library is prepared over.
     pub corpus: CorpusProfile,
+    /// Which backends to register, comma-separated (see
+    /// [`KNOWN_BACKENDS`]); the first is the default for requests that do
+    /// not name one.
+    pub backends: String,
+    /// Deprecation behaviour of the legacy unversioned `POST /translate`.
+    pub legacy_translate: LegacyRoute,
+    /// Items allowed in one `/v1/translate/batch` request.
+    pub max_batch_items: usize,
     /// GRED knobs (paper defaults).
     pub gred_k: usize,
     pub gred_retuner: bool,
@@ -79,11 +102,15 @@ impl Default for ServeConfig {
             max_body_bytes: 64 * 1024,
             cache_capacity: 4096,
             cache_ttl_secs: 600,
+            cache_shards: 0,
             batch: true,
             batch_window_us: 0,
             store_rows: 30,
             store_seed: 7,
             corpus: CorpusProfile::Tiny(7),
+            backends: "gred,seq2vis,transformer,rgvisnet,neural".to_string(),
+            legacy_translate: LegacyRoute::Redirect,
+            max_batch_items: 64,
             gred_k: 10,
             gred_retuner: true,
             gred_debugger: true,
@@ -165,11 +192,25 @@ impl ServeConfig {
             "max_body_bytes" => self.max_body_bytes = parse_usize(key, value)?,
             "cache_capacity" => self.cache_capacity = parse_usize(key, value)?,
             "cache_ttl_secs" => self.cache_ttl_secs = parse_u64(key, value)?,
+            "cache_shards" => self.cache_shards = parse_usize(key, value)?,
             "batch" => self.batch = parse_bool(key, value)?,
             "batch_window_us" => self.batch_window_us = parse_u64(key, value)?,
             "store_rows" => self.store_rows = parse_usize(key, value)?,
             "store_seed" => self.store_seed = parse_u64(key, value)?,
             "corpus" => self.corpus = parse_corpus(value)?,
+            "backends" => self.backends = parse_backends(value)?,
+            "legacy_translate" => {
+                self.legacy_translate = match value {
+                    "redirect" => LegacyRoute::Redirect,
+                    "gone" => LegacyRoute::Gone,
+                    _ => {
+                        return Err(err(format!(
+                            "legacy_translate: '{value}' is not a policy (redirect|gone)"
+                        )))
+                    }
+                }
+            }
+            "max_batch_items" => self.max_batch_items = parse_usize(key, value)?,
             "gred_k" => self.gred_k = parse_usize(key, value)?,
             "gred_retuner" => self.gred_retuner = parse_bool(key, value)?,
             "gred_debugger" => self.gred_debugger = parse_bool(key, value)?,
@@ -195,6 +236,25 @@ impl ServeConfig {
         } else {
             self.effective_workers().div_ceil(4)
         }
+    }
+
+    /// Resolved cache shard count: explicit, or worker count rounded up to
+    /// a power of two (capped at 64, at least 1).
+    pub fn effective_cache_shards(&self) -> usize {
+        if self.cache_shards > 0 {
+            self.cache_shards
+        } else {
+            self.effective_workers().next_power_of_two().clamp(1, 64)
+        }
+    }
+
+    /// Parsed, ordered backend ids (validated at `set` time).
+    pub fn backend_ids(&self) -> Vec<&str> {
+        self.backends
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect()
     }
 
     pub fn cache_ttl(&self) -> Option<Duration> {
@@ -226,11 +286,15 @@ pub const KEYS: &[&str] = &[
     "max_body_bytes",
     "cache_capacity",
     "cache_ttl_secs",
+    "cache_shards",
     "batch",
     "batch_window_us",
     "store_rows",
     "store_seed",
     "corpus",
+    "backends",
+    "legacy_translate",
+    "max_batch_items",
     "gred_k",
     "gred_retuner",
     "gred_debugger",
@@ -255,6 +319,27 @@ fn parse_bool(key: &str, value: &str) -> Result<bool, ConfigError> {
         "false" | "0" | "off" | "no" => Ok(false),
         _ => Err(err(format!("{key}: '{value}' is not a boolean"))),
     }
+}
+
+/// A comma-separated, deduplicated list of [`KNOWN_BACKENDS`] ids.
+fn parse_backends(value: &str) -> Result<String, ConfigError> {
+    let mut seen: Vec<&str> = Vec::new();
+    for id in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        if !KNOWN_BACKENDS.contains(&id) {
+            return Err(err(format!(
+                "backends: unknown backend '{id}' (known: {})",
+                KNOWN_BACKENDS.join(", ")
+            )));
+        }
+        if seen.contains(&id) {
+            return Err(err(format!("backends: '{id}' listed twice")));
+        }
+        seen.push(id);
+    }
+    if seen.is_empty() {
+        return Err(err("backends: the list is empty"));
+    }
+    Ok(seen.join(","))
 }
 
 /// `tiny:SEED` or `paper:SEED` (seed optional, default 7).
@@ -320,12 +405,40 @@ mod tests {
             let value = match *key {
                 "addr" => "127.0.0.1:0",
                 "corpus" => "tiny:3",
+                "backends" => "gred,rgvisnet",
+                "legacy_translate" => "gone",
                 "batch" | "gred_retuner" | "gred_debugger" => "true",
                 _ => "5",
             };
             cfg.set(key, value)
                 .unwrap_or_else(|e| panic!("key {key}: {e}"));
         }
+    }
+
+    #[test]
+    fn backend_list_is_validated_ordered_and_deduplicated() {
+        let mut cfg = ServeConfig::default();
+        assert_eq!(
+            cfg.backend_ids(),
+            vec!["gred", "seq2vis", "transformer", "rgvisnet", "neural"]
+        );
+        cfg.set("backends", "rgvisnet, gred").unwrap();
+        assert_eq!(cfg.backend_ids(), vec!["rgvisnet", "gred"]);
+        assert!(cfg.set("backends", "gred,unknown_model").is_err());
+        assert!(cfg.set("backends", "gred,gred").is_err());
+        assert!(cfg.set("backends", "").is_err());
+        assert!(cfg.set("legacy_translate", "teapot").is_err());
+        cfg.set("legacy_translate", "gone").unwrap();
+        assert_eq!(cfg.legacy_translate, LegacyRoute::Gone);
+    }
+
+    #[test]
+    fn cache_shards_derive_from_workers() {
+        let mut cfg = ServeConfig::default();
+        cfg.set("workers", "6").unwrap();
+        assert_eq!(cfg.effective_cache_shards(), 8);
+        cfg.set("cache_shards", "3").unwrap();
+        assert_eq!(cfg.effective_cache_shards(), 3);
     }
 
     #[test]

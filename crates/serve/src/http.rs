@@ -242,12 +242,22 @@ impl Response {
         }
     }
 
-    /// A JSON error envelope: `{"error": "..."}`.
-    pub fn error(status: u16, message: &str) -> Response {
-        let mut body = String::from("{\"error\": ");
+    /// A structured JSON error envelope with an explicit machine-readable
+    /// code: `{"error": {"code": "...", "message": "..."}}`. Codes come
+    /// from the [`t2v_core::TranslateError`] taxonomy plus the HTTP-level
+    /// codes in [`default_error_code`].
+    pub fn error_code(status: u16, code: &str, message: &str) -> Response {
+        let mut body = String::from("{\"error\": {\"code\": ");
+        t2v_engine::Json::str(code).write_compact_into(&mut body);
+        body.push_str(", \"message\": ");
         t2v_engine::Json::str(message).write_compact_into(&mut body);
-        body.push('}');
+        body.push_str("}}");
         Response::json(status, body)
+    }
+
+    /// [`Response::error_code`] with the code derived from the status.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::error_code(status, default_error_code(status), message)
     }
 
     pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
@@ -277,9 +287,11 @@ impl Response {
 pub fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        308 => "Permanent Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        410 => "Gone",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -287,10 +299,39 @@ pub fn status_text(status: u16) -> &'static str {
     }
 }
 
+/// The wire error code implied by a status, for errors that are purely
+/// HTTP-level (translation-level errors carry `TranslateError::code`s).
+pub fn default_error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        410 => "deprecated",
+        413 => "payload_too_large",
+        500 => "internal",
+        503 => "overload",
+        _ => "error",
+    }
+}
+
 /// The canned overload response, as raw bytes so the acceptor can shed a
 /// connection without allocating or parsing anything.
 pub fn overload_response_bytes() -> &'static [u8] {
-    b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 21\r\nConnection: close\r\nRetry-After: 1\r\n\r\n{\"error\": \"overload\"}"
+    b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 63\r\nConnection: close\r\nRetry-After: 1\r\n\r\n{\"error\": {\"code\": \"overload\", \"message\": \"server overloaded\"}}"
+}
+
+/// Write the head of an EOF-delimited streaming response: no
+/// `Content-Length`, `Connection: close` — the body ends when the server
+/// closes the socket. Used for NDJSON stage streaming.
+pub fn write_streaming_head(w: &mut impl Write, status: u16, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\n\r\n",
+        status,
+        status_text(status),
+        content_type
+    )?;
+    w.flush()
 }
 
 #[cfg(test)]

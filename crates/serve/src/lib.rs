@@ -1,25 +1,36 @@
-//! # t2v-serve — the concurrent translation service
+//! # t2v-serve — the concurrent multi-backend translation service
 //!
-//! Turns the GRED pipeline into a network service (DESIGN.md §7): a
-//! std-only HTTP/1.1 server exposing
+//! Serves every registered [`t2v_core::Translator`] backend — GRED plus
+//! the baselines — behind one versioned HTTP/1.1 surface (std-only;
+//! DESIGN.md §7–§8):
 //!
-//! * `POST /translate` — `{"nlq": "...", "db": "...", "vegalite": bool}` →
-//!   the staged DVQ outputs (plus an executed Vega-Lite spec on request),
-//! * `GET /healthz` — liveness + library/database counts,
-//! * `GET /metrics` — Prometheus text exposition of the serving counters,
+//! * `POST /v1/translate` — `{"nlq", "db", "backend"?, "vegalite"?,
+//!   "stream"?}` → the staged DVQ outputs (plus an executed Vega-Lite spec
+//!   on request); `"stream": true` switches to NDJSON stage streaming,
+//! * `POST /v1/translate/batch` — `{"requests": [...]}` → `{"results":
+//!   [...]}` in order,
+//! * `GET /v1/backends` — capability metadata of every registered backend,
+//! * `GET /healthz`, `GET /metrics` — liveness and Prometheus counters
+//!   (request counters by route, per-backend translation/cache/error
+//!   counters, cache shard count),
+//! * `POST /translate` — **deprecated**: answers 308 → `/v1/translate` (or
+//!   410, `legacy_translate` knob) and never translates.
 //!
-//! backed by a sharded bounded worker pool (503 on overload, never an
-//! unbounded queue), an LRU+TTL cache keyed by
-//! `(normalised NLQ, db fingerprint, response shape)` whose hits are
+//! Backed by a sharded bounded worker pool (503 on overload, never an
+//! unbounded queue), a sharded LRU+TTL cache keyed by `(backend,
+//! normalised NLQ, db fingerprint, response shape)` whose hits are
 //! byte-identical to cold translations, and a micro-batching retrieval
-//! stage that coalesces concurrent top-k lookups into single
-//! `VectorIndex::top_k_batch_prenormalized` scans.
+//! stage that coalesces the GRED backend's concurrent top-k lookups into
+//! single `VectorIndex::top_k_batch_prenormalized` scans. Failures are
+//! structured `{"error": {"code", "message"}}` objects from the
+//! [`t2v_core::TranslateError`] taxonomy.
 //!
 //! ```no_run
 //! use t2v_serve::{serve, ServeConfig};
 //!
 //! let mut config = ServeConfig::default();
 //! config.set("addr", "127.0.0.1:7890").unwrap();
+//! config.set("backends", "gred,rgvisnet").unwrap();
 //! let server = serve(config).unwrap();
 //! println!("listening on {}", server.addr());
 //! ```
@@ -36,11 +47,12 @@ pub mod pool;
 pub mod server;
 
 pub use batch::{BatchRetriever, Batcher};
-pub use cache::{CacheStats, TtlLruCache};
-pub use config::{ConfigError, CorpusProfile, ServeConfig};
+pub use cache::{CacheStats, ShardedTtlLruCache, TtlLruCache};
+pub use config::{ConfigError, CorpusProfile, LegacyRoute, ServeConfig, KNOWN_BACKENDS};
 pub use http::{Body, Request, Response};
-pub use metrics::{Metrics, Route};
+pub use metrics::{BackendMetrics, Metrics, Route};
 pub use pool::{OneShot, SubmitError, WorkerPool};
 pub use server::{
-    db_fingerprint, normalize_nlq, serve, translate_body, CacheKey, DbEntry, Server, ServerState,
+    db_fingerprint, normalize_nlq, render_translation, serve, translate_body, CacheKey, DbEntry,
+    Server, ServerState,
 };

@@ -87,26 +87,64 @@ impl LatencyHistogram {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
     Translate,
+    TranslateBatch,
+    Backends,
+    Legacy,
     Healthz,
     Metrics,
     Other,
 }
 
-const ROUTES: [(Route, &str); 4] = [
+const ROUTES: [(Route, &str); 7] = [
     (Route::Translate, "translate"),
+    (Route::TranslateBatch, "translate_batch"),
+    (Route::Backends, "backends"),
+    (Route::Legacy, "legacy"),
     (Route::Healthz, "healthz"),
     (Route::Metrics, "metrics"),
     (Route::Other, "other"),
 ];
 
 /// Status classes the request counters are labelled with.
-const CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
+const CLASSES: [&str; 4] = ["2xx", "3xx", "4xx", "5xx"];
+
+/// Per-backend serving counters, labelled `backend="<id>"` on the wire.
+/// Registered once at startup (backends are fixed for a server's lifetime),
+/// so lookups are an index, not a map probe.
+pub struct BackendMetrics {
+    pub id: String,
+    /// Cold translations executed (cache misses that reached the model).
+    pub translations: AtomicU64,
+    /// Translations that ended in a structured TranslateError.
+    pub errors: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Model time per cold translation.
+    pub translate: LatencyHistogram,
+}
+
+impl BackendMetrics {
+    fn new(id: String) -> BackendMetrics {
+        BackendMetrics {
+            id,
+            translations: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            translate: LatencyHistogram::default(),
+        }
+    }
+}
 
 /// The registry handed to every serving component.
 pub struct Metrics {
     started: Instant,
     /// requests[route][status class]
-    requests: [[AtomicU64; 3]; 4],
+    requests: [[AtomicU64; 4]; 7],
+    /// Per-backend counters, in backend-registry order.
+    backends: Vec<BackendMetrics>,
+    /// Cache shard count (constant per process; exported for dashboards).
+    pub cache_shards: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     /// 503s shed by queue backpressure or the connection limit.
@@ -129,9 +167,19 @@ pub struct Metrics {
 
 impl Metrics {
     pub fn new() -> Metrics {
+        Metrics::with_backends(&[])
+    }
+
+    /// Registry with one labelled counter family per backend id.
+    pub fn with_backends(backend_ids: &[&str]) -> Metrics {
         Metrics {
             started: Instant::now(),
             requests: Default::default(),
+            backends: backend_ids
+                .iter()
+                .map(|id| BackendMetrics::new(id.to_string()))
+                .collect(),
+            cache_shards: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -152,10 +200,21 @@ impl Metrics {
         let r = ROUTES.iter().position(|(x, _)| *x == route).unwrap();
         let class = match status {
             200..=299 => 0,
-            400..=499 => 1,
-            _ => 2,
+            300..=399 => 1,
+            400..=499 => 2,
+            _ => 3,
         };
         self.requests[r][class].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The counters of backend `idx` (backend-registry order). Panics on an
+    /// unregistered index — backend resolution happens before any recording.
+    pub fn backend(&self, idx: usize) -> &BackendMetrics {
+        &self.backends[idx]
+    }
+
+    pub fn backends(&self) -> &[BackendMetrics] {
+        &self.backends
     }
 
     pub fn requests_for(&self, route: Route, class: &str) -> u64 {
@@ -206,9 +265,46 @@ impl Metrics {
                 &self.batched_lookups,
             ),
             ("t2v_max_batch_size", "gauge", &self.max_batch),
+            ("t2v_cache_shards", "gauge", &self.cache_shards),
         ] {
             let _ = writeln!(out, "# TYPE {name} {kind}");
             let _ = writeln!(out, "{name} {}", v.load(Ordering::Relaxed));
+        }
+
+        // Per-backend counter families (one label set per registered id).
+        if !self.backends.is_empty() {
+            for (name, kind, pick) in [
+                (
+                    "t2v_backend_translations_total",
+                    "counter",
+                    (|b: &BackendMetrics| &b.translations) as fn(&BackendMetrics) -> &AtomicU64,
+                ),
+                (
+                    "t2v_backend_errors_total",
+                    "counter",
+                    |b: &BackendMetrics| &b.errors,
+                ),
+                (
+                    "t2v_backend_cache_hits_total",
+                    "counter",
+                    |b: &BackendMetrics| &b.cache_hits,
+                ),
+                (
+                    "t2v_backend_cache_misses_total",
+                    "counter",
+                    |b: &BackendMetrics| &b.cache_misses,
+                ),
+            ] {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                for b in &self.backends {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{backend=\"{}\"}} {}",
+                        b.id,
+                        pick(b).load(Ordering::Relaxed)
+                    );
+                }
+            }
         }
 
         self.queue_wait.render(&mut out, "t2v_queue_wait_seconds");
@@ -244,10 +340,15 @@ mod tests {
 
     #[test]
     fn render_is_valid_prometheus_shape() {
-        let m = Metrics::new();
+        let m = Metrics::with_backends(&["gred", "seq2vis"]);
         m.record_request(Route::Translate, 200);
         m.record_request(Route::Translate, 404);
         m.record_request(Route::Other, 503);
+        m.record_request(Route::Legacy, 308);
+        m.record_request(Route::Backends, 200);
+        m.cache_shards.store(8, Ordering::Relaxed);
+        m.backend(0).translations.fetch_add(2, Ordering::Relaxed);
+        m.backend(1).cache_hits.fetch_add(5, Ordering::Relaxed);
         m.cache_hits.fetch_add(3, Ordering::Relaxed);
         m.translate.observe_ns(300_000);
         m.record_batch(4);
@@ -262,6 +363,13 @@ mod tests {
         assert!(text.contains("t2v_batches_total 2"));
         assert!(text.contains("t2v_batched_lookups_total 6"));
         assert!(text.contains("t2v_max_batch_size 4"));
+        assert!(text.contains("t2v_cache_shards 8"));
+        assert!(text.contains("t2v_http_requests_total{route=\"legacy\",status=\"3xx\"} 1"));
+        assert!(text.contains("t2v_http_requests_total{route=\"backends\",status=\"2xx\"} 1"));
+        assert!(text.contains("t2v_backend_translations_total{backend=\"gred\"} 2"));
+        assert!(text.contains("t2v_backend_translations_total{backend=\"seq2vis\"} 0"));
+        assert!(text.contains("t2v_backend_cache_hits_total{backend=\"seq2vis\"} 5"));
+        assert!(text.contains("t2v_backend_errors_total{backend=\"gred\"} 0"));
         // Every non-comment line is "name-or-name{labels} value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (_, value) = line.rsplit_once(' ').expect("metric line has a value");

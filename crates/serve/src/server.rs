@@ -7,10 +7,17 @@
 //! jobs into the sharded [`WorkerPool`], which bounds CPU-stage concurrency
 //! regardless of how many sockets are open. Overload — full queues or too
 //! many sockets — answers 503 immediately instead of queueing unboundedly.
+//!
+//! The HTTP surface is versioned (DESIGN.md §8): every registered
+//! [`Translator`] backend serves through `POST /v1/translate` (with
+//! `"backend"` selection and optional NDJSON stage streaming),
+//! `POST /v1/translate/batch`, and `GET /v1/backends`; the pre-redesign
+//! unversioned `POST /translate` answers its deprecation policy
+//! (308 redirect or 410 gone, `legacy_translate` knob).
 
 use crate::batch::{BatchRetriever, Batcher};
-use crate::cache::TtlLruCache;
-use crate::config::ServeConfig;
+use crate::cache::ShardedTtlLruCache;
+use crate::config::{LegacyRoute, ServeConfig};
 use crate::http::{self, Request, Response};
 use crate::metrics::{Metrics, Route};
 use crate::pool::{OneShot, SubmitError, WorkerPool};
@@ -18,12 +25,18 @@ use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use t2v_baselines::{BaselineTrainConfig, NeuralSeq2Seq, RgVisNet, Seq2Vis, TransformerBaseline};
+use t2v_core::{
+    BackendInfo, BackendRegistry, StageRecord, StageSink, TranslateError, TranslateRequest,
+    TranslateResponse, Translator,
+};
 use t2v_corpus::{generate, Corpus, Database};
 use t2v_engine::{execute, Json, Store};
-use t2v_gred::{DirectRetriever, Gred, Retrieve};
+use t2v_gred::{DirectRetriever, Gred};
 use t2v_llm::{LlmConfig, SimulatedChatModel};
 
 /// One servable database: schema, synthesized rows, and the fingerprint that
@@ -34,21 +47,85 @@ pub struct DbEntry {
     pub fingerprint: u64,
 }
 
-/// Cache key: normalised NLQ × database fingerprint × response shape.
-pub type CacheKey = (Box<str>, u64, bool);
+/// Cache key: backend index × normalised NLQ × database fingerprint ×
+/// response shape. The backend index namespaces the cache per backend —
+/// the same question through different models must never share an entry.
+pub type CacheKey = (u16, Box<str>, u64, bool);
+
+/// Late-bound handle to the micro-batcher's retriever. The backend registry
+/// is built with server state (before the batcher thread exists); the
+/// spawned server plugs the retriever in, and until then — and in tests
+/// that never spawn — the GRED backend falls back to direct lookups, which
+/// are bit-identical by the batcher's correctness contract.
+#[derive(Clone, Default)]
+pub struct RetrieverSlot(Arc<OnceLock<BatchRetriever>>);
+
+impl RetrieverSlot {
+    fn set(&self, retriever: BatchRetriever) {
+        let _ = self.0.set(retriever);
+    }
+
+    fn get(&self) -> Option<&BatchRetriever> {
+        self.0.get()
+    }
+}
+
+/// The GRED pipeline as a registry backend: same `Translator` surface as
+/// every baseline, with retrieval routed through the server's micro-batcher
+/// once it is running.
+struct GredBackend {
+    gred: Gred<SimulatedChatModel>,
+    slot: RetrieverSlot,
+}
+
+impl GredBackend {
+    fn run(
+        &self,
+        req: &TranslateRequest<'_>,
+        sink: Option<&mut dyn StageSink>,
+    ) -> Result<TranslateResponse, TranslateError> {
+        match self.slot.get() {
+            Some(r) => self.gred.translate_api(req, r, sink),
+            None => self
+                .gred
+                .translate_api(req, &DirectRetriever(self.gred.library()), sink),
+        }
+    }
+}
+
+impl Translator for GredBackend {
+    fn info(&self) -> BackendInfo {
+        self.gred.info()
+    }
+
+    fn translate(&self, req: &TranslateRequest<'_>) -> Result<TranslateResponse, TranslateError> {
+        self.run(req, None)
+    }
+
+    fn translate_streamed(
+        &self,
+        req: &TranslateRequest<'_>,
+        sink: &mut dyn StageSink,
+    ) -> Result<TranslateResponse, TranslateError> {
+        self.run(req, Some(sink))
+    }
+}
 
 /// Everything the request path reads. Shared read-only across all threads.
 pub struct ServerState {
     pub config: ServeConfig,
     pub gred: Gred<SimulatedChatModel>,
+    pub registry: BackendRegistry,
     pub dbs: HashMap<String, Arc<DbEntry>>,
-    pub cache: TtlLruCache<CacheKey, Arc<Vec<u8>>>,
+    pub cache: ShardedTtlLruCache<CacheKey, Arc<Vec<u8>>>,
     pub metrics: Arc<Metrics>,
+    batch_slot: RetrieverSlot,
 }
 
 impl ServerState {
-    /// Generate the configured corpus, prepare GRED over it, synthesize the
-    /// execution stores. The expensive part of startup.
+    /// Generate the configured corpus, prepare every configured backend
+    /// over it, synthesize the execution stores. The expensive part of
+    /// startup (the neural baselines train here).
     pub fn build(config: ServeConfig) -> ServerState {
         let corpus = generate(&config.corpus.corpus_config());
         ServerState::from_corpus(&corpus, config)
@@ -63,6 +140,34 @@ impl ServerState {
             SimulatedChatModel::new(LlmConfig::default()),
             config.gred_config(),
         );
+        let batch_slot = RetrieverSlot::default();
+        let ids = config.backend_ids();
+        let mut registry = BackendRegistry::new();
+        // Trained baselines use a minimal profile: serving startup must stay
+        // bounded (it runs in tests and CI), and the serving surface routes
+        // requests — model quality is the bench binaries' concern.
+        let train_cfg = BaselineTrainConfig {
+            seed: config.store_seed,
+            max_train: 64,
+            epochs: 3,
+            hidden: 24,
+            emb: 16,
+            ..BaselineTrainConfig::fast()
+        };
+        for id in &ids {
+            let backend: Arc<dyn Translator> = match *id {
+                "gred" => Arc::new(GredBackend {
+                    gred: gred.clone(),
+                    slot: batch_slot.clone(),
+                }),
+                "seq2vis" => Arc::new(Seq2Vis::train(corpus, &train_cfg)),
+                "transformer" => Arc::new(TransformerBaseline::train(corpus, &train_cfg)),
+                "rgvisnet" => Arc::new(RgVisNet::build(corpus)),
+                "neural" => Arc::new(NeuralSeq2Seq::train(corpus, &train_cfg)),
+                other => unreachable!("config validated backend id '{other}'"),
+            };
+            registry.register(*id, backend);
+        }
         let dbs = corpus
             .databases
             .iter()
@@ -79,13 +184,23 @@ impl ServerState {
                 )
             })
             .collect();
-        let cache = TtlLruCache::new(config.cache_capacity, config.cache_ttl());
+        let cache = ShardedTtlLruCache::new(
+            config.cache_capacity,
+            config.cache_ttl(),
+            config.effective_cache_shards(),
+        );
+        let metrics = Arc::new(Metrics::with_backends(&ids));
+        metrics
+            .cache_shards
+            .store(cache.shard_count() as u64, Ordering::Relaxed);
         ServerState {
             config,
             gred,
+            registry,
             dbs,
             cache,
-            metrics: Arc::new(Metrics::new()),
+            metrics,
+            batch_slot,
         }
     }
 }
@@ -128,36 +243,46 @@ pub fn normalize_nlq(nlq: &str) -> String {
     out
 }
 
-/// The translation body for one request, as compact JSON bytes. Pure: the
-/// same inputs always serialise the same bytes, which is what makes cache
-/// hits bit-identical to cold translations.
-pub fn translate_body(
-    state: &ServerState,
-    retriever: &dyn Retrieve,
+fn opt_str(s: &Option<String>) -> Json {
+    match s {
+        Some(s) => Json::str(s.as_str()),
+        None => Json::Null,
+    }
+}
+
+fn stages_json(stages: &[StageRecord]) -> Json {
+    Json::Arr(
+        stages
+            .iter()
+            .map(|s| Json::obj([("name", Json::str(s.name)), ("dvq", opt_str(&s.dvq))]))
+            .collect(),
+    )
+}
+
+/// Serialise one translation outcome as the `/v1/translate` response body.
+/// Pure and timing-free: the same inputs always serialise the same bytes,
+/// which is what makes cache hits bit-identical to cold translations
+/// (stage timings go to the per-backend metrics histograms instead).
+/// Failures are structured `{"error": {"code", "message"}}` objects from
+/// the [`TranslateError`] taxonomy.
+pub fn render_translation(
+    backend_id: &str,
     nlq_normalized: &str,
     entry: &DbEntry,
     want_vegalite: bool,
+    result: &Result<TranslateResponse, TranslateError>,
 ) -> Vec<u8> {
-    let out = state
-        .gred
-        .translate_with(nlq_normalized, &entry.db, &DynRetrieve(retriever));
     let mut body = Json::obj([
+        ("backend", Json::str(backend_id)),
         ("db", Json::str(entry.db.id.as_str())),
         ("nlq", Json::str(nlq_normalized)),
-        (
-            "stages",
-            Json::obj([
-                ("generator", opt_str(&out.dvq_gen)),
-                ("retuner", opt_str(&out.dvq_rtn)),
-                ("debugger", opt_str(&out.dvq_dbg)),
-            ]),
-        ),
     ]);
-    match out.final_dvq() {
-        Some(dvq) => {
-            body.set("dvq", Json::str(dvq));
+    match result {
+        Ok(resp) => {
+            body.set("stages", stages_json(&resp.stages));
+            body.set("dvq", Json::str(resp.dvq.as_str()));
             if want_vegalite {
-                match t2v_dvq::parse(dvq) {
+                match t2v_dvq::parse(&resp.dvq) {
                     Ok(q) => match execute(&q, &entry.store) {
                         Ok(rs) => body.set("vegalite", t2v_engine::to_vegalite(&q, &rs)),
                         Err(e) => {
@@ -172,39 +297,43 @@ pub fn translate_body(
                 }
             }
         }
-        None => {
+        Err(e) => {
+            let stages: &[StageRecord] = match e {
+                TranslateError::NoOutput { stages, .. }
+                | TranslateError::InvalidOutput { stages, .. } => stages,
+                _ => &[],
+            };
+            body.set("stages", stages_json(stages));
             body.set("dvq", Json::Null);
-            body.set("error", Json::str("translation produced no DVQ"));
+            body.set(
+                "error",
+                Json::obj([
+                    ("code", Json::str(e.code())),
+                    ("message", Json::str(e.to_string())),
+                ]),
+            );
         }
     }
     body.compact().into_bytes()
 }
 
-fn opt_str(s: &Option<String>) -> Json {
-    match s {
-        Some(s) => Json::str(s.as_str()),
-        None => Json::Null,
-    }
-}
-
-/// Adapter: `&dyn Retrieve` where `translate_with` wants `&impl Retrieve`.
-struct DynRetrieve<'a>(&'a dyn Retrieve);
-
-impl Retrieve for DynRetrieve<'_> {
-    fn retrieve_nlq(&self, query: &[f32], k: usize) -> Vec<t2v_embed::Hit> {
-        self.0.retrieve_nlq(query, k)
-    }
-
-    fn retrieve_dvq(&self, query: &[f32], k: usize) -> Vec<t2v_embed::Hit> {
-        self.0.retrieve_dvq(query, k)
-    }
+/// Run one translation through `backend` and serialise it — the body the
+/// worker pool computes on a cache miss.
+pub fn translate_body(
+    backend: &dyn Translator,
+    backend_id: &str,
+    nlq_normalized: &str,
+    entry: &DbEntry,
+    want_vegalite: bool,
+) -> Vec<u8> {
+    let result = backend.translate(&TranslateRequest::new(nlq_normalized, &entry.db));
+    render_translation(backend_id, nlq_normalized, entry, want_vegalite, &result)
 }
 
 /// What connection threads share.
 struct Shared {
     state: Arc<ServerState>,
     pool: WorkerPool,
-    retriever: Option<BatchRetriever>,
     shutdown: AtomicBool,
 }
 
@@ -223,12 +352,18 @@ impl Server {
         let listener = TcpListener::bind(&state.config.addr)?;
         let addr = listener.local_addr()?;
         let config = &state.config;
-        let batcher = if config.batch {
-            Some(Batcher::spawn(
+        // The batcher only serves the GRED backend's retrieval; skip the
+        // thread entirely when gred is not registered.
+        let batcher = if config.batch && state.registry.get("gred").is_some() {
+            let b = Batcher::spawn(
                 state.gred.shared_library(),
                 Duration::from_micros(config.batch_window_us),
                 Arc::clone(&state.metrics),
-            ))
+            );
+            // From here on the GRED backend coalesces retrieval through the
+            // batcher (bit-identical to the direct lookups it replaces).
+            state.batch_slot.set(b.retriever());
+            Some(b)
         } else {
             None
         };
@@ -239,7 +374,6 @@ impl Server {
             Arc::clone(&state.metrics),
         );
         let shared = Arc::new(Shared {
-            retriever: batcher.as_ref().map(Batcher::retriever),
             state,
             pool,
             shutdown: AtomicBool::new(false),
@@ -352,20 +486,39 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
             }
         };
         let keep = !req.wants_close();
-        let (route, resp) = respond(shared, &req);
-        shared.state.metrics.record_request(route, resp.status);
-        if resp.write_to(&mut writer, keep).is_err() || !keep {
-            return;
+        let (route, handled) = respond(shared, &req, &mut writer);
+        match handled {
+            Handled::Reply(resp) => {
+                shared.state.metrics.record_request(route, resp.status);
+                if resp.write_to(&mut writer, keep).is_err() || !keep {
+                    return;
+                }
+            }
+            // The endpoint already wrote an EOF-delimited streaming body;
+            // the connection closes to mark the end of the stream.
+            Handled::Streamed(status) => {
+                shared.state.metrics.record_request(route, status);
+                return;
+            }
         }
     }
 }
 
-/// Route one request. Health, metrics, and cache hits are answered on the
-/// connection thread; translation misses go through the worker pool.
-fn respond(shared: &Shared, req: &Request) -> (Route, Response) {
+/// How a request was answered: a framed response to write, or a streaming
+/// body the endpoint already wrote itself.
+enum Handled {
+    Reply(Response),
+    Streamed(u16),
+}
+
+/// Route one request. Health, metrics, backend listings, and cache hits are
+/// answered on the connection thread; translation misses go through the
+/// worker pool.
+fn respond(shared: &Shared, req: &Request, writer: &mut BufWriter<TcpStream>) -> (Route, Handled) {
+    let reply = |route: Route, resp: Response| (route, Handled::Reply(resp));
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (Route::Healthz, healthz(&shared.state)),
-        ("GET", "/metrics") => (
+        ("GET", "/healthz") => reply(Route::Healthz, healthz(&shared.state)),
+        ("GET", "/metrics") => reply(
             Route::Metrics,
             Response {
                 status: 200,
@@ -374,11 +527,22 @@ fn respond(shared: &Shared, req: &Request) -> (Route, Response) {
                 body: shared.state.metrics.render_prometheus().into(),
             },
         ),
-        ("POST", "/translate") => (Route::Translate, translate_endpoint(shared, req)),
-        (_, "/healthz" | "/metrics" | "/translate") => {
-            (Route::Other, Response::error(405, "method not allowed"))
+        ("GET", "/v1/backends") => reply(Route::Backends, backends_endpoint(&shared.state)),
+        ("POST", "/v1/translate") => translate_endpoint(shared, req, writer),
+        ("POST", "/v1/translate/batch") => {
+            reply(Route::TranslateBatch, batch_endpoint(shared, req))
         }
-        _ => (Route::Other, Response::error(404, "no such route")),
+        ("POST", "/translate") => reply(Route::Legacy, legacy_endpoint(&shared.state)),
+        (
+            _,
+            "/healthz"
+            | "/metrics"
+            | "/translate"
+            | "/v1/translate"
+            | "/v1/translate/batch"
+            | "/v1/backends",
+        ) => reply(Route::Other, Response::error(405, "method not allowed")),
+        _ => reply(Route::Other, Response::error(404, "no such route")),
     }
 }
 
@@ -387,15 +551,354 @@ fn healthz(state: &ServerState) -> Response {
         ("status", Json::str("ok")),
         ("databases", Json::Num(state.dbs.len() as f64)),
         ("library", Json::Num(state.gred.library().len() as f64)),
+        ("backends", Json::Num(state.registry.len() as f64)),
     ]);
     Response::json(200, body.compact())
 }
 
-fn translate_endpoint(shared: &Shared, req: &Request) -> Response {
+/// `GET /v1/backends`: capability metadata for every registered backend.
+fn backends_endpoint(state: &ServerState) -> Response {
+    let backends: Vec<Json> = state
+        .registry
+        .infos()
+        .into_iter()
+        .map(|(id, info)| {
+            Json::obj([
+                ("id", Json::str(id)),
+                ("name", Json::str(info.name)),
+                ("kind", Json::str(info.kind.label())),
+                (
+                    "stages",
+                    Json::Arr(info.stages.iter().map(|s| Json::str(*s)).collect()),
+                ),
+                ("deterministic", Json::Bool(info.deterministic)),
+                ("description", Json::str(info.description)),
+            ])
+        })
+        .collect();
+    let body = Json::obj([
+        (
+            "default",
+            Json::str(state.registry.default_id().unwrap_or("")),
+        ),
+        ("backends", Json::Arr(backends)),
+    ]);
+    Response::json(200, body.compact())
+}
+
+/// The deprecated unversioned route: never translates any more.
+fn legacy_endpoint(state: &ServerState) -> Response {
+    let message =
+        "POST /translate is deprecated; use POST /v1/translate (with optional \"backend\")";
+    match state.config.legacy_translate {
+        LegacyRoute::Redirect => Response::error_code(308, "deprecated", message)
+            .with_header("Location", "/v1/translate"),
+        LegacyRoute::Gone => Response::error_code(410, "deprecated", message)
+            .with_header("Location", "/v1/translate"),
+    }
+}
+
+/// One parsed-and-resolved translate item (shared by the single and batch
+/// endpoints).
+struct Item {
+    backend_idx: usize,
+    backend_id: String,
+    backend: Arc<dyn Translator>,
+    entry: Arc<DbEntry>,
+    nlq_normalized: String,
+    want_vegalite: bool,
+}
+
+/// Parse one translate object (`{"nlq", "db", "backend"?, "vegalite"?}`)
+/// against the registry and database set.
+fn resolve_item(state: &ServerState, parsed: &Json) -> Result<Item, Response> {
+    let Some(nlq) = parsed.get("nlq").and_then(Json::as_str) else {
+        return Err(Response::error(400, "missing string field 'nlq'"));
+    };
+    let Some(db_id) = parsed.get("db").and_then(Json::as_str) else {
+        return Err(Response::error(400, "missing string field 'db'"));
+    };
+    let backend_req = match parsed.get("backend") {
+        None => None,
+        Some(v) => match v.as_str() {
+            Some(s) => Some(s),
+            None => return Err(Response::error(400, "field 'backend' must be a string")),
+        },
+    };
+    let want_vegalite = match parsed.get("vegalite") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return Err(Response::error(400, "field 'vegalite' must be a boolean")),
+        },
+    };
+    let (backend_idx, backend_id, backend) = match state.registry.resolve(backend_req) {
+        Ok((i, id, b)) => (i, id.to_string(), Arc::clone(b)),
+        Err(unknown) => {
+            return Err(Response::error_code(
+                404,
+                "unknown_backend",
+                &format!(
+                    "unknown backend '{unknown}' (registered: {})",
+                    state.registry.ids().collect::<Vec<_>>().join(", ")
+                ),
+            ))
+        }
+    };
+    let nlq_normalized = normalize_nlq(nlq);
+    if nlq_normalized.is_empty() {
+        return Err(Response::error_code(400, "empty_query", "'nlq' is empty"));
+    }
+    let Some(entry) = state.dbs.get(db_id) else {
+        return Err(Response::error_code(
+            404,
+            "unknown_database",
+            &format!("unknown database '{db_id}'"),
+        ));
+    };
+    Ok(Item {
+        backend_idx,
+        backend_id,
+        backend,
+        entry: Arc::clone(entry),
+        nlq_normalized,
+        want_vegalite,
+    })
+}
+
+impl Item {
+    fn cache_key(&self) -> CacheKey {
+        (
+            self.backend_idx as u16,
+            self.nlq_normalized.clone().into_boxed_str(),
+            self.entry.fingerprint,
+            self.want_vegalite,
+        )
+    }
+}
+
+/// Submit one item's cold translation to the pool. The returned slot
+/// resolves to the serialised body; the worker also caches it and records
+/// per-backend metrics.
+fn submit_translation(
+    shared: &Shared,
+    item: &Item,
+    key: CacheKey,
+    stage_tx: Option<mpsc::Sender<String>>,
+) -> Result<OneShot<Arc<Vec<u8>>>, SubmitError> {
+    let slot: OneShot<Arc<Vec<u8>>> = OneShot::new();
+    let job_slot = slot.clone();
+    let state = Arc::clone(&shared.state);
+    let backend = Arc::clone(&item.backend);
+    let backend_idx = item.backend_idx;
+    let backend_id = item.backend_id.clone();
+    let entry = Arc::clone(&item.entry);
+    let want_vegalite = item.want_vegalite;
+    let enqueued = Instant::now();
+    shared.pool.submit(move || {
+        state
+            .metrics
+            .queue_wait
+            .observe_ns(enqueued.elapsed().as_nanos() as u64);
+        if state.config.debug_translate_sleep_ms > 0 {
+            std::thread::sleep(Duration::from_millis(state.config.debug_translate_sleep_ms));
+        }
+        let t0 = Instant::now();
+        let req = TranslateRequest::new(&key.1, &entry.db);
+        let result = match &stage_tx {
+            // Streaming: forward each stage line as the pipeline produces
+            // it (timings included — stream lines are never cached).
+            Some(tx) => backend.translate_streamed(&req, &mut |s: &StageRecord| {
+                let line = Json::obj([(
+                    "stage",
+                    Json::obj([
+                        ("name", Json::str(s.name)),
+                        ("dvq", opt_str(&s.dvq)),
+                        ("micros", Json::Num(s.micros as f64)),
+                    ]),
+                )])
+                .compact();
+                let _ = tx.send(line);
+            }),
+            None => backend.translate(&req),
+        };
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        state.metrics.translate.observe_ns(elapsed);
+        let bm = state.metrics.backend(backend_idx);
+        bm.translations.fetch_add(1, Ordering::Relaxed);
+        bm.translate.observe_ns(elapsed);
+        if result.is_err() {
+            bm.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let body = Arc::new(render_translation(
+            &backend_id,
+            &key.1,
+            &entry,
+            want_vegalite,
+            &result,
+        ));
+        state.cache.insert(key, Arc::clone(&body));
+        job_slot.send(body);
+    })?;
+    Ok(slot)
+}
+
+/// `POST /v1/translate` — single translation, optionally streamed.
+fn translate_endpoint(
+    shared: &Shared,
+    req: &Request,
+    writer: &mut BufWriter<TcpStream>,
+) -> (Route, Handled) {
     let started = Instant::now();
     let state = &shared.state;
+    let reply = |resp: Response| (Route::Translate, Handled::Reply(resp));
 
     // ---- parse + validate ----
+    let body_text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return reply(Response::error(400, "body is not UTF-8")),
+    };
+    let parsed = match Json::parse(body_text) {
+        Ok(j) => j,
+        Err(e) => return reply(Response::error(400, &format!("invalid JSON: {e}"))),
+    };
+    let stream = match parsed.get("stream") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return reply(Response::error(400, "field 'stream' must be a boolean")),
+        },
+    };
+    let item = match resolve_item(state, &parsed) {
+        Ok(item) => item,
+        Err(resp) => return reply(resp),
+    };
+
+    if stream {
+        return stream_endpoint(shared, item, writer);
+    }
+
+    // ---- cache fast path (connection thread, no queueing) ----
+    let key = item.cache_key();
+    let bm = state.metrics.backend(item.backend_idx);
+    if let Some(hit) = state.cache.get(&key) {
+        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        bm.cache_hits.fetch_add(1, Ordering::Relaxed);
+        state
+            .metrics
+            .request_total_latency
+            .observe_ns(started.elapsed().as_nanos() as u64);
+        // The Arc goes straight into the response — no body copy on a hit.
+        return reply(
+            Response::json(200, hit)
+                .with_header("x-t2v-cache", "hit")
+                .with_header("x-t2v-backend", item.backend_id.clone()),
+        );
+    }
+    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    bm.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    // ---- CPU stage through the bounded pool ----
+    let slot = match submit_translation(shared, &item, key, None) {
+        Ok(slot) => slot,
+        Err(SubmitError::Overloaded) | Err(SubmitError::ShuttingDown) => {
+            state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return reply(
+                Response::error(503, "server overloaded").with_header("Retry-After", "1"),
+            );
+        }
+    };
+    let Some(body) = slot.recv_timeout(Duration::from_secs(60)) else {
+        return reply(Response::error(500, "translation timed out"));
+    };
+    state
+        .metrics
+        .request_total_latency
+        .observe_ns(started.elapsed().as_nanos() as u64);
+    reply(
+        Response::json(200, body)
+            .with_header("x-t2v-cache", "miss")
+            .with_header("x-t2v-backend", item.backend_id),
+    )
+}
+
+/// The NDJSON streaming variant of `/v1/translate`: one line per completed
+/// stage as the backend produces it, then the full (non-streamed-identical)
+/// response object as the final line. EOF-delimited: the connection closes
+/// when the stream ends. Bypasses the cache read path (a cached body has no
+/// stages left to stream) but still populates the cache for later requests.
+fn stream_endpoint(
+    shared: &Shared,
+    item: Item,
+    writer: &mut BufWriter<TcpStream>,
+) -> (Route, Handled) {
+    let state = &shared.state;
+    let key = item.cache_key();
+    let bm = state.metrics.backend(item.backend_idx);
+    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    bm.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = mpsc::channel::<String>();
+    let slot = match submit_translation(shared, &item, key, Some(tx)) {
+        Ok(slot) => slot,
+        Err(SubmitError::Overloaded) | Err(SubmitError::ShuttingDown) => {
+            state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return (
+                Route::Translate,
+                Handled::Reply(
+                    Response::error(503, "server overloaded").with_header("Retry-After", "1"),
+                ),
+            );
+        }
+    };
+    if http::write_streaming_head(writer, 200, "application/x-ndjson").is_err() {
+        return (Route::Translate, Handled::Streamed(200));
+    }
+    // Relay stage lines until the worker hangs up the channel (it drops the
+    // sender when the job finishes), then emit the final body. One shared
+    // 60 s deadline covers the whole stream, and a dead client ends the
+    // relay immediately — no second timeout stacks on top.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut client_gone = false;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(line) => {
+                if writer
+                    .write_all(line.as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    client_gone = true;
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
+    }
+    if !client_gone {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if let Some(body) = slot.recv_timeout(left) {
+            let _ = writer
+                .write_all(&body)
+                .and_then(|_| writer.write_all(b"\n"))
+                .and_then(|_| writer.flush());
+        }
+    }
+    (Route::Translate, Handled::Streamed(200))
+}
+
+/// `POST /v1/translate/batch` — `{"requests": [{...}, ...]}` →
+/// `{"results": [...]}`, one result object per item in order. Item-level
+/// failures (unknown backend/database, overload) are inline structured
+/// error objects; only a malformed envelope fails the whole request.
+fn batch_endpoint(shared: &Shared, req: &Request) -> Response {
+    let started = Instant::now();
+    let state = &shared.state;
     let body_text = match std::str::from_utf8(&req.body) {
         Ok(t) => t,
         Err(_) => return Response::error(400, "body is not UTF-8"),
@@ -404,95 +907,114 @@ fn translate_endpoint(shared: &Shared, req: &Request) -> Response {
         Ok(j) => j,
         Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
     };
-    let Some(nlq) = parsed.get("nlq").and_then(Json::as_str) else {
-        return Response::error(400, "missing string field 'nlq'");
+    let Some(Json::Arr(requests)) = parsed.get("requests") else {
+        return Response::error(400, "missing array field 'requests'");
     };
-    let Some(db_id) = parsed.get("db").and_then(Json::as_str) else {
-        return Response::error(400, "missing string field 'db'");
-    };
-    let want_vegalite = match parsed.get("vegalite") {
-        None => false,
-        Some(v) => match v.as_bool() {
-            Some(b) => b,
-            None => return Response::error(400, "field 'vegalite' must be a boolean"),
-        },
-    };
-    let nlq_normalized = normalize_nlq(nlq);
-    if nlq_normalized.is_empty() {
-        return Response::error(400, "'nlq' is empty");
+    if requests.is_empty() {
+        return Response::error(400, "'requests' is empty");
     }
-    let Some(entry) = state.dbs.get(db_id) else {
-        return Response::error(404, &format!("unknown database '{db_id}'"));
-    };
-
-    // ---- cache fast path (connection thread, no queueing) ----
-    let key: CacheKey = (
-        nlq_normalized.clone().into_boxed_str(),
-        entry.fingerprint,
-        want_vegalite,
-    );
-    if let Some(hit) = state.cache.get(&key) {
-        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        state
-            .metrics
-            .request_total_latency
-            .observe_ns(started.elapsed().as_nanos() as u64);
-        // The Arc goes straight into the response — no body copy on a hit.
-        return Response::json(200, hit).with_header("x-t2v-cache", "hit");
+    if requests.len() > state.config.max_batch_items {
+        return Response::error(
+            400,
+            &format!(
+                "'requests' has {} items; max_batch_items is {}",
+                requests.len(),
+                state.config.max_batch_items
+            ),
+        );
     }
-    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
 
-    // ---- CPU stage through the bounded pool ----
-    let slot: OneShot<Arc<Vec<u8>>> = OneShot::new();
-    let submitted = {
-        let slot = slot.clone();
-        let state = Arc::clone(&shared.state);
-        let retriever = shared.retriever.clone();
-        let entry = Arc::clone(entry);
-        let enqueued = Instant::now();
-        shared.pool.submit(move || {
-            state
-                .metrics
-                .queue_wait
-                .observe_ns(enqueued.elapsed().as_nanos() as u64);
-            if state.config.debug_translate_sleep_ms > 0 {
-                std::thread::sleep(Duration::from_millis(state.config.debug_translate_sleep_ms));
-            }
-            let t0 = Instant::now();
-            let body = match &retriever {
-                Some(r) => translate_body(&state, r, &key.0, &entry, want_vegalite),
-                None => translate_body(
-                    &state,
-                    &DirectRetriever(state.gred.library()),
-                    &key.0,
-                    &entry,
-                    want_vegalite,
-                ),
+    // Phase 1: resolve every item, serve cache hits, submit every *distinct*
+    // miss so the pool works on all of them concurrently. Identical items
+    // within one batch (same backend × NLQ × db × shape) share a single
+    // cold translation instead of racing the cache.
+    enum Pending {
+        Done(Arc<Vec<u8>>),
+        Waiting(OneShot<Arc<Vec<u8>>>),
+        Failed(Vec<u8>),
+        /// Same key as an earlier item in this batch: reuse its result.
+        Dup(usize),
+    }
+    let mut in_flight: HashMap<CacheKey, usize> = HashMap::new();
+    let pending: Vec<Pending> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, obj)| {
+            let item = match resolve_item(state, obj) {
+                Ok(item) => item,
+                // Reuse the single-endpoint error body as the item result.
+                Err(resp) => return Pending::Failed(resp.body.as_slice().to_vec()),
             };
-            state
-                .metrics
-                .translate
-                .observe_ns(t0.elapsed().as_nanos() as u64);
-            let body = Arc::new(body);
-            state.cache.insert(key, Arc::clone(&body));
-            slot.send(body);
+            let key = item.cache_key();
+            if let Some(&first) = in_flight.get(&key) {
+                return Pending::Dup(first);
+            }
+            let bm = state.metrics.backend(item.backend_idx);
+            if let Some(hit) = state.cache.get(&key) {
+                state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                bm.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Pending::Done(hit);
+            }
+            state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            bm.cache_misses.fetch_add(1, Ordering::Relaxed);
+            in_flight.insert(key.clone(), i);
+            match submit_translation(shared, &item, key, None) {
+                Ok(slot) => Pending::Waiting(slot),
+                Err(_) => {
+                    state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    Pending::Failed(
+                        Response::error(503, "server overloaded")
+                            .body
+                            .as_slice()
+                            .to_vec(),
+                    )
+                }
+            }
         })
+        .collect();
+
+    // Phase 2: collect in order, under one shared deadline.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let timeout_body = || {
+        Response::error(500, "translation timed out")
+            .body
+            .as_slice()
+            .to_vec()
     };
-    match submitted {
-        Ok(()) => {}
-        Err(SubmitError::Overloaded) | Err(SubmitError::ShuttingDown) => {
-            state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            return Response::error(503, "overload").with_header("Retry-After", "1");
+    // Resolved bodies by item index, so later duplicates can reference
+    // earlier results (a Dup always points backwards).
+    let mut resolved: Vec<Option<Arc<Vec<u8>>>> = Vec::with_capacity(pending.len());
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(b"{\"results\": [");
+    for (i, p) in pending.into_iter().enumerate() {
+        if i > 0 {
+            out.extend_from_slice(b", ");
         }
+        let body: Option<Arc<Vec<u8>>> = match p {
+            Pending::Done(body) => Some(body),
+            Pending::Failed(bytes) => {
+                out.extend_from_slice(&bytes);
+                resolved.push(None);
+                continue;
+            }
+            Pending::Waiting(slot) => {
+                let left = deadline.saturating_duration_since(Instant::now());
+                slot.recv_timeout(left)
+            }
+            Pending::Dup(first) => resolved[first].clone(),
+        };
+        match &body {
+            Some(b) => out.extend_from_slice(b),
+            None => out.extend_from_slice(&timeout_body()),
+        }
+        resolved.push(body);
     }
-    let Some(body) = slot.recv_timeout(Duration::from_secs(60)) else {
-        return Response::error(500, "translation timed out");
-    };
+    out.extend_from_slice(b"]}");
     state
         .metrics
         .request_total_latency
         .observe_ns(started.elapsed().as_nanos() as u64);
-    Response::json(200, body).with_header("x-t2v-cache", "miss")
+    Response::json(200, out)
 }
 
 /// Convenience: build state from config and spawn, one call.
@@ -503,6 +1025,14 @@ pub fn serve(config: ServeConfig) -> std::io::Result<Server> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn gred_only_state() -> (t2v_corpus::Corpus, ServerState) {
+        let corpus = generate(&t2v_corpus::CorpusConfig::tiny(7));
+        let mut config = ServeConfig::default();
+        config.set("backends", "gred").unwrap();
+        let state = ServerState::from_corpus(&corpus, config);
+        (corpus, state)
+    }
 
     #[test]
     fn normalization_lowercases_and_collapses_whitespace() {
@@ -530,18 +1060,70 @@ mod tests {
 
     #[test]
     fn translate_body_is_deterministic_and_parses() {
-        let corpus = generate(&t2v_corpus::CorpusConfig::tiny(7));
-        let state = ServerState::from_corpus(&corpus, ServeConfig::default());
+        let (corpus, state) = gred_only_state();
         let ex = &corpus.dev[0];
         let entry = state.dbs.get(&corpus.databases[ex.db].id).unwrap();
-        let retriever = DirectRetriever(state.gred.library());
+        let backend = Arc::clone(state.registry.get("gred").unwrap());
         let nlq = normalize_nlq(&ex.nlq);
-        let a = translate_body(&state, &retriever, &nlq, entry, true);
-        let b = translate_body(&state, &retriever, &nlq, entry, true);
+        let a = translate_body(backend.as_ref(), "gred", &nlq, entry, true);
+        let b = translate_body(backend.as_ref(), "gred", &nlq, entry, true);
         assert_eq!(a, b, "same inputs must serialise identical bytes");
         let doc = Json::parse(std::str::from_utf8(&a).unwrap()).unwrap();
+        assert_eq!(doc.get("backend").and_then(Json::as_str), Some("gred"));
         let dvq = doc.get("dvq").and_then(Json::as_str).expect("a DVQ");
         t2v_dvq::parse(dvq).unwrap();
         assert!(doc.get("vegalite").is_some());
+        // Stages are the full GRED pipeline, name + dvq only (no timings —
+        // body bytes must be clock-independent for cache identity).
+        let Some(Json::Arr(stages)) = doc.get("stages") else {
+            panic!("stages array");
+        };
+        assert_eq!(stages.len(), 3);
+        assert_eq!(
+            stages[0].get("name").and_then(Json::as_str),
+            Some("generator")
+        );
+        assert!(stages[0].get("micros").is_none());
+    }
+
+    #[test]
+    fn translate_body_matches_the_raw_gred_pipeline() {
+        // The acceptance bar: the /v1 surface serves byte-serialisations of
+        // exactly what the pre-redesign pipeline computed.
+        let (corpus, state) = gred_only_state();
+        for ex in corpus.dev.iter().take(5) {
+            let entry = state.dbs.get(&corpus.databases[ex.db].id).unwrap();
+            let backend = Arc::clone(state.registry.get("gred").unwrap());
+            let nlq = normalize_nlq(&ex.nlq);
+            let body = translate_body(backend.as_ref(), "gred", &nlq, entry, false);
+            let doc = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+            let legacy = state.gred.translate(&nlq, &entry.db);
+            assert_eq!(
+                doc.get("dvq").and_then(Json::as_str),
+                legacy.final_dvq(),
+                "served DVQ must equal the raw pipeline's"
+            );
+        }
+    }
+
+    #[test]
+    fn translation_errors_are_structured_objects() {
+        let corpus = generate(&t2v_corpus::CorpusConfig::tiny(7));
+        let mut config = ServeConfig::default();
+        config.set("backends", "gred").unwrap();
+        let state = ServerState::from_corpus(&corpus, config);
+        let entry = state.dbs.values().next().unwrap();
+        // A mute backend produces a structured no_output error body.
+        let mute = t2v_core::FnBackend::new("mute", |_: &str, _: &Database| None);
+        let body = translate_body(&mute, "mute", "show wages", entry, false);
+        let doc = Json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert!(matches!(doc.get("dvq"), Some(Json::Null)));
+        let err = doc.get("error").expect("error object");
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("no_output"));
+        assert!(err
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("mute"));
     }
 }

@@ -1,6 +1,7 @@
 //! Loopback integration tests: spawn the real server on an OS-assigned port
 //! and drive it over real sockets — concurrency, caching byte-identity,
-//! malformed input, and deterministic overload.
+//! multi-backend routing, streaming, malformed input, and deterministic
+//! overload.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -28,6 +29,19 @@ impl Reply {
 
     fn cache(&self) -> Option<&str> {
         self.headers.get("x-t2v-cache").map(String::as_str)
+    }
+
+    /// The structured error envelope's (code, message).
+    fn error(&self) -> (String, String) {
+        let doc = self.json();
+        let err = doc.get("error").expect("error object");
+        (
+            err.get("code").and_then(Json::as_str).unwrap().to_string(),
+            err.get("message")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string(),
+        )
     }
 }
 
@@ -63,7 +77,67 @@ impl Client {
 
     fn translate(&mut self, nlq: &str, db: &str) -> Reply {
         let body = Json::obj([("nlq", Json::str(nlq)), ("db", Json::str(db))]).compact();
-        self.request("POST", "/translate", &body)
+        self.request("POST", "/v1/translate", &body)
+    }
+
+    fn translate_with_backend(&mut self, nlq: &str, db: &str, backend: &str) -> Reply {
+        let body = Json::obj([
+            ("nlq", Json::str(nlq)),
+            ("db", Json::str(db)),
+            ("backend", Json::str(backend)),
+        ])
+        .compact();
+        self.request("POST", "/v1/translate", &body)
+    }
+
+    /// Send a streaming translate request and read NDJSON lines until EOF.
+    fn translate_streamed(mut self, nlq: &str, db: &str, backend: &str) -> (u16, Vec<Json>) {
+        let body = Json::obj([
+            ("nlq", Json::str(nlq)),
+            ("db", Json::str(db)),
+            ("backend", Json::str(backend)),
+            ("stream", Json::Bool(true)),
+        ])
+        .compact();
+        let raw = format!(
+            "POST /v1/translate HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(raw.as_bytes()).expect("write");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line.split(' ').nth(1).unwrap().parse().unwrap();
+        // Headers until blank line; streaming responses have no
+        // Content-Length and announce Connection: close.
+        let mut saw_close = false;
+        loop {
+            line.clear();
+            self.reader.read_line(&mut line).unwrap();
+            let t = line.trim_end();
+            if t.is_empty() {
+                break;
+            }
+            if t.eq_ignore_ascii_case("connection: close") {
+                saw_close = true;
+            }
+            assert!(
+                !t.to_ascii_lowercase().starts_with("content-length"),
+                "streaming responses are EOF-delimited"
+            );
+        }
+        assert!(saw_close, "streaming responses close the connection");
+        let mut lines = Vec::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            let t = line.trim_end();
+            if !t.is_empty() {
+                lines.push(Json::parse(t).expect("NDJSON line"));
+            }
+        }
+        (status, lines)
     }
 
     fn read_reply(&mut self) -> Option<Reply> {
@@ -97,10 +171,14 @@ impl Client {
     }
 }
 
+/// Spawn a server over the tiny(7) corpus. The helper registers only the
+/// GRED backend by default (baseline training is exercised by the dedicated
+/// multi-backend test, not by every spawn); tweaks override anything.
 fn spawn_server(tweaks: &[(&str, &str)]) -> (t2v_corpus::Corpus, Server) {
     let corpus = generate(&CorpusConfig::tiny(7));
     let mut config = ServeConfig::default();
     config.set("addr", "127.0.0.1:0").unwrap();
+    config.set("backends", "gred").unwrap();
     for (k, v) in tweaks {
         config.set(k, v).unwrap();
     }
@@ -164,14 +242,16 @@ fn concurrent_clients_get_parseable_dvqs_and_byte_identical_cache_hits() {
                 .entry(key.clone())
                 .or_insert_with(|| first.clone());
             assert_eq!(*entry, first, "clients disagree for {key}");
-            // Every response carries a parseable DVQ (or an explicit error).
+            // Every response carries a parseable DVQ (or a structured
+            // error object).
             let doc = Json::parse(std::str::from_utf8(&first).unwrap()).unwrap();
             match doc.get("dvq") {
                 Some(Json::Str(dvq)) => {
                     t2v_dvq::parse(dvq).expect("served DVQ must parse");
                 }
                 _ => {
-                    doc.get("error").expect("null dvq must carry an error");
+                    let err = doc.get("error").expect("null dvq must carry an error");
+                    err.get("code").expect("structured code");
                 }
             }
         }
@@ -180,40 +260,51 @@ fn concurrent_clients_get_parseable_dvqs_and_byte_identical_cache_hits() {
 }
 
 #[test]
-fn malformed_requests_get_4xx_and_the_server_survives() {
+fn malformed_requests_get_structured_4xx_and_the_server_survives() {
     let (corpus, server) = spawn_server(&[]);
     let db = corpus.databases[0].id.clone();
     let mut c = Client::connect(&server);
 
     // Bad JSON → 400 (connection stays usable: these are clean requests).
-    let r = c.request("POST", "/translate", "{\"nlq\": ");
+    let r = c.request("POST", "/v1/translate", "{\"nlq\": ");
     assert_eq!(r.status, 400);
-    assert!(r.json().get("error").is_some());
+    assert_eq!(r.error().0, "bad_request");
     // Missing fields → 400.
-    assert_eq!(c.request("POST", "/translate", "{}").status, 400);
+    assert_eq!(c.request("POST", "/v1/translate", "{}").status, 400);
     assert_eq!(
-        c.request("POST", "/translate", "{\"nlq\": \"show wages\"}")
+        c.request("POST", "/v1/translate", "{\"nlq\": \"show wages\"}")
             .status,
         400
     );
     // Wrong types → 400.
     let bad_veg = format!("{{\"nlq\": \"x\", \"db\": \"{db}\", \"vegalite\": \"yes\"}}");
-    assert_eq!(c.request("POST", "/translate", &bad_veg).status, 400);
-    // Whitespace-only NLQ → 400.
+    assert_eq!(c.request("POST", "/v1/translate", &bad_veg).status, 400);
+    let bad_stream = format!("{{\"nlq\": \"x\", \"db\": \"{db}\", \"stream\": 7}}");
+    assert_eq!(c.request("POST", "/v1/translate", &bad_stream).status, 400);
+    let bad_backend = format!("{{\"nlq\": \"x\", \"db\": \"{db}\", \"backend\": 3}}");
+    assert_eq!(c.request("POST", "/v1/translate", &bad_backend).status, 400);
+    // Whitespace-only NLQ → 400 with the taxonomy code.
     let blank = format!("{{\"nlq\": \"  \", \"db\": \"{db}\"}}");
-    assert_eq!(c.request("POST", "/translate", &blank).status, 400);
-    // Unknown database → 404 with a useful message.
+    let r = c.request("POST", "/v1/translate", &blank);
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error().0, "empty_query");
+    // Unknown database → 404 with a useful structured message.
     let r = c.translate("show wages", "no_such_db");
     assert_eq!(r.status, 404);
-    assert!(r
-        .json()
-        .get("error")
-        .and_then(Json::as_str)
-        .unwrap()
-        .contains("no_such_db"));
+    let (code, message) = r.error();
+    assert_eq!(code, "unknown_database");
+    assert!(message.contains("no_such_db"));
+    // Unknown backend → 404 listing what is registered.
+    let r = c.translate_with_backend("show wages", &db, "gpt99");
+    assert_eq!(r.status, 404);
+    let (code, message) = r.error();
+    assert_eq!(code, "unknown_backend");
+    assert!(message.contains("gpt99") && message.contains("gred"));
     // Unknown route → 404; wrong method on a real route → 405.
     assert_eq!(c.request("GET", "/nope", "").status, 404);
-    assert_eq!(c.request("GET", "/translate", "").status, 405);
+    assert_eq!(c.request("GET", "/v1/translate", "").status, 405);
+    assert_eq!(c.request("GET", "/v1/translate/batch", "").status, 405);
+    assert_eq!(c.request("POST", "/v1/backends", "").status, 405);
     assert_eq!(c.request("POST", "/healthz", "").status, 405);
 
     // Broken HTTP framing → 400, server closes that connection only.
@@ -222,7 +313,7 @@ fn malformed_requests_get_4xx_and_the_server_survives() {
     assert_eq!(r.status, 400);
     // Oversized body → 413 (body never allocated).
     let mut big = Client::connect(&server);
-    let r = big.send_raw(b"POST /translate HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+    let r = big.send_raw(b"POST /v1/translate HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
     assert_eq!(r.status, 413);
 
     // After all of that, the server still translates and reports healthy.
@@ -277,7 +368,7 @@ fn overload_sheds_with_503_instead_of_queueing() {
 
 #[test]
 fn healthz_and_metrics_reflect_traffic() {
-    let (corpus, server) = spawn_server(&[]);
+    let (corpus, server) = spawn_server(&[("cache_shards", "4")]);
     let mut c = Client::connect(&server);
 
     let health = c.request("GET", "/healthz", "");
@@ -292,6 +383,7 @@ fn healthz_and_metrics_reflect_traffic() {
         doc.get("library").and_then(Json::as_f64),
         Some(corpus.train.len() as f64)
     );
+    assert_eq!(doc.get("backends").and_then(Json::as_f64), Some(1.0));
 
     let ex = &corpus.dev[0];
     let db = &corpus.databases[ex.db].id;
@@ -308,6 +400,13 @@ fn healthz_and_metrics_reflect_traffic() {
     assert!(text.contains("t2v_cache_misses_total 1"));
     assert!(text.contains("t2v_translate_seconds_count 1"));
     assert!(text.contains("t2v_connections_active 1"));
+    // The sharded cache reports its shard count…
+    assert!(text.contains("t2v_cache_shards 4"));
+    // …and the per-backend families carry the registered label.
+    assert!(text.contains("t2v_backend_translations_total{backend=\"gred\"} 1"));
+    assert!(text.contains("t2v_backend_cache_hits_total{backend=\"gred\"} 1"));
+    assert!(text.contains("t2v_backend_cache_misses_total{backend=\"gred\"} 1"));
+    assert!(text.contains("t2v_backend_errors_total{backend=\"gred\"} 0"));
     server.shutdown();
 }
 
@@ -323,7 +422,7 @@ fn vegalite_responses_execute_and_cache_separately() {
         ("vegalite", Json::Bool(true)),
     ])
     .compact();
-    let with_spec = c.request("POST", "/translate", &body);
+    let with_spec = c.request("POST", "/v1/translate", &body);
     assert_eq!(with_spec.status, 200);
     let doc = with_spec.json();
     let spec = doc.get("vegalite").expect("vegalite requested");
@@ -338,7 +437,7 @@ fn vegalite_responses_execute_and_cache_separately() {
     assert_eq!(plain.cache(), Some("miss"));
     assert!(plain.json().get("vegalite").is_none());
     // And repeating the vegalite request hits its own entry byte-for-byte.
-    let again = c.request("POST", "/translate", &body);
+    let again = c.request("POST", "/v1/translate", &body);
     assert_eq!(again.cache(), Some("hit"));
     assert_eq!(again.body, with_spec.body);
     server.shutdown();
@@ -360,5 +459,266 @@ fn normalized_nlq_variants_share_one_cache_entry() {
         "case/whitespace variants normalise to one key"
     );
     assert_eq!(second.body, first.body);
+    server.shutdown();
+}
+
+#[test]
+fn legacy_translate_route_is_deprecated() {
+    // Default policy: 308 Permanent Redirect at the new surface.
+    let (corpus, server) = spawn_server(&[]);
+    let ex = &corpus.dev[0];
+    let body = Json::obj([
+        ("nlq", Json::str(ex.nlq.as_str())),
+        ("db", Json::str(corpus.databases[ex.db].id.as_str())),
+    ])
+    .compact();
+    let mut c = Client::connect(&server);
+    let r = c.request("POST", "/translate", &body);
+    assert_eq!(r.status, 308);
+    assert_eq!(
+        r.headers.get("location").map(String::as_str),
+        Some("/v1/translate")
+    );
+    let (code, message) = r.error();
+    assert_eq!(code, "deprecated");
+    assert!(message.contains("/v1/translate"));
+    // The same request against /v1/translate still works.
+    assert_eq!(c.request("POST", "/v1/translate", &body).status, 200);
+    server.shutdown();
+
+    // Gone policy: 410 (Location still advertises the replacement).
+    let (_, server) = spawn_server(&[("legacy_translate", "gone")]);
+    let mut c = Client::connect(&server);
+    let r = c.request("POST", "/translate", &body);
+    assert_eq!(r.status, 410);
+    assert_eq!(r.error().0, "deprecated");
+    assert_eq!(
+        r.headers.get("location").map(String::as_str),
+        Some("/v1/translate")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn batch_endpoint_preserves_order_and_inlines_item_errors() {
+    let (corpus, server) = spawn_server(&[]);
+    let mut c = Client::connect(&server);
+    let ex0 = &corpus.dev[0];
+    let ex1 = &corpus.dev[1];
+    let db0 = corpus.databases[ex0.db].id.clone();
+    let db1 = corpus.databases[ex1.db].id.clone();
+
+    let item = |nlq: &str, db: &str| Json::obj([("nlq", Json::str(nlq)), ("db", Json::str(db))]);
+    let batch = Json::obj([(
+        "requests",
+        Json::Arr(vec![
+            item(&ex0.nlq, &db0),
+            item("anything", "no_such_db"),
+            item(&ex1.nlq, &db1),
+            // Duplicate of item 0: must be answered (one shared cold
+            // translation, not two) with the identical body.
+            item(&ex0.nlq, &db0),
+        ]),
+    )])
+    .compact();
+    let r = c.request("POST", "/v1/translate/batch", &batch);
+    assert_eq!(r.status, 200);
+    let doc = r.json();
+    let results = doc.get("results").and_then(Json::as_arr).unwrap();
+    assert_eq!(results.len(), 4);
+    // Item 0 and 2 translated; item 1 is an inline structured error.
+    assert!(results[0].get("dvq").and_then(Json::as_str).is_some());
+    assert_eq!(
+        results[1]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("unknown_database")
+    );
+    assert!(results[2].get("nlq").is_some());
+    assert_eq!(results[3].compact(), results[0].compact());
+
+    // Batch results share cache entries with the single endpoint: asking
+    // item 0 alone is a hit with byte-identical body.
+    let single = c.translate(&ex0.nlq, &db0);
+    assert_eq!(single.cache(), Some("hit"));
+    assert_eq!(
+        Json::parse(std::str::from_utf8(&single.body).unwrap())
+            .unwrap()
+            .compact(),
+        results[0].compact()
+    );
+
+    // Envelope errors: empty and oversized request lists.
+    let r = c.request("POST", "/v1/translate/batch", "{\"requests\": []}");
+    assert_eq!(r.status, 400);
+    let many: Vec<Json> = (0..65).map(|_| item(&ex0.nlq, &db0)).collect();
+    let r = c.request(
+        "POST",
+        "/v1/translate/batch",
+        &Json::obj([("requests", Json::Arr(many))]).compact(),
+    );
+    assert_eq!(r.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn streaming_emits_stages_then_the_cacheable_body() {
+    let (corpus, server) = spawn_server(&[]);
+    let ex = &corpus.dev[2];
+    let db = corpus.databases[ex.db].id.clone();
+
+    let (status, lines) = Client::connect(&server).translate_streamed(&ex.nlq, &db, "gred");
+    assert_eq!(status, 200);
+    assert!(
+        lines.len() >= 2,
+        "expected stage lines + final body, got {lines:?}"
+    );
+    // All but the last line are stage events, in pipeline order, carrying
+    // timings (stream lines are not cached, so timings are allowed here).
+    let stage_names: Vec<String> = lines[..lines.len() - 1]
+        .iter()
+        .map(|l| {
+            let stage = l.get("stage").expect("stage line");
+            assert!(stage.get("micros").is_some());
+            stage
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        })
+        .collect();
+    assert_eq!(stage_names, vec!["generator", "retuner", "debugger"]);
+    let final_line = lines.last().unwrap();
+    let streamed_dvq = final_line.get("dvq").and_then(Json::as_str).expect("dvq");
+    t2v_dvq::parse(streamed_dvq).unwrap();
+
+    // The final line is the same body a non-streamed request serves — and
+    // the streamed translation populated the cache for it.
+    let mut c = Client::connect(&server);
+    let plain = c.translate(&ex.nlq, &db);
+    assert_eq!(plain.status, 200);
+    assert_eq!(plain.cache(), Some("hit"), "stream populated the cache");
+    assert_eq!(plain.json().compact(), final_line.compact());
+    server.shutdown();
+}
+
+#[test]
+fn multi_backend_registry_serves_every_backend_with_namespaced_caching() {
+    // The full registry: GRED + the three paper baselines + the no-copy
+    // seq2seq (trained with the fast profile — routing is what's under
+    // test). This is the acceptance surface for the /v1 redesign.
+    let (corpus, server) =
+        spawn_server(&[("backends", "gred,seq2vis,transformer,rgvisnet,neural")]);
+    let mut c = Client::connect(&server);
+
+    // /v1/backends lists all five with capability metadata, default first.
+    let r = c.request("GET", "/v1/backends", "");
+    assert_eq!(r.status, 200);
+    let doc = r.json();
+    assert_eq!(doc.get("default").and_then(Json::as_str), Some("gred"));
+    let listed = doc.get("backends").and_then(Json::as_arr).unwrap();
+    assert!(
+        listed.len() >= 4,
+        "≥4 backends required, got {}",
+        listed.len()
+    );
+    let ids: Vec<&str> = listed
+        .iter()
+        .map(|b| b.get("id").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        ids,
+        vec!["gred", "seq2vis", "transformer", "rgvisnet", "neural"]
+    );
+    for b in listed {
+        assert!(b.get("name").and_then(Json::as_str).is_some());
+        assert!(b.get("kind").and_then(Json::as_str).is_some());
+        assert!(!b.get("stages").and_then(Json::as_arr).unwrap().is_empty());
+        assert!(b.get("deterministic").and_then(Json::as_bool).is_some());
+    }
+    let gred_info = &listed[0];
+    assert_eq!(
+        gred_info.get("kind").and_then(Json::as_str),
+        Some("retrieval_augmented_llm")
+    );
+
+    // Every backend answers /v1/translate, deterministically, under its own
+    // cache namespace.
+    let ex = &corpus.dev[0];
+    let db = corpus.databases[ex.db].id.clone();
+    let mut bodies: Vec<Vec<u8>> = Vec::new();
+    for id in &ids {
+        let first = c.translate_with_backend(&ex.nlq, &db, id);
+        assert_eq!(first.status, 200, "backend {id}: {:?}", first.json());
+        assert_eq!(
+            first.cache(),
+            Some("miss"),
+            "backend {id} must have its own cache namespace"
+        );
+        assert_eq!(
+            first.headers.get("x-t2v-backend").map(String::as_str),
+            Some(*id)
+        );
+        let doc = first.json();
+        assert_eq!(doc.get("backend").and_then(Json::as_str), Some(*id));
+        // Either a parseable DVQ or a structured taxonomy error.
+        match doc.get("dvq") {
+            Some(Json::Str(dvq)) => {
+                t2v_dvq::parse(dvq)
+                    .unwrap_or_else(|e| panic!("backend {id} served unparseable DVQ ({e}): {dvq}"));
+            }
+            _ => {
+                let code = doc
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .expect("structured error");
+                assert!(
+                    ["no_output", "invalid_output", "internal"].contains(&code),
+                    "backend {id}: unexpected code {code}"
+                );
+            }
+        }
+        // Repeat: cache hit, byte-identical.
+        let second = c.translate_with_backend(&ex.nlq, &db, id);
+        assert_eq!(second.cache(), Some("hit"));
+        assert_eq!(second.body, first.body);
+        bodies.push(first.body);
+    }
+    // Distinct backends produced distinct cache entries (bodies differ at
+    // least in their backend field).
+    for i in 0..bodies.len() {
+        for j in (i + 1)..bodies.len() {
+            assert_ne!(bodies[i], bodies[j], "backends {i} and {j} share bytes");
+        }
+    }
+
+    // GRED through the registry serves exactly the raw pipeline's output
+    // (the redesign must not perturb the paper's system).
+    let served = Json::parse(std::str::from_utf8(&bodies[0]).unwrap()).unwrap();
+    let legacy = server
+        .state()
+        .gred
+        .translate(&t2v_serve::normalize_nlq(&ex.nlq), &corpus.databases[ex.db]);
+    assert_eq!(
+        served.get("dvq").and_then(Json::as_str),
+        legacy.final_dvq(),
+        "registry GRED must match the raw pipeline byte-for-byte"
+    );
+
+    // Per-backend metrics carry every label.
+    let text = String::from_utf8(c.request("GET", "/metrics", "").body).unwrap();
+    for id in &ids {
+        assert!(
+            text.contains(&format!(
+                "t2v_backend_translations_total{{backend=\"{id}\"}} 1"
+            )),
+            "missing translation count for {id}"
+        );
+        assert!(text.contains(&format!(
+            "t2v_backend_cache_hits_total{{backend=\"{id}\"}} 1"
+        )));
+    }
     server.shutdown();
 }

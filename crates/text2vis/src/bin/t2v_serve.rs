@@ -51,18 +51,20 @@ fn main() {
     }
 
     eprintln!(
-        "t2v-serve: preparing GRED over the {:?} corpus ({} workers, {} shards, queue {} per shard, cache {} entries/ttl {}s, batching {})...",
+        "t2v-serve: preparing backends [{}] over the {:?} corpus ({} workers, {} shards, queue {} per shard, cache {} entries/{} shards/ttl {}s, batching {})...",
+        config.backends,
         config.corpus,
         config.effective_workers(),
         config.effective_shards(),
         config.queue_capacity,
         config.cache_capacity,
+        config.effective_cache_shards(),
         config.cache_ttl_secs,
         if config.batch { "on" } else { "off" },
     );
     let server = serve(config).unwrap_or_else(|e| die(&format!("cannot bind: {e}")));
     eprintln!(
-        "t2v-serve: listening on http://{} (POST /translate, GET /healthz, GET /metrics)",
+        "t2v-serve: listening on http://{} (POST /v1/translate, POST /v1/translate/batch, GET /v1/backends, GET /healthz, GET /metrics; POST /translate is deprecated)",
         server.addr()
     );
     // Serve until the process is killed.

@@ -4,8 +4,9 @@
 //! Text-to-Visualization Translation against Lexical and Phrasal
 //! Variability"* (ICDE 2025): the DVQ language, a synthetic nvBench corpus,
 //! the nvBench-Rob perturbation suite, an execution engine, embedding and
-//! LLM substrates, the neural baselines, the GRED framework and the
-//! evaluation harness.
+//! LLM substrates, the neural baselines, the GRED framework, the unified
+//! [`t2v_core::Translator`] backend API every model implements, the
+//! evaluation harness, and the multi-backend `t2v-serve` service.
 //!
 //! ```
 //! use text2vis::prelude::*;
@@ -20,6 +21,7 @@
 //! ```
 
 pub use t2v_baselines as baselines;
+pub use t2v_core as core;
 pub use t2v_corpus as corpus;
 pub use t2v_dvq as dvq;
 pub use t2v_embed as embed;
@@ -33,10 +35,14 @@ pub use t2v_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use t2v_core::{
+        BackendInfo, BackendRegistry, TranslateError, TranslateRequest, TranslateResponse,
+        Translator,
+    };
     pub use t2v_corpus::{generate, Corpus, CorpusConfig, Database};
     pub use t2v_dvq::{parse, Dvq, Printer};
     pub use t2v_engine::{execute, Store};
-    pub use t2v_eval::{evaluate_set, Text2VisModel};
+    pub use t2v_eval::evaluate_set;
     pub use t2v_gred::{default_gred, Gred, GredConfig};
     pub use t2v_perturb::{build_rob, NvBenchRob, RobVariant};
     pub use t2v_serve::{serve, ServeConfig, Server, ServerState};

@@ -53,6 +53,48 @@ fn rob_sets_stay_aligned() {
     }
 }
 
+/// The trait-conformance suite over every backend `t2v-serve` can
+/// register: byte-stable repeated translations, declared stage names in
+/// order, parseable final DVQs, streaming agreement, and structured
+/// empty-input errors — the executable contract of the backend API.
+#[test]
+fn every_registered_backend_passes_the_conformance_suite() {
+    use text2vis::core::conformance;
+    use text2vis::serve::{ServeConfig, ServerState, KNOWN_BACKENDS};
+
+    let corpus = generate(&CorpusConfig::tiny(7));
+    let mut config = ServeConfig::default();
+    config.set("addr", "127.0.0.1:0").unwrap();
+    config
+        .set("backends", &KNOWN_BACKENDS.join(","))
+        .expect("every known backend is constructible");
+    let state = ServerState::from_corpus(&corpus, config);
+    assert!(state.registry.len() >= 4, "gred + 3 baselines minimum");
+
+    let requests: Vec<TranslateRequest<'_>> = corpus
+        .dev
+        .iter()
+        .take(4)
+        .map(|ex| TranslateRequest::new(&ex.nlq, &corpus.databases[ex.db]))
+        .collect();
+    for (id, backend) in state.registry.iter() {
+        let problems = conformance::check_backend(id, backend.as_ref(), &requests);
+        assert!(problems.is_empty(), "backend '{id}':\n{problems:#?}");
+    }
+
+    // The registry's GRED is the paper's pipeline, unchanged: identical
+    // final DVQs on the same corpus.
+    let (_, _, gred) = state.registry.resolve(Some("gred")).unwrap();
+    for req in &requests {
+        let via_registry = gred.translate(req).expect("GRED output").dvq;
+        let direct = state
+            .gred
+            .translate_final(req.nlq, req.db)
+            .expect("GRED output");
+        assert_eq!(via_registry, direct);
+    }
+}
+
 /// The annotation debugger's anchor property: a renamed database's
 /// annotations mention the original (primary) lexicalisations, so stale
 /// names can be mapped back.
