@@ -11,6 +11,8 @@
 //! * `retrieval/top10_batch64` at 6k vectors
 //! * `library/build` over the tiny corpus profile
 //! * `gred/translate` end to end
+//! * the `startup` section: cold library build (embedder + embeddings)
+//!   vs `t2v-store` snapshot load, plus the snapshot size on disk
 //!
 //! Usage: `cargo run --release -p t2v-bench --bin perfsnap [--quick] [--out PATH]`
 
@@ -277,7 +279,69 @@ fn main() {
         time_ns(samples.min(7), || gred.translate(&ex.nlq, db)),
     );
 
+    // ---- startup: cold build vs snapshot load ----
+    // Both rows time the `LibrarySource::resolve` seam — exactly what
+    // `t2v-serve` runs at startup — so verification overhead (corpus
+    // fingerprinting, embedder checks) is charged to both sides and the
+    // speedup reflects the real warm path, not a bare decode. Cold builds
+    // the embedder + embeds the whole training split; warm decodes the
+    // t2v-store snapshot without re-embedding anything.
+    let snap_path = std::env::temp_dir().join(format!("perfsnap-{}.t2vsnap", std::process::id()));
+    let library = EmbeddingLibrary::build(&corpus, &model);
+    let manifest = t2v_store::save(&snap_path, &library, &model).expect("write perfsnap snapshot");
+    let embed_cfg = t2v_embed::EmbedConfig::default();
+    let cold_ns = time_ns(samples.min(7), || {
+        t2v_store::LibrarySource::Build
+            .resolve(&corpus, &embed_cfg)
+            .expect("cold build resolves")
+    });
+    report.record("startup/cold_build", cold_ns);
+    let load_ns = time_ns(samples.min(7), || {
+        t2v_store::LibrarySource::Snapshot {
+            path: snap_path.clone(),
+        }
+        .resolve(&corpus, &embed_cfg)
+        .expect("perfsnap snapshot loads")
+    });
+    report.record("startup/snapshot_load", load_ns);
+    println!(
+        "  startup: snapshot load is {:.1}x faster than cold build ({} bytes on disk)",
+        cold_ns / load_ns,
+        manifest.file_len
+    );
+    std::fs::remove_file(&snap_path).ok();
+
     let mut json = report.to_json();
+    // The structured `startup` section (corpus size, bytes, speedup) rides
+    // next to the flat results so the cold-start trajectory is one lookup.
+    {
+        let mut doc = t2v_engine::Json::parse(&json).expect("perfsnap emits valid JSON");
+        doc.set(
+            "startup",
+            t2v_engine::Json::obj([
+                ("corpus", t2v_engine::Json::str("tiny:7")),
+                ("entries", t2v_engine::Json::Num(manifest.entries as f64)),
+                (
+                    "cold_build_ns",
+                    t2v_engine::Json::Num((cold_ns * 10.0).round() / 10.0),
+                ),
+                (
+                    "snapshot_load_ns",
+                    t2v_engine::Json::Num((load_ns * 10.0).round() / 10.0),
+                ),
+                (
+                    "speedup",
+                    t2v_engine::Json::Num(((cold_ns / load_ns) * 100.0).round() / 100.0),
+                ),
+                (
+                    "snapshot_bytes",
+                    t2v_engine::Json::Num(manifest.file_len as f64),
+                ),
+            ]),
+        );
+        json = doc.pretty();
+        json.push('\n');
+    }
     // `servebench` owns the report's `serving` section; carry it over so
     // re-running perfsnap never erases serving numbers (and vice versa).
     if let Some(serving) = std::fs::read_to_string(&out_path)

@@ -70,9 +70,10 @@ fn main() {
     let backend_ids: Vec<String> = {
         // Borrow the config parser for validation + ordering.
         let mut probe = ServeConfig::default();
-        probe
-            .set("backends", &backends_arg)
-            .unwrap_or_else(|e| panic!("--backends: {}", e.message));
+        if let Err(e) = probe.set("backends", &backends_arg) {
+            eprintln!("servebench: --backends: {}", e.message);
+            std::process::exit(2);
+        }
         probe.backend_ids().iter().map(|s| s.to_string()).collect()
     };
 
@@ -92,7 +93,9 @@ fn main() {
             if !cache {
                 config.set("cache_capacity", "0").unwrap();
             }
-            let state = Arc::new(ServerState::from_corpus(&corpus, config));
+            let state = Arc::new(
+                ServerState::from_corpus(&corpus, config).expect("servebench state builds"),
+            );
             let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
             scenarios.push(run_scenario(
                 id,

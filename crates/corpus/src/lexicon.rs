@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 /// One concept and its alternative word sequences. The first alternative is
 /// the *primary* form used when the original corpus names a column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Concept {
     /// Stable id: primary words joined by `_`.
     pub id: String,
@@ -60,15 +60,21 @@ impl Lexicon {
         for spec in CONCEPT_SPECS {
             concepts.push(Concept::new(spec));
         }
+        Lexicon::from_concepts(concepts)
+    }
+
+    /// Rebuild a lexicon from its concept list — the deserialisation path
+    /// for persisted embedders. The inverted indexes are derived, so two
+    /// lexicons with equal concept lists behave identically.
+    pub fn from_concepts(concepts: Vec<Concept>) -> Self {
         let mut by_id = HashMap::new();
         let mut by_phrase = HashMap::new();
         for (i, c) in concepts.iter().enumerate() {
             by_id.insert(c.id.clone(), i);
-            for (ai, alt) in c.alts.iter().enumerate() {
+            for alt in &c.alts {
                 // Earlier concepts win phrase collisions; primary forms win
                 // within a concept.
                 by_phrase.entry(alt.join(" ")).or_insert(i);
-                let _ = ai;
             }
         }
         Lexicon {
@@ -326,6 +332,22 @@ mod tests {
         assert_eq!(lex.concept_of_phrase("pay"), Some(salary));
         let hire = lex.index_of("hire_date").unwrap();
         assert_eq!(lex.concept_of_phrase("date of hire"), Some(hire));
+    }
+
+    #[test]
+    fn from_concepts_rebuilds_equivalent_indexes() {
+        let lex = Lexicon::builtin();
+        let rebuilt = Lexicon::from_concepts(lex.concepts.clone());
+        assert_eq!(rebuilt.len(), lex.len());
+        for c in &lex.concepts {
+            assert_eq!(rebuilt.index_of(&c.id), lex.index_of(&c.id));
+        }
+        for probe in ["wage", "date of hire", "wages", "zzz"] {
+            assert_eq!(
+                rebuilt.concept_of_phrase_stemmed(probe),
+                lex.concept_of_phrase_stemmed(probe)
+            );
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::collections::{HashMap, HashSet};
 use t2v_corpus::lexicon::Lexicon;
 
 /// Embedder configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmbedConfig {
     /// Vector dimensionality.
     pub dims: usize,
@@ -85,6 +85,33 @@ pub struct TextEmbedder {
     /// Phrase-hash → entries (Vec only for the astronomically unlikely hash
     /// collision; the stored phrase disambiguates).
     phrases: HashMap<u64, Vec<PhraseEntry>>,
+}
+
+/// One row of the serialisable phrase-table view: a resolvable phrase
+/// (exact or plural-stemmed) and the (concept, alt) it maps to. The feature
+/// slot and coverage flag are *derived* state and are recomputed on
+/// reconstruction, so a persisted table cannot drift from its lexicon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhraseRow {
+    pub phrase: String,
+    pub concept: u32,
+    pub alt: u32,
+}
+
+/// A plain-data view of everything that determines a [`TextEmbedder`]'s
+/// behaviour — the (de)serialisation seam used by the snapshot store.
+/// [`TextEmbedder::to_parts`] emits it in a canonical order (known pairs and
+/// phrase rows sorted), so equal embedders serialise to equal bytes.
+#[derive(Debug, Clone)]
+pub struct EmbedderParts {
+    pub config: EmbedConfig,
+    pub lexicon: Lexicon,
+    /// Known (concept, alt) lexicalisations, sorted. Persisted explicitly —
+    /// not re-sampled from the seed — so snapshots stay valid even if the
+    /// sampling RNG ever changes.
+    pub known: Vec<(u32, u32)>,
+    /// Every resolvable phrase (exact + stemmed forms), sorted by phrase.
+    pub phrases: Vec<PhraseRow>,
 }
 
 /// Reused per-thread tokenizer state: a lowercase byte buffer plus the word
@@ -201,8 +228,104 @@ impl TextEmbedder {
         self.cfg.dims
     }
 
+    pub fn config(&self) -> &EmbedConfig {
+        &self.cfg
+    }
+
     pub fn lexicon(&self) -> &Lexicon {
         &self.lexicon
+    }
+
+    /// Capture the embedder as plain data, in canonical (sorted) order.
+    /// `from_parts(to_parts())` reconstructs a behaviourally identical
+    /// embedder (byte-identical `embed` output — property-tested).
+    pub fn to_parts(&self) -> EmbedderParts {
+        let mut known: Vec<(u32, u32)> = self
+            .known
+            .iter()
+            .map(|&(ci, ai)| (ci as u32, ai as u32))
+            .collect();
+        known.sort_unstable();
+        let mut phrases: Vec<PhraseRow> = self
+            .phrases
+            .values()
+            .flatten()
+            .map(|e| PhraseRow {
+                phrase: e.phrase.to_string(),
+                concept: e.concept as u32,
+                alt: e.alt as u32,
+            })
+            .collect();
+        phrases.sort_unstable_by(|a, b| a.phrase.cmp(&b.phrase));
+        EmbedderParts {
+            config: self.cfg.clone(),
+            lexicon: self.lexicon.clone(),
+            known,
+            phrases,
+        }
+    }
+
+    /// Reconstruct an embedder from captured parts **without re-deriving**
+    /// the coverage sample or the stemmed-phrase derivation rounds: the
+    /// persisted `known` set and phrase→concept map are taken as-is, and
+    /// only the per-row derived state (feature slot, coverage flag) is
+    /// recomputed. Structural inconsistencies are `Err`s, never panics.
+    pub fn from_parts(parts: EmbedderParts) -> Result<TextEmbedder, String> {
+        let EmbedderParts {
+            config: cfg,
+            lexicon,
+            known,
+            phrases,
+        } = parts;
+        if cfg.dims == 0 {
+            return Err("embedder dims must be non-zero".to_string());
+        }
+        let in_range = |ci: u32, ai: u32| -> Result<(usize, usize), String> {
+            let concept = lexicon
+                .concepts
+                .get(ci as usize)
+                .ok_or_else(|| format!("concept index {ci} out of range"))?;
+            if ai as usize >= concept.alts.len() {
+                return Err(format!("alt index {ai} out of range for concept {ci}"));
+            }
+            Ok((ci as usize, ai as usize))
+        };
+        let known: HashSet<(usize, usize)> = known
+            .into_iter()
+            .map(|(ci, ai)| in_range(ci, ai))
+            .collect::<Result<_, _>>()?;
+        let mut table: HashMap<u64, Vec<PhraseEntry>> = HashMap::new();
+        for row in phrases {
+            let (ci, ai) = in_range(row.concept, row.alt)?;
+            if row.phrase.is_empty() {
+                return Err("phrase table contains an empty phrase".to_string());
+            }
+            let (dim, signed_weight) = feature_slot(
+                b"c:",
+                lexicon.concepts[ci].id.as_bytes(),
+                cfg.dims,
+                cfg.concept_weight,
+            );
+            let entry = PhraseEntry {
+                phrase: row.phrase.into_boxed_str(),
+                concept: ci,
+                alt: ai,
+                known: known.contains(&(ci, ai)),
+                dim,
+                signed_weight,
+            };
+            let bucket = table.entry(fnv_str(&entry.phrase)).or_default();
+            if bucket.iter().any(|e| e.phrase == entry.phrase) {
+                return Err(format!("phrase {:?} listed twice", entry.phrase));
+            }
+            bucket.push(entry);
+        }
+        Ok(TextEmbedder {
+            cfg,
+            lexicon,
+            known,
+            phrases: table,
+        })
     }
 
     /// Lowercase alphanumeric word tokens (underscores split words).
@@ -538,6 +661,64 @@ mod tests {
             let got = m.resolve_phrase(probe).map(|(ci, _)| ci);
             assert_eq!(got, expected, "probe {probe:?}");
         }
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_embedding_behaviour() {
+        let m = model(0.8);
+        let parts = m.to_parts();
+        // Canonical order: sorted, so equal embedders capture equal parts.
+        assert!(parts.known.windows(2).all(|w| w[0] < w[1]));
+        assert!(parts.phrases.windows(2).all(|w| w[0].phrase < w[1].phrase));
+        let rebuilt = TextEmbedder::from_parts(parts.clone()).unwrap();
+        assert_eq!(rebuilt.config(), m.config());
+        for text in [
+            "show the average salary per department",
+            "wages by date of hire",
+            "departments",
+            "salaries of all staff members in each town",
+            "",
+        ] {
+            assert_eq!(rebuilt.embed(text), m.embed(text), "text {text:?}");
+        }
+        for probe in ["salary", "salaries", "date of hire", "zzz"] {
+            assert_eq!(rebuilt.resolve_phrase(probe), m.resolve_phrase(probe));
+        }
+        // And the re-captured parts are identical (stable canonical form).
+        let again = rebuilt.to_parts();
+        assert_eq!(again.known, m.to_parts().known);
+        assert_eq!(again.phrases, m.to_parts().phrases);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_tables() {
+        let m = model(1.0);
+        let good = m.to_parts();
+
+        let mut bad = good.clone();
+        bad.config.dims = 0;
+        assert!(TextEmbedder::from_parts(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.known.push((u32::MAX, 0));
+        assert!(TextEmbedder::from_parts(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.phrases[0].concept = u32::MAX;
+        assert!(TextEmbedder::from_parts(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.phrases[0].alt = u32::MAX;
+        assert!(TextEmbedder::from_parts(bad).is_err());
+
+        let mut bad = good.clone();
+        let dup = bad.phrases[0].clone();
+        bad.phrases.push(dup);
+        assert!(TextEmbedder::from_parts(bad).is_err());
+
+        let mut bad = good;
+        bad.phrases[0].phrase = String::new();
+        assert!(TextEmbedder::from_parts(bad).is_err());
     }
 
     #[test]

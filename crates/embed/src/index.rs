@@ -209,6 +209,35 @@ impl VectorIndex {
         }
     }
 
+    /// Reassemble an index from a previously captured raw store (see
+    /// [`VectorIndex::raw_rows`]) without re-normalising: `data` must hold
+    /// row-major **already L2-normalised** rows of stride `dims`, exactly as
+    /// a live index stores them. This is the snapshot-restore path — feeding
+    /// it unnormalised rows silently skews every cosine score, so only pass
+    /// bytes that came out of `raw_rows`.
+    pub fn from_parts(dims: usize, data: Vec<f32>) -> Result<VectorIndex, String> {
+        if data.is_empty() {
+            return Ok(VectorIndex::new());
+        }
+        if dims == 0 {
+            return Err("vector index stride must be non-zero".to_string());
+        }
+        if !data.len().is_multiple_of(dims) {
+            return Err(format!(
+                "raw store length {} is not a multiple of stride {dims}",
+                data.len()
+            ));
+        }
+        Ok(VectorIndex { dims, data })
+    }
+
+    /// The raw row-major store behind the index: `(stride, rows)`. Rows are
+    /// the L2-normalised vectors in insertion order — the exact bytes
+    /// [`VectorIndex::from_parts`] accepts back.
+    pub fn raw_rows(&self) -> (usize, &[f32]) {
+        (self.dims, &self.data)
+    }
+
     /// Add a vector; returns its id. The vector is stored L2-normalised.
     ///
     /// # Panics
@@ -553,6 +582,30 @@ mod tests {
             12,
         );
         assert_eq!(wide, seq);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let mut idx = VectorIndex::new();
+        for i in 0..50 {
+            let mut v = vec![0.1f32; 8];
+            v[i % 8] = 1.0 + i as f32 * 0.01;
+            idx.add(v);
+        }
+        let (dims, rows) = idx.raw_rows();
+        let rebuilt = VectorIndex::from_parts(dims, rows.to_vec()).unwrap();
+        assert_eq!(rebuilt.len(), idx.len());
+        assert_eq!(rebuilt.dims(), idx.dims());
+        // Bit-identical store ⇒ bit-identical retrieval.
+        let q = vec![0.3f32; 8];
+        assert_eq!(rebuilt.top_k(&q, 7), idx.top_k(&q, 7));
+        assert_eq!(rebuilt.raw_rows().1, rows);
+
+        // Empty stores reassemble to an empty index regardless of stride.
+        assert_eq!(VectorIndex::from_parts(0, Vec::new()).unwrap().len(), 0);
+        // Invalid shapes are structured errors, not panics.
+        assert!(VectorIndex::from_parts(0, vec![1.0]).is_err());
+        assert!(VectorIndex::from_parts(3, vec![1.0; 8]).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 pub mod embedder;
 pub mod index;
 
-pub use embedder::{cosine, l2_normalize, EmbedConfig, TextEmbedder};
+pub use embedder::{cosine, l2_normalize, EmbedConfig, EmbedderParts, PhraseRow, TextEmbedder};
 pub use index::{Hit, VectorIndex};
 
 #[cfg(test)]
@@ -152,6 +152,18 @@ mod proptests {
             let mut buf = vec![stale; m.dims()];
             m.embed_into(&text, &mut buf);
             prop_assert_eq!(&buf, &m.embed(&text));
+        }
+
+        /// A parts-roundtripped embedder is byte-identical to the original
+        /// on arbitrary text (the snapshot store's correctness contract).
+        #[test]
+        fn parts_roundtrip_embeds_identically(
+            words in prop::collection::vec("[a-zA-Z]{1,10}", 0..10),
+        ) {
+            let m = TextEmbedder::default_model();
+            let rebuilt = TextEmbedder::from_parts(m.to_parts()).expect("valid parts");
+            let text = words.join(" ");
+            prop_assert_eq!(rebuilt.embed(&text), m.embed(&text));
         }
 
         /// The precomputed phrase table agrees with the lexicon's stemmed

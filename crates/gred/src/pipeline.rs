@@ -133,10 +133,24 @@ impl<M: ChatModel> Gred<M> {
     /// with `embedder` (the pre-trained text embedding model).
     pub fn prepare(corpus: &Corpus, embedder: TextEmbedder, model: M, config: GredConfig) -> Self {
         let library = EmbeddingLibrary::build(corpus, &embedder);
+        Gred::from_parts(Arc::new(embedder), Arc::new(library), model, config)
+    }
+
+    /// Assemble a GRED over an already-resolved embedder + library — the
+    /// provenance seam: callers decide whether the library was freshly
+    /// built ([`EmbeddingLibrary::build`]) or restored from a persistent
+    /// snapshot (`t2v-store`), and the pipeline behaves identically either
+    /// way (conformance-tested in the store crate).
+    pub fn from_parts(
+        embedder: Arc<TextEmbedder>,
+        library: Arc<EmbeddingLibrary>,
+        model: M,
+        config: GredConfig,
+    ) -> Self {
         Gred {
             config,
-            embedder: Arc::new(embedder),
-            library: Arc::new(library),
+            embedder,
+            library,
             annotations: Arc::new(AnnotationStore::new()),
             model,
         }
@@ -236,10 +250,10 @@ impl<M: ChatModel> Gred<M> {
         let dvq_rtn = if self.config.use_retuner {
             let t1 = Instant::now();
             let dv = self.embedder.embed(&dvq_gen);
-            let refs: Vec<&str> = retriever
-                .retrieve_dvq(&dv, self.config.k)
+            let hits = retriever.retrieve_dvq(&dv, self.config.k);
+            let refs: Vec<&str> = hits
                 .iter()
-                .map(|h| self.library.entries[h.id].dvq.as_str())
+                .map(|h| &*self.library.entries[h.id].dvq)
                 .collect();
             let answer = self.model.complete(
                 &prompts::retune_prompt(&refs, &dvq_gen),

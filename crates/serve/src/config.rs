@@ -73,6 +73,21 @@ pub struct ServeConfig {
     pub store_seed: u64,
     /// Corpus the embedding library is prepared over.
     pub corpus: CorpusProfile,
+    /// Path of a `t2v-store` snapshot to load the embedding library from at
+    /// startup (empty ⇒ always build). A missing file falls back to a
+    /// build; an existing-but-invalid or fingerprint-mismatched snapshot
+    /// fails startup loudly.
+    pub library_snapshot: String,
+    /// Path to persist the library to after a cold build (write-through;
+    /// empty ⇒ never write). Also the default target of
+    /// `POST /v1/admin/snapshot`.
+    pub snapshot_save: String,
+    /// Per-backend worker-pool weights, `id:weight` comma-separated (e.g.
+    /// `gred:4,neural:1`). Unlisted backends weigh 1; empty (default) ⇒
+    /// the pool is unclassed — no per-backend admission control at all.
+    /// When set, heavier backends are allowed proportionally more
+    /// in-flight translations before the pool sheds their load with a 503.
+    pub backend_weights: String,
     /// Which backends to register, comma-separated (see
     /// [`KNOWN_BACKENDS`]); the first is the default for requests that do
     /// not name one.
@@ -108,6 +123,9 @@ impl Default for ServeConfig {
             store_rows: 30,
             store_seed: 7,
             corpus: CorpusProfile::Tiny(7),
+            library_snapshot: String::new(),
+            snapshot_save: String::new(),
+            backend_weights: String::new(),
             backends: "gred,seq2vis,transformer,rgvisnet,neural".to_string(),
             legacy_translate: LegacyRoute::Redirect,
             max_batch_items: 64,
@@ -198,6 +216,9 @@ impl ServeConfig {
             "store_rows" => self.store_rows = parse_usize(key, value)?,
             "store_seed" => self.store_seed = parse_u64(key, value)?,
             "corpus" => self.corpus = parse_corpus(value)?,
+            "library_snapshot" => self.library_snapshot = value.to_string(),
+            "snapshot_save" => self.snapshot_save = value.to_string(),
+            "backend_weights" => self.backend_weights = parse_backend_weights(value)?,
             "backends" => self.backends = parse_backends(value)?,
             "legacy_translate" => {
                 self.legacy_translate = match value {
@@ -257,6 +278,25 @@ impl ServeConfig {
             .collect()
     }
 
+    /// The pool weight of one backend id (validated at `set` time);
+    /// unlisted backends weigh 1.
+    pub fn backend_weight(&self, id: &str) -> u32 {
+        self.backend_weights
+            .split(',')
+            .filter_map(|pair| pair.trim().split_once(':'))
+            .find(|(k, _)| k.trim() == id)
+            .and_then(|(_, w)| w.trim().parse().ok())
+            .unwrap_or(1)
+    }
+
+    /// Pool weights for the registered backends, in registration order.
+    pub fn backend_weight_vector(&self) -> Vec<u32> {
+        self.backend_ids()
+            .iter()
+            .map(|id| self.backend_weight(id))
+            .collect()
+    }
+
     pub fn cache_ttl(&self) -> Option<Duration> {
         if self.cache_ttl_secs == 0 {
             None
@@ -292,6 +332,9 @@ pub const KEYS: &[&str] = &[
     "store_rows",
     "store_seed",
     "corpus",
+    "library_snapshot",
+    "snapshot_save",
+    "backend_weights",
     "backends",
     "legacy_translate",
     "max_batch_items",
@@ -340,6 +383,44 @@ fn parse_backends(value: &str) -> Result<String, ConfigError> {
         return Err(err("backends: the list is empty"));
     }
     Ok(seen.join(","))
+}
+
+/// A comma-separated list of `backend:weight` pairs over [`KNOWN_BACKENDS`]
+/// with positive integer weights. Normalised to `id:weight` joined by `,`.
+fn parse_backend_weights(value: &str) -> Result<String, ConfigError> {
+    let mut seen: Vec<(String, u32)> = Vec::new();
+    for pair in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let Some((id, weight)) = pair.split_once(':') else {
+            return Err(err(format!(
+                "backend_weights: '{pair}' is not backend:weight"
+            )));
+        };
+        let (id, weight) = (id.trim(), weight.trim());
+        if !KNOWN_BACKENDS.contains(&id) {
+            return Err(err(format!(
+                "backend_weights: unknown backend '{id}' (known: {})",
+                KNOWN_BACKENDS.join(", ")
+            )));
+        }
+        let w: u32 = weight
+            .parse()
+            .ok()
+            .filter(|w| (1..=1_000_000).contains(w))
+            .ok_or_else(|| {
+                err(format!(
+                    "backend_weights: '{weight}' is not a weight in 1..=1000000"
+                ))
+            })?;
+        if seen.iter().any(|(k, _)| k == id) {
+            return Err(err(format!("backend_weights: '{id}' listed twice")));
+        }
+        seen.push((id.to_string(), w));
+    }
+    Ok(seen
+        .iter()
+        .map(|(k, w)| format!("{k}:{w}"))
+        .collect::<Vec<_>>()
+        .join(","))
 }
 
 /// `tiny:SEED` or `paper:SEED` (seed optional, default 7).
@@ -406,6 +487,8 @@ mod tests {
                 "addr" => "127.0.0.1:0",
                 "corpus" => "tiny:3",
                 "backends" => "gred,rgvisnet",
+                "backend_weights" => "gred:4,neural:1",
+                "library_snapshot" | "snapshot_save" => "/tmp/lib.t2vsnap",
                 "legacy_translate" => "gone",
                 "batch" | "gred_retuner" | "gred_debugger" => "true",
                 _ => "5",
@@ -430,6 +513,41 @@ mod tests {
         assert!(cfg.set("legacy_translate", "teapot").is_err());
         cfg.set("legacy_translate", "gone").unwrap();
         assert_eq!(cfg.legacy_translate, LegacyRoute::Gone);
+    }
+
+    #[test]
+    fn backend_weights_validate_and_resolve() {
+        let mut cfg = ServeConfig::default();
+        // Default: everything weighs 1.
+        assert_eq!(cfg.backend_weight("gred"), 1);
+        assert_eq!(cfg.backend_weight_vector(), vec![1; 5]);
+        cfg.set("backend_weights", "gred:4, neural:2").unwrap();
+        assert_eq!(cfg.backend_weight("gred"), 4);
+        assert_eq!(cfg.backend_weight("neural"), 2);
+        assert_eq!(cfg.backend_weight("seq2vis"), 1, "unlisted defaults to 1");
+        assert_eq!(cfg.backend_weight_vector(), vec![4, 1, 1, 1, 2]);
+        // Malformed pairs, unknown ids, zero weights, duplicates: errors.
+        assert!(cfg.set("backend_weights", "gred").is_err());
+        assert!(cfg.set("backend_weights", "gpt99:3").is_err());
+        assert!(cfg.set("backend_weights", "gred:0").is_err());
+        assert!(cfg.set("backend_weights", "gred:-1").is_err());
+        assert!(cfg.set("backend_weights", "gred:2,gred:3").is_err());
+        // Empty resets to equal weights.
+        cfg.set("backend_weights", "").unwrap();
+        assert_eq!(cfg.backend_weight_vector(), vec![1; 5]);
+    }
+
+    #[test]
+    fn snapshot_knobs_are_plain_paths() {
+        let mut cfg = ServeConfig::default();
+        assert!(cfg.library_snapshot.is_empty());
+        assert!(cfg.snapshot_save.is_empty());
+        cfg.set("library_snapshot", "/var/lib/t2v/lib.t2vsnap")
+            .unwrap();
+        cfg.set("snapshot_save", "/var/lib/t2v/lib.t2vsnap")
+            .unwrap();
+        assert_eq!(cfg.library_snapshot, "/var/lib/t2v/lib.t2vsnap");
+        assert_eq!(cfg.snapshot_save, "/var/lib/t2v/lib.t2vsnap");
     }
 
     #[test]

@@ -9,10 +9,14 @@
 //!   on request); `"stream": true` switches to NDJSON stage streaming,
 //! * `POST /v1/translate/batch` — `{"requests": [...]}` → `{"results":
 //!   [...]}` in order,
-//! * `GET /v1/backends` — capability metadata of every registered backend,
+//! * `GET /v1/backends` — capability metadata of every registered backend
+//!   plus the loaded library's provenance (fingerprint, built vs
+//!   snapshot-loaded, entry count),
+//! * `POST /v1/admin/snapshot` — persist the live embedding library as a
+//!   `t2v-store` artifact for instant warm restarts,
 //! * `GET /healthz`, `GET /metrics` — liveness and Prometheus counters
 //!   (request counters by route, per-backend translation/cache/error
-//!   counters, cache shard count),
+//!   counters and pool shares, cache shard count, library provenance),
 //! * `POST /translate` — **deprecated**: answers 308 → `/v1/translate` (or
 //!   410, `legacy_translate` knob) and never translates.
 //!
@@ -54,5 +58,5 @@ pub use metrics::{BackendMetrics, Metrics, Route};
 pub use pool::{OneShot, SubmitError, WorkerPool};
 pub use server::{
     db_fingerprint, normalize_nlq, render_translation, serve, translate_body, CacheKey, DbEntry,
-    Server, ServerState,
+    Server, ServerState, StartupError,
 };

@@ -89,16 +89,18 @@ pub enum Route {
     Translate,
     TranslateBatch,
     Backends,
+    Admin,
     Legacy,
     Healthz,
     Metrics,
     Other,
 }
 
-const ROUTES: [(Route, &str); 7] = [
+const ROUTES: [(Route, &str); 8] = [
     (Route::Translate, "translate"),
     (Route::TranslateBatch, "translate_batch"),
     (Route::Backends, "backends"),
+    (Route::Admin, "admin"),
     (Route::Legacy, "legacy"),
     (Route::Healthz, "healthz"),
     (Route::Metrics, "metrics"),
@@ -119,6 +121,8 @@ pub struct BackendMetrics {
     pub errors: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    /// Weighted in-system worker-pool share (constant per process).
+    pub pool_share: AtomicU64,
     /// Model time per cold translation.
     pub translate: LatencyHistogram,
 }
@@ -131,6 +135,7 @@ impl BackendMetrics {
             errors: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            pool_share: AtomicU64::new(0),
             translate: LatencyHistogram::default(),
         }
     }
@@ -140,9 +145,17 @@ impl BackendMetrics {
 pub struct Metrics {
     started: Instant,
     /// requests[route][status class]
-    requests: [[AtomicU64; 4]; 7],
+    requests: [[AtomicU64; 4]; 8],
     /// Per-backend counters, in backend-registry order.
     backends: Vec<BackendMetrics>,
+    /// Library provenance, set once at startup: (fingerprint hex, source
+    /// label). Rendered as an info-style gauge with labels because a u64
+    /// fingerprint does not survive the f64 Prometheus value space.
+    library_info: std::sync::OnceLock<(String, &'static str)>,
+    /// Embedding-library entry count (constant per process).
+    pub library_entries: AtomicU64,
+    /// Snapshots persisted via write-through or `/v1/admin/snapshot`.
+    pub snapshots_written: AtomicU64,
     /// Cache shard count (constant per process; exported for dashboards).
     pub cache_shards: AtomicU64,
     pub cache_hits: AtomicU64,
@@ -179,6 +192,9 @@ impl Metrics {
                 .iter()
                 .map(|id| BackendMetrics::new(id.to_string()))
                 .collect(),
+            library_info: std::sync::OnceLock::new(),
+            library_entries: AtomicU64::new(0),
+            snapshots_written: AtomicU64::new(0),
             cache_shards: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -221,6 +237,16 @@ impl Metrics {
         let r = ROUTES.iter().position(|(x, _)| *x == route).unwrap();
         let c = CLASSES.iter().position(|x| *x == class).unwrap();
         self.requests[r][c].load(Ordering::Relaxed)
+    }
+
+    /// Record the loaded library's provenance (first call wins; the
+    /// library is fixed for a server's lifetime).
+    pub fn set_library_info(&self, fingerprint: u64, source: &'static str, entries: usize) {
+        let _ = self
+            .library_info
+            .set((format!("{fingerprint:#018x}"), source));
+        self.library_entries
+            .store(entries as u64, Ordering::Relaxed);
     }
 
     pub fn record_batch(&self, lookups: u64) {
@@ -266,9 +292,25 @@ impl Metrics {
             ),
             ("t2v_max_batch_size", "gauge", &self.max_batch),
             ("t2v_cache_shards", "gauge", &self.cache_shards),
+            ("t2v_library_entries", "gauge", &self.library_entries),
+            (
+                "t2v_snapshots_written_total",
+                "counter",
+                &self.snapshots_written,
+            ),
         ] {
             let _ = writeln!(out, "# TYPE {name} {kind}");
             let _ = writeln!(out, "{name} {}", v.load(Ordering::Relaxed));
+        }
+
+        // Library provenance: labels carry the exact fingerprint (a u64
+        // does not fit the f64 metric value space losslessly).
+        if let Some((fingerprint, source)) = self.library_info.get() {
+            let _ = writeln!(out, "# TYPE t2v_library_info gauge");
+            let _ = writeln!(
+                out,
+                "t2v_library_info{{fingerprint=\"{fingerprint}\",source=\"{source}\"}} 1"
+            );
         }
 
         // Per-backend counter families (one label set per registered id).
@@ -294,6 +336,9 @@ impl Metrics {
                     "counter",
                     |b: &BackendMetrics| &b.cache_misses,
                 ),
+                ("t2v_backend_pool_share", "gauge", |b: &BackendMetrics| {
+                    &b.pool_share
+                }),
             ] {
                 let _ = writeln!(out, "# TYPE {name} {kind}");
                 for b in &self.backends {
@@ -370,6 +415,16 @@ mod tests {
         assert!(text.contains("t2v_backend_translations_total{backend=\"seq2vis\"} 0"));
         assert!(text.contains("t2v_backend_cache_hits_total{backend=\"seq2vis\"} 5"));
         assert!(text.contains("t2v_backend_errors_total{backend=\"gred\"} 0"));
+        m.backend(0).pool_share.store(12, Ordering::Relaxed);
+        m.set_library_info(0xabcd, "snapshot", 240);
+        m.record_request(Route::Admin, 200);
+        let text = m.render_prometheus();
+        assert!(text.contains("t2v_backend_pool_share{backend=\"gred\"} 12"));
+        assert!(text.contains("t2v_library_entries 240"));
+        assert!(text.contains(
+            "t2v_library_info{fingerprint=\"0x000000000000abcd\",source=\"snapshot\"} 1"
+        ));
+        assert!(text.contains("t2v_http_requests_total{route=\"admin\",status=\"2xx\"} 1"));
         // Every non-comment line is "name-or-name{labels} value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (_, value) = line.rsplit_once(' ').expect("metric line has a value");

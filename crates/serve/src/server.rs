@@ -38,6 +38,41 @@ use t2v_corpus::{generate, Corpus, Database};
 use t2v_engine::{execute, Json, Store};
 use t2v_gred::{DirectRetriever, Gred};
 use t2v_llm::{LlmConfig, SimulatedChatModel};
+use t2v_store::{LibrarySource, Provenance, SnapshotError};
+
+/// Why the server could not start. Every variant prints as one line and
+/// exits cleanly in the binaries — startup problems are operator errors or
+/// environment damage, not panics.
+#[derive(Debug)]
+pub enum StartupError {
+    /// The library snapshot could not be loaded or trusted.
+    Snapshot(SnapshotError),
+    /// Binding the listen address (or other socket setup) failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StartupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartupError::Snapshot(e) => write!(f, "library snapshot: {e}"),
+            StartupError::Io(e) => write!(f, "cannot bind: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartupError {}
+
+impl From<SnapshotError> for StartupError {
+    fn from(e: SnapshotError) -> Self {
+        StartupError::Snapshot(e)
+    }
+}
+
+impl From<std::io::Error> for StartupError {
+    fn from(e: std::io::Error) -> Self {
+        StartupError::Io(e)
+    }
+}
 
 /// One servable database: schema, synthesized rows, and the fingerprint that
 /// scopes cache entries to exactly this (schema, data) pair.
@@ -119,6 +154,11 @@ pub struct ServerState {
     pub dbs: HashMap<String, Arc<DbEntry>>,
     pub cache: ShardedTtlLruCache<CacheKey, Arc<Vec<u8>>>,
     pub metrics: Arc<Metrics>,
+    /// How the embedding library materialised (built vs snapshot-loaded).
+    pub library_provenance: Provenance,
+    /// Fingerprint of the training split the library covers (also the
+    /// snapshot header's corpus fingerprint).
+    pub library_fingerprint: u64,
     batch_slot: RetrieverSlot,
 }
 
@@ -126,17 +166,36 @@ impl ServerState {
     /// Generate the configured corpus, prepare every configured backend
     /// over it, synthesize the execution stores. The expensive part of
     /// startup (the neural baselines train here).
-    pub fn build(config: ServeConfig) -> ServerState {
+    pub fn build(config: ServeConfig) -> Result<ServerState, StartupError> {
         let corpus = generate(&config.corpus.corpus_config());
         ServerState::from_corpus(&corpus, config)
     }
 
     /// Like [`ServerState::build`] for an already-generated corpus (tests
     /// and benches reuse one corpus across servers).
-    pub fn from_corpus(corpus: &Corpus, config: ServeConfig) -> ServerState {
-        let gred = Gred::prepare(
-            corpus,
-            t2v_embed::TextEmbedder::default_model(),
+    ///
+    /// The embedding library resolves through the [`LibrarySource`] seam:
+    /// `library_snapshot=` loads the snapshot (falling back to a build only
+    /// when the file does not exist — corrupt or mismatched snapshots fail
+    /// startup loudly), and `snapshot_save=` writes a freshly built library
+    /// through to disk so the *next* restart is warm.
+    pub fn from_corpus(corpus: &Corpus, config: ServeConfig) -> Result<ServerState, StartupError> {
+        let source = if config.library_snapshot.is_empty() {
+            LibrarySource::Build
+        } else {
+            LibrarySource::SnapshotOrBuild {
+                path: config.library_snapshot.clone().into(),
+            }
+        };
+        let resolved = source.resolve(corpus, &t2v_embed::EmbedConfig::default())?;
+        let mut snapshots_written = 0u64;
+        if resolved.provenance == Provenance::Built && !config.snapshot_save.is_empty() {
+            t2v_store::save(&config.snapshot_save, &resolved.library, &resolved.embedder)?;
+            snapshots_written = 1;
+        }
+        let gred = Gred::from_parts(
+            Arc::clone(&resolved.embedder),
+            Arc::clone(&resolved.library),
             SimulatedChatModel::new(LlmConfig::default()),
             config.gred_config(),
         );
@@ -193,15 +252,25 @@ impl ServerState {
         metrics
             .cache_shards
             .store(cache.shard_count() as u64, Ordering::Relaxed);
-        ServerState {
+        metrics.set_library_info(
+            resolved.corpus_fingerprint,
+            resolved.provenance.label(),
+            resolved.library.len(),
+        );
+        metrics
+            .snapshots_written
+            .fetch_add(snapshots_written, Ordering::Relaxed);
+        Ok(ServerState {
             config,
             gred,
             registry,
             dbs,
             cache,
             metrics,
+            library_provenance: resolved.provenance,
+            library_fingerprint: resolved.corpus_fingerprint,
             batch_slot,
-        }
+        })
     }
 }
 
@@ -367,12 +436,33 @@ impl Server {
         } else {
             None
         };
-        let pool = WorkerPool::new(
+        // One submission class per registered backend, weighted by the
+        // `backend_weights` knob: heavy backends get proportionally more
+        // in-system pool shares than trivial ones. With no weights
+        // configured the pool stays *unclassed* — equal implicit weights
+        // would still cap every backend at 1/N of the pool, a silent
+        // throughput regression for skewed traffic nobody asked to shape.
+        let weights = if config.backend_weights.is_empty() {
+            Vec::new()
+        } else {
+            config.backend_weight_vector()
+        };
+        let pool = WorkerPool::new_weighted(
             config.effective_workers(),
             config.effective_shards(),
             config.queue_capacity,
+            &weights,
             Arc::clone(&state.metrics),
         );
+        for idx in 0..weights.len() {
+            if let Some(share) = pool.class_share(idx) {
+                state
+                    .metrics
+                    .backend(idx)
+                    .pool_share
+                    .store(share as u64, Ordering::Relaxed);
+            }
+        }
         let shared = Arc::new(Shared {
             state,
             pool,
@@ -528,6 +618,9 @@ fn respond(shared: &Shared, req: &Request, writer: &mut BufWriter<TcpStream>) ->
             },
         ),
         ("GET", "/v1/backends") => reply(Route::Backends, backends_endpoint(&shared.state)),
+        ("POST", "/v1/admin/snapshot") => {
+            reply(Route::Admin, admin_snapshot_endpoint(&shared.state, req))
+        }
         ("POST", "/v1/translate") => translate_endpoint(shared, req, writer),
         ("POST", "/v1/translate/batch") => {
             reply(Route::TranslateBatch, batch_endpoint(shared, req))
@@ -540,7 +633,8 @@ fn respond(shared: &Shared, req: &Request, writer: &mut BufWriter<TcpStream>) ->
             | "/translate"
             | "/v1/translate"
             | "/v1/translate/batch"
-            | "/v1/backends",
+            | "/v1/backends"
+            | "/v1/admin/snapshot",
         ) => reply(Route::Other, Response::error(405, "method not allowed")),
         _ => reply(Route::Other, Response::error(404, "no such route")),
     }
@@ -582,8 +676,67 @@ fn backends_endpoint(state: &ServerState) -> Response {
             Json::str(state.registry.default_id().unwrap_or("")),
         ),
         ("backends", Json::Arr(backends)),
+        (
+            "library",
+            Json::obj([
+                (
+                    "fingerprint",
+                    Json::str(format!("{:#018x}", state.library_fingerprint)),
+                ),
+                ("source", Json::str(state.library_provenance.label())),
+                ("entries", Json::Num(state.gred.library().len() as f64)),
+            ]),
+        ),
     ]);
     Response::json(200, body.compact())
+}
+
+/// `POST /v1/admin/snapshot` — persist the live embedding library to disk.
+/// Body: `{"path": "..."}` (optional; defaults to the `snapshot_save`
+/// knob). The written artifact is exactly what `library_snapshot=` loads on
+/// the next start.
+fn admin_snapshot_endpoint(state: &ServerState, req: &Request) -> Response {
+    let mut path = state.config.snapshot_save.clone();
+    if !req.body.is_empty() {
+        let Ok(body_text) = std::str::from_utf8(&req.body) else {
+            return Response::error(400, "body is not UTF-8");
+        };
+        let parsed = match Json::parse(body_text) {
+            Ok(j) => j,
+            Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+        };
+        match parsed.get("path") {
+            None => {}
+            Some(Json::Str(p)) => path = p.clone(),
+            Some(_) => return Response::error(400, "field 'path' must be a string"),
+        }
+    }
+    if path.is_empty() {
+        return Response::error_code(
+            400,
+            "no_path",
+            "no snapshot path: pass {\"path\": ...} or set snapshot_save=",
+        );
+    }
+    match t2v_store::save(&path, state.gred.library(), state.gred.embedder()) {
+        Ok(manifest) => {
+            state
+                .metrics
+                .snapshots_written
+                .fetch_add(1, Ordering::Relaxed);
+            let body = Json::obj([
+                ("path", Json::str(path)),
+                ("bytes", Json::Num(manifest.file_len as f64)),
+                ("entries", Json::Num(manifest.entries as f64)),
+                (
+                    "fingerprint",
+                    Json::str(format!("{:#018x}", manifest.corpus_fingerprint)),
+                ),
+            ]);
+            Response::json(200, body.compact())
+        }
+        Err(e) => Response::error_code(500, e.code(), &format!("snapshot not written: {e}")),
+    }
 }
 
 /// The deprecated unversioned route: never translates any more.
@@ -695,7 +848,7 @@ fn submit_translation(
     let entry = Arc::clone(&item.entry);
     let want_vegalite = item.want_vegalite;
     let enqueued = Instant::now();
-    shared.pool.submit(move || {
+    shared.pool.submit_classed(backend_idx, move || {
         state
             .metrics
             .queue_wait
@@ -1018,8 +1171,9 @@ fn batch_endpoint(shared: &Shared, req: &Request) -> Response {
 }
 
 /// Convenience: build state from config and spawn, one call.
-pub fn serve(config: ServeConfig) -> std::io::Result<Server> {
-    Server::spawn(Arc::new(ServerState::build(config)))
+pub fn serve(config: ServeConfig) -> Result<Server, StartupError> {
+    let state = Arc::new(ServerState::build(config)?);
+    Server::spawn(state).map_err(StartupError::Io)
 }
 
 #[cfg(test)]
@@ -1030,7 +1184,7 @@ mod tests {
         let corpus = generate(&t2v_corpus::CorpusConfig::tiny(7));
         let mut config = ServeConfig::default();
         config.set("backends", "gred").unwrap();
-        let state = ServerState::from_corpus(&corpus, config);
+        let state = ServerState::from_corpus(&corpus, config).expect("no snapshot configured");
         (corpus, state)
     }
 
@@ -1108,10 +1262,7 @@ mod tests {
 
     #[test]
     fn translation_errors_are_structured_objects() {
-        let corpus = generate(&t2v_corpus::CorpusConfig::tiny(7));
-        let mut config = ServeConfig::default();
-        config.set("backends", "gred").unwrap();
-        let state = ServerState::from_corpus(&corpus, config);
+        let (_corpus, state) = gred_only_state();
         let entry = state.dbs.values().next().unwrap();
         // A mute backend produces a structured no_output error body.
         let mute = t2v_core::FnBackend::new("mute", |_: &str, _: &Database| None);

@@ -182,7 +182,7 @@ fn spawn_server(tweaks: &[(&str, &str)]) -> (t2v_corpus::Corpus, Server) {
     for (k, v) in tweaks {
         config.set(k, v).unwrap();
     }
-    let state = Arc::new(ServerState::from_corpus(&corpus, config));
+    let state = Arc::new(ServerState::from_corpus(&corpus, config).expect("state builds"));
     let server = Server::spawn(state).expect("bind loopback");
     (corpus, server)
 }
@@ -601,6 +601,169 @@ fn streaming_emits_stages_then_the_cacheable_body() {
     assert_eq!(plain.cache(), Some("hit"), "stream populated the cache");
     assert_eq!(plain.json().compact(), final_line.compact());
     server.shutdown();
+}
+
+#[test]
+fn backend_weights_knob_classes_the_pool() {
+    // Weighted: gred's in-system share is exported and bounded.
+    let (_, server) = spawn_server(&[
+        ("backend_weights", "gred:4"),
+        ("workers", "2"),
+        ("shards", "1"),
+        ("queue_capacity", "8"),
+    ]);
+    let mut c = Client::connect(&server);
+    let text = String::from_utf8(c.request("GET", "/metrics", "").body).unwrap();
+    // total = 1 shard × 8 slots + 2 workers = 10; single registered class
+    // with weight 4/4 gets all of it.
+    assert!(
+        text.contains("t2v_backend_pool_share{backend=\"gred\"} 10"),
+        "pool share gauge missing: {text}"
+    );
+    server.shutdown();
+
+    // Unweighted (default): the pool is unclassed — no share gauge (0).
+    let (_, server) = spawn_server(&[("workers", "2"), ("shards", "1"), ("queue_capacity", "8")]);
+    let mut c = Client::connect(&server);
+    let text = String::from_utf8(c.request("GET", "/metrics", "").body).unwrap();
+    assert!(text.contains("t2v_backend_pool_share{backend=\"gred\"} 0"));
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_boot_serves_byte_identical_translations() {
+    // The persistent-artifact acceptance path: build a server (write-through
+    // snapshot), boot a second server from the snapshot, and require the
+    // /v1 surface to be byte-identical between the two.
+    let dir = std::env::temp_dir().join(format!("t2v-loopback-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("lib.t2vsnap");
+    let snap_str = snap.to_str().unwrap().to_string();
+
+    let (corpus, cold_server) = spawn_server(&[("snapshot_save", &snap_str)]);
+    assert!(
+        snap.exists(),
+        "write-through must persist the built library"
+    );
+    t2v_store::verify(&snap).expect("write-through snapshot verifies");
+
+    // Cold server reports built provenance; warm server reports snapshot.
+    let mut c = Client::connect(&cold_server);
+    let cold_backends = c.request("GET", "/v1/backends", "").json();
+    let lib = cold_backends.get("library").expect("library object");
+    assert_eq!(lib.get("source").and_then(Json::as_str), Some("built"));
+    let fingerprint = lib
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .expect("fingerprint")
+        .to_string();
+    assert!(fingerprint.starts_with("0x"));
+    assert_eq!(
+        lib.get("entries").and_then(Json::as_f64),
+        Some(corpus.train.len() as f64)
+    );
+
+    let (_, warm_server) = spawn_server(&[("library_snapshot", &snap_str)]);
+    let mut w = Client::connect(&warm_server);
+    let warm_backends = w.request("GET", "/v1/backends", "").json();
+    let warm_lib = warm_backends.get("library").unwrap();
+    assert_eq!(
+        warm_lib.get("source").and_then(Json::as_str),
+        Some("snapshot")
+    );
+    assert_eq!(
+        warm_lib.get("fingerprint").and_then(Json::as_str),
+        Some(fingerprint.as_str()),
+        "loaded artifact must carry the built fingerprint"
+    );
+
+    // Byte-identical translations (and Vega-Lite execution) across servers.
+    for ex in corpus.dev.iter().take(8) {
+        let db = &corpus.databases[ex.db].id;
+        let body = Json::obj([
+            ("nlq", Json::str(ex.nlq.as_str())),
+            ("db", Json::str(db.as_str())),
+            ("vegalite", Json::Bool(true)),
+        ])
+        .compact();
+        let cold = c.request("POST", "/v1/translate", &body);
+        let warm = w.request("POST", "/v1/translate", &body);
+        assert_eq!(cold.status, 200);
+        assert_eq!(warm.status, 200);
+        assert_eq!(
+            cold.body, warm.body,
+            "snapshot-loaded server diverged on {:?}",
+            ex.nlq
+        );
+    }
+
+    // The warm server's metrics expose the provenance.
+    let text = String::from_utf8(w.request("GET", "/metrics", "").body).unwrap();
+    assert!(text.contains("source=\"snapshot\""));
+    assert!(text.contains(&format!("fingerprint=\"{fingerprint}\"")));
+
+    cold_server.shutdown();
+    warm_server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn admin_snapshot_endpoint_persists_the_live_library() {
+    let dir = std::env::temp_dir().join(format!("t2v-admin-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("admin.t2vsnap");
+    let (corpus, server) = spawn_server(&[]);
+    let mut c = Client::connect(&server);
+
+    // No configured target and no body path: structured 400.
+    let r = c.request("POST", "/v1/admin/snapshot", "");
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error().0, "no_path");
+    // Wrong method: 405.
+    assert_eq!(c.request("GET", "/v1/admin/snapshot", "").status, 405);
+
+    // Explicit path: the live library is persisted and verifiable.
+    let body = Json::obj([("path", Json::str(snap.to_str().unwrap()))]).compact();
+    let r = c.request("POST", "/v1/admin/snapshot", &body);
+    assert_eq!(r.status, 200, "{:?}", r.json());
+    let doc = r.json();
+    assert_eq!(
+        doc.get("entries").and_then(Json::as_f64),
+        Some(corpus.train.len() as f64)
+    );
+    assert!(doc.get("bytes").and_then(Json::as_f64).unwrap() > 0.0);
+    let manifest = t2v_store::verify(&snap).expect("admin snapshot verifies");
+    assert_eq!(manifest.entries as usize, corpus.train.len());
+    let text = String::from_utf8(c.request("GET", "/metrics", "").body).unwrap();
+    assert!(text.contains("t2v_snapshots_written_total 1"));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_snapshot_fails_startup_with_structured_error() {
+    let dir = std::env::temp_dir().join(format!("t2v-corrupt-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("bad.t2vsnap");
+    std::fs::write(&snap, b"NOTASNAPSHOT____definitely garbage").unwrap();
+
+    let corpus = generate(&CorpusConfig::tiny(7));
+    let mut config = ServeConfig::default();
+    config.set("addr", "127.0.0.1:0").unwrap();
+    config.set("backends", "gred").unwrap();
+    config
+        .set("library_snapshot", snap.to_str().unwrap())
+        .unwrap();
+    let err = ServerState::from_corpus(&corpus, config)
+        .err()
+        .expect("corrupt snapshot must not boot");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("not a t2v snapshot"),
+        "diagnostic should name the cause, got: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

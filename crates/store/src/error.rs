@@ -1,0 +1,116 @@
+//! The structured failure taxonomy of the snapshot store.
+//!
+//! Every way a snapshot can be unusable — I/O, truncation, corruption,
+//! format drift, provenance mismatch — is a distinct, printable variant.
+//! Nothing in this crate panics on untrusted bytes: a fuzzer feeding
+//! arbitrary files to the loader sees only these errors.
+
+use std::fmt;
+
+/// Why a snapshot could not be written, read, or trusted.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem-level failure (open/read/write/rename).
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// The file does not start with the snapshot magic — not a snapshot.
+    BadMagic { found: [u8; 8] },
+    /// The format version is newer (or older) than this build understands.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The file ends before a structure it promises: a truncated copy.
+    Truncated {
+        context: &'static str,
+        needed: u64,
+        available: u64,
+    },
+    /// A checksum does not match its payload: bit rot or tampering.
+    ChecksumMismatch {
+        scope: &'static str,
+        expected: u64,
+        found: u64,
+    },
+    /// The snapshot was built from a different corpus or embedder than the
+    /// one the caller is serving.
+    FingerprintMismatch {
+        which: &'static str,
+        expected: u64,
+        found: u64,
+    },
+    /// Structurally invalid content behind valid checksums (e.g. an index
+    /// whose row count disagrees with the entry table) — a writer bug, not
+    /// transport damage.
+    Malformed { context: String },
+}
+
+impl SnapshotError {
+    pub(crate) fn malformed(context: impl Into<String>) -> SnapshotError {
+        SnapshotError::Malformed {
+            context: context.into(),
+        }
+    }
+
+    /// Stable machine-readable code, mirroring the serving error taxonomy
+    /// style (`{"error": {"code", ...}}`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            SnapshotError::Io { .. } => "io",
+            SnapshotError::BadMagic { .. } => "bad_magic",
+            SnapshotError::UnsupportedVersion { .. } => "unsupported_version",
+            SnapshotError::Truncated { .. } => "truncated",
+            SnapshotError::ChecksumMismatch { .. } => "checksum_mismatch",
+            SnapshotError::FingerprintMismatch { .. } => "fingerprint_mismatch",
+            SnapshotError::Malformed { .. } => "malformed",
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, source } => write!(f, "snapshot io error at {path}: {source}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a t2v snapshot (magic {:02x?})", found)
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads {supported})"
+            ),
+            SnapshotError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "snapshot truncated reading {context}: need {needed} bytes, have {available}"
+            ),
+            SnapshotError::ChecksumMismatch {
+                scope,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checksum mismatch in {scope}: stored {expected:#018x}, computed {found:#018x}"
+            ),
+            SnapshotError::FingerprintMismatch {
+                which,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{which} fingerprint mismatch: expected {expected:#018x}, snapshot has {found:#018x}"
+            ),
+            SnapshotError::Malformed { context } => write!(f, "malformed snapshot: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Provenance fingerprints.
+//!
+//! A snapshot is only trustworthy relative to what the consumer *would have
+//! built*: the corpus fingerprint pins the exact training split (ids,
+//! schemas, NLQs, DVQs) and the embedder fingerprint pins the embedding
+//! model (config, lexicon, sampled coverage). Both are stored in the
+//! snapshot header and verified before any reconstructed state is used.
+//!
+//! Invariant (tested): `library_fingerprint(EmbeddingLibrary::build(c, e))
+//! == corpus_fingerprint(c)` — the library-side walk visits exactly the
+//! fields the build copied out of the corpus, so a snapshot written from a
+//! built library carries the fingerprint of its source corpus.
+
+use crate::wire::Hasher;
+use t2v_corpus::lexicon::Lexicon;
+use t2v_corpus::Corpus;
+use t2v_embed::{EmbedConfig, TextEmbedder};
+use t2v_gred::EmbeddingLibrary;
+
+/// Fingerprint of the training split an embedding library is built from.
+pub fn corpus_fingerprint(corpus: &Corpus) -> u64 {
+    // Schemas render once per database, not once per example.
+    let schemas: Vec<String> = corpus
+        .databases
+        .iter()
+        .map(|db| db.render_prompt_schema())
+        .collect();
+    let mut h = Hasher::new();
+    h.eat_u64(corpus.train.len() as u64);
+    for ex in &corpus.train {
+        h.eat_str(&corpus.databases[ex.db].id);
+        h.eat_str(&schemas[ex.db]);
+        h.eat_str(&ex.nlq);
+        h.eat_str(&ex.dvq_text);
+    }
+    h.finish()
+}
+
+/// Fingerprint of a built library — equal to [`corpus_fingerprint`] of the
+/// corpus it was built from (same field walk over the copied entries).
+pub fn library_fingerprint(library: &EmbeddingLibrary) -> u64 {
+    let mut h = Hasher::new();
+    h.eat_u64(library.len() as u64);
+    for e in &library.entries {
+        h.eat_str(&e.db_id);
+        h.eat_str(&e.schema_text);
+        h.eat_str(&e.nlq);
+        h.eat_str(&e.dvq);
+    }
+    h.finish()
+}
+
+/// Fingerprint of an embedding model: config, lexicon content, and the
+/// sampled coverage set. Two embedders with equal fingerprints produce
+/// bit-identical vectors for every input.
+pub fn embedder_fingerprint(embedder: &TextEmbedder) -> u64 {
+    let cfg = embedder.config();
+    let mut h = Hasher::new();
+    h.eat_u64(cfg.dims as u64);
+    h.eat_u64(cfg.lexicon_coverage.to_bits());
+    h.eat_u64(cfg.seed);
+    h.eat(&cfg.word_weight.to_le_bytes());
+    h.eat(&cfg.concept_weight.to_le_bytes());
+    h.eat(&cfg.trigram_weight.to_le_bytes());
+    eat_lexicon(&mut h, embedder.lexicon());
+    // The coverage sample, in canonical (sorted) order. Persisting it in the
+    // fingerprint means a snapshot is rejected if the sampling ever drifts
+    // from what this process would have drawn for the same seed.
+    let mut known: Vec<(u32, u32)> = Vec::new();
+    for (ci, c) in embedder.lexicon().concepts.iter().enumerate() {
+        for ai in 0..c.alts.len() {
+            if embedder.knows(ci, ai) {
+                known.push((ci as u32, ai as u32));
+            }
+        }
+    }
+    h.eat_u64(known.len() as u64);
+    for (ci, ai) in known {
+        h.eat_u64(ci as u64);
+        h.eat_u64(ai as u64);
+    }
+    h.finish()
+}
+
+/// The embedder fingerprint a consumer *expects*: what a freshly
+/// constructed `TextEmbedder::new(lexicon, config)` would fingerprint to.
+pub fn expected_embedder_fingerprint(config: &EmbedConfig) -> u64 {
+    embedder_fingerprint(&TextEmbedder::new(Lexicon::builtin(), config.clone()))
+}
+
+fn eat_lexicon(h: &mut Hasher, lexicon: &Lexicon) {
+    h.eat_u64(lexicon.concepts.len() as u64);
+    for c in &lexicon.concepts {
+        h.eat_str(&c.id);
+        h.eat_u64(c.alts.len() as u64);
+        for alt in &c.alts {
+            h.eat_u64(alt.len() as u64);
+            for w in alt {
+                h.eat_str(w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+
+    #[test]
+    fn library_fingerprint_equals_corpus_fingerprint() {
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let embedder = TextEmbedder::default_model();
+        let lib = EmbeddingLibrary::build(&corpus, &embedder);
+        assert_eq!(library_fingerprint(&lib), corpus_fingerprint(&corpus));
+    }
+
+    #[test]
+    fn fingerprints_separate_corpora_and_embedders() {
+        let a = generate(&CorpusConfig::tiny(7));
+        let b = generate(&CorpusConfig::tiny(8));
+        assert_ne!(corpus_fingerprint(&a), corpus_fingerprint(&b));
+        assert_eq!(corpus_fingerprint(&a), corpus_fingerprint(&a));
+
+        let default = TextEmbedder::default_model();
+        assert_eq!(
+            embedder_fingerprint(&default),
+            expected_embedder_fingerprint(&EmbedConfig::default())
+        );
+        let narrow = TextEmbedder::new(
+            Lexicon::builtin(),
+            EmbedConfig {
+                dims: 128,
+                ..EmbedConfig::default()
+            },
+        );
+        assert_ne!(
+            embedder_fingerprint(&default),
+            embedder_fingerprint(&narrow)
+        );
+        let other_seed = TextEmbedder::new(
+            Lexicon::builtin(),
+            EmbedConfig {
+                seed: 1,
+                ..EmbedConfig::default()
+            },
+        );
+        assert_ne!(
+            embedder_fingerprint(&default),
+            embedder_fingerprint(&other_seed)
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! The provenance seam: where a consumer's `EmbeddingLibrary` comes from.
+//!
+//! Everything that used to call `EmbeddingLibrary::build` directly —
+//! `t2v-serve`, the bench binaries, the snapshot CLI — now resolves a
+//! [`LibrarySource`] instead, so each consumer *declares* whether its
+//! library is built from the corpus or restored from a snapshot, and the
+//! result always arrives with verified provenance (fingerprints checked
+//! against the corpus and embedder config actually in use).
+
+use crate::error::SnapshotError;
+use crate::fingerprint::{corpus_fingerprint, embedder_fingerprint};
+use crate::format;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use t2v_corpus::lexicon::Lexicon;
+use t2v_corpus::Corpus;
+use t2v_embed::{EmbedConfig, TextEmbedder};
+use t2v_gred::EmbeddingLibrary;
+
+/// Where to obtain the embedding library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LibrarySource {
+    /// Build from the corpus's training split (the original cold path).
+    Build,
+    /// Load the snapshot at `path`. A missing file, corrupt bytes, or a
+    /// fingerprint that does not match the consumer's corpus/embedder all
+    /// fail loudly with a structured [`SnapshotError`].
+    Snapshot { path: PathBuf },
+    /// Load `path` when it exists, otherwise build. Existing-but-broken
+    /// snapshots still fail loudly: silent fallback would mask corruption
+    /// and quietly re-eat the build cost every restart.
+    SnapshotOrBuild { path: PathBuf },
+}
+
+/// How a resolved library actually materialised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    Built,
+    Snapshot { path: PathBuf },
+}
+
+impl Provenance {
+    /// Stable label for metrics and API surfaces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Provenance::Built => "built",
+            Provenance::Snapshot { .. } => "snapshot",
+        }
+    }
+}
+
+/// A library with verified provenance, ready for `Gred::from_parts`.
+pub struct ResolvedLibrary {
+    pub embedder: Arc<TextEmbedder>,
+    pub library: Arc<EmbeddingLibrary>,
+    pub provenance: Provenance,
+    /// Fingerprint of the training split the library covers.
+    pub corpus_fingerprint: u64,
+    /// Fingerprint of the embedding model the vectors came from.
+    pub embedder_fingerprint: u64,
+}
+
+impl std::fmt::Debug for ResolvedLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResolvedLibrary")
+            .field("entries", &self.library.len())
+            .field("provenance", &self.provenance)
+            .field("corpus_fingerprint", &self.corpus_fingerprint)
+            .field("embedder_fingerprint", &self.embedder_fingerprint)
+            .finish()
+    }
+}
+
+impl LibrarySource {
+    /// Resolve against the corpus the consumer serves and the embedder
+    /// configuration it would otherwise build with (over the builtin
+    /// lexicon). Snapshot paths are verified: both fingerprints must match
+    /// what `Build` would have produced, so a resolved library is
+    /// interchangeable with a built one no matter where it came from.
+    pub fn resolve(
+        &self,
+        corpus: &Corpus,
+        embed_config: &EmbedConfig,
+    ) -> Result<ResolvedLibrary, SnapshotError> {
+        match self {
+            LibrarySource::Build => Ok(build(corpus, embed_config)),
+            LibrarySource::Snapshot { path } => load_verified(path, corpus, embed_config),
+            LibrarySource::SnapshotOrBuild { path } => {
+                if path.exists() {
+                    load_verified(path, corpus, embed_config)
+                } else {
+                    Ok(build(corpus, embed_config))
+                }
+            }
+        }
+    }
+}
+
+fn build(corpus: &Corpus, embed_config: &EmbedConfig) -> ResolvedLibrary {
+    let embedder = TextEmbedder::new(Lexicon::builtin(), embed_config.clone());
+    let library = EmbeddingLibrary::build(corpus, &embedder);
+    ResolvedLibrary {
+        corpus_fingerprint: corpus_fingerprint(corpus),
+        embedder_fingerprint: embedder_fingerprint(&embedder),
+        embedder: Arc::new(embedder),
+        library: Arc::new(library),
+        provenance: Provenance::Built,
+    }
+}
+
+fn load_verified(
+    path: &Path,
+    corpus: &Corpus,
+    embed_config: &EmbedConfig,
+) -> Result<ResolvedLibrary, SnapshotError> {
+    let loaded = format::load(path)?;
+    let expected_corpus = corpus_fingerprint(corpus);
+    if loaded.manifest.corpus_fingerprint != expected_corpus {
+        return Err(SnapshotError::FingerprintMismatch {
+            which: "corpus",
+            expected: expected_corpus,
+            found: loaded.manifest.corpus_fingerprint,
+        });
+    }
+    // Verify the *reconstructed* embedder without building a reference one
+    // (constructing a throwaway `TextEmbedder` per warm boot would re-pay a
+    // chunk of the cold start the snapshot exists to skip): the loaded
+    // config and lexicon must equal what this process would build with, and
+    // the header's fingerprint must match the reconstructed state. The
+    // coverage sample is covered by that fingerprint and is a deterministic
+    // function of (seed, coverage, lexicon), so equal inputs ⇒ equal
+    // embedders. Only the error path affords the full reference build, for
+    // an exact expected-vs-found diagnostic.
+    let found_embedder = embedder_fingerprint(&loaded.embedder);
+    if loaded.manifest.embedder_fingerprint != found_embedder
+        || loaded.embedder.config() != embed_config
+        || loaded.embedder.lexicon().concepts != Lexicon::builtin().concepts
+    {
+        return Err(SnapshotError::FingerprintMismatch {
+            which: "embedder",
+            expected: crate::fingerprint::expected_embedder_fingerprint(embed_config),
+            found: loaded.manifest.embedder_fingerprint,
+        });
+    }
+    Ok(ResolvedLibrary {
+        corpus_fingerprint: loaded.manifest.corpus_fingerprint,
+        embedder_fingerprint: found_embedder,
+        embedder: Arc::new(loaded.embedder),
+        library: Arc::new(loaded.library),
+        provenance: Provenance::Snapshot {
+            path: path.to_path_buf(),
+        },
+    })
+}

@@ -51,7 +51,7 @@ fn main() {
     }
 
     eprintln!(
-        "t2v-serve: preparing backends [{}] over the {:?} corpus ({} workers, {} shards, queue {} per shard, cache {} entries/{} shards/ttl {}s, batching {})...",
+        "t2v-serve: preparing backends [{}] over the {:?} corpus ({} workers, {} shards, queue {} per shard, cache {} entries/{} shards/ttl {}s, batching {}, library {})...",
         config.backends,
         config.corpus,
         config.effective_workers(),
@@ -61,10 +61,21 @@ fn main() {
         config.effective_cache_shards(),
         config.cache_ttl_secs,
         if config.batch { "on" } else { "off" },
+        if config.library_snapshot.is_empty() {
+            "build".to_string()
+        } else {
+            format!("snapshot {}", config.library_snapshot)
+        },
     );
-    let server = serve(config).unwrap_or_else(|e| die(&format!("cannot bind: {e}")));
+    // Startup failures — unparseable knobs above, a corrupt or mismatched
+    // library snapshot, an unbindable address — all exit through `die`:
+    // one-line diagnostic, non-zero status, no panic/backtrace noise.
+    let server = serve(config).unwrap_or_else(|e| die(&e.to_string()));
     eprintln!(
-        "t2v-serve: listening on http://{} (POST /v1/translate, POST /v1/translate/batch, GET /v1/backends, GET /healthz, GET /metrics; POST /translate is deprecated)",
+        "t2v-serve: serving the {} library ({}, fingerprint {:#018x}) on http://{} (POST /v1/translate, POST /v1/translate/batch, GET /v1/backends, POST /v1/admin/snapshot, GET /healthz, GET /metrics; POST /translate is deprecated)",
+        server.state().gred.library().len(),
+        server.state().library_provenance.label(),
+        server.state().library_fingerprint,
         server.addr()
     );
     // Serve until the process is killed.

@@ -1,0 +1,162 @@
+//! `t2v-snapshot` — build, inspect, and verify persistent library snapshots.
+//!
+//! ```text
+//! t2v-snapshot build   [--corpus tiny:7|paper:N] [--out PATH]
+//! t2v-snapshot inspect PATH
+//! t2v-snapshot verify  PATH [--corpus tiny:7|paper:N]
+//! ```
+//!
+//! * `build` generates the corpus, builds the embedding library, and writes
+//!   the snapshot `t2v-serve` loads with `library_snapshot=PATH`.
+//! * `inspect` prints the manifest (version, fingerprints, section table)
+//!   after validating framing and checksums — no payload reconstruction.
+//! * `verify` fully decodes the snapshot and re-derives both fingerprints
+//!   from the reconstructed state; with `--corpus` it additionally proves
+//!   the snapshot matches that corpus. Exit status 0 only when everything
+//!   holds.
+//!
+//! Every failure is a one-line diagnostic + non-zero exit, never a panic.
+
+use std::time::Instant;
+use text2vis::corpus::generate;
+use text2vis::embed::EmbedConfig;
+use text2vis::store::{self, LibrarySource, Manifest};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return;
+    }
+    match args[0].as_str() {
+        "build" => build(&args[1..]),
+        "inspect" => inspect(&args[1..]),
+        "verify" => verify(&args[1..]),
+        other => die(&format!(
+            "unknown subcommand '{other}' (build|inspect|verify)"
+        )),
+    }
+}
+
+fn usage() {
+    println!(
+        "usage:\n  t2v-snapshot build   [--corpus tiny:7|paper:N] [--out PATH]\n  \
+         t2v-snapshot inspect PATH\n  t2v-snapshot verify  PATH [--corpus tiny:7|paper:N]"
+    );
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("t2v-snapshot: {message}");
+    std::process::exit(2)
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => die(&format!("{name} needs a value")),
+        })
+}
+
+/// Parse `tiny:SEED` / `paper:SEED` using the serve config's parser so the
+/// CLI and the server accept exactly the same spellings.
+fn corpus_profile(spec: &str) -> text2vis::serve::CorpusProfile {
+    let mut probe = text2vis::serve::ServeConfig::default();
+    if let Err(e) = probe.set("corpus", spec) {
+        die(&e.message);
+    }
+    probe.corpus
+}
+
+fn build(args: &[String]) {
+    let spec = flag(args, "--corpus").unwrap_or_else(|| "tiny:7".to_string());
+    let out = flag(args, "--out").unwrap_or_else(|| "library.t2vsnap".to_string());
+    let profile = corpus_profile(&spec);
+
+    eprintln!("t2v-snapshot: generating the {spec} corpus...");
+    let corpus = generate(&profile.corpus_config());
+    eprintln!(
+        "t2v-snapshot: building the embedding library over {} training pairs...",
+        corpus.train.len()
+    );
+    let t0 = Instant::now();
+    let resolved = match LibrarySource::Build.resolve(&corpus, &EmbedConfig::default()) {
+        Ok(r) => r,
+        Err(e) => die(&e.to_string()),
+    };
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let manifest = match store::save(&out, &resolved.library, &resolved.embedder) {
+        Ok(m) => m,
+        Err(e) => die(&e.to_string()),
+    };
+    println!(
+        "wrote {out}: {} entries, {} dims, {} bytes (library built in {build_ms:.0} ms)",
+        manifest.entries, manifest.dims, manifest.file_len
+    );
+    print_manifest(&manifest);
+}
+
+fn inspect(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        die("inspect needs a snapshot path");
+    };
+    match store::inspect(path) {
+        Ok(manifest) => print_manifest(&manifest),
+        Err(e) => die(&e.to_string()),
+    }
+}
+
+fn verify(args: &[String]) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        die("verify needs a snapshot path");
+    };
+    let t0 = Instant::now();
+    let manifest = match store::verify(path) {
+        Ok(m) => m,
+        Err(e) => die(&e.to_string()),
+    };
+    // Optional provenance check against a freshly generated corpus.
+    if let Some(spec) = flag(args, "--corpus") {
+        let corpus = generate(&corpus_profile(&spec).corpus_config());
+        let expected = store::corpus_fingerprint(&corpus);
+        if manifest.corpus_fingerprint != expected {
+            die(&format!(
+                "snapshot was not built from the {spec} corpus: expected {expected:#018x}, \
+                 snapshot has {:#018x}",
+                manifest.corpus_fingerprint
+            ));
+        }
+        let expected_embedder = store::expected_embedder_fingerprint(&EmbedConfig::default());
+        if manifest.embedder_fingerprint != expected_embedder {
+            die(&format!(
+                "snapshot embedder differs from the default model: expected \
+                 {expected_embedder:#018x}, snapshot has {:#018x}",
+                manifest.embedder_fingerprint
+            ));
+        }
+    }
+    println!(
+        "ok: {path} verified in {:.0} ms",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    print_manifest(&manifest);
+}
+
+fn print_manifest(m: &Manifest) {
+    println!(
+        "format v{}, {} entries, {} dims, {} bytes",
+        m.format_version, m.entries, m.dims, m.file_len
+    );
+    println!("corpus fingerprint:   {:#018x}", m.corpus_fingerprint);
+    println!("embedder fingerprint: {:#018x}", m.embedder_fingerprint);
+    for s in &m.sections {
+        println!(
+            "  section {:<9} offset {:>9}  {:>9} bytes  checksum {:#018x}",
+            s.kind.name(),
+            s.offset,
+            s.len,
+            s.checksum
+        );
+    }
+}

@@ -6,7 +6,8 @@
 //! the nvBench-Rob perturbation suite, an execution engine, embedding and
 //! LLM substrates, the neural baselines, the GRED framework, the unified
 //! [`t2v_core::Translator`] backend API every model implements, the
-//! evaluation harness, and the multi-backend `t2v-serve` service.
+//! evaluation harness, the multi-backend `t2v-serve` service, and the
+//! `t2v-store` persistent artifact store (with the `t2v-snapshot` CLI).
 //!
 //! ```
 //! use text2vis::prelude::*;
@@ -32,6 +33,7 @@ pub use t2v_llm as llm;
 pub use t2v_neural as neural;
 pub use t2v_perturb as perturb;
 pub use t2v_serve as serve;
+pub use t2v_store as store;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -46,4 +48,5 @@ pub mod prelude {
     pub use t2v_gred::{default_gred, Gred, GredConfig};
     pub use t2v_perturb::{build_rob, NvBenchRob, RobVariant};
     pub use t2v_serve::{serve, ServeConfig, Server, ServerState};
+    pub use t2v_store::{LibrarySource, Provenance, SnapshotError};
 }

@@ -68,7 +68,7 @@ fn every_registered_backend_passes_the_conformance_suite() {
     config
         .set("backends", &KNOWN_BACKENDS.join(","))
         .expect("every known backend is constructible");
-    let state = ServerState::from_corpus(&corpus, config);
+    let state = ServerState::from_corpus(&corpus, config).expect("state builds");
     assert!(state.registry.len() >= 4, "gred + 3 baselines minimum");
 
     let requests: Vec<TranslateRequest<'_>> = corpus
