@@ -10,16 +10,22 @@
 //!   distinct queries, so steady state is mostly cache hits — the "millions
 //!   of users asking popular questions" shape) vs *cold* (cache disabled;
 //!   every request runs the full model — the worst-case all-unique-traffic
-//!   shape).
+//!   shape);
+//! * **tenants** (`--tenants N`) — one server carrying the default tenant
+//!   plus N extras (corpora `tiny:101..`), every client pinned to its
+//!   tenant's `/v1/t/{id}/translate` route: the cost of tenancy itself
+//!   (table resolution, per-epoch cache namespacing) under both cache
+//!   modes, reported per tenant under `serving.tenants`.
 //!
 //! Reports throughput and a client-side latency distribution (p50/p95/p99),
 //! and merges a `serving` section into `BENCH_perf.json` — top-level
 //! `hot`/`cold` rows for the first backend (GRED, the reference numbers)
-//! plus per-backend rows under `serving.backends` — without disturbing the
-//! sections `perfsnap` owns.
+//! plus per-backend rows under `serving.backends` and per-tenant rows under
+//! `serving.tenants` — without disturbing the sections `perfsnap` owns.
 //!
 //! Usage: `cargo run --release -p t2v-bench --bin servebench
-//!         [--quick] [--clients N] [--secs S] [--backends a,b] [--out PATH]`
+//!         [--quick] [--clients N] [--secs S] [--backends a,b]
+//!         [--tenants N] [--out PATH]`
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -57,6 +63,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let clients: usize = flag(&args, "--clients").unwrap_or(8);
     let secs: u64 = flag(&args, "--secs").unwrap_or(if quick { 1 } else { 4 });
+    let tenant_count: usize = flag(&args, "--tenants").unwrap_or(0);
     let backends_arg = args
         .iter()
         .position(|a| a == "--backends")
@@ -100,6 +107,7 @@ fn main() {
             scenarios.push(run_scenario(
                 id,
                 mode,
+                "/v1/translate",
                 &corpus,
                 &server,
                 clients,
@@ -109,6 +117,76 @@ fn main() {
         }
     }
 
+    // Tenant axis: one server, default + N tenants, every scenario pinned
+    // to one tenant's route so the rows separate tenancy cost per tenant.
+    let mut tenant_scenarios: Vec<(String, Scenario)> = Vec::new();
+    if tenant_count > 0 {
+        let specs: Vec<t2v_tenant::TenantSpec> = (0..tenant_count)
+            .map(|i| t2v_tenant::TenantSpec {
+                id: format!("t{}", i + 1),
+                corpus: t2v_tenant::parse_corpus_spec(&format!("tiny:{}", 101 + i)).unwrap(),
+            })
+            .collect();
+        let tenants_knob = specs
+            .iter()
+            .map(t2v_tenant::TenantSpec::entry)
+            .collect::<Vec<_>>()
+            .join(",");
+        println!(
+            "servebench: tenants axis — default + [{}], per-tenant routes",
+            tenants_knob
+        );
+        for (mode, cache) in [("hot", true), ("cold", false)] {
+            let mut config = ServeConfig::default();
+            config.set("addr", "127.0.0.1:0").unwrap();
+            config.set("backends", "gred").unwrap();
+            config.set("tenants", &tenants_knob).unwrap();
+            if !cache {
+                config.set("cache_capacity", "0").unwrap();
+            }
+            let state =
+                Arc::new(ServerState::build(config).expect("servebench tenant state builds"));
+            let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
+            // Default tenant first (the unprefixed route), then each extra
+            // on its scoped route, each driven with its *own* corpus's
+            // queries.
+            tenant_scenarios.push((
+                "default".to_string(),
+                run_scenario(
+                    "gred",
+                    mode,
+                    "/v1/translate",
+                    &corpus,
+                    &server,
+                    clients,
+                    Duration::from_secs(secs),
+                ),
+            ));
+            for spec in &specs {
+                let tenant_corpus = generate(&spec.corpus.corpus_config());
+                tenant_scenarios.push((
+                    spec.id.clone(),
+                    run_scenario(
+                        "gred",
+                        mode,
+                        &format!("/v1/t/{}/translate", spec.id),
+                        &tenant_corpus,
+                        &server,
+                        clients,
+                        Duration::from_secs(secs),
+                    ),
+                ));
+            }
+            server.shutdown();
+        }
+    }
+
+    for (tenant, s) in &tenant_scenarios {
+        println!(
+            "  tenant {:<8}/{:<4} {:>8.0} req/s  p50 {:>8.1} µs  p95 {:>8.1} µs  p99 {:>8.1} µs  hits {:>5.1}%  503s {}  errors {}",
+            tenant, s.mode, s.rps, s.p50_us, s.p95_us, s.p99_us, s.cache_hit_rate * 100.0, s.rejected, s.other_errors
+        );
+    }
     for s in &scenarios {
         println!(
             "  {:<12}/{:<4} {:>8.0} req/s  p50 {:>8.1} µs  p95 {:>8.1} µs  p99 {:>8.1} µs  mean {:>8.1} µs  hits {:>5.1}%  503s {}  errors {}",
@@ -116,7 +194,7 @@ fn main() {
         );
     }
 
-    merge_report(&out_path, clients, secs, &scenarios);
+    merge_report(&out_path, clients, secs, &scenarios, &tenant_scenarios);
     println!("merged serving section into {out_path}");
 }
 
@@ -130,6 +208,7 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
 fn run_scenario(
     backend: &str,
     mode: &'static str,
+    path: &str,
     corpus: &t2v_corpus::Corpus,
     server: &Server,
     clients: usize,
@@ -139,7 +218,7 @@ fn run_scenario(
     // Working set: enough distinct queries that the prompt cache key space
     // is realistic, few enough that the hot scenario actually re-hits them.
     // Every request names its backend explicitly, exercising the /v1
-    // selection path.
+    // selection path (tenant scenarios additionally pin the tenant route).
     let requests: Vec<Vec<u8>> = corpus
         .dev
         .iter()
@@ -152,7 +231,7 @@ fn run_scenario(
             ])
             .compact();
             format!(
-                "POST /v1/translate HTTP/1.1\r\nHost: servebench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                "POST {path} HTTP/1.1\r\nHost: servebench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
                 body.len(),
                 body
             )
@@ -315,8 +394,16 @@ fn scenario_json(s: &Scenario) -> Json {
 /// Merge the `serving` section into the perf report, leaving everything else
 /// (perfsnap's sections) untouched. The first benched backend's hot/cold
 /// rows keep the original top-level layout (the ROADMAP reference numbers);
-/// every backend additionally gets a row under `serving.backends.<id>`.
-fn merge_report(out_path: &str, clients: usize, secs: u64, scenarios: &[Scenario]) {
+/// every backend additionally gets a row under `serving.backends.<id>`, and
+/// the `--tenants` axis writes per-tenant rows under `serving.tenants.<id>`
+/// (preserved from the previous report when the axis did not run).
+fn merge_report(
+    out_path: &str,
+    clients: usize,
+    secs: u64,
+    scenarios: &[Scenario],
+    tenant_scenarios: &[(String, Scenario)],
+) {
     let mut doc = std::fs::read_to_string(out_path)
         .ok()
         .and_then(|t| Json::parse(&t).ok())
@@ -341,6 +428,24 @@ fn merge_report(out_path: &str, clients: usize, secs: u64, scenarios: &[Scenario
         backends.set(&s.backend, row);
     }
     serving.set("backends", backends);
+    if tenant_scenarios.is_empty() {
+        // Keep the previous run's tenant rows — reruns without --tenants
+        // must not erase the axis.
+        if let Some(prior) = doc.get("serving").and_then(|s| s.get("tenants")) {
+            serving.set("tenants", prior.clone());
+        }
+    } else {
+        let mut tenants = Json::Obj(Default::default());
+        for (tenant, s) in tenant_scenarios {
+            let mut row = match tenants.get(tenant) {
+                Some(existing) => existing.clone(),
+                None => Json::Obj(Default::default()),
+            };
+            row.set(s.mode, scenario_json(s));
+            tenants.set(tenant, row);
+        }
+        serving.set("tenants", tenants);
+    }
     doc.set("serving", serving);
     let mut text = doc.pretty();
     text.push('\n');

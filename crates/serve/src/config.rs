@@ -22,6 +22,15 @@ impl CorpusProfile {
             CorpusProfile::Paper(seed) => t2v_corpus::CorpusConfig::paper(seed),
         }
     }
+
+    /// The canonical `profile:seed` spelling (what `corpus=` parses and
+    /// the tenant grammar reuses).
+    pub fn label(&self) -> String {
+        match *self {
+            CorpusProfile::Tiny(seed) => format!("tiny:{seed}"),
+            CorpusProfile::Paper(seed) => format!("paper:{seed}"),
+        }
+    }
 }
 
 /// What the deprecated unversioned `POST /translate` route answers.
@@ -82,6 +91,19 @@ pub struct ServeConfig {
     /// empty ⇒ never write). Also the default target of
     /// `POST /v1/admin/snapshot`.
     pub snapshot_save: String,
+    /// Extra tenants to attach at startup, `id:profile:seed`
+    /// comma-separated (e.g. `acme:tiny:8,globex:paper:3`). Each tenant
+    /// serves its own corpus + library + backend registry under
+    /// `/v1/t/{id}/...`; the unprefixed `/v1/*` routes stay the implicit
+    /// `default` tenant (this config's `corpus=`). Empty ⇒ no extra
+    /// tenants (unless `tenant_dir` declares some).
+    pub tenants: String,
+    /// Snapshot catalog directory. Tenants listed in `tenants=` load their
+    /// library from `{dir}/{id}@{profile}-{seed}.t2vsnap` when that file
+    /// exists (and build otherwise); with `tenants=` empty, every
+    /// conforming snapshot in the directory *declares* a tenant
+    /// (snapshot-only, verified fingerprints, corrupt files fail startup).
+    pub tenant_dir: String,
     /// Per-backend worker-pool weights, `id:weight` comma-separated (e.g.
     /// `gred:4,neural:1`). Unlisted backends weigh 1; empty (default) ⇒
     /// the pool is unclassed — no per-backend admission control at all.
@@ -125,6 +147,8 @@ impl Default for ServeConfig {
             corpus: CorpusProfile::Tiny(7),
             library_snapshot: String::new(),
             snapshot_save: String::new(),
+            tenants: String::new(),
+            tenant_dir: String::new(),
             backend_weights: String::new(),
             backends: "gred,seq2vis,transformer,rgvisnet,neural".to_string(),
             legacy_translate: LegacyRoute::Redirect,
@@ -218,6 +242,8 @@ impl ServeConfig {
             "corpus" => self.corpus = parse_corpus(value)?,
             "library_snapshot" => self.library_snapshot = value.to_string(),
             "snapshot_save" => self.snapshot_save = value.to_string(),
+            "tenants" => self.tenants = parse_tenants(value)?,
+            "tenant_dir" => self.tenant_dir = value.to_string(),
             "backend_weights" => self.backend_weights = parse_backend_weights(value)?,
             "backends" => self.backends = parse_backends(value)?,
             "legacy_translate" => {
@@ -239,6 +265,48 @@ impl ServeConfig {
             _ => return Err(err(format!("unknown config key '{key}'"))),
         }
         Ok(())
+    }
+
+    /// Validate everything that can be checked *before* the expensive part
+    /// of startup (corpus generation, library build, baseline training).
+    /// The point is ordering: a broken `snapshot_save=` path must fail in
+    /// milliseconds at config time, not minutes later when the built
+    /// library finally tries to persist. Grammar errors are caught by
+    /// [`ServeConfig::set`]; this catches environment errors — paths that
+    /// cannot possibly work.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.snapshot_save.is_empty() {
+            let path = std::path::Path::new(&self.snapshot_save);
+            if path.is_dir() {
+                return Err(err(format!(
+                    "snapshot_save: '{}' is a directory, not a file path",
+                    self.snapshot_save
+                )));
+            }
+            let parent = match path.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+                _ => std::path::PathBuf::from("."),
+            };
+            if !parent.is_dir() {
+                return Err(err(format!(
+                    "snapshot_save: parent directory '{}' does not exist (the write-through \
+                     snapshot could never be persisted)",
+                    parent.display()
+                )));
+            }
+        }
+        if !self.tenant_dir.is_empty() && !std::path::Path::new(&self.tenant_dir).is_dir() {
+            return Err(err(format!(
+                "tenant_dir: '{}' is not a directory",
+                self.tenant_dir
+            )));
+        }
+        Ok(())
+    }
+
+    /// Parsed startup tenant specs (validated at `set` time).
+    pub fn tenant_specs(&self) -> Vec<t2v_tenant::TenantSpec> {
+        t2v_tenant::parse_tenant_list(&self.tenants).expect("tenants knob validated at set time")
     }
 
     /// Resolved worker count: explicit, or the machine's parallelism.
@@ -334,6 +402,8 @@ pub const KEYS: &[&str] = &[
     "corpus",
     "library_snapshot",
     "snapshot_save",
+    "tenants",
+    "tenant_dir",
     "backend_weights",
     "backends",
     "legacy_translate",
@@ -383,6 +453,17 @@ fn parse_backends(value: &str) -> Result<String, ConfigError> {
         return Err(err("backends: the list is empty"));
     }
     Ok(seen.join(","))
+}
+
+/// A comma-separated `id:profile:seed` tenant list, validated by
+/// `t2v-tenant`'s shared grammar and normalised to canonical spelling.
+fn parse_tenants(value: &str) -> Result<String, ConfigError> {
+    let specs = t2v_tenant::parse_tenant_list(value).map_err(|e| err(e.message))?;
+    Ok(specs
+        .iter()
+        .map(t2v_tenant::TenantSpec::entry)
+        .collect::<Vec<_>>()
+        .join(","))
 }
 
 /// A comma-separated list of `backend:weight` pairs over [`KNOWN_BACKENDS`]
@@ -488,6 +569,8 @@ mod tests {
                 "corpus" => "tiny:3",
                 "backends" => "gred,rgvisnet",
                 "backend_weights" => "gred:4,neural:1",
+                "tenants" => "acme:tiny:8,globex:paper:3",
+                "tenant_dir" => "/tmp",
                 "library_snapshot" | "snapshot_save" => "/tmp/lib.t2vsnap",
                 "legacy_translate" => "gone",
                 "batch" | "gred_retuner" | "gred_debugger" => "true",
@@ -548,6 +631,50 @@ mod tests {
             .unwrap();
         assert_eq!(cfg.library_snapshot, "/var/lib/t2v/lib.t2vsnap");
         assert_eq!(cfg.snapshot_save, "/var/lib/t2v/lib.t2vsnap");
+    }
+
+    #[test]
+    fn tenants_knob_validates_and_normalises() {
+        let mut cfg = ServeConfig::default();
+        assert!(cfg.tenant_specs().is_empty());
+        cfg.set("tenants", " acme:tiny:8 , globex:paper:3 ")
+            .unwrap();
+        assert_eq!(cfg.tenants, "acme:tiny:8,globex:paper:3");
+        let specs = cfg.tenant_specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].id, "acme");
+        assert_eq!(specs[1].corpus.label(), "paper:3");
+        assert!(cfg.set("tenants", "acme").is_err());
+        assert!(cfg.set("tenants", "acme:huge:1").is_err());
+        assert!(cfg.set("tenants", "a:tiny:1,a:tiny:2").is_err());
+        assert!(cfg.set("tenants", "default:tiny:7").is_err());
+        cfg.set("tenants", "").unwrap();
+        assert!(cfg.tenant_specs().is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_broken_paths_before_any_build() {
+        let mut cfg = ServeConfig::default();
+        cfg.validate().unwrap();
+        // A snapshot_save under a missing directory fails validation…
+        cfg.set("snapshot_save", "/no/such/dir/lib.t2vsnap")
+            .unwrap();
+        let e = cfg.validate().unwrap_err();
+        assert!(e.message.contains("snapshot_save"), "{e}");
+        assert!(e.message.contains("/no/such/dir"), "{e}");
+        // …a writable parent passes…
+        cfg.set("snapshot_save", "/tmp/t2v-validate.t2vsnap")
+            .unwrap();
+        cfg.validate().unwrap();
+        // …a directory as the target fails…
+        cfg.set("snapshot_save", "/tmp").unwrap();
+        assert!(cfg.validate().is_err());
+        cfg.set("snapshot_save", "").unwrap();
+        // …and tenant_dir must be an existing directory.
+        cfg.set("tenant_dir", "/no/such/catalog").unwrap();
+        assert!(cfg.validate().unwrap_err().message.contains("tenant_dir"));
+        cfg.set("tenant_dir", "/tmp").unwrap();
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -14,6 +14,17 @@
 //!   snapshot-loaded, entry count),
 //! * `POST /v1/admin/snapshot` — persist the live embedding library as a
 //!   `t2v-store` artifact for instant warm restarts,
+//! * `/v1/t/{tenant}/translate` (+ `/batch`, `/backends`) — **multi-tenant
+//!   serving** (DESIGN.md §10): every tenant is a full corpus + library +
+//!   backend registry, materialised from the `tenants=` knob or a
+//!   `tenant_dir=` snapshot catalog, living in an RCU-swapped
+//!   [`TenantTable`] (readers never lock); the unprefixed `/v1/*` routes
+//!   are the implicit `default` tenant, byte-identical to the pre-tenant
+//!   surface,
+//! * `POST /v1/admin/tenants/attach`, `DELETE /v1/admin/tenants/detach`,
+//!   `GET /v1/admin/tenants` — hot attach/detach without a restart
+//!   (attach builds a fresh backend registry, which is also the backend
+//!   hot-registration path),
 //! * `GET /healthz`, `GET /metrics` — liveness and Prometheus counters
 //!   (request counters by route, per-backend translation/cache/error
 //!   counters and pool shares, cache shard count, library provenance),
@@ -54,9 +65,10 @@ pub use batch::{BatchRetriever, Batcher};
 pub use cache::{CacheStats, ShardedTtlLruCache, TtlLruCache};
 pub use config::{ConfigError, CorpusProfile, LegacyRoute, ServeConfig, KNOWN_BACKENDS};
 pub use http::{Body, Request, Response};
-pub use metrics::{BackendMetrics, Metrics, Route};
+pub use metrics::{BackendMetrics, Metrics, Route, TenantMetrics};
 pub use pool::{OneShot, SubmitError, WorkerPool};
 pub use server::{
-    db_fingerprint, normalize_nlq, render_translation, serve, translate_body, CacheKey, DbEntry,
-    Server, ServerState, StartupError,
+    db_fingerprint, normalize_nlq, render_translation, serve, translate_body, AttachRequest,
+    CacheKey, DbEntry, Server, ServerState, StartupError, TenantAdminError, TenantRuntime,
+    TenantTable,
 };

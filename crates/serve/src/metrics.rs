@@ -6,6 +6,7 @@
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Histogram bucket upper bounds, in nanoseconds. Log-spaced from 50 µs to
@@ -81,6 +82,28 @@ impl LatencyHistogram {
         );
         let _ = writeln!(out, "{name}_count {count}");
     }
+
+    /// Like [`LatencyHistogram::render`] but with an extra label on every
+    /// sample line (the `# TYPE` header is the caller's — one per family,
+    /// not one per label set).
+    fn render_labeled(&self, out: &mut String, name: &str, label: &str) {
+        for (i, &bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{label},le=\"{}\"}} {}",
+                bound as f64 / 1e9,
+                self.buckets[i].load(Ordering::Relaxed)
+            );
+        }
+        let count = self.count.load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{{label},le=\"+Inf\"}} {count}");
+        let _ = writeln!(
+            out,
+            "{name}_sum{{{label}}} {}",
+            self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
+        );
+        let _ = writeln!(out, "{name}_count{{{label}}} {count}");
+    }
 }
 
 /// Routes the request counters are labelled with.
@@ -89,6 +112,10 @@ pub enum Route {
     Translate,
     TranslateBatch,
     Backends,
+    /// Tenant-scoped `/v1/t/{tenant}/...` traffic (one label for the whole
+    /// family: per-tenant resolution lives in the tenant counter families,
+    /// keeping route-label cardinality fixed).
+    Tenant,
     Admin,
     Legacy,
     Healthz,
@@ -96,10 +123,11 @@ pub enum Route {
     Other,
 }
 
-const ROUTES: [(Route, &str); 8] = [
+const ROUTES: [(Route, &str); 9] = [
     (Route::Translate, "translate"),
     (Route::TranslateBatch, "translate_batch"),
     (Route::Backends, "backends"),
+    (Route::Tenant, "tenant"),
     (Route::Admin, "admin"),
     (Route::Legacy, "legacy"),
     (Route::Healthz, "healthz"),
@@ -141,13 +169,48 @@ impl BackendMetrics {
     }
 }
 
+/// Per-tenant serving counters, labelled `tenant="<id>"` on the wire.
+/// Unlike backends, tenants attach and detach at runtime, so these live
+/// behind `Arc`s in a mutex-protected registry: recording stays lock-free
+/// (each tenant runtime holds its own `Arc` directly); only registration,
+/// removal, and the scrape-path render take the lock.
+pub struct TenantMetrics {
+    pub tenant: String,
+    /// Cold translations executed for this tenant (all backends).
+    pub translations: AtomicU64,
+    /// Translations that ended in a structured TranslateError.
+    pub errors: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Model time per cold translation for this tenant.
+    pub translate: LatencyHistogram,
+}
+
+impl TenantMetrics {
+    fn new(tenant: String) -> TenantMetrics {
+        TenantMetrics {
+            tenant,
+            translations: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            translate: LatencyHistogram::default(),
+        }
+    }
+}
+
 /// The registry handed to every serving component.
 pub struct Metrics {
     started: Instant,
     /// requests[route][status class]
-    requests: [[AtomicU64; 4]; 8],
-    /// Per-backend counters, in backend-registry order.
+    requests: [[AtomicU64; 4]; 9],
+    /// Per-backend counters, in backend-registry order (the default
+    /// tenant's registry — rendered unlabelled for dashboard continuity).
     backends: Vec<BackendMetrics>,
+    /// Per-tenant counters, in attach order; default first by construction.
+    tenants: std::sync::Mutex<Vec<Arc<TenantMetrics>>>,
+    /// Currently attached tenants (including the default one).
+    pub tenant_count: AtomicU64,
     /// Library provenance, set once at startup: (fingerprint hex, source
     /// label). Rendered as an info-style gauge with labels because a u64
     /// fingerprint does not survive the f64 Prometheus value space.
@@ -192,6 +255,8 @@ impl Metrics {
                 .iter()
                 .map(|id| BackendMetrics::new(id.to_string()))
                 .collect(),
+            tenants: std::sync::Mutex::new(Vec::new()),
+            tenant_count: AtomicU64::new(0),
             library_info: std::sync::OnceLock::new(),
             library_entries: AtomicU64::new(0),
             snapshots_written: AtomicU64::new(0),
@@ -237,6 +302,29 @@ impl Metrics {
         let r = ROUTES.iter().position(|(x, _)| *x == route).unwrap();
         let c = CLASSES.iter().position(|x| *x == class).unwrap();
         self.requests[r][c].load(Ordering::Relaxed)
+    }
+
+    /// Register a tenant's counter family. Called at startup for every
+    /// configured tenant and at runtime by the admin attach route; the
+    /// returned `Arc` is the tenant runtime's lock-free recording handle.
+    pub fn register_tenant(&self, id: &str) -> Arc<TenantMetrics> {
+        let tm = Arc::new(TenantMetrics::new(id.to_string()));
+        let mut tenants = self.tenants.lock().expect("tenant metrics lock");
+        tenants.retain(|t| t.tenant != tm.tenant);
+        tenants.push(Arc::clone(&tm));
+        self.tenant_count
+            .store(tenants.len() as u64, Ordering::Relaxed);
+        tm
+    }
+
+    /// Drop a detached tenant's counter family from future scrapes.
+    /// (In-flight recordings through an already-held `Arc` stay safe; the
+    /// samples simply stop being rendered.)
+    pub fn drop_tenant(&self, id: &str) {
+        let mut tenants = self.tenants.lock().expect("tenant metrics lock");
+        tenants.retain(|t| t.tenant != id);
+        self.tenant_count
+            .store(tenants.len() as u64, Ordering::Relaxed);
     }
 
     /// Record the loaded library's provenance (first call wins; the
@@ -292,6 +380,7 @@ impl Metrics {
             ),
             ("t2v_max_batch_size", "gauge", &self.max_batch),
             ("t2v_cache_shards", "gauge", &self.cache_shards),
+            ("t2v_tenants", "gauge", &self.tenant_count),
             ("t2v_library_entries", "gauge", &self.library_entries),
             (
                 "t2v_snapshots_written_total",
@@ -349,6 +438,52 @@ impl Metrics {
                         pick(b).load(Ordering::Relaxed)
                     );
                 }
+            }
+        }
+
+        // Per-tenant counter families (one label set per attached tenant,
+        // default included). Snapshot the Arcs first so rendering holds the
+        // registry lock only for a clone, never across formatting.
+        let tenants: Vec<Arc<TenantMetrics>> =
+            self.tenants.lock().expect("tenant metrics lock").clone();
+        if !tenants.is_empty() {
+            for (name, kind, pick) in [
+                (
+                    "t2v_tenant_translations_total",
+                    "counter",
+                    (|t: &TenantMetrics| &t.translations) as fn(&TenantMetrics) -> &AtomicU64,
+                ),
+                ("t2v_tenant_errors_total", "counter", |t: &TenantMetrics| {
+                    &t.errors
+                }),
+                (
+                    "t2v_tenant_cache_hits_total",
+                    "counter",
+                    |t: &TenantMetrics| &t.cache_hits,
+                ),
+                (
+                    "t2v_tenant_cache_misses_total",
+                    "counter",
+                    |t: &TenantMetrics| &t.cache_misses,
+                ),
+            ] {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                for t in &tenants {
+                    let _ = writeln!(
+                        out,
+                        "{name}{{tenant=\"{}\"}} {}",
+                        t.tenant,
+                        pick(t).load(Ordering::Relaxed)
+                    );
+                }
+            }
+            let _ = writeln!(out, "# TYPE t2v_tenant_translate_seconds histogram");
+            for t in &tenants {
+                t.translate.render_labeled(
+                    &mut out,
+                    "t2v_tenant_translate_seconds",
+                    &format!("tenant=\"{}\"", t.tenant),
+                );
             }
         }
 
@@ -418,6 +553,25 @@ mod tests {
         m.backend(0).pool_share.store(12, Ordering::Relaxed);
         m.set_library_info(0xabcd, "snapshot", 240);
         m.record_request(Route::Admin, 200);
+        m.record_request(Route::Tenant, 200);
+        let dflt = m.register_tenant("default");
+        let acme = m.register_tenant("acme");
+        dflt.translations.fetch_add(2, Ordering::Relaxed);
+        acme.cache_hits.fetch_add(3, Ordering::Relaxed);
+        acme.translate.observe_ns(200_000);
+        let text = m.render_prometheus();
+        assert!(text.contains("t2v_tenants 2"));
+        assert!(text.contains("t2v_tenant_translate_seconds_count{tenant=\"acme\"} 1"));
+        assert!(text.contains("t2v_tenant_translate_seconds_bucket{tenant=\"acme\",le=\"+Inf\"} 1"));
+        assert!(text.contains("t2v_tenant_translate_seconds_count{tenant=\"default\"} 0"));
+        assert!(text.contains("t2v_tenant_translations_total{tenant=\"default\"} 2"));
+        assert!(text.contains("t2v_tenant_translations_total{tenant=\"acme\"} 0"));
+        assert!(text.contains("t2v_tenant_cache_hits_total{tenant=\"acme\"} 3"));
+        assert!(text.contains("t2v_http_requests_total{route=\"tenant\",status=\"2xx\"} 1"));
+        m.drop_tenant("acme");
+        let text = m.render_prometheus();
+        assert!(text.contains("t2v_tenants 1"));
+        assert!(!text.contains("tenant=\"acme\""));
         let text = m.render_prometheus();
         assert!(text.contains("t2v_backend_pool_share{backend=\"gred\"} 12"));
         assert!(text.contains("t2v_library_entries 240"));

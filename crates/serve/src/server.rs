@@ -17,16 +17,17 @@
 
 use crate::batch::{BatchRetriever, Batcher};
 use crate::cache::ShardedTtlLruCache;
-use crate::config::{LegacyRoute, ServeConfig};
+use crate::config::{ConfigError, LegacyRoute, ServeConfig};
 use crate::http::{self, Request, Response};
-use crate::metrics::{Metrics, Route};
+use crate::metrics::{Metrics, Route, TenantMetrics};
 use crate::pool::{OneShot, SubmitError, WorkerPool};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use t2v_baselines::{BaselineTrainConfig, NeuralSeq2Seq, RgVisNet, Seq2Vis, TransformerBaseline};
@@ -38,15 +39,23 @@ use t2v_corpus::{generate, Corpus, Database};
 use t2v_engine::{execute, Json, Store};
 use t2v_gred::{DirectRetriever, Gred};
 use t2v_llm::{LlmConfig, SimulatedChatModel};
-use t2v_store::{LibrarySource, Provenance, SnapshotError};
+use t2v_store::{EmbedderPool, LibrarySource, Provenance, SnapshotError};
+use t2v_tenant::{snapshot_filename, CorpusSpec, RcuCell, TenantSpec, DEFAULT_TENANT_ID};
 
 /// Why the server could not start. Every variant prints as one line and
 /// exits cleanly in the binaries — startup problems are operator errors or
 /// environment damage, not panics.
 #[derive(Debug)]
 pub enum StartupError {
+    /// A knob that parsed cleanly points at an environment that cannot
+    /// work (missing snapshot_save parent, absent tenant_dir, ...). Caught
+    /// by `ServeConfig::validate` *before* any expensive build.
+    Config(ConfigError),
     /// The library snapshot could not be loaded or trusted.
     Snapshot(SnapshotError),
+    /// The startup tenant set could not be materialised (catalog scan
+    /// failure, per-tenant snapshot failure, ...).
+    Tenant(String),
     /// Binding the listen address (or other socket setup) failed.
     Io(std::io::Error),
 }
@@ -54,7 +63,9 @@ pub enum StartupError {
 impl std::fmt::Display for StartupError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            StartupError::Config(e) => write!(f, "config: {e}"),
             StartupError::Snapshot(e) => write!(f, "library snapshot: {e}"),
+            StartupError::Tenant(e) => write!(f, "tenant: {e}"),
             StartupError::Io(e) => write!(f, "cannot bind: {e}"),
         }
     }
@@ -82,10 +93,14 @@ pub struct DbEntry {
     pub fingerprint: u64,
 }
 
-/// Cache key: backend index × normalised NLQ × database fingerprint ×
-/// response shape. The backend index namespaces the cache per backend —
-/// the same question through different models must never share an entry.
-pub type CacheKey = (u16, Box<str>, u64, bool);
+/// Cache key: tenant epoch × backend index × normalised NLQ × database
+/// fingerprint × response shape. The backend index namespaces the cache
+/// per backend — the same question through different models must never
+/// share an entry — and the tenant epoch namespaces it per *attachment*:
+/// every attach mints a fresh epoch, so tenants can never cross-hit, and a
+/// detach-then-reattach cycle can never resurrect stale entries (the old
+/// epoch's entries simply age out of the LRU).
+pub type CacheKey = (u32, u16, Box<str>, u64, bool);
 
 /// Late-bound handle to the micro-batcher's retriever. The backend registry
 /// is built with server state (before the batcher thread exists); the
@@ -146,20 +161,156 @@ impl Translator for GredBackend {
     }
 }
 
-/// Everything the request path reads. Shared read-only across all threads.
-pub struct ServerState {
-    pub config: ServeConfig,
+/// One tenant's complete serving runtime: its corpus's backends, GRED
+/// pipeline, databases, library provenance, and metrics handle. Immutable
+/// once built — attach/detach swaps whole `Arc<TenantRuntime>`s in and out
+/// of the RCU table, never mutates one in place.
+pub struct TenantRuntime {
+    /// The tenant id (`default` for the implicit tenant the unprefixed
+    /// `/v1/*` routes serve).
+    pub id: String,
+    /// Unique per attachment within the process — the cache-key namespace.
+    pub epoch: u32,
+    /// Canonical `profile:seed` label of the corpus this tenant serves.
+    pub corpus_label: String,
     pub gred: Gred<SimulatedChatModel>,
     pub registry: BackendRegistry,
     pub dbs: HashMap<String, Arc<DbEntry>>,
+    /// How this tenant's embedding library materialised.
+    pub library_provenance: Provenance,
+    /// Fingerprint of the training split the tenant's library covers.
+    pub library_fingerprint: u64,
+    /// Lock-free recording handle into the `tenant="<id>"` counter family.
+    pub metrics: Arc<TenantMetrics>,
+    /// Only the default tenant participates in the weighted worker-pool
+    /// classes and the unlabelled per-backend metric families (both are
+    /// sized/registered at startup for a fixed backend list).
+    pub is_default: bool,
+    batch_slot: RetrieverSlot,
+}
+
+/// The immutable tenant set readers resolve against, in attach order
+/// (default first). Swapped wholesale through [`RcuCell`] on admin
+/// mutations; linear lookup — tenant counts are dozens, not thousands, and
+/// a scan over inline `Arc`s beats a hash probe at that size.
+pub struct TenantTable {
+    list: Vec<Arc<TenantRuntime>>,
+}
+
+impl TenantTable {
+    pub fn get(&self, id: &str) -> Option<&Arc<TenantRuntime>> {
+        self.list.iter().find(|t| t.id == id)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<TenantRuntime>> {
+        self.list.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
+
+/// A runtime attach request (the admin route's parsed body).
+pub struct AttachRequest {
+    pub id: String,
+    pub corpus: CorpusSpec,
+    /// Load the tenant's library from this verified snapshot instead of
+    /// building it.
+    pub snapshot: Option<PathBuf>,
+    /// Backends to register for the tenant (default: the server's
+    /// configured backend list).
+    pub backends: Option<String>,
+}
+
+/// Why an admin tenant mutation was refused.
+#[derive(Debug)]
+pub enum TenantAdminError {
+    /// Attach of an id that is already serving.
+    Duplicate(String),
+    /// Detach/lookup of an id that is not serving.
+    Unknown(String),
+    /// The default tenant cannot be detached.
+    Undetachable,
+    /// The tenant's snapshot could not be loaded or trusted.
+    Snapshot(SnapshotError),
+    /// A malformed id or backend list.
+    Invalid(String),
+}
+
+impl std::fmt::Display for TenantAdminError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantAdminError::Duplicate(id) => write!(f, "tenant '{id}' is already attached"),
+            TenantAdminError::Unknown(id) => write!(f, "unknown tenant '{id}'"),
+            TenantAdminError::Undetachable => {
+                write!(f, "the '{DEFAULT_TENANT_ID}' tenant cannot be detached")
+            }
+            TenantAdminError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            TenantAdminError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl TenantAdminError {
+    /// Stable wire code for the structured error envelope.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TenantAdminError::Duplicate(_) => "duplicate_tenant",
+            TenantAdminError::Unknown(_) => "unknown_tenant",
+            TenantAdminError::Undetachable => "undetachable",
+            TenantAdminError::Snapshot(_) => "snapshot_error",
+            TenantAdminError::Invalid(_) => "bad_request",
+        }
+    }
+
+    fn status(&self) -> u16 {
+        match self {
+            TenantAdminError::Duplicate(_) => 409,
+            TenantAdminError::Unknown(_) => 404,
+            TenantAdminError::Undetachable => 400,
+            TenantAdminError::Snapshot(_) => 422,
+            TenantAdminError::Invalid(_) => 400,
+        }
+    }
+}
+
+/// Everything the request path reads. Shared read-only across all threads
+/// — except the tenant table, which admin routes swap RCU-style (readers
+/// never lock on the fast path; see `t2v_tenant::RcuCell`).
+pub struct ServerState {
+    pub config: ServeConfig,
+    /// The default tenant's GRED pipeline (shared `Arc` internals with
+    /// `default_tenant` — kept as a field for the pre-tenant API surface).
+    pub gred: Gred<SimulatedChatModel>,
+    /// The default tenant's registry (same sharing note as `gred`).
+    pub registry: BackendRegistry,
+    /// The default tenant's databases (same sharing note as `gred`).
+    pub dbs: HashMap<String, Arc<DbEntry>>,
+    /// One translation cache across all tenants, namespaced by the tenant
+    /// epoch in [`CacheKey`]: global capacity stays bounded no matter how
+    /// many tenants attach, and a detached tenant's entries age out of the
+    /// shared LRU instead of needing an eager purge.
     pub cache: ShardedTtlLruCache<CacheKey, Arc<Vec<u8>>>,
     pub metrics: Arc<Metrics>,
-    /// How the embedding library materialised (built vs snapshot-loaded).
+    /// How the default tenant's embedding library materialised.
     pub library_provenance: Provenance,
-    /// Fingerprint of the training split the library covers (also the
-    /// snapshot header's corpus fingerprint).
+    /// Fingerprint of the default tenant's training split.
     pub library_fingerprint: u64,
-    batch_slot: RetrieverSlot,
+    /// The implicit tenant the unprefixed `/v1/*` routes serve.
+    pub default_tenant: Arc<TenantRuntime>,
+    /// The live tenant table (default + attached), RCU-swapped by admin
+    /// mutations.
+    tenants: RcuCell<TenantTable>,
+    /// Serialises attach/detach and owns the embedder dedup pool (tenants
+    /// sharing an embedder fingerprint share one table in memory).
+    admin: Mutex<EmbedderPool>,
+    /// Mints cache-key epochs for attachments (0 is the default tenant).
+    next_epoch: AtomicU32,
 }
 
 impl ServerState {
@@ -167,6 +318,9 @@ impl ServerState {
     /// over it, synthesize the execution stores. The expensive part of
     /// startup (the neural baselines train here).
     pub fn build(config: ServeConfig) -> Result<ServerState, StartupError> {
+        // Environment validation runs before the corpus exists: a broken
+        // snapshot_save path must cost milliseconds, not a full build.
+        config.validate().map_err(StartupError::Config)?;
         let corpus = generate(&config.corpus.corpus_config());
         ServerState::from_corpus(&corpus, config)
     }
@@ -174,12 +328,15 @@ impl ServerState {
     /// Like [`ServerState::build`] for an already-generated corpus (tests
     /// and benches reuse one corpus across servers).
     ///
-    /// The embedding library resolves through the [`LibrarySource`] seam:
-    /// `library_snapshot=` loads the snapshot (falling back to a build only
-    /// when the file does not exist — corrupt or mismatched snapshots fail
-    /// startup loudly), and `snapshot_save=` writes a freshly built library
-    /// through to disk so the *next* restart is warm.
+    /// The default tenant's embedding library resolves through the
+    /// [`LibrarySource`] seam: `library_snapshot=` loads the snapshot
+    /// (falling back to a build only when the file does not exist — corrupt
+    /// or mismatched snapshots fail startup loudly), and `snapshot_save=`
+    /// writes a freshly built library through to disk so the *next* restart
+    /// is warm. Startup tenants (`tenants=` / `tenant_dir=`) materialise
+    /// after the default, sharing embedder tables where fingerprints match.
     pub fn from_corpus(corpus: &Corpus, config: ServeConfig) -> Result<ServerState, StartupError> {
+        config.validate().map_err(StartupError::Config)?;
         let source = if config.library_snapshot.is_empty() {
             LibrarySource::Build
         } else {
@@ -187,91 +344,291 @@ impl ServerState {
                 path: config.library_snapshot.clone().into(),
             }
         };
-        let resolved = source.resolve(corpus, &t2v_embed::EmbedConfig::default())?;
+        let mut embedder_pool = EmbedderPool::new();
+        let mut resolved = source.resolve(corpus, &t2v_embed::EmbedConfig::default())?;
+        embedder_pool.adopt(&mut resolved);
         let mut snapshots_written = 0u64;
         if resolved.provenance == Provenance::Built && !config.snapshot_save.is_empty() {
             t2v_store::save(&config.snapshot_save, &resolved.library, &resolved.embedder)?;
             snapshots_written = 1;
         }
-        let gred = Gred::from_parts(
-            Arc::clone(&resolved.embedder),
-            Arc::clone(&resolved.library),
-            SimulatedChatModel::new(LlmConfig::default()),
-            config.gred_config(),
-        );
-        let batch_slot = RetrieverSlot::default();
         let ids = config.backend_ids();
-        let mut registry = BackendRegistry::new();
-        // Trained baselines use a minimal profile: serving startup must stay
-        // bounded (it runs in tests and CI), and the serving surface routes
-        // requests — model quality is the bench binaries' concern.
-        let train_cfg = BaselineTrainConfig {
-            seed: config.store_seed,
-            max_train: 64,
-            epochs: 3,
-            hidden: 24,
-            emb: 16,
-            ..BaselineTrainConfig::fast()
-        };
-        for id in &ids {
-            let backend: Arc<dyn Translator> = match *id {
-                "gred" => Arc::new(GredBackend {
-                    gred: gred.clone(),
-                    slot: batch_slot.clone(),
-                }),
-                "seq2vis" => Arc::new(Seq2Vis::train(corpus, &train_cfg)),
-                "transformer" => Arc::new(TransformerBaseline::train(corpus, &train_cfg)),
-                "rgvisnet" => Arc::new(RgVisNet::build(corpus)),
-                "neural" => Arc::new(NeuralSeq2Seq::train(corpus, &train_cfg)),
-                other => unreachable!("config validated backend id '{other}'"),
-            };
-            registry.register(*id, backend);
-        }
-        let dbs = corpus
-            .databases
-            .iter()
-            .map(|db| {
-                let store = Store::synthesize(db, config.store_seed, config.store_rows);
-                let fingerprint = db_fingerprint(db, config.store_seed, config.store_rows);
-                (
-                    db.id.clone(),
-                    Arc::new(DbEntry {
-                        db: db.clone(),
-                        store,
-                        fingerprint,
-                    }),
-                )
-            })
-            .collect();
+        let metrics = Arc::new(Metrics::with_backends(&ids));
+        let default_tenant = Arc::new(build_tenant_runtime(
+            DEFAULT_TENANT_ID,
+            0,
+            config.corpus.label(),
+            corpus,
+            resolved,
+            &config,
+            &ids,
+            metrics.register_tenant(DEFAULT_TENANT_ID),
+            true,
+        ));
         let cache = ShardedTtlLruCache::new(
             config.cache_capacity,
             config.cache_ttl(),
             config.effective_cache_shards(),
         );
-        let metrics = Arc::new(Metrics::with_backends(&ids));
         metrics
             .cache_shards
             .store(cache.shard_count() as u64, Ordering::Relaxed);
         metrics.set_library_info(
-            resolved.corpus_fingerprint,
-            resolved.provenance.label(),
-            resolved.library.len(),
+            default_tenant.library_fingerprint,
+            default_tenant.library_provenance.label(),
+            default_tenant.gred.library().len(),
         );
         metrics
             .snapshots_written
             .fetch_add(snapshots_written, Ordering::Relaxed);
+
+        // Startup tenants: declared by the tenants= knob (snapshots pulled
+        // from tenant_dir when the conventionally-named file exists), or —
+        // with no declarations — by scanning tenant_dir as a catalog.
+        let mut list = vec![Arc::clone(&default_tenant)];
+        let mut next_epoch = 1u32;
+        for (spec, tenant_source) in startup_tenants(&config)? {
+            let tenant_corpus = generate(&spec.corpus.corpus_config());
+            let mut tenant_resolved = tenant_source
+                .resolve(&tenant_corpus, &t2v_embed::EmbedConfig::default())
+                .map_err(|e| StartupError::Tenant(format!("'{}': {e}", spec.id)))?;
+            embedder_pool.adopt(&mut tenant_resolved);
+            list.push(Arc::new(build_tenant_runtime(
+                &spec.id,
+                next_epoch,
+                spec.corpus.label(),
+                &tenant_corpus,
+                tenant_resolved,
+                &config,
+                &ids,
+                metrics.register_tenant(&spec.id),
+                false,
+            )));
+            next_epoch += 1;
+        }
+
         Ok(ServerState {
-            config,
-            gred,
-            registry,
-            dbs,
+            gred: default_tenant.gred.clone(),
+            registry: default_tenant.registry.clone(),
+            dbs: default_tenant.dbs.clone(),
             cache,
             metrics,
-            library_provenance: resolved.provenance,
-            library_fingerprint: resolved.corpus_fingerprint,
-            batch_slot,
+            library_provenance: default_tenant.library_provenance.clone(),
+            library_fingerprint: default_tenant.library_fingerprint,
+            default_tenant,
+            tenants: RcuCell::new(TenantTable { list }),
+            admin: Mutex::new(embedder_pool),
+            next_epoch: AtomicU32::new(next_epoch),
+            config,
         })
     }
+
+    /// The live tenant table (lock-free on the reader fast path).
+    pub fn tenants(&self) -> Arc<TenantTable> {
+        self.tenants.load()
+    }
+
+    /// Attach a tenant to the running server: generate its corpus, resolve
+    /// its library (verified snapshot or fresh build), construct its
+    /// backend registry, and RCU-swap it into the table. In-flight requests
+    /// never block on this — they keep reading the old table until the swap
+    /// lands. This is also the backend hot-registration path: a fresh
+    /// registry (any configured backend subset) materialises without a
+    /// restart.
+    pub fn attach_tenant(
+        &self,
+        req: &AttachRequest,
+    ) -> Result<Arc<TenantRuntime>, TenantAdminError> {
+        t2v_tenant::validate_tenant_id(&req.id)
+            .map_err(|e| TenantAdminError::Invalid(e.message))?;
+        let backends = match &req.backends {
+            None => self.config.backends.clone(),
+            Some(list) => {
+                // Borrow the config grammar so the admin route accepts
+                // exactly what the backends= knob accepts.
+                let mut probe = self.config.clone();
+                probe
+                    .set("backends", list)
+                    .map_err(|e| TenantAdminError::Invalid(e.message))?;
+                probe.backends
+            }
+        };
+        // The admin mutex serialises the whole read-build-swap sequence
+        // (and guards the embedder pool); readers never touch it.
+        let mut pool = self.admin.lock().expect("admin lock poisoned");
+        if self.tenants.load().get(&req.id).is_some() {
+            return Err(TenantAdminError::Duplicate(req.id.clone()));
+        }
+        let corpus = generate(&req.corpus.corpus_config());
+        let source = match &req.snapshot {
+            Some(path) => LibrarySource::Snapshot { path: path.clone() },
+            None => LibrarySource::Build,
+        };
+        let mut resolved = source
+            .resolve(&corpus, &t2v_embed::EmbedConfig::default())
+            .map_err(TenantAdminError::Snapshot)?;
+        pool.adopt(&mut resolved);
+        let mut tenant_config = self.config.clone();
+        tenant_config.backends = backends;
+        let ids = tenant_config.backend_ids();
+        let epoch = self.next_epoch.fetch_add(1, Ordering::AcqRel);
+        let runtime = Arc::new(build_tenant_runtime(
+            &req.id,
+            epoch,
+            req.corpus.label(),
+            &corpus,
+            resolved,
+            &tenant_config,
+            &ids,
+            self.metrics.register_tenant(&req.id),
+            false,
+        ));
+        let published = Arc::clone(&runtime);
+        self.tenants.update(move |table| {
+            let mut list = table.list.clone();
+            list.push(Arc::clone(&published));
+            TenantTable { list }
+        });
+        Ok(runtime)
+    }
+
+    /// Detach a tenant: RCU-swap a table without it. Translations already
+    /// in flight hold their own `Arc<TenantRuntime>` and complete normally;
+    /// the next request for the id gets a structured 404. The tenant's
+    /// cache entries are left to age out of the shared LRU (their epoch is
+    /// never minted again).
+    pub fn detach_tenant(&self, id: &str) -> Result<(), TenantAdminError> {
+        if id == DEFAULT_TENANT_ID {
+            return Err(TenantAdminError::Undetachable);
+        }
+        let _pool = self.admin.lock().expect("admin lock poisoned");
+        if self.tenants.load().get(id).is_none() {
+            return Err(TenantAdminError::Unknown(id.to_string()));
+        }
+        self.tenants.update(|table| TenantTable {
+            list: table.list.iter().filter(|t| t.id != id).cloned().collect(),
+        });
+        self.metrics.drop_tenant(id);
+        Ok(())
+    }
+}
+
+/// Build one tenant's runtime from its resolved library. The expensive
+/// part of attach (the trained baselines train here, on the tenant's own
+/// corpus).
+#[allow(clippy::too_many_arguments)]
+fn build_tenant_runtime(
+    id: &str,
+    epoch: u32,
+    corpus_label: String,
+    corpus: &Corpus,
+    resolved: t2v_store::ResolvedLibrary,
+    config: &ServeConfig,
+    backend_ids: &[&str],
+    tenant_metrics: Arc<TenantMetrics>,
+    is_default: bool,
+) -> TenantRuntime {
+    let gred = Gred::from_parts(
+        Arc::clone(&resolved.embedder),
+        Arc::clone(&resolved.library),
+        SimulatedChatModel::new(LlmConfig::default()),
+        config.gred_config(),
+    );
+    let batch_slot = RetrieverSlot::default();
+    let mut registry = BackendRegistry::new();
+    // Trained baselines use a minimal profile: serving startup must stay
+    // bounded (it runs in tests and CI), and the serving surface routes
+    // requests — model quality is the bench binaries' concern.
+    let train_cfg = BaselineTrainConfig {
+        seed: config.store_seed,
+        max_train: 64,
+        epochs: 3,
+        hidden: 24,
+        emb: 16,
+        ..BaselineTrainConfig::fast()
+    };
+    for backend_id in backend_ids {
+        let backend: Arc<dyn Translator> = match *backend_id {
+            "gred" => Arc::new(GredBackend {
+                gred: gred.clone(),
+                slot: batch_slot.clone(),
+            }),
+            "seq2vis" => Arc::new(Seq2Vis::train(corpus, &train_cfg)),
+            "transformer" => Arc::new(TransformerBaseline::train(corpus, &train_cfg)),
+            "rgvisnet" => Arc::new(RgVisNet::build(corpus)),
+            "neural" => Arc::new(NeuralSeq2Seq::train(corpus, &train_cfg)),
+            other => unreachable!("config validated backend id '{other}'"),
+        };
+        registry.register(*backend_id, backend);
+    }
+    let dbs = corpus
+        .databases
+        .iter()
+        .map(|db| {
+            let store = Store::synthesize(db, config.store_seed, config.store_rows);
+            let fingerprint = db_fingerprint(db, config.store_seed, config.store_rows);
+            (
+                db.id.clone(),
+                Arc::new(DbEntry {
+                    db: db.clone(),
+                    store,
+                    fingerprint,
+                }),
+            )
+        })
+        .collect();
+    TenantRuntime {
+        id: id.to_string(),
+        epoch,
+        corpus_label,
+        gred,
+        registry,
+        dbs,
+        library_provenance: resolved.provenance,
+        library_fingerprint: resolved.corpus_fingerprint,
+        metrics: tenant_metrics,
+        is_default,
+        batch_slot,
+    }
+}
+
+/// The startup tenant set: `(spec, library source)` pairs, derived from
+/// the `tenants=` and `tenant_dir=` knobs.
+fn startup_tenants(config: &ServeConfig) -> Result<Vec<(TenantSpec, LibrarySource)>, StartupError> {
+    let declared = config.tenant_specs();
+    if !declared.is_empty() {
+        // Declared tenants: prefer the conventionally-named catalog
+        // snapshot when one exists (strict — a present-but-broken file
+        // fails startup), build otherwise.
+        return Ok(declared
+            .into_iter()
+            .map(|spec| {
+                let source = if config.tenant_dir.is_empty() {
+                    LibrarySource::Build
+                } else {
+                    let path =
+                        std::path::Path::new(&config.tenant_dir).join(snapshot_filename(&spec));
+                    if path.exists() {
+                        LibrarySource::Snapshot { path }
+                    } else {
+                        LibrarySource::Build
+                    }
+                };
+                (spec, source)
+            })
+            .collect());
+    }
+    if config.tenant_dir.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Catalog mode: every conforming snapshot in the directory declares a
+    // tenant; corrupt conforming files fail the whole scan loudly.
+    let entries = t2v_tenant::scan_catalog(&config.tenant_dir)
+        .map_err(|e| StartupError::Tenant(e.to_string()))?;
+    Ok(entries
+        .into_iter()
+        .map(|e| (e.spec, LibrarySource::Snapshot { path: e.path }))
+        .collect())
 }
 
 /// FNV-1a over everything that determines a translation + execution result
@@ -421,8 +778,10 @@ impl Server {
         let listener = TcpListener::bind(&state.config.addr)?;
         let addr = listener.local_addr()?;
         let config = &state.config;
-        // The batcher only serves the GRED backend's retrieval; skip the
-        // thread entirely when gred is not registered.
+        // The batcher only serves the default tenant's GRED retrieval; skip
+        // the thread entirely when gred is not registered. Attached tenants
+        // fall back to direct lookups — bit-identical by the batcher's
+        // correctness contract, so tenancy never changes translation bytes.
         let batcher = if config.batch && state.registry.get("gred").is_some() {
             let b = Batcher::spawn(
                 state.gred.shared_library(),
@@ -431,7 +790,7 @@ impl Server {
             );
             // From here on the GRED backend coalesces retrieval through the
             // batcher (bit-identical to the direct lookups it replaces).
-            state.batch_slot.set(b.retriever());
+            state.default_tenant.batch_slot.set(b.retriever());
             Some(b)
         } else {
             None
@@ -603,9 +962,44 @@ enum Handled {
 
 /// Route one request. Health, metrics, backend listings, and cache hits are
 /// answered on the connection thread; translation misses go through the
-/// worker pool.
+/// worker pool. Tenant-scoped traffic lives under `/v1/t/{tenant}/...`
+/// (same sub-routes as the default tenant's unprefixed `/v1/*`).
 fn respond(shared: &Shared, req: &Request, writer: &mut BufWriter<TcpStream>) -> (Route, Handled) {
     let reply = |route: Route, resp: Response| (route, Handled::Reply(resp));
+    // Tenant-scoped routes first: /v1/t/{tenant}/{sub}.
+    if let Some(rest) = req.path.strip_prefix("/v1/t/") {
+        let Some((tenant_id, sub)) = rest.split_once('/') else {
+            return reply(Route::Tenant, Response::error(404, "no such route"));
+        };
+        if !matches!(sub, "translate" | "translate/batch" | "backends") {
+            return reply(Route::Tenant, Response::error(404, "no such route"));
+        }
+        let table = shared.state.tenants();
+        let Some(tenant) = table.get(tenant_id) else {
+            return reply(
+                Route::Tenant,
+                Response::error_code(
+                    404,
+                    "unknown_tenant",
+                    &format!("unknown tenant '{tenant_id}'"),
+                ),
+            );
+        };
+        return match (req.method.as_str(), sub) {
+            ("POST", "translate") => {
+                let (_, handled) = translate_endpoint(shared, req, writer, tenant);
+                (Route::Tenant, handled)
+            }
+            ("POST", "translate/batch") => {
+                reply(Route::Tenant, batch_endpoint(shared, req, tenant))
+            }
+            ("GET", "backends") => reply(
+                Route::Tenant,
+                backends_endpoint(&shared.state, tenant, true),
+            ),
+            _ => reply(Route::Tenant, Response::error(405, "method not allowed")),
+        };
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => reply(Route::Healthz, healthz(&shared.state)),
         ("GET", "/metrics") => reply(
@@ -617,14 +1011,27 @@ fn respond(shared: &Shared, req: &Request, writer: &mut BufWriter<TcpStream>) ->
                 body: shared.state.metrics.render_prometheus().into(),
             },
         ),
-        ("GET", "/v1/backends") => reply(Route::Backends, backends_endpoint(&shared.state)),
+        ("GET", "/v1/backends") => reply(
+            Route::Backends,
+            backends_endpoint(&shared.state, &shared.state.default_tenant, false),
+        ),
         ("POST", "/v1/admin/snapshot") => {
             reply(Route::Admin, admin_snapshot_endpoint(&shared.state, req))
         }
-        ("POST", "/v1/translate") => translate_endpoint(shared, req, writer),
-        ("POST", "/v1/translate/batch") => {
-            reply(Route::TranslateBatch, batch_endpoint(shared, req))
+        ("GET", "/v1/admin/tenants") => reply(Route::Admin, admin_tenants_list(&shared.state)),
+        ("POST", "/v1/admin/tenants/attach") => {
+            reply(Route::Admin, admin_tenants_attach(&shared.state, req))
         }
+        ("DELETE", "/v1/admin/tenants/detach") => {
+            reply(Route::Admin, admin_tenants_detach(&shared.state, req))
+        }
+        ("POST", "/v1/translate") => {
+            translate_endpoint(shared, req, writer, &shared.state.default_tenant)
+        }
+        ("POST", "/v1/translate/batch") => reply(
+            Route::TranslateBatch,
+            batch_endpoint(shared, req, &shared.state.default_tenant),
+        ),
         ("POST", "/translate") => reply(Route::Legacy, legacy_endpoint(&shared.state)),
         (
             _,
@@ -634,7 +1041,10 @@ fn respond(shared: &Shared, req: &Request, writer: &mut BufWriter<TcpStream>) ->
             | "/v1/translate"
             | "/v1/translate/batch"
             | "/v1/backends"
-            | "/v1/admin/snapshot",
+            | "/v1/admin/snapshot"
+            | "/v1/admin/tenants"
+            | "/v1/admin/tenants/attach"
+            | "/v1/admin/tenants/detach",
         ) => reply(Route::Other, Response::error(405, "method not allowed")),
         _ => reply(Route::Other, Response::error(404, "no such route")),
     }
@@ -646,13 +1056,17 @@ fn healthz(state: &ServerState) -> Response {
         ("databases", Json::Num(state.dbs.len() as f64)),
         ("library", Json::Num(state.gred.library().len() as f64)),
         ("backends", Json::Num(state.registry.len() as f64)),
+        ("tenants", Json::Num(state.tenants().len() as f64)),
     ]);
     Response::json(200, body.compact())
 }
 
-/// `GET /v1/backends`: capability metadata for every registered backend.
-fn backends_endpoint(state: &ServerState) -> Response {
-    let backends: Vec<Json> = state
+/// `GET /v1/backends` (and `GET /v1/t/{tenant}/backends`): capability
+/// metadata for every backend the tenant registers. The tenant-scoped
+/// variant additionally names its tenant; the default route's body is
+/// byte-identical to the pre-tenant surface.
+fn backends_endpoint(_state: &ServerState, tenant: &TenantRuntime, named: bool) -> Response {
+    let backends: Vec<Json> = tenant
         .registry
         .infos()
         .into_iter()
@@ -670,10 +1084,10 @@ fn backends_endpoint(state: &ServerState) -> Response {
             ])
         })
         .collect();
-    let body = Json::obj([
+    let mut body = Json::obj([
         (
             "default",
-            Json::str(state.registry.default_id().unwrap_or("")),
+            Json::str(tenant.registry.default_id().unwrap_or("")),
         ),
         ("backends", Json::Arr(backends)),
         (
@@ -681,14 +1095,120 @@ fn backends_endpoint(state: &ServerState) -> Response {
             Json::obj([
                 (
                     "fingerprint",
-                    Json::str(format!("{:#018x}", state.library_fingerprint)),
+                    Json::str(format!("{:#018x}", tenant.library_fingerprint)),
                 ),
-                ("source", Json::str(state.library_provenance.label())),
-                ("entries", Json::Num(state.gred.library().len() as f64)),
+                ("source", Json::str(tenant.library_provenance.label())),
+                ("entries", Json::Num(tenant.gred.library().len() as f64)),
             ]),
         ),
     ]);
+    if named {
+        body.set("tenant", Json::str(tenant.id.as_str()));
+        body.set("corpus", Json::str(tenant.corpus_label.as_str()));
+    }
     Response::json(200, body.compact())
+}
+
+/// One tenant's row in `GET /v1/admin/tenants` / the attach reply.
+fn tenant_json(tenant: &TenantRuntime) -> Json {
+    Json::obj([
+        ("id", Json::str(tenant.id.as_str())),
+        ("corpus", Json::str(tenant.corpus_label.as_str())),
+        (
+            "fingerprint",
+            Json::str(format!("{:#018x}", tenant.library_fingerprint)),
+        ),
+        ("source", Json::str(tenant.library_provenance.label())),
+        ("entries", Json::Num(tenant.gred.library().len() as f64)),
+        (
+            "backends",
+            Json::Arr(tenant.registry.ids().map(Json::str).collect()),
+        ),
+        ("databases", Json::Num(tenant.dbs.len() as f64)),
+        ("epoch", Json::Num(tenant.epoch as f64)),
+        ("default", Json::Bool(tenant.is_default)),
+    ])
+}
+
+fn tenant_admin_error(e: &TenantAdminError) -> Response {
+    Response::error_code(e.status(), e.code(), &e.to_string())
+}
+
+/// `GET /v1/admin/tenants` — the live tenant table, in attach order.
+fn admin_tenants_list(state: &ServerState) -> Response {
+    let table = state.tenants();
+    let body = Json::obj([(
+        "tenants",
+        Json::Arr(table.iter().map(|t| tenant_json(t)).collect()),
+    )]);
+    Response::json(200, body.compact())
+}
+
+/// `POST /v1/admin/tenants/attach` — load a tenant into the live server.
+/// Body: `{"id", "corpus", "snapshot"?, "backends"?}`. Builds the tenant's
+/// corpus + library + registry on this connection thread (attach is a rare
+/// admin action; blocking the admin's own connection is the honest cost),
+/// then RCU-swaps the table — translations in flight never stall.
+fn admin_tenants_attach(state: &ServerState, req: &Request) -> Response {
+    let Ok(body_text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let parsed = match Json::parse(body_text) {
+        Ok(j) => j,
+        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+    };
+    let Some(id) = parsed.get("id").and_then(Json::as_str) else {
+        return Response::error(400, "missing string field 'id'");
+    };
+    let Some(corpus_spec) = parsed.get("corpus").and_then(Json::as_str) else {
+        return Response::error(400, "missing string field 'corpus' (e.g. \"tiny:8\")");
+    };
+    let corpus = match t2v_tenant::parse_corpus_spec(corpus_spec) {
+        Ok(c) => c,
+        Err(e) => return Response::error(400, &e.message),
+    };
+    let snapshot = match parsed.get("snapshot") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(p)) => Some(PathBuf::from(p.as_str())),
+        Some(_) => return Response::error(400, "field 'snapshot' must be a string path"),
+    };
+    let backends = match parsed.get("backends") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(b)) => Some(b.clone()),
+        Some(_) => return Response::error(400, "field 'backends' must be a string list"),
+    };
+    let attach = AttachRequest {
+        id: id.to_string(),
+        corpus,
+        snapshot,
+        backends,
+    };
+    match state.attach_tenant(&attach) {
+        Ok(runtime) => Response::json(
+            200,
+            Json::obj([("attached", tenant_json(&runtime))]).compact(),
+        ),
+        Err(e) => tenant_admin_error(&e),
+    }
+}
+
+/// `DELETE /v1/admin/tenants/detach` — body `{"id"}`. The tenant vanishes
+/// from the table atomically; in-flight translations on it complete.
+fn admin_tenants_detach(state: &ServerState, req: &Request) -> Response {
+    let Ok(body_text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let parsed = match Json::parse(body_text) {
+        Ok(j) => j,
+        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+    };
+    let Some(id) = parsed.get("id").and_then(Json::as_str) else {
+        return Response::error(400, "missing string field 'id'");
+    };
+    match state.detach_tenant(id) {
+        Ok(()) => Response::json(200, Json::obj([("detached", Json::str(id))]).compact()),
+        Err(e) => tenant_admin_error(&e),
+    }
 }
 
 /// `POST /v1/admin/snapshot` — persist the live embedding library to disk.
@@ -752,8 +1272,10 @@ fn legacy_endpoint(state: &ServerState) -> Response {
 }
 
 /// One parsed-and-resolved translate item (shared by the single and batch
-/// endpoints).
+/// endpoints). Holds its tenant runtime: a detach mid-request cannot pull
+/// the registry, databases, or metrics out from under the translation.
 struct Item {
+    tenant: Arc<TenantRuntime>,
     backend_idx: usize,
     backend_id: String,
     backend: Arc<dyn Translator>,
@@ -763,8 +1285,8 @@ struct Item {
 }
 
 /// Parse one translate object (`{"nlq", "db", "backend"?, "vegalite"?}`)
-/// against the registry and database set.
-fn resolve_item(state: &ServerState, parsed: &Json) -> Result<Item, Response> {
+/// against the tenant's registry and database set.
+fn resolve_item(tenant: &Arc<TenantRuntime>, parsed: &Json) -> Result<Item, Response> {
     let Some(nlq) = parsed.get("nlq").and_then(Json::as_str) else {
         return Err(Response::error(400, "missing string field 'nlq'"));
     };
@@ -785,7 +1307,7 @@ fn resolve_item(state: &ServerState, parsed: &Json) -> Result<Item, Response> {
             None => return Err(Response::error(400, "field 'vegalite' must be a boolean")),
         },
     };
-    let (backend_idx, backend_id, backend) = match state.registry.resolve(backend_req) {
+    let (backend_idx, backend_id, backend) = match tenant.registry.resolve(backend_req) {
         Ok((i, id, b)) => (i, id.to_string(), Arc::clone(b)),
         Err(unknown) => {
             return Err(Response::error_code(
@@ -793,7 +1315,7 @@ fn resolve_item(state: &ServerState, parsed: &Json) -> Result<Item, Response> {
                 "unknown_backend",
                 &format!(
                     "unknown backend '{unknown}' (registered: {})",
-                    state.registry.ids().collect::<Vec<_>>().join(", ")
+                    tenant.registry.ids().collect::<Vec<_>>().join(", ")
                 ),
             ))
         }
@@ -802,7 +1324,7 @@ fn resolve_item(state: &ServerState, parsed: &Json) -> Result<Item, Response> {
     if nlq_normalized.is_empty() {
         return Err(Response::error_code(400, "empty_query", "'nlq' is empty"));
     }
-    let Some(entry) = state.dbs.get(db_id) else {
+    let Some(entry) = tenant.dbs.get(db_id) else {
         return Err(Response::error_code(
             404,
             "unknown_database",
@@ -810,6 +1332,7 @@ fn resolve_item(state: &ServerState, parsed: &Json) -> Result<Item, Response> {
         ));
     };
     Ok(Item {
+        tenant: Arc::clone(tenant),
         backend_idx,
         backend_id,
         backend,
@@ -822,17 +1345,42 @@ fn resolve_item(state: &ServerState, parsed: &Json) -> Result<Item, Response> {
 impl Item {
     fn cache_key(&self) -> CacheKey {
         (
+            self.tenant.epoch,
             self.backend_idx as u16,
             self.nlq_normalized.clone().into_boxed_str(),
             self.entry.fingerprint,
             self.want_vegalite,
         )
     }
+
+    /// Record a cache hit/miss into the tenant family and — default tenant
+    /// only, where the index maps onto the startup-registered set — the
+    /// unlabelled per-backend family.
+    fn record_cache(&self, state: &ServerState, hit: bool) {
+        let (global, tenant) = if hit {
+            (&state.metrics.cache_hits, &self.tenant.metrics.cache_hits)
+        } else {
+            (
+                &state.metrics.cache_misses,
+                &self.tenant.metrics.cache_misses,
+            )
+        };
+        global.fetch_add(1, Ordering::Relaxed);
+        tenant.fetch_add(1, Ordering::Relaxed);
+        if self.tenant.is_default {
+            let bm = state.metrics.backend(self.backend_idx);
+            if hit {
+                bm.cache_hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                bm.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Submit one item's cold translation to the pool. The returned slot
 /// resolves to the serialised body; the worker also caches it and records
-/// per-backend metrics.
+/// per-backend and per-tenant metrics.
 fn submit_translation(
     shared: &Shared,
     item: &Item,
@@ -842,13 +1390,14 @@ fn submit_translation(
     let slot: OneShot<Arc<Vec<u8>>> = OneShot::new();
     let job_slot = slot.clone();
     let state = Arc::clone(&shared.state);
+    let tenant = Arc::clone(&item.tenant);
     let backend = Arc::clone(&item.backend);
     let backend_idx = item.backend_idx;
     let backend_id = item.backend_id.clone();
     let entry = Arc::clone(&item.entry);
     let want_vegalite = item.want_vegalite;
     let enqueued = Instant::now();
-    shared.pool.submit_classed(backend_idx, move || {
+    let job = move || {
         state
             .metrics
             .queue_wait
@@ -857,7 +1406,7 @@ fn submit_translation(
             std::thread::sleep(Duration::from_millis(state.config.debug_translate_sleep_ms));
         }
         let t0 = Instant::now();
-        let req = TranslateRequest::new(&key.1, &entry.db);
+        let req = TranslateRequest::new(&key.2, &entry.db);
         let result = match &stage_tx {
             // Streaming: forward each stage line as the pipeline produces
             // it (timings included — stream lines are never cached).
@@ -877,30 +1426,57 @@ fn submit_translation(
         };
         let elapsed = t0.elapsed().as_nanos() as u64;
         state.metrics.translate.observe_ns(elapsed);
-        let bm = state.metrics.backend(backend_idx);
-        bm.translations.fetch_add(1, Ordering::Relaxed);
-        bm.translate.observe_ns(elapsed);
+        tenant.metrics.translations.fetch_add(1, Ordering::Relaxed);
+        tenant.metrics.translate.observe_ns(elapsed);
         if result.is_err() {
-            bm.errors.fetch_add(1, Ordering::Relaxed);
+            tenant.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if tenant.is_default {
+            // The unlabelled per-backend family indexes the startup
+            // registry; only the default tenant's indices map onto it.
+            let bm = state.metrics.backend(backend_idx);
+            bm.translations.fetch_add(1, Ordering::Relaxed);
+            bm.translate.observe_ns(elapsed);
+            if result.is_err() {
+                bm.errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
         let body = Arc::new(render_translation(
             &backend_id,
-            &key.1,
+            &key.2,
             &entry,
             want_vegalite,
             &result,
         ));
         state.cache.insert(key, Arc::clone(&body));
         job_slot.send(body);
-    })?;
+    };
+    // The weighted class budgets are keyed by the default tenant's
+    // registry order, but admission is by backend *id*: tenant traffic
+    // through a backend the default tenant also registers shares that
+    // backend's budget (so `backend_weights=` keeps protecting heavy
+    // backends no matter which tenant the traffic arrives under). Only a
+    // backend the startup registry never saw is admitted unclassed, with
+    // the queue-capacity backstop.
+    let class = if item.tenant.is_default {
+        Some(item.backend_idx)
+    } else {
+        shared.state.registry.index_of(&item.backend_id)
+    };
+    match class {
+        Some(class) => shared.pool.submit_classed(class, job)?,
+        None => shared.pool.submit(job)?,
+    }
     Ok(slot)
 }
 
-/// `POST /v1/translate` — single translation, optionally streamed.
+/// `POST /v1/translate` (and `/v1/t/{tenant}/translate`) — single
+/// translation against `tenant`, optionally streamed.
 fn translate_endpoint(
     shared: &Shared,
     req: &Request,
     writer: &mut BufWriter<TcpStream>,
+    tenant: &Arc<TenantRuntime>,
 ) -> (Route, Handled) {
     let started = Instant::now();
     let state = &shared.state;
@@ -922,7 +1498,7 @@ fn translate_endpoint(
             None => return reply(Response::error(400, "field 'stream' must be a boolean")),
         },
     };
-    let item = match resolve_item(state, &parsed) {
+    let item = match resolve_item(tenant, &parsed) {
         Ok(item) => item,
         Err(resp) => return reply(resp),
     };
@@ -933,10 +1509,8 @@ fn translate_endpoint(
 
     // ---- cache fast path (connection thread, no queueing) ----
     let key = item.cache_key();
-    let bm = state.metrics.backend(item.backend_idx);
     if let Some(hit) = state.cache.get(&key) {
-        state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        bm.cache_hits.fetch_add(1, Ordering::Relaxed);
+        item.record_cache(state, true);
         state
             .metrics
             .request_total_latency
@@ -948,8 +1522,7 @@ fn translate_endpoint(
                 .with_header("x-t2v-backend", item.backend_id.clone()),
         );
     }
-    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-    bm.cache_misses.fetch_add(1, Ordering::Relaxed);
+    item.record_cache(state, false);
 
     // ---- CPU stage through the bounded pool ----
     let slot = match submit_translation(shared, &item, key, None) {
@@ -987,9 +1560,7 @@ fn stream_endpoint(
 ) -> (Route, Handled) {
     let state = &shared.state;
     let key = item.cache_key();
-    let bm = state.metrics.backend(item.backend_idx);
-    state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-    bm.cache_misses.fetch_add(1, Ordering::Relaxed);
+    item.record_cache(state, false);
     let (tx, rx) = mpsc::channel::<String>();
     let slot = match submit_translation(shared, &item, key, Some(tx)) {
         Ok(slot) => slot,
@@ -1049,7 +1620,7 @@ fn stream_endpoint(
 /// `{"results": [...]}`, one result object per item in order. Item-level
 /// failures (unknown backend/database, overload) are inline structured
 /// error objects; only a malformed envelope fails the whole request.
-fn batch_endpoint(shared: &Shared, req: &Request) -> Response {
+fn batch_endpoint(shared: &Shared, req: &Request, tenant: &Arc<TenantRuntime>) -> Response {
     let started = Instant::now();
     let state = &shared.state;
     let body_text = match std::str::from_utf8(&req.body) {
@@ -1093,7 +1664,7 @@ fn batch_endpoint(shared: &Shared, req: &Request) -> Response {
         .iter()
         .enumerate()
         .map(|(i, obj)| {
-            let item = match resolve_item(state, obj) {
+            let item = match resolve_item(tenant, obj) {
                 Ok(item) => item,
                 // Reuse the single-endpoint error body as the item result.
                 Err(resp) => return Pending::Failed(resp.body.as_slice().to_vec()),
@@ -1102,14 +1673,11 @@ fn batch_endpoint(shared: &Shared, req: &Request) -> Response {
             if let Some(&first) = in_flight.get(&key) {
                 return Pending::Dup(first);
             }
-            let bm = state.metrics.backend(item.backend_idx);
             if let Some(hit) = state.cache.get(&key) {
-                state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-                bm.cache_hits.fetch_add(1, Ordering::Relaxed);
+                item.record_cache(state, true);
                 return Pending::Done(hit);
             }
-            state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-            bm.cache_misses.fetch_add(1, Ordering::Relaxed);
+            item.record_cache(state, false);
             in_flight.insert(key.clone(), i);
             match submit_translation(shared, &item, key, None) {
                 Ok(slot) => Pending::Waiting(slot),

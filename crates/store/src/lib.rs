@@ -16,7 +16,10 @@
 //!   pin a snapshot to exactly what the consumer would have built.
 //! * [`source`] — the [`LibrarySource`] seam (`Build` | `Snapshot` |
 //!   `SnapshotOrBuild`) every consumer resolves instead of calling
-//!   `EmbeddingLibrary::build` directly.
+//!   `EmbeddingLibrary::build` directly, plus the [`EmbedderPool`] that
+//!   dedups shared embedder tables across tenants by fingerprint.
+//! * [`scan`] — directory scanning for snapshot catalogs: every
+//!   `*.t2vsnap` under a directory with its inspected manifest.
 //! * [`error`] — the structured failure taxonomy; corrupt or foreign bytes
 //!   can never panic the loader.
 //!
@@ -44,6 +47,7 @@
 pub mod error;
 pub mod fingerprint;
 pub mod format;
+pub mod scan;
 pub mod source;
 mod wire;
 
@@ -55,7 +59,8 @@ pub use format::{
     decode, encode, inspect, inspect_bytes, load, save, verify, LoadedSnapshot, Manifest,
     SectionInfo, SectionKind, FORMAT_VERSION, MAGIC,
 };
-pub use source::{LibrarySource, Provenance, ResolvedLibrary};
+pub use scan::{scan_snapshots, ScanEntry, SNAPSHOT_EXT};
+pub use source::{EmbedderPool, LibrarySource, Provenance, ResolvedLibrary};
 /// The format's section/trailer checksum (exposed so tests and tooling can
 /// re-seal deliberately corrupted snapshots).
 pub use wire::checksum64;

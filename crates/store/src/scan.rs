@@ -1,0 +1,85 @@
+//! Directory scanning: every `*.t2vsnap` under a directory, with its
+//! manifest inspected (framing + checksums validated, payloads untouched).
+//! The tenant catalog and the `t2v-snapshot catalog` CLI both build on
+//! this; neither wants to decode megabytes of vectors just to list what a
+//! directory holds.
+
+use crate::error::SnapshotError;
+use crate::format::{inspect, Manifest};
+use std::path::{Path, PathBuf};
+
+/// The snapshot file extension — the one spelling the scanner, the tenant
+/// catalog convention, and the CLIs all share.
+pub const SNAPSHOT_EXT: &str = ".t2vsnap";
+
+/// One snapshot file found by [`scan_snapshots`]: its path and either its
+/// validated manifest or the structured reason it is not loadable.
+#[derive(Debug)]
+pub struct ScanEntry {
+    pub path: PathBuf,
+    pub manifest: Result<Manifest, SnapshotError>,
+}
+
+impl ScanEntry {
+    /// The bare file name (scan only yields direct children, so this never
+    /// fails for entries the scanner produced).
+    pub fn file_name(&self) -> &str {
+        self.path.file_name().and_then(|n| n.to_str()).unwrap_or("")
+    }
+}
+
+/// List every `*.t2vsnap` directly under `dir` (no recursion), sorted by
+/// file name for deterministic catalogs, each with its inspected manifest.
+/// Unreadable or corrupt snapshots are *entries with an error*, not scan
+/// failures — the caller decides whether an invalid artifact is fatal (a
+/// serving catalog: yes) or merely reportable (a listing CLI: no). Only an
+/// unreadable directory fails the scan itself.
+pub fn scan_snapshots(dir: impl AsRef<Path>) -> std::io::Result<Vec<ScanEntry>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir.as_ref())?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (path.is_file() && name.ends_with(SNAPSHOT_EXT)).then_some(path)
+        })
+        .collect();
+    paths.sort();
+    Ok(paths
+        .into_iter()
+        .map(|path| {
+            let manifest = inspect(&path);
+            ScanEntry { path, manifest }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::{generate, CorpusConfig};
+    use t2v_embed::EmbedConfig;
+
+    #[test]
+    fn scan_lists_valid_and_invalid_snapshots_sorted() {
+        let dir = std::env::temp_dir().join(format!("t2v-scan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let corpus = generate(&CorpusConfig::tiny(7));
+        let built = crate::LibrarySource::Build
+            .resolve(&corpus, &EmbedConfig::default())
+            .unwrap();
+        crate::save(dir.join("b-good.t2vsnap"), &built.library, &built.embedder).unwrap();
+        std::fs::write(dir.join("a-bad.t2vsnap"), b"garbage bytes").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+
+        let entries = scan_snapshots(&dir).unwrap();
+        assert_eq!(entries.len(), 2, "only *.t2vsnap files are scanned");
+        assert_eq!(entries[0].file_name(), "a-bad.t2vsnap");
+        assert!(entries[0].manifest.is_err());
+        assert_eq!(entries[1].file_name(), "b-good.t2vsnap");
+        let manifest = entries[1].manifest.as_ref().unwrap();
+        assert_eq!(manifest.corpus_fingerprint, built.corpus_fingerprint);
+
+        assert!(scan_snapshots(dir.join("no-such-subdir")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

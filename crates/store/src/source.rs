@@ -71,6 +71,65 @@ impl std::fmt::Debug for ResolvedLibrary {
     }
 }
 
+/// Deduplicates shared embedder tables across resolved libraries, keyed by
+/// embedder fingerprint. Multi-tenant servers resolve one library per
+/// tenant, but tenants overwhelmingly share one embedding model (same
+/// lexicon, same config); holding T copies of the lexicon / coverage /
+/// stemmed-phrase tables would waste memory linearly in tenant count. The
+/// fingerprint covers config, lexicon, and a coverage sample, so equal
+/// fingerprints mean behaviourally identical embedders — sharing one `Arc`
+/// is invisible to translation bytes.
+///
+/// The pool holds `Weak` references: it never keeps an embedder alive by
+/// itself, so when the last consumer (e.g. a detached tenant) drops its
+/// `Arc`, the table is freed — attach/detach churn cannot accumulate
+/// tables of long-gone tenants.
+#[derive(Default)]
+pub struct EmbedderPool {
+    by_fingerprint: std::collections::HashMap<u64, std::sync::Weak<TextEmbedder>>,
+}
+
+impl EmbedderPool {
+    pub fn new() -> Self {
+        EmbedderPool::default()
+    }
+
+    /// Fold `resolved` into the pool: if a live embedder with the same
+    /// fingerprint is already pooled, `resolved` is rewritten to share that
+    /// `Arc` (returns `true`); otherwise its embedder becomes the pooled
+    /// table for the fingerprint (returns `false`).
+    pub fn adopt(&mut self, resolved: &mut ResolvedLibrary) -> bool {
+        match self.by_fingerprint.entry(resolved.embedder_fingerprint) {
+            std::collections::hash_map::Entry::Occupied(mut pooled) => {
+                if let Some(live) = pooled.get().upgrade() {
+                    resolved.embedder = live;
+                    return true;
+                }
+                // Every previous holder is gone; this embedder becomes the
+                // pooled table.
+                pooled.insert(Arc::downgrade(&resolved.embedder));
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(Arc::downgrade(&resolved.embedder));
+                false
+            }
+        }
+    }
+
+    /// Distinct embedder tables currently pooled and still alive.
+    pub fn len(&self) -> usize {
+        self.by_fingerprint
+            .values()
+            .filter(|w| w.strong_count() > 0)
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 impl LibrarySource {
     /// Resolve against the corpus the consumer serves and the embedder
     /// configuration it would otherwise build with (over the builtin
@@ -151,4 +210,43 @@ fn load_verified(
             path: path.to_path_buf(),
         },
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_corpus::generate;
+
+    #[test]
+    fn embedder_pool_dedups_live_tables_and_releases_dead_ones() {
+        let corpus = generate(&t2v_corpus::CorpusConfig::tiny(7));
+        let mut pool = EmbedderPool::new();
+        let mut first = LibrarySource::Build
+            .resolve(&corpus, &EmbedConfig::default())
+            .unwrap();
+        assert!(!pool.adopt(&mut first), "first adoption seeds the pool");
+        assert_eq!(pool.len(), 1);
+
+        // A second resolve over the same config dedups onto the first Arc.
+        let mut second = LibrarySource::Build
+            .resolve(&corpus, &EmbedConfig::default())
+            .unwrap();
+        assert!(pool.adopt(&mut second));
+        assert!(Arc::ptr_eq(&first.embedder, &second.embedder));
+        assert_eq!(pool.len(), 1);
+
+        // The pool holds only Weak refs: once every consumer is gone the
+        // table dies, and a later adoption re-seeds instead of upgrading.
+        drop(first);
+        drop(second);
+        assert_eq!(pool.len(), 0, "pool must not keep embedders alive");
+        let mut third = LibrarySource::Build
+            .resolve(&corpus, &EmbedConfig::default())
+            .unwrap();
+        assert!(
+            !pool.adopt(&mut third),
+            "dead entry is replaced, not shared"
+        );
+        assert_eq!(pool.len(), 1);
+    }
 }

@@ -1,0 +1,187 @@
+//! The snapshot catalog: a directory of `t2v-store` artifacts scanned into
+//! an ordered set of tenant declarations.
+//!
+//! The convention is one file per tenant, named
+//! `{id}@{profile}-{seed}.t2vsnap` (see [`crate::spec`]): the corpus spec
+//! rides in the name because a snapshot header carries only fingerprints,
+//! and the serving layer must know which corpus to regenerate and verify
+//! against *before* paying for a load. Files that do not match the
+//! convention are skipped (a catalog directory may also hold write-through
+//! snapshots that are nobody's tenant); files that match but whose bytes do
+//! not inspect cleanly are loud errors — a serving catalog silently
+//! dropping a tenant is an outage nobody gets paged for.
+
+use crate::spec::{parse_snapshot_filename, TenantSpec};
+use std::path::{Path, PathBuf};
+use t2v_store::{scan_snapshots, Manifest, SnapshotError};
+
+/// One tenant declared by a conforming catalog file: its spec, the
+/// snapshot path, and the inspected (framing- and checksum-validated)
+/// manifest.
+#[derive(Debug)]
+pub struct CatalogEntry {
+    pub spec: TenantSpec,
+    pub path: PathBuf,
+    pub manifest: Manifest,
+}
+
+/// Why a catalog directory could not be turned into a tenant set.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// The directory itself could not be read.
+    Io(std::io::Error),
+    /// A conforming file's bytes are not a loadable snapshot.
+    InvalidSnapshot { path: PathBuf, error: SnapshotError },
+    /// Two conforming files declare the same tenant id (e.g. the same id
+    /// over two different corpus seeds).
+    DuplicateTenant { id: String },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Io(e) => write!(f, "cannot read catalog directory: {e}"),
+            CatalogError::InvalidSnapshot { path, error } => {
+                write!(f, "catalog snapshot {}: {error}", path.display())
+            }
+            CatalogError::DuplicateTenant { id } => {
+                write!(f, "catalog declares tenant '{id}' twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> Self {
+        CatalogError::Io(e)
+    }
+}
+
+/// Scan `dir` into tenant catalog entries, sorted by file name (so catalog
+/// order — and therefore attach order and metric label order — is
+/// deterministic across restarts).
+pub fn scan_catalog(dir: impl AsRef<Path>) -> Result<Vec<CatalogEntry>, CatalogError> {
+    let mut entries: Vec<CatalogEntry> = Vec::new();
+    for found in scan_snapshots(dir.as_ref())? {
+        let Some(spec) = parse_snapshot_filename(found.file_name()) else {
+            continue;
+        };
+        let manifest = match found.manifest {
+            Ok(m) => m,
+            Err(error) => {
+                return Err(CatalogError::InvalidSnapshot {
+                    path: found.path,
+                    error,
+                })
+            }
+        };
+        if entries.iter().any(|e| e.spec.id == spec.id) {
+            return Err(CatalogError::DuplicateTenant { id: spec.id });
+        }
+        entries.push(CatalogEntry {
+            spec,
+            path: found.path,
+            manifest,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{parse_corpus_spec, snapshot_filename};
+    use t2v_corpus::generate;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("t2v-catalog-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_snapshot(dir: &Path, spec: &TenantSpec) -> Manifest {
+        let corpus = generate(&spec.corpus.corpus_config());
+        let built = t2v_store::LibrarySource::Build
+            .resolve(&corpus, &t2v_embed_config())
+            .unwrap();
+        t2v_store::save(
+            dir.join(snapshot_filename(spec)),
+            &built.library,
+            &built.embedder,
+        )
+        .unwrap()
+    }
+
+    fn t2v_embed_config() -> t2v_embed::EmbedConfig {
+        t2v_embed::EmbedConfig::default()
+    }
+
+    #[test]
+    fn catalog_scan_yields_conforming_tenants_in_name_order() {
+        let dir = temp_dir("ok");
+        let acme = TenantSpec {
+            id: "acme".into(),
+            corpus: parse_corpus_spec("tiny:8").unwrap(),
+        };
+        let zeta = TenantSpec {
+            id: "zeta".into(),
+            corpus: parse_corpus_spec("tiny:9").unwrap(),
+        };
+        let m_zeta = write_snapshot(&dir, &zeta);
+        let m_acme = write_snapshot(&dir, &acme);
+        // A non-conforming snapshot (e.g. the default tenant's write-through
+        // artifact) lives in the same directory and is skipped.
+        std::fs::write(dir.join("library.t2vsnap"), b"not even a snapshot").unwrap();
+        std::fs::write(dir.join("README.md"), b"ignored").unwrap();
+
+        let entries = scan_catalog(&dir).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].spec, acme);
+        assert_eq!(
+            entries[0].manifest.corpus_fingerprint,
+            m_acme.corpus_fingerprint
+        );
+        assert_eq!(entries[1].spec, zeta);
+        assert_eq!(
+            entries[1].manifest.corpus_fingerprint,
+            m_zeta.corpus_fingerprint
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conforming_but_corrupt_files_fail_the_scan_loudly() {
+        let dir = temp_dir("corrupt");
+        std::fs::write(dir.join("acme@tiny-8.t2vsnap"), b"garbage").unwrap();
+        let err = scan_catalog(&dir).unwrap_err();
+        assert!(matches!(err, CatalogError::InvalidSnapshot { .. }), "{err}");
+        assert!(err.to_string().contains("acme@tiny-8.t2vsnap"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_tenant_ids_fail_the_scan() {
+        let dir = temp_dir("dup");
+        let a7 = TenantSpec {
+            id: "acme".into(),
+            corpus: parse_corpus_spec("tiny:7").unwrap(),
+        };
+        let a8 = TenantSpec {
+            id: "acme".into(),
+            corpus: parse_corpus_spec("tiny:8").unwrap(),
+        };
+        write_snapshot(&dir, &a7);
+        write_snapshot(&dir, &a8);
+        let err = scan_catalog(&dir).unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicateTenant { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        let err = scan_catalog("/no/such/t2v-catalog-dir").unwrap_err();
+        assert!(matches!(err, CatalogError::Io(_)));
+    }
+}

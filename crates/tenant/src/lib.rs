@@ -1,0 +1,37 @@
+//! # t2v-tenant — multi-corpus, multi-tenant serving substrate
+//!
+//! A production deployment of the GRED pipeline serves many databases at
+//! once: every tenant brings its own corpus (schema + training split), its
+//! own embedding library, and its own backend set, and the paper's
+//! robustness guarantees have to hold *per tenant* — lexical variability is
+//! relative to a tenant's schema, not to one global library.
+//!
+//! This crate is the substrate `t2v-serve` builds its tenant table on:
+//!
+//! * [`spec`] — tenant identifiers and corpus specs (`id:profile:seed`
+//!   entries, the `{id}@{profile}-{seed}.t2vsnap` catalog filename
+//!   convention), parsed and validated once so every consumer agrees on the
+//!   grammar.
+//! * [`catalog`] — scanning a directory of `t2v-store` snapshots into an
+//!   ordered tenant catalog (manifests inspected, duplicate ids rejected,
+//!   non-conforming files skipped, corrupt conforming files loud).
+//! * [`rcu`] — [`RcuCell`], the clone-and-swap cell the live tenant table
+//!   lives in: readers take no lock on the fast path (a generation check
+//!   against a thread-local cache), writers clone the table, mutate the
+//!   clone, and swap it in atomically.
+//!
+//! The serving layer composes these with `t2v_store::LibrarySource` (per
+//! tenant, with verified fingerprints) and `t2v_store::EmbedderPool`
+//! (tenants sharing an embedder fingerprint share one table in memory) into
+//! per-tenant runtimes behind `/v1/t/{tenant}/...` routes.
+
+pub mod catalog;
+pub mod rcu;
+pub mod spec;
+
+pub use catalog::{scan_catalog, CatalogEntry, CatalogError};
+pub use rcu::RcuCell;
+pub use spec::{
+    parse_corpus_spec, parse_snapshot_filename, parse_tenant_list, snapshot_filename,
+    validate_tenant_id, CorpusSpec, SpecError, TenantSpec, DEFAULT_TENANT_ID, SNAPSHOT_EXT,
+};

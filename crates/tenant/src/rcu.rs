@@ -1,0 +1,217 @@
+//! [`RcuCell`] — the clone-and-swap cell the live tenant table lives in.
+//!
+//! The serving read path resolves a tenant on **every** request, so the
+//! table lookup must cost nothing next to the work it gates. The classic
+//! answer is RCU: readers observe an immutable snapshot (`Arc<T>`), writers
+//! build a modified copy and publish it atomically; nobody blocks anybody.
+//!
+//! A faithful lock-free `Arc` swap needs hazard pointers or deferred
+//! reclamation (the load-then-increment race), which std does not provide.
+//! This cell gets the same read-path property a cheaper way: a generation
+//! counter plus a per-thread cache. Readers compare the cell's generation
+//! (one `Acquire` load) against their thread-local copy; on a match — every
+//! request after the first on a connection or worker thread, until the next
+//! admin mutation — they reuse the cached `Arc` and touch no lock. Only a
+//! generation miss falls back to the writer mutex to re-snapshot. Writers
+//! (admin attach/detach, rare by construction) serialise on that mutex,
+//! clone-and-mutate, swap, and bump the generation.
+//!
+//! Readers may use a just-replaced snapshot for the request in flight —
+//! standard RCU semantics, and exactly the guarantee the serving layer
+//! wants: in-flight translations on a detached tenant complete against the
+//! old table; the *next* request sees the new one.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Distinguishes cells within one process so a thread's cache entry can
+/// never be replayed against a different cell (tests and benches spawn many
+/// servers per process).
+static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One cached snapshot: (cell id, generation, type-erased `Arc<T>`).
+type CachedSnapshot = (u64, u64, Arc<dyn Any + Send + Sync>);
+
+thread_local! {
+    /// Single-slot per-thread cache. One slot suffices because a serving
+    /// thread talks to exactly one cell; threads that alternate between
+    /// cells still stay correct, just re-snapshot on each switch.
+    static CACHE: RefCell<Option<CachedSnapshot>> = const { RefCell::new(None) };
+}
+
+/// An RCU-style swappable `Arc<T>`: lock-free reads on the generation-hit
+/// fast path, serialised clone-and-swap writes.
+pub struct RcuCell<T: Send + Sync + 'static> {
+    id: u64,
+    /// Bumped (under the writer lock) on every swap; the read fast path is
+    /// one `Acquire` load of this counter.
+    generation: AtomicU64,
+    current: Mutex<Arc<T>>,
+}
+
+impl<T: Send + Sync + 'static> RcuCell<T> {
+    pub fn new(value: T) -> Self {
+        RcuCell {
+            id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
+            generation: AtomicU64::new(1),
+            current: Mutex::new(Arc::new(value)),
+        }
+    }
+
+    /// The generation of the current snapshot (monotonic; diagnostic).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Current snapshot. Lock-free when this thread has already loaded the
+    /// current generation; otherwise one uncontended mutex lock to
+    /// re-snapshot and refresh the thread cache.
+    pub fn load(&self) -> Arc<T> {
+        let generation = self.generation.load(Ordering::Acquire);
+        let hit = CACHE.with(|c| {
+            let cache = c.borrow();
+            match &*cache {
+                Some((id, cached_generation, value))
+                    if *id == self.id && *cached_generation == generation =>
+                {
+                    // The downcast cannot fail: the id is unique per cell,
+                    // and a cell only ever stores its own T.
+                    Some(
+                        Arc::clone(value)
+                            .downcast::<T>()
+                            .expect("cell id uniquely determines the snapshot type"),
+                    )
+                }
+                _ => None,
+            }
+        });
+        match hit {
+            Some(value) => value,
+            None => self.load_slow(),
+        }
+    }
+
+    #[cold]
+    fn load_slow(&self) -> Arc<T> {
+        // Generation re-read under the lock: writers bump it while holding
+        // the same lock, so the (snapshot, generation) pair is consistent.
+        let (value, generation) = {
+            let guard = self.current.lock().expect("rcu writer lock poisoned");
+            (Arc::clone(&guard), self.generation.load(Ordering::Acquire))
+        };
+        CACHE.with(|c| {
+            *c.borrow_mut() = Some((
+                self.id,
+                generation,
+                Arc::clone(&value) as Arc<dyn Any + Send + Sync>,
+            ));
+        });
+        value
+    }
+
+    /// Clone-and-swap: an atomic read-modify-write over the snapshot.
+    /// Concurrent writers serialise on the cell's lock; readers are never
+    /// blocked (they keep using the old snapshot until the bump lands).
+    /// Returns the published snapshot.
+    pub fn update(&self, mutate: impl FnOnce(&T) -> T) -> Arc<T> {
+        let mut guard = self.current.lock().expect("rcu writer lock poisoned");
+        let next = Arc::new(mutate(&guard));
+        *guard = Arc::clone(&next);
+        self.generation.fetch_add(1, Ordering::Release);
+        next
+    }
+
+    /// Replace the snapshot wholesale (an `update` that ignores the old
+    /// value).
+    pub fn swap(&self, value: Arc<T>) {
+        let mut guard = self.current.lock().expect("rcu writer lock poisoned");
+        *guard = value;
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl<T: Send + Sync + 'static + std::fmt::Debug> std::fmt::Debug for RcuCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcuCell")
+            .field("generation", &self.generation())
+            .field("current", &*self.load())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_updates_and_caches_within_a_generation() {
+        let cell = RcuCell::new(vec![1]);
+        let first = cell.load();
+        assert_eq!(*first, vec![1]);
+        // Same generation: the cached Arc is reused (pointer-equal).
+        assert!(Arc::ptr_eq(&first, &cell.load()));
+        cell.update(|v| {
+            let mut v = v.clone();
+            v.push(2);
+            v
+        });
+        let second = cell.load();
+        assert_eq!(*second, vec![1, 2]);
+        assert!(!Arc::ptr_eq(&first, &second));
+        // The old snapshot is still intact for holders of the old Arc.
+        assert_eq!(*first, vec![1]);
+        cell.swap(Arc::new(vec![9]));
+        assert_eq!(*cell.load(), vec![9]);
+    }
+
+    #[test]
+    fn two_cells_do_not_poison_each_others_thread_cache() {
+        let a = RcuCell::new("a");
+        let b = RcuCell::new("b");
+        assert_eq!(*a.load(), "a");
+        assert_eq!(*b.load(), "b");
+        a.swap(Arc::new("a2"));
+        assert_eq!(*a.load(), "a2");
+        assert_eq!(*b.load(), "b");
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_consistent_snapshot() {
+        // Snapshots are (n, n * 2) pairs; a torn or stale-cached read would
+        // surface as a mismatched pair or a value going backwards.
+        let cell = Arc::new(RcuCell::new((0u64, 0u64)));
+        std::thread::scope(|s| {
+            let writers: Vec<_> = (0..2)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    s.spawn(move || {
+                        for _ in 0..500 {
+                            cell.update(|&(n, _)| (n + 1, (n + 1) * 2));
+                        }
+                    })
+                })
+                .collect();
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    s.spawn(move || {
+                        let mut last = 0u64;
+                        for _ in 0..2000 {
+                            let (n, double) = *cell.load();
+                            assert_eq!(double, n * 2, "torn snapshot");
+                            assert!(n >= last, "snapshot went backwards: {n} < {last}");
+                            last = n;
+                        }
+                    })
+                })
+                .collect();
+            for h in writers.into_iter().chain(readers) {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(cell.load().0, 1000);
+        assert_eq!(cell.generation(), 1001);
+    }
+}

@@ -1,0 +1,250 @@
+//! Tenant identifiers and corpus specs: the one grammar every consumer —
+//! the `tenants=` knob, the admin attach route, the snapshot catalog
+//! filename convention, the bench axes — parses identically.
+
+use t2v_corpus::CorpusConfig;
+
+/// The reserved id of the implicit tenant every server always has: the one
+/// configured by the top-level `corpus=`/`library_snapshot=` knobs and
+/// served by the unprefixed `/v1/*` routes. It cannot be re-declared or
+/// detached.
+pub const DEFAULT_TENANT_ID: &str = "default";
+
+/// The snapshot file extension the catalog scans for (one spelling for the
+/// whole workspace, owned by the format's home crate).
+pub use t2v_store::SNAPSHOT_EXT;
+
+/// A grammar violation in a tenant id, corpus spec, or tenant list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(message: impl Into<String>) -> SpecError {
+    SpecError {
+        message: message.into(),
+    }
+}
+
+/// Which synthetic corpus a tenant serves: a named profile plus its seed.
+/// The pair fully determines the corpus (generation is deterministic), so
+/// it is the provenance a snapshot in the catalog is verified against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CorpusSpec {
+    /// `tiny` or `paper` (the two [`CorpusConfig`] profiles).
+    pub paper: bool,
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    pub fn corpus_config(&self) -> CorpusConfig {
+        if self.paper {
+            CorpusConfig::paper(self.seed)
+        } else {
+            CorpusConfig::tiny(self.seed)
+        }
+    }
+
+    pub fn profile_name(&self) -> &'static str {
+        if self.paper {
+            "paper"
+        } else {
+            "tiny"
+        }
+    }
+
+    /// The canonical `profile:seed` spelling (`tiny:7`), accepted back by
+    /// [`parse_corpus_spec`].
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.profile_name(), self.seed)
+    }
+}
+
+impl std::fmt::Display for CorpusSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.profile_name(), self.seed)
+    }
+}
+
+/// `tiny:SEED` / `paper:SEED` (seed optional, default 7 — the same grammar
+/// as the server's `corpus=` knob).
+pub fn parse_corpus_spec(value: &str) -> Result<CorpusSpec, SpecError> {
+    let (name, seed) = match value.split_once(':') {
+        Some((n, s)) => (
+            n,
+            s.parse::<u64>()
+                .map_err(|_| err(format!("corpus spec '{value}': bad seed '{s}'")))?,
+        ),
+        None => (value, 7),
+    };
+    match name {
+        "tiny" => Ok(CorpusSpec { paper: false, seed }),
+        "paper" => Ok(CorpusSpec { paper: true, seed }),
+        _ => Err(err(format!(
+            "corpus spec '{value}': '{name}' is not a profile (tiny|paper)"
+        ))),
+    }
+}
+
+/// Tenant ids are URL path segments, metric label values, and filename
+/// stems, so the grammar is the intersection of all three: non-empty,
+/// `[a-z0-9_-]`, at most 64 bytes, and not the reserved default id.
+pub fn validate_tenant_id(id: &str) -> Result<(), SpecError> {
+    if id.is_empty() {
+        return Err(err("tenant id is empty"));
+    }
+    if id.len() > 64 {
+        return Err(err(format!("tenant id '{id}' is longer than 64 bytes")));
+    }
+    if !id
+        .bytes()
+        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+    {
+        return Err(err(format!(
+            "tenant id '{id}' must match [a-z0-9_-]+ (it becomes a URL segment and metric label)"
+        )));
+    }
+    if id == DEFAULT_TENANT_ID {
+        return Err(err(format!(
+            "tenant id '{DEFAULT_TENANT_ID}' is reserved for the implicit default tenant"
+        )));
+    }
+    Ok(())
+}
+
+/// One declared tenant: its id and the corpus it serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    pub id: String,
+    pub corpus: CorpusSpec,
+}
+
+impl TenantSpec {
+    /// The canonical `id:profile:seed` entry spelling.
+    pub fn entry(&self) -> String {
+        format!("{}:{}", self.id, self.corpus)
+    }
+}
+
+/// Parse a comma-separated `id:profile:seed` tenant list (the `tenants=`
+/// knob): `acme:tiny:8,globex:paper:3`. Ids are validated and must be
+/// unique; an empty string parses to no tenants.
+pub fn parse_tenant_list(value: &str) -> Result<Vec<TenantSpec>, SpecError> {
+    let mut out: Vec<TenantSpec> = Vec::new();
+    for entry in value.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let Some((id, spec)) = entry.split_once(':') else {
+            return Err(err(format!(
+                "tenant entry '{entry}' is not id:profile:seed"
+            )));
+        };
+        let id = id.trim();
+        validate_tenant_id(id)?;
+        let corpus = parse_corpus_spec(spec.trim())?;
+        if out.iter().any(|t| t.id == id) {
+            return Err(err(format!("tenant '{id}' listed twice")));
+        }
+        out.push(TenantSpec {
+            id: id.to_string(),
+            corpus,
+        });
+    }
+    Ok(out)
+}
+
+/// The catalog filename convention: `{id}@{profile}-{seed}.t2vsnap`. The
+/// corpus spec rides in the name because a snapshot header carries only
+/// fingerprints — the scanner needs to know which corpus to regenerate and
+/// verify against without probing every profile.
+pub fn snapshot_filename(spec: &TenantSpec) -> String {
+    format!(
+        "{}@{}-{}{SNAPSHOT_EXT}",
+        spec.id,
+        spec.corpus.profile_name(),
+        spec.corpus.seed
+    )
+}
+
+/// Parse a conforming catalog filename back into a [`TenantSpec`]. Returns
+/// `None` for non-conforming names (the scanner skips those — a catalog
+/// directory may also hold write-through snapshots that are nobody's
+/// tenant).
+pub fn parse_snapshot_filename(name: &str) -> Option<TenantSpec> {
+    let stem = name.strip_suffix(SNAPSHOT_EXT)?;
+    let (id, spec) = stem.split_once('@')?;
+    let (profile, seed) = spec.rsplit_once('-')?;
+    let seed: u64 = seed.parse().ok()?;
+    let corpus = parse_corpus_spec(&format!("{profile}:{seed}")).ok()?;
+    validate_tenant_id(id).ok()?;
+    Some(TenantSpec {
+        id: id.to_string(),
+        corpus,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_specs_parse_and_roundtrip() {
+        let t = parse_corpus_spec("tiny:9").unwrap();
+        assert_eq!((t.paper, t.seed), (false, 9));
+        assert_eq!(t.label(), "tiny:9");
+        let p = parse_corpus_spec("paper:3").unwrap();
+        assert_eq!((p.paper, p.seed), (true, 3));
+        assert_eq!(parse_corpus_spec("tiny").unwrap().seed, 7);
+        assert!(parse_corpus_spec("huge:1").is_err());
+        assert!(parse_corpus_spec("tiny:x").is_err());
+        assert_eq!(t.corpus_config().seed, 9);
+    }
+
+    #[test]
+    fn tenant_ids_are_url_and_label_safe() {
+        validate_tenant_id("acme").unwrap();
+        validate_tenant_id("a-1_b").unwrap();
+        assert!(validate_tenant_id("").is_err());
+        assert!(validate_tenant_id("Acme").is_err());
+        assert!(validate_tenant_id("a/b").is_err());
+        assert!(validate_tenant_id("a b").is_err());
+        assert!(validate_tenant_id(DEFAULT_TENANT_ID).is_err());
+        assert!(validate_tenant_id(&"x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn tenant_lists_parse_validate_and_deduplicate() {
+        let list = parse_tenant_list("acme:tiny:8, globex:paper:3").unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].entry(), "acme:tiny:8");
+        assert_eq!(list[1].entry(), "globex:paper:3");
+        assert!(parse_tenant_list("").unwrap().is_empty());
+        assert!(parse_tenant_list("acme").is_err());
+        assert!(parse_tenant_list("acme:huge:1").is_err());
+        assert!(parse_tenant_list("acme:tiny:1,acme:tiny:2").is_err());
+        assert!(parse_tenant_list("default:tiny:7").is_err());
+    }
+
+    #[test]
+    fn filename_convention_roundtrips() {
+        let spec = TenantSpec {
+            id: "acme-2".to_string(),
+            corpus: parse_corpus_spec("tiny:11").unwrap(),
+        };
+        let name = snapshot_filename(&spec);
+        assert_eq!(name, "acme-2@tiny-11.t2vsnap");
+        assert_eq!(parse_snapshot_filename(&name), Some(spec));
+        // Non-conforming names are not tenants.
+        assert_eq!(parse_snapshot_filename("library.t2vsnap"), None);
+        assert_eq!(parse_snapshot_filename("acme@tiny-x.t2vsnap"), None);
+        assert_eq!(parse_snapshot_filename("acme@tiny-7.snap"), None);
+        assert_eq!(parse_snapshot_filename("default@tiny-7.t2vsnap"), None);
+        assert_eq!(parse_snapshot_filename("Weird@tiny-7.t2vsnap"), None);
+    }
+}

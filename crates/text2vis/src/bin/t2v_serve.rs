@@ -49,6 +49,11 @@ fn main() {
             .set(key.trim(), value.trim())
             .unwrap_or_else(|e| die(&e.message));
     }
+    // Environment validation runs *before* anything expensive: a
+    // snapshot_save path whose parent does not exist, or a missing
+    // tenant_dir, dies here in milliseconds — not after the library build
+    // finally tries to use it.
+    config.validate().unwrap_or_else(|e| die(&e.message));
 
     eprintln!(
         "t2v-serve: preparing backends [{}] over the {:?} corpus ({} workers, {} shards, queue {} per shard, cache {} entries/{} shards/ttl {}s, batching {}, library {})...",
@@ -72,11 +77,27 @@ fn main() {
     // one-line diagnostic, non-zero status, no panic/backtrace noise.
     let server = serve(config).unwrap_or_else(|e| die(&e.to_string()));
     eprintln!(
-        "t2v-serve: serving the {} library ({}, fingerprint {:#018x}) on http://{} (POST /v1/translate, POST /v1/translate/batch, GET /v1/backends, POST /v1/admin/snapshot, GET /healthz, GET /metrics; POST /translate is deprecated)",
+        "t2v-serve: serving the {} library ({}, fingerprint {:#018x}) on http://{} (POST /v1/translate, POST /v1/translate/batch, GET /v1/backends, /v1/t/{{tenant}}/*, POST /v1/admin/snapshot, /v1/admin/tenants*, GET /healthz, GET /metrics; POST /translate is deprecated)",
         server.state().gred.library().len(),
         server.state().library_provenance.label(),
         server.state().library_fingerprint,
         server.addr()
+    );
+    let tenants = server.state().tenants();
+    eprintln!(
+        "t2v-serve: {} tenant(s): {}",
+        tenants.len(),
+        tenants
+            .iter()
+            .map(|t| format!(
+                "{} ({}, {}, {} entries)",
+                t.id,
+                t.corpus_label,
+                t.library_provenance.label(),
+                t.gred.library().len()
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     // Serve until the process is killed.
     loop {

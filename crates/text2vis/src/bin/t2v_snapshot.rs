@@ -4,16 +4,22 @@
 //! t2v-snapshot build   [--corpus tiny:7|paper:N] [--out PATH]
 //! t2v-snapshot inspect PATH
 //! t2v-snapshot verify  PATH [--corpus tiny:7|paper:N]
+//! t2v-snapshot catalog DIR
 //! ```
 //!
 //! * `build` generates the corpus, builds the embedding library, and writes
 //!   the snapshot `t2v-serve` loads with `library_snapshot=PATH`.
-//! * `inspect` prints the manifest (version, fingerprints, section table)
-//!   after validating framing and checksums — no payload reconstruction.
+//! * `inspect` prints the manifest (version, fingerprints, section table
+//!   with human-readable sizes) after validating framing and checksums —
+//!   no payload reconstruction.
 //! * `verify` fully decodes the snapshot and re-derives both fingerprints
 //!   from the reconstructed state; with `--corpus` it additionally proves
 //!   the snapshot matches that corpus. Exit status 0 only when everything
 //!   holds.
+//! * `catalog` scans a directory and lists every valid snapshot with its
+//!   fingerprints — and, for files following the tenant naming convention
+//!   (`{id}@{profile}-{seed}.t2vsnap`), the tenant they declare to a
+//!   `tenant_dir=` boot of `t2v-serve`.
 //!
 //! Every failure is a one-line diagnostic + non-zero exit, never a panic.
 
@@ -21,6 +27,7 @@ use std::time::Instant;
 use text2vis::corpus::generate;
 use text2vis::embed::EmbedConfig;
 use text2vis::store::{self, LibrarySource, Manifest};
+use text2vis::tenant::parse_snapshot_filename;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,8 +39,9 @@ fn main() {
         "build" => build(&args[1..]),
         "inspect" => inspect(&args[1..]),
         "verify" => verify(&args[1..]),
+        "catalog" => catalog(&args[1..]),
         other => die(&format!(
-            "unknown subcommand '{other}' (build|inspect|verify)"
+            "unknown subcommand '{other}' (build|inspect|verify|catalog)"
         )),
     }
 }
@@ -41,7 +49,8 @@ fn main() {
 fn usage() {
     println!(
         "usage:\n  t2v-snapshot build   [--corpus tiny:7|paper:N] [--out PATH]\n  \
-         t2v-snapshot inspect PATH\n  t2v-snapshot verify  PATH [--corpus tiny:7|paper:N]"
+         t2v-snapshot inspect PATH\n  t2v-snapshot verify  PATH [--corpus tiny:7|paper:N]\n  \
+         t2v-snapshot catalog DIR"
     );
 }
 
@@ -143,20 +152,98 @@ fn verify(args: &[String]) {
     print_manifest(&manifest);
 }
 
+/// `1234567` → `1.2 MiB` — section sizes are for humans; exact byte counts
+/// stay in the `bytes` column.
+fn human_size(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// One table: provenance rows (the library fingerprint first — it doubles
+/// as the corpus fingerprint by construction) followed by the section
+/// rows with human-readable sizes.
 fn print_manifest(m: &Manifest) {
     println!(
-        "format v{}, {} entries, {} dims, {} bytes",
-        m.format_version, m.entries, m.dims, m.file_len
+        "format v{}, {} entries, {} dims, {} ({} bytes)",
+        m.format_version,
+        m.entries,
+        m.dims,
+        human_size(m.file_len),
+        m.file_len
     );
-    println!("corpus fingerprint:   {:#018x}", m.corpus_fingerprint);
-    println!("embedder fingerprint: {:#018x}", m.embedder_fingerprint);
+    println!(
+        "  {:<22} {:>10} {:>12}  {:>18}",
+        "row", "offset", "size", "value/checksum"
+    );
+    println!(
+        "  {:<22} {:>10} {:>12}  {:#018x}",
+        "library fingerprint", "-", "-", m.corpus_fingerprint
+    );
+    println!(
+        "  {:<22} {:>10} {:>12}  {:#018x}",
+        "embedder fingerprint", "-", "-", m.embedder_fingerprint
+    );
     for s in &m.sections {
         println!(
-            "  section {:<9} offset {:>9}  {:>9} bytes  checksum {:#018x}",
-            s.kind.name(),
+            "  {:<22} {:>10} {:>12}  {:#018x}",
+            format!("section {}", s.kind.name()),
             s.offset,
-            s.len,
+            format!("{} ", human_size(s.len)),
             s.checksum
         );
+    }
+}
+
+/// `catalog DIR` — list every snapshot under a directory: validity,
+/// fingerprint, size, and (for conforming names) the tenant it declares.
+fn catalog(args: &[String]) {
+    let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
+        die("catalog needs a directory");
+    };
+    let entries = match store::scan_snapshots(dir) {
+        Ok(e) => e,
+        Err(e) => die(&format!("cannot scan {dir}: {e}")),
+    };
+    if entries.is_empty() {
+        println!("no *.t2vsnap files under {dir}");
+        return;
+    }
+    let mut invalid = 0usize;
+    println!(
+        "{:<34} {:>8} {:>10}  {:<18}  tenant",
+        "snapshot", "entries", "size", "fingerprint"
+    );
+    for entry in &entries {
+        let tenant = match parse_snapshot_filename(entry.file_name()) {
+            Some(spec) => format!("{} ({})", spec.id, spec.corpus.label()),
+            None => "-".to_string(),
+        };
+        match &entry.manifest {
+            Ok(m) => println!(
+                "{:<34} {:>8} {:>10}  {:#018x}  {tenant}",
+                entry.file_name(),
+                m.entries,
+                human_size(m.file_len),
+                m.corpus_fingerprint
+            ),
+            Err(e) => {
+                invalid += 1;
+                println!("{:<34} INVALID: {e}", entry.file_name());
+            }
+        }
+    }
+    println!(
+        "{} snapshot(s), {} valid, {} invalid",
+        entries.len(),
+        entries.len() - invalid,
+        invalid
+    );
+    if invalid > 0 {
+        std::process::exit(1);
     }
 }

@@ -34,6 +34,7 @@ pub use t2v_neural as neural;
 pub use t2v_perturb as perturb;
 pub use t2v_serve as serve;
 pub use t2v_store as store;
+pub use t2v_tenant as tenant;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -49,4 +50,5 @@ pub mod prelude {
     pub use t2v_perturb::{build_rob, NvBenchRob, RobVariant};
     pub use t2v_serve::{serve, ServeConfig, Server, ServerState};
     pub use t2v_store::{LibrarySource, Provenance, SnapshotError};
+    pub use t2v_tenant::{CorpusSpec, TenantSpec};
 }
