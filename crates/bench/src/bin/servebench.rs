@@ -17,15 +17,24 @@
 //!   (table resolution, per-epoch cache namespacing) under both cache
 //!   modes, reported per tenant under `serving.tenants`.
 //!
+//! * **chaos** (`--chaos`) — a deterministic fault storm (DESIGN.md §11):
+//!   baseline traffic, then `t2v-fault` arms `backend.error` against the
+//!   live server so every worker job fails and the circuit breaker opens
+//!   (fast 503s), then the plan disarms and a probe loop measures how long
+//!   the breaker takes to serve the first clean 200 again. Reports storm
+//!   error rate, storm p99, and recovery time under `serving.chaos`;
+//!   `--chaos` runs *only* this axis (the others' rows are preserved).
+//!
 //! Reports throughput and a client-side latency distribution (p50/p95/p99),
 //! and merges a `serving` section into `BENCH_perf.json` — top-level
 //! `hot`/`cold` rows for the first backend (GRED, the reference numbers)
-//! plus per-backend rows under `serving.backends` and per-tenant rows under
-//! `serving.tenants` — without disturbing the sections `perfsnap` owns.
+//! plus per-backend rows under `serving.backends`, per-tenant rows under
+//! `serving.tenants`, and fault-storm rows under `serving.chaos` — without
+//! disturbing the sections `perfsnap` owns.
 //!
 //! Usage: `cargo run --release -p t2v-bench --bin servebench
 //!         [--quick] [--clients N] [--secs S] [--backends a,b]
-//!         [--tenants N] [--out PATH]`
+//!         [--tenants N] [--chaos] [--out PATH]`
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -61,6 +70,7 @@ struct Scenario {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let clients: usize = flag(&args, "--clients").unwrap_or(8);
     let secs: u64 = flag(&args, "--secs").unwrap_or(if quick { 1 } else { 4 });
     let tenant_count: usize = flag(&args, "--tenants").unwrap_or(0);
@@ -90,6 +100,36 @@ fn main() {
         t2v_parallel::thread_count()
     );
     let corpus = generate(&CorpusConfig::tiny(7));
+
+    if chaos {
+        let report = run_chaos(&corpus, clients, Duration::from_secs(secs));
+        println!(
+            "  chaos/baseline {:>8.0} req/s  p99 {:>8.1} µs  errors {:.1}%",
+            report.baseline.rps,
+            report.baseline.p99_us,
+            error_rate(&report.baseline) * 100.0
+        );
+        println!(
+            "  chaos/storm    {:>8.0} req/s  p99 {:>8.1} µs  errors {:.1}%  (500s+503s: {})",
+            report.storm.rps,
+            report.storm.p99_us,
+            error_rate(&report.storm) * 100.0,
+            report.storm.rejected + report.storm.other_errors
+        );
+        println!(
+            "  chaos/recovery {:>8.1} ms to first clean 200",
+            report.recovery_ms
+        );
+        println!(
+            "  chaos/post     {:>8.0} req/s  p99 {:>8.1} µs  errors {:.1}%",
+            report.post.rps,
+            report.post.p99_us,
+            error_rate(&report.post) * 100.0
+        );
+        merge_report(&out_path, clients, secs, &[], &[], Some(&report));
+        println!("merged serving.chaos section into {out_path}");
+        return;
+    }
 
     let mut scenarios: Vec<Scenario> = Vec::new();
     for id in &backend_ids {
@@ -194,8 +234,128 @@ fn main() {
         );
     }
 
-    merge_report(&out_path, clients, secs, &scenarios, &tenant_scenarios);
+    merge_report(
+        &out_path,
+        clients,
+        secs,
+        &scenarios,
+        &tenant_scenarios,
+        None,
+    );
     println!("merged serving section into {out_path}");
+}
+
+struct ChaosReport {
+    baseline: Scenario,
+    storm: Scenario,
+    recovery_ms: f64,
+    post: Scenario,
+}
+
+fn error_rate(s: &Scenario) -> f64 {
+    if s.requests == 0 {
+        0.0
+    } else {
+        (s.rejected + s.other_errors) as f64 / s.requests as f64
+    }
+}
+
+/// The chaos axis: measure the failure domain end to end. Cache off so every
+/// request exercises the worker path; fast breaker knobs so open/half-open
+/// transitions happen inside a bench-sized run. Phases: clean baseline →
+/// armed `backend.error` storm (500s until the breaker opens, then fast
+/// 503s) → disarm and probe until the first clean 200 (recovery time) →
+/// clean post-storm traffic proving full service is restored.
+fn run_chaos(corpus: &t2v_corpus::Corpus, clients: usize, secs: Duration) -> ChaosReport {
+    let mut config = ServeConfig::default();
+    config.set("addr", "127.0.0.1:0").unwrap();
+    config.set("backends", "gred").unwrap();
+    config.set("cache_capacity", "0").unwrap();
+    config.set("breaker_window", "8").unwrap();
+    config.set("breaker_min_samples", "4").unwrap();
+    config.set("breaker_threshold_pct", "50").unwrap();
+    config.set("breaker_open_ms", "250").unwrap();
+    config.set("degrade_stale", "false").unwrap();
+    let state = Arc::new(ServerState::from_corpus(corpus, config).expect("chaos state builds"));
+    let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
+
+    println!("servebench: chaos axis — baseline, storm, recovery, post");
+    let baseline = run_scenario(
+        "gred",
+        "baseline",
+        "/v1/translate",
+        corpus,
+        &server,
+        clients,
+        secs,
+    );
+
+    let plan = t2v_fault::FaultPlan::parse("seed=7;backend.error:backend=gred")
+        .expect("chaos fault plan parses");
+    t2v_fault::arm(&plan);
+    let storm = run_scenario(
+        "gred",
+        "storm",
+        "/v1/translate",
+        corpus,
+        &server,
+        clients,
+        secs,
+    );
+
+    // Recovery: the instant the storm lifts, how long until the first clean
+    // 200? Bounded by the breaker cool-down (250 ms) plus one probe.
+    t2v_fault::disarm();
+    let disarmed = Instant::now();
+    let recovery_ms = {
+        let ex = &corpus.dev[0];
+        let body = Json::obj([
+            ("nlq", Json::str(ex.nlq.as_str())),
+            ("db", Json::str(corpus.databases[ex.db].id.as_str())),
+            ("backend", Json::str("gred")),
+        ])
+        .compact();
+        let req = format!(
+            "POST /v1/translate HTTP/1.1\r\nHost: servebench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .into_bytes();
+        let stream = TcpStream::connect(server.addr()).expect("connect for recovery probe");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(70)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut writer = stream;
+        let deadline = disarmed + Duration::from_secs(30);
+        loop {
+            writer.write_all(&req).expect("write recovery probe");
+            match read_response(&mut reader) {
+                Some((200, _)) => break disarmed.elapsed().as_secs_f64() * 1e3,
+                Some(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                _ => break f64::NAN, // wedged — the report will show it
+            }
+        }
+    };
+
+    let post = run_scenario(
+        "gred",
+        "post",
+        "/v1/translate",
+        corpus,
+        &server,
+        clients,
+        secs,
+    );
+    server.shutdown();
+    ChaosReport {
+        baseline,
+        storm,
+        recovery_ms,
+        post,
+    }
 }
 
 fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
@@ -394,15 +554,17 @@ fn scenario_json(s: &Scenario) -> Json {
 /// Merge the `serving` section into the perf report, leaving everything else
 /// (perfsnap's sections) untouched. The first benched backend's hot/cold
 /// rows keep the original top-level layout (the ROADMAP reference numbers);
-/// every backend additionally gets a row under `serving.backends.<id>`, and
-/// the `--tenants` axis writes per-tenant rows under `serving.tenants.<id>`
-/// (preserved from the previous report when the axis did not run).
+/// every backend additionally gets a row under `serving.backends.<id>`, the
+/// `--tenants` axis writes per-tenant rows under `serving.tenants.<id>`, and
+/// `--chaos` writes fault-storm rows under `serving.chaos`. Axes that did
+/// not run this invocation keep their rows from the previous report.
 fn merge_report(
     out_path: &str,
     clients: usize,
     secs: u64,
     scenarios: &[Scenario],
     tenant_scenarios: &[(String, Scenario)],
+    chaos: Option<&ChaosReport>,
 ) {
     let mut doc = std::fs::read_to_string(out_path)
         .ok()
@@ -417,17 +579,24 @@ fn merge_report(
         for s in scenarios.iter().filter(|s| s.backend == first.backend) {
             serving.set(s.mode, scenario_json(s));
         }
+        let mut backends = Json::Obj(Default::default());
+        for s in scenarios {
+            let mut row = match backends.get(&s.backend) {
+                Some(existing) => existing.clone(),
+                None => Json::Obj(Default::default()),
+            };
+            row.set(s.mode, scenario_json(s));
+            backends.set(&s.backend, row);
+        }
+        serving.set("backends", backends);
+    } else if let Some(prior) = doc.get("serving") {
+        // A --chaos-only run: keep the load axes from the previous report.
+        for key in ["hot", "cold", "backends"] {
+            if let Some(v) = prior.get(key) {
+                serving.set(key, v.clone());
+            }
+        }
     }
-    let mut backends = Json::Obj(Default::default());
-    for s in scenarios {
-        let mut row = match backends.get(&s.backend) {
-            Some(existing) => existing.clone(),
-            None => Json::Obj(Default::default()),
-        };
-        row.set(s.mode, scenario_json(s));
-        backends.set(&s.backend, row);
-    }
-    serving.set("backends", backends);
     if tenant_scenarios.is_empty() {
         // Keep the previous run's tenant rows — reruns without --tenants
         // must not erase the axis.
@@ -445,6 +614,33 @@ fn merge_report(
             tenants.set(tenant, row);
         }
         serving.set("tenants", tenants);
+    }
+    match chaos {
+        Some(report) => {
+            let round1 = |x: f64| (x * 10.0).round() / 10.0;
+            let phase = |s: &Scenario| {
+                let mut row = scenario_json(s);
+                row.set(
+                    "error_rate",
+                    Json::Num((error_rate(s) * 1000.0).round() / 1000.0),
+                );
+                row
+            };
+            serving.set(
+                "chaos",
+                Json::obj([
+                    ("baseline", phase(&report.baseline)),
+                    ("storm", phase(&report.storm)),
+                    ("recovery_ms", Json::Num(round1(report.recovery_ms))),
+                    ("post", phase(&report.post)),
+                ]),
+            );
+        }
+        None => {
+            if let Some(prior) = doc.get("serving").and_then(|s| s.get("chaos")) {
+                serving.set("chaos", prior.clone());
+            }
+        }
     }
     doc.set("serving", serving);
     let mut text = doc.pretty();

@@ -208,6 +208,7 @@ impl<M: ChatModel> Gred<M> {
         // skip its defensive renormalisation copy.
         let t0 = Instant::now();
         let qv = self.embedder.embed(nlq);
+        t2v_fault::inject_delay(t2v_fault::FaultPoint::RetrieveLatency);
         let mut hits = retriever.retrieve_nlq(&qv, self.config.k);
         // `top_k` returns best-first (descending similarity); the paper
         // assembles the prompt in ascending order of similarity so the most
@@ -250,6 +251,7 @@ impl<M: ChatModel> Gred<M> {
         let dvq_rtn = if self.config.use_retuner {
             let t1 = Instant::now();
             let dv = self.embedder.embed(&dvq_gen);
+            t2v_fault::inject_delay(t2v_fault::FaultPoint::RetrieveLatency);
             let hits = retriever.retrieve_dvq(&dv, self.config.k);
             let refs: Vec<&str> = hits
                 .iter()

@@ -35,7 +35,44 @@ struct Pending {
     kind: IndexKind,
     k: usize,
     query: Vec<f32>,
-    slot: OneShot<Vec<Hit>>,
+    slot: SlotGuard,
+}
+
+/// Why a lookup came back without hits: the flusher dropped it (it panicked
+/// mid-batch or the batcher shut down with the lookup still queued).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupDropped;
+
+/// The waiter's rendezvous slot, wrapped so that *dropping* an unanswered
+/// lookup wakes the waiter with [`LookupDropped`] immediately. Whatever
+/// kills a queued lookup — a panic inside the batched scan unwinding the
+/// drained batch, a shutdown draining the queue — the waiting worker fails
+/// fast instead of sitting out the 60 s backstop timeout.
+struct SlotGuard {
+    slot: OneShot<Result<Vec<Hit>, LookupDropped>>,
+    answered: bool,
+}
+
+impl SlotGuard {
+    fn new(slot: OneShot<Result<Vec<Hit>, LookupDropped>>) -> SlotGuard {
+        SlotGuard {
+            slot,
+            answered: false,
+        }
+    }
+
+    fn answer(mut self, hits: Vec<Hit>) {
+        self.answered = true;
+        self.slot.send(Ok(hits));
+    }
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        if !self.answered {
+            self.slot.send(Err(LookupDropped));
+        }
+    }
 }
 
 struct BatchShared {
@@ -114,6 +151,9 @@ fn flusher_loop(
                     break;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
+                    // Anything still queued is dropped here; the slot guards
+                    // wake those waiters with `LookupDropped`.
+                    queue.clear();
                     return;
                 }
                 queue = shared
@@ -132,7 +172,12 @@ fn flusher_loop(
         };
 
         metrics.record_batch(batch.len() as u64);
-        run_batch(library, batch);
+        // A panic inside the batched scan must not kill the flusher (no one
+        // respawns it; every later lookup would hang to its backstop).
+        // Unwinding drops the drained batch, so the slot guards wake every
+        // affected waiter with an error.
+        let _ =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_batch(library, batch)));
     }
 }
 
@@ -154,7 +199,7 @@ fn run_batch(library: &EmbeddingLibrary, mut batch: Vec<Pending>) {
         };
         let results = index.top_k_batch_prenormalized(&queries, k);
         for (p, hits) in group.into_iter().zip(results) {
-            p.slot.send(hits);
+            p.slot.answer(hits);
         }
     }
 }
@@ -174,15 +219,32 @@ impl BatchRetriever {
                 kind,
                 k,
                 query: query.to_vec(),
-                slot: slot.clone(),
+                slot: SlotGuard::new(slot.clone()),
             });
         }
         self.shared.cv.notify_one();
-        // The flusher can only be gone after shutdown, when no worker is
-        // submitting; a generous timeout keeps a logic bug from deadlocking
-        // the whole pool.
-        slot.recv_timeout(Duration::from_secs(60))
-            .expect("batch flusher dropped a lookup")
+        // If shutdown raced our enqueue the flusher may already be gone and
+        // will never drain us — drop the queue (our own entry included) so
+        // the guards below wake every queued waiter.
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clear();
+        }
+        // A dropped lookup (flusher panic, shutdown race) wakes us *now*
+        // via the slot guard; the panic below is caught by the worker
+        // pool and surfaced to the caller as a structured internal error.
+        // The 60 s recv is a pure backstop against logic bugs — with the
+        // guard in place nothing reaches it in normal operation.
+        match slot.recv_timeout(Duration::from_secs(60)) {
+            Some(Ok(hits)) => hits,
+            Some(Err(LookupDropped)) => {
+                panic!("batch flusher dropped the lookup (flusher panicked or shut down)")
+            }
+            None => panic!("batch lookup timed out with no flusher response"),
+        }
     }
 }
 

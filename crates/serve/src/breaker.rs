@@ -1,0 +1,383 @@
+//! Per-backend circuit breakers: a rolling error/latency window per
+//! tenant×backend that trips open when a backend is failing, fast-fails
+//! traffic while open (the router answers 503 `backend_unavailable` with
+//! `Retry-After`, or degrades — see `server.rs`), and probes its way back
+//! closed through a half-open state.
+//!
+//! State machine:
+//!
+//! ```text
+//!            error rate ≥ threshold
+//!   Closed ───────────────────────────▶ Open
+//!     ▲                                  │ open_ms cool-down elapsed
+//!     │ probe succeeds                   ▼
+//!     └────────────────────────────── HalfOpen ──▶ probe fails ──▶ Open
+//! ```
+//!
+//! The clock is injected (`*_at` methods take a monotonic now in
+//! milliseconds since breaker creation), so the property test in
+//! `tests/breaker_prop.rs` can drive years of traffic in microseconds; the
+//! production wrappers derive now from a stored `Instant`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Wire values of the `t2v_breaker_state{tenant,backend}` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed = 0,
+    Open = 1,
+    HalfOpen = 2,
+}
+
+/// What the breaker says about admitting one translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Closed: run it.
+    Allow,
+    /// Half-open: run it as the probe — its outcome decides the next state.
+    Probe,
+    /// Open: fast-fail (or degrade); suggest retrying after this long.
+    Reject { retry_after_ms: u64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Rolling outcome window size; 0 disables the breaker (always Allow).
+    pub window: usize,
+    /// Outcomes required in the window before the rate can trip it
+    /// (effectively clamped to `window` — a larger value could never be
+    /// met and would silently disable tripping).
+    pub min_samples: usize,
+    /// Error percentage (0–100] that opens the breaker.
+    pub threshold_pct: u32,
+    /// Cool-down before an open breaker admits a half-open probe.
+    pub open_ms: u64,
+}
+
+struct Core {
+    state: BreakerState,
+    /// `(ok, latency_ns)` per recorded translation, oldest first. Latency
+    /// rides along for the window diagnostics (`mean_latency_ns`); the
+    /// open/close decision is the error rate.
+    outcomes: VecDeque<(bool, u64)>,
+    errors: usize,
+    /// When the breaker last opened (ms clock), meaningful in Open.
+    opened_at_ms: u64,
+    /// A half-open probe has been admitted and not yet recorded.
+    probe_in_flight: bool,
+}
+
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    /// Mirror of `core.state` readable without the lock; shared with the
+    /// metrics registry, which renders it as the state gauge.
+    state_cell: Arc<AtomicU64>,
+    core: Mutex<Core>,
+    /// Total transitions into Open (monotonic).
+    opens: AtomicU64,
+    origin: Instant,
+}
+
+impl CircuitBreaker {
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            core: Mutex::new(Core {
+                state: BreakerState::Closed,
+                outcomes: VecDeque::with_capacity(cfg.window),
+                errors: 0,
+                opened_at_ms: 0,
+                probe_in_flight: false,
+            }),
+            cfg,
+            state_cell: Arc::new(AtomicU64::new(BreakerState::Closed as u64)),
+            opens: AtomicU64::new(0),
+            origin: Instant::now(),
+        }
+    }
+
+    /// The gauge cell mirroring the state, for metrics registration.
+    pub fn state_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.state_cell)
+    }
+
+    pub fn state(&self) -> BreakerState {
+        match self.state_cell.load(Ordering::Relaxed) {
+            0 => BreakerState::Closed,
+            1 => BreakerState::Open,
+            _ => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Times this breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    pub fn admit(&self) -> Admission {
+        self.admit_at(self.now_ms())
+    }
+
+    pub fn record(&self, ok: bool, latency_ns: u64) -> bool {
+        self.record_at(self.now_ms(), ok, latency_ns)
+    }
+
+    /// An admitted half-open probe never ran (pool overload, shutdown
+    /// between admit and submit): release the probe slot so the next
+    /// request can probe instead of wedging the half-open state forever.
+    /// Harmlessly clears a concurrent probe's slot too — the cost is one
+    /// extra probe, never a stuck breaker.
+    pub fn probe_aborted(&self) {
+        let mut core = self.lock();
+        if core.state == BreakerState::HalfOpen {
+            core.probe_in_flight = false;
+        }
+    }
+
+    /// Admission decision at injected time `now_ms`.
+    pub fn admit_at(&self, now_ms: u64) -> Admission {
+        if self.cfg.window == 0 {
+            return Admission::Allow;
+        }
+        let mut core = self.lock();
+        match core.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => {
+                let reopen_at = core.opened_at_ms.saturating_add(self.cfg.open_ms);
+                if now_ms >= reopen_at {
+                    self.transition(&mut core, BreakerState::HalfOpen);
+                    core.probe_in_flight = true;
+                    Admission::Probe
+                } else {
+                    Admission::Reject {
+                        retry_after_ms: reopen_at - now_ms,
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                if core.probe_in_flight {
+                    // One probe at a time; everyone else keeps backing off.
+                    Admission::Reject {
+                        retry_after_ms: self.cfg.open_ms,
+                    }
+                } else {
+                    core.probe_in_flight = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Record one translation outcome at injected time `now_ms`. Returns
+    /// `true` when *this* record tripped the breaker open (the caller bumps
+    /// the trip counter metric exactly once per transition).
+    pub fn record_at(&self, now_ms: u64, ok: bool, latency_ns: u64) -> bool {
+        if self.cfg.window == 0 {
+            return false;
+        }
+        let mut core = self.lock();
+        match core.state {
+            BreakerState::Closed => {
+                if core.outcomes.len() == self.cfg.window {
+                    if let Some((was_ok, _)) = core.outcomes.pop_front() {
+                        if !was_ok {
+                            core.errors -= 1;
+                        }
+                    }
+                }
+                core.outcomes.push_back((ok, latency_ns));
+                if !ok {
+                    core.errors += 1;
+                }
+                let n = core.outcomes.len();
+                if n >= self.cfg.min_samples.clamp(1, self.cfg.window)
+                    && core.errors * 100 >= self.cfg.threshold_pct as usize * n
+                {
+                    self.open(&mut core, now_ms);
+                    return true;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                // Treat any outcome here as the probe's verdict (stragglers
+                // admitted before the trip are indistinguishable and just as
+                // informative about the backend's health).
+                core.probe_in_flight = false;
+                if ok {
+                    core.outcomes.clear();
+                    core.errors = 0;
+                    self.transition(&mut core, BreakerState::Closed);
+                    false
+                } else {
+                    self.open(&mut core, now_ms);
+                    true
+                }
+            }
+            // Stragglers finishing while open change nothing: the window
+            // restarts from the half-open probe.
+            BreakerState::Open => false,
+        }
+    }
+
+    /// Mean latency across the current window, for diagnostics.
+    pub fn mean_latency_ns(&self) -> u64 {
+        let core = self.lock();
+        if core.outcomes.is_empty() {
+            return 0;
+        }
+        let sum: u64 = core.outcomes.iter().map(|&(_, ns)| ns).sum();
+        sum / core.outcomes.len() as u64
+    }
+
+    fn open(&self, core: &mut Core, now_ms: u64) {
+        core.opened_at_ms = now_ms;
+        core.probe_in_flight = false;
+        self.opens.fetch_add(1, Ordering::Relaxed);
+        self.transition(core, BreakerState::Open);
+    }
+
+    fn transition(&self, core: &mut Core, state: BreakerState) {
+        core.state = state;
+        self.state_cell.store(state as u64, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            threshold_pct: 50,
+            open_ms: 100,
+        })
+    }
+
+    #[test]
+    fn stays_closed_under_healthy_traffic() {
+        let b = breaker();
+        for _ in 0..100 {
+            assert_eq!(b.admit_at(0), Admission::Allow);
+            b.record_at(0, true, 1_000);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn opens_on_error_rate_then_recovers_through_probe() {
+        let b = breaker();
+        // 4 failures: min_samples met, 100% error rate ⇒ open.
+        for _ in 0..4 {
+            assert_eq!(b.admit_at(10), Admission::Allow);
+            b.record_at(10, false, 5_000);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+        // While open: rejected with a live countdown.
+        match b.admit_at(50) {
+            Admission::Reject { retry_after_ms } => assert_eq!(retry_after_ms, 60),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Cool-down elapsed: exactly one probe; concurrent traffic still
+        // backs off.
+        assert_eq!(b.admit_at(110), Admission::Probe);
+        assert!(matches!(b.admit_at(110), Admission::Reject { .. }));
+        // The probe succeeds ⇒ closed with a fresh window.
+        b.record_at(110, true, 1_000);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit_at(111), Admission::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let b = breaker();
+        for _ in 0..4 {
+            b.record_at(0, false, 1_000);
+        }
+        assert_eq!(b.admit_at(100), Admission::Probe);
+        b.record_at(150, false, 1_000);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 2);
+        // The cool-down restarts from the failed probe (150), not the
+        // original trip (0).
+        assert!(matches!(b.admit_at(200), Admission::Reject { .. }));
+        assert_eq!(b.admit_at(250), Admission::Probe);
+    }
+
+    #[test]
+    fn record_reports_the_trip_and_aborted_probes_release_the_slot() {
+        let b = breaker();
+        assert!(!b.record_at(0, false, 1_000));
+        assert!(!b.record_at(0, false, 1_000));
+        assert!(!b.record_at(0, false, 1_000));
+        assert!(b.record_at(0, false, 1_000), "the fourth error trips");
+        // Probe admitted but never submitted (pool overload): without the
+        // release the half-open state would reject forever.
+        assert_eq!(b.admit_at(100), Admission::Probe);
+        b.probe_aborted();
+        assert_eq!(b.admit_at(101), Admission::Probe);
+        assert!(!b.record_at(101, true, 1_000));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn below_min_samples_never_trips() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            min_samples: 5,
+            threshold_pct: 50,
+            open_ms: 100,
+        });
+        for _ in 0..4 {
+            b.record_at(0, false, 1_000);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn window_evicts_old_errors() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            window: 4,
+            min_samples: 4,
+            threshold_pct: 75,
+            open_ms: 100,
+        });
+        // 2 early failures, then healthy traffic pushes them out of the
+        // window: the rate never reaches 75% of a full window.
+        b.record_at(0, false, 1_000);
+        b.record_at(0, false, 1_000);
+        for _ in 0..10 {
+            b.record_at(0, true, 1_000);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.mean_latency_ns(), 1_000);
+    }
+
+    #[test]
+    fn zero_window_disables_entirely() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            window: 0,
+            min_samples: 0,
+            threshold_pct: 1,
+            open_ms: 100,
+        });
+        for _ in 0..50 {
+            assert_eq!(b.admit_at(0), Admission::Allow);
+            b.record_at(0, false, 1_000);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

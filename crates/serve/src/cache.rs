@@ -49,6 +49,21 @@ pub struct CacheStats {
     pub evicted: u64,
 }
 
+/// Outcome of a non-destructive [`TtlLruCache::lookup`]: unlike `get`,
+/// finding an expired entry reports it as [`Lookup::Stale`] and *leaves it
+/// in place*, so a later degradation path (`get_stale`) can still serve it
+/// while the backend is unhealthy. Stale entries are reclaimed by LRU
+/// eviction or overwritten by the re-computed insert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup<V> {
+    /// Present and within TTL — recency refreshed, counted as a hit.
+    Fresh(V),
+    /// Present but past TTL — left untouched, counted as expired + miss.
+    Stale(V),
+    /// Absent — counted as a miss.
+    Miss,
+}
+
 /// The cache proper. `capacity == 0` disables caching entirely;
 /// `ttl == None` means entries never expire (LRU eviction only).
 pub struct TtlLruCache<K, V> {
@@ -152,6 +167,54 @@ impl<K: Hash + Eq + Clone, V: Clone> TtlLruCache<K, V> {
         };
         core.map.insert(key, i);
         core.push_front(i);
+    }
+
+    pub fn lookup(&self, key: &K) -> Lookup<V> {
+        self.lookup_at(key, Instant::now())
+    }
+
+    /// `lookup` with an explicit clock (test seam). The serve hot path uses
+    /// this instead of `get`: an expired entry is reported [`Lookup::Stale`]
+    /// rather than removed, keeping it available for serve-stale
+    /// degradation when the backend's circuit is open. Stale entries don't
+    /// leak — LRU eviction or the re-computed insert reclaims them.
+    pub fn lookup_at(&self, key: &K, now: Instant) -> Lookup<V> {
+        if self.capacity == 0 {
+            return Lookup::Miss;
+        }
+        let mut core = self.lock();
+        let Some(&i) = core.map.get(key) else {
+            core.misses += 1;
+            return Lookup::Miss;
+        };
+        if let Some(ttl) = self.ttl {
+            let age = now
+                .checked_duration_since(core.slots[i].stamp)
+                .unwrap_or(Duration::ZERO);
+            if age >= ttl {
+                core.expired += 1;
+                core.misses += 1;
+                return Lookup::Stale(core.slots[i].value.clone());
+            }
+        }
+        core.unlink(i);
+        core.push_front(i);
+        core.hits += 1;
+        Lookup::Fresh(core.slots[i].value.clone())
+    }
+
+    /// Look a key up *ignoring TTL*: an expired entry is returned as-is and
+    /// left in place (it will still expire for regular `get`s). This is the
+    /// degradation path — when a backend's breaker is open, a stale body
+    /// marked `degraded` beats a 503. Does not touch recency or hit/miss
+    /// counters: a stale read must not keep a dead entry warm.
+    pub fn get_stale(&self, key: &K) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let core = self.lock();
+        let &i = core.map.get(key)?;
+        Some(core.slots[i].value.clone())
     }
 
     pub fn len(&self) -> usize {
@@ -269,6 +332,16 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedTtlLruCache<K, V> {
         self.shard(&key).insert_at(key, value, now)
     }
 
+    /// Non-destructive lookup; see [`TtlLruCache::lookup_at`].
+    pub fn lookup(&self, key: &K) -> Lookup<V> {
+        self.shard(key).lookup(key)
+    }
+
+    /// TTL-ignoring lookup for degraded serving; see [`TtlLruCache::get_stale`].
+    pub fn get_stale(&self, key: &K) -> Option<V> {
+        self.shard(key).get_stale(key)
+    }
+
     pub fn len(&self) -> usize {
         self.shards.iter().map(TtlLruCache::len).sum()
     }
@@ -339,6 +412,60 @@ mod tests {
         c.insert_at("a", 2, now + Duration::from_secs(8));
         assert_eq!(c.get_at(&"a", now + Duration::from_secs(15)), Some(2));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn stale_reads_see_expired_entries_without_reviving_them() {
+        let c = TtlLruCache::new(8, Some(Duration::from_secs(10)));
+        let now = t0();
+        c.insert_at("a", 1, now);
+        let later = now + Duration::from_secs(60);
+        // A fresh get at +60s would expire the entry; the stale read sees it.
+        assert_eq!(c.get_stale(&"a"), Some(1));
+        assert_eq!(c.get_stale(&"a"), Some(1), "stale reads must not remove");
+        // Stats untouched, and the entry still expires for regular gets.
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.get_at(&"a", later), None);
+        assert_eq!(c.get_stale(&"a"), None, "expiry still evicts eventually");
+
+        let sharded: ShardedTtlLruCache<u64, u64> =
+            ShardedTtlLruCache::new(16, Some(Duration::from_secs(10)), 4);
+        sharded.insert_at(7, 70, now);
+        assert_eq!(sharded.get_stale(&7), Some(70));
+        let off: TtlLruCache<u64, u64> = TtlLruCache::new(0, None);
+        assert_eq!(off.get_stale(&1), None);
+    }
+
+    #[test]
+    fn lookup_reports_staleness_without_evicting() {
+        let c = TtlLruCache::new(8, Some(Duration::from_secs(10)));
+        let now = t0();
+        c.insert_at("a", 1, now);
+        assert_eq!(
+            c.lookup_at(&"a", now + Duration::from_secs(9)),
+            Lookup::Fresh(1)
+        );
+        // Past TTL: reported stale, left in place, and still stale next time
+        // (a stale sighting must not revive the entry).
+        assert_eq!(
+            c.lookup_at(&"a", now + Duration::from_secs(11)),
+            Lookup::Stale(1)
+        );
+        assert_eq!(
+            c.lookup_at(&"a", now + Duration::from_secs(12)),
+            Lookup::Stale(1)
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get_stale(&"a"), Some(1), "degradation path still sees it");
+        assert_eq!(c.lookup_at(&"b", now), Lookup::Miss);
+        // Re-inserting the recomputed value makes it fresh again.
+        c.insert_at("a", 2, now + Duration::from_secs(12));
+        assert_eq!(
+            c.lookup_at(&"a", now + Duration::from_secs(13)),
+            Lookup::Fresh(2)
+        );
+        let off: TtlLruCache<&str, u64> = TtlLruCache::new(0, None);
+        assert_eq!(off.lookup(&"a"), Lookup::Miss);
     }
 
     #[test]

@@ -122,6 +122,37 @@ pub struct ServeConfig {
     pub gred_k: usize,
     pub gred_retuner: bool,
     pub gred_debugger: bool,
+    /// Per-request wall-clock budget in milliseconds, measured from request
+    /// parse. Checked between pipeline stages (admission, worker start,
+    /// reply wait); an expired budget answers a structured 504
+    /// `deadline_exceeded`. Clients may *lower* (never raise) it per
+    /// request with an `X-T2V-Deadline-Ms` header. 0 disables deadlines
+    /// (the old 60 s backstop behaviour).
+    pub deadline_ms: u64,
+    /// Deterministic fault-injection plan (see `t2v-fault`), e.g.
+    /// `seed=7;backend.error:p=0.5,count=100`. Parsed and validated at set
+    /// time, armed process-wide at server build. Empty (default) ⇒ no
+    /// faults and a zero-cost no-op at every hook.
+    pub fault_plan: String,
+    /// Rolling outcome window per tenant×backend circuit breaker, in
+    /// translations. 0 disables the breakers entirely.
+    pub breaker_window: usize,
+    /// Minimum outcomes in the window before the error rate can trip the
+    /// breaker (a single early failure must not open it).
+    pub breaker_min_samples: usize,
+    /// Open the breaker when window error rate reaches this percentage.
+    pub breaker_threshold_pct: u32,
+    /// How long an open breaker fast-fails (503 + `Retry-After`) before
+    /// letting a half-open probe through.
+    pub breaker_open_ms: u64,
+    /// Batch-path retries for transient `internal` failures (worker panic,
+    /// injected backend error). 0 disables retry.
+    pub retry_max: usize,
+    /// Base for the jittered exponential backoff between batch retries.
+    pub retry_base_ms: u64,
+    /// Degradation ladder: serve an *expired* cache entry (marked
+    /// `degraded:"stale_cache"`) when the backend's breaker is open.
+    pub degrade_stale: bool,
     /// Test-only throttle: artificial per-translation sleep, for forcing
     /// overload deterministically in integration tests.
     pub debug_translate_sleep_ms: u64,
@@ -156,6 +187,15 @@ impl Default for ServeConfig {
             gred_k: 10,
             gred_retuner: true,
             gred_debugger: true,
+            deadline_ms: 30_000,
+            fault_plan: String::new(),
+            breaker_window: 32,
+            breaker_min_samples: 8,
+            breaker_threshold_pct: 50,
+            breaker_open_ms: 1_000,
+            retry_max: 1,
+            retry_base_ms: 10,
+            degrade_stale: true,
             debug_translate_sleep_ms: 0,
         }
     }
@@ -261,6 +301,23 @@ impl ServeConfig {
             "gred_k" => self.gred_k = parse_usize(key, value)?,
             "gred_retuner" => self.gred_retuner = parse_bool(key, value)?,
             "gred_debugger" => self.gred_debugger = parse_bool(key, value)?,
+            "deadline_ms" => self.deadline_ms = parse_u64(key, value)?,
+            "fault_plan" => self.fault_plan = parse_fault_plan(value)?,
+            "breaker_window" => self.breaker_window = parse_usize(key, value)?,
+            "breaker_min_samples" => self.breaker_min_samples = parse_usize(key, value)?,
+            "breaker_threshold_pct" => {
+                let pct = parse_u64(key, value)?;
+                if !(1..=100).contains(&pct) {
+                    return Err(err(format!(
+                        "breaker_threshold_pct: '{value}' is not a percentage in 1..=100"
+                    )));
+                }
+                self.breaker_threshold_pct = pct as u32;
+            }
+            "breaker_open_ms" => self.breaker_open_ms = parse_u64(key, value)?,
+            "retry_max" => self.retry_max = parse_usize(key, value)?,
+            "retry_base_ms" => self.retry_base_ms = parse_u64(key, value)?,
+            "degrade_stale" => self.degrade_stale = parse_bool(key, value)?,
             "debug_translate_sleep_ms" => self.debug_translate_sleep_ms = parse_u64(key, value)?,
             _ => return Err(err(format!("unknown config key '{key}'"))),
         }
@@ -411,6 +468,15 @@ pub const KEYS: &[&str] = &[
     "gred_k",
     "gred_retuner",
     "gred_debugger",
+    "deadline_ms",
+    "fault_plan",
+    "breaker_window",
+    "breaker_min_samples",
+    "breaker_threshold_pct",
+    "breaker_open_ms",
+    "retry_max",
+    "retry_base_ms",
+    "degrade_stale",
     "debug_translate_sleep_ms",
 ];
 
@@ -504,6 +570,17 @@ fn parse_backend_weights(value: &str) -> Result<String, ConfigError> {
         .join(","))
 }
 
+/// A `t2v-fault` plan spec, validated against the full grammar at set time
+/// (a typo in a chaos run must fail config load, not silently inject
+/// nothing) and kept in its original spelling.
+fn parse_fault_plan(value: &str) -> Result<String, ConfigError> {
+    if value.is_empty() {
+        return Ok(String::new());
+    }
+    t2v_fault::FaultPlan::parse(value).map_err(|e| err(format!("fault_plan: {e}")))?;
+    Ok(value.to_string())
+}
+
 /// `tiny:SEED` or `paper:SEED` (seed optional, default 7).
 fn parse_corpus(value: &str) -> Result<CorpusProfile, ConfigError> {
     let (name, seed) = match value.split_once(':') {
@@ -573,7 +650,8 @@ mod tests {
                 "tenant_dir" => "/tmp",
                 "library_snapshot" | "snapshot_save" => "/tmp/lib.t2vsnap",
                 "legacy_translate" => "gone",
-                "batch" | "gred_retuner" | "gred_debugger" => "true",
+                "batch" | "gred_retuner" | "gred_debugger" | "degrade_stale" => "true",
+                "fault_plan" => "seed=1;backend.error:p=0.5",
                 _ => "5",
             };
             cfg.set(key, value)
@@ -675,6 +753,49 @@ mod tests {
         assert!(cfg.validate().unwrap_err().message.contains("tenant_dir"));
         cfg.set("tenant_dir", "/tmp").unwrap();
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn deadline_and_fault_knobs_parse_and_reject_malformed() {
+        let mut cfg = ServeConfig::default();
+        assert_eq!(cfg.deadline_ms, 30_000, "deadlines are on by default");
+        cfg.set("deadline_ms", "250").unwrap();
+        assert_eq!(cfg.deadline_ms, 250);
+        cfg.set("deadline_ms", "0").unwrap(); // 0 = disabled
+        assert!(cfg.set("deadline_ms", "-1").is_err());
+        assert!(cfg.set("deadline_ms", "soon").is_err());
+
+        // fault_plan is validated against the full t2v-fault grammar.
+        assert!(cfg.fault_plan.is_empty());
+        cfg.set(
+            "fault_plan",
+            "seed=42;embed.latency:p=0.5,ms=10;backend.error:backend=transformer,count=3",
+        )
+        .unwrap();
+        assert!(cfg.fault_plan.starts_with("seed=42"));
+        for bad in [
+            "bogus.point",
+            "embed.latency:p=2",
+            "embed.latency:p=0.5;embed.latency",
+            "seed=xyz;backend.error",
+            "backend.error:frequency=often",
+        ] {
+            let e = cfg.set("fault_plan", bad).unwrap_err();
+            assert!(e.message.contains("fault_plan"), "{bad}: {e}");
+        }
+        // A rejected value must not clobber the previous plan.
+        assert!(cfg.fault_plan.starts_with("seed=42"));
+        cfg.set("fault_plan", "").unwrap();
+        assert!(cfg.fault_plan.is_empty());
+
+        // Breaker/retry knobs: plain integers with one guarded percentage.
+        cfg.set("breaker_threshold_pct", "75").unwrap();
+        assert_eq!(cfg.breaker_threshold_pct, 75);
+        assert!(cfg.set("breaker_threshold_pct", "0").is_err());
+        assert!(cfg.set("breaker_threshold_pct", "101").is_err());
+        cfg.set("breaker_window", "0").unwrap(); // 0 = breakers off
+        cfg.set("retry_max", "3").unwrap();
+        assert_eq!(cfg.retry_max, 3);
     }
 
     #[test]

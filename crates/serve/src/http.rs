@@ -295,6 +295,7 @@ pub fn status_text(status: u16) -> &'static str {
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -310,6 +311,7 @@ pub fn default_error_code(status: u16) -> &'static str {
         413 => "payload_too_large",
         500 => "internal",
         503 => "overload",
+        504 => "deadline_exceeded",
         _ => "error",
     }
 }

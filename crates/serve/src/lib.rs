@@ -54,6 +54,7 @@
 //! see [`ServeConfig`] and DESIGN.md §7.
 
 pub mod batch;
+pub mod breaker;
 pub mod cache;
 pub mod config;
 pub mod http;
@@ -62,13 +63,14 @@ pub mod pool;
 pub mod server;
 
 pub use batch::{BatchRetriever, Batcher};
-pub use cache::{CacheStats, ShardedTtlLruCache, TtlLruCache};
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+pub use cache::{CacheStats, Lookup, ShardedTtlLruCache, TtlLruCache};
 pub use config::{ConfigError, CorpusProfile, LegacyRoute, ServeConfig, KNOWN_BACKENDS};
 pub use http::{Body, Request, Response};
 pub use metrics::{BackendMetrics, Metrics, Route, TenantMetrics};
 pub use pool::{OneShot, SubmitError, WorkerPool};
 pub use server::{
     db_fingerprint, normalize_nlq, render_translation, serve, translate_body, AttachRequest,
-    CacheKey, DbEntry, Server, ServerState, StartupError, TenantAdminError, TenantRuntime,
+    CacheKey, DbEntry, Reply, Server, ServerState, StartupError, TenantAdminError, TenantRuntime,
     TenantTable,
 };

@@ -184,6 +184,11 @@ pub struct TenantMetrics {
     pub cache_misses: AtomicU64,
     /// Model time per cold translation for this tenant.
     pub translate: LatencyHistogram,
+    /// Circuit-breaker state gauges, `(backend id, shared state cell)` in
+    /// registry order; the cells are written by the tenant runtime's
+    /// breakers (0 closed / 1 open / 2 half-open) and only read here.
+    /// Set once when the tenant runtime is built.
+    pub breaker_states: std::sync::OnceLock<Vec<(String, Arc<AtomicU64>)>>,
 }
 
 impl TenantMetrics {
@@ -195,6 +200,7 @@ impl TenantMetrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             translate: LatencyHistogram::default(),
+            breaker_states: std::sync::OnceLock::new(),
         }
     }
 }
@@ -229,8 +235,19 @@ pub struct Metrics {
     pub connections_active: AtomicU64,
     /// Jobs currently queued in the worker pool (all shards).
     pub queue_depth: AtomicU64,
-    /// Jobs that panicked inside a worker (caught; the worker survived).
-    pub job_panics: AtomicU64,
+    /// Jobs that panicked inside a worker (caught; the worker survived and
+    /// the caller's reply slot was fulfilled with a structured error).
+    pub worker_panics: AtomicU64,
+    /// Requests answered 504 because their deadline budget ran out.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests answered degraded (stale cache / fallback backend).
+    pub degraded: AtomicU64,
+    /// Breaker transitions into the open state.
+    pub breaker_opens: AtomicU64,
+    /// Requests fast-failed (or degraded) because a breaker was open.
+    pub breaker_rejections: AtomicU64,
+    /// Batch-path items retried after a transient internal failure.
+    pub batch_retries: AtomicU64,
     /// Micro-batcher: flushes executed / lookups they carried / largest batch.
     pub batches: AtomicU64,
     pub batched_lookups: AtomicU64,
@@ -267,7 +284,12 @@ impl Metrics {
             connections_total: AtomicU64::new(0),
             connections_active: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
-            job_panics: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            breaker_rejections: AtomicU64::new(0),
+            batch_retries: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_lookups: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
@@ -371,7 +393,20 @@ impl Metrics {
             ("t2v_connections_total", "counter", &self.connections_total),
             ("t2v_connections_active", "gauge", &self.connections_active),
             ("t2v_queue_depth", "gauge", &self.queue_depth),
-            ("t2v_job_panics_total", "counter", &self.job_panics),
+            ("t2v_worker_panics_total", "counter", &self.worker_panics),
+            (
+                "t2v_deadline_exceeded_total",
+                "counter",
+                &self.deadline_exceeded,
+            ),
+            ("t2v_degraded_total", "counter", &self.degraded),
+            ("t2v_breaker_opens_total", "counter", &self.breaker_opens),
+            (
+                "t2v_breaker_rejections_total",
+                "counter",
+                &self.breaker_rejections,
+            ),
+            ("t2v_batch_retries_total", "counter", &self.batch_retries),
             ("t2v_batches_total", "counter", &self.batches),
             (
                 "t2v_batched_lookups_total",
@@ -485,6 +520,31 @@ impl Metrics {
                     &format!("tenant=\"{}\"", t.tenant),
                 );
             }
+            // Circuit-breaker states: 0 closed, 1 open, 2 half-open.
+            if tenants.iter().any(|t| t.breaker_states.get().is_some()) {
+                let _ = writeln!(out, "# TYPE t2v_breaker_state gauge");
+                for t in &tenants {
+                    for (backend, state) in t.breaker_states.get().into_iter().flatten() {
+                        let _ = writeln!(
+                            out,
+                            "t2v_breaker_state{{tenant=\"{}\",backend=\"{backend}\"}} {}",
+                            t.tenant,
+                            state.load(Ordering::Relaxed)
+                        );
+                    }
+                }
+            }
+        }
+
+        // Fault-injection fire counts of the armed chaos plan, if any.
+        if let Some(fired) = t2v_fault::global_fired() {
+            let _ = writeln!(out, "# TYPE t2v_faults_injected_total counter");
+            for (point, count) in fired {
+                let _ = writeln!(
+                    out,
+                    "t2v_faults_injected_total{{point=\"{point}\"}} {count}"
+                );
+            }
         }
 
         self.queue_wait.render(&mut out, "t2v_queue_wait_seconds");
@@ -559,7 +619,12 @@ mod tests {
         dflt.translations.fetch_add(2, Ordering::Relaxed);
         acme.cache_hits.fetch_add(3, Ordering::Relaxed);
         acme.translate.observe_ns(200_000);
+        let open = Arc::new(AtomicU64::new(1));
+        acme.breaker_states
+            .set(vec![("gred".to_string(), Arc::clone(&open))])
+            .unwrap();
         let text = m.render_prometheus();
+        assert!(text.contains("t2v_breaker_state{tenant=\"acme\",backend=\"gred\"} 1"));
         assert!(text.contains("t2v_tenants 2"));
         assert!(text.contains("t2v_tenant_translate_seconds_count{tenant=\"acme\"} 1"));
         assert!(text.contains("t2v_tenant_translate_seconds_bucket{tenant=\"acme\",le=\"+Inf\"} 1"));

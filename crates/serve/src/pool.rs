@@ -310,10 +310,14 @@ fn worker_loop(shared: &PoolShared, home: usize) {
                 shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 // A panicking job must not take the worker with it: with no
                 // respawn, `workers` panics would silently drain the pool to
-                // zero and wedge the server. The job's OneShot stays empty,
-                // so its connection thread times out to a 500.
+                // zero and wedge the server. Unwinding drops the job's
+                // captured state, which is where fail-fast lives: the
+                // serving layer rides a reply guard inside every job, so the
+                // drop fulfils the caller's OneShot with a structured
+                // `internal` error immediately instead of leaving the
+                // connection thread to time out.
                 if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
-                    shared.metrics.job_panics.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
                 }
             }
             None => return,
@@ -449,7 +453,7 @@ mod tests {
             p.submit(move || slot.send(42u64)).unwrap();
         }
         assert_eq!(slot.recv_timeout(Duration::from_secs(5)), Some(42));
-        assert_eq!(metrics.job_panics.load(Ordering::Relaxed), 3);
+        assert_eq!(metrics.worker_panics.load(Ordering::Relaxed), 3);
         p.shutdown();
     }
 

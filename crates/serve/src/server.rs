@@ -16,6 +16,7 @@
 //! (308 redirect or 410 gone, `legacy_translate` knob).
 
 use crate::batch::{BatchRetriever, Batcher};
+use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::ShardedTtlLruCache;
 use crate::config::{ConfigError, LegacyRoute, ServeConfig};
 use crate::http::{self, Request, Response};
@@ -102,6 +103,18 @@ pub struct DbEntry {
 /// epoch's entries simply age out of the LRU).
 pub type CacheKey = (u32, u16, Box<str>, u64, bool);
 
+/// What the worker pool hands back for one translation: the serialised body
+/// plus the HTTP status the connection thread frames it with. Translation
+/// outcomes — including structured translation-level errors like
+/// `no_output` — are 200 by the v1 contract; `internal` failures (bugs,
+/// injected faults, a worker that died mid-job) are 500, and a job whose
+/// deadline was already spent when a worker picked it up is 504.
+#[derive(Clone)]
+pub struct Reply {
+    pub status: u16,
+    pub body: Arc<Vec<u8>>,
+}
+
 /// Late-bound handle to the micro-batcher's retriever. The backend registry
 /// is built with server state (before the batcher thread exists); the
 /// spawned server plugs the retriever in, and until then — and in tests
@@ -180,6 +193,10 @@ pub struct TenantRuntime {
     pub library_provenance: Provenance,
     /// Fingerprint of the training split the tenant's library covers.
     pub library_fingerprint: u64,
+    /// Per-backend circuit breakers, parallel to `registry` order. A
+    /// backend whose breaker is open fast-fails (or degrades) instead of
+    /// queueing doomed work; see DESIGN.md §11.
+    pub breakers: Vec<Arc<CircuitBreaker>>,
     /// Lock-free recording handle into the `tenant="<id>"` counter family.
     pub metrics: Arc<TenantMetrics>,
     /// Only the default tenant participates in the weighted worker-pool
@@ -561,6 +578,28 @@ fn build_tenant_runtime(
         };
         registry.register(*backend_id, backend);
     }
+    // One breaker per backend, and the gauge cells go straight into the
+    // tenant's metric family so `/metrics` renders
+    // `t2v_breaker_state{tenant,backend}` without ever touching the
+    // breaker's lock.
+    let breakers: Vec<Arc<CircuitBreaker>> = backend_ids
+        .iter()
+        .map(|_| {
+            Arc::new(CircuitBreaker::new(BreakerConfig {
+                window: config.breaker_window,
+                min_samples: config.breaker_min_samples,
+                threshold_pct: config.breaker_threshold_pct,
+                open_ms: config.breaker_open_ms,
+            }))
+        })
+        .collect();
+    let _ = tenant_metrics.breaker_states.set(
+        backend_ids
+            .iter()
+            .zip(&breakers)
+            .map(|(id, b)| (id.to_string(), b.state_cell()))
+            .collect(),
+    );
     let dbs = corpus
         .databases
         .iter()
@@ -586,6 +625,7 @@ fn build_tenant_runtime(
         dbs,
         library_provenance: resolved.provenance,
         library_fingerprint: resolved.corpus_fingerprint,
+        breakers,
         metrics: tenant_metrics,
         is_default,
         batch_slot,
@@ -778,6 +818,18 @@ impl Server {
         let listener = TcpListener::bind(&state.config.addr)?;
         let addr = listener.local_addr()?;
         let config = &state.config;
+        // Arm the deterministic fault plan, if one is configured. The
+        // injection points live in leaf crates that know nothing about
+        // server instances, so arming is process-global — the knob exists
+        // for chaos drills, which run one server per process. The spec
+        // already parsed when the knob was set; a failure here means the
+        // field was mutated directly, and silently serving unfaulted is
+        // the safe answer.
+        if !config.fault_plan.is_empty() {
+            if let Ok(plan) = t2v_fault::FaultPlan::parse(&config.fault_plan) {
+                t2v_fault::arm(&plan);
+            }
+        }
         // The batcher only serves the default tenant's GRED retrieval; skip
         // the thread entirely when gred is not registered. Attached tenants
         // fall back to direct lookups — bit-identical by the batcher's
@@ -938,6 +990,9 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
         let (route, handled) = respond(shared, &req, &mut writer);
         match handled {
             Handled::Reply(resp) => {
+                // Chaos seam: a `conn.write_stall` fault delays the response
+                // write, modelling a peer (or proxy) draining us slowly.
+                t2v_fault::inject_delay(t2v_fault::FaultPoint::ConnWriteStall);
                 shared.state.metrics.record_request(route, resp.status);
                 if resp.write_to(&mut writer, keep).is_err() || !keep {
                     return;
@@ -1378,51 +1433,179 @@ impl Item {
     }
 }
 
+/// Rides inside every pool job: if the job never answers — a worker panic
+/// (injected or real) unwinds the closure — dropping the guard fulfils the
+/// caller's slot with a structured 500 and records the failure on the
+/// backend's breaker, so the connection thread fails fast instead of
+/// waiting out its deadline on a reply that will never come.
+struct ReplyGuard {
+    slot: OneShot<Reply>,
+    breaker: Arc<CircuitBreaker>,
+    metrics: Arc<Metrics>,
+    answered: bool,
+}
+
+impl ReplyGuard {
+    fn answer(mut self, reply: Reply) {
+        self.answered = true;
+        self.slot.send(reply);
+    }
+}
+
+impl Drop for ReplyGuard {
+    fn drop(&mut self) {
+        if self.answered {
+            return;
+        }
+        if self.breaker.record(false, 0) {
+            self.metrics.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        }
+        self.slot
+            .send(error_reply(500, "translation worker failed"));
+    }
+}
+
+/// A structured-error [`Reply`] (the body reuses the HTTP error envelope).
+fn error_reply(status: u16, message: &str) -> Reply {
+    Reply {
+        status,
+        body: Arc::new(Response::error(status, message).body.as_slice().to_vec()),
+    }
+}
+
+/// The effective deadline for one request: the `deadline_ms` knob, lowered
+/// — never raised — by an `X-T2V-Deadline-Ms` header. `None` when both are
+/// unset (deadlines disabled).
+fn request_deadline(config: &ServeConfig, req: &Request, started: Instant) -> Option<Instant> {
+    let mut ms = config.deadline_ms;
+    if let Some(h) = req.header("x-t2v-deadline-ms") {
+        if let Ok(v) = h.trim().parse::<u64>() {
+            if v > 0 {
+                ms = if ms == 0 { v } else { ms.min(v) };
+            }
+        }
+    }
+    (ms > 0).then(|| started + Duration::from_millis(ms))
+}
+
+/// Splice `"degraded": "<reason>"` into a serialised response object, so a
+/// stale or fallback body is always self-describing. The reason is an
+/// internal constant (never client data), so no escaping is needed.
+fn mark_degraded(body: &[u8], reason: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + reason.len() + 16);
+    match body.last() {
+        Some(b'}') => {
+            out.extend_from_slice(&body[..body.len() - 1]);
+            out.extend_from_slice(b",\"degraded\":\"");
+            out.extend_from_slice(reason.as_bytes());
+            out.extend_from_slice(b"\"}");
+        }
+        // Not an object (can't happen for our own bodies): serve untouched
+        // rather than corrupt it.
+        _ => out.extend_from_slice(body),
+    }
+    out
+}
+
+/// First rung of the degradation ladder: the item's cache entry *ignoring
+/// TTL*, marked `degraded: stale_cache`. `None` when disabled
+/// (`degrade_stale=false`) or nothing was ever cached for the key.
+fn stale_degraded_body(shared: &Shared, key: &CacheKey) -> Option<Vec<u8>> {
+    if !shared.state.config.degrade_stale {
+        return None;
+    }
+    let stale = shared.state.cache.get_stale(key)?;
+    shared
+        .state
+        .metrics
+        .degraded
+        .fetch_add(1, Ordering::Relaxed);
+    Some(mark_degraded(&stale, "stale_cache"))
+}
+
 /// Submit one item's cold translation to the pool. The returned slot
-/// resolves to the serialised body; the worker also caches it and records
-/// per-backend and per-tenant metrics.
+/// resolves to a [`Reply`]; the worker also caches successful bodies and
+/// records per-backend, per-tenant, and breaker outcomes. A `deadline`
+/// already spent when a worker picks the job up short-circuits to 504
+/// without running the backend.
 fn submit_translation(
     shared: &Shared,
     item: &Item,
     key: CacheKey,
     stage_tx: Option<mpsc::Sender<String>>,
-) -> Result<OneShot<Arc<Vec<u8>>>, SubmitError> {
-    let slot: OneShot<Arc<Vec<u8>>> = OneShot::new();
+    deadline: Option<Instant>,
+) -> Result<OneShot<Reply>, SubmitError> {
+    let slot: OneShot<Reply> = OneShot::new();
     let job_slot = slot.clone();
     let state = Arc::clone(&shared.state);
     let tenant = Arc::clone(&item.tenant);
     let backend = Arc::clone(&item.backend);
+    let breaker = Arc::clone(&item.tenant.breakers[item.backend_idx]);
     let backend_idx = item.backend_idx;
     let backend_id = item.backend_id.clone();
     let entry = Arc::clone(&item.entry);
     let want_vegalite = item.want_vegalite;
     let enqueued = Instant::now();
     let job = move || {
+        let guard = ReplyGuard {
+            slot: job_slot,
+            breaker: Arc::clone(&breaker),
+            metrics: Arc::clone(&state.metrics),
+            answered: false,
+        };
         state
             .metrics
             .queue_wait
             .observe_ns(enqueued.elapsed().as_nanos() as u64);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            // The budget died in the queue: don't burn a worker on a body
+            // nobody is waiting for.
+            state
+                .metrics
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            guard.answer(error_reply(
+                504,
+                "deadline exceeded before translation started",
+            ));
+            return;
+        }
         if state.config.debug_translate_sleep_ms > 0 {
             std::thread::sleep(Duration::from_millis(state.config.debug_translate_sleep_ms));
         }
         let t0 = Instant::now();
+        // Chaos seams: an armed `backend.panic` unwinds here (the guard and
+        // the pool's catch_unwind turn it into a structured 500 + metrics);
+        // an armed `backend.error` swaps the translation for an internal
+        // error without touching the backend.
+        if t2v_fault::fire_for(t2v_fault::FaultPoint::BackendPanic, &backend_id).is_some() {
+            panic!("injected fault: backend '{backend_id}' panic");
+        }
+        let injected =
+            t2v_fault::fire_for(t2v_fault::FaultPoint::BackendError, &backend_id).is_some();
         let req = TranslateRequest::new(&key.2, &entry.db);
-        let result = match &stage_tx {
-            // Streaming: forward each stage line as the pipeline produces
-            // it (timings included — stream lines are never cached).
-            Some(tx) => backend.translate_streamed(&req, &mut |s: &StageRecord| {
-                let line = Json::obj([(
-                    "stage",
-                    Json::obj([
-                        ("name", Json::str(s.name)),
-                        ("dvq", opt_str(&s.dvq)),
-                        ("micros", Json::Num(s.micros as f64)),
-                    ]),
-                )])
-                .compact();
-                let _ = tx.send(line);
-            }),
-            None => backend.translate(&req),
+        let result = if injected {
+            Err(TranslateError::Internal {
+                message: format!("injected fault: backend '{backend_id}' error"),
+            })
+        } else {
+            match &stage_tx {
+                // Streaming: forward each stage line as the pipeline produces
+                // it (timings included — stream lines are never cached).
+                Some(tx) => backend.translate_streamed(&req, &mut |s: &StageRecord| {
+                    let line = Json::obj([(
+                        "stage",
+                        Json::obj([
+                            ("name", Json::str(s.name)),
+                            ("dvq", opt_str(&s.dvq)),
+                            ("micros", Json::Num(s.micros as f64)),
+                        ]),
+                    )])
+                    .compact();
+                    let _ = tx.send(line);
+                }),
+                None => backend.translate(&req),
+            }
         };
         let elapsed = t0.elapsed().as_nanos() as u64;
         state.metrics.translate.observe_ns(elapsed);
@@ -1441,6 +1624,15 @@ fn submit_translation(
                 bm.errors.fetch_add(1, Ordering::Relaxed);
             }
         }
+        // Breaker accounting: `internal` failures (bugs, injected faults)
+        // say the *backend* is unhealthy. Input-level outcomes — including
+        // structured no_output/invalid_output — are properties of the
+        // query, not the backend, and must never trip it.
+        let internal_failure = matches!(result, Err(TranslateError::Internal { .. }));
+        if breaker.record(!internal_failure, elapsed) {
+            state.metrics.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        }
+        let status = if internal_failure { 500 } else { 200 };
         let body = Arc::new(render_translation(
             &backend_id,
             &key.2,
@@ -1448,8 +1640,12 @@ fn submit_translation(
             want_vegalite,
             &result,
         ));
-        state.cache.insert(key, Arc::clone(&body));
-        job_slot.send(body);
+        if status == 200 {
+            // Transient internal failures are never cached — a retry (or
+            // the storm simply passing) must be able to succeed.
+            state.cache.insert(key, Arc::clone(&body));
+        }
+        guard.answer(Reply { status, body });
     };
     // The weighted class budgets are keyed by the default tenant's
     // registry order, but admission is by backend *id*: tenant traffic
@@ -1502,14 +1698,17 @@ fn translate_endpoint(
         Ok(item) => item,
         Err(resp) => return reply(resp),
     };
+    let deadline = request_deadline(&state.config, req, started);
 
     if stream {
-        return stream_endpoint(shared, item, writer);
+        return stream_endpoint(shared, item, writer, deadline);
     }
 
     // ---- cache fast path (connection thread, no queueing) ----
+    // `lookup` (not `get`) so an expired entry survives in place: if the
+    // breaker rejects the recompute below, `stale_degraded_body` serves it.
     let key = item.cache_key();
-    if let Some(hit) = state.cache.get(&key) {
+    if let crate::cache::Lookup::Fresh(hit) = state.cache.lookup(&key) {
         item.record_cache(state, true);
         state
             .metrics
@@ -1524,17 +1723,54 @@ fn translate_endpoint(
     }
     item.record_cache(state, false);
 
-    // ---- CPU stage through the bounded pool ----
-    let slot = match submit_translation(shared, &item, key, None) {
+    // ---- breaker admission, then the CPU stage through the bounded pool ----
+    let admission = item.tenant.breakers[item.backend_idx].admit();
+    if let Admission::Reject { retry_after_ms } = admission {
+        return reply(breaker_rejection(
+            shared,
+            &item,
+            &key,
+            retry_after_ms,
+            deadline,
+        ));
+    }
+    let slot = match submit_translation(shared, &item, key.clone(), None, deadline) {
         Ok(slot) => slot,
         Err(SubmitError::Overloaded) | Err(SubmitError::ShuttingDown) => {
+            if admission == Admission::Probe {
+                item.tenant.breakers[item.backend_idx].probe_aborted();
+            }
             state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             return reply(
                 Response::error(503, "server overloaded").with_header("Retry-After", "1"),
             );
         }
     };
-    let Some(body) = slot.recv_timeout(Duration::from_secs(60)) else {
+    let wait = deadline
+        .map(|d| d.saturating_duration_since(Instant::now()))
+        .unwrap_or(Duration::from_secs(60));
+    let Some(r) = slot.recv_timeout(wait) else {
+        // The budget ran out waiting on the worker. Degrade to a marked
+        // stale body when we have one; the orphaned job's reply goes to
+        // nobody (and an injected-fault body was never cached anyway).
+        if deadline.is_some() {
+            state
+                .metrics
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            if let Some(body) = stale_degraded_body(shared, &key) {
+                return reply(
+                    Response::json(200, body)
+                        .with_header("x-t2v-cache", "stale")
+                        .with_header("x-t2v-degraded", "stale_cache")
+                        .with_header("x-t2v-backend", item.backend_id),
+                );
+            }
+            return reply(Response::error(
+                504,
+                "deadline exceeded before the translation finished",
+            ));
+        }
         return reply(Response::error(500, "translation timed out"));
     };
     state
@@ -1542,10 +1778,104 @@ fn translate_endpoint(
         .request_total_latency
         .observe_ns(started.elapsed().as_nanos() as u64);
     reply(
-        Response::json(200, body)
+        Response::json(r.status, r.body)
             .with_header("x-t2v-cache", "miss")
             .with_header("x-t2v-backend", item.backend_id),
     )
+}
+
+/// The response for a request whose backend breaker is open: walk the
+/// degradation ladder — a stale-but-marked cache hit, then a fallback
+/// through the tenant's cheap `gred` backend — before admitting defeat
+/// with a structured 503 `backend_unavailable` + `Retry-After`.
+fn breaker_rejection(
+    shared: &Shared,
+    item: &Item,
+    key: &CacheKey,
+    retry_after_ms: u64,
+    deadline: Option<Instant>,
+) -> Response {
+    let state = &shared.state;
+    state
+        .metrics
+        .breaker_rejections
+        .fetch_add(1, Ordering::Relaxed);
+    if let Some(body) = stale_degraded_body(shared, key) {
+        return Response::json(200, body)
+            .with_header("x-t2v-cache", "stale")
+            .with_header("x-t2v-degraded", "stale_cache")
+            .with_header("x-t2v-backend", item.backend_id.clone());
+    }
+    if let Some(resp) = gred_fallback(shared, item, deadline) {
+        return resp;
+    }
+    let secs = retry_after_ms.div_ceil(1000).max(1);
+    Response::error_code(
+        503,
+        "backend_unavailable",
+        &format!(
+            "backend '{}' is unavailable (circuit open); retry or degrade",
+            item.backend_id
+        ),
+    )
+    .with_header("Retry-After", secs.to_string())
+}
+
+/// Second rung of the degradation ladder: re-run the request through the
+/// tenant's `gred` backend (retrieval is cheap and has no trained weights
+/// to be wedged) when the refused backend isn't gred itself and gred's own
+/// breaker admits. The body is marked `degraded: fallback:gred`.
+fn gred_fallback(shared: &Shared, item: &Item, deadline: Option<Instant>) -> Option<Response> {
+    if item.backend_id == "gred" {
+        return None;
+    }
+    let (idx, id, backend) = item.tenant.registry.resolve(Some("gred")).ok()?;
+    let fb = Item {
+        tenant: Arc::clone(&item.tenant),
+        backend_idx: idx,
+        backend_id: id.to_string(),
+        backend: Arc::clone(backend),
+        entry: Arc::clone(&item.entry),
+        nlq_normalized: item.nlq_normalized.clone(),
+        want_vegalite: item.want_vegalite,
+    };
+    let key = fb.cache_key();
+    let degraded_ok = |body: Vec<u8>| {
+        shared
+            .state
+            .metrics
+            .degraded
+            .fetch_add(1, Ordering::Relaxed);
+        Some(
+            Response::json(200, body)
+                .with_header("x-t2v-degraded", "fallback:gred")
+                .with_header("x-t2v-backend", "gred"),
+        )
+    };
+    if let crate::cache::Lookup::Fresh(hit) = shared.state.cache.lookup(&key) {
+        return degraded_ok(mark_degraded(&hit, "fallback:gred"));
+    }
+    let admission = fb.tenant.breakers[idx].admit();
+    if matches!(admission, Admission::Reject { .. }) {
+        return None;
+    }
+    let slot = match submit_translation(shared, &fb, key, None, deadline) {
+        Ok(slot) => slot,
+        Err(_) => {
+            if admission == Admission::Probe {
+                fb.tenant.breakers[idx].probe_aborted();
+            }
+            return None;
+        }
+    };
+    let wait = deadline
+        .map(|d| d.saturating_duration_since(Instant::now()))
+        .unwrap_or(Duration::from_secs(60));
+    let r = slot.recv_timeout(wait)?;
+    if r.status != 200 {
+        return None;
+    }
+    degraded_ok(mark_degraded(&r.body, "fallback:gred"))
 }
 
 /// The NDJSON streaming variant of `/v1/translate`: one line per completed
@@ -1557,14 +1887,40 @@ fn stream_endpoint(
     shared: &Shared,
     item: Item,
     writer: &mut BufWriter<TcpStream>,
+    deadline: Option<Instant>,
 ) -> (Route, Handled) {
     let state = &shared.state;
     let key = item.cache_key();
     item.record_cache(state, false);
+    let admission = item.tenant.breakers[item.backend_idx].admit();
+    if let Admission::Reject { retry_after_ms } = admission {
+        state
+            .metrics
+            .breaker_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        let secs = retry_after_ms.div_ceil(1000).max(1);
+        return (
+            Route::Translate,
+            Handled::Reply(
+                Response::error_code(
+                    503,
+                    "backend_unavailable",
+                    &format!(
+                        "backend '{}' is unavailable (circuit open)",
+                        item.backend_id
+                    ),
+                )
+                .with_header("Retry-After", secs.to_string()),
+            ),
+        );
+    }
     let (tx, rx) = mpsc::channel::<String>();
-    let slot = match submit_translation(shared, &item, key, Some(tx)) {
+    let slot = match submit_translation(shared, &item, key, Some(tx), deadline) {
         Ok(slot) => slot,
         Err(SubmitError::Overloaded) | Err(SubmitError::ShuttingDown) => {
+            if admission == Admission::Probe {
+                item.tenant.breakers[item.backend_idx].probe_aborted();
+            }
             state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
             return (
                 Route::Translate,
@@ -1579,9 +1935,10 @@ fn stream_endpoint(
     }
     // Relay stage lines until the worker hangs up the channel (it drops the
     // sender when the job finishes), then emit the final body. One shared
-    // 60 s deadline covers the whole stream, and a dead client ends the
-    // relay immediately — no second timeout stacks on top.
-    let deadline = Instant::now() + Duration::from_secs(60);
+    // deadline (the request budget, or 60 s with deadlines disabled) covers
+    // the whole stream, and a dead client ends the relay immediately — no
+    // second timeout stacks on top.
+    let deadline = deadline.unwrap_or_else(|| Instant::now() + Duration::from_secs(60));
     let mut client_gone = false;
     loop {
         match rx.recv_timeout(Duration::from_millis(100)) {
@@ -1606,9 +1963,9 @@ fn stream_endpoint(
     }
     if !client_gone {
         let left = deadline.saturating_duration_since(Instant::now());
-        if let Some(body) = slot.recv_timeout(left) {
+        if let Some(r) = slot.recv_timeout(left) {
             let _ = writer
-                .write_all(&body)
+                .write_all(&r.body)
                 .and_then(|_| writer.write_all(b"\n"))
                 .and_then(|_| writer.flush());
         }
@@ -1651,14 +2008,22 @@ fn batch_endpoint(shared: &Shared, req: &Request, tenant: &Arc<TenantRuntime>) -
     // Phase 1: resolve every item, serve cache hits, submit every *distinct*
     // miss so the pool works on all of them concurrently. Identical items
     // within one batch (same backend × NLQ × db × shape) share a single
-    // cold translation instead of racing the cache.
+    // cold translation instead of racing the cache. An open breaker
+    // degrades to a marked stale body or fails the item inline — it never
+    // queues doomed work.
     enum Pending {
         Done(Arc<Vec<u8>>),
-        Waiting(OneShot<Arc<Vec<u8>>>),
+        Waiting {
+            slot: OneShot<Reply>,
+            /// Kept for transient-failure retries in phase 2.
+            item: Item,
+            key: CacheKey,
+        },
         Failed(Vec<u8>),
         /// Same key as an earlier item in this batch: reuse its result.
         Dup(usize),
     }
+    let deadline = request_deadline(&state.config, req, started);
     let mut in_flight: HashMap<CacheKey, usize> = HashMap::new();
     let pending: Vec<Pending> = requests
         .iter()
@@ -1673,15 +2038,43 @@ fn batch_endpoint(shared: &Shared, req: &Request, tenant: &Arc<TenantRuntime>) -
             if let Some(&first) = in_flight.get(&key) {
                 return Pending::Dup(first);
             }
-            if let Some(hit) = state.cache.get(&key) {
+            // Non-destructive lookup, same reason as the single endpoint:
+            // a stale entry must survive for the rejection path below.
+            if let crate::cache::Lookup::Fresh(hit) = state.cache.lookup(&key) {
                 item.record_cache(state, true);
                 return Pending::Done(hit);
             }
             item.record_cache(state, false);
+            let admission = item.tenant.breakers[item.backend_idx].admit();
+            if let Admission::Reject { .. } = admission {
+                state
+                    .metrics
+                    .breaker_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(body) = stale_degraded_body(shared, &key) {
+                    return Pending::Done(Arc::new(body));
+                }
+                return Pending::Failed(
+                    Response::error_code(
+                        503,
+                        "backend_unavailable",
+                        &format!(
+                            "backend '{}' is unavailable (circuit open)",
+                            item.backend_id
+                        ),
+                    )
+                    .body
+                    .as_slice()
+                    .to_vec(),
+                );
+            }
             in_flight.insert(key.clone(), i);
-            match submit_translation(shared, &item, key, None) {
-                Ok(slot) => Pending::Waiting(slot),
+            match submit_translation(shared, &item, key.clone(), None, deadline) {
+                Ok(slot) => Pending::Waiting { slot, item, key },
                 Err(_) => {
+                    if admission == Admission::Probe {
+                        item.tenant.breakers[item.backend_idx].probe_aborted();
+                    }
                     state.metrics.rejected.fetch_add(1, Ordering::Relaxed);
                     Pending::Failed(
                         Response::error(503, "server overloaded")
@@ -1694,13 +2087,22 @@ fn batch_endpoint(shared: &Shared, req: &Request, tenant: &Arc<TenantRuntime>) -
         })
         .collect();
 
-    // Phase 2: collect in order, under one shared deadline.
-    let deadline = Instant::now() + Duration::from_secs(60);
+    // Phase 2: collect in order, under one shared deadline (the request
+    // budget, or 60 s with deadlines disabled). A transient `internal`
+    // failure retries with jittered exponential backoff while budget
+    // remains — chaos storms pass; the batch shouldn't fail for one blip.
+    let deadline_i = deadline.unwrap_or(started + Duration::from_secs(60));
     let timeout_body = || {
-        Response::error(500, "translation timed out")
-            .body
-            .as_slice()
-            .to_vec()
+        let (status, msg) = if deadline.is_some() {
+            state
+                .metrics
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            (504, "deadline exceeded before the translation finished")
+        } else {
+            (500, "translation timed out")
+        };
+        Response::error(status, msg).body.as_slice().to_vec()
     };
     // Resolved bodies by item index, so later duplicates can reference
     // earlier results (a Dup always points backwards).
@@ -1718,9 +2120,44 @@ fn batch_endpoint(shared: &Shared, req: &Request, tenant: &Arc<TenantRuntime>) -
                 resolved.push(None);
                 continue;
             }
-            Pending::Waiting(slot) => {
-                let left = deadline.saturating_duration_since(Instant::now());
-                slot.recv_timeout(left)
+            Pending::Waiting { slot, item, key } => {
+                let left = deadline_i.saturating_duration_since(Instant::now());
+                let mut reply = slot.recv_timeout(left);
+                let mut attempt = 0usize;
+                while reply.as_ref().is_some_and(|r| r.status == 500)
+                    && attempt < state.config.retry_max
+                {
+                    attempt += 1;
+                    let base = state.config.retry_base_ms.max(1);
+                    // Deterministic jitter — (item, attempt)-dependent so
+                    // concurrent batches don't retry in lockstep, with no
+                    // RNG to perturb fault-plan replay.
+                    let backoff = base * (1u64 << (attempt - 1).min(6))
+                        + (i as u64 * 7 + attempt as u64 * 13) % base;
+                    if deadline_i.saturating_duration_since(Instant::now())
+                        <= Duration::from_millis(backoff)
+                    {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(backoff));
+                    if matches!(
+                        item.tenant.breakers[item.backend_idx].admit(),
+                        Admission::Reject { .. }
+                    ) {
+                        // The failures already tripped the breaker: stop
+                        // hammering, the inline error stands.
+                        break;
+                    }
+                    state.metrics.batch_retries.fetch_add(1, Ordering::Relaxed);
+                    match submit_translation(shared, &item, key.clone(), None, deadline) {
+                        Ok(slot) => {
+                            reply = slot
+                                .recv_timeout(deadline_i.saturating_duration_since(Instant::now()))
+                        }
+                        Err(_) => break,
+                    }
+                }
+                reply.map(|r| r.body)
             }
             Pending::Dup(first) => resolved[first].clone(),
         };

@@ -1,0 +1,155 @@
+//! Property tests for the circuit-breaker state machine: under arbitrary
+//! generated traffic (outcome sequences, probe interleavings, time jumps)
+//! the breaker must keep its invariants — most importantly that it can
+//! never get *stuck* open: once traffic turns healthy and cool-downs
+//! elapse, it always finds its way back to Closed.
+
+use proptest::prelude::*;
+use t2v_serve::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Ask for admission; if admitted (Allow/Probe), record this outcome.
+    Traffic { ok: bool },
+    /// Record an outcome without admission (a straggler job finishing).
+    Straggler { ok: bool },
+    /// Admit a probe and then never record it (an aborted submission).
+    AbortedProbe,
+    /// Advance the injected clock.
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<bool>().prop_map(|ok| Op::Traffic { ok }),
+        any::<bool>().prop_map(|ok| Op::Straggler { ok }),
+        Just(Op::AbortedProbe),
+        (1u64..500).prop_map(Op::Advance),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = BreakerConfig> {
+    (2usize..10, 1usize..8, 10u32..=100, 50u64..400).prop_map(
+        |(window, min_samples, threshold_pct, open_ms)| BreakerConfig {
+            window,
+            min_samples,
+            threshold_pct,
+            open_ms,
+        },
+    )
+}
+
+proptest! {
+    /// Drive arbitrary interleavings and check the machine never wedges:
+    /// every reachable state still has a path forward, rejections always
+    /// carry a bounded retry hint, and the state cell mirrors reality.
+    #[test]
+    fn never_wedges_under_arbitrary_traffic(
+        cfg in config_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let b = CircuitBreaker::new(cfg.clone());
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Traffic { ok } => match b.admit_at(now) {
+                    Admission::Allow | Admission::Probe => {
+                        b.record_at(now, ok, 1_000);
+                    }
+                    Admission::Reject { retry_after_ms } => {
+                        // A rejection must always come with a bounded hint:
+                        // waiting it out reaches the half-open probe.
+                        prop_assert!(retry_after_ms <= cfg.open_ms);
+                    }
+                },
+                Op::Straggler { ok } => {
+                    b.record_at(now, ok, 1_000);
+                }
+                Op::AbortedProbe => {
+                    if matches!(b.admit_at(now), Admission::Probe) {
+                        b.probe_aborted();
+                    }
+                }
+                Op::Advance(ms) => now += ms,
+            }
+            // The observable state is always one of the three wire values.
+            prop_assert!(matches!(
+                b.state(),
+                BreakerState::Closed | BreakerState::Open | BreakerState::HalfOpen
+            ));
+        }
+
+        // No stuck-open: whatever the generated traffic left behind, one
+        // cool-down plus one healthy probe must close the breaker.
+        now += cfg.open_ms + 1;
+        match b.admit_at(now) {
+            Admission::Allow => prop_assert_eq!(b.state(), BreakerState::Closed),
+            Admission::Probe => {
+                b.record_at(now, true, 1_000);
+                prop_assert_eq!(b.state(), BreakerState::Closed);
+            }
+            Admission::Reject { retry_after_ms } => {
+                // Only reachable from half-open with a probe in flight;
+                // the straggler-verdict rule means any record resolves it.
+                prop_assert!(retry_after_ms <= cfg.open_ms);
+                b.record_at(now, true, 1_000);
+                prop_assert_eq!(b.state(), BreakerState::Closed);
+            }
+        }
+        prop_assert!(matches!(b.admit_at(now + 1), Admission::Allow));
+    }
+
+    /// With purely failing traffic the breaker must eventually open (and
+    /// every failed probe re-opens it): error storms never pass silently.
+    #[test]
+    fn sustained_failure_always_opens(
+        cfg in config_strategy(),
+        extra in 0u64..100,
+    ) {
+        let b = CircuitBreaker::new(cfg.clone());
+        let mut now = 0u64;
+        let mut opened = false;
+        for _ in 0..(cfg.window + cfg.min_samples + 4) {
+            match b.admit_at(now) {
+                Admission::Allow | Admission::Probe => {
+                    if b.record_at(now, false, 1_000) {
+                        opened = true;
+                    }
+                }
+                Admission::Reject { .. } => {
+                    opened = true;
+                    now += cfg.open_ms; // wait out the cool-down, keep failing
+                }
+            }
+            now += extra;
+        }
+        prop_assert!(opened, "pure failure traffic never tripped the breaker");
+        prop_assert!(b.opens() >= 1);
+    }
+
+    /// Closed-state bookkeeping agrees with a brute-force model of the
+    /// rolling window: the breaker trips exactly when the model says the
+    /// error rate crosses the threshold.
+    #[test]
+    fn trip_point_matches_reference_window(
+        cfg in config_strategy(),
+        outcomes in prop::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let b = CircuitBreaker::new(cfg.clone());
+        let mut window: Vec<bool> = Vec::new();
+        for ok in outcomes {
+            if b.state() != BreakerState::Closed {
+                break;
+            }
+            let tripped = b.record_at(0, ok, 1_000);
+            if window.len() == cfg.window {
+                window.remove(0);
+            }
+            window.push(ok);
+            let errors = window.iter().filter(|&&o| !o).count();
+            let should_trip = window.len() >= cfg.min_samples.clamp(1, cfg.window)
+                && errors * 100 >= cfg.threshold_pct as usize * window.len();
+            prop_assert_eq!(tripped, should_trip, "window {:?}", window);
+        }
+    }
+}

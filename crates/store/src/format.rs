@@ -613,7 +613,18 @@ pub fn save(
 /// Read + fully decode a snapshot file.
 pub fn load(path: impl AsRef<Path>) -> Result<LoadedSnapshot, SnapshotError> {
     let path = path.as_ref();
-    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let mut bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    // Chaos hook: a fired `snapshot.corrupt` flips one payload byte, which
+    // the checksum below must turn into a structured error — exactly what a
+    // torn disk write would look like.
+    if let Some(t2v_fault::FaultAction::Corrupt) =
+        t2v_fault::fire(t2v_fault::FaultPoint::SnapshotCorrupt)
+    {
+        let mid = bytes.len() / 2;
+        if let Some(b) = bytes.get_mut(mid) {
+            *b ^= 0xff;
+        }
+    }
     decode(&bytes)
 }
 
