@@ -17,6 +17,14 @@
 //!   (table resolution, per-epoch cache namespacing) under both cache
 //!   modes, reported per tenant under `serving.tenants`.
 //!
+//! * **trace** (`--trace`) — the observability tax (DESIGN.md §12): the
+//!   same hot/cold load twice, once with the flight recorder fully off
+//!   (`trace_sample=0 trace_force_slow_ms=0 trace_buffer=0` — the id
+//!   header still rides every response) and once fully on
+//!   (`trace_sample=1` — every request records its span tree and lands in
+//!   the recorder), reporting the throughput/latency overhead under
+//!   `serving.trace_overhead`; `--trace` runs *only* this axis.
+//!
 //! * **chaos** (`--chaos`) — a deterministic fault storm (DESIGN.md §11):
 //!   baseline traffic, then `t2v-fault` arms `backend.error` against the
 //!   live server so every worker job fails and the circuit breaker opens
@@ -32,9 +40,13 @@
 //! `serving.tenants`, and fault-storm rows under `serving.chaos` — without
 //! disturbing the sections `perfsnap` owns.
 //!
+//! Every merge stamps `serving.build` with the crate version and `git
+//! describe` output, so a BENCH_perf.json row is traceable to the exact
+//! tree that produced it.
+//!
 //! Usage: `cargo run --release -p t2v-bench --bin servebench
 //!         [--quick] [--clients N] [--secs S] [--backends a,b]
-//!         [--tenants N] [--chaos] [--out PATH]`
+//!         [--tenants N] [--chaos] [--trace] [--out PATH]`
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -71,6 +83,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let trace_axis = args.iter().any(|a| a == "--trace");
     let clients: usize = flag(&args, "--clients").unwrap_or(8);
     let secs: u64 = flag(&args, "--secs").unwrap_or(if quick { 1 } else { 4 });
     let tenant_count: usize = flag(&args, "--tenants").unwrap_or(0);
@@ -126,8 +139,22 @@ fn main() {
             report.post.p99_us,
             error_rate(&report.post) * 100.0
         );
-        merge_report(&out_path, clients, secs, &[], &[], Some(&report));
+        merge_report(&out_path, clients, secs, &[], &[], Some(&report), None);
         println!("merged serving.chaos section into {out_path}");
+        return;
+    }
+
+    if trace_axis {
+        let rounds = if quick { 2 } else { 3 };
+        let report = run_trace_overhead(&corpus, clients, Duration::from_secs(secs), rounds);
+        for row in &report.rows {
+            println!(
+                "  trace/{:<4} off {:>8.0} req/s (mean {:>7.1} µs)  on {:>8.0} req/s (mean {:>7.1} µs)  overhead {:>+5.1}%",
+                row.mode, row.off.rps, row.off.mean_us, row.on.rps, row.on.mean_us, row.overhead_pct
+            );
+        }
+        merge_report(&out_path, clients, secs, &[], &[], None, Some(&report));
+        println!("merged serving.trace_overhead section into {out_path}");
         return;
     }
 
@@ -241,8 +268,123 @@ fn main() {
         &scenarios,
         &tenant_scenarios,
         None,
+        None,
     );
     println!("merged serving section into {out_path}");
+}
+
+struct TraceOverheadRow {
+    mode: &'static str,
+    off: Scenario,
+    on: Scenario,
+    /// Relative mean-latency cost of full tracing, in percent (negative =
+    /// measured faster with tracing on, i.e. inside run-to-run noise).
+    overhead_pct: f64,
+}
+
+struct TraceReport {
+    rows: Vec<TraceOverheadRow>,
+}
+
+/// The trace axis: the same closed-loop load with the recorder fully off
+/// (sampling, slow-trigger, and buffer all zeroed — requests still get an
+/// id header) and fully on (`trace_sample=1`: every request records its
+/// span tree and is stored in the flight recorder). The per-mode overhead
+/// is the relative mean-latency increase; the acceptance budget is ≤3%.
+///
+/// The signal is small (single-digit microseconds per request), so one
+/// off/on pair is dominated by scheduler noise on small machines. The axis
+/// interleaves `rounds` off/on pairs and compares the *best* mean of each
+/// arm: transient slowdowns (a GC-less runtime still shares the core with
+/// the kernel) inflate some rounds, but the minimum mean is the run where
+/// the arm got the machine to itself, which is the honest cost comparison.
+fn run_trace_overhead(
+    corpus: &t2v_corpus::Corpus,
+    clients: usize,
+    secs: Duration,
+    rounds: usize,
+) -> TraceReport {
+    println!(
+        "servebench: trace axis — recorder off vs on, hot and cold ({rounds} interleaved rounds)"
+    );
+    let run = |mode: &'static str, cache: bool, on: bool| -> Scenario {
+        let mut config = ServeConfig::default();
+        config.set("addr", "127.0.0.1:0").unwrap();
+        config.set("backends", "gred").unwrap();
+        if !cache {
+            config.set("cache_capacity", "0").unwrap();
+        }
+        if on {
+            config.set("trace_sample", "1").unwrap();
+        } else {
+            config.set("trace_sample", "0").unwrap();
+            config.set("trace_force_slow_ms", "0").unwrap();
+            config.set("trace_buffer", "0").unwrap();
+        }
+        let state =
+            Arc::new(ServerState::from_corpus(corpus, config).expect("trace axis state builds"));
+        let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
+        let s = run_scenario(
+            "gred",
+            mode,
+            "/v1/translate",
+            corpus,
+            &server,
+            clients,
+            secs,
+        );
+        server.shutdown();
+        s
+    };
+    let best = |mut runs: Vec<Scenario>| -> Scenario {
+        let mut best = runs.pop().expect("at least one round");
+        for s in runs {
+            if s.mean_us > 0.0 && (best.mean_us == 0.0 || s.mean_us < best.mean_us) {
+                best = s;
+            }
+        }
+        best
+    };
+    let rows = [("hot", true), ("cold", false)]
+        .into_iter()
+        .map(|(mode, cache)| {
+            let mut offs = Vec::with_capacity(rounds);
+            let mut ons = Vec::with_capacity(rounds);
+            for _ in 0..rounds.max(1) {
+                offs.push(run(mode, cache, false));
+                ons.push(run(mode, cache, true));
+            }
+            let off = best(offs);
+            let on = best(ons);
+            let overhead_pct = if off.mean_us > 0.0 {
+                (on.mean_us / off.mean_us - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            TraceOverheadRow {
+                mode,
+                off,
+                on,
+                overhead_pct,
+            }
+        })
+        .collect();
+    TraceReport { rows }
+}
+
+/// `git describe` of the tree that produced the numbers (falls back to the
+/// bare commit hash, then to "unknown" outside a work tree), so every
+/// report row is attributable to an exact build.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 struct ChaosReport {
@@ -565,6 +707,7 @@ fn merge_report(
     scenarios: &[Scenario],
     tenant_scenarios: &[(String, Scenario)],
     chaos: Option<&ChaosReport>,
+    trace: Option<&TraceReport>,
 ) {
     let mut doc = std::fs::read_to_string(out_path)
         .ok()
@@ -574,6 +717,13 @@ fn merge_report(
         ("clients", Json::Num(clients as f64)),
         ("secs_per_scenario", Json::Num(secs as f64)),
         ("threads", Json::Num(t2v_parallel::thread_count() as f64)),
+        (
+            "build",
+            Json::obj([
+                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                ("git", Json::str(git_describe())),
+            ]),
+        ),
     ]);
     if let Some(first) = scenarios.first() {
         for s in scenarios.iter().filter(|s| s.backend == first.backend) {
@@ -639,6 +789,28 @@ fn merge_report(
         None => {
             if let Some(prior) = doc.get("serving").and_then(|s| s.get("chaos")) {
                 serving.set("chaos", prior.clone());
+            }
+        }
+    }
+    match trace {
+        Some(report) => {
+            let round1 = |x: f64| (x * 10.0).round() / 10.0;
+            let mut rows = Json::Obj(Default::default());
+            for row in &report.rows {
+                rows.set(
+                    row.mode,
+                    Json::obj([
+                        ("recorder_off", scenario_json(&row.off)),
+                        ("recorder_on", scenario_json(&row.on)),
+                        ("overhead_pct", Json::Num(round1(row.overhead_pct))),
+                    ]),
+                );
+            }
+            serving.set("trace_overhead", rows);
+        }
+        None => {
+            if let Some(prior) = doc.get("serving").and_then(|s| s.get("trace_overhead")) {
+                serving.set("trace_overhead", prior.clone());
             }
         }
     }

@@ -353,6 +353,7 @@ impl TextEmbedder {
     /// [`TextEmbedder::dims`], overwriting it. Allocation-free after
     /// per-thread warm-up; byte-identical to [`TextEmbedder::embed`].
     pub fn embed_into(&self, text: &str, out: &mut [f32]) {
+        let _span = t2v_trace::span(t2v_trace::Stage::Embed);
         t2v_fault::inject_delay(t2v_fault::FaultPoint::EmbedLatency);
         assert_eq!(out.len(), self.cfg.dims, "output buffer length mismatch");
         out.fill(0.0);

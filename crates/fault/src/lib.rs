@@ -442,7 +442,13 @@ pub fn fire_for(point: FaultPoint, backend: &str) -> Option<FaultAction> {
 #[cold]
 fn fire_slow(point: FaultPoint, backend: Option<&str>) -> Option<FaultAction> {
     let armed = global().lock().unwrap().as_ref().map(Arc::clone)?;
-    armed.fire_for(point, backend)
+    let action = armed.fire_for(point, backend);
+    if action.is_some() {
+        // A fired fault names itself on the span it fired inside, so a
+        // stored trace explains the anomaly it caused (no-op untraced).
+        t2v_trace::note(format!("fault:{}", point.name()));
+    }
+    action
 }
 
 /// Convenience for pure-latency hook sites: sleep if the point fires.

@@ -208,8 +208,11 @@ impl<M: ChatModel> Gred<M> {
         // skip its defensive renormalisation copy.
         let t0 = Instant::now();
         let qv = self.embedder.embed(nlq);
-        t2v_fault::inject_delay(t2v_fault::FaultPoint::RetrieveLatency);
-        let mut hits = retriever.retrieve_nlq(&qv, self.config.k);
+        let mut hits = {
+            let _span = t2v_trace::span(t2v_trace::Stage::Retrieve);
+            t2v_fault::inject_delay(t2v_fault::FaultPoint::RetrieveLatency);
+            retriever.retrieve_nlq(&qv, self.config.k)
+        };
         // `top_k` returns best-first (descending similarity); the paper
         // assembles the prompt in ascending order of similarity so the most
         // similar example lands next to the question.
@@ -251,8 +254,11 @@ impl<M: ChatModel> Gred<M> {
         let dvq_rtn = if self.config.use_retuner {
             let t1 = Instant::now();
             let dv = self.embedder.embed(&dvq_gen);
-            t2v_fault::inject_delay(t2v_fault::FaultPoint::RetrieveLatency);
-            let hits = retriever.retrieve_dvq(&dv, self.config.k);
+            let hits = {
+                let _span = t2v_trace::span(t2v_trace::Stage::Retrieve);
+                t2v_fault::inject_delay(t2v_fault::FaultPoint::RetrieveLatency);
+                retriever.retrieve_dvq(&dv, self.config.k)
+            };
             let refs: Vec<&str> = hits
                 .iter()
                 .map(|h| &*self.library.entries[h.id].dvq)

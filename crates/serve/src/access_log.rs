@@ -1,0 +1,247 @@
+//! Structured JSON access log with size-based rotation (DESIGN.md §12).
+//!
+//! One JSON object per line per finished request — trace id, tenant,
+//! route, status, backend, cache outcome, degradation marker, total and
+//! per-stage milliseconds — so a slow request found in the log can be
+//! cross-referenced with `GET /v1/admin/trace/{id}` while it is still in
+//! the flight recorder. The writer is a single mutex around a buffered
+//! appender: the log line is rendered *outside* the lock and the hot path
+//! pays one short critical section per request. When the file passes the
+//! configured size it is renamed to `{path}.1` (replacing the previous
+//! generation) and a fresh file is started — two generations bound disk
+//! use without an external logrotate.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use t2v_trace::FinishedTrace;
+
+struct Appender {
+    out: BufWriter<File>,
+    written: u64,
+}
+
+pub struct AccessLog {
+    path: PathBuf,
+    /// Rotate once `written` exceeds this many bytes; 0 = never.
+    rotate_bytes: u64,
+    inner: Mutex<Appender>,
+}
+
+impl AccessLog {
+    /// Open (append) the log file. Fails fast on an unwritable path.
+    pub fn open(path: &str, rotate_mb: u64) -> std::io::Result<AccessLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let written = file.metadata()?.len();
+        Ok(AccessLog {
+            path: PathBuf::from(path),
+            rotate_bytes: rotate_mb.saturating_mul(1024 * 1024),
+            inner: Mutex::new(Appender {
+                out: BufWriter::new(file),
+                written,
+            }),
+        })
+    }
+
+    /// Append one pre-rendered line (no trailing newline), rotating first
+    /// if the file is over budget. I/O errors are swallowed: an access log
+    /// must never take down serving.
+    pub fn write_line(&self, line: &str) {
+        let mut inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if self.rotate_bytes > 0 && inner.written > self.rotate_bytes {
+            let _ = inner.out.flush();
+            let rotated = {
+                let mut p = self.path.clone().into_os_string();
+                p.push(".1");
+                PathBuf::from(p)
+            };
+            if std::fs::rename(&self.path, &rotated).is_ok() {
+                if let Ok(file) = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)
+                {
+                    inner.out = BufWriter::new(file);
+                    inner.written = 0;
+                }
+            }
+        }
+        let _ = inner.out.write_all(line.as_bytes());
+        let _ = inner.out.write_all(b"\n");
+        // Flush per line: the log exists to debug live incidents, and a
+        // crash must not eat the interesting tail.
+        let _ = inner.out.flush();
+        inner.written += line.len() as u64 + 1;
+    }
+}
+
+/// Render one access-log line from a sealed trace. Pure, so it is testable
+/// without a filesystem; the caller owns when/whether it is written.
+pub fn render_line(method: &str, path: &str, trace: &FinishedTrace) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!(
+        "{{\"ts_ms\":{},\"trace_id\":\"{}\",\"tenant\":\"{}\",\"method\":\"{}\",\"path\":\"{}\",\"status\":{}",
+        trace.wall_ms,
+        t2v_trace::format_id(trace.id),
+        esc(&trace.tenant),
+        esc(method),
+        esc(path),
+        trace.status,
+    ));
+    out.push_str(&format!(
+        ",\"backend\":\"{}\",\"cache\":\"{}\"",
+        esc(&trace.backend),
+        esc(&trace.cache)
+    ));
+    match &trace.degraded {
+        Some(mode) => out.push_str(&format!(",\"degraded\":\"{}\"", esc(mode))),
+        None => out.push_str(",\"degraded\":null"),
+    }
+    out.push_str(&format!(",\"ms\":{:.3}", trace.total_ns as f64 / 1e6));
+    out.push_str(",\"stages_ms\":{");
+    let mut first = true;
+    for stage in t2v_trace::STAGES {
+        if stage == t2v_trace::Stage::Request {
+            continue;
+        }
+        let ns = trace.stage_ns(stage);
+        if ns == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":{:.3}", stage.name(), ns as f64 / 1e6));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Minimal JSON string escaping for log fields (they are short,
+/// server-controlled identifiers, but a hostile tenant id must not be able
+/// to forge log lines).
+fn esc(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2v_trace::{Span, Stage};
+
+    fn sample_trace() -> FinishedTrace {
+        FinishedTrace {
+            id: 0xdead_beef,
+            wall_ms: 1_700_000_000_000,
+            tenant: "acme".into(),
+            backend: "gred".into(),
+            cache: "miss".into(),
+            degraded: Some("stale_cache".into()),
+            status: 200,
+            total_ns: 12_345_678,
+            dropped_spans: 0,
+            spans: vec![
+                Span {
+                    stage: Stage::Request,
+                    start_ns: 0,
+                    dur_ns: 12_345_678,
+                    parent: None,
+                    notes: vec![],
+                },
+                Span {
+                    stage: Stage::Backend,
+                    start_ns: 1_000_000,
+                    dur_ns: 10_000_000,
+                    parent: Some(0),
+                    notes: vec![],
+                },
+                Span {
+                    stage: Stage::Embed,
+                    start_ns: 2_000_000,
+                    dur_ns: 3_000_000,
+                    parent: Some(1),
+                    notes: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn rendered_line_is_one_json_object() {
+        let line = render_line("POST", "/v1/translate", &sample_trace());
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"trace_id\":\"000000000000000000000000deadbeef\""));
+        assert!(line.contains("\"tenant\":\"acme\""));
+        assert!(line.contains("\"status\":200"));
+        assert!(line.contains("\"cache\":\"miss\""));
+        assert!(line.contains("\"degraded\":\"stale_cache\""));
+        assert!(line.contains("\"ms\":12.346"));
+        assert!(line.contains("\"backend.translate\":10.000"));
+        assert!(line.contains("\"embed\":3.000"));
+        // Stages with no recorded time stay out of the map entirely.
+        assert!(!line.contains("queue.wait"));
+    }
+
+    #[test]
+    fn hostile_field_values_cannot_forge_lines() {
+        let mut t = sample_trace();
+        t.tenant = "a\"b\\c\nd".into();
+        let line = render_line("POST", "/v1/translate", &t);
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"tenant\":\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn rotation_keeps_two_generations() {
+        let dir = std::env::temp_dir().join(format!("t2v-alog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        let path_str = path.to_str().unwrap();
+        // rotate_mb=0 with a tiny injected budget is not expressible via
+        // the public constructor, so rotate at 1 MiB and write past it.
+        let log = AccessLog::open(path_str, 1).unwrap();
+        let line = "x".repeat(64 * 1024);
+        for _ in 0..20 {
+            log.write_line(&line);
+        }
+        // 20 × 64 KiB > 1 MiB ⇒ at least one rotation happened.
+        let rotated = dir.join("access.log.1");
+        assert!(rotated.exists(), "rotated generation exists");
+        let live = std::fs::metadata(&path).unwrap().len();
+        assert!(live < 1_200_000, "live file restarted after rotation");
+        let old = std::fs::metadata(&rotated).unwrap().len();
+        assert!(old >= 1_000_000, "rotated file holds the overflowing bulk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_appends_instead_of_truncating() {
+        let dir = std::env::temp_dir().join(format!("t2v-alog-re-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        let path_str = path.to_str().unwrap();
+        AccessLog::open(path_str, 64).unwrap().write_line("first");
+        AccessLog::open(path_str, 64).unwrap().write_line("second");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "first\nsecond\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

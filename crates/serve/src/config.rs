@@ -156,6 +156,27 @@ pub struct ServeConfig {
     /// Test-only throttle: artificial per-translation sleep, for forcing
     /// overload deterministically in integration tests.
     pub debug_translate_sleep_ms: u64,
+    /// Fraction of requests whose trace is recorded into the flight
+    /// recorder, 0.0..=1.0. Sampling is deterministic in the trace id, so
+    /// one request traces identically everywhere it is discussed. 0
+    /// disables ambient tracing entirely (requests still get trace *ids*;
+    /// `X-T2V-Trace: 1` still forces a recorded trace for that request).
+    pub trace_sample: f64,
+    /// Requests slower than this many milliseconds (or ending in a 5xx)
+    /// are always recorded, regardless of sampling — the slow tail is the
+    /// whole point of a flight recorder. 0 disables the override.
+    pub trace_force_slow_ms: u64,
+    /// Flight-recorder capacity: how many finished traces are retained
+    /// (ring buffer, oldest evicted first). 0 disables the recorder (and
+    /// with it `/v1/admin/trace/*`).
+    pub trace_buffer: usize,
+    /// Structured JSON access log path, one object per request. Empty
+    /// (default) ⇒ no access log.
+    pub access_log: String,
+    /// Rotate the access log once it exceeds this many MiB: current file
+    /// renamed to `{path}.1` (replacing any previous `.1`), fresh file
+    /// started. 0 ⇒ never rotate.
+    pub access_log_rotate_mb: u64,
 }
 
 impl Default for ServeConfig {
@@ -197,6 +218,11 @@ impl Default for ServeConfig {
             retry_base_ms: 10,
             degrade_stale: true,
             debug_translate_sleep_ms: 0,
+            trace_sample: 0.05,
+            trace_force_slow_ms: 500,
+            trace_buffer: 512,
+            access_log: String::new(),
+            access_log_rotate_mb: 64,
         }
     }
 }
@@ -319,6 +345,22 @@ impl ServeConfig {
             "retry_base_ms" => self.retry_base_ms = parse_u64(key, value)?,
             "degrade_stale" => self.degrade_stale = parse_bool(key, value)?,
             "debug_translate_sleep_ms" => self.debug_translate_sleep_ms = parse_u64(key, value)?,
+            "trace_sample" => {
+                let rate: f64 = value
+                    .parse()
+                    .ok()
+                    .filter(|r: &f64| (0.0..=1.0).contains(r) && r.is_finite())
+                    .ok_or_else(|| {
+                        err(format!(
+                            "trace_sample: '{value}' is not a rate in 0.0..=1.0"
+                        ))
+                    })?;
+                self.trace_sample = rate;
+            }
+            "trace_force_slow_ms" => self.trace_force_slow_ms = parse_u64(key, value)?,
+            "trace_buffer" => self.trace_buffer = parse_usize(key, value)?,
+            "access_log" => self.access_log = value.to_string(),
+            "access_log_rotate_mb" => self.access_log_rotate_mb = parse_u64(key, value)?,
             _ => return Err(err(format!("unknown config key '{key}'"))),
         }
         Ok(())
@@ -348,6 +390,25 @@ impl ServeConfig {
                 return Err(err(format!(
                     "snapshot_save: parent directory '{}' does not exist (the write-through \
                      snapshot could never be persisted)",
+                    parent.display()
+                )));
+            }
+        }
+        if !self.access_log.is_empty() {
+            let path = std::path::Path::new(&self.access_log);
+            if path.is_dir() {
+                return Err(err(format!(
+                    "access_log: '{}' is a directory, not a file path",
+                    self.access_log
+                )));
+            }
+            let parent = match path.parent() {
+                Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+                _ => std::path::PathBuf::from("."),
+            };
+            if !parent.is_dir() {
+                return Err(err(format!(
+                    "access_log: parent directory '{}' does not exist",
                     parent.display()
                 )));
             }
@@ -478,6 +539,11 @@ pub const KEYS: &[&str] = &[
     "retry_base_ms",
     "degrade_stale",
     "debug_translate_sleep_ms",
+    "trace_sample",
+    "trace_force_slow_ms",
+    "trace_buffer",
+    "access_log",
+    "access_log_rotate_mb",
 ];
 
 fn parse_usize(key: &str, value: &str) -> Result<usize, ConfigError> {
@@ -652,6 +718,8 @@ mod tests {
                 "legacy_translate" => "gone",
                 "batch" | "gred_retuner" | "gred_debugger" | "degrade_stale" => "true",
                 "fault_plan" => "seed=1;backend.error:p=0.5",
+                "trace_sample" => "0.25",
+                "access_log" => "/tmp/t2v-access.log",
                 _ => "5",
             };
             cfg.set(key, value)
@@ -796,6 +864,32 @@ mod tests {
         cfg.set("breaker_window", "0").unwrap(); // 0 = breakers off
         cfg.set("retry_max", "3").unwrap();
         assert_eq!(cfg.retry_max, 3);
+    }
+
+    #[test]
+    fn trace_and_access_log_knobs_parse_and_validate() {
+        let mut cfg = ServeConfig::default();
+        assert_eq!(cfg.trace_sample, 0.05);
+        assert_eq!(cfg.trace_force_slow_ms, 500);
+        assert_eq!(cfg.trace_buffer, 512);
+        assert!(cfg.access_log.is_empty());
+        cfg.set("trace_sample", "1").unwrap();
+        assert_eq!(cfg.trace_sample, 1.0);
+        cfg.set("trace_sample", "0.001").unwrap();
+        assert!(cfg.set("trace_sample", "1.5").is_err());
+        assert!(cfg.set("trace_sample", "-0.1").is_err());
+        assert!(cfg.set("trace_sample", "NaN").is_err());
+        assert!(cfg.set("trace_sample", "often").is_err());
+        cfg.set("trace_force_slow_ms", "0").unwrap(); // 0 = no override
+        cfg.set("trace_buffer", "0").unwrap(); // 0 = recorder off
+                                               // access_log paths are environment-validated like snapshot_save.
+        cfg.set("access_log", "/no/such/dir/access.log").unwrap();
+        let e = cfg.validate().unwrap_err();
+        assert!(e.message.contains("access_log"), "{e}");
+        cfg.set("access_log", "/tmp").unwrap();
+        assert!(cfg.validate().is_err(), "a directory is not a log file");
+        cfg.set("access_log", "/tmp/t2v-access.log").unwrap();
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //! Every knob is a `key=value` line (file) or `T2V_SERVE_*` variable (env);
 //! see [`ServeConfig`] and DESIGN.md §7.
 
+pub mod access_log;
 pub mod batch;
 pub mod breaker;
 pub mod cache;
@@ -62,6 +63,7 @@ pub mod metrics;
 pub mod pool;
 pub mod server;
 
+pub use access_log::AccessLog;
 pub use batch::{BatchRetriever, Batcher};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::{CacheStats, Lookup, ShardedTtlLruCache, TtlLruCache};

@@ -31,6 +31,11 @@ pub const BUCKET_BOUNDS_NS: [u64; 12] = [
 #[derive(Default)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKET_BOUNDS_NS.len()],
+    /// Samples above the largest finite bound — the explicit `+Inf`-only
+    /// overflow population. Without it a > 1 s sample lands in no finite
+    /// bucket and is invisible everywhere except `count`, which hides
+    /// exactly the pathological tail a histogram exists to show.
+    overflow: AtomicU64,
     sum_ns: AtomicU64,
     count: AtomicU64,
 }
@@ -46,12 +51,20 @@ impl LatencyHistogram {
                 self.buckets[i].fetch_add(1, Ordering::Relaxed);
             }
         }
+        if ns > BUCKET_BOUNDS_NS[BUCKET_BOUNDS_NS.len() - 1] {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Samples beyond the largest finite bucket bound (> 1 s).
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
     }
 
     pub fn mean_ns(&self) -> f64 {
@@ -63,7 +76,8 @@ impl LatencyHistogram {
         }
     }
 
-    fn render(&self, out: &mut String, name: &str) {
+    fn render(&self, out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
         for (i, &bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
             let _ = writeln!(
@@ -256,6 +270,9 @@ pub struct Metrics {
     pub queue_wait: LatencyHistogram,
     pub translate: LatencyHistogram,
     pub request_total_latency: LatencyHistogram,
+    /// Requests slower than the trace force-slow threshold, attributed to
+    /// the stage with the most self time (indexed by `t2v_trace::STAGES`).
+    slow_requests: [AtomicU64; t2v_trace::STAGES.len()],
 }
 
 impl Metrics {
@@ -296,7 +313,18 @@ impl Metrics {
             queue_wait: LatencyHistogram::default(),
             translate: LatencyHistogram::default(),
             request_total_latency: LatencyHistogram::default(),
+            slow_requests: Default::default(),
         }
+    }
+
+    /// Count one slow request against its dominant stage.
+    pub fn record_slow(&self, stage: t2v_trace::Stage) {
+        self.slow_requests[stage as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Slow requests attributed to `stage` so far.
+    pub fn slow_requests(&self, stage: t2v_trace::Stage) -> u64 {
+        self.slow_requests[stage as usize].load(Ordering::Relaxed)
     }
 
     pub fn record_request(&self, route: Route, status: u16) {
@@ -365,9 +393,16 @@ impl Metrics {
         self.max_batch.fetch_max(lookups, Ordering::Relaxed);
     }
 
-    /// Render the whole registry in Prometheus text format.
+    /// Render the whole registry in Prometheus text format. Every family
+    /// carries `# HELP` and `# TYPE` headers, and label values pass through
+    /// [`escape_label`] (exposition-format escaping of `\`, `"`, newline);
+    /// the roundtrip test below parses this output back.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::with_capacity(4096);
+        let _ = writeln!(
+            out,
+            "# HELP t2v_uptime_seconds Seconds since the registry started."
+        );
         let _ = writeln!(out, "# TYPE t2v_uptime_seconds gauge");
         let _ = writeln!(
             out,
@@ -375,6 +410,10 @@ impl Metrics {
             self.started.elapsed().as_secs_f64()
         );
 
+        let _ = writeln!(
+            out,
+            "# HELP t2v_http_requests_total Requests by route and status class."
+        );
         let _ = writeln!(out, "# TYPE t2v_http_requests_total counter");
         for (r, (_, route)) in ROUTES.iter().enumerate() {
             for (c, class) in CLASSES.iter().enumerate() {
@@ -386,50 +425,152 @@ impl Metrics {
             }
         }
 
-        for (name, kind, v) in [
-            ("t2v_cache_hits_total", "counter", &self.cache_hits),
-            ("t2v_cache_misses_total", "counter", &self.cache_misses),
-            ("t2v_rejected_total", "counter", &self.rejected),
-            ("t2v_connections_total", "counter", &self.connections_total),
-            ("t2v_connections_active", "gauge", &self.connections_active),
-            ("t2v_queue_depth", "gauge", &self.queue_depth),
-            ("t2v_worker_panics_total", "counter", &self.worker_panics),
+        for (name, kind, help, v) in [
+            (
+                "t2v_cache_hits_total",
+                "counter",
+                "Translation cache hits.",
+                &self.cache_hits,
+            ),
+            (
+                "t2v_cache_misses_total",
+                "counter",
+                "Translation cache misses.",
+                &self.cache_misses,
+            ),
+            (
+                "t2v_rejected_total",
+                "counter",
+                "Requests shed by backpressure or the connection limit.",
+                &self.rejected,
+            ),
+            (
+                "t2v_connections_total",
+                "counter",
+                "Connections accepted since start.",
+                &self.connections_total,
+            ),
+            (
+                "t2v_connections_active",
+                "gauge",
+                "Connections currently open.",
+                &self.connections_active,
+            ),
+            (
+                "t2v_queue_depth",
+                "gauge",
+                "Jobs queued in the worker pool (all shards).",
+                &self.queue_depth,
+            ),
+            (
+                "t2v_worker_panics_total",
+                "counter",
+                "Worker jobs that panicked (caught and answered 500).",
+                &self.worker_panics,
+            ),
             (
                 "t2v_deadline_exceeded_total",
                 "counter",
+                "Requests answered 504 after their deadline budget ran out.",
                 &self.deadline_exceeded,
             ),
-            ("t2v_degraded_total", "counter", &self.degraded),
-            ("t2v_breaker_opens_total", "counter", &self.breaker_opens),
+            (
+                "t2v_degraded_total",
+                "counter",
+                "Requests answered degraded (stale cache / fallback backend).",
+                &self.degraded,
+            ),
+            (
+                "t2v_breaker_opens_total",
+                "counter",
+                "Circuit-breaker transitions into the open state.",
+                &self.breaker_opens,
+            ),
             (
                 "t2v_breaker_rejections_total",
                 "counter",
+                "Requests fast-failed or degraded by an open breaker.",
                 &self.breaker_rejections,
             ),
-            ("t2v_batch_retries_total", "counter", &self.batch_retries),
-            ("t2v_batches_total", "counter", &self.batches),
+            (
+                "t2v_batch_retries_total",
+                "counter",
+                "Batch items retried after a transient internal failure.",
+                &self.batch_retries,
+            ),
+            (
+                "t2v_batches_total",
+                "counter",
+                "Micro-batcher flushes executed.",
+                &self.batches,
+            ),
             (
                 "t2v_batched_lookups_total",
                 "counter",
+                "Top-k lookups carried by micro-batcher flushes.",
                 &self.batched_lookups,
             ),
-            ("t2v_max_batch_size", "gauge", &self.max_batch),
-            ("t2v_cache_shards", "gauge", &self.cache_shards),
-            ("t2v_tenants", "gauge", &self.tenant_count),
-            ("t2v_library_entries", "gauge", &self.library_entries),
+            (
+                "t2v_max_batch_size",
+                "gauge",
+                "Largest micro-batch flushed so far.",
+                &self.max_batch,
+            ),
+            (
+                "t2v_cache_shards",
+                "gauge",
+                "Translation-cache shard count.",
+                &self.cache_shards,
+            ),
+            (
+                "t2v_tenants",
+                "gauge",
+                "Currently attached tenants (default included).",
+                &self.tenant_count,
+            ),
+            (
+                "t2v_library_entries",
+                "gauge",
+                "Embedding-library entry count.",
+                &self.library_entries,
+            ),
             (
                 "t2v_snapshots_written_total",
                 "counter",
+                "Library snapshots persisted.",
                 &self.snapshots_written,
             ),
         ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} {kind}");
             let _ = writeln!(out, "{name} {}", v.load(Ordering::Relaxed));
+        }
+
+        // Slow requests attributed to the dominant stage of their trace.
+        let _ = writeln!(
+            out,
+            "# HELP t2v_slow_requests_total Requests over the trace force-slow threshold, by dominant stage."
+        );
+        let _ = writeln!(out, "# TYPE t2v_slow_requests_total counter");
+        for stage in t2v_trace::STAGES {
+            if stage == t2v_trace::Stage::Request {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "t2v_slow_requests_total{{stage=\"{}\"}} {}",
+                stage.name(),
+                self.slow_requests[stage as usize].load(Ordering::Relaxed)
+            );
         }
 
         // Library provenance: labels carry the exact fingerprint (a u64
         // does not fit the f64 metric value space losslessly).
         if let Some((fingerprint, source)) = self.library_info.get() {
+            let _ = writeln!(
+                out,
+                "# HELP t2v_library_info Loaded embedding-library provenance (value is always 1)."
+            );
             let _ = writeln!(out, "# TYPE t2v_library_info gauge");
             let _ = writeln!(
                 out,
@@ -439,37 +580,45 @@ impl Metrics {
 
         // Per-backend counter families (one label set per registered id).
         if !self.backends.is_empty() {
-            for (name, kind, pick) in [
+            for (name, kind, help, pick) in [
                 (
                     "t2v_backend_translations_total",
                     "counter",
+                    "Cold translations executed, by backend.",
                     (|b: &BackendMetrics| &b.translations) as fn(&BackendMetrics) -> &AtomicU64,
                 ),
                 (
                     "t2v_backend_errors_total",
                     "counter",
+                    "Structured translation errors, by backend.",
                     |b: &BackendMetrics| &b.errors,
                 ),
                 (
                     "t2v_backend_cache_hits_total",
                     "counter",
+                    "Cache hits, by backend.",
                     |b: &BackendMetrics| &b.cache_hits,
                 ),
                 (
                     "t2v_backend_cache_misses_total",
                     "counter",
+                    "Cache misses, by backend.",
                     |b: &BackendMetrics| &b.cache_misses,
                 ),
-                ("t2v_backend_pool_share", "gauge", |b: &BackendMetrics| {
-                    &b.pool_share
-                }),
+                (
+                    "t2v_backend_pool_share",
+                    "gauge",
+                    "Weighted worker-pool share, by backend.",
+                    |b: &BackendMetrics| &b.pool_share,
+                ),
             ] {
+                let _ = writeln!(out, "# HELP {name} {help}");
                 let _ = writeln!(out, "# TYPE {name} {kind}");
                 for b in &self.backends {
                     let _ = writeln!(
                         out,
                         "{name}{{backend=\"{}\"}} {}",
-                        b.id,
+                        escape_label(&b.id),
                         pick(b).load(Ordering::Relaxed)
                     );
                 }
@@ -482,53 +631,69 @@ impl Metrics {
         let tenants: Vec<Arc<TenantMetrics>> =
             self.tenants.lock().expect("tenant metrics lock").clone();
         if !tenants.is_empty() {
-            for (name, kind, pick) in [
+            for (name, kind, help, pick) in [
                 (
                     "t2v_tenant_translations_total",
                     "counter",
+                    "Cold translations executed, by tenant.",
                     (|t: &TenantMetrics| &t.translations) as fn(&TenantMetrics) -> &AtomicU64,
                 ),
-                ("t2v_tenant_errors_total", "counter", |t: &TenantMetrics| {
-                    &t.errors
-                }),
+                (
+                    "t2v_tenant_errors_total",
+                    "counter",
+                    "Structured translation errors, by tenant.",
+                    |t: &TenantMetrics| &t.errors,
+                ),
                 (
                     "t2v_tenant_cache_hits_total",
                     "counter",
+                    "Cache hits, by tenant.",
                     |t: &TenantMetrics| &t.cache_hits,
                 ),
                 (
                     "t2v_tenant_cache_misses_total",
                     "counter",
+                    "Cache misses, by tenant.",
                     |t: &TenantMetrics| &t.cache_misses,
                 ),
             ] {
+                let _ = writeln!(out, "# HELP {name} {help}");
                 let _ = writeln!(out, "# TYPE {name} {kind}");
                 for t in &tenants {
                     let _ = writeln!(
                         out,
                         "{name}{{tenant=\"{}\"}} {}",
-                        t.tenant,
+                        escape_label(&t.tenant),
                         pick(t).load(Ordering::Relaxed)
                     );
                 }
             }
+            let _ = writeln!(
+                out,
+                "# HELP t2v_tenant_translate_seconds Model time per cold translation, by tenant."
+            );
             let _ = writeln!(out, "# TYPE t2v_tenant_translate_seconds histogram");
             for t in &tenants {
                 t.translate.render_labeled(
                     &mut out,
                     "t2v_tenant_translate_seconds",
-                    &format!("tenant=\"{}\"", t.tenant),
+                    &format!("tenant=\"{}\"", escape_label(&t.tenant)),
                 );
             }
             // Circuit-breaker states: 0 closed, 1 open, 2 half-open.
             if tenants.iter().any(|t| t.breaker_states.get().is_some()) {
+                let _ = writeln!(
+                    out,
+                    "# HELP t2v_breaker_state Circuit-breaker state (0 closed, 1 open, 2 half-open)."
+                );
                 let _ = writeln!(out, "# TYPE t2v_breaker_state gauge");
                 for t in &tenants {
                     for (backend, state) in t.breaker_states.get().into_iter().flatten() {
                         let _ = writeln!(
                             out,
-                            "t2v_breaker_state{{tenant=\"{}\",backend=\"{backend}\"}} {}",
-                            t.tenant,
+                            "t2v_breaker_state{{tenant=\"{}\",backend=\"{}\"}} {}",
+                            escape_label(&t.tenant),
+                            escape_label(backend),
                             state.load(Ordering::Relaxed)
                         );
                     }
@@ -538,6 +703,10 @@ impl Metrics {
 
         // Fault-injection fire counts of the armed chaos plan, if any.
         if let Some(fired) = t2v_fault::global_fired() {
+            let _ = writeln!(
+                out,
+                "# HELP t2v_faults_injected_total Faults fired by the armed chaos plan, by point."
+            );
             let _ = writeln!(out, "# TYPE t2v_faults_injected_total counter");
             for (point, count) in fired {
                 let _ = writeln!(
@@ -547,12 +716,42 @@ impl Metrics {
             }
         }
 
-        self.queue_wait.render(&mut out, "t2v_queue_wait_seconds");
-        self.translate.render(&mut out, "t2v_translate_seconds");
-        self.request_total_latency
-            .render(&mut out, "t2v_request_seconds");
+        self.queue_wait.render(
+            &mut out,
+            "t2v_queue_wait_seconds",
+            "Time jobs waited in the worker-pool queue.",
+        );
+        self.translate.render(
+            &mut out,
+            "t2v_translate_seconds",
+            "Model time per cold translation.",
+        );
+        self.request_total_latency.render(
+            &mut out,
+            "t2v_request_seconds",
+            "End-to-end request latency as the server saw it.",
+        );
         out
     }
+}
+
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote, and newline must be escaped inside the quoted
+/// value. Borrows when (almost always) nothing needs escaping.
+pub fn escape_label(v: &str) -> std::borrow::Cow<'_, str> {
+    if !v.contains(['\\', '"', '\n']) {
+        return std::borrow::Cow::Borrowed(v);
+    }
+    let mut out = String::with_capacity(v.len() + 4);
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
 }
 
 impl Default for Metrics {
@@ -650,5 +849,211 @@ mod tests {
             value.parse::<f64>().expect("metric value is numeric");
         }
         assert_eq!(m.requests_for(Route::Translate, "2xx"), 1);
+    }
+
+    #[test]
+    fn histogram_overflow_samples_still_count_and_render() {
+        let h = LatencyHistogram::default();
+        h.observe_ns(2_000_000_000); // 2 s: above every finite bound
+        h.observe_ns(500);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.overflow(), 1, "the 2 s sample is explicitly tracked");
+        // The finite buckets saw only the fast sample; +Inf covers both.
+        let last = h.buckets[BUCKET_BOUNDS_NS.len() - 1].load(Ordering::Relaxed);
+        assert_eq!(last, 1);
+        assert_eq!(last + h.overflow(), h.count());
+        let mut out = String::new();
+        h.render(&mut out, "t2v_test_seconds", "test histogram");
+        assert!(out.contains("t2v_test_seconds_bucket{le=\"1\"} 1"));
+        assert!(out.contains("t2v_test_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(out.contains("t2v_test_seconds_count 2"));
+        assert!(out.contains("t2v_test_seconds_sum 2.0000005"));
+    }
+
+    #[test]
+    fn slow_request_counters_attribute_stages() {
+        let m = Metrics::new();
+        m.record_slow(t2v_trace::Stage::Backend);
+        m.record_slow(t2v_trace::Stage::Backend);
+        m.record_slow(t2v_trace::Stage::QueueWait);
+        assert_eq!(m.slow_requests(t2v_trace::Stage::Backend), 2);
+        assert_eq!(m.slow_requests(t2v_trace::Stage::QueueWait), 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("t2v_slow_requests_total{stage=\"backend.translate\"} 2"));
+        assert!(text.contains("t2v_slow_requests_total{stage=\"queue.wait\"} 1"));
+        assert!(text.contains("t2v_slow_requests_total{stage=\"embed\"} 0"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+    }
+
+    /// Parse the labels of one sample line, honouring exposition escapes.
+    /// Returns `(labels, unescaped values)` or panics on malformed input.
+    fn parse_labels(raw: &str) -> Vec<(String, String)> {
+        let mut labels = Vec::new();
+        let mut chars = raw.chars().peekable();
+        loop {
+            let mut key = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == '=' {
+                    break;
+                }
+                key.push(c);
+                chars.next();
+            }
+            assert_eq!(chars.next(), Some('='), "label missing '=' in {raw:?}");
+            assert_eq!(chars.next(), Some('"'), "label value unquoted in {raw:?}");
+            let mut value = String::new();
+            loop {
+                match chars.next().expect("unterminated label value") {
+                    '\\' => match chars.next().expect("dangling escape") {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        other => panic!("invalid escape \\{other} in {raw:?}"),
+                    },
+                    '"' => break,
+                    c => {
+                        assert_ne!(c, '\n', "raw newline inside label value");
+                        value.push(c);
+                    }
+                }
+            }
+            labels.push((key, value));
+            match chars.next() {
+                None => break,
+                Some(',') => continue,
+                Some(c) => panic!("unexpected {c:?} after label in {raw:?}"),
+            }
+        }
+        labels
+    }
+
+    #[test]
+    fn exposition_roundtrip_parses_cleanly() {
+        use std::collections::{BTreeMap, HashMap, HashSet};
+
+        let m = Metrics::with_backends(&["gred", "rgvisnet"]);
+        m.record_request(Route::Translate, 200);
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.set_library_info(0x1234, "built", 99);
+        m.translate.observe_ns(300_000);
+        m.translate.observe_ns(2_000_000_000); // overflow sample
+        m.queue_wait.observe_ns(10_000);
+        m.request_total_latency.observe_ns(350_000);
+        m.record_slow(t2v_trace::Stage::Retrieve);
+        // A hostile tenant id exercises label escaping end to end.
+        let weird = m.register_tenant("we\"ird\\ten");
+        weird.translate.observe_ns(100_000);
+        weird
+            .breaker_states
+            .set(vec![("gred".to_string(), Arc::new(AtomicU64::new(2)))])
+            .unwrap();
+
+        let text = m.render_prometheus();
+        let mut helps: HashSet<String> = HashSet::new();
+        let mut types: HashMap<String, String> = HashMap::new();
+        // (family, non-le labels) → [(le, cumulative count)] in render order.
+        let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+        let mut counts: HashMap<(String, String), f64> = HashMap::new();
+
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has text");
+                assert!(!help.trim().is_empty(), "empty HELP for {name}");
+                helps.insert(name.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest.split_once(' ').expect("TYPE has a kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown TYPE {kind} for {name}"
+                );
+                types.insert(name.to_string(), kind.to_string());
+                continue;
+            }
+            // Sample line: name{labels} value | name value.
+            let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+            let value: f64 = value.parse().expect("sample value is numeric");
+            let (name, labels) = match name_labels.split_once('{') {
+                Some((name, rest)) => {
+                    let raw = rest.strip_suffix('}').expect("labels close");
+                    (name, parse_labels(raw))
+                }
+                None => (name_labels, Vec::new()),
+            };
+            // Histogram samples resolve to their family name.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    let stripped = name.strip_suffix(suffix)?;
+                    (types.get(stripped).map(String::as_str) == Some("histogram"))
+                        .then(|| stripped.to_string())
+                })
+                .unwrap_or_else(|| name.to_string());
+            assert!(
+                helps.contains(&family),
+                "family {family} sampled before/without # HELP"
+            );
+            assert!(
+                types.contains_key(&family),
+                "family {family} sampled before/without # TYPE"
+            );
+            let series_key = |labels: &[(String, String)], drop_le: bool| {
+                let mut kept: Vec<String> = labels
+                    .iter()
+                    .filter(|(k, _)| !(drop_le && k == "le"))
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect();
+                kept.sort();
+                kept.join(",")
+            };
+            if name.ends_with("_bucket") {
+                let le = &labels.iter().find(|(k, _)| k == "le").expect("bucket le").1;
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().expect("le is numeric")
+                };
+                buckets
+                    .entry((family.clone(), series_key(&labels, true)))
+                    .or_default()
+                    .push((le, value));
+            } else if name.ends_with("_count") && types.get(&family).unwrap() == "histogram" {
+                counts.insert((family.clone(), series_key(&labels, false)), value);
+            }
+        }
+
+        assert!(!buckets.is_empty(), "histogram families present");
+        for ((family, series), rows) in &buckets {
+            for pair in rows.windows(2) {
+                assert!(
+                    pair[0].0 < pair[1].0,
+                    "{family}{{{series}}}: le values out of order"
+                );
+                assert!(
+                    pair[0].1 <= pair[1].1,
+                    "{family}{{{series}}}: buckets not cumulative"
+                );
+            }
+            let (last_le, last_count) = *rows.last().unwrap();
+            assert!(
+                last_le.is_infinite(),
+                "{family}{{{series}}}: missing +Inf bucket"
+            );
+            let count = counts
+                .get(&(family.clone(), series.clone()))
+                .unwrap_or_else(|| panic!("{family}{{{series}}}: missing _count"));
+            assert_eq!(last_count, *count, "{family}{{{series}}}: +Inf != count");
+        }
+        // The hostile tenant id survived the trip through escaping.
+        assert!(text.contains("tenant=\"we\\\"ird\\\\ten\""));
     }
 }

@@ -15,6 +15,7 @@
 //! unversioned `POST /translate` answers its deprecation policy
 //! (308 redirect or 410 gone, `legacy_translate` knob).
 
+use crate::access_log::AccessLog;
 use crate::batch::{BatchRetriever, Batcher};
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::ShardedTtlLruCache;
@@ -42,6 +43,7 @@ use t2v_gred::{DirectRetriever, Gred};
 use t2v_llm::{LlmConfig, SimulatedChatModel};
 use t2v_store::{EmbedderPool, LibrarySource, Provenance, SnapshotError};
 use t2v_tenant::{snapshot_filename, CorpusSpec, RcuCell, TenantSpec, DEFAULT_TENANT_ID};
+use t2v_trace::{FinishedTrace, Recorder, Stage, Trace};
 
 /// Why the server could not start. Every variant prints as one line and
 /// exits cleanly in the binaries — startup problems are operator errors or
@@ -320,6 +322,11 @@ pub struct ServerState {
     pub library_fingerprint: u64,
     /// The implicit tenant the unprefixed `/v1/*` routes serve.
     pub default_tenant: Arc<TenantRuntime>,
+    /// Flight recorder for completed request traces (`None` when
+    /// `trace_buffer=0`); backs `GET /v1/admin/trace/*`. See DESIGN.md §12.
+    pub recorder: Option<Recorder>,
+    /// Structured JSON access log (`None` when `access_log=` is unset).
+    pub access_log: Option<AccessLog>,
     /// The live tenant table (default + attached), RCU-swapped by admin
     /// mutations.
     tenants: RcuCell<TenantTable>,
@@ -424,6 +431,18 @@ impl ServerState {
             next_epoch += 1;
         }
 
+        let recorder = (config.trace_buffer > 0).then(|| Recorder::new(config.trace_buffer));
+        let access_log = if config.access_log.is_empty() {
+            None
+        } else {
+            // validate() already vetted the parent directory; an open
+            // failure here (permissions, races) still fails startup loudly.
+            Some(AccessLog::open(
+                &config.access_log,
+                config.access_log_rotate_mb,
+            )?)
+        };
+
         Ok(ServerState {
             gred: default_tenant.gred.clone(),
             registry: default_tenant.registry.clone(),
@@ -433,6 +452,8 @@ impl ServerState {
             library_provenance: default_tenant.library_provenance.clone(),
             library_fingerprint: default_tenant.library_fingerprint,
             default_tenant,
+            recorder,
+            access_log,
             tenants: RcuCell::new(TenantTable { list }),
             admin: Mutex::new(embedder_pool),
             next_epoch: AtomicU32::new(next_epoch),
@@ -970,6 +991,17 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
+        // Block until the *first byte* of the next request without
+        // consuming it: the trace clock starts here, so keep-alive idle
+        // never counts against `conn.read` and span durations sum to the
+        // latency the client actually observed.
+        use std::io::BufRead as _;
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF between requests
+            Ok(_) => {}
+            Err(_) => return, // keep-alive timeout or transport failure
+        }
+        let t0 = Instant::now();
         let req = match http::read_request(&mut reader, max_body) {
             Ok(req) => req,
             Err(http::ReadError::Closed) | Err(http::ReadError::Io(_)) => return,
@@ -986,6 +1018,30 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                 return;
             }
         };
+        let read_dur = t0.elapsed();
+
+        // Trace setup (DESIGN.md §12). Every request gets an id (it rides
+        // the `x-t2v-trace-id` header regardless); spans are recorded only
+        // when something could consume them — the client forced it, the
+        // sampler hit, the slow/error override is armed, or the access log
+        // needs per-stage timings. With `trace_sample=0
+        // trace_force_slow_ms=0` and no access log, the whole machinery is
+        // id generation plus no-op guards.
+        let config = &shared.state.config;
+        let force = req
+            .header("x-t2v-trace")
+            .is_some_and(|v| v.trim() == "1" || v.trim().eq_ignore_ascii_case("true"));
+        let trace_id = t2v_trace::new_trace_id();
+        let sampled =
+            config.trace_sample > 0.0 && t2v_trace::sample_hit(trace_id, config.trace_sample);
+        let record = force
+            || sampled
+            || (config.trace_force_slow_ms > 0 && shared.state.recorder.is_some())
+            || shared.state.access_log.is_some();
+        let trace = Trace::start_at(trace_id, record, t0);
+        trace.add_span(Stage::ConnRead, t0, read_dur);
+        let scope = trace.scope();
+
         let keep = !req.wants_close();
         let (route, handled) = respond(shared, &req, &mut writer);
         match handled {
@@ -994,16 +1050,127 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                 // write, modelling a peer (or proxy) draining us slowly.
                 t2v_fault::inject_delay(t2v_fault::FaultPoint::ConnWriteStall);
                 shared.state.metrics.record_request(route, resp.status);
-                if resp.write_to(&mut writer, keep).is_err() || !keep {
+                // Seal the trace before writing: request-level fields come
+                // off the response itself (headers the endpoints already
+                // set), and the inline tree — when the client asked for it
+                // — must ride in this very body. The `resp.write` span is
+                // appended to the sealed trace after the write (it cannot
+                // be inside a body that is being written), so the recorder
+                // and access log see it; the inline copy does not.
+                drop(scope);
+                let tenant = request_tenant(&req.path);
+                let backend = resp_header(&resp, "x-t2v-backend").unwrap_or("");
+                let cache = resp_header(&resp, "x-t2v-cache").unwrap_or("bypass");
+                let degraded = resp_header(&resp, "x-t2v-degraded");
+                let mut finished = trace.finish(resp.status, tenant, backend, cache, degraded);
+                let mut resp = resp.with_header("x-t2v-trace-id", t2v_trace::format_id(trace_id));
+                if force {
+                    if let Some(f) = &finished {
+                        if resp.content_type.starts_with("application/json") {
+                            resp.body = splice_trace(resp.body.as_slice(), f).into();
+                        }
+                    }
+                }
+                let wstart = Instant::now();
+                let ok = resp.write_to(&mut writer, keep);
+                if let Some(f) = &mut finished {
+                    let wdur = wstart.elapsed();
+                    f.spans.push(t2v_trace::Span {
+                        stage: Stage::Write,
+                        start_ns: wstart.duration_since(t0).as_nanos() as u64,
+                        dur_ns: wdur.as_nanos() as u64,
+                        parent: Some(0),
+                        notes: Vec::new(),
+                    });
+                    f.total_ns = t0.elapsed().as_nanos() as u64;
+                    f.spans[0].dur_ns = f.total_ns;
+                }
+                if let Some(f) = finished {
+                    publish_trace(shared, &req, force, sampled, f);
+                }
+                if ok.is_err() || !keep {
                     return;
                 }
             }
             // The endpoint already wrote an EOF-delimited streaming body;
-            // the connection closes to mark the end of the stream.
+            // the connection closes to mark the end of the stream. A traced
+            // stream gets its span tree as one final NDJSON line.
             Handled::Streamed(status) => {
                 shared.state.metrics.record_request(route, status);
+                drop(scope);
+                let tenant = request_tenant(&req.path);
+                if let Some(f) = trace.finish(status, tenant, "", "bypass", None) {
+                    if force {
+                        let line = Json::obj([("trace", trace_json(&f))]).compact();
+                        let _ = writer
+                            .write_all(line.as_bytes())
+                            .and_then(|_| writer.write_all(b"\n"))
+                            .and_then(|_| writer.flush());
+                    }
+                    publish_trace(shared, &req, force, sampled, f);
+                }
                 return;
             }
+        }
+    }
+}
+
+/// The tenant a request path addresses (`default` for unprefixed routes).
+fn request_tenant(path: &str) -> &str {
+    path.strip_prefix("/v1/t/")
+        .and_then(|rest| rest.split('/').next())
+        .filter(|id| !id.is_empty())
+        .unwrap_or(DEFAULT_TENANT_ID)
+}
+
+/// First value of a response header (the endpoints communicate per-request
+/// observability facts — backend, cache outcome, degradation — through the
+/// headers they already set for clients).
+fn resp_header<'a>(resp: &'a Response, name: &str) -> Option<&'a str> {
+    resp.headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// Splice `,"trace": {...}` into a serialised JSON object body (the
+/// `X-T2V-Trace: 1` opt-in). Like `mark_degraded`, this happens *after* the
+/// cache, so cached bodies stay byte-identical across plain requests.
+fn splice_trace(body: &[u8], f: &FinishedTrace) -> Vec<u8> {
+    match body.last() {
+        Some(b'}') => {
+            let tree = trace_json(f).compact();
+            let mut out = Vec::with_capacity(body.len() + tree.len() + 12);
+            out.extend_from_slice(&body[..body.len() - 1]);
+            out.extend_from_slice(b",\"trace\":");
+            out.extend_from_slice(tree.as_bytes());
+            out.push(b'}');
+            out
+        }
+        // Not an object: serve untouched rather than corrupt it.
+        _ => body.to_vec(),
+    }
+}
+
+/// Store / log / count one sealed trace according to the knobs: the
+/// recorder keeps it when the client forced it, the sampler hit, or the
+/// slow/error override fires; the access log always gets its line; a
+/// slow request also charges `t2v_slow_requests_total{stage}` with its
+/// dominant stage.
+fn publish_trace(shared: &Shared, req: &Request, force: bool, sampled: bool, f: FinishedTrace) {
+    let config = &shared.state.config;
+    let slow = config.trace_force_slow_ms > 0
+        && f.total_ns >= config.trace_force_slow_ms.saturating_mul(1_000_000);
+    let error = f.status >= 500;
+    if slow {
+        shared.state.metrics.record_slow(f.dominant_stage());
+    }
+    if let Some(log) = &shared.state.access_log {
+        log.write_line(&crate::access_log::render_line(&req.method, &req.path, &f));
+    }
+    if force || sampled || slow || error {
+        if let Some(recorder) = &shared.state.recorder {
+            recorder.store(Arc::new(f));
         }
     }
 }
@@ -1055,8 +1222,21 @@ fn respond(shared: &Shared, req: &Request, writer: &mut BufWriter<TcpStream>) ->
             _ => reply(Route::Tenant, Response::error(405, "method not allowed")),
         };
     }
+    // Trace admin routes: a path suffix (the id), so prefix-matched.
+    if let Some(rest) = req.path.strip_prefix("/v1/admin/trace/") {
+        if req.method != "GET" {
+            return reply(Route::Admin, Response::error(405, "method not allowed"));
+        }
+        let resp = if rest == "recent" {
+            admin_trace_recent(&shared.state, req)
+        } else {
+            admin_trace_get(&shared.state, rest)
+        };
+        return reply(Route::Admin, resp);
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => reply(Route::Healthz, healthz(&shared.state)),
+        ("GET", "/v1/admin/status") => reply(Route::Admin, admin_status(shared)),
         ("GET", "/metrics") => reply(
             Route::Metrics,
             Response {
@@ -1097,11 +1277,254 @@ fn respond(shared: &Shared, req: &Request, writer: &mut BufWriter<TcpStream>) ->
             | "/v1/translate/batch"
             | "/v1/backends"
             | "/v1/admin/snapshot"
+            | "/v1/admin/status"
             | "/v1/admin/tenants"
             | "/v1/admin/tenants/attach"
             | "/v1/admin/tenants/detach",
         ) => reply(Route::Other, Response::error(405, "method not allowed")),
         _ => reply(Route::Other, Response::error(404, "no such route")),
+    }
+}
+
+/// Serialise one sealed trace as the wire span tree (admin endpoints, the
+/// inline `X-T2V-Trace: 1` splice, and the final NDJSON trace line).
+fn trace_json(f: &FinishedTrace) -> Json {
+    let spans: Vec<Json> = f
+        .spans
+        .iter()
+        .map(|s| {
+            let mut span = Json::obj([
+                ("stage", Json::str(s.stage.name())),
+                ("start_ms", Json::Num(s.start_ns as f64 / 1e6)),
+                ("dur_ms", Json::Num(s.dur_ns as f64 / 1e6)),
+                (
+                    "parent",
+                    match s.parent {
+                        Some(p) => Json::Num(p as f64),
+                        None => Json::Null,
+                    },
+                ),
+            ]);
+            if !s.notes.is_empty() {
+                span.set(
+                    "notes",
+                    Json::Arr(s.notes.iter().map(|n| Json::str(n.as_str())).collect()),
+                );
+            }
+            span
+        })
+        .collect();
+    let mut body = Json::obj([
+        ("id", Json::str(t2v_trace::format_id(f.id))),
+        ("wall_ms", Json::Num(f.wall_ms as f64)),
+        ("tenant", Json::str(&*f.tenant)),
+        ("backend", Json::str(&*f.backend)),
+        ("cache", Json::str(&*f.cache)),
+        (
+            "degraded",
+            match &f.degraded {
+                Some(d) => Json::str(&**d),
+                None => Json::Null,
+            },
+        ),
+        ("status", Json::Num(f.status as f64)),
+        ("total_ms", Json::Num(f.total_ns as f64 / 1e6)),
+        ("dominant_stage", Json::str(f.dominant_stage().name())),
+        ("spans", Json::Arr(spans)),
+    ]);
+    if f.dropped_spans > 0 {
+        body.set("dropped_spans", Json::Num(f.dropped_spans as f64));
+    }
+    body
+}
+
+/// One row of `GET /v1/admin/trace/recent`: the request-level facts without
+/// the span tree (fetch the id for the full tree).
+fn trace_summary_json(f: &FinishedTrace) -> Json {
+    Json::obj([
+        ("id", Json::str(t2v_trace::format_id(f.id))),
+        ("wall_ms", Json::Num(f.wall_ms as f64)),
+        ("tenant", Json::str(&*f.tenant)),
+        ("backend", Json::str(&*f.backend)),
+        ("cache", Json::str(&*f.cache)),
+        ("status", Json::Num(f.status as f64)),
+        ("total_ms", Json::Num(f.total_ns as f64 / 1e6)),
+        ("dominant_stage", Json::str(f.dominant_stage().name())),
+    ])
+}
+
+/// `GET /v1/admin/trace/{id}` — one trace from the flight recorder, full
+/// span tree.
+fn admin_trace_get(state: &ServerState, id_str: &str) -> Response {
+    let Some(recorder) = &state.recorder else {
+        return Response::error_code(
+            404,
+            "recorder_disabled",
+            "the flight recorder is disabled (trace_buffer=0)",
+        );
+    };
+    let Some(id) = t2v_trace::parse_id(id_str) else {
+        return Response::error(400, "malformed trace id (expected 32 hex chars)");
+    };
+    match recorder.get(id) {
+        Some(t) => Response::json(200, trace_json(&t).compact()),
+        None => Response::error_code(
+            404,
+            "unknown_trace",
+            "trace not found (never recorded, or already evicted from the flight recorder)",
+        ),
+    }
+}
+
+/// One `key=value` out of a query string (no percent-decoding — trace
+/// filters are plain identifiers and integers).
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| v)
+}
+
+/// `GET /v1/admin/trace/recent?tenant=&min_ms=&limit=` — newest recorded
+/// traces, summarised.
+fn admin_trace_recent(state: &ServerState, req: &Request) -> Response {
+    let Some(recorder) = &state.recorder else {
+        return Response::error_code(
+            404,
+            "recorder_disabled",
+            "the flight recorder is disabled (trace_buffer=0)",
+        );
+    };
+    let tenant = query_param(&req.query, "tenant").filter(|t| !t.is_empty());
+    let min_ms = match query_param(&req.query, "min_ms") {
+        None => 0u64,
+        Some(v) => match v.parse() {
+            Ok(ms) => ms,
+            Err(_) => return Response::error(400, "min_ms must be a non-negative integer"),
+        },
+    };
+    let limit = match query_param(&req.query, "limit") {
+        None => 50usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(500),
+            _ => return Response::error(400, "limit must be a positive integer"),
+        },
+    };
+    let traces = recorder.recent(tenant, min_ms.saturating_mul(1_000_000), limit);
+    let body = Json::obj([
+        ("count", Json::Num(traces.len() as f64)),
+        (
+            "traces",
+            Json::Arr(traces.iter().map(|t| trace_summary_json(t)).collect()),
+        ),
+    ]);
+    Response::json(200, body.compact())
+}
+
+/// `GET /v1/admin/status` — one JSON snapshot of what an operator checks
+/// first: pool pressure, per-tenant breaker states, cache effectiveness,
+/// attached tenants, recorder fill, and build/format versions.
+fn admin_status(shared: &Shared) -> Response {
+    let state = &shared.state;
+    let table = state.tenants();
+    let cache = state.cache.stats();
+    let probes = cache.hits + cache.misses;
+    let hit_rate = if probes == 0 {
+        0.0
+    } else {
+        cache.hits as f64 / probes as f64
+    };
+    let tenants: Vec<Json> = table
+        .iter()
+        .map(|t| {
+            let breakers: Vec<Json> = t
+                .registry
+                .ids()
+                .zip(&t.breakers)
+                .map(|(id, b)| {
+                    Json::obj([
+                        ("backend", Json::str(id)),
+                        ("state", Json::str(breaker_state_label(b.state()))),
+                        ("opens", Json::Num(b.opens() as f64)),
+                        (
+                            "mean_latency_ms",
+                            Json::Num(b.mean_latency_ns() as f64 / 1e6),
+                        ),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("id", Json::str(t.id.as_str())),
+                ("corpus", Json::str(t.corpus_label.as_str())),
+                ("epoch", Json::Num(t.epoch as f64)),
+                ("breakers", Json::Arr(breakers)),
+            ])
+        })
+        .collect();
+    let body = Json::obj([
+        (
+            "build",
+            Json::obj([
+                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                (
+                    "snapshot_format",
+                    Json::Num(t2v_store::FORMAT_VERSION as f64),
+                ),
+            ]),
+        ),
+        (
+            "pool",
+            Json::obj([
+                (
+                    "workers",
+                    Json::Num(state.config.effective_workers() as f64),
+                ),
+                ("shards", Json::Num(state.config.effective_shards() as f64)),
+                ("queue_depth", Json::Num(shared.pool.queue_depth() as f64)),
+                (
+                    "queue_capacity",
+                    Json::Num(state.config.queue_capacity as f64),
+                ),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj([
+                ("entries", Json::Num(cache.len as f64)),
+                ("hits", Json::Num(cache.hits as f64)),
+                ("misses", Json::Num(cache.misses as f64)),
+                ("hit_rate", Json::Num(hit_rate)),
+                ("expired", Json::Num(cache.expired as f64)),
+                ("evicted", Json::Num(cache.evicted as f64)),
+                ("shards", Json::Num(state.cache.shard_count() as f64)),
+            ]),
+        ),
+        (
+            "trace",
+            match &state.recorder {
+                Some(r) => Json::obj([
+                    ("recorded", Json::Num(r.len() as f64)),
+                    ("capacity", Json::Num(r.capacity() as f64)),
+                    ("sample", Json::Num(state.config.trace_sample)),
+                    (
+                        "force_slow_ms",
+                        Json::Num(state.config.trace_force_slow_ms as f64),
+                    ),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        ("tenants", Json::Arr(tenants)),
+    ]);
+    Response::json(200, body.compact())
+}
+
+fn breaker_state_label(state: crate::breaker::BreakerState) -> &'static str {
+    match state {
+        crate::breaker::BreakerState::Closed => "closed",
+        crate::breaker::BreakerState::Open => "open",
+        crate::breaker::BreakerState::HalfOpen => "half_open",
     }
 }
 
@@ -1520,6 +1943,7 @@ fn stale_degraded_body(shared: &Shared, key: &CacheKey) -> Option<Vec<u8>> {
         .metrics
         .degraded
         .fetch_add(1, Ordering::Relaxed);
+    t2v_trace::note("degrade:stale_cache");
     Some(mark_degraded(&stale, "stale_cache"))
 }
 
@@ -1546,17 +1970,26 @@ fn submit_translation(
     let entry = Arc::clone(&item.entry);
     let want_vegalite = item.want_vegalite;
     let enqueued = Instant::now();
+    // The connection thread's trace rides into the job: the worker installs
+    // it as *its* current trace, so the backend span (and the embed/retrieve
+    // spans the leaf crates open) land in the same tree.
+    let trace = t2v_trace::current();
     let job = move || {
+        let _trace_scope = trace.as_ref().map(Trace::scope);
         let guard = ReplyGuard {
             slot: job_slot,
             breaker: Arc::clone(&breaker),
             metrics: Arc::clone(&state.metrics),
             answered: false,
         };
+        let queue_wait = enqueued.elapsed();
+        if let Some(t) = &trace {
+            t.add_span(Stage::QueueWait, enqueued, queue_wait);
+        }
         state
             .metrics
             .queue_wait
-            .observe_ns(enqueued.elapsed().as_nanos() as u64);
+            .observe_ns(queue_wait.as_nanos() as u64);
         if deadline.is_some_and(|d| Instant::now() >= d) {
             // The budget died in the queue: don't burn a worker on a body
             // nobody is waiting for.
@@ -1574,37 +2007,43 @@ fn submit_translation(
             std::thread::sleep(Duration::from_millis(state.config.debug_translate_sleep_ms));
         }
         let t0 = Instant::now();
-        // Chaos seams: an armed `backend.panic` unwinds here (the guard and
-        // the pool's catch_unwind turn it into a structured 500 + metrics);
-        // an armed `backend.error` swaps the translation for an internal
-        // error without touching the backend.
-        if t2v_fault::fire_for(t2v_fault::FaultPoint::BackendPanic, &backend_id).is_some() {
-            panic!("injected fault: backend '{backend_id}' panic");
-        }
-        let injected =
-            t2v_fault::fire_for(t2v_fault::FaultPoint::BackendError, &backend_id).is_some();
-        let req = TranslateRequest::new(&key.2, &entry.db);
-        let result = if injected {
-            Err(TranslateError::Internal {
-                message: format!("injected fault: backend '{backend_id}' error"),
-            })
-        } else {
-            match &stage_tx {
-                // Streaming: forward each stage line as the pipeline produces
-                // it (timings included — stream lines are never cached).
-                Some(tx) => backend.translate_streamed(&req, &mut |s: &StageRecord| {
-                    let line = Json::obj([(
-                        "stage",
-                        Json::obj([
-                            ("name", Json::str(s.name)),
-                            ("dvq", opt_str(&s.dvq)),
-                            ("micros", Json::Num(s.micros as f64)),
-                        ]),
-                    )])
-                    .compact();
-                    let _ = tx.send(line);
-                }),
-                None => backend.translate(&req),
+        let result = {
+            // The backend span covers fault firing + the translate call, so
+            // the embed/retrieve child spans (and any fault note) nest here.
+            let _span = t2v_trace::span(Stage::Backend);
+            // Chaos seams: an armed `backend.panic` unwinds here (the guard
+            // and the pool's catch_unwind turn it into a structured 500 +
+            // metrics); an armed `backend.error` swaps the translation for
+            // an internal error without touching the backend.
+            if t2v_fault::fire_for(t2v_fault::FaultPoint::BackendPanic, &backend_id).is_some() {
+                panic!("injected fault: backend '{backend_id}' panic");
+            }
+            let injected =
+                t2v_fault::fire_for(t2v_fault::FaultPoint::BackendError, &backend_id).is_some();
+            let req = TranslateRequest::new(&key.2, &entry.db);
+            if injected {
+                Err(TranslateError::Internal {
+                    message: format!("injected fault: backend '{backend_id}' error"),
+                })
+            } else {
+                match &stage_tx {
+                    // Streaming: forward each stage line as the pipeline
+                    // produces it (timings included — stream lines are never
+                    // cached).
+                    Some(tx) => backend.translate_streamed(&req, &mut |s: &StageRecord| {
+                        let line = Json::obj([(
+                            "stage",
+                            Json::obj([
+                                ("name", Json::str(s.name)),
+                                ("dvq", opt_str(&s.dvq)),
+                                ("micros", Json::Num(s.micros as f64)),
+                            ]),
+                        )])
+                        .compact();
+                        let _ = tx.send(line);
+                    }),
+                    None => backend.translate(&req),
+                }
             }
         };
         let elapsed = t0.elapsed().as_nanos() as u64;
@@ -1708,7 +2147,11 @@ fn translate_endpoint(
     // `lookup` (not `get`) so an expired entry survives in place: if the
     // breaker rejects the recompute below, `stale_degraded_body` serves it.
     let key = item.cache_key();
-    if let crate::cache::Lookup::Fresh(hit) = state.cache.lookup(&key) {
+    let lookup = {
+        let _span = t2v_trace::span(Stage::CacheLookup);
+        state.cache.lookup(&key)
+    };
+    if let crate::cache::Lookup::Fresh(hit) = lookup {
         item.record_cache(state, true);
         state
             .metrics
@@ -1724,7 +2167,10 @@ fn translate_endpoint(
     item.record_cache(state, false);
 
     // ---- breaker admission, then the CPU stage through the bounded pool ----
-    let admission = item.tenant.breakers[item.backend_idx].admit();
+    let admission = {
+        let _span = t2v_trace::span(Stage::Breaker);
+        item.tenant.breakers[item.backend_idx].admit()
+    };
     if let Admission::Reject { retry_after_ms } = admission {
         return reply(breaker_rejection(
             shared,
@@ -1800,6 +2246,10 @@ fn breaker_rejection(
         .metrics
         .breaker_rejections
         .fetch_add(1, Ordering::Relaxed);
+    // The whole ladder is one degradation decision in the trace; notes say
+    // which rung answered.
+    let _span = t2v_trace::span(Stage::Degrade);
+    t2v_trace::note(format!("breaker:open:{}", item.backend_id));
     if let Some(body) = stale_degraded_body(shared, key) {
         return Response::json(200, body)
             .with_header("x-t2v-cache", "stale")
@@ -1846,6 +2296,7 @@ fn gred_fallback(shared: &Shared, item: &Item, deadline: Option<Instant>) -> Opt
             .metrics
             .degraded
             .fetch_add(1, Ordering::Relaxed);
+        t2v_trace::note("degrade:fallback:gred");
         Some(
             Response::json(200, body)
                 .with_header("x-t2v-degraded", "fallback:gred")
