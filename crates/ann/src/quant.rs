@@ -1,0 +1,155 @@
+//! 8-bit scalar quantization (SQ8) of L2-normalised rows.
+//!
+//! Each row gets one symmetric scale: `code = round(v / scale)` clamped to
+//! `[-127, 127]` with `scale = max|v| / 127`, so the decoded value
+//! `code * scale` is within `scale / 2` of the original per component. Scores
+//! computed over codes are *approximate* — the IVF search uses them only to
+//! build a shortlist that is then rescored with the exact f32 fused dot, so
+//! quantization never changes which scores callers observe, only which rows
+//! make the shortlist.
+
+/// Quantize one row into `out` (appending `v.len()` codes), returning the
+/// row's scale. A zero (or non-finite) row encodes as all-zero codes with
+/// scale `0.0`, which decodes back to the zero row.
+pub fn encode_row(v: &[f32], out: &mut Vec<i8>) -> f32 {
+    let mut max_abs = 0f32;
+    for &x in v {
+        let a = x.abs();
+        if a.is_finite() && a > max_abs {
+            max_abs = a;
+        }
+    }
+    if max_abs == 0.0 {
+        out.extend(std::iter::repeat_n(0i8, v.len()));
+        return 0.0;
+    }
+    let inv = 127.0 / max_abs;
+    for &x in v {
+        let q = if x.is_finite() {
+            (x * inv).round()
+        } else {
+            0.0
+        };
+        out.push(q.clamp(-127.0, 127.0) as i8);
+    }
+    max_abs / 127.0
+}
+
+/// Integer dot product of two code rows over the x86-64 baseline SIMD
+/// (SSE2). Bytes are sign-extended to 16 bits with the classic
+/// interleave-then-arithmetic-shift trick (SSE2 has no `_mm_cvtepi8_epi16`),
+/// then `_mm_madd_epi16` fuses the multiply and pairwise add. Worst-case
+/// accumulation is `dims * 127²`, far inside i32 for any realistic stride.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let blocks = n / 16;
+    unsafe {
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm_setzero_si128();
+        let mut acc1 = _mm_setzero_si128();
+        for blk in 0..blocks {
+            let i = blk * 16;
+            let xa = _mm_loadu_si128(pa.add(i) as *const __m128i);
+            let xb = _mm_loadu_si128(pb.add(i) as *const __m128i);
+            let a_lo = _mm_srai_epi16(_mm_unpacklo_epi8(xa, xa), 8);
+            let a_hi = _mm_srai_epi16(_mm_unpackhi_epi8(xa, xa), 8);
+            let b_lo = _mm_srai_epi16(_mm_unpacklo_epi8(xb, xb), 8);
+            let b_hi = _mm_srai_epi16(_mm_unpackhi_epi8(xb, xb), 8);
+            acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(a_lo, b_lo));
+            acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(a_hi, b_hi));
+        }
+        let acc = _mm_add_epi32(acc0, acc1);
+        let hi = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, 0b01_00_11_10));
+        let one = _mm_add_epi32(hi, _mm_shuffle_epi32(hi, 0b00_00_00_01));
+        let mut sum = _mm_cvtsi128_si32(one);
+        for i in blocks * 16..n {
+            sum += a[i] as i32 * b[i] as i32;
+        }
+        sum
+    }
+}
+
+/// Portable fallback, shaped for auto-vectorisation like the f32 dot.
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0i32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for lane in 0..8 {
+            acc[lane] += xa[lane] as i32 * xb[lane] as i32;
+        }
+    }
+    let mut sum: i32 = acc.iter().sum();
+    for (xa, xb) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += *xa as i32 * *xb as i32;
+    }
+    sum
+}
+
+/// Scalar reference for the SIMD path's tests.
+#[cfg(test)]
+fn dot_i8_reference(a: &[i8], b: &[i8]) -> i32 {
+    a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_bounds_error_by_half_scale() {
+        let v = [0.9f32, -0.3, 0.0001, -0.9999, 0.5];
+        let mut codes = Vec::new();
+        let scale = encode_row(&v, &mut codes);
+        assert!(scale > 0.0);
+        for (&x, &c) in v.iter().zip(&codes) {
+            let decoded = c as f32 * scale;
+            assert!(
+                (decoded - x).abs() <= scale * 0.5 + f32::EPSILON,
+                "component {x} decoded to {decoded} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_row_encodes_to_zero_scale() {
+        let mut codes = Vec::new();
+        let scale = encode_row(&[0.0; 16], &mut codes);
+        assert_eq!(scale, 0.0);
+        assert!(codes.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn non_finite_components_are_dropped() {
+        let mut codes = Vec::new();
+        let scale = encode_row(&[f32::NAN, 1.0, f32::INFINITY, -0.5], &mut codes);
+        assert_eq!(scale, 1.0 / 127.0);
+        assert_eq!(codes[0], 0);
+        assert_eq!(codes[1], 127);
+        assert_eq!(codes[2], 0);
+    }
+
+    #[test]
+    fn dot_i8_matches_reference_across_lengths() {
+        // Odd lengths exercise the block loop, the 16-wide boundary, and the
+        // scalar tail; extreme codes exercise sign extension.
+        for n in [0usize, 1, 7, 15, 16, 17, 31, 32, 33, 64, 100, 256, 300] {
+            let a: Vec<i8> = (0..n).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+            let b: Vec<i8> = (0..n)
+                .map(|i| (((i * 73 + 5) % 255) as u8 as i8).wrapping_neg())
+                .collect();
+            assert_eq!(dot_i8(&a, &b), dot_i8_reference(&a, &b), "n={n}");
+        }
+        let extremes = [i8::MIN + 1, -127, -1, 0, 1, 127];
+        let a: Vec<i8> = extremes.iter().cycle().take(48).copied().collect();
+        let b: Vec<i8> = extremes.iter().rev().cycle().take(48).copied().collect();
+        assert_eq!(dot_i8(&a, &b), dot_i8_reference(&a, &b));
+    }
+}

@@ -9,6 +9,9 @@
 //!   pre-normalised index and a `Vec<Vec<f32>>` + per-pair-norm `cosine`
 //!   baseline (the seed implementation), with the speedup recorded
 //! * `retrieval/top10_batch64` at 6k vectors
+//! * the `ann` section: IVF-indexed retrieval (`t2v-ann`) vs the flat scan
+//!   over 200k / 1M synthetic clustered vectors, with recall@10 against
+//!   the exact scan and one-time training cost recorded alongside
 //! * `library/build` over the tiny corpus profile
 //! * `gred/translate` end to end
 //! * the `startup` section: cold library build (embedder + embeddings)
@@ -111,6 +114,33 @@ impl NaiveIndex {
                 .then_with(|| a.id.cmp(&b.id))
         });
         hits
+    }
+}
+
+/// Splitmix-style generator for the synthetic ANN corpora: deterministic,
+/// seedable, and independent of the embedder (1M embeddings would dominate
+/// the whole snapshot's runtime for no methodological gain — IVF's regime
+/// is the *shape* of the data, clustered rows, not the text behind it).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Uniform in [-1, 1).
+fn unit(state: &mut u64) -> f32 {
+    ((xorshift(state) >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
     }
 }
 
@@ -265,6 +295,130 @@ fn main() {
         time_ns(samples.min(7), || flat6k.top_k_batch(&queries, 10)),
     );
 
+    // ---- ANN: IVF-indexed retrieval vs the flat scan at library scale ----
+    // Million-entry libraries are where the flat scan stops being cheap;
+    // the corpus generator cannot produce one, so the rows are synthetic
+    // *clustered* vectors — the regime IVF is designed for, and the shape
+    // real embedding libraries take (entries cluster by NLQ template).
+    // Queries are perturbed cluster members, recall@10 is measured against
+    // the exact flat scan before anything is timed.
+    let ann_sizes: &[usize] = if quick {
+        &[20_000]
+    } else {
+        &[200_000, 1_000_000]
+    };
+    let dims = model.dims();
+    let mut ann_section = t2v_engine::Json::obj([]);
+    for &n in ann_sizes {
+        println!("  generating {n} clustered vectors...");
+        let clusters = (n / 256).clamp(64, 4096);
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ (n as u64);
+        let mut centers = vec![0f32; clusters * dims];
+        for x in centers.iter_mut() {
+            *x = unit(&mut rng);
+        }
+        let mut flat = VectorIndex::with_capacity_dims(n, dims);
+        let mut row = vec![0f32; dims];
+        for _ in 0..n {
+            let c = (xorshift(&mut rng) as usize) % clusters;
+            let center = &centers[c * dims..(c + 1) * dims];
+            for (x, &m) in row.iter_mut().zip(center) {
+                *x = m + 0.3 * unit(&mut rng);
+            }
+            flat.add_slice(&row);
+        }
+        let queries: Vec<Vec<f32>> = (0..32)
+            .map(|_| {
+                let c = (xorshift(&mut rng) as usize) % clusters;
+                let center = &centers[c * dims..(c + 1) * dims];
+                let mut q: Vec<f32> = center.iter().map(|&m| m + 0.3 * unit(&mut rng)).collect();
+                l2_normalize(&mut q);
+                q
+            })
+            .collect();
+        let t_train = Instant::now();
+        let ivf = t2v_ann::IvfIndex::train(&flat, &t2v_ann::IvfConfig::default())
+            .expect("corpus is above the training threshold");
+        let train_ms = t_train.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  trained ivf({} cells, nprobe {}) in {:.0} ms",
+            ivf.cells(),
+            ivf.default_nprobe(),
+            train_ms
+        );
+        // Recall before speed: the speedup only counts if the index still
+        // finds what the exact scan finds.
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let exact = flat.top_k_prenormalized(q, 10);
+            let approx = ivf.search(&flat, q, 10, 0);
+            overlap += approx
+                .iter()
+                .filter(|h| exact.iter().any(|e| e.id == h.id))
+                .count();
+            total += exact.len();
+        }
+        let recall = overlap as f64 / total.max(1) as f64;
+        // Rotate queries while timing so neither side replays one
+        // cache-warm probe path.
+        let mut qi = 0usize;
+        let flat_ns = time_ns(samples.min(5), || {
+            qi += 1;
+            flat.top_k_prenormalized(&queries[qi % queries.len()], 10)
+        });
+        let ivf_ns = time_ns(samples.min(7), || {
+            qi += 1;
+            ivf.search(&flat, &queries[qi % queries.len()], 10, 0)
+        });
+        println!(
+            "  {:<34} {:>12} vs flat  {:>12}  ({:.1}x, recall@10 {recall:.3})",
+            format!("retrieval/top10_ivf/{n}"),
+            fmt_ns(ivf_ns),
+            fmt_ns(flat_ns),
+            flat_ns / ivf_ns
+        );
+        report
+            .results
+            .push((format!("retrieval/top10/{n}"), flat_ns));
+        report
+            .results
+            .push((format!("retrieval/top10_ivf/{n}"), ivf_ns));
+        ann_section.set(
+            &format!("retrieval/top10/{n}"),
+            t2v_engine::Json::obj([
+                ("rows", t2v_engine::Json::Num(n as f64)),
+                (
+                    "flat_ns",
+                    t2v_engine::Json::Num((flat_ns * 10.0).round() / 10.0),
+                ),
+                (
+                    "ivf_ns",
+                    t2v_engine::Json::Num((ivf_ns * 10.0).round() / 10.0),
+                ),
+                (
+                    "speedup",
+                    t2v_engine::Json::Num(((flat_ns / ivf_ns) * 100.0).round() / 100.0),
+                ),
+                (
+                    "recall_at_10",
+                    t2v_engine::Json::Num((recall * 1000.0).round() / 1000.0),
+                ),
+                ("cells", t2v_engine::Json::Num(ivf.cells() as f64)),
+                ("nprobe", t2v_engine::Json::Num(ivf.default_nprobe() as f64)),
+                ("quantized", t2v_engine::Json::Bool(ivf.quantized())),
+                (
+                    "train_ms",
+                    t2v_engine::Json::Num((train_ms * 10.0).round() / 10.0),
+                ),
+                (
+                    "index_bytes",
+                    t2v_engine::Json::Num(ivf.memory_bytes() as f64),
+                ),
+            ]),
+        );
+    }
+
     // ---- library build + end-to-end translate ----
     let corpus = generate(&CorpusConfig::tiny(7));
     report.record(
@@ -339,6 +493,9 @@ fn main() {
                 ),
             ]),
         );
+        // The ANN axes live in their own section: flat vs IVF with recall,
+        // training cost, and index footprint per corpus size.
+        doc.set("ann", ann_section);
         json = doc.pretty();
         json.push('\n');
     }

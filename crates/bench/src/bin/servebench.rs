@@ -68,6 +68,9 @@ struct ClientStats {
 struct Scenario {
     backend: String,
     mode: &'static str,
+    /// Which retrieval index served the scenario (`flat` or an `ivf(...)`
+    /// label) — cold rows are meaningless without knowing what scanned.
+    index: String,
     requests: u64,
     rps: f64,
     p50_us: f64,
@@ -517,6 +520,19 @@ fn run_scenario(
     duration: Duration,
 ) -> Scenario {
     let addr = server.addr();
+    // Attribute the rows to the index that actually served them: the
+    // pinned tenant's for `/v1/t/{id}/...` routes, the default tenant's
+    // otherwise.
+    let index = {
+        let state = server.state();
+        let table = state.tenants();
+        let runtime = path
+            .strip_prefix("/v1/t/")
+            .and_then(|rest| rest.split('/').next())
+            .and_then(|id| table.get(id))
+            .unwrap_or(&state.default_tenant);
+        runtime.index_kind().label()
+    };
     // Working set: enough distinct queries that the prompt cache key space
     // is realistic, few enough that the hot scenario actually re-hits them.
     // Every request names its backend explicitly, exercising the /v1
@@ -583,6 +599,7 @@ fn run_scenario(
     Scenario {
         backend: backend.to_string(),
         mode,
+        index,
         requests: n,
         rps: n as f64 / duration.as_secs_f64(),
         p50_us: pct(0.50),
@@ -681,6 +698,7 @@ fn scenario_json(s: &Scenario) -> Json {
     let round1 = |x: f64| (x * 10.0).round() / 10.0;
     let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
     Json::obj([
+        ("index", Json::str(s.index.as_str())),
         ("requests", Json::Num(s.requests as f64)),
         ("rps", Json::Num(round1(s.rps))),
         ("p50_us", Json::Num(round1(s.p50_us))),

@@ -10,7 +10,7 @@ pub mod embedder;
 pub mod index;
 
 pub use embedder::{cosine, l2_normalize, EmbedConfig, EmbedderParts, PhraseRow, TextEmbedder};
-pub use index::{Hit, VectorIndex};
+pub use index::{best_first, dot as fused_dot, Hit, IndexKind, VectorIndex};
 
 #[cfg(test)]
 mod proptests {

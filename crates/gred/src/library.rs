@@ -10,9 +10,10 @@
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use t2v_ann::{IvfConfig, IvfIndex};
 use t2v_corpus::{Corpus, Database};
-use t2v_embed::{TextEmbedder, VectorIndex};
+use t2v_embed::{IndexKind, TextEmbedder, VectorIndex};
 use t2v_llm::api::{ChatModel, ChatParams};
 use t2v_llm::prompts;
 
@@ -31,12 +32,25 @@ pub struct LibEntry {
     pub dvq: Arc<str>,
 }
 
+/// Trained ANN indexes for both retrieval directions, attached to a library
+/// as one unit so NLQ and DVQ lookups always agree on index kind.
+#[derive(Debug, Clone)]
+pub struct AnnPair {
+    pub nlq: IvfIndex,
+    pub dvq: IvfIndex,
+}
+
 /// The embedding vector library: every training NLQ and DVQ embedded with
 /// the pre-trained text embedding model.
 pub struct EmbeddingLibrary {
     pub entries: Vec<LibEntry>,
     pub nlq_index: VectorIndex,
     pub dvq_index: VectorIndex,
+    /// Optional sub-linear index pair over the two flat stores. Write-once
+    /// (`OnceLock`) because the library lives behind an `Arc` once resolved:
+    /// serving attaches a snapshot-loaded or freshly trained pair after
+    /// construction, and every reader from then on sees the same index.
+    ann: OnceLock<AnnPair>,
 }
 
 impl EmbeddingLibrary {
@@ -77,6 +91,7 @@ impl EmbeddingLibrary {
             entries,
             nlq_index,
             dvq_index,
+            ann: OnceLock::new(),
         }
     }
 
@@ -108,6 +123,7 @@ impl EmbeddingLibrary {
             entries,
             nlq_index,
             dvq_index,
+            ann: OnceLock::new(),
         })
     }
 
@@ -117,6 +133,58 @@ impl EmbeddingLibrary {
 
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The attached ANN pair, if any.
+    pub fn ann(&self) -> Option<&AnnPair> {
+        self.ann.get()
+    }
+
+    /// Attach a pre-trained ANN pair (e.g. loaded from a snapshot). Shapes
+    /// are validated against the flat stores; the first successful attach
+    /// wins and later calls return an error without replacing it.
+    pub fn attach_ann(&self, pair: AnnPair) -> Result<(), String> {
+        for (label, ivf, flat) in [
+            ("NLQ", &pair.nlq, &self.nlq_index),
+            ("DVQ", &pair.dvq, &self.dvq_index),
+        ] {
+            if ivf.rows() != flat.len() || ivf.dims() != flat.dims() {
+                return Err(format!(
+                    "{label} ann shape {}×{} does not match flat store {}×{}",
+                    ivf.rows(),
+                    ivf.dims(),
+                    flat.len(),
+                    flat.dims()
+                ));
+            }
+        }
+        self.ann
+            .set(pair)
+            .map_err(|_| "library already has an ann index attached".to_string())
+    }
+
+    /// Train and attach an ANN pair over both flat stores. Returns `false`
+    /// when training declines (corpus below `cfg.min_rows` — the flat scan
+    /// stays in charge) or when a pair is already attached.
+    pub fn train_ann(&self, cfg: &IvfConfig) -> bool {
+        if self.ann.get().is_some() {
+            return false;
+        }
+        let (Some(nlq), Some(dvq)) = (
+            IvfIndex::train(&self.nlq_index, cfg),
+            IvfIndex::train(&self.dvq_index, cfg),
+        ) else {
+            return false;
+        };
+        self.ann.set(AnnPair { nlq, dvq }).is_ok()
+    }
+
+    /// The index kind actually answering retrievals for this library.
+    pub fn index_kind(&self) -> IndexKind {
+        self.ann
+            .get()
+            .map(|p| p.nlq.kind())
+            .unwrap_or(IndexKind::Flat)
     }
 }
 

@@ -89,7 +89,10 @@ pub trait Retrieve {
     fn retrieve_dvq(&self, query: &[f32], k: usize) -> Vec<Hit>;
 }
 
-/// The default retriever: unbatched lookups straight into the library.
+/// The default retriever: unbatched **exact** lookups straight into the
+/// library's flat stores. This is the recall oracle — it never consults an
+/// attached ANN index, so tests and fallbacks can always reach the exact
+/// scan through it.
 pub struct DirectRetriever<'a>(pub &'a EmbeddingLibrary);
 
 impl Retrieve for DirectRetriever<'_> {
@@ -99,6 +102,41 @@ impl Retrieve for DirectRetriever<'_> {
 
     fn retrieve_dvq(&self, query: &[f32], k: usize) -> Vec<Hit> {
         self.0.dvq_index.top_k_prenormalized(query, k)
+    }
+}
+
+/// Index-aware retriever: routes lookups through the library's attached
+/// ANN pair when one is present, and degrades to the exact flat scan
+/// otherwise — the serving layer's default seam once `ann=on`.
+pub struct AutoRetriever<'a> {
+    pub library: &'a EmbeddingLibrary,
+    /// Query-time probe override; `0` uses the trained index's default.
+    pub nprobe: usize,
+}
+
+impl<'a> AutoRetriever<'a> {
+    pub fn new(library: &'a EmbeddingLibrary) -> Self {
+        AutoRetriever { library, nprobe: 0 }
+    }
+}
+
+impl Retrieve for AutoRetriever<'_> {
+    fn retrieve_nlq(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        match self.library.ann() {
+            Some(pair) => pair
+                .nlq
+                .search(&self.library.nlq_index, query, k, self.nprobe),
+            None => self.library.nlq_index.top_k_prenormalized(query, k),
+        }
+    }
+
+    fn retrieve_dvq(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        match self.library.ann() {
+            Some(pair) => pair
+                .dvq
+                .search(&self.library.dvq_index, query, k, self.nprobe),
+            None => self.library.dvq_index.top_k_prenormalized(query, k),
+        }
     }
 }
 

@@ -89,10 +89,14 @@ pub struct Batcher {
 }
 
 impl Batcher {
+    /// `ann_nprobe`: `None` keeps every batched scan on the exact flat
+    /// path; `Some(n)` routes through the library's attached ANN index
+    /// when one exists (`n` = 0 ⇒ the index's own default nprobe).
     pub fn spawn(
         library: Arc<EmbeddingLibrary>,
         window: Duration,
         metrics: Arc<Metrics>,
+        ann_nprobe: Option<usize>,
     ) -> Batcher {
         let shared = Arc::new(BatchShared {
             queue: Mutex::new(Vec::new()),
@@ -103,7 +107,7 @@ impl Batcher {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("t2v-batcher".to_string())
-                .spawn(move || flusher_loop(&shared, &library, window, &metrics))
+                .spawn(move || flusher_loop(&shared, &library, window, &metrics, ann_nprobe))
                 .expect("spawn batcher thread")
         };
         Batcher {
@@ -142,6 +146,7 @@ fn flusher_loop(
     library: &EmbeddingLibrary,
     window: Duration,
     metrics: &Metrics,
+    ann_nprobe: Option<usize>,
 ) {
     loop {
         let batch = {
@@ -176,14 +181,19 @@ fn flusher_loop(
         // respawns it; every later lookup would hang to its backstop).
         // Unwinding drops the drained batch, so the slot guards wake every
         // affected waiter with an error.
-        let _ =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_batch(library, batch)));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(library, batch, ann_nprobe)
+        }));
     }
 }
 
-/// Execute one drained batch: group by (index, k) to keep each
-/// `top_k_batch_prenormalized` call homogeneous, then distribute results.
-fn run_batch(library: &EmbeddingLibrary, mut batch: Vec<Pending>) {
+/// Execute one drained batch: group by (index, k) to keep each batched
+/// scan homogeneous, then distribute results. With ANN routing enabled
+/// and an index attached, each group goes through `IvfIndex::search_batch`
+/// (probe lists inverted so every interesting cell is walked once per
+/// group); otherwise the exact flat `top_k_batch_prenormalized`.
+fn run_batch(library: &EmbeddingLibrary, mut batch: Vec<Pending>, ann_nprobe: Option<usize>) {
+    let ann = ann_nprobe.and_then(|n| library.ann().map(|pair| (pair, n)));
     while !batch.is_empty() {
         let kind = batch[0].kind;
         let k = batch[0].k;
@@ -197,7 +207,16 @@ fn run_batch(library: &EmbeddingLibrary, mut batch: Vec<Pending>) {
             IndexKind::Nlq => &library.nlq_index,
             IndexKind::Dvq => &library.dvq_index,
         };
-        let results = index.top_k_batch_prenormalized(&queries, k);
+        let results = match ann {
+            Some((pair, nprobe)) => {
+                let ivf = match kind {
+                    IndexKind::Nlq => &pair.nlq,
+                    IndexKind::Dvq => &pair.dvq,
+                };
+                ivf.search_batch(index, &queries, k, nprobe)
+            }
+            None => index.top_k_batch_prenormalized(&queries, k),
+        };
         for (p, hits) in group.into_iter().zip(results) {
             p.slot.answer(hits);
         }
@@ -276,7 +295,7 @@ mod tests {
     fn batched_hits_match_direct_hits() {
         let (lib, embedder) = library();
         let metrics = Arc::new(Metrics::new());
-        let batcher = Batcher::spawn(Arc::clone(&lib), Duration::ZERO, Arc::clone(&metrics));
+        let batcher = Batcher::spawn(Arc::clone(&lib), Duration::ZERO, Arc::clone(&metrics), None);
         let retriever = batcher.retriever();
         let direct = DirectRetriever(&lib);
         for (i, text) in ["count of wages by city", "show all salaries", "a bar chart"]
@@ -303,6 +322,7 @@ mod tests {
             Arc::clone(&lib),
             Duration::from_micros(300),
             Arc::clone(&metrics),
+            None,
         );
         let queries: Vec<Vec<f32>> = (0..24)
             .map(|i| embedder.embed(&format!("question {i} about salaries")))
@@ -339,6 +359,7 @@ mod tests {
             Arc::clone(&lib),
             Duration::from_micros(300),
             Arc::clone(&metrics),
+            None,
         );
         let direct = DirectRetriever(&lib);
         let q1 = embedder.embed("salary by department");
@@ -363,6 +384,39 @@ mod tests {
             assert_eq!(b.join().unwrap(), direct.retrieve_dvq(&q2, 7));
             assert_eq!(c.join().unwrap(), direct.retrieve_nlq(&q2, 7));
         });
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn ann_routed_batches_match_ann_direct_lookups() {
+        let (lib, embedder) = library();
+        assert!(
+            lib.train_ann(&t2v_ann::IvfConfig {
+                min_rows: 1,
+                ..Default::default()
+            }),
+            "forced training on the tiny corpus must succeed"
+        );
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::spawn(
+            Arc::clone(&lib),
+            Duration::ZERO,
+            Arc::clone(&metrics),
+            Some(0),
+        );
+        let retriever = batcher.retriever();
+        let pair = lib.ann().unwrap();
+        for text in ["count of wages by city", "show all salaries"] {
+            let q = embedder.embed(text);
+            assert_eq!(
+                retriever.retrieve_nlq(&q, 5),
+                pair.nlq.search(&lib.nlq_index, &q, 5, 0),
+            );
+            assert_eq!(
+                retriever.retrieve_dvq(&q, 3),
+                pair.dvq.search(&lib.dvq_index, &q, 3, 0),
+            );
+        }
         batcher.shutdown();
     }
 }

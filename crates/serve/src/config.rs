@@ -33,6 +33,30 @@ impl CorpusProfile {
     }
 }
 
+/// Whether tenants build/adopt an IVF ANN index over their embedding
+/// library (see `t2v-ann` and DESIGN.md §13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnMode {
+    /// Flat exact scan only; ANN sections in snapshots are ignored.
+    Off,
+    /// Adopt a snapshot's ANN index, or train one at startup when the
+    /// corpus is large enough to benefit (`t2v_ann::DEFAULT_MIN_ROWS`).
+    On,
+    /// Train even for tiny corpora (tests, smoke rigs) so the ANN path is
+    /// exercised regardless of corpus size.
+    Force,
+}
+
+impl AnnMode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnnMode::Off => "off",
+            AnnMode::On => "on",
+            AnnMode::Force => "force",
+        }
+    }
+}
+
 /// What the deprecated unversioned `POST /translate` route answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LegacyRoute {
@@ -74,6 +98,16 @@ pub struct ServeConfig {
     pub cache_shards: usize,
     /// Route worker retrieval through the micro-batcher?
     pub batch: bool,
+    /// ANN policy for every tenant's embedding library: `off` (exact flat
+    /// scan, the old behaviour), `on` (adopt a snapshot's index or train
+    /// when the corpus is big enough), `force` (train even on tiny
+    /// corpora). Retrieval through the index rescores candidates with the
+    /// exact f32 dot, so scores are identical to flat — only recall of the
+    /// candidate set is approximate.
+    pub ann: AnnMode,
+    /// Cells probed per ANN query. 0 ⇒ the index's own default
+    /// (`t2v_ann::auto_nprobe`). Higher = better recall, slower.
+    pub ann_nprobe: usize,
     /// Linger this many µs after the first queued lookup before flushing
     /// (0 ⇒ natural batching: take whatever is queued, never wait).
     pub batch_window_us: u64,
@@ -193,6 +227,8 @@ impl Default for ServeConfig {
             cache_ttl_secs: 600,
             cache_shards: 0,
             batch: true,
+            ann: AnnMode::Off,
+            ann_nprobe: 0,
             batch_window_us: 0,
             store_rows: 30,
             store_seed: 7,
@@ -302,6 +338,15 @@ impl ServeConfig {
             "cache_ttl_secs" => self.cache_ttl_secs = parse_u64(key, value)?,
             "cache_shards" => self.cache_shards = parse_usize(key, value)?,
             "batch" => self.batch = parse_bool(key, value)?,
+            "ann" => {
+                self.ann = match value {
+                    "off" => AnnMode::Off,
+                    "on" => AnnMode::On,
+                    "force" => AnnMode::Force,
+                    _ => return Err(err(format!("ann: '{value}' is not a mode (off|on|force)"))),
+                }
+            }
+            "ann_nprobe" => self.ann_nprobe = parse_usize(key, value)?,
             "batch_window_us" => self.batch_window_us = parse_u64(key, value)?,
             "store_rows" => self.store_rows = parse_usize(key, value)?,
             "store_seed" => self.store_seed = parse_u64(key, value)?,
@@ -483,6 +528,16 @@ impl ServeConfig {
             .collect()
     }
 
+    /// ANN routing for the retrieval seams: `None` = exact flat scans
+    /// everywhere, `Some(n)` = route through an attached index with `n`
+    /// probes (0 ⇒ the index's own default).
+    pub fn effective_ann(&self) -> Option<usize> {
+        match self.ann {
+            AnnMode::Off => None,
+            AnnMode::On | AnnMode::Force => Some(self.ann_nprobe),
+        }
+    }
+
     pub fn cache_ttl(&self) -> Option<Duration> {
         if self.cache_ttl_secs == 0 {
             None
@@ -514,6 +569,8 @@ pub const KEYS: &[&str] = &[
     "cache_ttl_secs",
     "cache_shards",
     "batch",
+    "ann",
+    "ann_nprobe",
     "batch_window_us",
     "store_rows",
     "store_seed",
@@ -716,6 +773,7 @@ mod tests {
                 "tenant_dir" => "/tmp",
                 "library_snapshot" | "snapshot_save" => "/tmp/lib.t2vsnap",
                 "legacy_translate" => "gone",
+                "ann" => "force",
                 "batch" | "gred_retuner" | "gred_debugger" | "degrade_stale" => "true",
                 "fault_plan" => "seed=1;backend.error:p=0.5",
                 "trace_sample" => "0.25",
@@ -890,6 +948,25 @@ mod tests {
         assert!(cfg.validate().is_err(), "a directory is not a log file");
         cfg.set("access_log", "/tmp/t2v-access.log").unwrap();
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn ann_knobs_parse_and_reject_malformed() {
+        let mut cfg = ServeConfig::default();
+        assert_eq!(cfg.ann, AnnMode::Off, "exact scan is the default");
+        assert_eq!(cfg.ann_nprobe, 0, "0 = index default");
+        cfg.set("ann", "on").unwrap();
+        assert_eq!(cfg.ann, AnnMode::On);
+        cfg.set("ann", "force").unwrap();
+        assert_eq!(cfg.ann, AnnMode::Force);
+        assert_eq!(cfg.ann.label(), "force");
+        cfg.set("ann", "off").unwrap();
+        assert_eq!(cfg.ann, AnnMode::Off);
+        assert!(cfg.set("ann", "maybe").is_err());
+        assert!(cfg.set("ann", "true").is_err());
+        cfg.set("ann_nprobe", "12").unwrap();
+        assert_eq!(cfg.ann_nprobe, 12);
+        assert!(cfg.set("ann_nprobe", "-1").is_err());
     }
 
     #[test]

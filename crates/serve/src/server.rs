@@ -19,7 +19,7 @@ use crate::access_log::AccessLog;
 use crate::batch::{BatchRetriever, Batcher};
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::ShardedTtlLruCache;
-use crate::config::{ConfigError, LegacyRoute, ServeConfig};
+use crate::config::{AnnMode, ConfigError, LegacyRoute, ServeConfig};
 use crate::http::{self, Request, Response};
 use crate::metrics::{Metrics, Route, TenantMetrics};
 use crate::pool::{OneShot, SubmitError, WorkerPool};
@@ -39,7 +39,7 @@ use t2v_core::{
 };
 use t2v_corpus::{generate, Corpus, Database};
 use t2v_engine::{execute, Json, Store};
-use t2v_gred::{DirectRetriever, Gred};
+use t2v_gred::{AutoRetriever, DirectRetriever, Gred};
 use t2v_llm::{LlmConfig, SimulatedChatModel};
 use t2v_store::{EmbedderPool, LibrarySource, Provenance, SnapshotError};
 use t2v_tenant::{snapshot_filename, CorpusSpec, RcuCell, TenantSpec, DEFAULT_TENANT_ID};
@@ -141,6 +141,11 @@ impl RetrieverSlot {
 struct GredBackend {
     gred: Gred<SimulatedChatModel>,
     slot: RetrieverSlot,
+    /// ANN routing for the direct (non-batched) path: `None` = exact flat
+    /// scan, `Some(n)` = probe the library's attached IVF index with
+    /// `n` cells (0 ⇒ the index default). Mirrors the batcher's routing so
+    /// batched and direct lookups stay identical.
+    ann_nprobe: Option<usize>,
 }
 
 impl GredBackend {
@@ -149,11 +154,20 @@ impl GredBackend {
         req: &TranslateRequest<'_>,
         sink: Option<&mut dyn StageSink>,
     ) -> Result<TranslateResponse, TranslateError> {
-        match self.slot.get() {
-            Some(r) => self.gred.translate_api(req, r, sink),
-            None => self
-                .gred
-                .translate_api(req, &DirectRetriever(self.gred.library()), sink),
+        match (self.slot.get(), self.ann_nprobe) {
+            (Some(r), _) => self.gred.translate_api(req, r, sink),
+            (None, Some(nprobe)) => self.gred.translate_api(
+                req,
+                &AutoRetriever {
+                    library: self.gred.library(),
+                    nprobe,
+                },
+                sink,
+            ),
+            (None, None) => {
+                self.gred
+                    .translate_api(req, &DirectRetriever(self.gred.library()), sink)
+            }
         }
     }
 }
@@ -205,7 +219,35 @@ pub struct TenantRuntime {
     /// classes and the unlabelled per-backend metric families (both are
     /// sized/registered at startup for a fixed backend list).
     pub is_default: bool,
+    /// ANN routing in effect for this tenant's GRED retrieval (`None` =
+    /// exact flat scans; `Some(n)` = attached IVF index probed with `n`
+    /// cells, 0 ⇒ index default).
+    pub ann_nprobe: Option<usize>,
     batch_slot: RetrieverSlot,
+}
+
+impl TenantRuntime {
+    /// The index kind actually serving this tenant's retrieval: the
+    /// library's attached ANN index when routing is enabled and training
+    /// succeeded, flat otherwise (ann=off, or ann=on over a corpus too
+    /// small to benefit).
+    pub fn index_kind(&self) -> t2v_embed::IndexKind {
+        match self.ann_nprobe {
+            Some(_) => self.gred.library().index_kind(),
+            None => t2v_embed::IndexKind::Flat,
+        }
+    }
+
+    /// The per-query probe count in effect (`None` when serving flat).
+    pub fn effective_nprobe(&self) -> Option<usize> {
+        let pair = self.gred.library().ann()?;
+        let n = self.ann_nprobe?;
+        Some(if n == 0 {
+            pair.nlq.default_nprobe()
+        } else {
+            n.min(pair.nlq.cells())
+        })
+    }
 }
 
 /// The immutable tenant set readers resolve against, in attach order
@@ -566,6 +608,22 @@ fn build_tenant_runtime(
     tenant_metrics: Arc<TenantMetrics>,
     is_default: bool,
 ) -> TenantRuntime {
+    // ANN adoption/training happens before the pipeline is assembled: a
+    // snapshot-borne index is already attached (the decoder did it), and
+    // `train_ann` declines rather than replaces, so this is idempotent.
+    // With ann=on a too-small corpus declines and the tenant serves flat;
+    // ann=force trains regardless (tests and smoke rigs).
+    let ann_nprobe = config.effective_ann();
+    if ann_nprobe.is_some() && resolved.library.ann().is_none() {
+        let ivf_cfg = t2v_ann::IvfConfig {
+            min_rows: match config.ann {
+                AnnMode::Force => 1,
+                _ => t2v_ann::DEFAULT_MIN_ROWS,
+            },
+            ..Default::default()
+        };
+        resolved.library.train_ann(&ivf_cfg);
+    }
     let gred = Gred::from_parts(
         Arc::clone(&resolved.embedder),
         Arc::clone(&resolved.library),
@@ -590,6 +648,7 @@ fn build_tenant_runtime(
             "gred" => Arc::new(GredBackend {
                 gred: gred.clone(),
                 slot: batch_slot.clone(),
+                ann_nprobe,
             }),
             "seq2vis" => Arc::new(Seq2Vis::train(corpus, &train_cfg)),
             "transformer" => Arc::new(TransformerBaseline::train(corpus, &train_cfg)),
@@ -649,6 +708,7 @@ fn build_tenant_runtime(
         breakers,
         metrics: tenant_metrics,
         is_default,
+        ann_nprobe,
         batch_slot,
     }
 }
@@ -860,6 +920,7 @@ impl Server {
                 state.gred.shared_library(),
                 Duration::from_micros(config.batch_window_us),
                 Arc::clone(&state.metrics),
+                config.effective_ann(),
             );
             // From here on the GRED backend coalesces retrieval through the
             // batcher (bit-identical to the direct lookups it replaces).
@@ -1458,6 +1519,15 @@ fn admin_status(shared: &Shared) -> Response {
                 ("id", Json::str(t.id.as_str())),
                 ("corpus", Json::str(t.corpus_label.as_str())),
                 ("epoch", Json::Num(t.epoch as f64)),
+                ("index", Json::str(t.index_kind().label())),
+                ("rows", Json::Num(t.gred.library().len() as f64)),
+                (
+                    "nprobe",
+                    match t.effective_nprobe() {
+                        Some(n) => Json::Num(n as f64),
+                        None => Json::Null,
+                    },
+                ),
                 ("breakers", Json::Arr(breakers)),
             ])
         })
@@ -1469,7 +1539,7 @@ fn admin_status(shared: &Shared) -> Response {
                 ("version", Json::str(env!("CARGO_PKG_VERSION"))),
                 (
                     "snapshot_format",
-                    Json::Num(t2v_store::FORMAT_VERSION as f64),
+                    Json::Num(t2v_store::FORMAT_VERSION_ANN as f64),
                 ),
             ]),
         ),

@@ -1,14 +1,18 @@
 //! `t2v-snapshot` — build, inspect, and verify persistent library snapshots.
 //!
 //! ```text
-//! t2v-snapshot build   [--corpus tiny:7|paper:N] [--out PATH]
+//! t2v-snapshot build   [--corpus tiny:7|paper:N] [--out PATH] [--ann]
 //! t2v-snapshot inspect PATH
 //! t2v-snapshot verify  PATH [--corpus tiny:7|paper:N]
 //! t2v-snapshot catalog DIR
 //! ```
 //!
 //! * `build` generates the corpus, builds the embedding library, and writes
-//!   the snapshot `t2v-serve` loads with `library_snapshot=PATH`.
+//!   the snapshot `t2v-serve` loads with `library_snapshot=PATH`. With
+//!   `--ann` it also trains the IVF index pair at build time (regardless of
+//!   corpus size — an explicit flag means the operator wants the index) and
+//!   embeds it in the snapshot (format v2), so a warm boot with `ann=on`
+//!   adopts it instead of re-training.
 //! * `inspect` prints the manifest (version, fingerprints, section table
 //!   with human-readable sizes) after validating framing and checksums —
 //!   no payload reconstruction.
@@ -48,7 +52,7 @@ fn main() {
 
 fn usage() {
     println!(
-        "usage:\n  t2v-snapshot build   [--corpus tiny:7|paper:N] [--out PATH]\n  \
+        "usage:\n  t2v-snapshot build   [--corpus tiny:7|paper:N] [--out PATH] [--ann]\n  \
          t2v-snapshot inspect PATH\n  t2v-snapshot verify  PATH [--corpus tiny:7|paper:N]\n  \
          t2v-snapshot catalog DIR"
     );
@@ -66,6 +70,10 @@ fn flag(args: &[String], name: &str) -> Option<String> {
             Some(v) => v.clone(),
             None => die(&format!("{name} needs a value")),
         })
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 /// Parse `tiny:SEED` / `paper:SEED` using the serve config's parser so the
@@ -95,6 +103,21 @@ fn build(args: &[String]) {
         Err(e) => die(&e.to_string()),
     };
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if has_flag(args, "--ann") {
+        eprintln!("t2v-snapshot: training the IVF index pair...");
+        let t1 = Instant::now();
+        let trained = resolved.library.train_ann(&text2vis::ann::IvfConfig {
+            min_rows: 1,
+            ..Default::default()
+        });
+        if !trained {
+            die("ANN training failed (is the library empty?)");
+        }
+        eprintln!(
+            "t2v-snapshot: trained in {:.0} ms",
+            t1.elapsed().as_secs_f64() * 1e3
+        );
+    }
     let manifest = match store::save(&out, &resolved.library, &resolved.embedder) {
         Ok(m) => m,
         Err(e) => die(&e.to_string()),
@@ -195,6 +218,15 @@ fn print_manifest(m: &Manifest) {
             s.offset,
             format!("{} ", human_size(s.len)),
             s.checksum
+        );
+    }
+    if let Some(ann) = &m.ann {
+        println!(
+            "  ann index: {} cells, nprobe {}, {}, {}",
+            ann.cells,
+            ann.nprobe,
+            if ann.quantized { "sq8+rescore" } else { "f32" },
+            human_size(ann.bytes)
         );
     }
 }
