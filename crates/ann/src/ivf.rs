@@ -146,8 +146,19 @@ pub struct IvfParts {
 impl IvfIndex {
     /// Train over the flat store's rows. Returns `None` when the corpus is
     /// smaller than `cfg.min_rows` (the flat scan wins there — see
-    /// [`DEFAULT_MIN_ROWS`]); deterministic for a fixed `(rows, cfg)`.
+    /// [`DEFAULT_MIN_ROWS`]); deterministic for a fixed `(rows, cfg)` —
+    /// including across worker counts, see [`IvfIndex::train_in`].
     pub fn train(flat: &VectorIndex, cfg: &IvfConfig) -> Option<IvfIndex> {
+        Self::train_in(flat, cfg, t2v_parallel::thread_count())
+    }
+
+    /// [`IvfIndex::train`] with an explicit worker count. The trained index
+    /// is a pure function of `(rows, cfg)` — **not** of `threads`: every
+    /// parallel stage works on fixed row windows (independent of the worker
+    /// count) and folds partial results in window order, so the f64
+    /// accumulation order — and therefore every centroid bit — is identical
+    /// whether training runs on 1 thread or 64.
+    pub fn train_in(flat: &VectorIndex, cfg: &IvfConfig, threads: usize) -> Option<IvfIndex> {
         let (dims, data) = flat.raw_rows();
         let rows = flat.len();
         if rows < cfg.min_rows.max(2) || dims == 0 {
@@ -198,18 +209,8 @@ impl IvfIndex {
         }
 
         for _ in 0..KMEANS_ITERS {
-            let assign = assign_rows(&sample, dims, &centroids);
-            let mut sums = vec![0f64; cells * dims];
-            let mut counts = vec![0u32; cells];
-            for (p, &c) in assign.iter().enumerate() {
-                let c = c as usize;
-                counts[c] += 1;
-                let row = &sample[p * dims..(p + 1) * dims];
-                let acc = &mut sums[c * dims..(c + 1) * dims];
-                for (s, &x) in acc.iter_mut().zip(row) {
-                    *s += x as f64;
-                }
-            }
+            let assign = assign_rows(threads, &sample, dims, &centroids);
+            let (sums, counts) = accumulate_cells(threads, &sample, dims, cells, &assign);
             for c in 0..cells {
                 if counts[c] == 0 {
                     // Reseed dead centroids from a random sample point so no
@@ -235,7 +236,7 @@ impl IvfIndex {
 
         // Full assignment pass over every row, then CSR by cell. Row ids
         // within a cell stay ascending (counting sort over a stable scan).
-        let assign = assign_rows(data, dims, &centroids);
+        let assign = assign_rows(threads, data, dims, &centroids);
         let mut counts = vec![0u32; cells];
         for &c in &assign {
             counts[c as usize] += 1;
@@ -253,11 +254,23 @@ impl IvfIndex {
         }
 
         let (codes, scales) = if cfg.quantized {
+            // Per-row encoding is pure, so fanning out over fixed id windows
+            // and concatenating in window order is trivially deterministic.
+            let windows = row_windows(ids.len());
+            let parts = t2v_parallel::par_map_in(threads, &windows, |&(s, e)| {
+                let mut codes = Vec::with_capacity((e - s) * dims);
+                let mut scales = Vec::with_capacity(e - s);
+                for &id in &ids[s..e] {
+                    let row = &data[id as usize * dims..(id as usize + 1) * dims];
+                    scales.push(quant::encode_row(row, &mut codes));
+                }
+                (codes, scales)
+            });
             let mut codes = Vec::with_capacity(rows * dims);
             let mut scales = Vec::with_capacity(rows);
-            for &id in &ids {
-                let row = &data[id as usize * dims..(id as usize + 1) * dims];
-                scales.push(quant::encode_row(row, &mut codes));
+            for (c, s) in parts {
+                codes.extend_from_slice(&c);
+                scales.extend_from_slice(&s);
             }
             (codes, scales)
         } else {
@@ -629,17 +642,25 @@ impl TopK {
     }
 }
 
+/// Fixed row windows for the parallel training stages. The window size is a
+/// constant — deliberately *not* derived from the worker count — so every
+/// per-window partial result, and any order-sensitive fold over them, is
+/// identical at any parallelism.
+fn row_windows(rows: usize) -> Vec<(usize, usize)> {
+    const WINDOW: usize = 2048;
+    (0..rows)
+        .step_by(WINDOW)
+        .map(|s| (s, (s + WINDOW).min(rows)))
+        .collect()
+}
+
 /// Nearest centroid (max dot, ties toward lower cell id) for every row in
-/// `data`, fanned across threads in deterministic row-chunk order.
-fn assign_rows(data: &[f32], dims: usize, centroids: &[f32]) -> Vec<u32> {
+/// `data`, fanned across `threads` workers in deterministic window order.
+fn assign_rows(threads: usize, data: &[f32], dims: usize, centroids: &[f32]) -> Vec<u32> {
     let rows = data.len() / dims;
     let cells = centroids.len() / dims;
-    const CHUNK: usize = 2048;
-    let ranges: Vec<(usize, usize)> = (0..rows)
-        .step_by(CHUNK)
-        .map(|s| (s, (s + CHUNK).min(rows)))
-        .collect();
-    let parts = t2v_parallel::par_map(&ranges, |&(s, e)| {
+    let windows = row_windows(rows);
+    let parts = t2v_parallel::par_map_in(threads, &windows, |&(s, e)| {
         let mut out = Vec::with_capacity(e - s);
         for r in s..e {
             let row = &data[r * dims..(r + 1) * dims];
@@ -657,6 +678,46 @@ fn assign_rows(data: &[f32], dims: usize, centroids: &[f32]) -> Vec<u32> {
         out
     });
     parts.concat()
+}
+
+/// The k-means accumulation stage: per-cell f64 sums and member counts of
+/// `data` rows grouped by `assign`, fanned across `threads` workers.
+/// Bit-identical at any worker count: partials cover the fixed windows of
+/// [`row_windows`] and fold strictly left-to-right in window order, so the
+/// f64 addition tree never depends on `threads`.
+fn accumulate_cells(
+    threads: usize,
+    data: &[f32],
+    dims: usize,
+    cells: usize,
+    assign: &[u32],
+) -> (Vec<f64>, Vec<u32>) {
+    let windows = row_windows(assign.len());
+    let parts = t2v_parallel::par_map_in(threads, &windows, |&(s, e)| {
+        let mut sums = vec![0f64; cells * dims];
+        let mut counts = vec![0u32; cells];
+        for r in s..e {
+            let c = assign[r] as usize;
+            counts[c] += 1;
+            let row = &data[r * dims..(r + 1) * dims];
+            let acc = &mut sums[c * dims..(c + 1) * dims];
+            for (a, &x) in acc.iter_mut().zip(row) {
+                *a += x as f64;
+            }
+        }
+        (sums, counts)
+    });
+    let mut sums = vec![0f64; cells * dims];
+    let mut counts = vec![0u32; cells];
+    for (ps, pc) in parts {
+        for (a, b) in sums.iter_mut().zip(&ps) {
+            *a += b;
+        }
+        for (a, b) in counts.iter_mut().zip(&pc) {
+            *a += b;
+        }
+    }
+    (sums, counts)
 }
 
 #[cfg(test)]
@@ -937,5 +998,27 @@ mod tests {
         assert_eq!(a.raw_parts().2, b.raw_parts().2);
         let q = idx.get(7).unwrap().to_vec();
         assert_eq!(a.search(&idx, &q, 10, 0), b.search(&idx, &q, 10, 0));
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        // 5000 rows spans multiple 2048-row windows, so the window fold and
+        // concatenation paths are genuinely exercised at every worker count.
+        let idx = clustered_index(5000, 16, 30, 13);
+        let cfg = IvfConfig {
+            min_rows: 1,
+            ..IvfConfig::default()
+        };
+        let base = IvfIndex::train_in(&idx, &cfg, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let other = IvfIndex::train_in(&idx, &cfg, threads).unwrap();
+            let (bc, bo, bi, bk, bs) = base.raw_parts();
+            let (oc, oo, oi, ok, os) = other.raw_parts();
+            assert_eq!(bc, oc, "centroids differ at threads={threads}");
+            assert_eq!(bo, oo, "offsets differ at threads={threads}");
+            assert_eq!(bi, oi, "ids differ at threads={threads}");
+            assert_eq!(bk, ok, "codes differ at threads={threads}");
+            assert_eq!(bs, os, "scales differ at threads={threads}");
+        }
     }
 }

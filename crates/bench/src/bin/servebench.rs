@@ -25,6 +25,16 @@
 //!   the recorder), reporting the throughput/latency overhead under
 //!   `serving.trace_overhead`; `--trace` runs *only* this axis.
 //!
+//! * **open-loop concurrency** (`--open-loop [--connections N]`) — the
+//!   C10k axis (DESIGN.md §14): N keep-alive connections held open against
+//!   one server while a small bounded set of in-flight requests sweeps
+//!   round-robin across *all* of them, so every socket carries traffic but
+//!   almost all are idle at any instant — the fleet-of-dashboards shape the
+//!   event driver exists for. Runs a connection-count grid (100 / 1 000 /
+//!   N) against both `net=event` and `net=threaded`, reporting per-cell
+//!   p50/p95/p99 under `serving.concurrency`; `--open-loop` runs *only*
+//!   this axis (the others' rows are preserved).
+//!
 //! * **chaos** (`--chaos`) — a deterministic fault storm (DESIGN.md §11):
 //!   baseline traffic, then `t2v-fault` arms `backend.error` against the
 //!   live server so every worker job fails and the circuit breaker opens
@@ -46,9 +56,10 @@
 //!
 //! Usage: `cargo run --release -p t2v-bench --bin servebench
 //!         [--quick] [--clients N] [--secs S] [--backends a,b]
-//!         [--tenants N] [--chaos] [--trace] [--out PATH]`
+//!         [--tenants N] [--chaos] [--trace]
+//!         [--open-loop] [--connections N] [--out PATH]`
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -87,6 +98,8 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let chaos = args.iter().any(|a| a == "--chaos");
     let trace_axis = args.iter().any(|a| a == "--trace");
+    let open_loop = args.iter().any(|a| a == "--open-loop");
+    let connections: usize = flag(&args, "--connections").unwrap_or(10_000);
     let clients: usize = flag(&args, "--clients").unwrap_or(8);
     let secs: u64 = flag(&args, "--secs").unwrap_or(if quick { 1 } else { 4 });
     let tenant_count: usize = flag(&args, "--tenants").unwrap_or(0);
@@ -117,6 +130,30 @@ fn main() {
     );
     let corpus = generate(&CorpusConfig::tiny(7));
 
+    if open_loop {
+        let report = run_concurrency(&corpus, clients, Duration::from_secs(secs), connections);
+        for (net, rows) in &report.nets {
+            for row in rows {
+                println!(
+                    "  {net:<8} c={:<6} {:>8.0} req/s  p50 {:>8.1} µs  p95 {:>8.1} µs  p99 {:>8.1} µs  503s {}  errors {}  conn failures {}",
+                    row.connections, row.rps, row.p50_us, row.p95_us, row.p99_us,
+                    row.rejected, row.other_errors, row.conn_failures
+                );
+            }
+        }
+        merge_report(
+            &out_path,
+            clients,
+            secs,
+            MergeSections {
+                concurrency: Some(&report),
+                ..Default::default()
+            },
+        );
+        println!("merged serving.concurrency section into {out_path}");
+        return;
+    }
+
     if chaos {
         let report = run_chaos(&corpus, clients, Duration::from_secs(secs));
         println!(
@@ -142,7 +179,15 @@ fn main() {
             report.post.p99_us,
             error_rate(&report.post) * 100.0
         );
-        merge_report(&out_path, clients, secs, &[], &[], Some(&report), None);
+        merge_report(
+            &out_path,
+            clients,
+            secs,
+            MergeSections {
+                chaos: Some(&report),
+                ..Default::default()
+            },
+        );
         println!("merged serving.chaos section into {out_path}");
         return;
     }
@@ -156,7 +201,15 @@ fn main() {
                 row.mode, row.off.rps, row.off.mean_us, row.on.rps, row.on.mean_us, row.overhead_pct
             );
         }
-        merge_report(&out_path, clients, secs, &[], &[], None, Some(&report));
+        merge_report(
+            &out_path,
+            clients,
+            secs,
+            MergeSections {
+                trace: Some(&report),
+                ..Default::default()
+            },
+        );
         println!("merged serving.trace_overhead section into {out_path}");
         return;
     }
@@ -268,10 +321,11 @@ fn main() {
         &out_path,
         clients,
         secs,
-        &scenarios,
-        &tenant_scenarios,
-        None,
-        None,
+        MergeSections {
+            scenarios: &scenarios,
+            tenant_scenarios: &tenant_scenarios,
+            ..Default::default()
+        },
     );
     println!("merged serving section into {out_path}");
 }
@@ -667,7 +721,7 @@ fn client_loop(
 }
 
 /// Read one HTTP/1.1 response; returns (status, x-t2v-cache==hit).
-fn read_response(reader: &mut BufReader<TcpStream>) -> Option<(u16, bool)> {
+fn read_response<R: BufRead>(reader: &mut R) -> Option<(u16, bool)> {
     let mut line = String::new();
     if reader.read_line(&mut line).ok()? == 0 {
         return None;
@@ -711,6 +765,276 @@ fn scenario_json(s: &Scenario) -> Json {
     ])
 }
 
+struct ConcRow {
+    connections: usize,
+    requests: u64,
+    rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    rejected: u64,
+    other_errors: u64,
+    /// Sockets that failed to connect or died mid-run (client-side view of
+    /// sheds, reaps, and resets — zero on a healthy run).
+    conn_failures: u64,
+}
+
+struct ConcReport {
+    /// Rows per driver (`"event"`, `"threaded"`), ascending connection count.
+    nets: Vec<(String, Vec<ConcRow>)>,
+}
+
+/// The open-loop concurrency axis: hold `connections` keep-alive sockets
+/// open and sweep a small bounded in-flight set (`clients` driver threads,
+/// one blocking request each) round-robin across all of them. Most sockets
+/// are idle at any instant — exactly the many-dashboards shape — so the
+/// measured quantity is how request latency degrades as the *open socket
+/// count* grows, for each connection driver.
+fn run_concurrency(
+    corpus: &t2v_corpus::Corpus,
+    clients: usize,
+    secs: Duration,
+    connections: usize,
+) -> ConcReport {
+    // Client and server share one process, so every benched connection costs
+    // two fds. Clamp to the soft RLIMIT_NOFILE — loudly, never silently —
+    // when the requested count cannot fit.
+    let connections = match nofile_soft_limit() {
+        Some(limit) if connections > limit.saturating_sub(128) / 2 => {
+            let usable = limit.saturating_sub(128) / 2;
+            println!(
+                "servebench: RLIMIT_NOFILE is {limit}; clamping --connections {connections} -> {usable} \
+                 (2 fds per benched socket + headroom)"
+            );
+            usable.max(1)
+        }
+        _ => connections,
+    };
+    let grid: Vec<usize> = {
+        let mut g: Vec<usize> = [100, 1000, connections]
+            .into_iter()
+            .filter(|&c| c > 0 && c <= connections)
+            .collect();
+        g.sort_unstable();
+        g.dedup();
+        g
+    };
+    println!(
+        "servebench: open-loop concurrency axis — {} sockets grid {:?}, {clients} in flight",
+        connections, grid
+    );
+    let mut nets = Vec::new();
+    for net in ["event", "threaded"] {
+        let mut config = ServeConfig::default();
+        config.set("addr", "127.0.0.1:0").unwrap();
+        config.set("backends", "gred").unwrap();
+        config.set("net", net).unwrap();
+        config
+            .set("max_connections", &(connections + 128).to_string())
+            .unwrap();
+        let state = Arc::new(
+            ServerState::from_corpus(corpus, config).expect("concurrency axis state builds"),
+        );
+        let mut rows = Vec::with_capacity(grid.len());
+        for &count in &grid {
+            // Fresh server per cell: connection gauges start from zero and
+            // a straggler socket from the previous cell can't leak in.
+            let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
+            rows.push(run_concurrency_cell(
+                net, corpus, &server, clients, secs, count,
+            ));
+            server.shutdown();
+        }
+        nets.push((net.to_string(), rows));
+    }
+    ConcReport { nets }
+}
+
+fn run_concurrency_cell(
+    net: &str,
+    corpus: &t2v_corpus::Corpus,
+    server: &Server,
+    clients: usize,
+    secs: Duration,
+    connections: usize,
+) -> ConcRow {
+    let addr = server.addr();
+    let requests: Vec<Vec<u8>> = corpus
+        .dev
+        .iter()
+        .take(64)
+        .map(|ex| {
+            let body = Json::obj([
+                ("nlq", Json::str(ex.nlq.as_str())),
+                ("db", Json::str(corpus.databases[ex.db].id.as_str())),
+                ("backend", Json::str("gred")),
+            ])
+            .compact();
+            format!(
+                "POST /v1/translate HTTP/1.1\r\nHost: servebench\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+            .into_bytes()
+        })
+        .collect();
+
+    let drivers = clients.clamp(1, connections);
+    let stop = AtomicBool::new(false);
+    // The timed window opens only after *every* socket is established —
+    // connect cost varies wildly between drivers (the threaded acceptor
+    // spawns a thread per socket) and must not eat into the measurement.
+    let ready = std::sync::Barrier::new(drivers + 1);
+    let all: Vec<(ClientStats, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                let requests = &requests;
+                let stop = &stop;
+                let ready = &ready;
+                // Driver d owns sockets d, d+drivers, d+2*drivers, ...
+                let share = connections / drivers + usize::from(d < connections % drivers);
+                s.spawn(move || open_loop_driver(addr, requests, d, share, stop, ready))
+            })
+            .collect();
+        ready.wait();
+        std::thread::sleep(secs);
+        stop.store(true, Ordering::Release);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut ok, mut rejected, mut other, mut conn_failures) = (0u64, 0u64, 0u64, 0u64);
+    for (c, failures) in all {
+        latencies.extend(c.latencies_ns);
+        ok += c.ok;
+        rejected += c.rejected;
+        other += c.other;
+        conn_failures += failures;
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx] as f64 / 1e3
+    };
+    let n = ok + rejected + other;
+    let row = ConcRow {
+        connections,
+        requests: n,
+        rps: n as f64 / secs.as_secs_f64(),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mean_us: if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e3
+        },
+        rejected,
+        other_errors: other,
+        conn_failures,
+    };
+    println!(
+        "  {net}/c{connections}: {:.0} req/s over {} sockets (p99 {:.1} µs, {} failures)",
+        row.rps, connections, row.p99_us, conn_failures
+    );
+    row
+}
+
+/// The process's soft open-file limit, from `/proc/self/limits` (the axis
+/// is Linux-only already — the event driver is epoll). `None` when the file
+/// is unreadable or unparseable.
+fn nofile_soft_limit() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// One open-loop driver thread: establish `share` keep-alive sockets, then
+/// cycle through them forever, one blocking request at a time, so every
+/// socket sees traffic while the rest stay parked on the server.
+fn open_loop_driver(
+    addr: std::net::SocketAddr,
+    requests: &[Vec<u8>],
+    driver_id: usize,
+    share: usize,
+    stop: &AtomicBool,
+    ready: &std::sync::Barrier,
+) -> (ClientStats, u64) {
+    let mut stats = ClientStats {
+        latencies_ns: Vec::with_capacity(4096),
+        ok: 0,
+        cache_hits: 0,
+        rejected: 0,
+        other: 0,
+    };
+    let mut failures = 0u64;
+    let mut socks: Vec<Option<TcpStream>> = Vec::with_capacity(share);
+    for _ in 0..share {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_read_timeout(Some(Duration::from_secs(70)));
+                let _ = s.set_nodelay(true);
+                socks.push(Some(s));
+            }
+            Err(_) => {
+                failures += 1;
+                socks.push(None);
+            }
+        }
+    }
+    ready.wait();
+    let mut i = driver_id * 13;
+    let mut slot = 0usize;
+    while !stop.load(Ordering::Acquire) && !socks.is_empty() {
+        let idx = slot % socks.len();
+        slot += 1;
+        let Some(stream) = socks[idx].as_mut() else {
+            // A dead slot: reconnect so the target socket count recovers.
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(70)));
+                    let _ = s.set_nodelay(true);
+                    socks[idx] = Some(s);
+                }
+                Err(_) => failures += 1,
+            }
+            continue;
+        };
+        let req = &requests[i % requests.len()];
+        i += 1;
+        let t0 = Instant::now();
+        if stream.write_all(req).is_err() {
+            failures += 1;
+            socks[idx] = None;
+            continue;
+        }
+        // One response is outstanding on this socket and nothing else, so a
+        // throwaway buffered reader never strands bytes between requests.
+        let mut reader = BufReader::with_capacity(4096, &*stream);
+        let Some((status, cache_hit)) = read_response(&mut reader) else {
+            failures += 1;
+            socks[idx] = None;
+            continue;
+        };
+        stats.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+        match status {
+            200 => {
+                stats.ok += 1;
+                if cache_hit {
+                    stats.cache_hits += 1;
+                }
+            }
+            503 => stats.rejected += 1,
+            _ => stats.other += 1,
+        }
+    }
+    (stats, failures)
+}
+
 /// Merge the `serving` section into the perf report, leaving everything else
 /// (perfsnap's sections) untouched. The first benched backend's hot/cold
 /// rows keep the original top-level layout (the ROADMAP reference numbers);
@@ -718,15 +1042,25 @@ fn scenario_json(s: &Scenario) -> Json {
 /// `--tenants` axis writes per-tenant rows under `serving.tenants.<id>`, and
 /// `--chaos` writes fault-storm rows under `serving.chaos`. Axes that did
 /// not run this invocation keep their rows from the previous report.
-fn merge_report(
-    out_path: &str,
-    clients: usize,
-    secs: u64,
-    scenarios: &[Scenario],
-    tenant_scenarios: &[(String, Scenario)],
-    chaos: Option<&ChaosReport>,
-    trace: Option<&TraceReport>,
-) {
+/// The axes a servebench invocation actually measured; everything left at
+/// `Default` is preserved from the prior report rather than overwritten.
+#[derive(Default)]
+struct MergeSections<'a> {
+    scenarios: &'a [Scenario],
+    tenant_scenarios: &'a [(String, Scenario)],
+    chaos: Option<&'a ChaosReport>,
+    trace: Option<&'a TraceReport>,
+    concurrency: Option<&'a ConcReport>,
+}
+
+fn merge_report(out_path: &str, clients: usize, secs: u64, sections: MergeSections<'_>) {
+    let MergeSections {
+        scenarios,
+        tenant_scenarios,
+        chaos,
+        trace,
+        concurrency,
+    } = sections;
     let mut doc = std::fs::read_to_string(out_path)
         .ok()
         .and_then(|t| Json::parse(&t).ok())
@@ -829,6 +1163,39 @@ fn merge_report(
         None => {
             if let Some(prior) = doc.get("serving").and_then(|s| s.get("trace_overhead")) {
                 serving.set("trace_overhead", prior.clone());
+            }
+        }
+    }
+    match concurrency {
+        Some(report) => {
+            let round1 = |x: f64| (x * 10.0).round() / 10.0;
+            let mut nets = Json::Obj(Default::default());
+            for (net, rows) in &report.nets {
+                let mut cells = Json::Obj(Default::default());
+                for row in rows {
+                    cells.set(
+                        &format!("c{}", row.connections),
+                        Json::obj([
+                            ("connections", Json::Num(row.connections as f64)),
+                            ("requests", Json::Num(row.requests as f64)),
+                            ("rps", Json::Num(round1(row.rps))),
+                            ("p50_us", Json::Num(round1(row.p50_us))),
+                            ("p95_us", Json::Num(round1(row.p95_us))),
+                            ("p99_us", Json::Num(round1(row.p99_us))),
+                            ("mean_us", Json::Num(round1(row.mean_us))),
+                            ("rejected_503", Json::Num(row.rejected as f64)),
+                            ("other_errors", Json::Num(row.other_errors as f64)),
+                            ("conn_failures", Json::Num(row.conn_failures as f64)),
+                        ]),
+                    );
+                }
+                nets.set(net, cells);
+            }
+            serving.set("concurrency", nets);
+        }
+        None => {
+            if let Some(prior) = doc.get("serving").and_then(|s| s.get("concurrency")) {
+                serving.set("concurrency", prior.clone());
             }
         }
     }

@@ -53,6 +53,19 @@ where
     par_map_indexed(items, |_, item| f(item))
 }
 
+/// [`par_map`] with an explicit worker count. Output is a pure function of
+/// `(items, f)` — never of `threads` — so callers needing bit-identical
+/// results at any parallelism (deterministic k-means, tests) use this with
+/// order-sensitive folding on their side.
+pub fn par_map_in<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed_in(threads, items, |_, item| f(item))
+}
+
 /// Like [`par_map`], but the mapper also receives the item's input index.
 pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -60,7 +73,17 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let threads = thread_count().min(items.len().max(1));
+    par_map_indexed_in(thread_count(), items, f)
+}
+
+/// [`par_map_indexed`] with an explicit worker count.
+pub fn par_map_indexed_in<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.min(items.len().max(1));
     if threads <= 1 || items.len() < 2 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
@@ -256,6 +279,19 @@ mod tests {
             assert_eq!(*id, r, "row ids must be global and in order");
             let expect: u64 = ((r * dims)..(r + 1) * dims).map(|i| i as u64).sum();
             assert_eq!(*sum, expect);
+        }
+    }
+
+    #[test]
+    fn par_map_in_is_thread_count_independent() {
+        let items: Vec<f64> = (0..10_001).map(|i| (i as f64).sin()).collect();
+        let base = par_map_in(1, &items, |&x| x * 1.000001 + 0.5);
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(
+                par_map_in(threads, &items, |&x| x * 1.000001 + 0.5),
+                base,
+                "threads={threads}"
+            );
         }
     }
 

@@ -57,6 +57,28 @@ impl AnnMode {
     }
 }
 
+/// Which connection driver owns the sockets (DESIGN.md §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetMode {
+    /// Accept-then-spawn: one blocking thread per connection. Kept as the
+    /// differential oracle for the event driver; fine at tens of clients,
+    /// unusable at tens of thousands.
+    Threaded,
+    /// Readiness-driven epoll loop (`t2v-net`): one thread owns every
+    /// socket, a small dispatch pool runs the blocking endpoint logic, and
+    /// responses are byte-identical to the threaded driver (default).
+    Event,
+}
+
+impl NetMode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetMode::Threaded => "threaded",
+            NetMode::Event => "event",
+        }
+    }
+}
+
 /// What the deprecated unversioned `POST /translate` route answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LegacyRoute {
@@ -87,6 +109,13 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// Idle keep-alive connections are dropped after this many seconds.
     pub keep_alive_secs: u64,
+    /// Connection driver: `event` (epoll loop, default) or `threaded`
+    /// (one blocking thread per socket, the differential oracle).
+    pub net: NetMode,
+    /// Event-driver idle timeout in milliseconds — covers keep-alive gaps
+    /// *and* mid-request stalls (slow-loris), like the threaded driver's
+    /// socket read timeout. 0 (default) ⇒ derive from `keep_alive_secs`.
+    pub conn_idle_ms: u64,
     /// Request bodies above this many bytes get 413.
     pub max_body_bytes: usize,
     /// Translation cache entries across all shards (0 disables the cache).
@@ -222,6 +251,8 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_connections: 256,
             keep_alive_secs: 30,
+            net: NetMode::Event,
+            conn_idle_ms: 0,
             max_body_bytes: 64 * 1024,
             cache_capacity: 4096,
             cache_ttl_secs: 600,
@@ -333,6 +364,18 @@ impl ServeConfig {
             "queue_capacity" => self.queue_capacity = parse_usize(key, value)?,
             "max_connections" => self.max_connections = parse_usize(key, value)?,
             "keep_alive_secs" => self.keep_alive_secs = parse_u64(key, value)?,
+            "net" => {
+                self.net = match value {
+                    "threaded" => NetMode::Threaded,
+                    "event" => NetMode::Event,
+                    _ => {
+                        return Err(err(format!(
+                            "net: '{value}' is not a driver (threaded|event)"
+                        )))
+                    }
+                }
+            }
+            "conn_idle_ms" => self.conn_idle_ms = parse_u64(key, value)?,
             "max_body_bytes" => self.max_body_bytes = parse_usize(key, value)?,
             "cache_capacity" => self.cache_capacity = parse_usize(key, value)?,
             "cache_ttl_secs" => self.cache_ttl_secs = parse_u64(key, value)?,
@@ -538,6 +581,17 @@ impl ServeConfig {
         }
     }
 
+    /// The event driver's idle budget: `conn_idle_ms`, or the threaded
+    /// driver's `keep_alive_secs` when unset — both drivers reap a silent
+    /// connection on the same clock by default.
+    pub fn effective_conn_idle(&self) -> Duration {
+        if self.conn_idle_ms > 0 {
+            Duration::from_millis(self.conn_idle_ms)
+        } else {
+            Duration::from_secs(self.keep_alive_secs.max(1))
+        }
+    }
+
     pub fn cache_ttl(&self) -> Option<Duration> {
         if self.cache_ttl_secs == 0 {
             None
@@ -564,6 +618,8 @@ pub const KEYS: &[&str] = &[
     "queue_capacity",
     "max_connections",
     "keep_alive_secs",
+    "net",
+    "conn_idle_ms",
     "max_body_bytes",
     "cache_capacity",
     "cache_ttl_secs",
@@ -774,6 +830,7 @@ mod tests {
                 "library_snapshot" | "snapshot_save" => "/tmp/lib.t2vsnap",
                 "legacy_translate" => "gone",
                 "ann" => "force",
+                "net" => "threaded",
                 "batch" | "gred_retuner" | "gred_debugger" | "degrade_stale" => "true",
                 "fault_plan" => "seed=1;backend.error:p=0.5",
                 "trace_sample" => "0.25",
@@ -783,6 +840,25 @@ mod tests {
             cfg.set(key, value)
                 .unwrap_or_else(|e| panic!("key {key}: {e}"));
         }
+    }
+
+    #[test]
+    fn net_knobs_parse_and_derive() {
+        let mut cfg = ServeConfig::default();
+        assert_eq!(cfg.net, NetMode::Event, "the event driver is the default");
+        cfg.set("net", "threaded").unwrap();
+        assert_eq!(cfg.net, NetMode::Threaded);
+        assert_eq!(cfg.net.label(), "threaded");
+        cfg.set("net", "event").unwrap();
+        assert_eq!(cfg.net, NetMode::Event);
+        assert!(cfg.set("net", "fibers").is_err());
+
+        // conn_idle_ms=0 tracks keep_alive_secs; a nonzero value wins.
+        assert_eq!(cfg.effective_conn_idle(), Duration::from_secs(30));
+        cfg.set("keep_alive_secs", "2").unwrap();
+        assert_eq!(cfg.effective_conn_idle(), Duration::from_secs(2));
+        cfg.set("conn_idle_ms", "250").unwrap();
+        assert_eq!(cfg.effective_conn_idle(), Duration::from_millis(250));
     }
 
     #[test]

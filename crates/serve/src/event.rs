@@ -1,0 +1,914 @@
+//! The epoll event-loop connection driver (`net=event`, the default).
+//!
+//! One loop thread owns every socket: it accepts, accumulates request
+//! bytes into pooled buffers, runs the incremental parser
+//! ([`crate::http::parse_request`]), and writes queued response segments
+//! out with vectored (`writev`) writes. It never runs request logic —
+//! parsed requests go to a small dispatch thread pool that executes the
+//! *same* [`crate::server::handle_request`] path as the threaded driver
+//! (which is what keeps the two drivers byte-identical), and translation
+//! CPU still belongs to the [`crate::pool::WorkerPool`] beyond that. The
+//! loop's per-connection cost is a state enum, a read buffer, and an
+//! output queue — which is how tens of thousands of keep-alive sockets
+//! fit where thread-per-connection runs out of stacks.
+//!
+//! Per-connection state machine:
+//!
+//! ```text
+//! Reading ── parse complete ──▶ Dispatched ── response queued ──▶ Writing
+//!    ▲                              (job on dispatch thread)         │
+//!    └────────── KeepAlive ◀── queue drained, keep-alive ◀───────────┘
+//! ```
+//!
+//! `Reading` and `KeepAlive` sockets are reaped after `conn_idle_ms`
+//! (default: `keep_alive_secs`) without progress — which covers both idle
+//! keep-alive peers and slow-loris drip-feeders. Shutdown drains: the
+//! listener closes immediately, idle connections close, in-flight
+//! requests finish their response (bounded by a drain budget), and only
+//! then does the loop exit.
+//!
+//! Dispatch threads communicate readiness back through a shared ready
+//! list plus a [`t2v_net::Waker`] (an eventfd) — response bytes are
+//! produced into a per-connection [`ConnOut`] queue under a mutex the
+//! loop holds only long enough to build `IoSlice`s. A queue past
+//! [`OUT_HIGH_WATER`] blocks the *dispatch* thread (backpressure against
+//! a slow peer), never the loop.
+
+use crate::http::{self, BodySink, Parse};
+use crate::server::{fd_exhausted, handle_request, write_read_error, Shared};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use t2v_net::{BufferPool, Event, Interest, Poller, Waker};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Writer-side backpressure threshold: a dispatch thread producing
+/// response bytes faster than the peer drains them blocks once this many
+/// bytes are queued on the connection.
+const OUT_HIGH_WATER: usize = 1 << 20;
+
+/// Segments per `writev` call.
+const MAX_IOVECS: usize = 16;
+
+/// Dispatch-side flush granularity: response bytes ship to the loop in
+/// segments of roughly this size instead of one final lump.
+const SEG_TARGET: usize = 64 * 1024;
+
+/// Read scratch size (one shared buffer, loop-local).
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Stop draining a single readable socket into memory past this much
+/// unparsed input; the level-triggered poller re-offers the rest.
+const SOFT_IN_CAP: usize = 256 * 1024;
+
+/// How long shutdown waits for in-flight requests before force-closing.
+const DRAIN_BUDGET: Duration = Duration::from_secs(5);
+
+/// How long the listener stays parked after EMFILE/ENFILE.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(20);
+
+// ---------------------------------------------------------------------------
+// Response segments: dispatch threads → loop
+// ---------------------------------------------------------------------------
+
+/// One queued run of response bytes. `Shared` is the zero-copy lane: a
+/// cached body's `Arc` rides to `writev` without duplication.
+enum Seg {
+    Owned(Vec<u8>),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Seg {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Seg::Owned(v) => v,
+            Seg::Shared(v) => v,
+        }
+    }
+}
+
+#[derive(Default)]
+struct OutState {
+    segs: VecDeque<Seg>,
+    /// Bytes of the front segment already written to the socket.
+    front_written: usize,
+    /// Total queued-but-unwritten bytes (backpressure accounting).
+    bytes: usize,
+    /// Set exactly once, when the dispatch job finished: keep-alive?
+    done: Option<bool>,
+    /// The loop closed the connection; writers fail fast from here on.
+    closed: bool,
+}
+
+/// The per-connection output queue. The loop and the connection's dispatch
+/// thread share it; the condvar wakes a writer blocked on the high-water
+/// mark (or on `closed`).
+struct ConnOut {
+    state: Mutex<OutState>,
+    cv: Condvar,
+}
+
+impl ConnOut {
+    fn new() -> Arc<ConnOut> {
+        Arc::new(ConnOut {
+            state: Mutex::new(OutState::default()),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// What dispatch threads share with the loop: the wakeup fd plus the list
+/// of connections with fresh output. Wakes coalesce; duplicate tokens are
+/// harmless (pumping is idempotent).
+struct ReactorShared {
+    waker: Waker,
+    ready: Mutex<Vec<u64>>,
+}
+
+impl ReactorShared {
+    fn notify(&self, token: u64) {
+        self.ready.lock().expect("ready list poisoned").push(token);
+        self.waker.wake();
+    }
+}
+
+/// The [`BodySink`] a dispatch thread writes a response into: bytes
+/// accumulate locally and ship to the loop as segments on flush (or when a
+/// segment's worth has built up); shared cache-hit bodies ship as their
+/// `Arc`. Dropped without [`ConnWriter::finish`] (a panicked job), it
+/// reports `done = close` so the connection can never leak.
+struct ConnWriter {
+    out: Arc<ConnOut>,
+    reactor: Arc<ReactorShared>,
+    token: u64,
+    buf: Vec<u8>,
+    finished: bool,
+}
+
+impl ConnWriter {
+    fn new(out: Arc<ConnOut>, reactor: Arc<ReactorShared>, token: u64) -> ConnWriter {
+        ConnWriter {
+            out,
+            reactor,
+            token,
+            buf: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Queue one segment, blocking while the connection is past the
+    /// high-water mark. Errors once the loop has closed the connection.
+    fn push(&self, seg: Seg) -> io::Result<()> {
+        let len = seg.as_slice().len();
+        if len == 0 {
+            return Ok(());
+        }
+        let mut st = self.out.state.lock().expect("conn out poisoned");
+        loop {
+            if st.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "connection closed",
+                ));
+            }
+            if st.bytes < OUT_HIGH_WATER {
+                break;
+            }
+            st = self.out.cv.wait(st).expect("conn out poisoned");
+        }
+        st.bytes += len;
+        st.segs.push_back(seg);
+        drop(st);
+        self.reactor.notify(self.token);
+        Ok(())
+    }
+
+    fn flush_buf(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let seg = Seg::Owned(std::mem::take(&mut self.buf));
+        self.push(seg)
+    }
+
+    /// Seal the response: flush everything and publish the keep-alive
+    /// verdict. A write failure (peer gone) demotes `keep` to close.
+    fn finish(mut self, keep: bool) {
+        let flushed = self.flush_buf().is_ok();
+        self.seal(keep && flushed);
+    }
+
+    fn seal(&mut self, keep: bool) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        {
+            let mut st = self.out.state.lock().expect("conn out poisoned");
+            st.done = Some(keep);
+        }
+        self.reactor.notify(self.token);
+    }
+}
+
+impl Drop for ConnWriter {
+    fn drop(&mut self) {
+        // A job that never called `finish` (panic, dropped queue entry at
+        // shutdown) still resolves the connection — as a close.
+        self.seal(false);
+    }
+}
+
+impl Write for ConnWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= SEG_TARGET {
+            self.flush_buf()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_buf()
+    }
+}
+
+impl BodySink for ConnWriter {
+    fn write_shared(&mut self, body: &Arc<Vec<u8>>) -> io::Result<()> {
+        self.flush_buf()?;
+        self.push(Seg::Shared(Arc::clone(body)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// The request-execution pool behind the event loop. Deliberately *not*
+/// the translation [`crate::pool::WorkerPool`]: endpoint code blocks on
+/// worker-pool results, and running it inside that same pool would let
+/// enough concurrent requests deadlock it. Sized from the pool's
+/// in-system capacity (every admitted request can hold a dispatch thread
+/// while it waits), bounded by config — never by connection count.
+struct Dispatcher {
+    inner: Arc<DispatchInner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+struct DispatchInner {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+impl Dispatcher {
+    fn spawn(threads: usize, metrics: Arc<crate::metrics::Metrics>) -> Dispatcher {
+        let inner = Arc::new(DispatchInner {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("t2v-dispatch-{i}"))
+                    .spawn(move || dispatch_loop(&inner, &metrics))
+                    .expect("spawn dispatch thread")
+            })
+            .collect();
+        Dispatcher {
+            inner,
+            threads: handles,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        let mut q = self.inner.queue.lock().expect("dispatch queue poisoned");
+        q.push_back(job);
+        drop(q);
+        self.inner.cv.notify_one();
+    }
+
+    /// Stop accepting, drop undispatched jobs (their `ConnWriter`s resolve
+    /// the connections as closed), finish running ones, join.
+    fn shutdown(self) {
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner
+            .queue
+            .lock()
+            .expect("dispatch queue poisoned")
+            .clear();
+        self.inner.cv.notify_all();
+        for h in self.threads {
+            let _ = h.join();
+        }
+    }
+}
+
+fn dispatch_loop(inner: &DispatchInner, metrics: &crate::metrics::Metrics) {
+    loop {
+        let job = {
+            let mut q = inner.queue.lock().expect("dispatch queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if inner.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                q = inner.cv.wait(q).expect("dispatch queue poisoned");
+            }
+        };
+        // Same containment as `pool::worker_loop`: a panicking request
+        // must not take a dispatch thread down with it.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes (first request, or a partial one).
+    Reading,
+    /// A parsed request is on (or queued for) a dispatch thread.
+    Dispatched,
+    /// The response is sealed; the loop is draining the output queue.
+    Writing,
+    /// Between requests on a keep-alive connection.
+    KeepAlive,
+}
+
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    state: ConnState,
+    /// Unparsed request bytes (pooled; pipelined followers stay here).
+    inbuf: Vec<u8>,
+    out: Arc<ConnOut>,
+    /// First-byte time of the request currently being read — the trace
+    /// clock, matching the threaded driver's post-`fill_buf` stamp.
+    t0: Option<Instant>,
+    last_activity: Instant,
+    /// `read()` returned 0: every buffered request byte has been drained and
+    /// no more will come. Drives the truncation/close decisions — epoll's
+    /// RDHUP flag alone does not, because it can arrive while request bytes
+    /// are still sitting in the kernel buffer.
+    peer_eof: bool,
+    /// epoll reported EPOLLRDHUP. Only masks further RDHUP interest (the
+    /// flag is level-triggered and would re-fire every tick).
+    rdhup: bool,
+    interest: Interest,
+}
+
+impl Conn {
+    fn idle(&self) -> bool {
+        matches!(self.state, ConnState::Reading | ConnState::KeepAlive)
+    }
+}
+
+/// What a connection operation decided about the connection's future.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Next {
+    Alive,
+    Close,
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Handle to the running event loop. [`crate::server::Server`] owns one
+/// when `net=event`.
+pub(crate) struct EventDriver {
+    reactor: Arc<ReactorShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl EventDriver {
+    pub(crate) fn spawn(shared: Arc<Shared>, listener: TcpListener) -> io::Result<EventDriver> {
+        let poller = Poller::new()?;
+        let waker = Waker::new(&poller, TOKEN_WAKER)?;
+        listener.set_nonblocking(true)?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        let reactor = Arc::new(ReactorShared {
+            waker,
+            ready: Mutex::new(Vec::new()),
+        });
+        let loop_reactor = Arc::clone(&reactor);
+        let handle = std::thread::Builder::new()
+            .name("t2v-event".to_string())
+            .spawn(move || run_loop(&shared, listener, poller, &loop_reactor))?;
+        Ok(EventDriver {
+            reactor,
+            handle: Some(handle),
+        })
+    }
+
+    /// Wake the loop (the caller already raised the shutdown flag) and
+    /// wait for the drain to finish.
+    pub(crate) fn shutdown(mut self) {
+        self.reactor.waker.wake();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Everything the per-connection helpers need besides the connection.
+struct Ctx<'a> {
+    shared: &'a Arc<Shared>,
+    poller: &'a Poller,
+    dispatcher: &'a Dispatcher,
+    reactor: &'a Arc<ReactorShared>,
+    max_body: usize,
+    draining: bool,
+}
+
+fn run_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    mut poller: Poller,
+    reactor: &Arc<ReactorShared>,
+) {
+    let config = &shared.state.config;
+    let idle_after = config.effective_conn_idle();
+    let max_connections = config.max_connections;
+    let max_body = config.max_body_bytes;
+    // Every admitted request can park a dispatch thread on a worker-pool
+    // result, so capacity mirrors the pool's in-system bound.
+    let dispatch_threads = (config.effective_shards() * config.queue_capacity
+        + config.effective_workers())
+    .clamp(4, 128);
+    let dispatcher = Dispatcher::spawn(dispatch_threads, Arc::clone(&shared.state.metrics));
+
+    let mut pool = BufferPool::new(16 * 1024, 1024);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut listener_open = true;
+    let mut accept_rearm: Option<Instant> = None;
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let now = Instant::now();
+
+        // -- shutdown entry: stop accepting, close idles, start the drain --
+        if drain_deadline.is_none() && shared.shutdown.load(Ordering::Acquire) {
+            drain_deadline = Some(now + DRAIN_BUDGET);
+            if listener_open {
+                let _ = poller.deregister(listener.as_raw_fd());
+                listener_open = false;
+            }
+            let idle: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.idle())
+                .map(|(&t, _)| t)
+                .collect();
+            for token in idle {
+                close_conn(&mut conns, &poller, &mut pool, shared, token, false);
+            }
+        }
+        if let Some(deadline) = drain_deadline {
+            if conns.is_empty() {
+                break;
+            }
+            if now >= deadline {
+                // Drain budget spent: force-close the stragglers.
+                let all: Vec<u64> = conns.keys().copied().collect();
+                for token in all {
+                    close_conn(&mut conns, &poller, &mut pool, shared, token, false);
+                }
+                break;
+            }
+        }
+
+        // -- re-arm a listener parked on fd exhaustion --
+        if let Some(at) = accept_rearm {
+            if listener_open && now >= at {
+                accept_rearm = None;
+                let _ = poller.modify(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ);
+            }
+        }
+
+        // -- wait --
+        let mut timeout = Duration::from_millis(250);
+        if !conns.is_empty() {
+            timeout = timeout.min((idle_after / 4).max(Duration::from_millis(10)));
+        }
+        if drain_deadline.is_some() {
+            timeout = timeout.min(Duration::from_millis(25));
+        }
+        if let Some(at) = accept_rearm {
+            timeout = timeout.min(at.saturating_duration_since(now));
+        }
+        events.clear();
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            // An unexpected epoll failure is unrecoverable for the loop;
+            // dying quietly beats spinning.
+            break;
+        }
+
+        let ctx = Ctx {
+            shared,
+            poller: &poller,
+            dispatcher: &dispatcher,
+            reactor,
+            max_body,
+            draining: drain_deadline.is_some(),
+        };
+
+        for &ev in &events {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    if !listener_open || ctx.draining {
+                        continue;
+                    }
+                    if accept_burst(
+                        &ctx,
+                        &listener,
+                        &mut conns,
+                        &mut pool,
+                        &mut next_token,
+                        max_connections,
+                    ) {
+                        // fd exhaustion: park the listener, re-arm later.
+                        let _ = poller.modify(listener.as_raw_fd(), TOKEN_LISTENER, Interest::NONE);
+                        accept_rearm = Some(Instant::now() + ACCEPT_BACKOFF);
+                    }
+                }
+                TOKEN_WAKER => reactor.waker.drain(),
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let mut next = Next::Alive;
+                    if ev.hangup || ev.error {
+                        // Both halves gone (or an fd error): nothing useful
+                        // can be read or written any more.
+                        next = Next::Close;
+                    } else {
+                        if ev.read_closed && !conn.rdhup {
+                            conn.rdhup = true;
+                            // Mask RDHUP: level-triggered, it would re-fire
+                            // every tick until the connection resolves.
+                            let want = conn.interest;
+                            conn.interest = Interest::NONE; // force re-apply
+                            set_interest(&ctx, conn, want);
+                        }
+                        if ev.readable || ev.read_closed {
+                            next = on_readable(&ctx, conn, &mut scratch);
+                        }
+                        if next == Next::Alive && ev.writable {
+                            next = pump(&ctx, conn);
+                        }
+                    }
+                    if next == Next::Close {
+                        close_conn(&mut conns, &poller, &mut pool, shared, token, false);
+                    }
+                }
+            }
+        }
+
+        // -- connections whose dispatch jobs produced output or finished --
+        let ready = std::mem::take(&mut *reactor.ready.lock().expect("ready list poisoned"));
+        for token in ready {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if pump(&ctx, conn) == Next::Close {
+                close_conn(&mut conns, &poller, &mut pool, shared, token, false);
+            }
+        }
+
+        // -- idle reaping: keep-alive peers gone quiet, slow-loris drips --
+        if drain_deadline.is_none() {
+            let now = Instant::now();
+            let expired: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.idle() && now.duration_since(c.last_activity) >= idle_after)
+                .map(|(&t, _)| t)
+                .collect();
+            for token in expired {
+                close_conn(&mut conns, &poller, &mut pool, shared, token, true);
+            }
+        }
+    }
+
+    drop(listener);
+    dispatcher.shutdown();
+}
+
+/// Accept until the listener runs dry. Returns true when the listener
+/// must be parked (fd exhaustion).
+fn accept_burst(
+    ctx: &Ctx<'_>,
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Conn>,
+    pool: &mut BufferPool,
+    next_token: &mut u64,
+    max_connections: usize,
+) -> bool {
+    let metrics = &ctx.shared.state.metrics;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) => {
+                metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                if fd_exhausted(&e) {
+                    return true;
+                }
+                // Transient (ECONNABORTED and friends): keep accepting.
+                continue;
+            }
+        };
+        metrics.connections_total.fetch_add(1, Ordering::Relaxed);
+        let active = metrics.connections_active.fetch_add(1, Ordering::AcqRel) + 1;
+        if active as usize > max_connections {
+            // Shed with canned bytes, same as the threaded acceptor.
+            let mut s = stream;
+            let _ = s.write_all(http::overload_response_bytes());
+            metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = *next_token;
+        *next_token += 1;
+        if ctx
+            .poller
+            .register(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
+        conns.insert(
+            token,
+            Conn {
+                stream,
+                token,
+                state: ConnState::Reading,
+                inbuf: pool.take(),
+                out: ConnOut::new(),
+                t0: None,
+                last_activity: Instant::now(),
+                peer_eof: false,
+                rdhup: false,
+                interest: Interest::READ,
+            },
+        );
+    }
+}
+
+fn set_interest(ctx: &Ctx<'_>, conn: &mut Conn, want: Interest) {
+    let want = if conn.rdhup { want.no_rdhup() } else { want };
+    if want == conn.interest {
+        return;
+    }
+    if ctx
+        .poller
+        .modify(conn.stream.as_raw_fd(), conn.token, want)
+        .is_ok()
+    {
+        conn.interest = want;
+    }
+}
+
+/// Drain the socket into the connection's input buffer, then try to make
+/// parse progress.
+fn on_readable(ctx: &Ctx<'_>, conn: &mut Conn, scratch: &mut [u8]) -> Next {
+    if !conn.idle() {
+        // Interest is parked while a request executes; a stray readiness
+        // report (or RDHUP delivery) changes nothing here.
+        return Next::Alive;
+    }
+    while conn.inbuf.len() < SOFT_IN_CAP {
+        match (&conn.stream).read(scratch) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                conn.inbuf.extend_from_slice(&scratch[..n]);
+                if n < scratch.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Next::Close,
+        }
+    }
+    try_advance(ctx, conn)
+}
+
+/// Parse progress on `Reading`/`KeepAlive` connections: dispatch a
+/// complete request, answer a malformed one, map peer-EOF onto the
+/// blocking reader's truncation semantics, or keep waiting.
+fn try_advance(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
+    if !conn.idle() {
+        return Next::Alive;
+    }
+    if !conn.inbuf.is_empty() && conn.t0.is_none() {
+        // The trace clock starts at the first byte of each request —
+        // the same stamp the threaded driver takes after `fill_buf`.
+        conn.t0 = Some(Instant::now());
+    }
+    match http::parse_request(&conn.inbuf, ctx.max_body) {
+        Parse::Complete(req, consumed) => {
+            conn.inbuf.drain(..consumed);
+            let t0 = conn.t0.take().unwrap_or_else(Instant::now);
+            let read_dur = t0.elapsed();
+            conn.state = ConnState::Dispatched;
+            set_interest(ctx, conn, Interest::NONE);
+            let writer =
+                ConnWriter::new(Arc::clone(&conn.out), Arc::clone(ctx.reactor), conn.token);
+            let shared = Arc::clone(ctx.shared);
+            shared.dispatch_depth.fetch_add(1, Ordering::Relaxed);
+            ctx.dispatcher.submit(Box::new(move || {
+                shared.dispatch_depth.fetch_sub(1, Ordering::Relaxed);
+                let mut writer = writer;
+                let keep = handle_request(&shared, &req, t0, read_dur, &mut writer);
+                writer.finish(keep);
+            }));
+            Next::Alive
+        }
+        Parse::NeedHead if conn.peer_eof => {
+            if conn.inbuf.is_empty() {
+                // Clean EOF between requests — the threaded driver's
+                // silent-close path.
+                Next::Close
+            } else {
+                // Truncated head: answer the exact 400 the blocking
+                // reader produces at EOF, then close.
+                let err = http::truncation_error(&conn.inbuf);
+                let mut bytes: Vec<u8> = Vec::new();
+                write_read_error(ctx.shared, &err, &mut bytes);
+                queue_error_close(ctx, conn, bytes)
+            }
+        }
+        // A short body at EOF is a transport error in the blocking
+        // reader — no response, just a hangup.
+        Parse::NeedBody if conn.peer_eof => Next::Close,
+        Parse::NeedHead | Parse::NeedBody => {
+            conn.state = ConnState::Reading;
+            set_interest(ctx, conn, Interest::READ);
+            Next::Alive
+        }
+        Parse::Err(err) => {
+            let mut bytes: Vec<u8> = Vec::new();
+            write_read_error(ctx.shared, &err, &mut bytes);
+            queue_error_close(ctx, conn, bytes)
+        }
+    }
+}
+
+/// Queue pre-rendered error bytes and seal the connection for close —
+/// the loop-thread equivalent of `write_read_error` + return.
+fn queue_error_close(ctx: &Ctx<'_>, conn: &mut Conn, bytes: Vec<u8>) -> Next {
+    {
+        let mut st = conn.out.state.lock().expect("conn out poisoned");
+        st.bytes += bytes.len();
+        st.segs.push_back(Seg::Owned(bytes));
+        st.done = Some(false);
+    }
+    conn.state = ConnState::Writing;
+    pump(ctx, conn)
+}
+
+/// Push queued output at the socket with vectored writes; on completion,
+/// apply the keep-alive verdict (and immediately try any pipelined
+/// follower already buffered).
+fn pump(ctx: &Ctx<'_>, conn: &mut Conn) -> Next {
+    loop {
+        let mut st = conn.out.state.lock().expect("conn out poisoned");
+        if st.segs.is_empty() {
+            // Consumed, not read: the verdict belongs to exactly one
+            // request — a follower on the same connection starts clean.
+            let done = st.done.take();
+            drop(st);
+            match done {
+                None => {
+                    // Still executing (a stream mid-relay, or the job has
+                    // not finished); nothing to write right now.
+                    if conn.state == ConnState::Dispatched {
+                        set_interest(ctx, conn, Interest::NONE);
+                    }
+                    return Next::Alive;
+                }
+                Some(keep) => {
+                    if !keep || ctx.draining || ctx.shared.shutdown.load(Ordering::Acquire) {
+                        return Next::Close;
+                    }
+                    conn.state = ConnState::KeepAlive;
+                    conn.t0 = None;
+                    conn.last_activity = Instant::now();
+                    set_interest(ctx, conn, Interest::READ);
+                    // A pipelined follower may already be buffered.
+                    return try_advance(ctx, conn);
+                }
+            }
+        }
+        if conn.state == ConnState::Dispatched && st.done.is_some() {
+            conn.state = ConnState::Writing;
+        }
+        let written = {
+            let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(st.segs.len().min(MAX_IOVECS));
+            for (i, seg) in st.segs.iter().take(MAX_IOVECS).enumerate() {
+                let bytes = seg.as_slice();
+                iov.push(IoSlice::new(if i == 0 {
+                    &bytes[st.front_written..]
+                } else {
+                    bytes
+                }));
+            }
+            (&conn.stream).write_vectored(&iov)
+        };
+        match written {
+            Ok(0) => return Next::Close,
+            Ok(mut n) => {
+                st.bytes -= n;
+                while n > 0 {
+                    let front_left = st.segs[0].as_slice().len() - st.front_written;
+                    if n >= front_left {
+                        n -= front_left;
+                        st.segs.pop_front();
+                        st.front_written = 0;
+                    } else {
+                        st.front_written += n;
+                        n = 0;
+                    }
+                }
+                drop(st);
+                // Room freed below the high-water mark: unblock the writer.
+                conn.out.cv.notify_all();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                drop(st);
+                let want = if conn.idle() {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::WRITE
+                };
+                set_interest(ctx, conn, want);
+                return Next::Alive;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Next::Close,
+        }
+    }
+}
+
+/// Tear one connection down: out of epoll, out of the map, buffer back to
+/// the pool, writers unblocked with an error, gauge decremented.
+fn close_conn(
+    conns: &mut HashMap<u64, Conn>,
+    poller: &Poller,
+    pool: &mut BufferPool,
+    shared: &Arc<Shared>,
+    token: u64,
+    reaped: bool,
+) {
+    let Some(conn) = conns.remove(&token) else {
+        return;
+    };
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+    {
+        let mut st = conn.out.state.lock().expect("conn out poisoned");
+        st.closed = true;
+        st.segs.clear();
+        st.bytes = 0;
+    }
+    conn.out.cv.notify_all();
+    pool.put(conn.inbuf);
+    let metrics = &shared.state.metrics;
+    if reaped {
+        metrics.conn_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+    metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+    // `conn.stream` drops here, closing the fd.
+}

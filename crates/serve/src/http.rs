@@ -129,6 +129,159 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Reques
     })
 }
 
+/// Outcome of one [`parse_request`] attempt over a byte buffer.
+pub enum Parse {
+    /// A complete request, plus the number of buffer bytes it consumed
+    /// (pipelined followers start at that offset).
+    Complete(Box<Request>, usize),
+    /// The buffer holds only a prefix of the head — read more.
+    NeedHead,
+    /// The head is complete but the declared body is still short.
+    NeedBody,
+    /// Unrecoverable: [`ReadError::Malformed`] or [`ReadError::BodyTooLarge`]
+    /// (never `Closed`/`Io` — the caller owns the transport).
+    Err(ReadError),
+}
+
+/// Incremental twin of [`read_request`]: parse one request out of `buf`
+/// without consuming it, for readiness-driven transports that accumulate
+/// bytes as they arrive. Semantics are bit-for-bit those of the blocking
+/// reader — same head budget, same line handling (CRLF or bare LF, all
+/// trailing terminators stripped), same `Content-Length`-only bodies, same
+/// error strings — so a request stream parses identically whichever driver
+/// fields it. The one necessary divergence: where the blocking reader can
+/// only discover truncation at EOF, this parser reports `NeedHead`/
+/// `NeedBody` and lets the caller map peer-EOF onto the matching
+/// [`ReadError`] via [`truncation_error`].
+pub fn parse_request(buf: &[u8], max_body: usize) -> Parse {
+    let mut pos = 0usize;
+    let mut head_bytes = 0usize;
+
+    let request_line = match parse_line(buf, &mut pos, &mut head_bytes) {
+        Ok(Some(line)) => line,
+        Ok(None) => return Parse::NeedHead,
+        Err(p) => return p,
+    };
+    let request_line = match std::str::from_utf8(request_line) {
+        Ok(s) => s,
+        Err(_) => return Parse::Err(ReadError::Malformed("non-UTF-8 request line")),
+    };
+    let mut parts = request_line.split(' ');
+    let method = match parts.next().filter(|m| !m.is_empty()) {
+        Some(m) => m.to_string(),
+        None => return Parse::Err(ReadError::Malformed("missing method")),
+    };
+    let Some(target) = parts.next() else {
+        return Parse::Err(ReadError::Malformed("missing target"));
+    };
+    let Some(version) = parts.next() else {
+        return Parse::Err(ReadError::Malformed("missing version"));
+    };
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return Parse::Err(ReadError::Malformed("bad HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match parse_line(buf, &mut pos, &mut head_bytes) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Parse::NeedHead,
+            Err(p) => return p,
+        };
+        if line.is_empty() {
+            break;
+        }
+        let text = match std::str::from_utf8(line) {
+            Ok(t) => t,
+            Err(_) => return Parse::Err(ReadError::Malformed("non-UTF-8 header")),
+        };
+        let Some((name, value)) = text.split_once(':') else {
+            return Parse::Err(ReadError::Malformed("header missing ':'"));
+        };
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let mut content_length = 0usize;
+    if let Some((_, v)) = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+    {
+        content_length = match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Parse::Err(ReadError::Malformed("bad content-length")),
+        };
+    }
+    if content_length > max_body {
+        return Parse::Err(ReadError::BodyTooLarge);
+    }
+    if buf.len() - pos < content_length {
+        return Parse::NeedBody;
+    }
+    let body = buf[pos..pos + content_length].to_vec();
+    Parse::Complete(
+        Box::new(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        }),
+        pos + content_length,
+    )
+}
+
+/// One head line for [`parse_request`]: the terminator-stripped slice plus
+/// cursor/budget advance, or `None` when the buffer ends mid-line. Mirrors
+/// `read_line`, including the budget check firing even when the overlong
+/// line did terminate.
+fn parse_line<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    head_bytes: &mut usize,
+) -> Result<Option<&'a [u8]>, Parse> {
+    match buf[*pos..].iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            let n = i + 1;
+            *head_bytes += n;
+            if *head_bytes > MAX_HEAD_BYTES {
+                return Err(Parse::Err(ReadError::Malformed("request head too large")));
+            }
+            let mut line = &buf[*pos..*pos + i];
+            while matches!(line.last(), Some(b'\n' | b'\r')) {
+                line = &line[..line.len() - 1];
+            }
+            *pos += n;
+            Ok(Some(line))
+        }
+        None => {
+            // No terminator yet. If the unterminated tail already blows the
+            // head budget, no amount of further reading helps.
+            if buf.len() - *pos > MAX_HEAD_BYTES - *head_bytes {
+                return Err(Parse::Err(ReadError::Malformed("request head too large")));
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// The [`ReadError`] the blocking reader would have produced for a peer that
+/// closed after sending `buf` (an incomplete request). Mid-head truncation
+/// at a line boundary is "truncated request head", mid-line is "truncated
+/// request" — exactly [`read_request`]'s two EOF paths; a short *body* is a
+/// transport-level `Io` error there, which carries no response, so callers
+/// should close silently for [`Parse::NeedBody`] instead of calling this.
+pub fn truncation_error(buf: &[u8]) -> ReadError {
+    if buf.last() == Some(&b'\n') {
+        ReadError::Malformed("truncated request head")
+    } else {
+        ReadError::Malformed("truncated request")
+    }
+}
+
 /// Read one CRLF- (or bare-LF-) terminated line into `buf` (terminator
 /// stripped), enforcing the total head budget. Returns bytes consumed.
 fn read_line(
@@ -266,6 +419,30 @@ impl Response {
     }
 
     pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        self.write_head(w, keep_alive)?;
+        w.write_all(self.body.as_slice())?;
+        w.flush()
+    }
+
+    /// [`Response::write_to`] against a [`BodySink`]: a `Shared` (cached)
+    /// body is handed over as its `Arc` so a zero-copy transport can queue
+    /// the bytes for `writev` without duplicating them. Framing is
+    /// byte-identical to `write_to` by construction (same head writer, same
+    /// body bytes).
+    pub fn write_to_sink<W: BodySink + ?Sized>(
+        &self,
+        w: &mut W,
+        keep_alive: bool,
+    ) -> io::Result<()> {
+        self.write_head(w, keep_alive)?;
+        match &self.body {
+            Body::Owned(v) => w.write_all(v)?,
+            Body::Shared(v) => w.write_shared(v)?,
+        }
+        w.flush()
+    }
+
+    fn write_head(&self, w: &mut (impl Write + ?Sized), keep_alive: bool) -> io::Result<()> {
         write!(
             w,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
@@ -278,11 +455,22 @@ impl Response {
         for (name, value) in &self.headers {
             write!(w, "{name}: {value}\r\n")?;
         }
-        w.write_all(b"\r\n")?;
-        w.write_all(self.body.as_slice())?;
-        w.flush()
+        w.write_all(b"\r\n")
     }
 }
+
+/// A response byte sink: `Write` plus an optional zero-copy lane for shared
+/// (cached) bodies. The default forwards to `write_all` — any blocking
+/// writer gets correct behavior for free; the event-loop transport overrides
+/// it to queue the `Arc` itself for a vectored socket write.
+pub trait BodySink: Write {
+    fn write_shared(&mut self, body: &Arc<Vec<u8>>) -> io::Result<()> {
+        self.write_all(body)
+    }
+}
+
+impl BodySink for std::io::BufWriter<std::net::TcpStream> {}
+impl BodySink for Vec<u8> {}
 
 pub fn status_text(status: u16) -> &'static str {
     match status {
@@ -325,7 +513,11 @@ pub fn overload_response_bytes() -> &'static [u8] {
 /// Write the head of an EOF-delimited streaming response: no
 /// `Content-Length`, `Connection: close` — the body ends when the server
 /// closes the socket. Used for NDJSON stage streaming.
-pub fn write_streaming_head(w: &mut impl Write, status: u16, content_type: &str) -> io::Result<()> {
+pub fn write_streaming_head(
+    w: &mut (impl Write + ?Sized),
+    status: u16,
+    content_type: &str,
+) -> io::Result<()> {
     write!(
         w,
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\n\r\n",
@@ -434,6 +626,138 @@ mod tests {
             .unwrap();
         assert_eq!(body.len(), announced);
         t2v_engine::Json::parse(body).unwrap();
+    }
+
+    #[test]
+    fn incremental_parser_agrees_with_blocking_reader() {
+        // Every shape the blocking tests exercise, plus a keep-alive pair:
+        // the two parsers must agree on outcome (and on the parsed request,
+        // when there is one) for identical byte streams.
+        let cases: &[&[u8]] = &[
+            b"POST /translate?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\nabcd",
+            b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+            b"GET /a HTTP/1.1\n\n", // bare-LF line endings
+            b"GARBAGE\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+            b"\r\nGET /x HTTP/1.1\r\n\r\n", // empty request line
+        ];
+        for raw in cases {
+            let blocking = read_request(&mut BufReader::new(*raw), 1024);
+            match (parse_request(raw, 1024), blocking) {
+                (Parse::Complete(req, consumed), Ok(b)) => {
+                    assert_eq!(*req, b, "{:?}", String::from_utf8_lossy(raw));
+                    assert!(consumed <= raw.len());
+                }
+                (Parse::Err(ReadError::Malformed(a)), Err(ReadError::Malformed(b))) => {
+                    assert_eq!(a, b, "{:?}", String::from_utf8_lossy(raw));
+                }
+                (Parse::Err(ReadError::BodyTooLarge), Err(ReadError::BodyTooLarge)) => {}
+                (got, want) => panic!(
+                    "parser disagreement on {:?}: incremental {:?} vs blocking {:?}",
+                    String::from_utf8_lossy(raw),
+                    match got {
+                        Parse::Complete(..) => "Complete",
+                        Parse::NeedHead => "NeedHead",
+                        Parse::NeedBody => "NeedBody",
+                        Parse::Err(_) => "Err",
+                    },
+                    want.map(|r| r.path)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_needs_more_at_every_prefix() {
+        let raw: &[u8] =
+            b"POST /v1/translate HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 5\r\n\r\nhello";
+        let head_end = raw.len() - 5;
+        for cut in 0..raw.len() {
+            match parse_request(&raw[..cut], 1024) {
+                Parse::NeedHead => assert!(cut < head_end, "NeedHead after head at {cut}"),
+                Parse::NeedBody => assert!(cut >= head_end, "NeedBody inside head at {cut}"),
+                Parse::Complete(..) => panic!("complete on a strict prefix at {cut}"),
+                Parse::Err(_) => panic!("prefix must never be an error at {cut}"),
+            }
+        }
+        let Parse::Complete(req, consumed) = parse_request(raw, 1024) else {
+            panic!("full request must parse");
+        };
+        assert_eq!(req.body, b"hello");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn incremental_parser_leaves_pipelined_followers() {
+        let raw: &[u8] =
+            b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n";
+        let mut pos = 0;
+        let mut paths = Vec::new();
+        while pos < raw.len() {
+            match parse_request(&raw[pos..], 64) {
+                Parse::Complete(req, consumed) => {
+                    paths.push(req.path.clone());
+                    pos += consumed;
+                }
+                _ => panic!("expected a complete request at {pos}"),
+            }
+        }
+        assert_eq!(paths, ["/a", "/b", "/c"]);
+    }
+
+    #[test]
+    fn incremental_parser_enforces_head_budget_without_newline() {
+        // An attacker streaming an endless request line must be rejected as
+        // soon as the budget is blown, not buffered forever.
+        let mut raw = vec![b'A'; MAX_HEAD_BYTES + 2];
+        raw[0] = b'G';
+        assert!(matches!(
+            parse_request(&raw, 1024),
+            Parse::Err(ReadError::Malformed("request head too large"))
+        ));
+        // Just under budget with no newline: still waiting.
+        assert!(matches!(
+            parse_request(&raw[..MAX_HEAD_BYTES], 1024),
+            Parse::NeedHead
+        ));
+    }
+
+    #[test]
+    fn truncation_error_matches_blocking_eof_semantics() {
+        // EOF at a line boundary == "truncated request head" (read_line saw
+        // a clean 0-byte read); EOF mid-line == "truncated request".
+        let at_boundary = b"GET /x HTTP/1.1\r\nHost: x\r\n";
+        let blocking = read_request(&mut BufReader::new(at_boundary.as_slice()), 64);
+        let (ReadError::Malformed(want), ReadError::Malformed(got)) =
+            (blocking.unwrap_err(), truncation_error(at_boundary))
+        else {
+            panic!("both must be malformed");
+        };
+        assert_eq!(want, got);
+
+        let mid_line = b"GET /x HT";
+        let blocking = read_request(&mut BufReader::new(mid_line.as_slice()), 64);
+        let (ReadError::Malformed(want), ReadError::Malformed(got)) =
+            (blocking.unwrap_err(), truncation_error(mid_line))
+        else {
+            panic!("both must be malformed");
+        };
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn sink_write_matches_plain_write() {
+        let resp = Response::json(200, Arc::new(b"{\"ok\": true}".to_vec()))
+            .with_header("x-t2v-cache", "hit");
+        let mut plain = Vec::new();
+        resp.write_to(&mut plain, true).unwrap();
+        let mut sunk = Vec::new();
+        resp.write_to_sink(&mut sunk, true).unwrap();
+        assert_eq!(plain, sunk);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod batch;
 pub mod breaker;
 pub mod cache;
 pub mod config;
+pub mod event;
 pub mod http;
 pub mod metrics;
 pub mod pool;

@@ -247,6 +247,12 @@ pub struct Metrics {
     pub rejected: AtomicU64,
     pub connections_total: AtomicU64,
     pub connections_active: AtomicU64,
+    /// Keep-alive connections closed by the idle reaper (event driver) or
+    /// a socket read timeout (threaded driver).
+    pub conn_reaped: AtomicU64,
+    /// `accept(2)` failures (EMFILE/ENFILE fd exhaustion, aborted
+    /// handshakes); the acceptor backs off instead of spinning.
+    pub accept_errors: AtomicU64,
     /// Jobs currently queued in the worker pool (all shards).
     pub queue_depth: AtomicU64,
     /// Jobs that panicked inside a worker (caught; the worker survived and
@@ -300,6 +306,8 @@ impl Metrics {
             rejected: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             connections_active: AtomicU64::new(0),
+            conn_reaped: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
@@ -455,6 +463,25 @@ impl Metrics {
                 "gauge",
                 "Connections currently open.",
                 &self.connections_active,
+            ),
+            (
+                "t2v_open_connections",
+                "gauge",
+                "Connections currently open (alias of t2v_connections_active \
+                 for event-driver dashboards).",
+                &self.connections_active,
+            ),
+            (
+                "t2v_conn_reaped_total",
+                "counter",
+                "Connections closed by the idle-timeout reaper.",
+                &self.conn_reaped,
+            ),
+            (
+                "t2v_accept_errors_total",
+                "counter",
+                "accept(2) failures (fd exhaustion, aborted handshakes).",
+                &self.accept_errors,
             ),
             (
                 "t2v_queue_depth",

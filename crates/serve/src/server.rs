@@ -19,15 +19,16 @@ use crate::access_log::AccessLog;
 use crate::batch::{BatchRetriever, Batcher};
 use crate::breaker::{Admission, BreakerConfig, CircuitBreaker};
 use crate::cache::ShardedTtlLruCache;
+use crate::config::NetMode;
 use crate::config::{AnnMode, ConfigError, LegacyRoute, ServeConfig};
-use crate::http::{self, Request, Response};
+use crate::http::{self, BodySink, Request, Response};
 use crate::metrics::{Metrics, Route, TenantMetrics};
 use crate::pool::{OneShot, SubmitError, WorkerPool};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -877,11 +878,23 @@ pub fn translate_body(
     render_translation(backend_id, nlq_normalized, entry, want_vegalite, &result)
 }
 
-/// What connection threads share.
-struct Shared {
-    state: Arc<ServerState>,
-    pool: WorkerPool,
-    shutdown: AtomicBool,
+/// What both connection drivers — the thread-per-connection loop and the
+/// epoll event loop — share with every in-flight request.
+pub(crate) struct Shared {
+    pub(crate) state: Arc<ServerState>,
+    pub(crate) pool: WorkerPool,
+    pub(crate) shutdown: AtomicBool,
+    /// Requests parsed by the event loop but not yet picked up by a
+    /// dispatch thread (0 under the threaded driver). Surfaced in
+    /// `/v1/admin/status` as the accept-side queue depth.
+    pub(crate) dispatch_depth: AtomicU64,
+}
+
+/// The transport serving the listener: the classic thread-per-connection
+/// acceptor, or the epoll event loop (`net=event`, the default).
+enum Driver {
+    Threaded(JoinHandle<()>),
+    Event(crate::event::EventDriver),
 }
 
 /// A running server. Bind with [`Server::spawn`]; stop with
@@ -889,7 +902,7 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     batcher: Option<Batcher>,
-    acceptor: Option<JoinHandle<()>>,
+    driver: Option<Driver>,
     addr: SocketAddr,
 }
 
@@ -960,18 +973,27 @@ impl Server {
             state,
             pool,
             shutdown: AtomicBool::new(false),
+            dispatch_depth: AtomicU64::new(0),
         });
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("t2v-acceptor".to_string())
-                .spawn(move || accept_loop(&shared, listener))
-                .expect("spawn acceptor thread")
+        let driver = match shared.state.config.net {
+            NetMode::Threaded => {
+                let shared = Arc::clone(&shared);
+                Driver::Threaded(
+                    std::thread::Builder::new()
+                        .name("t2v-acceptor".to_string())
+                        .spawn(move || accept_loop(&shared, listener))
+                        .expect("spawn acceptor thread"),
+                )
+            }
+            NetMode::Event => Driver::Event(crate::event::EventDriver::spawn(
+                Arc::clone(&shared),
+                listener,
+            )?),
         };
         Ok(Server {
             shared,
             batcher,
-            acceptor: Some(acceptor),
+            driver: Some(driver),
             addr,
         })
     }
@@ -986,13 +1008,20 @@ impl Server {
     }
 
     /// Orderly stop: close the listener, drain the pool, stop the batcher.
-    /// Open keep-alive connections die on their next read timeout.
+    /// Under the threaded driver open keep-alive connections die on their
+    /// next read timeout; the event driver drains in-flight requests (idle
+    /// sockets close immediately, busy ones finish their response) before
+    /// its loop exits.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        // Poke the acceptor out of its blocking accept().
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
+        match self.driver.take() {
+            Some(Driver::Threaded(h)) => {
+                // Poke the acceptor out of its blocking accept().
+                let _ = TcpStream::connect(self.addr);
+                let _ = h.join();
+            }
+            Some(Driver::Event(driver)) => driver.shutdown(),
+            None => {}
         }
         self.shared.pool.shutdown();
         if let Some(b) = self.batcher.take() {
@@ -1001,13 +1030,32 @@ impl Server {
     }
 }
 
+/// Accept failures that mean *we* (or the host) ran out of file
+/// descriptors. Retrying immediately cannot succeed — the listener stays
+/// readable with the pending connection still queued — so without a pause
+/// the loop spins at 100% CPU exactly when the box is saturated.
+pub(crate) fn fd_exhausted(err: &std::io::Error) -> bool {
+    matches!(err.raw_os_error(), Some(libc_emfile) if libc_emfile == 24 || libc_emfile == 23)
+}
+
 fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let Ok(stream) = stream else { continue };
         let metrics = &shared.state.metrics;
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(err) => {
+                metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+                if fd_exhausted(&err) {
+                    // EMFILE/ENFILE: back off until existing connections
+                    // release fds instead of spinning on a hot listener.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                continue;
+            }
+        };
         metrics.connections_total.fetch_add(1, Ordering::Relaxed);
         let active = metrics.connections_active.fetch_add(1, Ordering::AcqRel) + 1;
         if active as usize > shared.state.config.max_connections {
@@ -1018,6 +1066,10 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
             metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
             continue;
         }
+        // Cloned up front: if the thread spawn fails the stream is gone
+        // (moved into the dropped closure), and the peer deserves a 503
+        // rather than a silent hangup.
+        let reply_half = stream.try_clone();
         let shared = Arc::clone(shared);
         let spawned = std::thread::Builder::new()
             .name("t2v-conn".to_string())
@@ -1030,7 +1082,13 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
                     .fetch_sub(1, Ordering::AcqRel);
             });
         if spawned.is_err() {
+            // Thread exhaustion is overload like any other: shed loudly.
+            metrics.accept_errors.fetch_add(1, Ordering::Relaxed);
+            metrics.rejected.fetch_add(1, Ordering::Relaxed);
             metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+            if let Ok(mut s) = reply_half {
+                let _ = s.write_all(http::overload_response_bytes());
+            }
         }
     }
 }
@@ -1066,112 +1124,135 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
         let req = match http::read_request(&mut reader, max_body) {
             Ok(req) => req,
             Err(http::ReadError::Closed) | Err(http::ReadError::Io(_)) => return,
-            Err(http::ReadError::Malformed(why)) => {
-                let resp = Response::error(400, why);
-                shared.state.metrics.record_request(Route::Other, 400);
-                let _ = resp.write_to(&mut writer, false);
-                return;
-            }
-            Err(http::ReadError::BodyTooLarge) => {
-                let resp = Response::error(413, "request body too large");
-                shared.state.metrics.record_request(Route::Other, 413);
-                let _ = resp.write_to(&mut writer, false);
+            Err(err) => {
+                write_read_error(shared, &err, &mut writer);
                 return;
             }
         };
         let read_dur = t0.elapsed();
+        if !handle_request(shared, &req, t0, read_dur, &mut writer) {
+            return;
+        }
+    }
+}
 
-        // Trace setup (DESIGN.md §12). Every request gets an id (it rides
-        // the `x-t2v-trace-id` header regardless); spans are recorded only
-        // when something could consume them — the client forced it, the
-        // sampler hit, the slow/error override is armed, or the access log
-        // needs per-stage timings. With `trace_sample=0
-        // trace_force_slow_ms=0` and no access log, the whole machinery is
-        // id generation plus no-op guards.
-        let config = &shared.state.config;
-        let force = req
-            .header("x-t2v-trace")
-            .is_some_and(|v| v.trim() == "1" || v.trim().eq_ignore_ascii_case("true"));
-        let trace_id = t2v_trace::new_trace_id();
-        let sampled =
-            config.trace_sample > 0.0 && t2v_trace::sample_hit(trace_id, config.trace_sample);
-        let record = force
-            || sampled
-            || (config.trace_force_slow_ms > 0 && shared.state.recorder.is_some())
-            || shared.state.access_log.is_some();
-        let trace = Trace::start_at(trace_id, record, t0);
-        trace.add_span(Stage::ConnRead, t0, read_dur);
-        let scope = trace.scope();
+/// Answer an unreadable request (the driver-independent half of read-error
+/// handling): a 400 for a malformed head, a 413 for an oversized body,
+/// counted under `Route::Other`. `Closed`/`Io` errors never reach here —
+/// both drivers hang up silently on those.
+pub(crate) fn write_read_error<W: BodySink + ?Sized>(
+    shared: &Shared,
+    err: &http::ReadError,
+    writer: &mut W,
+) {
+    let (status, message): (u16, &str) = match err {
+        http::ReadError::Malformed(why) => (400, why),
+        http::ReadError::BodyTooLarge => (413, "request body too large"),
+        http::ReadError::Closed | http::ReadError::Io(_) => return,
+    };
+    let resp = Response::error(status, message);
+    shared.state.metrics.record_request(Route::Other, status);
+    let _ = resp.write_to_sink(writer, false);
+}
 
-        let keep = !req.wants_close();
-        let (route, handled) = respond(shared, &req, &mut writer);
-        match handled {
-            Handled::Reply(resp) => {
-                // Chaos seam: a `conn.write_stall` fault delays the response
-                // write, modelling a peer (or proxy) draining us slowly.
-                t2v_fault::inject_delay(t2v_fault::FaultPoint::ConnWriteStall);
-                shared.state.metrics.record_request(route, resp.status);
-                // Seal the trace before writing: request-level fields come
-                // off the response itself (headers the endpoints already
-                // set), and the inline tree — when the client asked for it
-                // — must ride in this very body. The `resp.write` span is
-                // appended to the sealed trace after the write (it cannot
-                // be inside a body that is being written), so the recorder
-                // and access log see it; the inline copy does not.
-                drop(scope);
-                let tenant = request_tenant(&req.path);
-                let backend = resp_header(&resp, "x-t2v-backend").unwrap_or("");
-                let cache = resp_header(&resp, "x-t2v-cache").unwrap_or("bypass");
-                let degraded = resp_header(&resp, "x-t2v-degraded");
-                let mut finished = trace.finish(resp.status, tenant, backend, cache, degraded);
-                let mut resp = resp.with_header("x-t2v-trace-id", t2v_trace::format_id(trace_id));
+/// Serve one parsed request end to end — trace setup, routing, response
+/// write, trace publication — and say whether the connection may carry
+/// another. Both connection drivers funnel through this one function,
+/// which is what keeps their response bytes identical by construction.
+pub(crate) fn handle_request<W: BodySink + ?Sized>(
+    shared: &Shared,
+    req: &Request,
+    t0: Instant,
+    read_dur: Duration,
+    writer: &mut W,
+) -> bool {
+    // Trace setup (DESIGN.md §12). Every request gets an id (it rides
+    // the `x-t2v-trace-id` header regardless); spans are recorded only
+    // when something could consume them — the client forced it, the
+    // sampler hit, the slow/error override is armed, or the access log
+    // needs per-stage timings. With `trace_sample=0
+    // trace_force_slow_ms=0` and no access log, the whole machinery is
+    // id generation plus no-op guards.
+    let config = &shared.state.config;
+    let force = req
+        .header("x-t2v-trace")
+        .is_some_and(|v| v.trim() == "1" || v.trim().eq_ignore_ascii_case("true"));
+    let trace_id = t2v_trace::new_trace_id();
+    let sampled = config.trace_sample > 0.0 && t2v_trace::sample_hit(trace_id, config.trace_sample);
+    let record = force
+        || sampled
+        || (config.trace_force_slow_ms > 0 && shared.state.recorder.is_some())
+        || shared.state.access_log.is_some();
+    let trace = Trace::start_at(trace_id, record, t0);
+    trace.add_span(Stage::ConnRead, t0, read_dur);
+    let scope = trace.scope();
+
+    let keep = !req.wants_close();
+    let (route, handled) = respond(shared, req, writer);
+    match handled {
+        Handled::Reply(resp) => {
+            // Chaos seam: a `conn.write_stall` fault delays the response
+            // write, modelling a peer (or proxy) draining us slowly.
+            t2v_fault::inject_delay(t2v_fault::FaultPoint::ConnWriteStall);
+            shared.state.metrics.record_request(route, resp.status);
+            // Seal the trace before writing: request-level fields come
+            // off the response itself (headers the endpoints already
+            // set), and the inline tree — when the client asked for it
+            // — must ride in this very body. The `resp.write` span is
+            // appended to the sealed trace after the write (it cannot
+            // be inside a body that is being written), so the recorder
+            // and access log see it; the inline copy does not.
+            drop(scope);
+            let tenant = request_tenant(&req.path);
+            let backend = resp_header(&resp, "x-t2v-backend").unwrap_or("");
+            let cache = resp_header(&resp, "x-t2v-cache").unwrap_or("bypass");
+            let degraded = resp_header(&resp, "x-t2v-degraded");
+            let mut finished = trace.finish(resp.status, tenant, backend, cache, degraded);
+            let mut resp = resp.with_header("x-t2v-trace-id", t2v_trace::format_id(trace_id));
+            if force {
+                if let Some(f) = &finished {
+                    if resp.content_type.starts_with("application/json") {
+                        resp.body = splice_trace(resp.body.as_slice(), f).into();
+                    }
+                }
+            }
+            let wstart = Instant::now();
+            let ok = resp.write_to_sink(writer, keep);
+            if let Some(f) = &mut finished {
+                let wdur = wstart.elapsed();
+                f.spans.push(t2v_trace::Span {
+                    stage: Stage::Write,
+                    start_ns: wstart.duration_since(t0).as_nanos() as u64,
+                    dur_ns: wdur.as_nanos() as u64,
+                    parent: Some(0),
+                    notes: Vec::new(),
+                });
+                f.total_ns = t0.elapsed().as_nanos() as u64;
+                f.spans[0].dur_ns = f.total_ns;
+            }
+            if let Some(f) = finished {
+                publish_trace(shared, req, force, sampled, f);
+            }
+            ok.is_ok() && keep
+        }
+        // The endpoint already wrote an EOF-delimited streaming body;
+        // the connection closes to mark the end of the stream. A traced
+        // stream gets its span tree as one final NDJSON line.
+        Handled::Streamed(status) => {
+            shared.state.metrics.record_request(route, status);
+            drop(scope);
+            let tenant = request_tenant(&req.path);
+            if let Some(f) = trace.finish(status, tenant, "", "bypass", None) {
                 if force {
-                    if let Some(f) = &finished {
-                        if resp.content_type.starts_with("application/json") {
-                            resp.body = splice_trace(resp.body.as_slice(), f).into();
-                        }
-                    }
+                    let line = Json::obj([("trace", trace_json(&f))]).compact();
+                    let _ = writer
+                        .write_all(line.as_bytes())
+                        .and_then(|_| writer.write_all(b"\n"))
+                        .and_then(|_| writer.flush());
                 }
-                let wstart = Instant::now();
-                let ok = resp.write_to(&mut writer, keep);
-                if let Some(f) = &mut finished {
-                    let wdur = wstart.elapsed();
-                    f.spans.push(t2v_trace::Span {
-                        stage: Stage::Write,
-                        start_ns: wstart.duration_since(t0).as_nanos() as u64,
-                        dur_ns: wdur.as_nanos() as u64,
-                        parent: Some(0),
-                        notes: Vec::new(),
-                    });
-                    f.total_ns = t0.elapsed().as_nanos() as u64;
-                    f.spans[0].dur_ns = f.total_ns;
-                }
-                if let Some(f) = finished {
-                    publish_trace(shared, &req, force, sampled, f);
-                }
-                if ok.is_err() || !keep {
-                    return;
-                }
+                publish_trace(shared, req, force, sampled, f);
             }
-            // The endpoint already wrote an EOF-delimited streaming body;
-            // the connection closes to mark the end of the stream. A traced
-            // stream gets its span tree as one final NDJSON line.
-            Handled::Streamed(status) => {
-                shared.state.metrics.record_request(route, status);
-                drop(scope);
-                let tenant = request_tenant(&req.path);
-                if let Some(f) = trace.finish(status, tenant, "", "bypass", None) {
-                    if force {
-                        let line = Json::obj([("trace", trace_json(&f))]).compact();
-                        let _ = writer
-                            .write_all(line.as_bytes())
-                            .and_then(|_| writer.write_all(b"\n"))
-                            .and_then(|_| writer.flush());
-                    }
-                    publish_trace(shared, &req, force, sampled, f);
-                }
-                return;
-            }
+            false
         }
     }
 }
@@ -1247,7 +1328,11 @@ enum Handled {
 /// answered on the connection thread; translation misses go through the
 /// worker pool. Tenant-scoped traffic lives under `/v1/t/{tenant}/...`
 /// (same sub-routes as the default tenant's unprefixed `/v1/*`).
-fn respond(shared: &Shared, req: &Request, writer: &mut BufWriter<TcpStream>) -> (Route, Handled) {
+fn respond<W: BodySink + ?Sized>(
+    shared: &Shared,
+    req: &Request,
+    writer: &mut W,
+) -> (Route, Handled) {
     let reply = |route: Route, resp: Response| (route, Handled::Reply(resp));
     // Tenant-scoped routes first: /v1/t/{tenant}/{sub}.
     if let Some(rest) = req.path.strip_prefix("/v1/t/") {
@@ -1555,6 +1640,29 @@ fn admin_status(shared: &Shared) -> Response {
                 (
                     "queue_capacity",
                     Json::Num(state.config.queue_capacity as f64),
+                ),
+            ]),
+        ),
+        (
+            "connections",
+            Json::obj([
+                ("net", Json::str(state.config.net.label())),
+                (
+                    "open",
+                    Json::Num(state.metrics.connections_active.load(Ordering::Relaxed) as f64),
+                ),
+                ("max", Json::Num(state.config.max_connections as f64)),
+                (
+                    "reaped",
+                    Json::Num(state.metrics.conn_reaped.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "accept_errors",
+                    Json::Num(state.metrics.accept_errors.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "dispatch_queue_depth",
+                    Json::Num(shared.dispatch_depth.load(Ordering::Relaxed) as f64),
                 ),
             ]),
         ),
@@ -2177,10 +2285,10 @@ fn submit_translation(
 
 /// `POST /v1/translate` (and `/v1/t/{tenant}/translate`) — single
 /// translation against `tenant`, optionally streamed.
-fn translate_endpoint(
+fn translate_endpoint<W: BodySink + ?Sized>(
     shared: &Shared,
     req: &Request,
-    writer: &mut BufWriter<TcpStream>,
+    writer: &mut W,
     tenant: &Arc<TenantRuntime>,
 ) -> (Route, Handled) {
     let started = Instant::now();
@@ -2404,10 +2512,10 @@ fn gred_fallback(shared: &Shared, item: &Item, deadline: Option<Instant>) -> Opt
 /// response object as the final line. EOF-delimited: the connection closes
 /// when the stream ends. Bypasses the cache read path (a cached body has no
 /// stages left to stream) but still populates the cache for later requests.
-fn stream_endpoint(
+fn stream_endpoint<W: BodySink + ?Sized>(
     shared: &Shared,
     item: Item,
-    writer: &mut BufWriter<TcpStream>,
+    writer: &mut W,
     deadline: Option<Instant>,
 ) -> (Route, Handled) {
     let state = &shared.state;
