@@ -25,6 +25,13 @@
 //!   the recorder), reporting the throughput/latency overhead under
 //!   `serving.trace_overhead`; `--trace` runs *only* this axis.
 //!
+//! * **obs** (`--obs`) — the ops-plane tax (DESIGN.md §15): the same
+//!   hot/cold load with the whole ops plane off (`obs_sample_ms=0
+//!   obs_profile_hz=0`) vs fully on (sampler at 250 ms, profiler at 97 Hz,
+//!   three SLOs burning, full tracing so the profiler has stacks to walk),
+//!   reported under `serving.obs_overhead`; the acceptance budget is ≤3%.
+//!   `--obs` runs *only* this axis.
+//!
 //! * **open-loop concurrency** (`--open-loop [--connections N]`) — the
 //!   C10k axis (DESIGN.md §14): N keep-alive connections held open against
 //!   one server while a small bounded set of in-flight requests sweeps
@@ -56,7 +63,7 @@
 //!
 //! Usage: `cargo run --release -p t2v-bench --bin servebench
 //!         [--quick] [--clients N] [--secs S] [--backends a,b]
-//!         [--tenants N] [--chaos] [--trace]
+//!         [--tenants N] [--chaos] [--trace] [--obs]
 //!         [--open-loop] [--connections N] [--out PATH]`
 
 use std::io::{BufRead, BufReader, Write};
@@ -98,6 +105,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let chaos = args.iter().any(|a| a == "--chaos");
     let trace_axis = args.iter().any(|a| a == "--trace");
+    let obs_axis = args.iter().any(|a| a == "--obs");
     let open_loop = args.iter().any(|a| a == "--open-loop");
     let connections: usize = flag(&args, "--connections").unwrap_or(10_000);
     let clients: usize = flag(&args, "--clients").unwrap_or(8);
@@ -211,6 +219,36 @@ fn main() {
             },
         );
         println!("merged serving.trace_overhead section into {out_path}");
+        return;
+    }
+
+    if obs_axis {
+        // The cold arm runs at ~1.5k req/s where run-to-run variance can
+        // exceed the ≤3% budget being measured; extra rounds let the
+        // best-of protocol converge on the true floor of each arm.
+        let rounds = if quick { 2 } else { 5 };
+        // Few closed-loop clients: with N clients queued on one core every
+        // scheduler hiccup is amplified N× into mean latency, and the ±3%
+        // question disappears under ±8% queueing noise. Two clients keep
+        // the server busy while measuring service time, not queue time.
+        let obs_clients = clients.min(2);
+        let report = run_obs_overhead(&corpus, obs_clients, Duration::from_secs(secs), rounds);
+        for row in &report.rows {
+            println!(
+                "  obs/{:<4}   off {:>8.0} req/s (mean {:>7.1} µs)  on {:>8.0} req/s (mean {:>7.1} µs)  overhead {:>+5.1}%",
+                row.mode, row.off.rps, row.off.mean_us, row.on.rps, row.on.mean_us, row.overhead_pct
+            );
+        }
+        merge_report(
+            &out_path,
+            clients,
+            secs,
+            MergeSections {
+                obs: Some(&report),
+                ..Default::default()
+            },
+        );
+        println!("merged serving.obs_overhead section into {out_path}");
         return;
     }
 
@@ -380,6 +418,93 @@ fn run_trace_overhead(
         }
         let state =
             Arc::new(ServerState::from_corpus(corpus, config).expect("trace axis state builds"));
+        let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
+        let s = run_scenario(
+            "gred",
+            mode,
+            "/v1/translate",
+            corpus,
+            &server,
+            clients,
+            secs,
+        );
+        server.shutdown();
+        s
+    };
+    let best = |mut runs: Vec<Scenario>| -> Scenario {
+        let mut best = runs.pop().expect("at least one round");
+        for s in runs {
+            if s.mean_us > 0.0 && (best.mean_us == 0.0 || s.mean_us < best.mean_us) {
+                best = s;
+            }
+        }
+        best
+    };
+    let rows = [("hot", true), ("cold", false)]
+        .into_iter()
+        .map(|(mode, cache)| {
+            let mut offs = Vec::with_capacity(rounds);
+            let mut ons = Vec::with_capacity(rounds);
+            for _ in 0..rounds.max(1) {
+                offs.push(run(mode, cache, false));
+                ons.push(run(mode, cache, true));
+            }
+            let off = best(offs);
+            let on = best(ons);
+            let overhead_pct = if off.mean_us > 0.0 {
+                (on.mean_us / off.mean_us - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            TraceOverheadRow {
+                mode,
+                off,
+                on,
+                overhead_pct,
+            }
+        })
+        .collect();
+    TraceReport { rows }
+}
+
+/// The obs axis: the same interleaved best-of-rounds protocol as the trace
+/// axis, but toggling the entire ops plane. Both arms run full tracing
+/// (`trace_sample=1`) — the tracing tax is the `--trace` axis's business,
+/// and the profiler needs real span stacks to walk — so the delta here
+/// isolates the ops plane itself. *Off* is a traced server with no
+/// sampler, no profiler, and no SLO engine; *on* adds the sampler at a
+/// 250 ms cadence, the stage profiler at 97 Hz, and three evaluated SLOs —
+/// the most expensive observability posture an operator can configure.
+/// The acceptance budget for the mean-latency overhead is ≤3%.
+fn run_obs_overhead(
+    corpus: &t2v_corpus::Corpus,
+    clients: usize,
+    secs: Duration,
+    rounds: usize,
+) -> TraceReport {
+    println!(
+        "servebench: obs axis — ops plane off vs on, hot and cold ({rounds} interleaved rounds)"
+    );
+    let run = |mode: &'static str, cache: bool, on: bool| -> Scenario {
+        let mut config = ServeConfig::default();
+        config.set("addr", "127.0.0.1:0").unwrap();
+        config.set("backends", "gred").unwrap();
+        if !cache {
+            config.set("cache_capacity", "0").unwrap();
+        }
+        config.set("trace_sample", "1").unwrap();
+        if on {
+            config.set("obs_sample_ms", "250").unwrap();
+            config.set("obs_profile_hz", "97").unwrap();
+            config
+                .set("slo", "availability:0.999;latency:p99<5ms;cache_hit:0.7")
+                .unwrap();
+        } else {
+            config.set("obs_sample_ms", "0").unwrap();
+            config.set("obs_profile_hz", "0").unwrap();
+        }
+        let state =
+            Arc::new(ServerState::from_corpus(corpus, config).expect("obs axis state builds"));
         let server = Server::spawn(Arc::clone(&state)).expect("bind loopback");
         let s = run_scenario(
             "gred",
@@ -1050,6 +1175,8 @@ struct MergeSections<'a> {
     tenant_scenarios: &'a [(String, Scenario)],
     chaos: Option<&'a ChaosReport>,
     trace: Option<&'a TraceReport>,
+    /// The `--obs` axis reuses the trace-report shape (off/on/overhead).
+    obs: Option<&'a TraceReport>,
     concurrency: Option<&'a ConcReport>,
 }
 
@@ -1059,6 +1186,7 @@ fn merge_report(out_path: &str, clients: usize, secs: u64, sections: MergeSectio
         tenant_scenarios,
         chaos,
         trace,
+        obs,
         concurrency,
     } = sections;
     let mut doc = std::fs::read_to_string(out_path)
@@ -1163,6 +1291,28 @@ fn merge_report(out_path: &str, clients: usize, secs: u64, sections: MergeSectio
         None => {
             if let Some(prior) = doc.get("serving").and_then(|s| s.get("trace_overhead")) {
                 serving.set("trace_overhead", prior.clone());
+            }
+        }
+    }
+    match obs {
+        Some(report) => {
+            let round1 = |x: f64| (x * 10.0).round() / 10.0;
+            let mut rows = Json::Obj(Default::default());
+            for row in &report.rows {
+                rows.set(
+                    row.mode,
+                    Json::obj([
+                        ("obs_off", scenario_json(&row.off)),
+                        ("obs_on", scenario_json(&row.on)),
+                        ("overhead_pct", Json::Num(round1(row.overhead_pct))),
+                    ]),
+                );
+            }
+            serving.set("obs_overhead", rows);
+        }
+        None => {
+            if let Some(prior) = doc.get("serving").and_then(|s| s.get("obs_overhead")) {
+                serving.set("obs_overhead", prior.clone());
             }
         }
     }

@@ -1,0 +1,133 @@
+//! Stage-occupancy profile aggregation.
+//!
+//! The profiler thread samples every live thread's current stage stack
+//! (via `t2v_trace::sample_stacks`) and feeds folded stack strings here.
+//! Counts are bucketed per wall-clock second so `/v1/admin/profile?seconds=N`
+//! can merge exactly the trailing N seconds into flamegraph-compatible
+//! folded text (`stage;stage;stage count` lines).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+struct SecondBucket {
+    sec: u64,
+    counts: HashMap<String, u64>,
+}
+
+pub struct ProfileStore {
+    retention_s: u64,
+    inner: Mutex<VecDeque<SecondBucket>>,
+}
+
+impl ProfileStore {
+    pub fn new(retention_s: u64) -> ProfileStore {
+        ProfileStore {
+            retention_s: retention_s.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Count one sample of `folded` (e.g. `"request;backend.translate;embed"`)
+    /// at `now_ms`. Buckets older than the retention horizon are dropped
+    /// on the way in, so memory stays bounded by retention × distinct
+    /// stacks (and distinct stage stacks are few — stages are an enum).
+    pub fn record(&self, now_ms: u64, folded: &str) {
+        let sec = now_ms / 1000;
+        let mut buckets = lock(&self.inner);
+        match buckets.back_mut() {
+            Some(b) if b.sec == sec => {
+                *b.counts.entry(folded.to_string()).or_insert(0) += 1;
+            }
+            _ => {
+                let mut counts = HashMap::new();
+                counts.insert(folded.to_string(), 1);
+                buckets.push_back(SecondBucket { sec, counts });
+            }
+        }
+        let horizon = sec.saturating_sub(self.retention_s);
+        while buckets.front().is_some_and(|b| b.sec < horizon) {
+            buckets.pop_front();
+        }
+    }
+
+    /// Total samples currently retained (all buckets).
+    pub fn total_samples(&self) -> u64 {
+        lock(&self.inner)
+            .iter()
+            .flat_map(|b| b.counts.values())
+            .sum()
+    }
+
+    /// Merge the trailing `seconds` of buckets into folded text, heaviest
+    /// stacks first (ties break alphabetically for stable output).
+    pub fn render(&self, seconds: u64, now_ms: u64) -> String {
+        let from_sec = (now_ms / 1000).saturating_sub(seconds.max(1).saturating_sub(1));
+        let mut merged: HashMap<String, u64> = HashMap::new();
+        for bucket in lock(&self.inner).iter() {
+            if bucket.sec < from_sec {
+                continue;
+            }
+            for (stack, n) in &bucket.counts {
+                *merged.entry(stack.clone()).or_insert(0) += n;
+            }
+        }
+        let mut rows: Vec<(String, u64)> = merged.into_iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut out = String::new();
+        for (stack, n) in rows {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&n.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_merges_window_and_sorts_by_weight() {
+        let store = ProfileStore::new(60);
+        for _ in 0..5 {
+            store.record(1_000, "request;backend.translate;embed");
+        }
+        store.record(1_500, "request;cache.lookup");
+        store.record(2_200, "request;backend.translate;embed");
+        let text = store.render(5, 2_500);
+        assert_eq!(
+            text,
+            "request;backend.translate;embed 6\nrequest;cache.lookup 1\n"
+        );
+        assert_eq!(store.total_samples(), 7);
+    }
+
+    #[test]
+    fn render_excludes_samples_outside_the_window() {
+        let store = ProfileStore::new(600);
+        store.record(1_000, "request;old");
+        store.record(10_000, "request;new");
+        // seconds=1 at t=10s → only the bucket for second 10.
+        assert_eq!(store.render(1, 10_000), "request;new 1\n");
+        // Wide window picks up both.
+        let wide = store.render(60, 10_000);
+        assert!(wide.contains("request;old 1"));
+        assert!(wide.contains("request;new 1"));
+    }
+
+    #[test]
+    fn retention_prunes_old_buckets() {
+        let store = ProfileStore::new(2);
+        store.record(1_000, "request;a");
+        store.record(2_000, "request;a");
+        store.record(10_000, "request;b");
+        assert_eq!(store.total_samples(), 1, "old buckets pruned on insert");
+        assert_eq!(store.render(60, 10_000), "request;b 1\n");
+    }
+}

@@ -1,0 +1,124 @@
+//! Histogram-quantile estimation over cumulative bucket counts.
+//!
+//! The same estimator Prometheus' `histogram_quantile()` uses: find the
+//! bucket the requested rank falls in, then interpolate linearly between
+//! the bucket's bounds. The estimate is therefore always inside the true
+//! quantile's bucket — the property the oracle test in
+//! `tests/quantile_prop.rs` checks.
+
+/// Estimate quantile `q` (in `[0, 1]`) from a cumulative histogram.
+///
+/// `bounds` are the finite upper bounds, ascending; `cumulative` has one
+/// count per bound **plus** the `+Inf` count as its final element, so
+/// `cumulative.len() == bounds.len() + 1`. Returns `None` for an empty
+/// histogram, malformed inputs, or a `q` outside `[0, 1]`.
+///
+/// Ranks that only the `+Inf` bucket reaches clamp to the last finite
+/// bound — there is no upper edge to interpolate toward.
+pub fn histogram_quantile(q: f64, bounds: &[f64], cumulative: &[u64]) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) || cumulative.len() != bounds.len() + 1 {
+        return None;
+    }
+    let total = *cumulative.last()?;
+    if total == 0 {
+        return None;
+    }
+    // Rank of the target observation, 1-based.
+    let rank = (q * total as f64).ceil().max(1.0);
+    let idx = cumulative
+        .iter()
+        .position(|&c| c as f64 >= rank)
+        .expect("last cumulative count is the total");
+    if idx >= bounds.len() {
+        // Only the +Inf bucket reaches the rank.
+        return bounds.last().copied();
+    }
+    let lower = if idx == 0 { 0.0 } else { bounds[idx - 1] };
+    let upper = bounds[idx];
+    let below = if idx == 0 { 0 } else { cumulative[idx - 1] };
+    let in_bucket = cumulative[idx] - below;
+    if in_bucket == 0 {
+        return Some(upper);
+    }
+    let frac = (rank - below as f64) / in_bucket as f64;
+    Some(lower + (upper - lower) * frac)
+}
+
+/// Interpolated count of observations at or below `threshold`, from the
+/// same cumulative layout as [`histogram_quantile`]. Observations past the
+/// last finite bound are treated as above any threshold — conservative
+/// for "fraction faster than X" SLO math.
+pub fn cumulative_at(threshold: f64, bounds: &[f64], cumulative: &[u64]) -> Option<f64> {
+    if cumulative.len() != bounds.len() + 1 {
+        return None;
+    }
+    if threshold < 0.0 {
+        return Some(0.0);
+    }
+    match bounds.iter().position(|&b| b >= threshold) {
+        None => Some(
+            bounds
+                .last()
+                .map_or(0.0, |_| cumulative[bounds.len() - 1] as f64),
+        ),
+        Some(idx) => {
+            let lower = if idx == 0 { 0.0 } else { bounds[idx - 1] };
+            let below = if idx == 0 {
+                0.0
+            } else {
+                cumulative[idx - 1] as f64
+            };
+            let in_bucket = cumulative[idx] as f64 - below;
+            let width = bounds[idx] - lower;
+            if width <= 0.0 {
+                return Some(cumulative[idx] as f64);
+            }
+            Some(below + in_bucket * (threshold - lower) / width)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: [f64; 4] = [0.001, 0.005, 0.025, 0.1];
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // 100 observations: 50 in (0, 1ms], 30 in (1ms, 5ms], 20 in (5ms, 25ms].
+        let cum = [50, 80, 100, 100, 100];
+        // p50: rank 50 is exactly the last of bucket 0 → upper edge of it.
+        let p50 = histogram_quantile(0.5, &BOUNDS, &cum).unwrap();
+        assert!((p50 - 0.001).abs() < 1e-12, "p50={p50}");
+        // p90: rank 90 is 10 into bucket 2's 20 → halfway through (5ms, 25ms].
+        let p90 = histogram_quantile(0.9, &BOUNDS, &cum).unwrap();
+        assert!((p90 - 0.015).abs() < 1e-12, "p90={p90}");
+    }
+
+    #[test]
+    fn quantile_clamps_to_last_finite_bound_for_overflow_mass() {
+        let cum = [0, 0, 0, 0, 10]; // everything slower than 100ms
+        assert_eq!(histogram_quantile(0.5, &BOUNDS, &cum), Some(0.1));
+    }
+
+    #[test]
+    fn quantile_rejects_bad_inputs() {
+        assert_eq!(histogram_quantile(0.5, &BOUNDS, &[0, 0, 0, 0, 0]), None);
+        assert_eq!(histogram_quantile(1.5, &BOUNDS, &[1, 1, 1, 1, 1]), None);
+        assert_eq!(histogram_quantile(0.5, &BOUNDS, &[1, 1]), None);
+    }
+
+    #[test]
+    fn cumulative_at_interpolates_and_handles_edges() {
+        let cum = [50, 80, 100, 100, 100];
+        // Exactly on a bound → exact cumulative count.
+        assert_eq!(cumulative_at(0.001, &BOUNDS, &cum), Some(50.0));
+        // Halfway through bucket 1 ((1ms, 5ms], 30 obs): 50 + 30 * (3-1)/(5-1).
+        let at_3ms = cumulative_at(0.003, &BOUNDS, &cum).unwrap();
+        assert!((at_3ms - 65.0).abs() < 1e-9, "at_3ms={at_3ms}");
+        // Past the last bound: only finite-bucket mass counts.
+        assert_eq!(cumulative_at(1.0, &BOUNDS, &cum), Some(100.0));
+        assert_eq!(cumulative_at(-1.0, &BOUNDS, &cum), Some(0.0));
+    }
+}

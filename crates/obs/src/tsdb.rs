@@ -1,0 +1,252 @@
+//! In-process ring-buffer time-series store.
+//!
+//! One fixed-size ring per series of `(timestamp_ms, value)` pairs, where
+//! the value is the *raw* cumulative counter (or gauge level) as sampled
+//! from the metrics registry. Deltas and rates are computed at query time
+//! from pairs of samples, so the store never needs to know which series
+//! are counters — and a ring of N samples bounds memory per series at
+//! exactly N `(u64, u64)` pairs regardless of uptime.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One series' fixed-capacity ring. `head` is the next write slot; once
+/// full, new samples overwrite the oldest.
+struct Ring {
+    t_ms: Vec<u64>,
+    vals: Vec<u64>,
+    head: usize,
+    len: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            t_ms: vec![0; capacity],
+            vals: vec![0; capacity],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, t_ms: u64, val: u64) {
+        let cap = self.t_ms.len();
+        self.t_ms[self.head] = t_ms;
+        self.vals[self.head] = val;
+        self.head = (self.head + 1) % cap;
+        self.len = (self.len + 1).min(cap);
+    }
+
+    /// Samples at or after `from_ms`, oldest first.
+    fn window(&self, from_ms: u64) -> Vec<(u64, u64)> {
+        let cap = self.t_ms.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len)
+            .map(|i| {
+                let idx = (start + i) % cap;
+                (self.t_ms[idx], self.vals[idx])
+            })
+            .filter(|&(t, _)| t >= from_ms)
+            .collect()
+    }
+
+    fn latest(&self) -> Option<(u64, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let cap = self.t_ms.len();
+        let idx = (self.head + cap - 1) % cap;
+        Some((self.t_ms[idx], self.vals[idx]))
+    }
+}
+
+/// The store: a map of named rings behind one mutex. The only writer is
+/// the sampler thread (one lock per sweep); readers are admin queries and
+/// SLO evaluations, far off any request hot path.
+pub struct Tsdb {
+    sample_ms: u64,
+    retention_s: u64,
+    capacity: usize,
+    series: Mutex<HashMap<String, Ring>>,
+}
+
+impl Tsdb {
+    /// `sample_ms` is the sweep cadence the sampler will use; `retention_s`
+    /// sizes each ring so it holds that much history at that cadence.
+    pub fn new(sample_ms: u64, retention_s: u64) -> Tsdb {
+        let sample_ms = sample_ms.max(1);
+        let capacity = (retention_s.saturating_mul(1000) / sample_ms).clamp(2, 1 << 20) as usize;
+        Tsdb {
+            sample_ms,
+            retention_s,
+            capacity,
+            series: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn sample_ms(&self) -> u64 {
+        self.sample_ms
+    }
+
+    pub fn retention_s(&self) -> u64 {
+        self.retention_s
+    }
+
+    /// Ring capacity per series (samples retained).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one sweep: every `(name, value)` gets a sample stamped
+    /// `now_ms`. Unknown names create their ring on first sight.
+    pub fn record(&self, now_ms: u64, samples: &[(String, u64)]) {
+        let mut series = lock(&self.series);
+        for (name, val) in samples {
+            series
+                .entry(name.clone())
+                .or_insert_with(|| Ring::new(self.capacity))
+                .push(now_ms, *val);
+        }
+    }
+
+    /// Every series name, sorted (the `/v1/admin/tsdb` index).
+    pub fn series_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = lock(&self.series).keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Raw samples of `name` within the trailing window, oldest first,
+    /// thinned so consecutive points are at least `step_ms` apart (the
+    /// last sample is always kept).
+    pub fn points(&self, name: &str, window_ms: u64, step_ms: u64, now_ms: u64) -> Vec<(u64, u64)> {
+        let from = now_ms.saturating_sub(window_ms);
+        let all = match lock(&self.series).get(name) {
+            Some(ring) => ring.window(from),
+            None => return Vec::new(),
+        };
+        if step_ms <= self.sample_ms || all.len() < 2 {
+            return all;
+        }
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        let last = *all.last().expect("len >= 2");
+        for p in all {
+            match out.last() {
+                Some(&(t, _)) if p.0 < t.saturating_add(step_ms) => {}
+                _ => out.push(p),
+            }
+        }
+        if out.last() != Some(&last) {
+            out.push(last);
+        }
+        out
+    }
+
+    /// Counter increase over the trailing window: newest minus oldest
+    /// sample in range. `None` without at least two samples. Saturating —
+    /// in-process counters never reset, but a gauge queried as a delta
+    /// must not underflow.
+    pub fn delta(&self, name: &str, window_ms: u64, now_ms: u64) -> Option<u64> {
+        let from = now_ms.saturating_sub(window_ms);
+        let series = lock(&self.series);
+        let pts = series.get(name)?.window(from);
+        let (_, first) = *pts.first()?;
+        let (_, last) = *pts.last()?;
+        if pts.len() < 2 {
+            return None;
+        }
+        Some(last.saturating_sub(first))
+    }
+
+    /// Per-second rate over the trailing window (counter semantics).
+    pub fn rate(&self, name: &str, window_ms: u64, now_ms: u64) -> Option<f64> {
+        let from = now_ms.saturating_sub(window_ms);
+        let series = lock(&self.series);
+        let pts = series.get(name)?.window(from);
+        let (t0, v0) = *pts.first()?;
+        let (t1, v1) = *pts.last()?;
+        if pts.len() < 2 || t1 <= t0 {
+            return None;
+        }
+        Some(v1.saturating_sub(v0) as f64 / ((t1 - t0) as f64 / 1000.0))
+    }
+
+    /// The newest sample of `name` (gauge read).
+    pub fn latest(&self, name: &str) -> Option<(u64, u64)> {
+        lock(&self.series).get(name)?.latest()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(tsdb: &Tsdb, name: &str, samples: &[(u64, u64)]) {
+        for &(t, v) in samples {
+            tsdb.record(t, &[(name.to_string(), v)]);
+        }
+    }
+
+    #[test]
+    fn capacity_derives_from_cadence_and_retention() {
+        assert_eq!(Tsdb::new(1000, 900).capacity(), 900);
+        assert_eq!(Tsdb::new(250, 60).capacity(), 240);
+        assert_eq!(Tsdb::new(1000, 0).capacity(), 2, "floor of two samples");
+    }
+
+    #[test]
+    fn delta_and_rate_use_window_endpoints() {
+        let tsdb = Tsdb::new(1000, 60);
+        fill(
+            &tsdb,
+            "reqs",
+            &[(1_000, 10), (2_000, 30), (3_000, 60), (4_000, 100)],
+        );
+        // Full window: 100 - 10 over 3 s.
+        assert_eq!(tsdb.delta("reqs", 60_000, 4_000), Some(90));
+        assert_eq!(tsdb.rate("reqs", 60_000, 4_000), Some(30.0));
+        // Trailing 2 s window sees only the last three samples.
+        assert_eq!(tsdb.delta("reqs", 2_000, 4_000), Some(70));
+        // One sample in range is not a delta.
+        assert_eq!(tsdb.delta("reqs", 0, 4_000), None);
+        assert_eq!(tsdb.delta("missing", 60_000, 4_000), None);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_capacity() {
+        let tsdb = Tsdb::new(1000, 3); // capacity 3
+        fill(
+            &tsdb,
+            "c",
+            &[(1_000, 1), (2_000, 2), (3_000, 3), (4_000, 4)],
+        );
+        let pts = tsdb.points("c", 60_000, 0, 4_000);
+        assert_eq!(pts, vec![(2_000, 2), (3_000, 3), (4_000, 4)]);
+        assert_eq!(tsdb.latest("c"), Some((4_000, 4)));
+    }
+
+    #[test]
+    fn points_thin_to_step_and_keep_the_newest() {
+        let tsdb = Tsdb::new(100, 60);
+        let samples: Vec<(u64, u64)> = (0..10).map(|i| (i * 100, i)).collect();
+        fill(&tsdb, "s", &samples);
+        let pts = tsdb.points("s", 10_000, 300, 900);
+        // Thinned to >= 300 ms apart, newest sample always present.
+        assert_eq!(pts.first(), Some(&(0, 0)));
+        assert_eq!(pts.last(), Some(&(900, 9)));
+        for pair in pts.windows(2) {
+            assert!(pair[1].0 - pair[0].0 >= 300 || pair[1] == (900, 9));
+        }
+    }
+
+    #[test]
+    fn gauge_delta_saturates_instead_of_underflowing() {
+        let tsdb = Tsdb::new(1000, 60);
+        fill(&tsdb, "g", &[(1_000, 50), (2_000, 10)]);
+        assert_eq!(tsdb.delta("g", 60_000, 2_000), Some(0));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property: over arbitrary bucket fills, `histogram_quantile`'s estimate
+//! must land within the bucket bounds that contain the *true* quantile of
+//! a brute-force reconstruction of the samples.
+//!
+//! The oracle materializes every observation at its bucket's upper bound
+//! (any in-bucket position gives the same containing bucket), takes the
+//! rank-`ceil(q*n)` element, and checks the estimator's answer falls in
+//! `[lower_bound, upper_bound]` of that element's bucket.
+
+use proptest::prelude::*;
+use t2v_obs::histogram_quantile;
+
+/// The serving layer's latency bucket bounds, in seconds.
+const BOUNDS: [f64; 12] = [
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 1.0,
+];
+
+/// Brute-force oracle: which bucket (index into `per_bucket`, where index
+/// `BOUNDS.len()` is the +Inf bucket) holds the rank-`ceil(q*n)` element?
+/// The vendored proptest shim has no `prop_assume`, so empty histograms
+/// are repaired into the smallest non-empty one instead of discarded.
+fn ensure_nonempty(mut per_bucket: Vec<u64>) -> Vec<u64> {
+    if per_bucket.iter().all(|&n| n == 0) {
+        per_bucket[0] = 1;
+    }
+    per_bucket
+}
+
+fn oracle_bucket(q: f64, per_bucket: &[u64]) -> usize {
+    let total: u64 = per_bucket.iter().sum();
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &n) in per_bucket.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return i;
+        }
+    }
+    per_bucket.len() - 1
+}
+
+proptest! {
+    #[test]
+    fn estimate_lands_in_the_true_quantiles_bucket(
+        per_bucket in prop::collection::vec(0u64..10_000, BOUNDS.len() + 1)
+            .prop_map(ensure_nonempty),
+        q_millis in 0u32..=1000,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+
+        // Build the cumulative layout the estimator consumes.
+        let mut cumulative = Vec::with_capacity(per_bucket.len());
+        let mut run = 0u64;
+        for &n in &per_bucket {
+            run += n;
+            cumulative.push(run);
+        }
+
+        let est = histogram_quantile(q, &BOUNDS, &cumulative)
+            .expect("non-empty histogram must estimate");
+
+        let bucket = oracle_bucket(q, &per_bucket);
+        if bucket >= BOUNDS.len() {
+            // True quantile sits in the +Inf bucket: the estimator clamps
+            // to the last finite bound — the best defensible answer.
+            prop_assert_eq!(est, *BOUNDS.last().unwrap());
+        } else {
+            let lower = if bucket == 0 { 0.0 } else { BOUNDS[bucket - 1] };
+            let upper = BOUNDS[bucket];
+            prop_assert!(
+                est >= lower && est <= upper,
+                "q={} est={} outside bucket {} [{}, {}] fills={:?}",
+                q, est, bucket, lower, upper, per_bucket
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_q(
+        per_bucket in prop::collection::vec(0u64..1_000, BOUNDS.len() + 1)
+            .prop_map(ensure_nonempty),
+        q_lo in 0u32..=1000,
+        q_hi in 0u32..=1000,
+    ) {
+        let (lo, hi) = (q_lo.min(q_hi), q_lo.max(q_hi));
+        let mut cumulative = Vec::new();
+        let mut run = 0u64;
+        for &n in &per_bucket {
+            run += n;
+            cumulative.push(run);
+        }
+        let e_lo = histogram_quantile(lo as f64 / 1000.0, &BOUNDS, &cumulative).unwrap();
+        let e_hi = histogram_quantile(hi as f64 / 1000.0, &BOUNDS, &cumulative).unwrap();
+        prop_assert!(e_lo <= e_hi, "q monotonicity: {e_lo} > {e_hi}");
+    }
+}

@@ -7,9 +7,15 @@
 //! the flight recorder. The writer is a single mutex around a buffered
 //! appender: the log line is rendered *outside* the lock and the hot path
 //! pays one short critical section per request. When the file passes the
-//! configured size it is renamed to `{path}.1` (replacing the previous
-//! generation) and a fresh file is started — two generations bound disk
+//! configured size, generations shift `{path}.{i}` → `{path}.{i+1}` up to
+//! `access_log_keep=` rotated files (older ones are pruned), the live
+//! file becomes `{path}.1`, and a fresh file is started — bounded disk
 //! use without an external logrotate.
+//!
+//! Besides per-request lines, the SLO engine writes `slo-transition`
+//! event lines here (via [`AccessLog::write_line`]) whenever an alert
+//! starts or stops firing, so the incident timeline and the request
+//! evidence live in the same stream.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
@@ -26,22 +32,33 @@ pub struct AccessLog {
     path: PathBuf,
     /// Rotate once `written` exceeds this many bytes; 0 = never.
     rotate_bytes: u64,
+    /// Rotated generations to keep (`{path}.1` … `{path}.{keep}`).
+    keep: u64,
     inner: Mutex<Appender>,
 }
 
 impl AccessLog {
     /// Open (append) the log file. Fails fast on an unwritable path.
-    pub fn open(path: &str, rotate_mb: u64) -> std::io::Result<AccessLog> {
+    /// `keep` is how many rotated generations survive (minimum 1).
+    pub fn open(path: &str, rotate_mb: u64, keep: u64) -> std::io::Result<AccessLog> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         let written = file.metadata()?.len();
         Ok(AccessLog {
             path: PathBuf::from(path),
             rotate_bytes: rotate_mb.saturating_mul(1024 * 1024),
+            keep: keep.max(1),
             inner: Mutex::new(Appender {
                 out: BufWriter::new(file),
                 written,
             }),
         })
+    }
+
+    /// `{path}.{n}` as a `PathBuf`.
+    fn generation(&self, n: u64) -> PathBuf {
+        let mut p = self.path.clone().into_os_string();
+        p.push(format!(".{n}"));
+        PathBuf::from(p)
     }
 
     /// Append one pre-rendered line (no trailing newline), rotating first
@@ -54,12 +71,28 @@ impl AccessLog {
         };
         if self.rotate_bytes > 0 && inner.written > self.rotate_bytes {
             let _ = inner.out.flush();
-            let rotated = {
-                let mut p = self.path.clone().into_os_string();
-                p.push(".1");
-                PathBuf::from(p)
-            };
-            if std::fs::rename(&self.path, &rotated).is_ok() {
+            // Prune every generation at or past the keep budget — the
+            // directory scan also catches leftovers from a previous run
+            // with a larger `access_log_keep=` — then shift the rest
+            // oldest-first: .{keep-1} → .{keep}, …, .1 → .2.
+            if let (Some(dir), Some(stem)) = (self.path.parent(), self.path.file_name()) {
+                let prefix = format!("{}.", stem.to_string_lossy());
+                for entry in std::fs::read_dir(dir).into_iter().flatten().flatten() {
+                    let name = entry.file_name();
+                    let stale = name
+                        .to_string_lossy()
+                        .strip_prefix(&prefix)
+                        .and_then(|n| n.parse::<u64>().ok())
+                        .is_some_and(|n| n >= self.keep);
+                    if stale {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
+            for n in (1..self.keep).rev() {
+                let _ = std::fs::rename(self.generation(n), self.generation(n + 1));
+            }
+            if std::fs::rename(&self.path, self.generation(1)).is_ok() {
                 if let Ok(file) = OpenOptions::new()
                     .create(true)
                     .append(true)
@@ -77,6 +110,22 @@ impl AccessLog {
         let _ = inner.out.flush();
         inner.written += line.len() as u64 + 1;
     }
+}
+
+/// Render an SLO firing-state transition as an event line for the access
+/// log, shape-compatible with request lines (`"event"` discriminates).
+pub fn render_slo_transition(
+    now_ms: u64,
+    slo: &str,
+    firing: bool,
+    fast_burn: f64,
+    slow_burn: f64,
+) -> String {
+    format!(
+        "{{\"ts_ms\":{now_ms},\"event\":\"slo-transition\",\"slo\":\"{}\",\
+         \"firing\":{firing},\"fast_burn\":{fast_burn:.3},\"slow_burn\":{slow_burn:.3}}}",
+        esc(slo)
+    )
 }
 
 /// Render one access-log line from a sealed trace. Pure, so it is testable
@@ -217,7 +266,7 @@ mod tests {
         let path_str = path.to_str().unwrap();
         // rotate_mb=0 with a tiny injected budget is not expressible via
         // the public constructor, so rotate at 1 MiB and write past it.
-        let log = AccessLog::open(path_str, 1).unwrap();
+        let log = AccessLog::open(path_str, 1, 1).unwrap();
         let line = "x".repeat(64 * 1024);
         for _ in 0..20 {
             log.write_line(&line);
@@ -225,10 +274,44 @@ mod tests {
         // 20 × 64 KiB > 1 MiB ⇒ at least one rotation happened.
         let rotated = dir.join("access.log.1");
         assert!(rotated.exists(), "rotated generation exists");
+        assert!(!dir.join("access.log.2").exists(), "keep=1 means one");
         let live = std::fs::metadata(&path).unwrap().len();
         assert!(live < 1_200_000, "live file restarted after rotation");
         let old = std::fs::metadata(&rotated).unwrap().len();
         assert!(old >= 1_000_000, "rotated file holds the overflowing bulk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn numbered_rotation_shifts_and_prunes_old_generations() {
+        let dir = std::env::temp_dir().join(format!("t2v-alog-keep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        let path_str = path.to_str().unwrap();
+        // A stale generation beyond the keep budget, as if a previous run
+        // used a larger access_log_keep= — it must be pruned on rotation.
+        std::fs::write(dir.join("access.log.7"), "stale\n").unwrap();
+        let log = AccessLog::open(path_str, 1, 3).unwrap();
+        let line = "y".repeat(64 * 1024);
+        // Each pass of ~17 lines crosses 1 MiB; 5 rotations total.
+        for _ in 0..(5 * 17) {
+            log.write_line(&line);
+        }
+        assert!(path.exists(), "live file present");
+        for n in 1..=3u64 {
+            assert!(
+                dir.join(format!("access.log.{n}")).exists(),
+                "generation {n} kept"
+            );
+        }
+        assert!(
+            !dir.join("access.log.4").exists(),
+            "generation 4 pruned (keep=3)"
+        );
+        assert!(
+            !dir.join("access.log.7").exists(),
+            "stale generation beyond keep pruned"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -238,10 +321,25 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("access.log");
         let path_str = path.to_str().unwrap();
-        AccessLog::open(path_str, 64).unwrap().write_line("first");
-        AccessLog::open(path_str, 64).unwrap().write_line("second");
+        AccessLog::open(path_str, 64, 3)
+            .unwrap()
+            .write_line("first");
+        AccessLog::open(path_str, 64, 3)
+            .unwrap()
+            .write_line("second");
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "first\nsecond\n");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn slo_transition_line_is_json_with_escaped_name() {
+        let line = render_slo_transition(1_700_000_000_000, "avail\"x", true, 1000.0, 230.5);
+        assert!(line.contains("\"event\":\"slo-transition\""));
+        assert!(line.contains("\"slo\":\"avail\\\"x\""));
+        assert!(line.contains("\"firing\":true"));
+        assert!(line.contains("\"fast_burn\":1000.000"));
+        assert!(line.contains("\"slow_burn\":230.500"));
+        assert!(!line.contains('\n'));
     }
 }

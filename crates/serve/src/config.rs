@@ -236,10 +236,32 @@ pub struct ServeConfig {
     /// Structured JSON access log path, one object per request. Empty
     /// (default) ⇒ no access log.
     pub access_log: String,
-    /// Rotate the access log once it exceeds this many MiB: current file
-    /// renamed to `{path}.1` (replacing any previous `.1`), fresh file
-    /// started. 0 ⇒ never rotate.
+    /// Rotate the access log once it exceeds this many MiB: generations
+    /// shift `{path}.{i}` → `{path}.{i+1}`, fresh file started. 0 ⇒ never
+    /// rotate.
     pub access_log_rotate_mb: u64,
+    /// Rotated access-log generations kept (`{path}.1` … `{path}.{keep}`);
+    /// older generations are pruned at rotation time.
+    pub access_log_keep: u64,
+    /// Ops-plane sampler cadence in milliseconds: how often the metrics
+    /// registry is snapshotted into the in-process TSDB (and SLOs
+    /// re-evaluated). 0 disables the sampler, the TSDB, and SLO alerting.
+    pub obs_sample_ms: u64,
+    /// TSDB ring retention in seconds (per-series capacity is
+    /// `retention / sample` interval).
+    pub obs_retention_s: u64,
+    /// Stage-occupancy profiler sampling rate in Hz. Prime by default
+    /// (97) so the sampler does not alias against millisecond-period
+    /// work. 0 disables the profiler (and `/v1/admin/profile`).
+    pub obs_profile_hz: u32,
+    /// SLO objectives, e.g. `availability:0.999;latency:p99<5ms;cache_hit:0.7`.
+    /// Validated at set time like `fault_plan=`; empty ⇒ no SLO engine.
+    pub slo: String,
+    /// Fast burn-rate window in seconds (the paging window).
+    pub slo_fast_s: u64,
+    /// Slow burn-rate window in seconds (the blip suppressor). Windows
+    /// wider than `obs_retention_s` see at most the retained history.
+    pub slo_slow_s: u64,
 }
 
 impl Default for ServeConfig {
@@ -290,6 +312,13 @@ impl Default for ServeConfig {
             trace_buffer: 512,
             access_log: String::new(),
             access_log_rotate_mb: 64,
+            access_log_keep: 3,
+            obs_sample_ms: 1000,
+            obs_retention_s: 900,
+            obs_profile_hz: 97,
+            slo: String::new(),
+            slo_fast_s: 300,
+            slo_slow_s: 3600,
         }
     }
 }
@@ -449,6 +478,47 @@ impl ServeConfig {
             "trace_buffer" => self.trace_buffer = parse_usize(key, value)?,
             "access_log" => self.access_log = value.to_string(),
             "access_log_rotate_mb" => self.access_log_rotate_mb = parse_u64(key, value)?,
+            "access_log_keep" => {
+                let keep = parse_u64(key, value)?;
+                if keep == 0 {
+                    return Err(err(
+                        "access_log_keep: must keep at least one rotated generation",
+                    ));
+                }
+                self.access_log_keep = keep;
+            }
+            "obs_sample_ms" => self.obs_sample_ms = parse_u64(key, value)?,
+            "obs_retention_s" => {
+                let secs = parse_u64(key, value)?;
+                if secs == 0 {
+                    return Err(err("obs_retention_s: retention must be at least 1 second"));
+                }
+                self.obs_retention_s = secs;
+            }
+            "obs_profile_hz" => {
+                let hz = parse_u64(key, value)?;
+                if hz > 10_000 {
+                    return Err(err(format!(
+                        "obs_profile_hz: '{value}' is not a rate in 0..=10000"
+                    )));
+                }
+                self.obs_profile_hz = hz as u32;
+            }
+            "slo" => self.slo = parse_slo(value)?,
+            "slo_fast_s" => {
+                let secs = parse_u64(key, value)?;
+                if secs == 0 {
+                    return Err(err("slo_fast_s: the fast window must be at least 1 second"));
+                }
+                self.slo_fast_s = secs;
+            }
+            "slo_slow_s" => {
+                let secs = parse_u64(key, value)?;
+                if secs == 0 {
+                    return Err(err("slo_slow_s: the slow window must be at least 1 second"));
+                }
+                self.slo_slow_s = secs;
+            }
             _ => return Err(err(format!("unknown config key '{key}'"))),
         }
         Ok(())
@@ -657,6 +727,13 @@ pub const KEYS: &[&str] = &[
     "trace_buffer",
     "access_log",
     "access_log_rotate_mb",
+    "access_log_keep",
+    "obs_sample_ms",
+    "obs_retention_s",
+    "obs_profile_hz",
+    "slo",
+    "slo_fast_s",
+    "slo_slow_s",
 ];
 
 fn parse_usize(key: &str, value: &str) -> Result<usize, ConfigError> {
@@ -760,6 +837,17 @@ fn parse_fault_plan(value: &str) -> Result<String, ConfigError> {
     Ok(value.to_string())
 }
 
+/// An SLO objective list, validated against `t2v-obs`'s grammar at set
+/// time (a typo must fail config load, not silently monitor nothing) and
+/// kept in its original spelling.
+fn parse_slo(value: &str) -> Result<String, ConfigError> {
+    if value.is_empty() {
+        return Ok(String::new());
+    }
+    t2v_obs::parse_slos(value).map_err(|e| err(format!("slo: {e}")))?;
+    Ok(value.to_string())
+}
+
 /// `tiny:SEED` or `paper:SEED` (seed optional, default 7).
 fn parse_corpus(value: &str) -> Result<CorpusProfile, ConfigError> {
     let (name, seed) = match value.split_once(':') {
@@ -835,11 +923,38 @@ mod tests {
                 "fault_plan" => "seed=1;backend.error:p=0.5",
                 "trace_sample" => "0.25",
                 "access_log" => "/tmp/t2v-access.log",
+                "slo" => "availability:0.999;latency:p99<5ms;cache_hit:0.7",
                 _ => "5",
             };
             cfg.set(key, value)
                 .unwrap_or_else(|e| panic!("key {key}: {e}"));
         }
+    }
+
+    #[test]
+    fn obs_and_slo_knobs_validate_at_set_time() {
+        let mut cfg = ServeConfig::default();
+        assert_eq!(cfg.obs_sample_ms, 1000);
+        assert_eq!(cfg.obs_retention_s, 900);
+        assert_eq!(cfg.obs_profile_hz, 97);
+        assert_eq!(cfg.access_log_keep, 3);
+        assert!(cfg.slo.is_empty());
+        cfg.set("slo", "availability:0.999;latency:p99<5ms;cache_hit:0.7")
+            .unwrap();
+        assert_eq!(cfg.slo, "availability:0.999;latency:p99<5ms;cache_hit:0.7");
+        // Malformed objectives are boot-time errors, like fault_plan=.
+        assert!(cfg.set("slo", "availability:1.5").is_err());
+        assert!(cfg.set("slo", "latency:p99").is_err());
+        assert!(cfg.set("slo", "uptime:0.9").is_err());
+        cfg.set("slo", "").unwrap();
+        assert!(cfg.slo.is_empty());
+        assert!(cfg.set("access_log_keep", "0").is_err());
+        assert!(cfg.set("obs_retention_s", "0").is_err());
+        assert!(cfg.set("slo_fast_s", "0").is_err());
+        assert!(cfg.set("slo_slow_s", "0").is_err());
+        assert!(cfg.set("obs_profile_hz", "20000").is_err());
+        cfg.set("obs_sample_ms", "0").unwrap();
+        assert_eq!(cfg.obs_sample_ms, 0, "0 turns the ops plane off");
     }
 
     #[test]

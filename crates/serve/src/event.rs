@@ -466,6 +466,7 @@ fn run_loop(
     let mut listener_open = true;
     let mut accept_rearm: Option<Instant> = None;
     let mut drain_deadline: Option<Instant> = None;
+    let mut last_stats: Option<Instant> = None;
 
     loop {
         let now = Instant::now();
@@ -610,10 +611,49 @@ fn run_loop(
                 close_conn(&mut conns, &poller, &mut pool, shared, token, true);
             }
         }
+
+        // -- connection-state census for /v1/admin/status, throttled so a
+        //    busy loop is not recounting tens of thousands of entries on
+        //    every wake --
+        let stale =
+            last_stats.is_none_or(|at| now.duration_since(at) >= Duration::from_millis(250));
+        if stale {
+            last_stats = Some(now);
+            publish_event_stats(shared, &conns, &pool, drain_deadline.is_some());
+        }
     }
 
+    publish_event_stats(shared, &conns, &pool, true);
     drop(listener);
     dispatcher.shutdown();
+}
+
+/// Snapshot the loop's occupancy into [`Shared::event_stats`] — the status
+/// endpoint reads these atomics instead of locking the connection table.
+fn publish_event_stats(
+    shared: &Shared,
+    conns: &HashMap<u64, Conn>,
+    pool: &BufferPool,
+    draining: bool,
+) {
+    let (mut reading, mut dispatched, mut writing, mut keep_alive) = (0u64, 0u64, 0u64, 0u64);
+    for c in conns.values() {
+        match c.state {
+            ConnState::Reading => reading += 1,
+            ConnState::Dispatched => dispatched += 1,
+            ConnState::Writing => writing += 1,
+            ConnState::KeepAlive => keep_alive += 1,
+        }
+    }
+    let stats = &shared.event_stats;
+    stats.reading.store(reading, Ordering::Relaxed);
+    stats.dispatched.store(dispatched, Ordering::Relaxed);
+    stats.writing.store(writing, Ordering::Relaxed);
+    stats.keep_alive.store(keep_alive, Ordering::Relaxed);
+    stats
+        .pool_buffers
+        .store(pool.pooled() as u64, Ordering::Relaxed);
+    stats.draining.store(draining as u64, Ordering::Relaxed);
 }
 
 /// Accept until the listener runs dry. Returns true when the listener

@@ -38,6 +38,12 @@ pub struct LatencyHistogram {
     overflow: AtomicU64,
     sum_ns: AtomicU64,
     count: AtomicU64,
+    /// Most recent exemplar per bucket (`+Inf` last): the trace id and raw
+    /// latency of the newest *recorded* trace that landed there, rendered
+    /// OpenMetrics-style so a slow bucket links straight to its span tree.
+    /// A mutex is fine: exemplars are written only for traces the flight
+    /// recorder keeps (sampled/slow/error), far off the per-request path.
+    exemplars: std::sync::Mutex<[Option<(u128, u64)>; BUCKET_BOUNDS_NS.len() + 1]>,
 }
 
 impl LatencyHistogram {
@@ -76,19 +82,45 @@ impl LatencyHistogram {
         }
     }
 
+    /// Cumulative finite-bucket counts, for the obs sampler's TSDB sweep
+    /// (one series per bound; `+Inf` is [`LatencyHistogram::count`]).
+    pub fn cumulative_counts(&self) -> [u64; BUCKET_BOUNDS_NS.len()] {
+        let mut out = [0u64; BUCKET_BOUNDS_NS.len()];
+        for (slot, bucket) in out.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Attach `trace_id` as the newest exemplar of the bucket `ns` falls
+    /// in (the lowest covering bucket; `+Inf` for overflow samples).
+    pub fn record_exemplar(&self, ns: u64, trace_id: u128) {
+        let idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.exemplars.lock().unwrap_or_else(|e| e.into_inner())[idx] = Some((trace_id, ns));
+    }
+
     fn render(&self, out: &mut String, name: &str, help: &str) {
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
+        let exemplars = *self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
         for (i, &bound) in BUCKET_BOUNDS_NS.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "{name}_bucket{{le=\"{}\"}} {}",
+                "{name}_bucket{{le=\"{}\"}} {}{}",
                 bound as f64 / 1e9,
-                self.buckets[i].load(Ordering::Relaxed)
+                self.buckets[i].load(Ordering::Relaxed),
+                render_exemplar(exemplars[i])
             );
         }
         let count = self.count.load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"+Inf\"}} {count}{}",
+            render_exemplar(exemplars[BUCKET_BOUNDS_NS.len()])
+        );
         let _ = writeln!(
             out,
             "{name}_sum {}",
@@ -117,6 +149,19 @@ impl LatencyHistogram {
             self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
         );
         let _ = writeln!(out, "{name}_count{{{label}}} {count}");
+    }
+}
+
+/// OpenMetrics exemplar suffix for one bucket line: the newest recorded
+/// trace that landed there, or nothing.
+fn render_exemplar(slot: Option<(u128, u64)>) -> String {
+    match slot {
+        Some((trace_id, ns)) => format!(
+            " # {{trace_id=\"{}\"}} {}",
+            t2v_trace::format_id(trace_id),
+            ns as f64 / 1e9
+        ),
+        None => String::new(),
     }
 }
 
@@ -277,8 +322,11 @@ pub struct Metrics {
     pub translate: LatencyHistogram,
     pub request_total_latency: LatencyHistogram,
     /// Requests slower than the trace force-slow threshold, attributed to
-    /// the stage with the most self time (indexed by `t2v_trace::STAGES`).
-    slow_requests: [AtomicU64; t2v_trace::STAGES.len()],
+    /// the stage with the most self time (indexed by `t2v_trace::STAGES`;
+    /// the extra final slot is `stage="truncated"` — traces whose span
+    /// list hit the 24-slot cap, where the dominant stage may have been
+    /// one of the dropped spans and attribution would be a guess).
+    slow_requests: [AtomicU64; t2v_trace::STAGES.len() + 1],
 }
 
 impl Metrics {
@@ -330,9 +378,21 @@ impl Metrics {
         self.slow_requests[stage as usize].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one slow request whose trace dropped spans at the 24-slot
+    /// cap: the true dominant stage may be among the dropped spans, so it
+    /// goes under `stage="truncated"` instead of a misattributed stage.
+    pub fn record_slow_truncated(&self) {
+        self.slow_requests[t2v_trace::STAGES.len()].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Slow requests attributed to `stage` so far.
     pub fn slow_requests(&self, stage: t2v_trace::Stage) -> u64 {
         self.slow_requests[stage as usize].load(Ordering::Relaxed)
+    }
+
+    /// Slow requests attributed to `stage="truncated"` so far.
+    pub fn slow_requests_truncated(&self) -> u64 {
+        self.slow_requests[t2v_trace::STAGES.len()].load(Ordering::Relaxed)
     }
 
     pub fn record_request(&self, route: Route, status: u16) {
@@ -360,6 +420,23 @@ impl Metrics {
         let r = ROUTES.iter().position(|(x, _)| *x == route).unwrap();
         let c = CLASSES.iter().position(|x| *x == class).unwrap();
         self.requests[r][c].load(Ordering::Relaxed)
+    }
+
+    /// `(total, 5xx)` request counts across every route — the availability
+    /// SLO's denominator and numerator, swept by the obs sampler.
+    pub fn requests_all(&self) -> (u64, u64) {
+        let mut total = 0u64;
+        let mut bad = 0u64;
+        for row in &self.requests {
+            for (c, cell) in row.iter().enumerate() {
+                let v = cell.load(Ordering::Relaxed);
+                total += v;
+                if c == 3 {
+                    bad += v;
+                }
+            }
+        }
+        (total, bad)
     }
 
     /// Register a tenant's counter family. Called at startup for every
@@ -590,6 +667,11 @@ impl Metrics {
                 self.slow_requests[stage as usize].load(Ordering::Relaxed)
             );
         }
+        let _ = writeln!(
+            out,
+            "t2v_slow_requests_total{{stage=\"truncated\"}} {}",
+            self.slow_requests[t2v_trace::STAGES.len()].load(Ordering::Relaxed)
+        );
 
         // Library provenance: labels carry the exact fingerprint (a u64
         // does not fit the f64 metric value space losslessly).
@@ -870,9 +952,11 @@ mod tests {
             "t2v_library_info{fingerprint=\"0x000000000000abcd\",source=\"snapshot\"} 1"
         ));
         assert!(text.contains("t2v_http_requests_total{route=\"admin\",status=\"2xx\"} 1"));
-        // Every non-comment line is "name-or-name{labels} value".
+        // Every non-comment line is "name-or-name{labels} value" (with an
+        // optional OpenMetrics exemplar after " # ").
         for line in text.lines().filter(|l| !l.starts_with('#')) {
-            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            let sample = line.split(" # ").next().unwrap();
+            let (_, value) = sample.rsplit_once(' ').expect("metric line has a value");
             value.parse::<f64>().expect("metric value is numeric");
         }
         assert_eq!(m.requests_for(Route::Translate, "2xx"), 1);
@@ -903,12 +987,51 @@ mod tests {
         m.record_slow(t2v_trace::Stage::Backend);
         m.record_slow(t2v_trace::Stage::Backend);
         m.record_slow(t2v_trace::Stage::QueueWait);
+        m.record_slow_truncated();
         assert_eq!(m.slow_requests(t2v_trace::Stage::Backend), 2);
         assert_eq!(m.slow_requests(t2v_trace::Stage::QueueWait), 1);
+        assert_eq!(m.slow_requests_truncated(), 1);
         let text = m.render_prometheus();
         assert!(text.contains("t2v_slow_requests_total{stage=\"backend.translate\"} 2"));
         assert!(text.contains("t2v_slow_requests_total{stage=\"queue.wait\"} 1"));
         assert!(text.contains("t2v_slow_requests_total{stage=\"embed\"} 0"));
+        assert!(text.contains("t2v_slow_requests_total{stage=\"truncated\"} 1"));
+    }
+
+    #[test]
+    fn exemplars_attach_to_the_lowest_covering_bucket() {
+        let h = LatencyHistogram::default();
+        h.observe_ns(60_000);
+        h.record_exemplar(60_000, 0xDEAD_BEEF);
+        h.observe_ns(2_000_000_000); // overflow: exemplar on +Inf
+        h.record_exemplar(2_000_000_000, 0xFEED);
+        let mut out = String::new();
+        h.render(&mut out, "t2v_test_seconds", "test histogram");
+        let ex_line = out
+            .lines()
+            .find(|l| l.contains("le=\"0.0001\""))
+            .expect("100 µs bucket line");
+        assert!(
+            ex_line.ends_with(&format!(
+                "# {{trace_id=\"{}\"}} 0.00006",
+                t2v_trace::format_id(0xDEAD_BEEF)
+            )),
+            "exemplar on the 100 µs bucket: {ex_line}"
+        );
+        // The newest exemplar sits on the *lowest* covering bucket only.
+        let next = out
+            .lines()
+            .find(|l| l.contains("le=\"0.00025\""))
+            .expect("250 µs bucket line");
+        assert!(!next.contains("trace_id"), "no exemplar echo: {next}");
+        let inf = out
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("+Inf line");
+        assert!(
+            inf.contains(&format!("trace_id=\"{}\"", t2v_trace::format_id(0xFEED))),
+            "overflow exemplar on +Inf: {inf}"
+        );
     }
 
     #[test]
@@ -973,6 +1096,8 @@ mod tests {
         m.translate.observe_ns(2_000_000_000); // overflow sample
         m.queue_wait.observe_ns(10_000);
         m.request_total_latency.observe_ns(350_000);
+        m.request_total_latency
+            .record_exemplar(350_000, 0xABCD_EF01);
         m.record_slow(t2v_trace::Stage::Retrieve);
         // A hostile tenant id exercises label escaping end to end.
         let weird = m.register_tenant("we\"ird\\ten");
@@ -1006,8 +1131,25 @@ mod tests {
                 types.insert(name.to_string(), kind.to_string());
                 continue;
             }
-            // Sample line: name{labels} value | name value.
-            let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+            // Sample line: name{labels} value | name value, optionally
+            // followed by an OpenMetrics exemplar (" # {trace_id=...} v").
+            let (sample, exemplar) = match line.split_once(" # ") {
+                Some((sample, ex)) => (sample, Some(ex)),
+                None => (line, None),
+            };
+            if let Some(ex) = exemplar {
+                assert!(
+                    line.contains("_bucket"),
+                    "exemplars only on bucket lines: {line}"
+                );
+                let (labels, value) = ex
+                    .strip_prefix('{')
+                    .and_then(|r| r.split_once("} "))
+                    .expect("exemplar is {labels} value");
+                assert!(parse_labels(labels).iter().any(|(k, _)| k == "trace_id"));
+                value.parse::<f64>().expect("exemplar value is numeric");
+            }
+            let (name_labels, value) = sample.rsplit_once(' ').expect("sample has a value");
             let value: f64 = value.parse().expect("sample value is numeric");
             let (name, labels) = match name_labels.split_once('{') {
                 Some((name, rest)) => {
@@ -1082,5 +1224,13 @@ mod tests {
         }
         // The hostile tenant id survived the trip through escaping.
         assert!(text.contains("tenant=\"we\\\"ird\\\\ten\""));
+        // The recorded exemplar rides its bucket line.
+        assert!(
+            text.contains(&format!(
+                " # {{trace_id=\"{}\"}} 0.00035",
+                t2v_trace::format_id(0xABCD_EF01)
+            )),
+            "exemplar rendered"
+        );
     }
 }

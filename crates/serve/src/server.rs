@@ -369,7 +369,9 @@ pub struct ServerState {
     /// `trace_buffer=0`); backs `GET /v1/admin/trace/*`. See DESIGN.md §12.
     pub recorder: Option<Recorder>,
     /// Structured JSON access log (`None` when `access_log=` is unset).
-    pub access_log: Option<AccessLog>,
+    /// `Arc`-shared with the observability sampler thread, which appends
+    /// SLO state-transition lines between request lines.
+    pub access_log: Option<Arc<AccessLog>>,
     /// The live tenant table (default + attached), RCU-swapped by admin
     /// mutations.
     tenants: RcuCell<TenantTable>,
@@ -480,10 +482,11 @@ impl ServerState {
         } else {
             // validate() already vetted the parent directory; an open
             // failure here (permissions, races) still fails startup loudly.
-            Some(AccessLog::open(
+            Some(Arc::new(AccessLog::open(
                 &config.access_log,
                 config.access_log_rotate_mb,
-            )?)
+                config.access_log_keep,
+            )?))
         };
 
         Ok(ServerState {
@@ -888,6 +891,32 @@ pub(crate) struct Shared {
     /// dispatch thread (0 under the threaded driver). Surfaced in
     /// `/v1/admin/status` as the accept-side queue depth.
     pub(crate) dispatch_depth: AtomicU64,
+    /// The self-contained ops plane (ring-buffer TSDB, SLO burn-rate
+    /// engine, stage profiler); `None` when `obs_sample_ms=0` and
+    /// `obs_profile_hz=0`. See DESIGN.md §15.
+    pub(crate) obs: Option<Arc<t2v_obs::ObsEngine>>,
+    /// Event-loop occupancy, published by the `t2v-event` thread every
+    /// ~250ms (all zeros under the threaded driver). Read by
+    /// `/v1/admin/status`.
+    pub(crate) event_stats: EventStats,
+}
+
+/// Connection-state census of the epoll event loop, refreshed by the loop
+/// itself so the status endpoint never has to lock the connection table.
+#[derive(Default)]
+pub(crate) struct EventStats {
+    /// Connections currently accumulating request bytes.
+    pub(crate) reading: AtomicU64,
+    /// Connections with a request in flight on a dispatch thread.
+    pub(crate) dispatched: AtomicU64,
+    /// Connections flushing a response under write backpressure.
+    pub(crate) writing: AtomicU64,
+    /// Idle keep-alive connections parked between requests.
+    pub(crate) keep_alive: AtomicU64,
+    /// Read buffers currently parked in the loop's buffer pool.
+    pub(crate) pool_buffers: AtomicU64,
+    /// 1 while the loop is in its shutdown drain window.
+    pub(crate) draining: AtomicU64,
 }
 
 /// The transport serving the listener: the classic thread-per-connection
@@ -969,11 +998,14 @@ impl Server {
                     .store(share as u64, Ordering::Relaxed);
             }
         }
+        let obs = build_obs(&state);
         let shared = Arc::new(Shared {
             state,
             pool,
             shutdown: AtomicBool::new(false),
             dispatch_depth: AtomicU64::new(0),
+            obs,
+            event_stats: EventStats::default(),
         });
         let driver = match shared.state.config.net {
             NetMode::Threaded => {
@@ -1027,7 +1059,119 @@ impl Server {
         if let Some(b) = self.batcher.take() {
             b.shutdown();
         }
+        if let Some(obs) = &self.shared.obs {
+            obs.stop();
+        }
     }
+}
+
+/// Construct and start the ops plane from the `obs_*` / `slo*` knobs.
+/// Returns `None` when both cadence knobs are zero — the request path then
+/// carries no observability overhead beyond the atomics it already bumps.
+fn build_obs(state: &Arc<ServerState>) -> Option<Arc<t2v_obs::ObsEngine>> {
+    let config = &state.config;
+    if config.obs_sample_ms == 0 && config.obs_profile_hz == 0 {
+        return None;
+    }
+    // The spec parsed when the knob was set (same contract as fault_plan);
+    // a parse failure here means the field was mutated directly, and an
+    // SLO-less ops plane is the safe answer.
+    let slos = t2v_obs::parse_slos(&config.slo).unwrap_or_default();
+    let sources = t2v_obs::SloSources {
+        latency_bounds_s: crate::metrics::BUCKET_BOUNDS_NS
+            .iter()
+            .map(|&ns| ns as f64 / 1e9)
+            .collect(),
+        ..t2v_obs::SloSources::default()
+    };
+    let windows = t2v_obs::BurnWindows {
+        fast_ms: config.slo_fast_s.saturating_mul(1000),
+        slow_ms: config.slo_slow_s.saturating_mul(1000),
+        ..t2v_obs::BurnWindows::default()
+    };
+    let engine = Arc::new(t2v_obs::ObsEngine::new(t2v_obs::ObsConfig {
+        sample_ms: config.obs_sample_ms,
+        retention_s: config.obs_retention_s,
+        profile_hz: config.obs_profile_hz,
+        slos,
+        sources,
+        windows,
+    }));
+    // The collector captures only the metrics registry (not the server
+    // state) so the engine can never keep tenants or caches alive.
+    let metrics = Arc::clone(&state.metrics);
+    let collector: t2v_obs::Collector = Box::new(move || {
+        let (requests, requests_5xx) = metrics.requests_all();
+        let mut out = vec![
+            ("http.requests".to_string(), requests),
+            ("http.requests_5xx".to_string(), requests_5xx),
+            (
+                "http.rejected".to_string(),
+                metrics.rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "cache.hits".to_string(),
+                metrics.cache_hits.load(Ordering::Relaxed),
+            ),
+            (
+                "cache.misses".to_string(),
+                metrics.cache_misses.load(Ordering::Relaxed),
+            ),
+            (
+                "deadline.exceeded".to_string(),
+                metrics.deadline_exceeded.load(Ordering::Relaxed),
+            ),
+            (
+                "degraded".to_string(),
+                metrics.degraded.load(Ordering::Relaxed),
+            ),
+            (
+                "breaker.opens".to_string(),
+                metrics.breaker_opens.load(Ordering::Relaxed),
+            ),
+            (
+                "worker.panics".to_string(),
+                metrics.worker_panics.load(Ordering::Relaxed),
+            ),
+            (
+                "conn.reaped".to_string(),
+                metrics.conn_reaped.load(Ordering::Relaxed),
+            ),
+            (
+                "queue.depth".to_string(),
+                metrics.queue_depth.load(Ordering::Relaxed),
+            ),
+            (
+                "connections.active".to_string(),
+                metrics.connections_active.load(Ordering::Relaxed),
+            ),
+        ];
+        let cumulative = metrics.request_total_latency.cumulative_counts();
+        for (i, c) in cumulative.iter().enumerate() {
+            out.push((format!("request_seconds.bucket:{i}"), *c));
+        }
+        out.push((
+            "request_seconds.bucket:inf".to_string(),
+            metrics.request_total_latency.count(),
+        ));
+        out
+    });
+    // SLO state flips land in the access log between request lines, so an
+    // operator tailing it sees "when did it start burning" in context.
+    let sink: Option<t2v_obs::TransitionSink> = state.access_log.as_ref().map(|log| {
+        let log = Arc::clone(log);
+        Box::new(move |t: &t2v_obs::SloTransition| {
+            log.write_line(&crate::access_log::render_slo_transition(
+                t2v_obs::unix_ms(),
+                &t.slo,
+                t.firing,
+                t.fast_burn,
+                t.slow_burn,
+            ));
+        }) as t2v_obs::TransitionSink
+    });
+    engine.start(collector, sink);
+    Some(engine)
 }
 
 /// Accept failures that mean *we* (or the host) ran out of file
@@ -1305,13 +1449,29 @@ fn publish_trace(shared: &Shared, req: &Request, force: bool, sampled: bool, f: 
         && f.total_ns >= config.trace_force_slow_ms.saturating_mul(1_000_000);
     let error = f.status >= 500;
     if slow {
-        shared.state.metrics.record_slow(f.dominant_stage());
+        // A trace that hit the span cap lost spans — its "dominant stage"
+        // would be computed from a partial tree, silently mis-attributing
+        // the slowness. Charge those to an explicit `truncated` bucket
+        // instead (raise `trace_max_spans=` when it grows).
+        if f.dropped_spans > 0 {
+            shared.state.metrics.record_slow_truncated();
+        } else {
+            shared.state.metrics.record_slow(f.dominant_stage());
+        }
     }
     if let Some(log) = &shared.state.access_log {
         log.write_line(&crate::access_log::render_line(&req.method, &req.path, &f));
     }
     if force || sampled || slow || error {
         if let Some(recorder) = &shared.state.recorder {
+            // This trace is retrievable via `/v1/admin/trace/{id}`, so it
+            // can serve as the latency exemplar for its histogram bucket —
+            // the `/metrics` → flight recorder jump (DESIGN.md §15).
+            shared
+                .state
+                .metrics
+                .request_total_latency
+                .record_exemplar(f.total_ns, f.id);
             recorder.store(Arc::new(f));
         }
     }
@@ -1383,13 +1543,16 @@ fn respond<W: BodySink + ?Sized>(
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => reply(Route::Healthz, healthz(&shared.state)),
         ("GET", "/v1/admin/status") => reply(Route::Admin, admin_status(shared)),
+        ("GET", "/v1/admin/tsdb") => reply(Route::Admin, admin_tsdb(shared, req)),
+        ("GET", "/v1/admin/alerts") => reply(Route::Admin, admin_alerts(shared)),
+        ("GET", "/v1/admin/profile") => reply(Route::Admin, admin_profile(shared, req)),
         ("GET", "/metrics") => reply(
             Route::Metrics,
             Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
                 headers: Vec::new(),
-                body: shared.state.metrics.render_prometheus().into(),
+                body: render_metrics(shared).into(),
             },
         ),
         ("GET", "/v1/backends") => reply(
@@ -1424,6 +1587,9 @@ fn respond<W: BodySink + ?Sized>(
             | "/v1/backends"
             | "/v1/admin/snapshot"
             | "/v1/admin/status"
+            | "/v1/admin/tsdb"
+            | "/v1/admin/alerts"
+            | "/v1/admin/profile"
             | "/v1/admin/tenants"
             | "/v1/admin/tenants/attach"
             | "/v1/admin/tenants/detach",
@@ -1667,6 +1833,35 @@ fn admin_status(shared: &Shared) -> Response {
             ]),
         ),
         (
+            "event",
+            Json::obj([
+                (
+                    "reading",
+                    Json::Num(shared.event_stats.reading.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "dispatched",
+                    Json::Num(shared.event_stats.dispatched.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "writing",
+                    Json::Num(shared.event_stats.writing.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "keep_alive",
+                    Json::Num(shared.event_stats.keep_alive.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "pool_buffers",
+                    Json::Num(shared.event_stats.pool_buffers.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "draining",
+                    Json::Bool(shared.event_stats.draining.load(Ordering::Relaxed) != 0),
+                ),
+            ]),
+        ),
+        (
             "cache",
             Json::obj([
                 ("entries", Json::Num(cache.len as f64)),
@@ -1696,6 +1891,200 @@ fn admin_status(shared: &Shared) -> Response {
         ("tenants", Json::Arr(tenants)),
     ]);
     Response::json(200, body.compact())
+}
+
+/// `/metrics` — the Prometheus registry, plus the SLO gauges the burn-rate
+/// engine maintains (when `slo=` objectives are configured and the sampler
+/// is running).
+fn render_metrics(shared: &Shared) -> String {
+    let mut out = shared.state.metrics.render_prometheus();
+    let Some(slo) = shared.obs.as_ref().and_then(|o| o.slo()) else {
+        return out;
+    };
+    let statuses = slo.last();
+    if statuses.is_empty() {
+        return out;
+    }
+    out.push_str("# HELP t2v_slo_burn_rate Error-budget burn rate per SLO and window (1 = spending exactly the budget).\n");
+    out.push_str("# TYPE t2v_slo_burn_rate gauge\n");
+    for s in &statuses {
+        let name = crate::metrics::escape_label(&s.name);
+        out.push_str(&format!(
+            "t2v_slo_burn_rate{{slo=\"{name}\",window=\"fast\"}} {}\n",
+            s.fast_burn
+        ));
+        out.push_str(&format!(
+            "t2v_slo_burn_rate{{slo=\"{name}\",window=\"slow\"}} {}\n",
+            s.slow_burn
+        ));
+    }
+    out.push_str("# HELP t2v_slo_error_budget_remaining Fraction of the error budget left over the slow window (negative = overspent).\n");
+    out.push_str("# TYPE t2v_slo_error_budget_remaining gauge\n");
+    for s in &statuses {
+        let name = crate::metrics::escape_label(&s.name);
+        out.push_str(&format!(
+            "t2v_slo_error_budget_remaining{{slo=\"{name}\"}} {}\n",
+            s.budget_remaining
+        ));
+    }
+    out
+}
+
+/// The ops plane, if the sampler half of it is running.
+fn obs_sampling(shared: &Shared) -> Option<&Arc<t2v_obs::ObsEngine>> {
+    shared.obs.as_ref().filter(|o| o.sample_ms() > 0)
+}
+
+/// `GET /v1/admin/tsdb?series=&window=&step=` — the in-process ring-buffer
+/// TSDB. Without `series=`, lists what is retained; with it, returns the
+/// windowed points plus the delta and per-second rate over the window.
+fn admin_tsdb(shared: &Shared, req: &Request) -> Response {
+    let Some(obs) = obs_sampling(shared) else {
+        return Response::error_code(
+            404,
+            "obs_disabled",
+            "the metrics sampler is disabled (obs_sample_ms=0)",
+        );
+    };
+    let tsdb = obs.tsdb();
+    let Some(series) = query_param(&req.query, "series").filter(|s| !s.is_empty()) else {
+        let names = tsdb.series_names();
+        let body = Json::obj([
+            ("sample_ms", Json::Num(obs.sample_ms() as f64)),
+            ("count", Json::Num(names.len() as f64)),
+            (
+                "series",
+                Json::Arr(names.iter().map(|n| Json::str(n.as_str())).collect()),
+            ),
+        ]);
+        return Response::json(200, body.compact());
+    };
+    let window_s = match query_param(&req.query, "window") {
+        None => 300u64,
+        Some(v) => match v.parse() {
+            Ok(s) if s >= 1 => s,
+            _ => return Response::error(400, "window must be a positive integer (seconds)"),
+        },
+    };
+    let step_s = match query_param(&req.query, "step") {
+        None => 0u64, // 0 = native sample cadence
+        Some(v) => match v.parse() {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, "step must be a non-negative integer (seconds)"),
+        },
+    };
+    let now_ms = t2v_obs::unix_ms();
+    let window_ms = window_s.saturating_mul(1000);
+    let step_ms = step_s.saturating_mul(1000).max(obs.sample_ms());
+    let points = tsdb.points(series, window_ms, step_ms, now_ms);
+    if points.is_empty() {
+        return Response::error_code(
+            404,
+            "unknown_series",
+            "series not found (never collected, or outside retention)",
+        );
+    }
+    let delta = tsdb.delta(series, window_ms, now_ms);
+    let rate = tsdb.rate(series, window_ms, now_ms);
+    let body = Json::obj([
+        ("series", Json::str(series)),
+        ("window_s", Json::Num(window_s as f64)),
+        ("step_ms", Json::Num(step_ms as f64)),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|&(t, v)| Json::Arr(vec![Json::Num(t as f64), Json::Num(v as f64)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "delta",
+            match delta {
+                Some(d) => Json::Num(d as f64),
+                None => Json::Null,
+            },
+        ),
+        (
+            "rate",
+            match rate {
+                Some(r) => Json::Num(r),
+                None => Json::Null,
+            },
+        ),
+    ]);
+    Response::json(200, body.compact())
+}
+
+/// `GET /v1/admin/alerts` — every configured SLO with its multi-window
+/// burn state: the first page an operator checks (DESIGN.md §15).
+fn admin_alerts(shared: &Shared) -> Response {
+    let Some(slo) = obs_sampling(shared).and_then(|o| o.slo()) else {
+        return Response::error_code(
+            404,
+            "slo_disabled",
+            "no SLOs configured (set slo= and obs_sample_ms>0)",
+        );
+    };
+    let statuses = slo.last();
+    let firing = statuses.iter().filter(|s| s.firing).count();
+    let w = slo.windows();
+    let body = Json::obj([
+        ("firing", Json::Num(firing as f64)),
+        (
+            "windows",
+            Json::obj([
+                ("fast_s", Json::Num(w.fast_ms as f64 / 1000.0)),
+                ("slow_s", Json::Num(w.slow_ms as f64 / 1000.0)),
+                ("threshold", Json::Num(w.threshold)),
+            ]),
+        ),
+        (
+            "slos",
+            Json::Arr(
+                statuses
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("name", Json::str(&s.name)),
+                            ("target", Json::Num(s.target)),
+                            ("firing", Json::Bool(s.firing)),
+                            ("fast_burn", Json::Num(s.fast_burn)),
+                            ("slow_burn", Json::Num(s.slow_burn)),
+                            ("budget_remaining", Json::Num(s.budget_remaining)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    Response::json(200, body.compact())
+}
+
+/// `GET /v1/admin/profile?seconds=N` — the last N seconds of stage
+/// occupancy as flamegraph-compatible folded stacks (`stack count` lines).
+fn admin_profile(shared: &Shared, req: &Request) -> Response {
+    let Some(obs) = shared.obs.as_ref().filter(|o| o.profile_hz() > 0) else {
+        return Response::error_code(
+            404,
+            "profiler_disabled",
+            "the stage profiler is disabled (obs_profile_hz=0)",
+        );
+    };
+    let seconds = match query_param(&req.query, "seconds") {
+        None => 60u64,
+        Some(v) => match v.parse() {
+            Ok(s) if s >= 1 => s,
+            _ => return Response::error(400, "seconds must be a positive integer"),
+        },
+    };
+    Response {
+        status: 200,
+        content_type: "text/plain; charset=utf-8",
+        headers: Vec::new(),
+        body: obs.profile().render(seconds, t2v_obs::unix_ms()).into(),
+    }
 }
 
 fn breaker_state_label(state: crate::breaker::BreakerState) -> &'static str {

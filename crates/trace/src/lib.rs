@@ -29,8 +29,8 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant, SystemTime};
 
 /// Span slots per trace. A request touches well under this many stage
@@ -199,8 +199,12 @@ impl Trace {
             c.replace(self.inner.as_ref().map(|inner| Active {
                 inner: Arc::clone(inner),
                 stack: Vec::with_capacity(4),
+                word: ROOT_WORD,
             }))
         });
+        if self.inner.is_some() || prev.is_some() {
+            publish_word(if self.inner.is_some() { ROOT_WORD } else { 0 });
+        }
         ScopeGuard {
             prev: Some(prev),
             _not_send: PhantomData,
@@ -336,10 +340,150 @@ struct Active {
     inner: Arc<TraceInner>,
     /// Indices of the open spans on this thread, innermost last.
     stack: Vec<u32>,
+    /// The stack pre-packed for export (see `publish_word`), maintained
+    /// incrementally on push/pop so publishing is a single store.
+    word: u64,
 }
 
 thread_local! {
     static CURRENT: RefCell<Option<Active>> = const { RefCell::new(None) };
+}
+
+// ---------------------------------------------------------------------------
+// Stage-stack export (the profiler seam, DESIGN.md §15)
+//
+// The open-span stack above is thread-local — readable only by the thread
+// that owns it. A wall-clock profiler needs to observe *other* threads'
+// stacks, so each thread additionally publishes its stack into one shared
+// `AtomicU64` whenever the stack changes: 4 bits of depth plus 4 bits per
+// level (the `Stage` taxonomy has 10 variants, so a stage fits a nibble).
+// A sampler then reads every registered thread's word at its own cadence —
+// one relaxed load per thread per tick, no locks on the traced path, and a
+// torn stack is impossible because the whole stack is one word.
+//
+// Publishing is off by default (`set_stack_export`); disabled, the hooks
+// cost one relaxed load on span open/close of *recorded* traces only.
+
+/// Deepest published stack: 15 levels of 4 bits + 4 bits of depth.
+const STACK_EXPORT_DEPTH: usize = 15;
+
+/// Global switch for stack publishing, flipped by the profiler.
+static STACK_EXPORT: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable stage-stack publishing process-wide. Threads start
+/// publishing at their next span transition; disabling leaves stale words
+/// behind, so samplers should stop reading first.
+pub fn set_stack_export(on: bool) {
+    STACK_EXPORT.store(on, Ordering::Relaxed);
+    if !on {
+        // Clear every published word so a re-enabled sampler never sees a
+        // stack frozen from the previous session.
+        if let Some(registry) = STACK_REGISTRY.get() {
+            for slot in lock(registry).iter() {
+                if let Some(cell) = slot.cell.upgrade() {
+                    cell.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Whether stage-stack publishing is currently on.
+pub fn stack_export_enabled() -> bool {
+    STACK_EXPORT.load(Ordering::Relaxed)
+}
+
+struct StackSlot {
+    thread: String,
+    cell: Weak<AtomicU64>,
+}
+
+/// Every thread that ever published a stack, by registration order. Slots
+/// of exited threads hold dead weaks and are pruned at sample time.
+static STACK_REGISTRY: OnceLock<Mutex<Vec<StackSlot>>> = OnceLock::new();
+
+thread_local! {
+    /// This thread's published word. First access registers the thread;
+    /// the `Arc` dies with the thread, leaving a prunable weak behind.
+    static MY_STACK: Arc<AtomicU64> = {
+        let cell = Arc::new(AtomicU64::new(0));
+        let registry = STACK_REGISTRY.get_or_init(|| Mutex::new(Vec::new()));
+        lock(registry).push(StackSlot {
+            thread: std::thread::current().name().unwrap_or("unnamed").to_string(),
+            cell: Arc::downgrade(&cell),
+        });
+        cell
+    };
+}
+
+/// The export word for an empty stack: just the implicit request root.
+/// Layout: bits [0,4) are the depth, level `i` (outermost = the implicit
+/// request root) lives in bits [4+4i, 8+4i). Depth 0 means "not inside a
+/// traced request".
+const ROOT_WORD: u64 = ((Stage::Request as u64) << 4) | 1;
+
+/// Re-pack an open-span stack from scratch. Only the rare defensive paths
+/// (out-of-order guard drops) pay this walk; the usual push/pop maintain
+/// `Active::word` incrementally.
+fn repack(inner: &TraceInner, stack: &[u32]) -> u64 {
+    let mut word = (Stage::Request as u64) << 4;
+    let mut depth = 1u64;
+    for &idx in stack.iter().take(STACK_EXPORT_DEPTH - 1) {
+        let stage = inner.slots[idx as usize].stage.load(Ordering::Relaxed) as u64;
+        word |= (stage & 0xF) << (4 + 4 * depth);
+        depth += 1;
+    }
+    word | depth
+}
+
+/// Publish a pre-packed stack word if exporting is on. Called at every
+/// stack transition (scope install/restore, span open/close); the word is
+/// maintained incrementally by the callers, so the traced hot path pays
+/// one relaxed load, one TLS access, and one relaxed store. `try_with`
+/// keeps guard drops during thread teardown from aborting.
+fn publish_word(word: u64) {
+    if !STACK_EXPORT.load(Ordering::Relaxed) {
+        return;
+    }
+    let _ = MY_STACK.try_with(|cell| cell.store(word, Ordering::Relaxed));
+}
+
+/// One thread's stage stack as observed by [`sample_stacks`]: outermost
+/// stage first. Threads not inside a traced request are not reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampledStack {
+    pub thread: String,
+    pub stages: Vec<Stage>,
+}
+
+/// Snapshot every registered thread's published stage stack (profiler
+/// entry point). Prunes slots of exited threads as a side effect. Each
+/// stack is internally consistent (one-word atomic read), but stacks of
+/// different threads are not mutually synchronized — fine for sampling.
+pub fn sample_stacks() -> Vec<SampledStack> {
+    let Some(registry) = STACK_REGISTRY.get() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut slots = lock(registry);
+    slots.retain(|slot| {
+        let Some(cell) = slot.cell.upgrade() else {
+            return false;
+        };
+        let word = cell.load(Ordering::Relaxed);
+        let depth = (word & 0xF) as usize;
+        if depth > 0 {
+            let stages = (0..depth)
+                .map(|i| Stage::from_u32(((word >> (4 + 4 * i)) & 0xF) as u32))
+                .collect();
+            out.push(SampledStack {
+                thread: slot.thread.clone(),
+                stages,
+            });
+        }
+        true
+    });
+    out
 }
 
 /// Restores the previously-current trace when dropped. Not `Send`: it must
@@ -352,7 +496,12 @@ pub struct ScopeGuard {
 impl Drop for ScopeGuard {
     fn drop(&mut self) {
         if let Some(prev) = self.prev.take() {
-            CURRENT.with(|c| *c.borrow_mut() = prev);
+            let changed = prev.is_some();
+            let word = prev.as_ref().map_or(0, |a| a.word);
+            let was_some = CURRENT.with(|c| c.replace(prev)).is_some();
+            if changed || was_some {
+                publish_word(word);
+            }
         }
     }
 }
@@ -376,11 +525,20 @@ fn open_span(inner: Arc<TraceInner>, stage: Stage) -> SpanGuard {
     let start_ns = inner.t0.elapsed().as_nanos() as u64;
     let idx = inner.claim(stage, parent, start_ns, OPEN);
     if let (Some(idx), true) = (idx, same_trace) {
-        CURRENT.with(|c| {
-            if let Some(a) = &mut *c.borrow_mut() {
+        let word = CURRENT.with(|c| match &mut *c.borrow_mut() {
+            Some(a) => {
                 a.stack.push(idx);
+                // The new top is level `len` (root is level 0); it fits the
+                // word while the packed depth `len + 1` stays ≤ the cap.
+                let lvl = a.stack.len() as u64;
+                if lvl < STACK_EXPORT_DEPTH as u64 {
+                    a.word = (a.word & !0xF) | ((stage as u64 & 0xF) << (4 + 4 * lvl)) | (lvl + 1);
+                }
+                a.word
             }
+            None => 0,
         });
+        publish_word(word);
     }
     SpanGuard {
         inner: idx.map(|idx| (inner, idx)),
@@ -440,17 +598,27 @@ impl Drop for SpanGuard {
         slot.dur_ns
             .store(now_ns.saturating_sub(start), Ordering::Relaxed);
         if self.on_stack {
-            CURRENT.with(|c| {
-                if let Some(a) = &mut *c.borrow_mut() {
+            let word = CURRENT.with(|c| match &mut *c.borrow_mut() {
+                Some(a) => {
                     // Guards drop LIFO, so the top is ours; be defensive
                     // about out-of-order drops anyway.
                     if a.stack.last() == Some(&idx) {
                         a.stack.pop();
+                        // The popped span sat at level `len + 1`; it was in
+                        // the word only if that level fit under the cap.
+                        let lvl = a.stack.len() as u64 + 1;
+                        if lvl < STACK_EXPORT_DEPTH as u64 {
+                            a.word = (a.word & !(0xF << (4 + 4 * lvl)) & !0xF) | lvl;
+                        }
                     } else {
                         a.stack.retain(|&i| i != idx);
+                        a.word = repack(&a.inner, &a.stack);
                     }
+                    a.word
                 }
+                None => 0,
             });
+            publish_word(word);
         }
     }
 }
@@ -757,6 +925,43 @@ mod tests {
         let backend = ft.spans.iter().find(|s| s.stage == Stage::Backend).unwrap();
         assert_eq!(backend.notes, vec!["fault:backend.error".to_string()]);
         assert_eq!(ft.spans[0].notes, vec!["root-level".to_string()]);
+    }
+
+    #[test]
+    fn stack_export_publishes_nested_stages_and_clears_on_drop() {
+        // Run on a dedicated named thread: sibling tests trace on their own
+        // threads concurrently, so assertions filter by thread name.
+        std::thread::Builder::new()
+            .name("t2v-stackexp".to_string())
+            .spawn(|| {
+                let mine = |stacks: &[SampledStack]| {
+                    stacks.iter().find(|s| s.thread == "t2v-stackexp").cloned()
+                };
+                // Export off: nothing is published even inside spans.
+                let t = Trace::start(21, true);
+                {
+                    let _g = t.scope();
+                    let _b = span(Stage::Backend);
+                    assert!(mine(&sample_stacks()).is_none());
+                }
+                set_stack_export(true);
+                {
+                    let _g = t.scope();
+                    let _b = span(Stage::Backend);
+                    let _e = span(Stage::Embed);
+                    let got = mine(&sample_stacks()).expect("stack published");
+                    assert_eq!(
+                        got.stages,
+                        vec![Stage::Request, Stage::Backend, Stage::Embed]
+                    );
+                }
+                // Scope dropped: the published word is empty again.
+                assert!(mine(&sample_stacks()).is_none());
+                set_stack_export(false);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]
